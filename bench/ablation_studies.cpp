@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out (beyond
+ * the paper's figures):
+ *
+ *  1. Subtree layout vs naive flat layout ([26]'s optimization): DRAM
+ *     row-hit rate and path latency.
+ *  2. Compressed PosMap beta sweep: group-remap overhead vs fan-out
+ *     (the Section 5.3 worst-case X/2^beta trade-off).
+ *  3. PLB contribution in isolation: walk depth with/without warm PLB.
+ */
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+using namespace froram::bench;
+
+namespace {
+
+/** Path latency with a given layout over one DRAM model. */
+double
+pathLatency(bool subtree, u32 channels, u64 accesses)
+{
+    const OramParams p =
+        OramParams::forCapacity(u64{4} << 30, 64, 4);
+    DramModel dram(DramConfig::ddr3(channels));
+    std::unique_ptr<TreeLayout> layout;
+    const u64 unit = u64{dram.config().rowBytes} * channels;
+    if (subtree)
+        layout = std::make_unique<SubtreeLayout>(
+            p.levels, p.bucketPhysBytes(), unit);
+    else
+        layout = std::make_unique<FlatLayout>(p.levels,
+                                              p.bucketPhysBytes());
+    Xoshiro256 rng(1);
+    u64 total_ps = 0;
+    const u64 bursts = divCeil(p.bucketPhysBytes(), 64);
+    for (u64 i = 0; i < accesses; ++i) {
+        const Leaf leaf = rng.below(p.numLeaves());
+        std::vector<DramRequest> reqs;
+        for (const auto& c : layout->path(leaf))
+            for (u64 b = 0; b < bursts; ++b)
+                reqs.push_back({layout->addressOf(c) + b * 64, false});
+        total_ps += dram.accessBatch(reqs);
+    }
+    return static_cast<double>(total_ps) / accesses / 1000.0; // ns
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    const u64 accesses = opts.scaled(400);
+
+    // 1. Subtree vs flat layout.
+    TextTable layout_table(
+        {"channels", "flat_path_ns", "subtree_path_ns", "speedup"});
+    for (u32 ch : {1u, 2u, 4u}) {
+        const double flat = pathLatency(false, ch, accesses);
+        const double sub = pathLatency(true, ch, accesses);
+        layout_table.newRow();
+        layout_table.cell(u64{ch});
+        layout_table.cell(flat, 1);
+        layout_table.cell(sub, 1);
+        layout_table.cell(flat / sub, 2);
+    }
+    emit(opts, layout_table,
+         "Ablation 1: subtree layout [26] vs naive flat layout "
+         "(path read latency)");
+
+    // 2. Compressed-PosMap beta sweep: worst-case single-hot-block
+    // access pattern maximizes group remaps (Section 5.2.2).
+    TextTable beta_table({"beta", "X", "accesses_per_request",
+                          "group_remaps", "worst_case_pct"});
+    for (u32 beta : {4u, 8u, 10u, 14u}) {
+        UnifiedFrontendConfig c;
+        c.numBlocks = 1 << 16;
+        c.format = PosMapFormat::Kind::Compressed;
+        c.beta = beta;
+        c.plb.capacityBytes = 8 * 1024;
+        c.onChipTargetBytes = 1024;
+        c.storage = StorageMode::Meta;
+        UnifiedFrontend fe(c, nullptr, nullptr);
+        const u64 reqs = opts.scaled(40000);
+        for (u64 i = 0; i < reqs; ++i)
+            fe.access(42, false); // hottest-possible block
+        beta_table.newRow();
+        beta_table.cell(u64{beta});
+        beta_table.cell(u64{fe.format().x()});
+        beta_table.cell(static_cast<double>(
+                            fe.stats().get("backendAccesses")) /
+                            reqs,
+                        3);
+        beta_table.cell(fe.stats().get("groupRemaps"));
+        beta_table.cell(100.0 * fe.format().x() /
+                            static_cast<double>(u64{1} << beta),
+                        2);
+    }
+    emit(opts, beta_table,
+         "Ablation 2: compressed PosMap IC width (paper: X/2^beta = "
+         ".2% worst-case remap overhead at X=32, beta=14)");
+
+    // 3. PLB contribution: average walk depth cold vs warm.
+    TextTable plb_table({"plb_KB", "avg_backend_accesses_warm",
+                         "plb_hit_rate_pct"});
+    for (u64 kb : {2, 8, 64}) {
+        OramSystemConfig cfg;
+        cfg.capacityBytes = u64{1} << 30;
+        cfg.plbBytes = kb * 1024;
+        cfg.storage = StorageMode::Null;
+        OramSystem sys(SchemeId::PlbCompressed, cfg);
+        Xoshiro256 rng(9);
+        const u64 n = cfg.capacityBytes / 64;
+        // Warm on a 2 MB window, then measure on the same window.
+        auto touch = [&](u64 count) {
+            u64 acc0 = sys.frontend().stats().get("backendAccesses");
+            for (u64 i = 0; i < count; ++i)
+                sys.frontend().access(rng.below(n) % (1 << 15), false);
+            return sys.frontend().stats().get("backendAccesses") - acc0;
+        };
+        touch(opts.scaled(20000));
+        const u64 measured = opts.scaled(20000);
+        const u64 backend = touch(measured);
+        const auto& ps =
+            static_cast<UnifiedFrontend&>(sys.frontend()).plb().stats();
+        const double hits = static_cast<double>(ps.get("hits"));
+        const double misses = static_cast<double>(ps.get("misses"));
+        plb_table.newRow();
+        plb_table.cell(u64{kb});
+        plb_table.cell(static_cast<double>(backend) / measured, 3);
+        plb_table.cell(hits + misses == 0
+                           ? 0.0
+                           : 100.0 * hits / (hits + misses),
+                       1);
+    }
+    emit(opts, plb_table,
+         "Ablation 3: PLB capacity vs warm walk depth (1 GB ORAM, "
+         "2 MB working set)");
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared infrastructure for the table/figure reproduction harnesses.
+ *
+ * Every bench binary accepts `--scale=<float>` (or env FRORAM_BENCH_SCALE)
+ * to scale simulated work, `--csv` to emit only CSV, and prints both an
+ * aligned table and a CSV block by default. Defaults are tuned so each
+ * binary finishes in roughly a minute on a laptop.
+ */
+#ifndef FRORAM_BENCH_BENCH_COMMON_HPP
+#define FRORAM_BENCH_BENCH_COMMON_HPP
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cachesim/core_model.hpp"
+#include "core/oram_system.hpp"
+#include "util/table.hpp"
+#include "workload/spec_proxy.hpp"
+
+namespace froram {
+namespace bench {
+
+/** Parsed command-line options common to all benches. */
+struct BenchOptions {
+    double scale = 1.0;
+    bool csvOnly = false;
+
+    static BenchOptions
+    parse(int argc, char** argv)
+    {
+        BenchOptions o;
+        if (const char* env = std::getenv("FRORAM_BENCH_SCALE"))
+            o.scale = std::atof(env);
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--scale=", 0) == 0)
+                o.scale = std::atof(arg.c_str() + 8);
+            else if (arg == "--csv")
+                o.csvOnly = true;
+        }
+        if (o.scale <= 0)
+            o.scale = 1.0;
+        return o;
+    }
+
+    u64
+    scaled(u64 base) const
+    {
+        const double v = static_cast<double>(base) * scale;
+        return v < 1 ? 1 : static_cast<u64>(v);
+    }
+};
+
+/** Geometric mean of a vector of positive values. */
+inline double
+geomean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Result of running one workload on one memory system. */
+struct PerfPoint {
+    std::string bench;
+    std::string scheme;
+    u64 memRefs = 0;
+    u64 llcMisses = 0;
+    u64 cycles = 0;
+    u64 oramBytes = 0;       ///< DRAM bytes moved by the ORAM
+    u64 posmapBytes = 0;     ///< ... attributable to PosMap machinery
+    u64 frontendAccesses = 0;
+
+    double
+    kbPerAccess() const
+    {
+        return frontendAccesses == 0
+                   ? 0.0
+                   : static_cast<double>(oramBytes) / frontendAccesses /
+                         1024.0;
+    }
+
+    double
+    posmapFraction() const
+    {
+        return oramBytes == 0 ? 0.0
+                              : static_cast<double>(posmapBytes) /
+                                    static_cast<double>(oramBytes);
+    }
+};
+
+/** Run a SPEC proxy over the cache hierarchy on an ORAM scheme. */
+inline PerfPoint
+runOnOram(SchemeId id, const OramSystemConfig& sys_cfg,
+          const SpecProxySpec& spec, u64 refs, u64 warmup, u64 seed,
+          const HierarchyConfig& hier_cfg = HierarchyConfig{})
+{
+    OramSystem sys(id, sys_cfg);
+    OramMainMemory mem(&sys.frontend());
+    MemoryHierarchy hier(hier_cfg, &mem);
+    InOrderCore core(&hier);
+    auto gen = makeSpecProxy(spec, seed);
+
+    const StatSet& fs = sys.frontend().stats();
+    // Warm the caches, then snapshot so reported traffic matches the
+    // reported cycles.
+    core.run(*gen, 0, warmup);
+    const u64 bytes0 = fs.get("bytesMoved");
+    const u64 posmap0 = fs.get("posmapBytes");
+    const u64 acc0 = fs.get("accesses");
+
+    const auto r = core.run(*gen, refs, 0);
+
+    PerfPoint p;
+    p.bench = spec.name;
+    p.scheme = sys.frontend().name();
+    p.memRefs = r.memRefs;
+    p.llcMisses = r.llcMisses;
+    p.cycles = r.cycles;
+    p.oramBytes = fs.get("bytesMoved") - bytes0;
+    p.posmapBytes = fs.get("posmapBytes") - posmap0;
+    p.frontendAccesses = fs.get("accesses") - acc0;
+    return p;
+}
+
+/** Run a SPEC proxy over the cache hierarchy on plain (insecure) DRAM. */
+inline PerfPoint
+runInsecure(u32 dram_channels, const SpecProxySpec& spec, u64 refs,
+            u64 warmup, u64 seed,
+            const HierarchyConfig& hier_cfg = HierarchyConfig{},
+            const LatencyModel& lat = LatencyModel{})
+{
+    InsecureMemory imem(dram_channels, lat);
+    PlainMainMemory mem(&imem);
+    MemoryHierarchy hier(hier_cfg, &mem);
+    InOrderCore core(&hier);
+    auto gen = makeSpecProxy(spec, seed);
+    core.run(*gen, 0, warmup);
+    const auto r = core.run(*gen, refs, 0);
+    PerfPoint p;
+    p.bench = spec.name;
+    p.scheme = "insecure";
+    p.memRefs = r.memRefs;
+    p.llcMisses = r.llcMisses;
+    p.cycles = r.cycles;
+    return p;
+}
+
+/** Emit the table (unless csv-only) and the CSV block. */
+inline void
+emit(const BenchOptions& opts, const TextTable& table,
+     const std::string& title)
+{
+    if (!opts.csvOnly) {
+        std::cout << "\n== " << title << " ==\n\n";
+        table.print(std::cout);
+        std::cout << "\n--- CSV ---\n";
+    }
+    table.printCsv(std::cout);
+    if (!opts.csvOnly)
+        std::cout << "--- end CSV ---\n";
+}
+
+} // namespace bench
+} // namespace froram
+
+#endif // FRORAM_BENCH_BENCH_COMMON_HPP

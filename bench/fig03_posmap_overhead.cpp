@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 3 reproduction: percentage of bytes read from PosMap ORAMs in a
+ * full Recursive ORAM access, as a function of Data ORAM capacity
+ * (2^30..2^40 bytes), for block sizes 64/128 B and on-chip PosMap
+ * budgets 8 KB / 256 KB (series b64_pm8, b128_pm8, b64_pm256,
+ * b128_pm256), X = 8 following [26], Z = 4.
+ *
+ * Expected shape (paper): 39-56% at 4 GB depending on block size;
+ * fraction grows with capacity; kinks where another PosMap ORAM is
+ * added (H increments); larger on-chip PosMap only slightly dampens.
+ */
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+
+using namespace froram;
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    struct Series {
+        const char* name;
+        u64 blockBytes;
+        u64 onchipBytes;
+    };
+    const Series series[] = {{"b64_pm8", 64, 8 * 1024},
+                             {"b128_pm8", 128, 8 * 1024},
+                             {"b64_pm256", 64, 256 * 1024},
+                             {"b128_pm256", 128, 256 * 1024}};
+
+    TextTable table({"log2_capacity", "series", "H", "posmap_pct",
+                     "data_KB_per_access", "posmap_KB_per_access"});
+    for (u32 lg = 30; lg <= 40; ++lg) {
+        for (const auto& s : series) {
+            const auto r = analyzeRecursiveBandwidth(
+                u64{1} << lg, s.blockBytes, /*posmap_block=*/32, /*z=*/4,
+                s.onchipBytes);
+            table.newRow();
+            table.cell(u64{lg});
+            table.cell(std::string(s.name));
+            table.cell(u64{r.h});
+            table.cell(100.0 * r.posmapFraction(), 1);
+            table.cell(static_cast<double>(r.dataBytes) / 1024.0, 2);
+            table.cell(static_cast<double>(r.posmapBytes) / 1024.0, 2);
+        }
+    }
+    bench::emit(opts, table,
+                "Figure 3: % bytes from PosMap ORAMs in a full Recursive "
+                "ORAM access (X=8, Z=4)");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 6 reproduction (the paper's main result): slowdown of R_X8,
+ * PC_X32 and PIC_X32 relative to an insecure system, per SPEC-proxy
+ * benchmark, for the Table 1 configuration (4 GB ORAM, 64 B blocks,
+ * 64 KB direct-mapped PLB, 2 DRAM channels).
+ *
+ * Expected shape (paper): PC_X32 ~1.43x faster than R_X8 (geomean);
+ * PIC_X32 within ~7% of PC_X32; worst slowdowns on mcf/omnet/libq,
+ * mildest on hmmer/sjeng/gob.
+ */
+#include "bench_common.hpp"
+
+using namespace froram;
+using namespace froram::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+    const u64 refs = opts.scaled(400000);
+    const u64 warmup = opts.scaled(150000);
+
+    OramSystemConfig cfg;
+    cfg.capacityBytes = u64{4} << 30;
+    cfg.dramChannels = 2;
+    cfg.plbBytes = 64 * 1024;
+    cfg.storage = StorageMode::Null;
+
+    const SchemeId schemes[] = {SchemeId::Recursive,
+                                SchemeId::PlbCompressed,
+                                SchemeId::PlbIntegrityCompressed};
+
+    TextTable table({"bench", "R_X8", "PC_X32", "PIC_X32", "mpki"});
+    std::vector<double> slow[3];
+    for (const auto& spec : specSuite()) {
+        const auto base = runInsecure(2, spec, refs, warmup, 7);
+        table.newRow();
+        table.cell(spec.name);
+        for (int s = 0; s < 3; ++s) {
+            const auto p =
+                runOnOram(schemes[s], cfg, spec, refs, warmup, 7);
+            const double slowdown = static_cast<double>(p.cycles) /
+                                    static_cast<double>(base.cycles);
+            slow[s].push_back(slowdown);
+            table.cell(slowdown, 2);
+        }
+        const double mpki =
+            1000.0 * static_cast<double>(base.llcMisses) /
+            (static_cast<double>(base.memRefs) * (spec.gap + 1));
+        table.cell(mpki, 1);
+    }
+    table.newRow();
+    table.cell(std::string("geomean"));
+    for (auto& s : slow)
+        table.cell(geomean(s), 2);
+    table.cell(std::string("-"));
+
+    emit(opts, table,
+         "Figure 6: slowdown vs insecure DRAM (4 GB ORAM, 2 channels, "
+         "64 KB PLB)");
+
+    std::cout << "\nPC_X32 speedup over R_X8 (geomean): "
+              << geomean(slow[0]) / geomean(slow[1])
+              << "x  (paper: 1.43x)\n";
+    std::cout << "PIC_X32 overhead over PC_X32 (geomean): "
+              << (geomean(slow[2]) / geomean(slow[1]) - 1.0) * 100.0
+              << "%  (paper: ~7%)\n";
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the substrate primitives:
+ * AES-128, SHA3-224, PRF leaf derivation, bucket codec, stash eviction,
+ * PLB lookups, DRAM path batches, and one full frontend access per
+ * scheme. These support Table 1's latency parameters and give a
+ * performance baseline for the simulator itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/unified_frontend.hpp"
+#include "crypto/prf.hpp"
+#include "crypto/stream_cipher.hpp"
+#include "mem/dram_model.hpp"
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+void
+BM_Aes128Block(benchmark::State& state)
+{
+    u8 key[16] = {1}, buf[16] = {2};
+    Aes128 aes(key);
+    for (auto _ : state) {
+        aes.encryptBlock(buf, buf);
+        benchmark::DoNotOptimize(buf);
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+void
+BM_Sha3_224(benchmark::State& state)
+{
+    std::vector<u8> msg(static_cast<size_t>(state.range(0)), 0xab);
+    for (auto _ : state) {
+        auto d = Sha3_224::hash(msg.data(), msg.size());
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha3_224)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_PrfLeaf(benchmark::State& state)
+{
+    u8 key[16] = {3};
+    Prf prf(key);
+    u64 c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prf.leafFor(42, ++c, 24));
+    }
+}
+BENCHMARK(BM_PrfLeaf);
+
+void
+BM_PmmacTag(benchmark::State& state)
+{
+    u8 key[16] = {4};
+    Mac mac(key);
+    std::vector<u8> data(64, 7);
+    u64 c = 0;
+    for (auto _ : state) {
+        auto t = mac.compute(++c, 9, data.data(), data.size());
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_PmmacTag);
+
+void
+BM_BucketEncode(benchmark::State& state)
+{
+    const OramParams p = OramParams::forCapacity(u64{4} << 30, 64, 4);
+    const bool real_aes = state.range(0) != 0;
+    AesCtrCipher aes;
+    FastCipher fast;
+    BucketCodec codec(p, real_aes
+                             ? static_cast<const StreamCipher*>(&aes)
+                             : &fast);
+    Bucket b = Bucket::empty(p);
+    b.slots[0].addr = 1;
+    b.slots[0].leaf = 2;
+    b.slots[0].data.assign(p.storedBlockBytes(), 0x5c);
+    std::vector<u8> out;
+    for (auto _ : state) {
+        codec.encode(3, b, out, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(p.bucketPhysBytes()));
+    state.SetLabel(real_aes ? "aes-ctr" : "fast-cipher");
+}
+BENCHMARK(BM_BucketEncode)->Arg(0)->Arg(1);
+
+void
+BM_StashEvictPath(benchmark::State& state)
+{
+    const u32 levels = 24, z = 4;
+    Xoshiro256 rng(5);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Stash stash(200, z * (levels + 1));
+        for (Addr a = 1; a <= 150; ++a) {
+            Block blk;
+            blk.addr = a;
+            blk.leaf = rng.below(u64{1} << levels);
+            blk.data.assign(64, 1);
+            stash.insert(std::move(blk));
+        }
+        state.ResumeTiming();
+        auto out = stash.evictPath(rng.below(u64{1} << levels), levels,
+                                   z);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_StashEvictPath);
+
+void
+BM_PlbLookup(benchmark::State& state)
+{
+    Plb plb({64 * 1024, 64, 1});
+    for (Addr a = 0; a < 1024; ++a) {
+        PlbEntry e;
+        e.addr = a;
+        e.leaf = a;
+        plb.insert(std::move(e));
+    }
+    Xoshiro256 rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(plb.lookup(rng.below(2048)));
+    }
+}
+BENCHMARK(BM_PlbLookup);
+
+void
+BM_DramPathBatch(benchmark::State& state)
+{
+    const OramParams p = OramParams::forCapacity(u64{4} << 30, 64, 4);
+    DramModel dram(DramConfig::ddr3(static_cast<u32>(state.range(0))));
+    SubtreeLayout layout(p.levels, p.bucketPhysBytes(),
+                         u64{dram.config().rowBytes} *
+                             dram.config().channels);
+    Xoshiro256 rng(7);
+    const u64 bursts = divCeil(p.bucketPhysBytes(), 64);
+    for (auto _ : state) {
+        std::vector<DramRequest> reqs;
+        const Leaf leaf = rng.below(p.numLeaves());
+        for (const auto& c : layout.path(leaf))
+            for (u64 b = 0; b < bursts; ++b)
+                reqs.push_back({layout.addressOf(c) + b * 64, false});
+        benchmark::DoNotOptimize(dram.accessBatch(reqs));
+    }
+}
+BENCHMARK(BM_DramPathBatch)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_FrontendAccess(benchmark::State& state)
+{
+    UnifiedFrontendConfig c;
+    c.numBlocks = u64{1} << 24; // 1 GB
+    c.format = state.range(0) == 0 ? PosMapFormat::Kind::Leaves
+               : state.range(0) == 1
+                   ? PosMapFormat::Kind::Compressed
+                   : PosMapFormat::Kind::Compressed;
+    c.integrity = state.range(0) == 2;
+    c.plb.capacityBytes = 64 * 1024;
+    c.storage = StorageMode::Null;
+    UnifiedFrontend fe(c, nullptr, nullptr);
+    Xoshiro256 rng(8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fe.access(rng.below(c.numBlocks), false));
+    }
+    state.SetLabel(fe.name());
+}
+BENCHMARK(BM_FrontendAccess)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+} // namespace froram
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table 2 reproduction: ORAM tree (Backend path) latency in processor
+ * cycles by DRAM channel count, for the Table 1 configuration (4 GB
+ * ORAM, 64 B blocks, Z = 4, 1.3 GHz core).
+ *
+ * Paper values: 2147 / 1208 / 697 / 463 cycles for 1 / 2 / 4 / 8
+ * channels; scaling is increasingly sub-linear due to channel conflicts.
+ * The insecure-DRAM single access (~58 cycles) is printed for reference.
+ */
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    const u64 accesses = opts.scaled(600);
+    const double paper[] = {2147, 1208, 697, 463};
+
+    TextTable table({"channels", "oram_tree_latency_cycles",
+                     "paper_cycles", "row_hit_pct", "insecure_cycles"});
+    int row = 0;
+    for (u32 ch : {1u, 2u, 4u, 8u}) {
+        OramSystemConfig cfg;
+        cfg.capacityBytes = u64{4} << 30;
+        cfg.dramChannels = ch;
+        cfg.storage = StorageMode::Null;
+        OramSystem sys(SchemeId::PlbCompressed, cfg);
+
+        Xoshiro256 rng(1);
+        u64 cycles = 0, tree_accesses = 0;
+        for (u64 i = 0; i < accesses; ++i) {
+            const auto r = sys.frontend().access(
+                rng.below(cfg.capacityBytes / 64), false);
+            cycles += r.cycles;
+            tree_accesses += r.backendAccesses;
+        }
+        const auto& ds = sys.dram().stats();
+        const double hits = static_cast<double>(ds.get("rowHits"));
+        const double all = hits + ds.get("rowMisses") +
+                           ds.get("rowConflicts");
+
+        InsecureMemory imem(ch, LatencyModel{});
+        Xoshiro256 rng2(2);
+        u64 icycles = 0;
+        for (int i = 0; i < 2000; ++i)
+            icycles += imem.accessCycles(
+                rng2.below(u64{4} << 30) & ~63ULL, i % 3 == 0);
+
+        table.newRow();
+        table.cell(u64{ch});
+        table.cell(static_cast<double>(cycles) / tree_accesses, 0);
+        table.cell(paper[row++], 0);
+        table.cell(all == 0 ? 0.0 : 100.0 * hits / all, 1);
+        table.cell(static_cast<double>(icycles) / 2000, 1);
+    }
+    bench::emit(opts, table,
+                "Table 2: ORAM access latency by DRAM channel count");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table 3 reproduction: post-synthesis area breakdown of the ORAM
+ * controller by DRAM channel count (32 nm analytic model; see DESIGN.md
+ * substitution #4), plus the Section 7.2.2 post-layout total and the
+ * Section 7.2.3 design variants (no-recursion PosMap, 64 KB PLB).
+ *
+ * Paper values (post-synthesis % of total / total mm^2):
+ *   channels:    1      2      4
+ *   Frontend   31.2   30.0   22.5
+ *     PosMap    7.3    7.0    5.3
+ *     PLB      10.2    9.7    7.3
+ *     PMMAC    12.4   11.9    8.8
+ *   Stash      28.3   28.9   21.9
+ *   AES        40.5   41.1   55.6
+ *   total      .316   .326   .438
+ * Post-layout (2 ch): .47 mm^2 at 1 GHz.
+ */
+#include "area/area_model.hpp"
+#include "bench_common.hpp"
+#include "core/unified_frontend.hpp"
+
+using namespace froram;
+using namespace froram::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = BenchOptions::parse(argc, argv);
+
+    TextTable table({"channels", "posmap_pct", "plb_pct", "pmmac_pct",
+                     "misc_pct", "frontend_pct", "stash_pct", "aes_pct",
+                     "total_mm2", "paper_mm2"});
+    const double paper_total[] = {0.316, 0.326, 0.438};
+    int i = 0;
+    for (u32 ch : {1u, 2u, 4u}) {
+        AreaInputs in;
+        in.channels = ch;
+        const auto a = AreaModel::synthesis(in);
+        const double t = a.total();
+        table.newRow();
+        table.cell(u64{ch});
+        table.cell(100.0 * a.posmap / t, 1);
+        table.cell(100.0 * a.plb / t, 1);
+        table.cell(100.0 * a.pmmac / t, 1);
+        table.cell(100.0 * a.misc / t, 1);
+        table.cell(100.0 * a.frontend() / t, 1);
+        table.cell(100.0 * a.stash / t, 1);
+        table.cell(100.0 * a.aes / t, 1);
+        table.cell(t, 3);
+        table.cell(paper_total[i++], 3);
+    }
+    emit(opts, table, "Table 3: post-synthesis area breakdown (model)");
+
+    AreaInputs two;
+    two.channels = 2;
+    std::cout << "\nPost-layout total (2 channels): "
+              << AreaModel::layout(two).total()
+              << " mm^2  (paper: .47 mm^2)\n";
+
+    // Section 7.2.3 variants.
+    AreaInputs norec = two;
+    norec.onChipPosMapBits = (u64{1} << 20) * 20;
+    std::cout << "No-recursion 2^20-entry PosMap: "
+              << AreaModel::synthesis(norec).posmap
+              << " mm^2 for the PosMap alone (paper: ~5 mm^2, >10x "
+                 "total)\n";
+
+    AreaInputs bigplb;
+    bigplb.channels = 1;
+    bigplb.plbDataBits = 64 * 1024 * 8;
+    bigplb.plbEntries = 1024;
+    AreaInputs smallplb;
+    smallplb.channels = 1;
+    std::cout << "64 KB PLB (1 channel): +"
+              << (AreaModel::synthesis(bigplb).total() /
+                      AreaModel::synthesis(smallplb).total() -
+                  1.0) * 100.0
+              << "% total area  (paper: +29%, PLB = 26% of total)\n";
+
+    // On-chip PosMap bits for the evaluated schemes (context for the
+    // "8 KB PosMap" hardware default).
+    TextTable onchip({"scheme", "capacity_GB", "onchip_posmap_bits",
+                      "KB"});
+    for (u64 gb : {4, 64}) {
+        for (SchemeId id :
+             {SchemeId::Recursive, SchemeId::PlbCompressed,
+              SchemeId::PlbIntegrityCompressed}) {
+            OramSystemConfig cfg;
+            cfg.capacityBytes = gb << 30;
+            cfg.storage = StorageMode::Null;
+            OramSystem sys(id, cfg);
+            onchip.newRow();
+            onchip.cell(sys.frontend().name());
+            onchip.cell(u64{gb});
+            onchip.cell(sys.frontend().onChipPosMapBits());
+            onchip.cell(
+                static_cast<double>(sys.frontend().onChipPosMapBits()) /
+                    8192.0,
+                1);
+        }
+    }
+    emit(opts, onchip, "On-chip PosMap sizes by scheme");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Active-adversary demonstration (Sections 2 and 6): a data center
+ * tampers with DRAM in four different ways; PMMAC detects each attack
+ * the moment tampered state reaches the processor, at 1/68th the hash
+ * bandwidth of a Merkle tree.
+ *
+ *   $ ./integrity_attack_demo
+ */
+#include <iostream>
+
+#include "core/unified_frontend.hpp"
+#include "integrity/adversary.hpp"
+
+using namespace froram;
+
+namespace {
+
+UnifiedFrontend*
+makeOram(AesCtrCipher& cipher)
+{
+    UnifiedFrontendConfig c;
+    c.numBlocks = 8192;
+    c.blockBytes = 64;
+    c.format = PosMapFormat::Kind::Compressed;
+    c.integrity = true;
+    c.plb.capacityBytes = 4 * 1024;
+    c.onChipTargetBytes = 1024;
+    c.storage = StorageMode::Encrypted;
+    return new UnifiedFrontend(c, &cipher, nullptr);
+}
+
+bool
+scanDetects(UnifiedFrontend& fe)
+{
+    try {
+        for (Addr a = 0; a < 2048; ++a)
+            fe.access(a, false);
+    } catch (const IntegrityViolation& e) {
+        std::cout << "    DETECTED: " << e.what() << "\n";
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    AesCtrCipher cipher;
+    int failures = 0;
+
+    std::cout << "Attack 1: flip one bit of a live block's ciphertext\n";
+    {
+        std::unique_ptr<UnifiedFrontend> fe(makeOram(cipher));
+        for (Addr a = 0; a < 2048; ++a)
+            fe->access(a, a % 3 == 0);
+        auto& st =
+            static_cast<EncryptedTreeStorage&>(fe->backend().storage());
+        Adversary adv(&st, fe->backend().params());
+        adv.flipBitInLiveSlotPayload();
+        failures += scanDetects(*fe) ? 0 : 1;
+    }
+
+    std::cout << "Attack 2: replay a stale (once-authentic) bucket\n";
+    {
+        std::unique_ptr<UnifiedFrontend> fe(makeOram(cipher));
+        for (Addr a = 0; a < 2048; ++a)
+            fe->access(a, true);
+        auto& st =
+            static_cast<EncryptedTreeStorage&>(fe->backend().storage());
+        Adversary adv(&st, fe->backend().params());
+        // Snapshot the top of the tree, let the system evolve, then
+        // roll those buckets back wholesale.
+        std::vector<std::pair<u64, std::vector<u8>>> stale;
+        for (u64 id = 0; id < 31; ++id)
+            if (st.hasImage(id))
+                stale.emplace_back(id, adv.snapshot(id));
+        for (Addr a = 0; a < 2048; ++a)
+            fe->access(a, true); // counters advance
+        for (auto& [id, img] : stale)
+            adv.replay(id, std::move(img));
+        failures += scanDetects(*fe) ? 0 : 1;
+    }
+
+    std::cout << "Attack 3: suppress blocks (zero out written buckets)\n";
+    {
+        std::unique_ptr<UnifiedFrontend> fe(makeOram(cipher));
+        for (Addr a = 0; a < 1024; ++a)
+            fe->access(a, true);
+        auto& st =
+            static_cast<EncryptedTreeStorage&>(fe->backend().storage());
+        const auto& p = fe->backend().params();
+        for (u64 id = 0; id < p.numBuckets(); ++id) {
+            if (st.hasImage(id))
+                st.replaceImage(
+                    id, std::vector<u8>(p.bucketPhysBytes(), 0));
+        }
+        failures += scanDetects(*fe) ? 0 : 1;
+    }
+
+    std::cout << "Attack 4: rewind a bucket's encryption seed\n"
+              << "  (defeated by the Section 6.4 GlobalSeed fix: the\n"
+              << "   rewound bucket decrypts to garbage, which PMMAC\n"
+              << "   flags; re-encryption still uses a fresh pad)\n";
+    {
+        std::unique_ptr<UnifiedFrontend> fe(makeOram(cipher));
+        for (Addr a = 0; a < 2048; ++a)
+            fe->access(a, true);
+        auto& st =
+            static_cast<EncryptedTreeStorage&>(fe->backend().storage());
+        Adversary adv(&st, fe->backend().params());
+        // Rewind the seed of a bucket that actually holds live blocks
+        // (rewinding a dummy-only bucket provably affects nothing).
+        const auto& p = fe->backend().params();
+        for (u64 id = 0; id < p.numBuckets(); ++id) {
+            if (st.hasImage(id) && st.readBucket(id).occupancy() > 0) {
+                adv.rewindSeed(id);
+                break;
+            }
+        }
+        failures += scanDetects(*fe) ? 0 : 1;
+    }
+
+    std::cout << "\nHash-bandwidth note: each detection above cost one\n"
+              << "SHA3 per ORAM access (the block of interest); a Merkle\n"
+              << "tree would hash Z*(L+1) = 4*(L+1) blocks per access\n"
+              << "(68x more at L=16; Section 6.3).\n";
+
+    std::cout << (failures == 0 ? "\nAll attacks detected.\n"
+                                : "\nSOME ATTACKS MISSED!\n");
+    return failures;
+}

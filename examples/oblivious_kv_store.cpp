@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Oblivious key-value store: the cloud-outsourcing scenario from the
+ * paper's introduction. A client keeps an encrypted, integrity-verified
+ * KV store in untrusted memory; the ORAM controller guarantees the
+ * server learns nothing from the access pattern -- lookups of a hot key
+ * are indistinguishable from uniform scans.
+ *
+ *   $ ./oblivious_kv_store
+ */
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/oram_system.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+namespace {
+
+/**
+ * A fixed-capacity open-addressed hash table stored in ORAM blocks.
+ * Each 64 B block holds one record: 16-byte key, 40-byte value, 8-byte
+ * tag. All probing happens through the oblivious frontend, so slot
+ * positions never leak.
+ */
+class ObliviousKvStore {
+  public:
+    explicit ObliviousKvStore(Frontend& oram, u64 num_slots)
+        : oram_(oram), slots_(num_slots)
+    {
+    }
+
+    void
+    put(const std::string& key, const std::string& value)
+    {
+        for (u64 probe = 0; probe < 32; ++probe) {
+            const Addr slot = slotOf(key, probe);
+            auto r = oram_.access(slot, false);
+            if (r.data[0] == 0 || keyMatches(r.data, key)) {
+                std::vector<u8> rec(64, 0);
+                rec[0] = 1;
+                for (size_t i = 0; i < 15 && i < key.size(); ++i)
+                    rec[1 + i] = static_cast<u8>(key[i]);
+                for (size_t i = 0; i < 40 && i < value.size(); ++i)
+                    rec[16 + i] = static_cast<u8>(value[i]);
+                oram_.access(slot, true, &rec);
+                return;
+            }
+        }
+        fatal("kv store full along probe chain");
+    }
+
+    std::string
+    get(const std::string& key)
+    {
+        for (u64 probe = 0; probe < 32; ++probe) {
+            const Addr slot = slotOf(key, probe);
+            const auto r = oram_.access(slot, false);
+            if (r.data[0] == 0)
+                return {};
+            if (keyMatches(r.data, key)) {
+                std::string v;
+                for (size_t i = 16; i < 56 && r.data[i]; ++i)
+                    v += static_cast<char>(r.data[i]);
+                return v;
+            }
+        }
+        return {};
+    }
+
+  private:
+    Addr
+    slotOf(const std::string& key, u64 probe) const
+    {
+        u64 h = 1469598103934665603ULL;
+        for (char c : key)
+            h = (h ^ static_cast<u8>(c)) * 1099511628211ULL;
+        return (h + probe) % slots_;
+    }
+
+    static bool
+    keyMatches(const std::vector<u8>& rec, const std::string& key)
+    {
+        for (size_t i = 0; i < 15; ++i) {
+            const u8 expect =
+                i < key.size() ? static_cast<u8>(key[i]) : 0;
+            if (rec[1 + i] != expect)
+                return false;
+        }
+        return true;
+    }
+
+    Frontend& oram_;
+    u64 slots_;
+};
+
+} // namespace
+
+int
+main()
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = u64{16} << 20; // 16 MB store
+    cfg.storage = StorageMode::Encrypted;
+    cfg.realAes = true;
+    cfg.collectTrace = true;
+    OramSystem sys(SchemeId::PlbIntegrityCompressed, cfg);
+    ObliviousKvStore kv(sys.frontend(), cfg.capacityBytes / 64);
+
+    std::cout << "Populating the store...\n";
+    for (int i = 0; i < 200; ++i)
+        kv.put("user:" + std::to_string(i),
+               "profile-data-" + std::to_string(i * 7));
+
+    // Workload A: hammer one hot key. Workload B: uniform lookups.
+    auto observe = [&](auto&& work) {
+        sys.clearTrace();
+        work();
+        Histogram h(32);
+        const u64 leaves =
+            static_cast<UnifiedFrontend&>(sys.frontend())
+                .backend()
+                .params()
+                .numLeaves();
+        for (const auto& e : sys.trace())
+            if (e.kind == TraceEvent::Kind::PathRead)
+                h.add(e.leaf * 32 / leaves);
+        return h;
+    };
+
+    Xoshiro256 rng(3);
+    const Histogram hot = observe([&] {
+        for (int i = 0; i < 300; ++i)
+            kv.get("user:42");
+    });
+    const Histogram uniform = observe([&] {
+        for (int i = 0; i < 300; ++i)
+            kv.get("user:" + std::to_string(rng.below(200)));
+    });
+
+    std::cout << "Spot checks: user:42 -> '" << kv.get("user:42")
+              << "', user:199 -> '" << kv.get("user:199") << "'\n\n";
+
+    const double chi2 = hot.chiSquareTwoSample(uniform);
+    const double crit = chiSquareCritical(31, 0.001);
+    std::cout << "Adversary's view (path-access histograms over "
+              << hot.total() << "+" << uniform.total() << " accesses):\n"
+              << "  hot-key workload vs uniform workload chi^2 = "
+              << chi2 << " (threshold " << crit << ")\n"
+              << "  => the two workloads are "
+              << (chi2 < crit ? "statistically indistinguishable"
+                              : "DISTINGUISHABLE (bug!)")
+              << "\n\nEvery record is also MAC-verified on read "
+              << "(PMMAC), so the server\ncan neither observe nor "
+              << "undetectably modify the store.\n";
+    return chi2 < crit ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * PLB locality explorer: how program locality turns into PLB hits and
+ * bandwidth savings (the mechanism behind Figures 5-7).
+ *
+ * Sweeps the working-set size of a scanning workload over a 1 GB
+ * PC_X32 ORAM and reports PLB hit rate, average tree accesses per
+ * request (the "page-table-walk depth"), and KB moved per request.
+ *
+ *   $ ./plb_locality_explorer
+ */
+#include <iomanip>
+#include <iostream>
+
+#include "core/oram_system.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace froram;
+
+int
+main()
+{
+    std::cout
+        << "PC_X32 over a 1 GB ORAM, 64 KB direct-mapped PLB.\n"
+        << "Each PosMap block covers X=32 consecutive data blocks\n"
+        << "(2 KB); the PLB holds 1024 of them (2 MB of coverage at\n"
+        << "the first PosMap level).\n\n";
+
+    TextTable table({"working_set", "plb_hit_pct", "tree_accesses_per_req",
+                     "KB_per_req", "posmap_KB_per_req"});
+    for (u64 ws_kb : {256, 1024, 2048, 8192, 65536, 262144}) {
+        OramSystemConfig cfg;
+        cfg.capacityBytes = u64{1} << 30;
+        cfg.plbBytes = 64 * 1024;
+        cfg.storage = StorageMode::Null;
+        OramSystem sys(SchemeId::PlbCompressed, cfg);
+        auto& fe = static_cast<UnifiedFrontend&>(sys.frontend());
+
+        const u64 ws_blocks = ws_kb * 1024 / 64;
+        Xoshiro256 rng(1);
+        // Warm, then measure: random accesses within the working set.
+        for (int i = 0; i < 30000; ++i)
+            fe.access(rng.below(ws_blocks), false);
+        const u64 h0 = fe.plb().stats().get("hits");
+        const u64 m0 = fe.plb().stats().get("misses");
+        const u64 b0 = fe.stats().get("backendAccesses");
+        const u64 by0 = fe.stats().get("bytesMoved");
+        const u64 pby0 = fe.stats().get("posmapBytes");
+        const int reqs = 30000;
+        for (int i = 0; i < reqs; ++i)
+            fe.access(rng.below(ws_blocks), false);
+        const double hits =
+            static_cast<double>(fe.plb().stats().get("hits") - h0);
+        const double misses =
+            static_cast<double>(fe.plb().stats().get("misses") - m0);
+
+        table.newRow();
+        table.cell(std::to_string(ws_kb) + "KB");
+        table.cell(100.0 * hits / (hits + misses), 1);
+        table.cell(static_cast<double>(
+                       fe.stats().get("backendAccesses") - b0) /
+                       reqs,
+                   3);
+        table.cell(static_cast<double>(fe.stats().get("bytesMoved") -
+                                       by0) /
+                       reqs / 1024.0,
+                   1);
+        table.cell(static_cast<double>(fe.stats().get("posmapBytes") -
+                                       pby0) /
+                       reqs / 1024.0,
+                   1);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading the table: while the working set fits the\n"
+              << "PLB's coverage, a request costs ~1 tree access (the\n"
+              << "data block itself). As locality degrades, the walk\n"
+              << "deepens toward the full Recursive ORAM cost -- the\n"
+              << "overhead the PLB exists to remove.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Anatomy of a Recursive ORAM access: the paper's core observation is
+ * that Recursive ORAM is a multi-level page table (Section 3.2). This
+ * example dissects one access end to end: the address chain a_i =
+ * a_0 / X^i, the unified addresses, what the PLB held, which blocks
+ * were fetched, and the adversary's view of the same access.
+ *
+ *   $ ./recursion_anatomy [address]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/oram_system.hpp"
+
+using namespace froram;
+
+int
+main(int argc, char** argv)
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = u64{1} << 30; // 1 GB
+    cfg.plbBytes = 8 * 1024;
+    cfg.storage = StorageMode::Meta;
+    cfg.collectTrace = true;
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+    auto& fe = static_cast<UnifiedFrontend&>(sys.frontend());
+    const auto& geo = fe.geometry();
+
+    const Addr a0 = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
+                             : 0x123456;
+
+    std::cout << "ORAM: " << fe.name() << ", N = 2^"
+              << log2Ceil(geo.levelBlocks[0]) << " data blocks, X = "
+              << geo.x << ", H = " << geo.h << " ORAMs unified into one "
+              << "tree of 2^" << fe.backend().params().levels
+              << " leaves\n\n";
+
+    std::cout << "Page-table analogy for data address a0 = " << a0
+              << ":\n";
+    for (u32 i = 0; i < geo.h; ++i) {
+        std::cout << "  level " << i << ": a_" << i << " = a0/X^" << i
+                  << " = " << geo.levelAddr(i, a0) << "  (unified addr "
+                  << geo.unifiedAddr(i, a0) << ", "
+                  << (i == 0 ? "the data block"
+                             : i == geo.h - 1
+                                   ? "leaf held by on-chip PosMap"
+                                   : "PosMap block")
+                  << ")\n";
+    }
+
+    auto narrate = [&](const char* label) {
+        sys.clearTrace();
+        const auto r = fe.access(a0, false);
+        std::cout << "\n" << label << ":\n  " << r.backendAccesses
+                  << " tree accesses, " << r.bytesMoved / 1024
+                  << " KB moved (" << r.posmapBytes / 1024
+                  << " KB PosMap)\n  adversary saw: ";
+        for (const auto& e : sys.trace()) {
+            if (e.kind == TraceEvent::Kind::PathRead)
+                std::cout << "R(leaf " << e.leaf << ") ";
+            else
+                std::cout << "W ";
+        }
+        std::cout << "\n";
+    };
+
+    narrate("Access 1 (cold: full page-table walk)");
+    narrate("Access 2 (PosMap blocks now in the PLB)");
+
+    std::cout << "\nNote: every path leaf above is freshly random; two"
+              << "\naccesses to the SAME address are indistinguishable"
+              << "\nfrom accesses to different addresses (Section 3.1.2)."
+              << "\nOnly the number of tree accesses varies -- and with"
+              << "\nthe unified tree that is all the adversary learns"
+              << "\n(Section 4.3).\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+#include "area/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace froram {
+namespace {
+
+// Calibration constants (32 nm, post-synthesis). Derived once from the
+// published nchannel = 2 column of Table 3; see header comment.
+constexpr double kSmallSramUm2PerBit = 0.351; // register files <= 128 Kb
+constexpr double kLargeSramUm2PerBit = 0.205; // SRAM macros >= 512 Kb
+constexpr double kPlbPortFactor = 1.30;  // PLB arrays are multi-ported
+constexpr double kStashPortFactor = 1.47;
+constexpr double kStashWidthPerChannel = 0.013; // datapath widening
+constexpr double kSha3CoreMm2 = 0.0359;
+constexpr double kPmmacControlMm2 = 0.0030;
+constexpr double kMiscFrontendMm2 = 0.0045;
+constexpr double kAesOverheadMm2 = 0.018;
+constexpr double kAesUnitMm2 = 0.110;   // one 21-stage AES-128 pipeline
+constexpr double kAesDatapathMm2 = 0.004; // per extra channel
+// Post-layout growth factors (Section 7.2.2).
+constexpr double kLayoutFrontend = 1.38;
+constexpr double kLayoutStash = 1.24;
+constexpr double kLayoutAes = 1.63;
+
+} // namespace
+
+namespace {
+
+/** 0 at/below 2^17 bits, 1 at/above 2^19, linear in log2 between. */
+double
+sizeTier(u64 bits)
+{
+    const double lg = std::log2(static_cast<double>(std::max<u64>(bits,
+                                                                  1)));
+    if (lg <= 17.0)
+        return 0.0;
+    if (lg >= 19.0)
+        return 1.0;
+    return (lg - 17.0) / 2.0;
+}
+
+} // namespace
+
+double
+AreaModel::sramMm2(u64 bits)
+{
+    if (bits == 0)
+        return 0.0;
+    // Density tiers: small register files pay more periphery per bit
+    // than megabit SRAM macros.
+    const double t = sizeTier(bits);
+    const double um2_per_bit =
+        kSmallSramUm2PerBit + t * (kLargeSramUm2PerBit -
+                                   kSmallSramUm2PerBit);
+    return static_cast<double>(bits) * um2_per_bit * 1e-6;
+}
+
+AreaBreakdown
+AreaModel::synthesis(const AreaInputs& in)
+{
+    AreaBreakdown a;
+    a.posmap = sramMm2(in.onChipPosMapBits);
+
+    // PLB: data array plus a tag array (~40 bits of tag/state per
+    // entry). Small PLBs are multi-ported register files; large ones are
+    // single-port SRAM macros, so the port overhead fades with size.
+    const u64 tag_bits = in.plbEntries * 40;
+    const double port =
+        kPlbPortFactor + sizeTier(in.plbDataBits) * (1.0 - kPlbPortFactor);
+    a.plb = (sramMm2(in.plbDataBits) + sramMm2(tag_bits)) * port;
+
+    a.pmmac = in.integrity ? kSha3CoreMm2 + kPmmacControlMm2 : 0.0;
+    a.misc = kMiscFrontendMm2;
+
+    // Stash: data + path buffers + ~19% tag/valid overhead, multi-ported,
+    // with a datapath that widens with channel count.
+    const u64 stash_bits = in.stashDataBits + in.pathBufferBits;
+    const double width =
+        1.0 + kStashWidthPerChannel * (in.channels > 0 ? in.channels - 1
+                                                        : 0);
+    a.stash = sramMm2(stash_bits + stash_bits / 5) * kStashPortFactor *
+              width;
+
+    // AES: pipelined units sized to rate-match DRAM. A 128-bit AES unit
+    // covers two 64-bit DDR channels (footnote 5 of the paper).
+    const u32 units = std::max<u32>(1, (in.channels + 1) / 2);
+    a.aes = kAesOverheadMm2 + kAesUnitMm2 * units +
+            kAesDatapathMm2 * (in.channels > 0 ? in.channels - 1 : 0);
+    return a;
+}
+
+AreaBreakdown
+AreaModel::layout(const AreaInputs& in)
+{
+    AreaBreakdown a = synthesis(in);
+    a.posmap *= kLayoutFrontend;
+    a.plb *= kLayoutFrontend;
+    a.pmmac *= kLayoutFrontend;
+    a.misc *= kLayoutFrontend;
+    a.stash *= kLayoutStash;
+    a.aes *= kLayoutAes;
+    return a;
+}
+
+} // namespace froram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytic silicon-area model for the ORAM controller (Table 3 and
+ * Section 7.2.3 substitution -- see DESIGN.md #4).
+ *
+ * No ASIC flow is available offline, so this model reproduces the
+ * paper's post-synthesis area story from first principles: SRAM/RF macro
+ * area as a function of bit count (with density tiers: small register
+ * files pay more periphery per bit than megabit SRAMs) plus fixed logic
+ * blocks for AES, SHA3 and control. The constants are calibrated once
+ * against the published nchannel = 2 column of Table 3; the model then
+ * *predicts* the other channel counts and the design variants of Section
+ * 7.2.3 (no-recursion ~5 mm^2 PosMap, 64 KB PLB +29%/1ch), which the
+ * bench and tests check.
+ */
+#ifndef FRORAM_AREA_AREA_MODEL_HPP
+#define FRORAM_AREA_AREA_MODEL_HPP
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Per-block area breakdown in mm^2 (32 nm process). */
+struct AreaBreakdown {
+    double posmap = 0; ///< on-chip PosMap SRAM
+    double plb = 0;    ///< PLB data + tag arrays
+    double pmmac = 0;  ///< SHA3 core + integrity control
+    double misc = 0;   ///< remaining frontend control
+    double stash = 0;  ///< stash data/tag + path buffers
+    double aes = 0;    ///< bucket (de/en)cryption units
+
+    double frontend() const { return posmap + plb + pmmac + misc; }
+    double backend() const { return stash + aes; }
+    double total() const { return frontend() + backend(); }
+};
+
+/** Design parameters the area depends on. */
+struct AreaInputs {
+    u32 channels = 2;
+    u64 onChipPosMapBits = 8 * 1024 * 8; ///< 8 KB default (Section 7.2.1)
+    u64 plbDataBits = 8 * 1024 * 8;      ///< 8 KB default
+    u64 plbEntries = 128;                ///< for tag array sizing
+    bool integrity = true;               ///< PMMAC present
+    u64 stashDataBits = 200 * 512;       ///< 200 blocks of 512 bits
+    u64 pathBufferBits = 100 * 512;      ///< Z*(L+1) in-flight blocks
+};
+
+/** Calibrated 32 nm area model. */
+class AreaModel {
+  public:
+    /** mm^2 of an SRAM/RF macro holding `bits`, density-tiered. */
+    static double sramMm2(u64 bits);
+
+    /** Post-synthesis breakdown (Table 3). */
+    static AreaBreakdown synthesis(const AreaInputs& in);
+
+    /** Post-layout breakdown (Section 7.2.2 growth factors). */
+    static AreaBreakdown layout(const AreaInputs& in);
+};
+
+} // namespace froram
+
+#endif // FRORAM_AREA_AREA_MODEL_HPP

@@ -1,0 +1,100 @@
+#include "cachesim/cache.hpp"
+
+namespace froram {
+
+SetAssocCache::SetAssocCache(const CacheConfig& config, std::string name)
+    : cfg_(config), stats_(std::move(name))
+{
+    if (cfg_.ways == 0 || cfg_.lineBytes == 0)
+        fatal("bad cache geometry");
+    const u64 lines = cfg_.capacityBytes / cfg_.lineBytes;
+    if (lines < cfg_.ways)
+        fatal("cache smaller than one set");
+    sets_ = lines / cfg_.ways;
+    lines_.resize(sets_ * cfg_.ways);
+}
+
+CacheAccess
+SetAssocCache::access(u64 byte_addr, bool is_write)
+{
+    const u64 line_addr = lineAddrOf(byte_addr);
+    Line* base = &lines_[(line_addr % sets_) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            base[w].lastUse = ++clock_;
+            base[w].dirty |= is_write;
+            stats_.inc("hits");
+            CacheAccess r;
+            r.hit = true;
+            return r;
+        }
+    }
+    stats_.inc("misses");
+    return allocate(line_addr, is_write);
+}
+
+CacheAccess
+SetAssocCache::install(u64 line_addr, bool dirty)
+{
+    Line* base = &lines_[(line_addr % sets_) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            base[w].dirty |= dirty;
+            base[w].lastUse = ++clock_;
+            CacheAccess r;
+            r.hit = true;
+            return r;
+        }
+    }
+    return allocate(line_addr, dirty);
+}
+
+CacheAccess
+SetAssocCache::allocate(u64 line_addr, bool dirty)
+{
+    Line* base = &lines_[(line_addr % sets_) * cfg_.ways];
+    Line* victim = &base[0];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    CacheAccess r;
+    if (victim->valid) {
+        r.evictedValid = true;
+        r.evictedDirty = victim->dirty;
+        r.evictedLineAddr = victim->lineAddr;
+        stats_.inc("evictions");
+        if (victim->dirty)
+            stats_.inc("dirtyEvictions");
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lineAddr = line_addr;
+    victim->lastUse = ++clock_;
+    return r;
+}
+
+bool
+SetAssocCache::probe(u64 byte_addr) const
+{
+    const u64 line_addr = lineAddrOf(byte_addr);
+    const Line* base = &lines_[(line_addr % sets_) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto& l : lines_)
+        l = Line{};
+}
+
+} // namespace froram

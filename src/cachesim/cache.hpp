@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative write-back cache model (L1/L2 of Table 1).
+ */
+#ifndef FRORAM_CACHESIM_CACHE_HPP
+#define FRORAM_CACHESIM_CACHE_HPP
+
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+#include "util/stats.hpp"
+
+namespace froram {
+
+/** Geometry of one cache level. */
+struct CacheConfig {
+    u64 capacityBytes = 32 * 1024;
+    u32 ways = 4;
+    u64 lineBytes = 64;
+};
+
+/** Outcome of one cache access. */
+struct CacheAccess {
+    bool hit = false;
+    bool evictedValid = false; ///< a line was evicted to make room
+    bool evictedDirty = false; ///< ... and it needs writeback
+    u64 evictedLineAddr = 0;   ///< line address of the victim
+};
+
+/** LRU set-associative write-back cache, addressed by byte address. */
+class SetAssocCache {
+  public:
+    explicit SetAssocCache(const CacheConfig& config,
+                           std::string name = "cache");
+
+    /**
+     * Access the line containing `byte_addr`; allocate on miss.
+     * @param is_write marks the line dirty
+     */
+    CacheAccess access(u64 byte_addr, bool is_write);
+
+    /**
+     * Install a line without a demand access (used for L1 victims being
+     * installed into L2). Returns eviction info like access().
+     */
+    CacheAccess install(u64 line_addr, bool dirty);
+
+    /** True if the line is present (no LRU update). */
+    bool probe(u64 byte_addr) const;
+
+    /** Invalidate everything (between benchmark runs). */
+    void clear();
+
+    u64 lineBytes() const { return cfg_.lineBytes; }
+    u64 lineAddrOf(u64 byte_addr) const { return byte_addr / cfg_.lineBytes; }
+    const StatSet& stats() const { return stats_; }
+    StatSet& stats() { return stats_; }
+
+  private:
+    struct Line {
+        bool valid = false;
+        bool dirty = false;
+        u64 lineAddr = 0;
+        u64 lastUse = 0;
+    };
+
+    CacheAccess allocate(u64 line_addr, bool dirty);
+
+    CacheConfig cfg_;
+    u64 sets_;
+    std::vector<Line> lines_; // sets_ x ways_
+    u64 clock_ = 0;
+    StatSet stats_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CACHESIM_CACHE_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-order single-issue core model (Table 1). Non-memory instructions
+ * retire one per cycle; loads/stores stall for the hierarchy latency.
+ * This matches the paper's Graphite core configuration at the fidelity
+ * the ORAM evaluation depends on: total runtime = compute cycles +
+ * serialized memory stall cycles.
+ */
+#ifndef FRORAM_CACHESIM_CORE_MODEL_HPP
+#define FRORAM_CACHESIM_CORE_MODEL_HPP
+
+#include "cachesim/hierarchy.hpp"
+#include "workload/workload.hpp"
+
+namespace froram {
+
+/** Aggregate outcome of one core run. */
+struct CoreRunResult {
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 memRefs = 0;
+    u64 llcMisses = 0;
+
+    double
+    cyclesPerInstruction() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(cycles) / instructions;
+    }
+};
+
+/** Single-issue in-order core driving a MemoryHierarchy. */
+class InOrderCore {
+  public:
+    explicit InOrderCore(MemoryHierarchy* hierarchy)
+        : hierarchy_(hierarchy)
+    {
+    }
+
+    /**
+     * Execute the workload until `num_mem_refs` memory references have
+     * been issued (after an optional warmup that is excluded from the
+     * returned counters).
+     */
+    CoreRunResult
+    run(WorkloadGen& gen, u64 num_mem_refs, u64 warmup_refs = 0)
+    {
+        const u64 miss0 = hierarchy_->stats().get("memReads");
+        for (u64 i = 0; i < warmup_refs; ++i) {
+            const MemRef ref = gen.next();
+            hierarchy_->access(ref.addr, ref.isWrite);
+        }
+        CoreRunResult r;
+        const u64 miss_start = hierarchy_->stats().get("memReads") - miss0;
+        for (u64 i = 0; i < num_mem_refs; ++i) {
+            const MemRef ref = gen.next();
+            r.cycles += ref.gap; // non-memory instructions, 1 IPC
+            r.instructions += ref.gap + 1;
+            r.cycles += hierarchy_->access(ref.addr, ref.isWrite);
+            r.memRefs += 1;
+        }
+        r.llcMisses = hierarchy_->stats().get("memReads") - miss0 -
+                      miss_start;
+        return r;
+    }
+
+  private:
+    MemoryHierarchy* hierarchy_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CACHESIM_CORE_MODEL_HPP

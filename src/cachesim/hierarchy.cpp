@@ -1,0 +1,61 @@
+#include "cachesim/hierarchy.hpp"
+
+namespace froram {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config,
+                                 MainMemory* memory)
+    : cfg_(config), l1_(config.l1, "l1"), l2_(config.l2, "l2"),
+      memory_(memory), stats_("hier")
+{
+    FRORAM_ASSERT(memory_ != nullptr, "hierarchy needs a memory backend");
+    FRORAM_ASSERT(cfg_.l1.lineBytes == cfg_.l2.lineBytes,
+                  "L1/L2 line sizes must match");
+}
+
+u64
+MemoryHierarchy::access(u64 byte_addr, bool is_write)
+{
+    u64 cycles = cfg_.l1Cycles;
+    const CacheAccess a1 = l1_.access(byte_addr, is_write);
+    if (a1.hit)
+        return cycles;
+
+    // L1 victim goes to L2 (exclusive-ish writeback; clean victims are
+    // dropped, which is conservative and scheme-independent).
+    if (a1.evictedValid && a1.evictedDirty) {
+        const CacheAccess spill = l2_.install(a1.evictedLineAddr, true);
+        if (spill.evictedValid && spill.evictedDirty) {
+            cycles += memory_->lineAccessCycles(
+                spill.evictedLineAddr, l2_.lineBytes(), /*is_write=*/true);
+            stats_.inc("memWrites");
+        }
+    }
+
+    cycles += cfg_.l2Cycles;
+    const CacheAccess a2 = l2_.access(byte_addr, is_write);
+    if (a2.hit)
+        return cycles;
+
+    // LLC miss: fill from main memory.
+    cycles += memory_->lineAccessCycles(l2_.lineAddrOf(byte_addr),
+                                        l2_.lineBytes(), /*is_write=*/false);
+    stats_.inc("memReads");
+
+    // LLC victim writeback.
+    if (a2.evictedValid && a2.evictedDirty) {
+        cycles += memory_->lineAccessCycles(a2.evictedLineAddr,
+                                            l2_.lineBytes(),
+                                            /*is_write=*/true);
+        stats_.inc("memWrites");
+    }
+    return cycles;
+}
+
+void
+MemoryHierarchy::clear()
+{
+    l1_.clear();
+    l2_.clear();
+}
+
+} // namespace froram

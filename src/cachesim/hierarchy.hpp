@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Two-level cache hierarchy in front of a main-memory backend (either an
+ * ORAM Frontend or the insecure DRAM path). Geometry and latencies follow
+ * Table 1: 32 KB 4-way L1 (1+1 cycles), 1 MB 16-way L2 (8+3 cycles),
+ * 64 B lines. LLC misses and dirty LLC evictions become main-memory
+ * accesses, exactly the events the ORAM controller services.
+ */
+#ifndef FRORAM_CACHESIM_HIERARCHY_HPP
+#define FRORAM_CACHESIM_HIERARCHY_HPP
+
+#include <memory>
+
+#include "cachesim/cache.hpp"
+#include "core/frontend.hpp"
+#include "core/oram_system.hpp"
+
+namespace froram {
+
+/** Anything that can service an LLC miss (ORAM or plain DRAM). */
+class MainMemory {
+  public:
+    virtual ~MainMemory() = default;
+
+    /** Latency (processor cycles) to service one cache-line request. */
+    virtual u64 lineAccessCycles(u64 line_addr, u64 line_bytes,
+                                 bool is_write) = 0;
+};
+
+/** ORAM-backed main memory: lines map onto ORAM data blocks. */
+class OramMainMemory : public MainMemory {
+  public:
+    explicit OramMainMemory(Frontend* frontend) : frontend_(frontend) {}
+
+    u64
+    lineAccessCycles(u64 line_addr, u64 line_bytes, bool is_write) override
+    {
+        const u64 block_bytes = frontend_->dataBlockBytes();
+        // Map the line to the ORAM block containing it (block size may
+        // exceed the line size, e.g. Phantom's 4 KB blocks).
+        const u64 block = line_addr * line_bytes / block_bytes;
+        return frontend_->access(block, is_write).cycles;
+    }
+
+  private:
+    Frontend* frontend_;
+};
+
+/** Insecure DRAM-backed main memory. */
+class PlainMainMemory : public MainMemory {
+  public:
+    explicit PlainMainMemory(InsecureMemory* mem) : mem_(mem) {}
+
+    u64
+    lineAccessCycles(u64 line_addr, u64 line_bytes, bool is_write) override
+    {
+        return mem_->accessCycles(line_addr * line_bytes, is_write);
+    }
+
+  private:
+    InsecureMemory* mem_;
+};
+
+/** Latency knobs for the cache levels (Table 1). */
+struct HierarchyConfig {
+    CacheConfig l1{32 * 1024, 4, 64};
+    CacheConfig l2{1024 * 1024, 16, 64};
+    u32 l1Cycles = 2;  ///< data + tag
+    u32 l2Cycles = 11; ///< data + tag
+};
+
+/** L1 + L2 + main memory, with write-back eviction traffic. */
+class MemoryHierarchy {
+  public:
+    MemoryHierarchy(const HierarchyConfig& config, MainMemory* memory);
+
+    /** Latency in cycles of a load/store to `byte_addr`. */
+    u64 access(u64 byte_addr, bool is_write);
+
+    /** Drop all cached state (between benchmark configurations). */
+    void clear();
+
+    const SetAssocCache& l1() const { return l1_; }
+    const SetAssocCache& l2() const { return l2_; }
+    const StatSet& stats() const { return stats_; }
+
+  private:
+    HierarchyConfig cfg_;
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    MainMemory* memory_;
+    StatSet stats_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CACHESIM_HIERARCHY_HPP

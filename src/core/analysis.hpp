@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Closed-form bandwidth analysis of Recursive ORAM (Figure 3 and the
+ * asymptotic discussion of Section 3.2.1). Every quantity here is derived
+ * from the same OramParams/RecursionGeometry the simulator uses, so the
+ * analytic and simulated numbers are mutually consistent.
+ */
+#ifndef FRORAM_CORE_ANALYSIS_HPP
+#define FRORAM_CORE_ANALYSIS_HPP
+
+#include <vector>
+
+#include "core/recursion.hpp"
+#include "oram/params.hpp"
+
+namespace froram {
+
+/** Byte breakdown of one full Recursive ORAM access. */
+struct RecursionBandwidth {
+    u32 h = 1;                     ///< ORAM count (incl. Data ORAM)
+    std::vector<u64> treeBytes;    ///< read+write bytes per tree, [0]=data
+    u64 dataBytes = 0;             ///< Data ORAM bytes
+    u64 posmapBytes = 0;           ///< all PosMap ORAMs combined
+    u64 onChipPosMapBits = 0;
+
+    u64 totalBytes() const { return dataBytes + posmapBytes; }
+
+    /** Fraction of bytes spent on PosMap ORAM lookups (Figure 3 y-axis). */
+    double
+    posmapFraction() const
+    {
+        const u64 t = totalBytes();
+        return t == 0 ? 0.0
+                      : static_cast<double>(posmapBytes) /
+                            static_cast<double>(t);
+    }
+};
+
+/**
+ * Analyze a Recursive ORAM configuration.
+ *
+ * @param capacity_bytes Data ORAM capacity
+ * @param data_block_bytes Data ORAM block size
+ * @param posmap_block_bytes PosMap ORAM block size (X = blocks/4 leaves)
+ * @param z bucket slots
+ * @param onchip_target_bytes recurse until the on-chip PosMap fits this
+ */
+inline RecursionBandwidth
+analyzeRecursiveBandwidth(u64 capacity_bytes, u64 data_block_bytes,
+                          u64 posmap_block_bytes, u32 z,
+                          u64 onchip_target_bytes)
+{
+    RecursionBandwidth out;
+    const u64 n = capacity_bytes / data_block_bytes;
+    const u32 x = static_cast<u32>(
+        u64{1} << log2Floor(std::max<u64>(posmap_block_bytes / 4, 2)));
+
+    // Build the level sizes with the same stop rule as the simulator:
+    // stop when the on-chip PosMap (entries x that tree's leaf width)
+    // fits the target.
+    std::vector<u64> levels{n};
+    auto leaf_bits = [&](u64 blocks) {
+        const u32 lg_n = log2Ceil(std::max<u64>(blocks, 2));
+        const u32 lg_z = log2Floor(z);
+        return lg_n > lg_z ? lg_n - lg_z : 1;
+    };
+    while (levels.back() * leaf_bits(levels.back()) >
+           onchip_target_bytes * 8) {
+        levels.push_back(divCeil(levels.back(), x));
+    }
+    out.h = static_cast<u32>(levels.size());
+    out.onChipPosMapBits = levels.back() * leaf_bits(levels.back());
+
+    for (u32 i = 0; i < out.h; ++i) {
+        OramParams p;
+        p.numBlocks = levels[i];
+        p.blockBytes = i == 0 ? data_block_bytes : posmap_block_bytes;
+        p.z = z;
+        p.levels = leaf_bits(levels[i]);
+        const u64 bytes = 2 * p.pathBytes(); // path read + path write
+        out.treeBytes.push_back(bytes);
+        if (i == 0)
+            out.dataBytes += bytes;
+        else
+            out.posmapBytes += bytes;
+    }
+    return out;
+}
+
+} // namespace froram
+
+#endif // FRORAM_CORE_ANALYSIS_HPP

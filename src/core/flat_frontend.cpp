@@ -1,0 +1,180 @@
+#include "core/flat_frontend.hpp"
+
+namespace froram {
+
+FlatFrontend::FlatFrontend(const FlatFrontendConfig& config,
+                           const StreamCipher* cipher, DramModel* dram,
+                           TraceSink trace)
+    : config_(config), rng_(config.rngSeed), stats_("frontend")
+{
+    if (config_.numBlocks == 0)
+        fatal("FlatFrontend needs at least one block");
+
+    params_.numBlocks = config_.numBlocks;
+    params_.blockBytes = config_.blockBytes;
+    params_.z = config_.z;
+    params_.stashCapacity = config_.stashCapacity;
+    if (config_.forceLevels != 0) {
+        params_.levels = config_.forceLevels;
+    } else {
+        const u32 lg_n = log2Ceil(params_.numBlocks);
+        const u32 lg_z = log2Floor(params_.z);
+        params_.levels = lg_n > lg_z ? lg_n - lg_z : 1;
+    }
+    params_.validate();
+
+    std::unique_ptr<TreeStorage> storage;
+    switch (config_.storage) {
+      case StorageMode::Encrypted:
+        if (cipher == nullptr)
+            fatal("Encrypted storage mode requires a cipher");
+        storage = std::make_unique<EncryptedTreeStorage>(
+            params_, cipher, config_.seedScheme);
+        break;
+      case StorageMode::Meta:
+        storage = std::make_unique<MetaTreeStorage>(params_);
+        break;
+      case StorageMode::Null:
+        storage = std::make_unique<NullTreeStorage>(params_);
+        break;
+    }
+
+    const u64 unit = dram != nullptr
+                         ? u64{dram->config().rowBytes} *
+                               dram->config().channels
+                         : u64{8192} * 2;
+    auto layout = std::make_unique<SubtreeLayout>(
+        params_.levels, params_.bucketPhysBytes(), unit);
+
+    BackendConfig bc;
+    bc.params = params_;
+    bc.treeId = 0;
+    bc.traceSink = std::move(trace);
+    backend_ = std::make_unique<PathOramBackend>(
+        bc, std::move(storage), std::move(layout), dram);
+
+    posmap_.assign(config_.numBlocks, kUninit);
+    if (config_.blockBufferBytes >= config_.blockBytes)
+        buffer_.resize(config_.blockBufferBytes / config_.blockBytes);
+}
+
+u64
+FlatFrontend::onChipPosMapBits() const
+{
+    return config_.numBlocks * params_.levels;
+}
+
+u32
+FlatFrontend::clockVictim()
+{
+    FRORAM_ASSERT(!buffer_.empty(), "no block buffer configured");
+    for (;;) {
+        BufferSlot& s = buffer_[clockHand_];
+        const u32 idx = clockHand_;
+        clockHand_ = (clockHand_ + 1) % static_cast<u32>(buffer_.size());
+        if (!s.valid || !s.ref)
+            return idx;
+        s.ref = false;
+    }
+}
+
+BackendResult
+FlatFrontend::oramAccess(Addr addr, bool is_write,
+                         const std::vector<u8>* write_data,
+                         FrontendResult& res)
+{
+    const bool cold = posmap_[addr] == kUninit;
+    const Leaf use = cold ? rng_.below(params_.numLeaves())
+                          : posmap_[addr];
+    const Leaf fresh = rng_.below(params_.numLeaves());
+    posmap_[addr] = fresh;
+
+    BackendResult r = backend_->access(
+        is_write ? Op::Write : Op::Read, addr, use, fresh, write_data);
+    res.bytesMoved += r.bytesMoved;
+    res.backendAccesses += 1;
+    res.coldMiss = res.coldMiss || cold;
+    res.cycles += config_.latency.backendCycles +
+                  config_.latency.aesPipelineCycles +
+                  config_.latency.psToCycles(r.dramPs);
+    return r;
+}
+
+FrontendResult
+FlatFrontend::access(Addr addr, bool is_write,
+                     const std::vector<u8>* write_data)
+{
+    FRORAM_ASSERT(addr < config_.numBlocks, "address out of range");
+    FrontendResult res;
+    stats_.inc("accesses");
+    res.cycles += config_.latency.frontendCycles;
+
+    if (buffer_.empty()) {
+        BackendResult r = oramAccess(addr, is_write, write_data, res);
+        if (config_.storage == StorageMode::Encrypted && r.found)
+            res.data.assign(r.block.data.begin(),
+                            r.block.data.begin() +
+                                static_cast<long>(config_.blockBytes));
+        stats_.inc("cycles", res.cycles);
+        stats_.inc("bytesMoved", res.bytesMoved);
+        stats_.inc("backendAccesses", res.backendAccesses);
+        return res;
+    }
+
+    // Block buffer (CLOCK): hits are served on-chip.
+    for (auto& s : buffer_) {
+        if (s.valid && s.addr == addr) {
+            s.ref = true;
+            if (is_write) {
+                s.dirty = true;
+                if (write_data != nullptr) {
+                    s.data = *write_data;
+                    s.data.resize(config_.blockBytes, 0);
+                }
+            }
+            res.data = s.data;
+            stats_.inc("bufferHits");
+            stats_.inc("cycles", res.cycles);
+            return res;
+        }
+    }
+    stats_.inc("bufferMisses");
+
+    // Miss: fetch through ORAM, then install, evicting (and writing
+    // back) the CLOCK victim.
+    BackendResult r = oramAccess(addr, /*is_write=*/false, nullptr, res);
+    BufferSlot incoming;
+    incoming.valid = true;
+    incoming.ref = true;
+    incoming.dirty = is_write;
+    incoming.addr = addr;
+    if (config_.storage == StorageMode::Encrypted) {
+        if (is_write && write_data != nullptr) {
+            incoming.data = *write_data;
+        } else {
+            incoming.data = r.block.data;
+        }
+        incoming.data.resize(config_.blockBytes, 0);
+        res.data = incoming.data;
+    } else if (is_write) {
+        incoming.dirty = true;
+    }
+
+    const u32 v = clockVictim();
+    BufferSlot victim = std::move(buffer_[v]);
+    buffer_[v] = std::move(incoming);
+    if (victim.valid && victim.dirty) {
+        // Dirty writeback costs a full ORAM access.
+        std::vector<u8>* payload =
+            victim.data.empty() ? nullptr : &victim.data;
+        oramAccess(victim.addr, /*is_write=*/true, payload, res);
+        stats_.inc("bufferWritebacks");
+    }
+
+    stats_.inc("cycles", res.cycles);
+    stats_.inc("bytesMoved", res.bytesMoved);
+    stats_.inc("backendAccesses", res.backendAccesses);
+    return res;
+}
+
+} // namespace froram

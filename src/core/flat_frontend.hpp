@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Phantom-style Frontend (Section 7.1.6 comparison): the entire PosMap is
+ * held on-chip (no recursion), which is only feasible with large ORAM
+ * blocks (Phantom: 4 KB blocks, N = 2^20, L = 19, so a ~2.5 MB on-chip
+ * PosMap). Includes Phantom's 32 KB block buffer with CLOCK eviction
+ * (Section 5.7 of [21]), which coalesces accesses that fall into the same
+ * large block.
+ */
+#ifndef FRORAM_CORE_FLAT_FRONTEND_HPP
+#define FRORAM_CORE_FLAT_FRONTEND_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "core/unified_frontend.hpp" // StorageMode
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** Configuration of the flat (non-recursive) Frontend. */
+struct FlatFrontendConfig {
+    u64 numBlocks = u64{1} << 20; ///< Phantom: 2^20 4 KB blocks = 4 GB
+    u64 blockBytes = 4096;
+    u32 z = 4;
+    u32 forceLevels = 0;          ///< nonzero overrides L (Phantom: 19)
+    u64 blockBufferBytes = 32 * 1024; ///< 0 disables the block buffer
+    StorageMode storage = StorageMode::Meta;
+    SeedScheme seedScheme = SeedScheme::GlobalCounter;
+    LatencyModel latency{};
+    u64 rngSeed = 0x5eed;
+    u32 stashCapacity = 200;
+};
+
+/** Whole-PosMap-on-chip Frontend with an optional CLOCK block buffer. */
+class FlatFrontend : public Frontend {
+  public:
+    FlatFrontend(const FlatFrontendConfig& config,
+                 const StreamCipher* cipher, DramModel* dram,
+                 TraceSink trace = nullptr);
+
+    FrontendResult access(Addr addr, bool is_write,
+                          const std::vector<u8>* write_data
+                          = nullptr) override;
+
+    std::string name() const override { return "Phantom"; }
+    u64 dataBlockBytes() const override { return config_.blockBytes; }
+    u64 onChipPosMapBits() const override;
+    const StatSet& stats() const override { return stats_; }
+
+    PathOramBackend& backend() { return *backend_; }
+    const OramParams& params() const { return params_; }
+
+  private:
+    struct BufferSlot {
+        bool valid = false;
+        bool ref = false;   // CLOCK reference bit
+        bool dirty = false;
+        Addr addr = kDummyAddr;
+        std::vector<u8> data;
+    };
+
+    /** Linear CLOCK sweep to pick a victim slot. */
+    u32 clockVictim();
+
+    /** One real ORAM access (read or write) for `addr`. */
+    BackendResult oramAccess(Addr addr, bool is_write,
+                             const std::vector<u8>* write_data,
+                             FrontendResult& res);
+
+    FlatFrontendConfig config_;
+    OramParams params_;
+    std::unique_ptr<PathOramBackend> backend_;
+    std::vector<u64> posmap_; // leaf per block; ~0 = uninitialized
+    std::vector<BufferSlot> buffer_;
+    u32 clockHand_ = 0;
+    Xoshiro256 rng_;
+    StatSet stats_;
+
+    static constexpr u64 kUninit = ~u64{0};
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_FLAT_FRONTEND_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ORAM Frontend interface and the hardware latency model of Table 1.
+ *
+ * A Frontend implements Step 1 of the Path ORAM access (the PosMap
+ * machinery); implementations are the paper's schemes:
+ *   - FlatFrontend      : whole PosMap on-chip (Phantom, Section 7.1.6)
+ *   - RecursiveFrontend : baseline Recursive ORAM (R_X*, Section 3.2)
+ *   - UnifiedFrontend   : PLB + unified tree, optional PosMap compression
+ *                         and PMMAC (P/PC/PI/PIC_*, Sections 4-6)
+ */
+#ifndef FRORAM_CORE_FRONTEND_HPP
+#define FRORAM_CORE_FRONTEND_HPP
+
+#include <string>
+#include <vector>
+
+#include "oram/types.hpp"
+#include "util/stats.hpp"
+
+namespace froram {
+
+/** Fixed hardware latencies, from Table 1 / Section 7.2 measurements. */
+struct LatencyModel {
+    double procGHz = 1.3;      ///< processor clock (Table 1)
+    u32 frontendCycles = 20;   ///< per frontend invocation
+    u32 backendCycles = 30;    ///< per Backend access (fixed overhead)
+    u32 aesPipelineCycles = 21; ///< decrypt pipeline fill per path
+    u32 sha3Cycles = 18;       ///< PMMAC hash check per access
+    u32 prfCycles = 12;        ///< one PRF_K leaf derivation
+
+    /** Convert DRAM picoseconds to processor cycles. */
+    u64
+    psToCycles(u64 ps) const
+    {
+        return static_cast<u64>(static_cast<double>(ps) * procGHz / 1000.0);
+    }
+};
+
+/** Outcome of one Frontend access (one LLC miss serviced). */
+struct FrontendResult {
+    u64 cycles = 0;         ///< end-to-end latency in processor cycles
+    u64 bytesMoved = 0;     ///< total DRAM bytes (path reads + writes)
+    u64 posmapBytes = 0;    ///< subset attributable to PosMap machinery
+    u32 backendAccesses = 0; ///< tree accesses performed
+    bool coldMiss = false;  ///< first-ever touch of the data block
+    std::vector<u8> data;   ///< read payload (payload-carrying mode only)
+};
+
+/** Abstract ORAM Frontend: services LLC miss/eviction requests. */
+class Frontend {
+  public:
+    virtual ~Frontend() = default;
+
+    /**
+     * Service one request for data block `addr`.
+     * @param addr data block address in [0, N)
+     * @param is_write true for an LLC dirty eviction
+     * @param write_data payload for writes (nullptr keeps zeros)
+     */
+    virtual FrontendResult access(Addr addr, bool is_write,
+                                  const std::vector<u8>* write_data
+                                  = nullptr) = 0;
+
+    /** Scheme name for reports (e.g. "PC_X32"). */
+    virtual std::string name() const = 0;
+
+    /** ORAM data block size in bytes (the unit access() addresses). */
+    virtual u64 dataBlockBytes() const = 0;
+
+    /** On-chip PosMap size in bits (area accounting). */
+    virtual u64 onChipPosMapBits() const = 0;
+
+    virtual const StatSet& stats() const = 0;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_FRONTEND_HPP

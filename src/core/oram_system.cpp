@@ -1,0 +1,145 @@
+#include "core/oram_system.hpp"
+
+namespace froram {
+namespace {
+
+/**
+ * Largest level size (block count) whose on-chip PosMap, at that tree's
+ * own leaf width, fits the byte budget. Mirrors the paper's "apply
+ * recursion until the on-chip PosMap is <= target" rule with precise
+ * per-entry widths.
+ */
+u64
+recursiveStopEntries(u64 num_blocks, u32 x, u32 z, u64 target_bytes)
+{
+    u64 entries = num_blocks;
+    for (;;) {
+        const u32 lg_n = log2Ceil(std::max<u64>(entries, 2));
+        const u32 lg_z = log2Floor(z);
+        const u32 leaf_bits = lg_n > lg_z ? lg_n - lg_z : 1;
+        if (entries * leaf_bits <= target_bytes * 8)
+            return entries;
+        entries = divCeil(entries, x);
+    }
+}
+
+} // namespace
+
+SchemeId
+schemeFromName(const std::string& name)
+{
+    const std::string base = name.substr(0, name.find("_X"));
+    if (base == "R")
+        return SchemeId::Recursive;
+    if (base == "P")
+        return SchemeId::Plb;
+    if (base == "PC")
+        return SchemeId::PlbCompressed;
+    if (base == "PI")
+        return SchemeId::PlbIntegrity;
+    if (base == "PIC")
+        return SchemeId::PlbIntegrityCompressed;
+    if (base == "Phantom")
+        return SchemeId::Phantom;
+    fatal("unknown scheme name: ", name);
+}
+
+OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
+    : cfg_(config), scheme_(scheme),
+      dram_(DramConfig::ddr3(config.dramChannels))
+{
+    if (cfg_.realAes) {
+        Xoshiro256 kdf(cfg_.seed ^ 0xc1f0e4ULL);
+        u8 key[16];
+        for (auto& b : key)
+            b = static_cast<u8>(kdf.next());
+        cipher_ = std::make_unique<AesCtrCipher>(key);
+    } else {
+        cipher_ = std::make_unique<FastCipher>();
+    }
+
+    TraceSink sink;
+    if (cfg_.collectTrace)
+        sink = [this](const TraceEvent& e) { trace_.push_back(e); };
+
+    const u64 num_blocks = cfg_.capacityBytes / cfg_.blockBytes;
+
+    switch (scheme_) {
+      case SchemeId::Recursive: {
+        RecursiveFrontendConfig rc;
+        rc.numBlocks = num_blocks;
+        rc.blockBytes = cfg_.blockBytes;
+        rc.posmapBlockBytes = cfg_.recursivePosmapBlockBytes;
+        rc.z = cfg_.z;
+        rc.storage = cfg_.storage;
+        rc.seedScheme = cfg_.seedScheme;
+        rc.latency = cfg_.latency;
+        rc.rngSeed = cfg_.seed;
+        rc.stashCapacity = cfg_.stashCapacity;
+        const u32 x = PosMapFormat(PosMapFormat::Kind::Leaves,
+                                   rc.posmapBlockBytes)
+                          .x();
+        rc.maxOnChipEntries = recursiveStopEntries(
+            num_blocks, x, cfg_.z, cfg_.recursiveOnChipTargetBytes);
+        frontend_ = std::make_unique<RecursiveFrontend>(
+            rc, cipher_.get(), &dram_, sink);
+        break;
+      }
+      case SchemeId::Phantom: {
+        FlatFrontendConfig fc;
+        fc.numBlocks = cfg_.capacityBytes / cfg_.phantomBlockBytes;
+        fc.blockBytes = cfg_.phantomBlockBytes;
+        fc.z = cfg_.z;
+        fc.forceLevels = cfg_.phantomForceLevels;
+        fc.blockBufferBytes = cfg_.phantomBufferBytes;
+        fc.storage = cfg_.storage;
+        fc.seedScheme = cfg_.seedScheme;
+        fc.latency = cfg_.latency;
+        fc.rngSeed = cfg_.seed;
+        fc.stashCapacity = cfg_.stashCapacity;
+        frontend_ = std::make_unique<FlatFrontend>(fc, cipher_.get(),
+                                                   &dram_, sink);
+        break;
+      }
+      default: {
+        UnifiedFrontendConfig uc;
+        uc.numBlocks = num_blocks;
+        uc.blockBytes = cfg_.blockBytes;
+        uc.z = cfg_.z;
+        switch (scheme_) {
+          case SchemeId::Plb:
+            uc.format = PosMapFormat::Kind::Leaves;
+            uc.integrity = false;
+            break;
+          case SchemeId::PlbCompressed:
+            uc.format = PosMapFormat::Kind::Compressed;
+            uc.integrity = false;
+            break;
+          case SchemeId::PlbIntegrity:
+            uc.format = PosMapFormat::Kind::FlatCounter;
+            uc.integrity = true;
+            break;
+          case SchemeId::PlbIntegrityCompressed:
+            uc.format = PosMapFormat::Kind::Compressed;
+            uc.integrity = true;
+            break;
+          default:
+            panic("unreachable");
+        }
+        uc.plb.capacityBytes = cfg_.plbBytes;
+        uc.plb.ways = cfg_.plbWays;
+        uc.plb.blockBytes = cfg_.blockBytes;
+        uc.onChipTargetBytes = cfg_.onChipTargetBytes;
+        uc.storage = cfg_.storage;
+        uc.seedScheme = cfg_.seedScheme;
+        uc.latency = cfg_.latency;
+        uc.rngSeed = cfg_.seed;
+        uc.stashCapacity = cfg_.stashCapacity;
+        frontend_ = std::make_unique<UnifiedFrontend>(uc, cipher_.get(),
+                                                      &dram_, sink);
+        break;
+      }
+    }
+}
+
+} // namespace froram

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Top-level system builder: assembles a complete ORAM memory system
+ * (frontend + backend(s) + DRAM timing + encryption) for each scheme in
+ * the paper's evaluation, using its naming convention (Section 7.1.4):
+ *
+ *   R_X8    Recursive baseline ([26]), separate trees, 32 B PosMap blocks
+ *   P_X16   PLB only
+ *   PC_X32  PLB + compressed PosMap
+ *   PI_X8   PLB + PMMAC with flat counters
+ *   PIC_X32 PLB + compressed PosMap + PMMAC
+ *   Phantom non-recursive 4 KB-block baseline ([21])
+ *
+ * (The _X suffix is derived from the block size, so the same SchemeId
+ * yields PC_X64 under the 128-byte-block configuration of Figure 8.)
+ */
+#ifndef FRORAM_CORE_ORAM_SYSTEM_HPP
+#define FRORAM_CORE_ORAM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flat_frontend.hpp"
+#include "core/recursive_frontend.hpp"
+#include "core/unified_frontend.hpp"
+
+namespace froram {
+
+/** The schemes of the paper's evaluation. */
+enum class SchemeId {
+    Recursive,              ///< R_X*
+    Plb,                    ///< P_X*
+    PlbCompressed,          ///< PC_X*
+    PlbIntegrity,           ///< PI_X*
+    PlbIntegrityCompressed, ///< PIC_X*
+    Phantom                 ///< non-recursive large-block baseline
+};
+
+/** Canonical scheme id from a name like "PC" or "PC_X32". */
+SchemeId schemeFromName(const std::string& name);
+
+/** Full-system configuration shared by all schemes. */
+struct OramSystemConfig {
+    u64 capacityBytes = u64{4} << 30; ///< data ORAM capacity (Table 1: 4 GB)
+    u64 blockBytes = 64;              ///< ORAM/data block size
+    u64 recursivePosmapBlockBytes = 32; ///< R_X*: PosMap ORAM block size
+    u32 z = 4;
+    u32 dramChannels = 2;
+    LatencyModel latency{};
+    u64 plbBytes = 64 * 1024; ///< evaluation default (Section 7.1.3)
+    u32 plbWays = 1;          ///< direct-mapped
+    u64 onChipTargetBytes = 128 * 1024;          ///< unified schemes
+    u64 recursiveOnChipTargetBytes = 256 * 1024; ///< R_X* (Section 7.1.4)
+    StorageMode storage = StorageMode::Meta;
+    bool realAes = false; ///< AES-CTR pads vs fast simulation pads
+    SeedScheme seedScheme = SeedScheme::GlobalCounter;
+    u64 seed = 0x5eed;
+    u32 stashCapacity = 200;
+    bool collectTrace = false; ///< buffer the adversary-visible trace
+    /** Phantom-specific knobs (Section 7.1.6). */
+    u64 phantomBlockBytes = 4096;
+    u32 phantomForceLevels = 19;
+    u64 phantomBufferBytes = 32 * 1024;
+};
+
+/** A complete ORAM memory system for one scheme. */
+class OramSystem {
+  public:
+    OramSystem(SchemeId scheme, const OramSystemConfig& config);
+
+    Frontend& frontend() { return *frontend_; }
+    const Frontend& frontend() const { return *frontend_; }
+    DramModel& dram() { return dram_; }
+    SchemeId scheme() const { return scheme_; }
+    const OramSystemConfig& config() const { return cfg_; }
+
+    /** Adversary-visible trace (collectTrace must be enabled). */
+    const std::vector<TraceEvent>& trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+  private:
+    OramSystemConfig cfg_;
+    SchemeId scheme_;
+    DramModel dram_;
+    std::unique_ptr<StreamCipher> cipher_;
+    std::unique_ptr<Frontend> frontend_;
+    std::vector<TraceEvent> trace_;
+};
+
+/**
+ * The insecure baseline: LLC misses go straight to DRAM (Section 7.1.2:
+ * "a DRAM access for an insecure system takes on average 58 processor
+ * cycles" in the paper's setup).
+ */
+class InsecureMemory {
+  public:
+    InsecureMemory(u32 dram_channels, const LatencyModel& latency,
+                   u32 controller_cycles = 15)
+        : dram_(DramConfig::ddr3(dram_channels)), latency_(latency),
+          controllerCycles_(controller_cycles)
+    {
+    }
+
+    /** Latency of one cache-line fill/writeback in processor cycles. */
+    u64
+    accessCycles(u64 byte_addr, bool is_write)
+    {
+        return controllerCycles_ +
+               latency_.psToCycles(dram_.accessSingle(byte_addr, is_write));
+    }
+
+    DramModel& dram() { return dram_; }
+
+  private:
+    DramModel dram_;
+    LatencyModel latency_;
+    u32 controllerCycles_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_ORAM_SYSTEM_HPP

@@ -1,0 +1,94 @@
+#include "core/plb.hpp"
+
+namespace froram {
+
+Plb::Plb(const PlbConfig& config) : ways_(config.ways), stats_("plb")
+{
+    if (config.ways == 0)
+        fatal("PLB must have at least one way");
+    u64 entries = config.capacityBytes / config.blockBytes;
+    if (entries == 0)
+        fatal("PLB smaller than one ORAM block");
+    if (entries < ways_)
+        entries = ways_;
+    sets_ = entries / ways_;
+    entries_.resize(sets_ * ways_);
+}
+
+PlbEntry*
+Plb::lookup(Addr addr)
+{
+    PlbEntry* base = &entries_[setIndex(addr) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == addr) {
+            base[w].lastUse = ++clock_;
+            stats_.inc("hits");
+            return &base[w];
+        }
+    }
+    stats_.inc("misses");
+    return nullptr;
+}
+
+PlbEntry*
+Plb::find(Addr addr)
+{
+    PlbEntry* base = &entries_[setIndex(addr) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == addr) {
+            base[w].lastUse = ++clock_;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+bool
+Plb::probe(Addr addr) const
+{
+    const PlbEntry* base = &entries_[setIndex(addr) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == addr)
+            return true;
+    }
+    return false;
+}
+
+std::optional<PlbEntry>
+Plb::insert(PlbEntry entry)
+{
+    FRORAM_ASSERT(!probe(entry.addr), "double insert into PLB");
+    entry.valid = true;
+    entry.lastUse = ++clock_;
+    PlbEntry* base = &entries_[setIndex(entry.addr) * ways_];
+    PlbEntry* victim = &base[0];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            base[w] = std::move(entry);
+            stats_.inc("fills");
+            return std::nullopt;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    PlbEntry evicted = std::move(*victim);
+    *victim = std::move(entry);
+    stats_.inc("fills");
+    stats_.inc("evictions");
+    return evicted;
+}
+
+std::vector<PlbEntry>
+Plb::drain()
+{
+    std::vector<PlbEntry> out;
+    for (auto& e : entries_) {
+        if (e.valid) {
+            out.push_back(std::move(e));
+            e = PlbEntry{};
+        }
+    }
+    return out;
+}
+
+} // namespace froram

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PosMap Lookaside Buffer (Section 4).
+ *
+ * A conventional set-associative hardware cache, except that it caches
+ * whole PosMap blocks (akin to caching page tables, not single
+ * translations -- Section 4.1.4). Cached blocks are checked out of the
+ * ORAM tree via readrmv and carry their current leaf (and, for counter
+ * formats, their current access count) so that an evicted block can be
+ * appended back to the stash (Section 4.2.3).
+ */
+#ifndef FRORAM_CORE_PLB_HPP
+#define FRORAM_CORE_PLB_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/posmap_format.hpp"
+#include "oram/types.hpp"
+#include "util/stats.hpp"
+
+namespace froram {
+
+/** One PLB-resident PosMap block. */
+struct PlbEntry {
+    bool valid = false;
+    Addr addr = kDummyAddr; ///< unified address (i || a_i)
+    Leaf leaf = kNoLeaf;    ///< current leaf in the unified tree
+    u64 counter = 0;        ///< current PMMAC counter for this block
+    PosMapContent content;  ///< decoded entries
+    u64 lastUse = 0;        ///< LRU timestamp
+};
+
+/** Configuration of a PLB. */
+struct PlbConfig {
+    u64 capacityBytes = 8 * 1024; ///< paper default: 8 KB (Section 7.2)
+    u64 blockBytes = 64;          ///< ORAM block size
+    u32 ways = 1;                 ///< 1 = direct-mapped (paper default)
+};
+
+/** The PLB cache. */
+class Plb {
+  public:
+    explicit Plb(const PlbConfig& config);
+
+    /**
+     * Look up the PosMap block with unified address `addr`.
+     * @return pointer to the entry on hit (stats updated), else nullptr
+     */
+    PlbEntry* lookup(Addr addr);
+
+    /** Is `addr` present? (no stats / LRU side effects) */
+    bool probe(Addr addr) const;
+
+    /**
+     * Internal lookup used by the Frontend walk: refreshes LRU but does
+     * not count toward hit/miss statistics (those model the architectural
+     * "PLB lookup loop" of Section 4.2.4 only).
+     */
+    PlbEntry* find(Addr addr);
+
+    /**
+     * Insert a block, possibly evicting the set's LRU victim.
+     * @return the evicted entry, to be appended to the ORAM stash
+     */
+    std::optional<PlbEntry> insert(PlbEntry entry);
+
+    /**
+     * Remove and return every valid entry (used at drain/teardown so the
+     * checked-out blocks can be appended back).
+     */
+    std::vector<PlbEntry> drain();
+
+    u64 numEntries() const { return static_cast<u64>(sets_) * ways_; }
+    u32 ways() const { return ways_; }
+    const StatSet& stats() const { return stats_; }
+    StatSet& stats() { return stats_; }
+
+  private:
+    u64 setIndex(Addr addr) const { return addr % sets_; }
+
+    u64 sets_;
+    u32 ways_;
+    std::vector<PlbEntry> entries_; // sets_ x ways_, row-major
+    u64 clock_ = 0;
+    StatSet stats_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_PLB_HPP

@@ -1,0 +1,224 @@
+#include "core/posmap_format.hpp"
+
+#include <cstring>
+
+namespace froram {
+namespace {
+
+/** Write `width`-bit little-endian bitfield at bit offset `pos`. */
+void
+writeBits(u8* buf, u64 pos, u32 width, u64 value)
+{
+    for (u32 i = 0; i < width; ++i) {
+        const u64 bit = pos + i;
+        const u8 mask = static_cast<u8>(1u << (bit % 8));
+        if ((value >> i) & 1)
+            buf[bit / 8] |= mask;
+        else
+            buf[bit / 8] &= static_cast<u8>(~mask);
+    }
+}
+
+u64
+readBits(const u8* buf, u64 pos, u32 width)
+{
+    u64 v = 0;
+    for (u32 i = 0; i < width; ++i) {
+        const u64 bit = pos + i;
+        v |= static_cast<u64>((buf[bit / 8] >> (bit % 8)) & 1) << i;
+    }
+    return v;
+}
+
+void
+storeLe(u8* p, u64 v, u32 nbytes)
+{
+    for (u32 i = 0; i < nbytes; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u64
+loadLe(const u8* p, u32 nbytes)
+{
+    u64 v = 0;
+    for (u32 i = 0; i < nbytes; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+}
+
+u32
+largestPow2AtMost(u64 v)
+{
+    FRORAM_ASSERT(v >= 1, "no entries fit");
+    return static_cast<u32>(u64{1} << log2Floor(v));
+}
+
+} // namespace
+
+PosMapFormat::PosMapFormat(Kind kind, u64 block_bytes, u32 beta)
+    : kind_(kind), beta_(beta), blockBytes_(block_bytes)
+{
+    switch (kind_) {
+      case Kind::Leaves:
+        // 32-bit uncompressed leaves (supports L <= 31 plus the
+        // uninitialized marker).
+        x_ = largestPow2AtMost(block_bytes / 4);
+        break;
+      case Kind::FlatCounter:
+        // 64-bit flat counters (Section 6.2.2: X = B/64 bits = 8 for
+        // 512-bit blocks).
+        x_ = largestPow2AtMost(block_bytes / 8);
+        break;
+      case Kind::Compressed: {
+        // alpha = 64-bit GC plus X beta-bit ICs packed into B.
+        if (beta_ == 0 || beta_ > 16)
+            fatal("compressed PosMap beta out of range: ", beta_);
+        const u64 bits = block_bytes * 8;
+        if (bits <= 64)
+            fatal("block too small for compressed PosMap");
+        x_ = largestPow2AtMost((bits - 64) / beta_);
+        break;
+      }
+    }
+    if (x_ < 2)
+        fatal("PosMap fan-out X must be >= 2; block too small");
+}
+
+PosMapContent
+PosMapFormat::makeFresh() const
+{
+    PosMapContent c;
+    switch (kind_) {
+      case Kind::Leaves:
+        c.leaves.assign(x_, PosMapContent::kUninitLeaf);
+        break;
+      case Kind::Compressed:
+        c.gc = 0;
+        c.ic.assign(x_, 0);
+        break;
+      case Kind::FlatCounter:
+        c.flat.assign(x_, 0);
+        break;
+    }
+    return c;
+}
+
+u64
+PosMapFormat::currentCounter(const PosMapContent& c, u32 j) const
+{
+    switch (kind_) {
+      case Kind::Compressed:
+        return (c.gc << beta_) | c.ic[j];
+      case Kind::FlatCounter:
+        return c.flat[j];
+      default:
+        panic("Leaves format has no counters");
+    }
+}
+
+bool
+PosMapFormat::isCold(const PosMapContent& c, u32 j) const
+{
+    switch (kind_) {
+      case Kind::Leaves:
+        return c.leaves[j] == PosMapContent::kUninitLeaf;
+      case Kind::Compressed:
+      case Kind::FlatCounter:
+        return currentCounter(c, j) == 0;
+    }
+    return false;
+}
+
+bool
+PosMapFormat::incrementWouldOverflow(const PosMapContent& c, u32 j) const
+{
+    if (kind_ != Kind::Compressed)
+        return false;
+    return c.ic[j] + 1u >= (1u << beta_);
+}
+
+void
+PosMapFormat::increment(PosMapContent& c, u32 j) const
+{
+    switch (kind_) {
+      case Kind::Compressed:
+        FRORAM_ASSERT(!incrementWouldOverflow(c, j),
+                      "IC overflow: group remap required first");
+        c.ic[j] += 1;
+        break;
+      case Kind::FlatCounter:
+        c.flat[j] += 1;
+        break;
+      default:
+        panic("Leaves format has no counters");
+    }
+}
+
+void
+PosMapFormat::bumpGroupCounter(PosMapContent& c) const
+{
+    FRORAM_ASSERT(kind_ == Kind::Compressed, "group counter is Compressed-only");
+    c.gc += 1;
+    for (auto& v : c.ic)
+        v = 0;
+}
+
+u64
+PosMapFormat::serializedBytes() const
+{
+    switch (kind_) {
+      case Kind::Leaves:
+        return u64{4} * x_;
+      case Kind::FlatCounter:
+        return u64{8} * x_;
+      case Kind::Compressed:
+        return 8 + divCeil(u64{beta_} * x_, 8);
+    }
+    return 0;
+}
+
+void
+PosMapFormat::serialize(const PosMapContent& c, u8* out) const
+{
+    std::memset(out, 0, serializedBytes());
+    switch (kind_) {
+      case Kind::Leaves:
+        for (u32 j = 0; j < x_; ++j)
+            storeLe(out + 4 * j, c.leaves[j], 4);
+        break;
+      case Kind::FlatCounter:
+        for (u32 j = 0; j < x_; ++j)
+            storeLe(out + 8 * j, c.flat[j], 8);
+        break;
+      case Kind::Compressed:
+        storeLe(out, c.gc, 8);
+        for (u32 j = 0; j < x_; ++j)
+            writeBits(out + 8, u64{j} * beta_, beta_, c.ic[j]);
+        break;
+    }
+}
+
+PosMapContent
+PosMapFormat::deserialize(const u8* in) const
+{
+    PosMapContent c = makeFresh();
+    switch (kind_) {
+      case Kind::Leaves:
+        for (u32 j = 0; j < x_; ++j)
+            c.leaves[j] = static_cast<u32>(loadLe(in + 4 * j, 4));
+        break;
+      case Kind::FlatCounter:
+        for (u32 j = 0; j < x_; ++j)
+            c.flat[j] = loadLe(in + 8 * j, 8);
+        break;
+      case Kind::Compressed:
+        c.gc = loadLe(in, 8);
+        for (u32 j = 0; j < x_; ++j)
+            c.ic[j] = static_cast<u16>(readBits(in + 8, u64{j} * beta_,
+                                                beta_));
+        break;
+    }
+    return c;
+}
+
+} // namespace froram

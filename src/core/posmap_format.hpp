@@ -1,0 +1,103 @@
+/**
+ * @file
+ * PosMap block content formats.
+ *
+ * A PosMap block holds X entries, one per child block. Three on-the-wire
+ * formats, matching the paper's scheme matrix (Section 7.1.4 naming):
+ *
+ *  - Leaves (P_*): X uncompressed leaf labels, 32 bits each. No counters,
+ *    no integrity support.
+ *  - Compressed (PC_* / PIC_*, Section 5.2.1): one alpha=64-bit group
+ *    counter GC plus X beta-bit individual counters; the leaf of child j
+ *    is PRF_K(addr_j || GC || IC_j) mod 2^L.
+ *  - FlatCounter (PI_*, Section 6.2.2): X 64-bit monotonic counters;
+ *    leaf = PRF_K(addr_j || c_j).
+ *
+ * Counter formats expose currentCounter(), which doubles as the PMMAC
+ * nonce (Section 6.2). The format also decides X for a given block size:
+ * Leaves gets X = B/4 rounded down to a power of two; FlatCounter B/8;
+ * Compressed packs alpha + X*beta into B (X = 32 for B = 64 bytes,
+ * beta = 14 -- the parameterization of Section 5.3).
+ */
+#ifndef FRORAM_CORE_POSMAP_FORMAT_HPP
+#define FRORAM_CORE_POSMAP_FORMAT_HPP
+
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Decoded contents of one PosMap block (format-dependent fields). */
+struct PosMapContent {
+    std::vector<u32> leaves; ///< Leaves format (kUninitLeaf = untouched)
+    u64 gc = 0;              ///< Compressed: group counter
+    std::vector<u16> ic;     ///< Compressed: individual counters
+    std::vector<u64> flat;   ///< FlatCounter format
+
+    static constexpr u32 kUninitLeaf = 0xffffffffu;
+};
+
+/** Content format descriptor + codec for PosMap blocks. */
+class PosMapFormat {
+  public:
+    enum class Kind { Leaves, Compressed, FlatCounter };
+
+    /**
+     * @param kind content format
+     * @param block_bytes ORAM block payload size B
+     * @param beta individual-counter width for Compressed (paper: 14)
+     */
+    PosMapFormat(Kind kind, u64 block_bytes, u32 beta = 14);
+
+    Kind kind() const { return kind_; }
+    u32 x() const { return x_; }
+    u32 beta() const { return beta_; }
+    bool hasCounters() const { return kind_ != Kind::Leaves; }
+
+    /** Fresh all-cold content (counters zero / leaves uninitialized). */
+    PosMapContent makeFresh() const;
+
+    /**
+     * Current counter value of entry j; doubles as the PMMAC nonce.
+     * Compressed counters are (GC << beta) | IC_j so they strictly
+     * increase across group remaps (Observation 3 in the paper).
+     */
+    u64 currentCounter(const PosMapContent& c, u32 j) const;
+
+    /** True iff entry j has never been touched. */
+    bool isCold(const PosMapContent& c, u32 j) const;
+
+    /**
+     * Would incrementing entry j overflow its individual counter (i.e.
+     * require a group remap, Section 5.2.2)? Always false for
+     * non-Compressed formats.
+     */
+    bool incrementWouldOverflow(const PosMapContent& c, u32 j) const;
+
+    /** Increment entry j (no overflow allowed; check first). */
+    void increment(PosMapContent& c, u32 j) const;
+
+    /** Group remap bookkeeping: GC += 1, all ICs reset to 0. */
+    void bumpGroupCounter(PosMapContent& c) const;
+
+    /** Serialized byte size (must fit the ORAM block payload). */
+    u64 serializedBytes() const;
+
+    /** Serialize into `out` (exactly serializedBytes() bytes written). */
+    void serialize(const PosMapContent& c, u8* out) const;
+
+    /** Deserialize from a block payload. */
+    PosMapContent deserialize(const u8* in) const;
+
+  private:
+    Kind kind_;
+    u32 x_;
+    u32 beta_;
+    u64 blockBytes_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_POSMAP_FORMAT_HPP

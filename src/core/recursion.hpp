@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Recursive PosMap geometry (Section 3.2).
+ *
+ * A Recursive ORAM with fan-out X stores the PosMap for level i-1 in
+ * blocks of level i; the on-chip PosMap holds one entry per block of the
+ * topmost level H-1. This header computes the level sizes and the unified
+ * address space used by the PLB design (Section 4.2.1): the paper tags
+ * block a_i of recursion level i as "i || a_i"; we realize the same
+ * disjoint address space with per-level base offsets, which keeps
+ * addresses compact.
+ */
+#ifndef FRORAM_CORE_RECURSION_HPP
+#define FRORAM_CORE_RECURSION_HPP
+
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Level sizes and unified addressing for one recursion. */
+struct RecursionGeometry {
+    u32 h = 1;          ///< H: number of ORAMs including the Data ORAM
+    u32 x = 8;          ///< X: PosMap entries per PosMap block
+    u32 xBits = 3;      ///< log2(X)
+    std::vector<u64> levelBlocks; ///< blocks per level, [0] = N data blocks
+    std::vector<u64> base;        ///< unified-address base per level
+    u64 totalBlocks = 0;          ///< all levels combined
+    u64 onChipEntries = 0;        ///< entries in the on-chip PosMap
+
+    /**
+     * Build the recursion: add PosMap levels until the on-chip PosMap
+     * would have at most `max_onchip_entries` entries.
+     */
+    static RecursionGeometry
+    compute(u64 num_data_blocks, u32 x, u64 max_onchip_entries)
+    {
+        if (!isPow2(x))
+            fatal("PosMap fan-out X must be a power of two, got ", x);
+        if (max_onchip_entries == 0)
+            fatal("on-chip PosMap must hold at least one entry");
+        RecursionGeometry g;
+        g.x = x;
+        g.xBits = log2Floor(x);
+        g.levelBlocks.push_back(num_data_blocks);
+        while (g.levelBlocks.back() > max_onchip_entries) {
+            g.levelBlocks.push_back(divCeil(g.levelBlocks.back(), x));
+        }
+        g.h = static_cast<u32>(g.levelBlocks.size());
+        g.base.resize(g.h);
+        u64 acc = 0;
+        for (u32 i = 0; i < g.h; ++i) {
+            g.base[i] = acc;
+            acc += g.levelBlocks[i];
+        }
+        g.totalBlocks = acc;
+        g.onChipEntries = g.levelBlocks.back();
+        return g;
+    }
+
+    /** Address of the level-i block covering data block a0 (a_i = a0/X^i). */
+    u64
+    levelAddr(u32 level, u64 a0) const
+    {
+        return a0 >> (xBits * level);
+    }
+
+    /** Unified address of the level-i block covering data block a0. */
+    u64
+    unifiedAddr(u32 level, u64 a0) const
+    {
+        return base[level] + levelAddr(level, a0);
+    }
+
+    /** Index of level-(i-1) child a_{i-1} within its level-i parent. */
+    u64
+    entryIndex(u32 parent_level, u64 a0) const
+    {
+        FRORAM_ASSERT(parent_level >= 1, "data level has no entries");
+        return levelAddr(parent_level - 1, a0) & (x - 1);
+    }
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_RECURSION_HPP

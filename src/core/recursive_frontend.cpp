@@ -1,0 +1,202 @@
+#include "core/recursive_frontend.hpp"
+
+#include <cstring>
+
+namespace froram {
+namespace {
+
+u64
+oracleKey(u32 tree, Addr addr)
+{
+    return (static_cast<u64>(tree) << 48) | addr;
+}
+
+} // namespace
+
+RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
+                                     const StreamCipher* cipher,
+                                     DramModel* dram, TraceSink trace)
+    : config_(config),
+      format_(PosMapFormat::Kind::Leaves, config.posmapBlockBytes),
+      rng_(config.rngSeed), stats_("frontend")
+{
+    if (config_.numBlocks == 0)
+        fatal("RecursiveFrontend needs at least one data block");
+    geo_ = RecursionGeometry::compute(config_.numBlocks, format_.x(),
+                                      config_.maxOnChipEntries);
+
+    u64 dram_base = 0;
+    for (u32 i = 0; i < geo_.h; ++i) {
+        OramParams p;
+        p.numBlocks = geo_.levelBlocks[i];
+        p.blockBytes = i == 0 ? config_.blockBytes
+                              : config_.posmapBlockBytes;
+        p.z = config_.z;
+        p.stashCapacity = config_.stashCapacity;
+        const u32 lg_n = log2Ceil(std::max<u64>(p.numBlocks, 2));
+        const u32 lg_z = log2Floor(p.z);
+        p.levels = lg_n > lg_z ? lg_n - lg_z : 1;
+        if (p.levels > 31)
+            fatal("tree too deep for 32-bit PosMap leaves");
+        treeParams_.push_back(p);
+
+        std::unique_ptr<TreeStorage> storage;
+        switch (config_.storage) {
+          case StorageMode::Encrypted:
+            if (cipher == nullptr)
+                fatal("Encrypted storage mode requires a cipher");
+            storage = std::make_unique<EncryptedTreeStorage>(
+                p, cipher, config_.seedScheme);
+            break;
+          case StorageMode::Meta:
+            storage = std::make_unique<MetaTreeStorage>(p);
+            break;
+          case StorageMode::Null:
+            storage = std::make_unique<NullTreeStorage>(p);
+            break;
+        }
+
+        const u64 unit = dram != nullptr
+                             ? u64{dram->config().rowBytes} *
+                                   dram->config().channels
+                             : u64{8192} * 2;
+        auto layout = std::make_unique<SubtreeLayout>(
+            p.levels, p.bucketPhysBytes(), unit);
+        layout->setBaseAddress(dram_base);
+        dram_base += layout->footprintBytes();
+
+        BackendConfig bc;
+        bc.params = p;
+        bc.treeId = i;
+        bc.traceSink = trace;
+        trees_.push_back(std::make_unique<PathOramBackend>(
+            bc, std::move(storage), std::move(layout), dram));
+    }
+
+    onChip_.assign(geo_.onChipEntries, kUninit);
+}
+
+std::string
+RecursiveFrontend::name() const
+{
+    return "R_X" + std::to_string(format_.x());
+}
+
+u64
+RecursiveFrontend::onChipPosMapBits() const
+{
+    return geo_.onChipEntries * treeParams_.back().levels;
+}
+
+Leaf
+RecursiveFrontend::randomLeafFor(u32 tree) const
+{
+    return rng_.below(treeParams_[tree].numLeaves());
+}
+
+u64
+RecursiveFrontend::fullAccessBytes() const
+{
+    u64 total = 0;
+    for (const auto& p : treeParams_)
+        total += 2 * p.pathBytes();
+    return total;
+}
+
+FrontendResult
+RecursiveFrontend::access(Addr a0, bool is_write,
+                          const std::vector<u8>* write_data)
+{
+    FRORAM_ASSERT(a0 < config_.numBlocks, "data address out of range");
+    FrontendResult res;
+    stats_.inc("accesses");
+    res.cycles += config_.latency.frontendCycles;
+
+    auto account = [&](const BackendResult& r, bool posmap) {
+        res.bytesMoved += r.bytesMoved;
+        if (posmap)
+            res.posmapBytes += r.bytesMoved;
+        res.backendAccesses += 1;
+        res.cycles += config_.latency.backendCycles +
+                      config_.latency.aesPipelineCycles +
+                      config_.latency.psToCycles(r.dramPs);
+    };
+
+    // On-chip PosMap: leaf of the top-level block (page-table root).
+    const u64 top_idx = geo_.levelAddr(geo_.h - 1, a0);
+    FRORAM_ASSERT(top_idx < onChip_.size(), "on-chip index out of range");
+    bool cold = onChip_[top_idx] == kUninit;
+    Leaf use = cold ? randomLeafFor(geo_.h - 1) : onChip_[top_idx];
+    Leaf fresh = randomLeafFor(geo_.h - 1);
+    onChip_[top_idx] = fresh;
+
+    // Page-table walk: ORam_{H-1} .. ORam_1, extracting and remapping the
+    // next level's leaf at each step. The entry update happens in the
+    // Step-4 transform, while the PosMap block is still stash-resident.
+    for (u32 i = geo_.h - 1; i >= 1; --i) {
+        const Addr ai = geo_.levelAddr(i, a0);
+        const u32 j = static_cast<u32>(geo_.entryIndex(i, a0));
+        const Leaf child_fresh = randomLeafFor(i - 1);
+        Leaf child_use = kNoLeaf;
+        bool child_cold = false;
+        const bool carries = config_.storage == StorageMode::Encrypted;
+
+        PathOramBackend::BlockTransform xform = [&](Block& blk,
+                                                    bool found) {
+            PosMapContent content;
+            if (carries) {
+                content = found
+                              ? format_.deserialize(blk.data.data())
+                              : format_.makeFresh();
+            } else {
+                auto it = oracle_.find(oracleKey(i, ai));
+                content = it != oracle_.end() ? it->second
+                                              : format_.makeFresh();
+            }
+            child_cold =
+                content.leaves[j] == PosMapContent::kUninitLeaf;
+            child_use = child_cold ? randomLeafFor(i - 1)
+                                   : content.leaves[j];
+            content.leaves[j] = static_cast<u32>(child_fresh);
+            if (carries) {
+                blk.data.assign(treeParams_[i].storedBlockBytes(), 0);
+                format_.serialize(content, blk.data.data());
+            } else {
+                oracle_[oracleKey(i, ai)] = std::move(content);
+            }
+        };
+
+        BackendResult r =
+            trees_[i]->access(Op::Read, ai, use, fresh, nullptr, xform);
+        account(r, /*posmap=*/true);
+
+        use = child_use;
+        fresh = child_fresh;
+        cold = child_cold;
+    }
+
+    // Data ORAM access.
+    BackendResult r = trees_[0]->access(
+        is_write ? Op::Write : Op::Read, a0, use, fresh, write_data);
+    account(r, /*posmap=*/false);
+    res.coldMiss = cold;
+    if (cold)
+        stats_.inc("coldMisses");
+    if (config_.storage == StorageMode::Encrypted) {
+        res.data.assign(
+            r.block.data.begin(),
+            r.block.data.begin() + static_cast<long>(config_.blockBytes));
+        if (is_write && write_data != nullptr) {
+            res.data = *write_data;
+            res.data.resize(config_.blockBytes, 0);
+        }
+    }
+
+    stats_.inc("bytesMoved", res.bytesMoved);
+    stats_.inc("posmapBytes", res.posmapBytes);
+    stats_.inc("backendAccesses", res.backendAccesses);
+    stats_.inc("cycles", res.cycles);
+    return res;
+}
+
+} // namespace froram

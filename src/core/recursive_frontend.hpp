@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Baseline Recursive ORAM Frontend (Section 3.2; the R_X8 configuration
+ * of the evaluation, following Ren et al. [26]).
+ *
+ * Each recursion level lives in its own physical ORAM tree: the Data
+ * ORAM (ORam0) plus H-1 PosMap ORAMs, typically with smaller blocks
+ * (32-byte PosMap blocks for R_X8). Every access performs a full
+ * page-table-walk: on-chip PosMap, then ORam_{H-1} .. ORam_1, then the
+ * Data ORAM -- there is no PLB and nothing is ever skipped.
+ */
+#ifndef FRORAM_CORE_RECURSIVE_FRONTEND_HPP
+#define FRORAM_CORE_RECURSIVE_FRONTEND_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "core/posmap_format.hpp"
+#include "core/recursion.hpp"
+#include "core/unified_frontend.hpp" // StorageMode
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** Configuration of the Recursive baseline. */
+struct RecursiveFrontendConfig {
+    u64 numBlocks = 0;          ///< N data blocks
+    u64 blockBytes = 64;        ///< Data ORAM block size
+    u64 posmapBlockBytes = 32;  ///< PosMap ORAM block size ([26]: 32 B)
+    u32 z = 4;
+    u64 maxOnChipEntries = u64{1} << 17; ///< paper R_X8: 2^17 (272 KB)
+    StorageMode storage = StorageMode::Encrypted;
+    SeedScheme seedScheme = SeedScheme::GlobalCounter;
+    LatencyModel latency{};
+    u64 rngSeed = 0x5eed;
+    u32 stashCapacity = 200;
+};
+
+/** The Recursive ORAM baseline Frontend. */
+class RecursiveFrontend : public Frontend {
+  public:
+    /**
+     * @param config baseline configuration
+     * @param cipher pad generator for Encrypted storage (not owned)
+     * @param dram shared DRAM model (not owned; may be null)
+     * @param trace adversary trace; events carry the tree id, which is
+     *        what the PLB-insecurity demonstration (Section 4.1.2)
+     *        observes
+     */
+    RecursiveFrontend(const RecursiveFrontendConfig& config,
+                      const StreamCipher* cipher, DramModel* dram,
+                      TraceSink trace = nullptr);
+
+    FrontendResult access(Addr addr, bool is_write,
+                          const std::vector<u8>* write_data
+                          = nullptr) override;
+
+    std::string name() const override;
+    u64 dataBlockBytes() const override { return config_.blockBytes; }
+    u64 onChipPosMapBits() const override;
+    const StatSet& stats() const override { return stats_; }
+
+    const RecursionGeometry& geometry() const { return geo_; }
+    u32 numTrees() const { return geo_.h; }
+    PathOramBackend& tree(u32 i) { return *trees_.at(i); }
+
+    /** Sum of per-tree path bytes for one full recursive access. */
+    u64 fullAccessBytes() const;
+
+  private:
+    Leaf randomLeafFor(u32 tree) const;
+
+    /** Read-modify(-write) the PosMap entry for child a_{i-1} inside
+     *  tree i's block a_i; returns the child's old leaf. */
+    Leaf walkLevel(u32 tree_level, Addr a0, FrontendResult& res);
+
+    RecursiveFrontendConfig config_;
+    PosMapFormat format_;   // Leaves format over posmapBlockBytes
+    RecursionGeometry geo_;
+    std::vector<OramParams> treeParams_;
+    std::vector<std::unique_ptr<PathOramBackend>> trees_;
+    std::vector<u64> onChip_; // leaf per ORam_{H-1} block (~0 = uninit)
+    /** PosMap contents for Meta/Null modes, keyed (tree << 48 | addr). */
+    std::unordered_map<u64, PosMapContent> oracle_;
+    mutable Xoshiro256 rng_;
+    StatSet stats_;
+
+    static constexpr u64 kUninit = ~u64{0};
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_RECURSIVE_FRONTEND_HPP

@@ -1,0 +1,425 @@
+#include "core/unified_frontend.hpp"
+
+#include <cstring>
+
+namespace froram {
+namespace {
+
+u64
+maxOnChipEntries(const UnifiedFrontendConfig& cfg)
+{
+    // Estimate bits per on-chip entry: 64-bit counters under PMMAC,
+    // 32-bit uncompressed leaves otherwise (the precise leaf width is
+    // reported by onChipPosMapBits() for area accounting).
+    const u64 entry_bits = cfg.integrity ? 64 : 32;
+    const u64 entries = cfg.onChipTargetBytes * 8 / entry_bits;
+    return entries == 0 ? 1 : entries;
+}
+
+OramParams
+makeParams(const UnifiedFrontendConfig& cfg, const RecursionGeometry& geo)
+{
+    OramParams p;
+    p.numBlocks = geo.totalBlocks;
+    p.blockBytes = cfg.blockBytes;
+    p.z = cfg.z;
+    p.macBytes = cfg.integrity ? cfg.macBytes : 0;
+    p.stashCapacity = cfg.stashCapacity;
+    const u32 lg_n = log2Ceil(p.numBlocks);
+    const u32 lg_z = log2Floor(cfg.z);
+    p.levels = lg_n > lg_z ? lg_n - lg_z : 1;
+    return p;
+}
+
+std::unique_ptr<TreeStorage>
+makeStorage(const UnifiedFrontendConfig& cfg, const OramParams& params,
+            const StreamCipher* cipher)
+{
+    switch (cfg.storage) {
+      case StorageMode::Encrypted:
+        if (cipher == nullptr)
+            fatal("Encrypted storage mode requires a cipher");
+        return std::make_unique<EncryptedTreeStorage>(params, cipher,
+                                                      cfg.seedScheme);
+      case StorageMode::Meta:
+        return std::make_unique<MetaTreeStorage>(params);
+      case StorageMode::Null:
+        return std::make_unique<NullTreeStorage>(params);
+    }
+    panic("unreachable");
+}
+
+std::unique_ptr<TreeLayout>
+makeLayout(const OramParams& params, DramModel* dram)
+{
+    // Pack subtrees into one DRAM row per channel group ([26]).
+    const u64 unit = dram != nullptr
+                         ? u64{dram->config().rowBytes} *
+                               dram->config().channels
+                         : u64{8192} * 2;
+    return std::make_unique<SubtreeLayout>(params.levels,
+                                           params.bucketPhysBytes(), unit);
+}
+
+} // namespace
+
+UnifiedFrontend::UnifiedFrontend(const UnifiedFrontendConfig& config,
+                                 const StreamCipher* cipher, DramModel* dram,
+                                 TraceSink trace)
+    : config_(config),
+      format_(config.format, config.blockBytes, config.beta),
+      params_(),
+      plb_([&] {
+          PlbConfig pc = config.plb;
+          pc.blockBytes = config.blockBytes;
+          return pc;
+      }()),
+      rng_(config.rngSeed),
+      stats_("frontend")
+{
+    if (config_.numBlocks == 0)
+        fatal("UnifiedFrontend needs at least one data block");
+    if (config_.integrity && !format_.hasCounters())
+        fatal("PMMAC requires a counter-based PosMap format");
+
+    geo_ = RecursionGeometry::compute(config_.numBlocks, format_.x(),
+                                      maxOnChipEntries(config_));
+    params_ = makeParams(config_, geo_);
+    params_.validate();
+    if (format_.serializedBytes() > config_.blockBytes)
+        panic("PosMap content does not fit the block payload");
+    if (!format_.hasCounters() && params_.levels > 31)
+        fatal("Leaves PosMap format supports at most 31 tree levels");
+
+    BackendConfig bc;
+    bc.params = params_;
+    bc.treeId = 0;
+    bc.traceSink = std::move(trace);
+    backend_ = std::make_unique<PathOramBackend>(
+        bc, makeStorage(config_, params_, cipher), makeLayout(params_, dram),
+        dram);
+
+    onChip_.assign(geo_.onChipEntries,
+                   config_.integrity ? 0 : kOnChipUninit);
+
+    // Keys for PRF_K and MAC_K, derived deterministically from the seed.
+    Xoshiro256 kdf(config_.rngSeed ^ 0xf00dfeedULL);
+    u8 key[16];
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<u8>(kdf.next());
+    prf_.setKey(key);
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<u8>(kdf.next());
+    mac_.setKey(key);
+}
+
+std::string
+UnifiedFrontend::name() const
+{
+    std::string n = "P";
+    if (config_.integrity)
+        n += "I";
+    if (format_.kind() == PosMapFormat::Kind::Compressed)
+        n += "C";
+    return n + "_X" + std::to_string(format_.x());
+}
+
+u64
+UnifiedFrontend::onChipPosMapBits() const
+{
+    const u64 entry_bits = config_.integrity ? 64 : params_.levels;
+    return geo_.onChipEntries * entry_bits;
+}
+
+void
+UnifiedFrontend::account(FrontendResult& res, const BackendResult& r,
+                         bool posmap_overhead)
+{
+    res.bytesMoved += r.bytesMoved;
+    if (posmap_overhead)
+        res.posmapBytes += r.bytesMoved;
+    res.backendAccesses += 1;
+    res.cycles += config_.latency.backendCycles +
+                  config_.latency.aesPipelineCycles +
+                  config_.latency.psToCycles(r.dramPs);
+}
+
+void
+UnifiedFrontend::verifyPayload(bool found, const std::vector<u8>& data,
+                               Addr uaddr, u64 counter, bool expect_cold,
+                               FrontendResult& res)
+{
+    if (!config_.integrity || config_.storage != StorageMode::Encrypted)
+        return;
+    if (!found) {
+        if (!expect_cold)
+            throw IntegrityViolation(
+                "PMMAC: block suppressed (expected counter " +
+                std::to_string(counter) + " for addr " +
+                std::to_string(uaddr) + ")");
+        return;
+    }
+    const u64 body = config_.blockBytes;
+    FRORAM_ASSERT(data.size() >= body + config_.macBytes,
+                  "fetched block missing MAC field");
+    Mac::Tag stored;
+    std::memcpy(stored.data(), data.data() + body, Mac::kTagBytes);
+    if (!mac_.verify(stored, counter, uaddr, data.data(), body))
+        throw IntegrityViolation("PMMAC: MAC mismatch for addr " +
+                                 std::to_string(uaddr) + " at counter " +
+                                 std::to_string(counter));
+    res.cycles += config_.latency.sha3Cycles;
+    stats_.inc("macChecks");
+}
+
+void
+UnifiedFrontend::writeTag(std::vector<u8>& payload, u64 counter, Addr uaddr)
+{
+    const u64 body = config_.blockBytes;
+    FRORAM_ASSERT(payload.size() >= body + config_.macBytes,
+                  "payload missing MAC field");
+    const Mac::Tag tag = mac_.compute(counter, uaddr, payload.data(), body);
+    std::memcpy(payload.data() + body, tag.data(), Mac::kTagBytes);
+    stats_.inc("macUpdates");
+}
+
+PosMapContent
+UnifiedFrontend::contentOf(const BackendResult& r, Addr uaddr)
+{
+    if (config_.storage != StorageMode::Encrypted) {
+        auto it = oracle_.find(uaddr);
+        if (it != oracle_.end()) {
+            PosMapContent c = std::move(it->second);
+            oracle_.erase(it);
+            return c;
+        }
+        return format_.makeFresh();
+    }
+    if (!r.found)
+        return format_.makeFresh();
+    return format_.deserialize(r.block.data.data());
+}
+
+void
+UnifiedFrontend::appendEvicted(PlbEntry entry, FrontendResult& res)
+{
+    Block blk;
+    blk.addr = entry.addr;
+    blk.leaf = entry.leaf;
+    if (config_.storage == StorageMode::Encrypted) {
+        blk.data.assign(params_.storedBlockBytes(), 0);
+        format_.serialize(entry.content, blk.data.data());
+        if (config_.integrity)
+            writeTag(blk.data, entry.counter, entry.addr);
+    } else {
+        oracle_[entry.addr] = std::move(entry.content);
+    }
+    backend_->append(std::move(blk));
+    stats_.inc("plbAppends");
+}
+
+void
+UnifiedFrontend::insertIntoPlb(Addr uaddr, const EntryTouch& touch,
+                               PosMapContent content, FrontendResult& res)
+{
+    PlbEntry e;
+    e.addr = uaddr;
+    e.leaf = touch.newLeaf;
+    e.counter = touch.newCounter;
+    e.content = std::move(content);
+    auto victim = plb_.insert(std::move(e));
+    if (victim.has_value())
+        appendEvicted(std::move(*victim), res);
+}
+
+void
+UnifiedFrontend::drainPlb()
+{
+    FrontendResult scratch;
+    for (auto& e : plb_.drain())
+        appendEvicted(std::move(e), scratch);
+}
+
+UnifiedFrontend::EntryTouch
+UnifiedFrontend::touchEntryIn(PosMapContent& content, u32 child_level,
+                              u64 child_index, FrontendResult& res)
+{
+    const u32 j = static_cast<u32>(child_index & (format_.x() - 1));
+    const Addr child_uaddr = geo_.base[child_level] + child_index;
+    EntryTouch t;
+    if (format_.kind() == PosMapFormat::Kind::Leaves) {
+        t.wasCold = content.leaves[j] == PosMapContent::kUninitLeaf;
+        t.oldLeaf = t.wasCold ? randomLeaf() : content.leaves[j];
+        t.newLeaf = randomLeaf();
+        content.leaves[j] = static_cast<u32>(t.newLeaf);
+        return t;
+    }
+    if (format_.incrementWouldOverflow(content, j)) {
+        groupRemap(content, child_level, child_index & ~u64{format_.x() - 1},
+                   res);
+    }
+    t.oldCounter = format_.currentCounter(content, j);
+    t.wasCold = t.oldCounter == 0;
+    t.oldLeaf = prf_.leafFor(child_uaddr, t.oldCounter, treeLevels());
+    format_.increment(content, j);
+    t.newCounter = format_.currentCounter(content, j);
+    t.newLeaf = prf_.leafFor(child_uaddr, t.newCounter, treeLevels());
+    res.cycles += 2 * config_.latency.prfCycles;
+    return t;
+}
+
+void
+UnifiedFrontend::groupRemap(PosMapContent& content, u32 child_level,
+                            u64 group_first_index, FrontendResult& res)
+{
+    FRORAM_ASSERT(format_.kind() == PosMapFormat::Kind::Compressed,
+                  "group remap is Compressed-only");
+    stats_.inc("groupRemaps");
+    const u64 old_gc = content.gc;
+    const u64 new_counter = (old_gc + 1) << format_.beta();
+
+    for (u32 m = 0; m < format_.x(); ++m) {
+        const u64 idx = group_first_index + m;
+        if (idx >= geo_.levelBlocks[child_level])
+            break;
+        const Addr uaddr = geo_.base[child_level] + idx;
+        const u64 old_counter = (old_gc << format_.beta()) | content.ic[m];
+        const Leaf new_leaf =
+            prf_.leafFor(uaddr, new_counter, treeLevels());
+        res.cycles += 2 * config_.latency.prfCycles;
+
+        // A PLB-resident group member is relabelled in place; it will be
+        // re-tagged with its carried counter when evicted.
+        if (child_level >= 1) {
+            if (PlbEntry* e = plb_.find(uaddr)) {
+                e->leaf = new_leaf;
+                e->counter = new_counter;
+                continue;
+            }
+        }
+
+        const Leaf old_leaf =
+            prf_.leafFor(uaddr, old_counter, treeLevels());
+        BackendResult r =
+            backend_->access(Op::ReadRmv, uaddr, old_leaf, kNoLeaf);
+        account(res, r, /*posmap_overhead=*/true);
+        verifyPayload(r.found, r.block.data, uaddr, old_counter,
+                      old_counter == 0, res);
+        Block blk = std::move(r.block);
+        blk.addr = uaddr;
+        blk.leaf = new_leaf;
+        if (config_.integrity && config_.storage == StorageMode::Encrypted)
+            writeTag(blk.data, new_counter, uaddr);
+        backend_->append(std::move(blk));
+        stats_.inc("groupRemapAccesses");
+    }
+    format_.bumpGroupCounter(content);
+}
+
+UnifiedFrontend::EntryTouch
+UnifiedFrontend::touchEntryForChild(u32 child_level, Addr a0,
+                                    FrontendResult& res)
+{
+    const Addr child_uaddr = geo_.unifiedAddr(child_level, a0);
+    const u32 parent_level = child_level + 1;
+
+    if (parent_level == geo_.h) {
+        // Parent is the on-chip PosMap (root of trust).
+        const u64 idx = geo_.levelAddr(child_level, a0);
+        FRORAM_ASSERT(idx < onChip_.size(), "on-chip index out of range");
+        u64& slot = onChip_[idx];
+        EntryTouch t;
+        if (config_.integrity) {
+            t.oldCounter = slot;
+            t.wasCold = slot == 0;
+            t.oldLeaf =
+                prf_.leafFor(child_uaddr, t.oldCounter, treeLevels());
+            slot += 1;
+            t.newCounter = slot;
+            t.newLeaf =
+                prf_.leafFor(child_uaddr, t.newCounter, treeLevels());
+            res.cycles += 2 * config_.latency.prfCycles;
+        } else {
+            t.wasCold = slot == kOnChipUninit;
+            t.oldLeaf = t.wasCold ? randomLeaf() : slot;
+            t.newLeaf = randomLeaf();
+            slot = t.newLeaf;
+        }
+        return t;
+    }
+
+    PlbEntry* parent = plb_.find(geo_.unifiedAddr(parent_level, a0));
+    FRORAM_ASSERT(parent != nullptr, "walk parent must be PLB-resident");
+    return touchEntryIn(parent->content, child_level,
+                        geo_.levelAddr(child_level, a0), res);
+}
+
+FrontendResult
+UnifiedFrontend::access(Addr a0, bool is_write,
+                        const std::vector<u8>* write_data)
+{
+    FRORAM_ASSERT(a0 < geo_.levelBlocks[0], "data address out of range");
+    FrontendResult res;
+    stats_.inc("accesses");
+    res.cycles += config_.latency.frontendCycles;
+
+    // Step 1 (Section 4.2.4): PLB lookup loop. Find the smallest i such
+    // that block a_{i+1} (holding the leaf of a_i) is PLB-resident.
+    u32 start = geo_.h - 1;
+    for (u32 i = 0; i + 1 < geo_.h; ++i) {
+        if (plb_.lookup(geo_.unifiedAddr(i + 1, a0)) != nullptr) {
+            start = i;
+            break;
+        }
+    }
+    if (start == 0 && geo_.h > 1)
+        stats_.inc("fullPlbHits");
+
+    // Step 2: fetch the missing PosMap blocks a_start .. a_1, refilling
+    // the PLB (evictions are appended back to the stash).
+    for (u32 i = start; i >= 1; --i) {
+        const EntryTouch t = touchEntryForChild(i, a0, res);
+        const Addr uaddr = geo_.unifiedAddr(i, a0);
+        BackendResult r =
+            backend_->access(Op::ReadRmv, uaddr, t.oldLeaf, kNoLeaf);
+        account(res, r, /*posmap_overhead=*/true);
+        verifyPayload(r.found, r.block.data, uaddr, t.oldCounter,
+                      t.wasCold, res);
+        insertIntoPlb(uaddr, t, contentOf(r, uaddr), res);
+    }
+
+    // Step 3: the data block access. Verification and re-tagging run in
+    // the Step-4 transform, while the block is still stash-resident.
+    const EntryTouch t = touchEntryForChild(0, a0, res);
+    res.coldMiss = t.wasCold;
+    const bool carries = config_.storage == StorageMode::Encrypted;
+    PathOramBackend::BlockTransform xform = [&](Block& blk, bool found) {
+        verifyPayload(found, blk.data, a0, t.oldCounter, t.wasCold, res);
+        if (!carries)
+            return;
+        if (is_write) {
+            blk.data = write_data != nullptr ? *write_data
+                                             : std::vector<u8>{};
+            blk.data.resize(params_.storedBlockBytes(), 0);
+        }
+        if (config_.integrity)
+            writeTag(blk.data, t.newCounter, a0);
+        res.data.assign(blk.data.begin(),
+                        blk.data.begin() +
+                            static_cast<long>(config_.blockBytes));
+    };
+    BackendResult r = backend_->access(is_write ? Op::Write : Op::Read, a0,
+                                       t.oldLeaf, t.newLeaf, nullptr,
+                                       xform);
+    account(res, r, /*posmap_overhead=*/false);
+
+    if (t.wasCold)
+        stats_.inc("coldMisses");
+    stats_.inc("bytesMoved", res.bytesMoved);
+    stats_.inc("posmapBytes", res.posmapBytes);
+    stats_.inc("backendAccesses", res.backendAccesses);
+    stats_.inc("cycles", res.cycles);
+    return res;
+}
+
+} // namespace froram

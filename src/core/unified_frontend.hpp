@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The Freecursive ORAM Frontend: PLB + Unified ORAM tree (Section 4),
+ * optional PosMap compression (Section 5) and optional PMMAC integrity
+ * verification (Section 6).
+ *
+ * All PosMap levels and the data blocks live in one physical ORAM tree
+ * (ORamU); PosMap blocks are checked out of the tree into the PLB with
+ * readrmv and appended back on eviction. The scheme matrix of Section
+ * 7.1.4 maps onto the configuration:
+ *
+ *   P_X16   : format = Leaves,      integrity = false
+ *   PC_X32  : format = Compressed,  integrity = false
+ *   PI_X8   : format = FlatCounter, integrity = true
+ *   PIC_X32 : format = Compressed,  integrity = true
+ */
+#ifndef FRORAM_CORE_UNIFIED_FRONTEND_HPP
+#define FRORAM_CORE_UNIFIED_FRONTEND_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/frontend.hpp"
+#include "core/plb.hpp"
+#include "core/posmap_format.hpp"
+#include "core/recursion.hpp"
+#include "crypto/prf.hpp"
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** How the unified tree stores bucket contents. */
+enum class StorageMode {
+    Encrypted, ///< real encrypted payloads; supports tampering + integrity
+    Meta,      ///< per-slot placement metadata only (large functional sims)
+    Null       ///< nothing stored; pure bandwidth/latency accounting
+};
+
+/** Configuration for a UnifiedFrontend and its Backend. */
+struct UnifiedFrontendConfig {
+    u64 numBlocks = 0;        ///< N data blocks
+    u64 blockBytes = 64;      ///< B
+    u32 z = 4;                ///< bucket slots
+    PosMapFormat::Kind format = PosMapFormat::Kind::Compressed;
+    u32 beta = 14;            ///< compressed IC width
+    bool integrity = false;   ///< PMMAC on/off
+    PlbConfig plb{};          ///< PLB geometry
+    u64 onChipTargetBytes = 128 * 1024; ///< recurse until on-chip <= this
+    StorageMode storage = StorageMode::Encrypted;
+    SeedScheme seedScheme = SeedScheme::GlobalCounter;
+    LatencyModel latency{};
+    u64 rngSeed = 0x5eed;
+    u64 macBytes = 16;        ///< PMMAC tag bytes per block
+    u32 stashCapacity = 200;
+};
+
+/** PLB + unified-tree Frontend (the paper's proposal). */
+class UnifiedFrontend : public Frontend {
+  public:
+    /**
+     * @param config scheme configuration
+     * @param cipher pad generator for Encrypted storage (may be null for
+     *        Meta/Null modes; not owned)
+     * @param dram shared DRAM timing model (may be null; not owned)
+     * @param trace adversary-visible trace sink (may be empty)
+     */
+    UnifiedFrontend(const UnifiedFrontendConfig& config,
+                    const StreamCipher* cipher, DramModel* dram,
+                    TraceSink trace = nullptr);
+
+    FrontendResult access(Addr addr, bool is_write,
+                          const std::vector<u8>* write_data
+                          = nullptr) override;
+
+    std::string name() const override;
+    u64 dataBlockBytes() const override { return config_.blockBytes; }
+    u64 onChipPosMapBits() const override;
+    const StatSet& stats() const override { return stats_; }
+
+    /** @name Introspection (tests, benches) @{ */
+    const RecursionGeometry& geometry() const { return geo_; }
+    const PosMapFormat& format() const { return format_; }
+    Plb& plb() { return plb_; }
+    PathOramBackend& backend() { return *backend_; }
+    const UnifiedFrontendConfig& config() const { return config_; }
+    /** Append every PLB-resident block back to the stash (invariant
+     *  checks: afterwards, all blocks live in stash or tree). */
+    void drainPlb();
+    /** @} */
+
+  private:
+    /** Result of touching (reading + remapping) one PosMap entry. */
+    struct EntryTouch {
+        Leaf oldLeaf = kNoLeaf;
+        Leaf newLeaf = kNoLeaf;
+        u64 oldCounter = 0;
+        u64 newCounter = 0;
+        bool wasCold = false;
+    };
+
+    /** Unified tree leaf count exponent. */
+    u32 treeLevels() const { return params_.levels; }
+
+    Leaf randomLeaf() { return rng_.below(params_.numLeaves()); }
+
+    /**
+     * Read + remap the PosMap entry holding the leaf of the level-
+     * `child_level` block covering a0. The parent is the on-chip PosMap
+     * (child_level == H-1) or a PLB-resident block (which must be
+     * present).
+     */
+    EntryTouch touchEntryForChild(u32 child_level, Addr a0,
+                                  FrontendResult& res);
+
+    /** Entry access within a decoded PosMap block. */
+    EntryTouch touchEntryIn(PosMapContent& content, u32 child_level,
+                            u64 child_index, FrontendResult& res);
+
+    /** Section 5.2.2: GC += 1, reset ICs, re-route every group member. */
+    void groupRemap(PosMapContent& content, u32 child_level,
+                    u64 group_first_index, FrontendResult& res);
+
+    /** Accumulate one BackendResult into the running FrontendResult. */
+    void account(FrontendResult& res, const BackendResult& r,
+                 bool posmap_overhead);
+
+    /** PMMAC verification of a fetched payload (Section 6.2.1). */
+    void verifyPayload(bool found, const std::vector<u8>& data, Addr uaddr,
+                       u64 counter, bool expect_cold, FrontendResult& res);
+
+    /** MAC tag written into a payload's trailing macBytes. */
+    void writeTag(std::vector<u8>& payload, u64 counter, Addr uaddr);
+
+    /** Obtain decoded PosMap content for a fetched block. */
+    PosMapContent contentOf(const BackendResult& r, Addr uaddr);
+
+    /** Insert a fetched PosMap block into the PLB; append any victim. */
+    void insertIntoPlb(Addr uaddr, const EntryTouch& touch,
+                       PosMapContent content, FrontendResult& res);
+
+    /** Serialize a PLB entry back into a stash block and append it. */
+    void appendEvicted(PlbEntry entry, FrontendResult& res);
+
+    UnifiedFrontendConfig config_;
+    RecursionGeometry geo_;
+    PosMapFormat format_;
+    OramParams params_;     // unified tree geometry
+    std::unique_ptr<PathOramBackend> backend_;
+    Plb plb_;
+    Prf prf_;
+    Mac mac_;
+    Xoshiro256 rng_;
+    /** On-chip PosMap: leaf (Leaves format) or counter per top block. */
+    std::vector<u64> onChip_;
+    /** PosMap contents for Meta/Null storage modes. */
+    std::unordered_map<Addr, PosMapContent> oracle_;
+    StatSet stats_;
+
+    static constexpr u64 kOnChipUninit = ~u64{0};
+};
+
+} // namespace froram
+
+#endif // FRORAM_CORE_UNIFIED_FRONTEND_HPP

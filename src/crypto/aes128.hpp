@@ -1,0 +1,46 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), forward direction.
+ *
+ * The ORAM controller uses AES only in the forward direction: AES-CTR for
+ * bucket encryption (decryption XORs the same keystream) and PRF_K for
+ * compressed-PosMap leaf derivation (Section 5.1 of the paper). A
+ * table-based implementation keeps large simulations fast.
+ */
+#ifndef FRORAM_CRYPTO_AES128_HPP
+#define FRORAM_CRYPTO_AES128_HPP
+
+#include <array>
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** AES-128 with a fixed 16-byte key, encrypt-only. */
+class Aes128 {
+  public:
+    static constexpr size_t kBlockBytes = 16;
+    static constexpr size_t kKeyBytes = 16;
+    static constexpr int kRounds = 10;
+
+    /** Construct with an all-zero key. */
+    Aes128() { setKey(std::array<u8, kKeyBytes>{}.data()); }
+
+    /** Construct and schedule the given 16-byte key. */
+    explicit Aes128(const u8* key16) { setKey(key16); }
+
+    /** (Re)schedule a 16-byte key. */
+    void setKey(const u8* key16);
+
+    /** Encrypt one 16-byte block: out = AES_K(in). in/out may alias. */
+    void encryptBlock(const u8* in16, u8* out16) const;
+
+  private:
+    // Round keys as 4 big-endian words per round.
+    std::array<u32, 4 * (kRounds + 1)> roundKeys_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_CRYPTO_AES128_HPP

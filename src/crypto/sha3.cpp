@@ -1,0 +1,111 @@
+#include "crypto/sha3.hpp"
+
+#include <cstring>
+
+namespace froram {
+namespace {
+
+constexpr u64 kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotation[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3, 10,
+                               43, 25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56,
+                               14};
+
+inline u64
+rotl64(u64 x, int k)
+{
+    return k == 0 ? x : (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Sha3_224::reset()
+{
+    std::memset(state_, 0, sizeof(state_));
+    offset_ = 0;
+}
+
+void
+Sha3_224::keccakF()
+{
+    u64* a = state_;
+    for (int round = 0; round < 24; ++round) {
+        // Theta
+        u64 c[5], d[5];
+        for (int x = 0; x < 5; ++x)
+            c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+        for (int x = 0; x < 5; ++x)
+            d[x] = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+        for (int i = 0; i < 25; ++i)
+            a[i] ^= d[i % 5];
+        // Rho + Pi
+        u64 b[25];
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                const int src = x + 5 * y;
+                const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+                b[dst] = rotl64(a[src], kRotation[src]);
+            }
+        }
+        // Chi
+        for (int y = 0; y < 5; ++y) {
+            for (int x = 0; x < 5; ++x) {
+                a[x + 5 * y] = b[x + 5 * y] ^
+                               (~b[(x + 1) % 5 + 5 * y] &
+                                b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+        // Iota
+        a[0] ^= kRoundConstants[round];
+    }
+}
+
+void
+Sha3_224::update(const u8* data, size_t len)
+{
+    u8* bytes = reinterpret_cast<u8*>(state_);
+    while (len > 0) {
+        const size_t take = std::min(len, kRateBytes - offset_);
+        for (size_t i = 0; i < take; ++i)
+            bytes[offset_ + i] ^= data[i];
+        offset_ += take;
+        data += take;
+        len -= take;
+        if (offset_ == kRateBytes) {
+            keccakF();
+            offset_ = 0;
+        }
+    }
+}
+
+void
+Sha3_224::finalize(u8* digest28)
+{
+    u8* bytes = reinterpret_cast<u8*>(state_);
+    // SHA-3 domain separation pad: 0x06 ... 0x80.
+    bytes[offset_] ^= 0x06;
+    bytes[kRateBytes - 1] ^= 0x80;
+    keccakF();
+    std::memcpy(digest28, bytes, kDigestBytes);
+}
+
+std::array<u8, Sha3_224::kDigestBytes>
+Sha3_224::hash(const u8* data, size_t len)
+{
+    Sha3_224 h;
+    h.update(data, len);
+    std::array<u8, kDigestBytes> out;
+    h.finalize(out.data());
+    return out;
+}
+
+} // namespace froram

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SHA3-224 (FIPS-202, Keccak-f[1600]).
+ *
+ * PMMAC (Section 6) implements MAC_K with SHA3-224 following the paper's
+ * hardware prototype, which used an OpenCores SHA3-224 core.
+ */
+#ifndef FRORAM_CRYPTO_SHA3_HPP
+#define FRORAM_CRYPTO_SHA3_HPP
+
+#include <array>
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Incremental SHA3-224 hasher. */
+class Sha3_224 {
+  public:
+    static constexpr size_t kDigestBytes = 28;
+    static constexpr size_t kRateBytes = 144; // 1152-bit rate
+
+    Sha3_224() { reset(); }
+
+    /** Reset to the empty-message state. */
+    void reset();
+
+    /** Absorb `len` bytes of message. */
+    void update(const u8* data, size_t len);
+
+    /** Finalize and write the 28-byte digest. The object must be reset
+     *  before reuse. */
+    void finalize(u8* digest28);
+
+    /** One-shot convenience: digest of (data, len). */
+    static std::array<u8, kDigestBytes> hash(const u8* data, size_t len);
+
+  private:
+    void keccakF();
+
+    u64 state_[25];
+    size_t offset_; // bytes absorbed into the current rate block
+};
+
+} // namespace froram
+
+#endif // FRORAM_CRYPTO_SHA3_HPP

@@ -1,0 +1,130 @@
+#include "integrity/merkle_tree.hpp"
+
+#include <cstring>
+
+namespace froram {
+
+MerkleTree::MerkleTree(const OramParams& params,
+                       EncryptedTreeStorage* storage, const u8* key16)
+    : params_(params), storage_(storage), stats_("merkle")
+{
+    FRORAM_ASSERT(storage_ != nullptr, "Merkle tree needs storage");
+    std::memcpy(key_.data(), key16, 16);
+
+    // Empty-subtree hashes, leaves up: E(L) = H(key || "empty"),
+    // E(l) = H(key || "empty" || E(l+1) || E(l+1)).
+    emptyHash_.resize(params_.levels + 1);
+    for (i64 l = params_.levels; l >= 0; --l) {
+        Sha3_224 h;
+        h.update(key_.data(), key_.size());
+        const u8 tag = 0xee;
+        h.update(&tag, 1);
+        if (l < static_cast<i64>(params_.levels)) {
+            h.update(emptyHash_[l + 1].data(), emptyHash_[l + 1].size());
+            h.update(emptyHash_[l + 1].data(), emptyHash_[l + 1].size());
+        }
+        h.finalize(emptyHash_[l].data());
+    }
+    root_ = emptyHash_[0];
+}
+
+void
+MerkleTree::attach(BackendConfig& config)
+{
+    config.beforePathRead = [this](Leaf l) { verifyPath(l); };
+    config.afterPathWrite = [this](Leaf l) { updatePath(l); };
+}
+
+const MerkleTree::Hash&
+MerkleTree::storedHash(u32 level, u64 index) const
+{
+    auto it = hashes_.find(heapIndex(level, index));
+    return it == hashes_.end() ? emptyHash_[level] : it->second;
+}
+
+MerkleTree::Hash
+MerkleTree::hashBucket(u32 level, u64 index, const Hash* left,
+                       const Hash* right)
+{
+    Sha3_224 h;
+    h.update(key_.data(), key_.size());
+    const std::vector<u8> image =
+        storage_->rawImage(heapIndex(level, index));
+    if (image.empty()) {
+        const u8 tag = 0xee;
+        h.update(&tag, 1);
+    } else {
+        h.update(image.data(), image.size());
+    }
+    if (level < params_.levels) {
+        h.update(left->data(), left->size());
+        h.update(right->data(), right->size());
+    }
+    Hash out;
+    h.finalize(out.data());
+    stats_.inc("bucketsHashed");
+    stats_.inc("blocksHashed", params_.z);
+    stats_.inc("bytesHashed",
+               image.empty() ? params_.bucketPhysBytes() : image.size());
+    return out;
+}
+
+void
+MerkleTree::verifyPath(Leaf leaf)
+{
+    stats_.inc("pathVerifies");
+    // Recompute hashes bottom-up along the path, using stored hashes for
+    // the off-path siblings, and compare the resulting root.
+    Hash below{};
+    for (i64 l = params_.levels; l >= 0; --l) {
+        const u64 idx = leaf >> (params_.levels - l);
+        Hash computed;
+        if (l == static_cast<i64>(params_.levels)) {
+            computed = hashBucket(static_cast<u32>(l), idx, nullptr,
+                                  nullptr);
+        } else {
+            const u64 child_on_path = leaf >> (params_.levels - l - 1);
+            const Hash& sibling = storedHash(
+                static_cast<u32>(l) + 1, child_on_path ^ 1);
+            const Hash* left =
+                (child_on_path & 1) == 0 ? &below : &sibling;
+            const Hash* right =
+                (child_on_path & 1) == 0 ? &sibling : &below;
+            computed = hashBucket(static_cast<u32>(l), idx, left, right);
+        }
+        // Interior consistency: the stored hash (if any) must match what
+        // the images imply; the root check is the authoritative one.
+        below = computed;
+    }
+    if (std::memcmp(below.data(), root_.data(), below.size()) != 0)
+        throw IntegrityViolation("Merkle: root hash mismatch");
+}
+
+void
+MerkleTree::updatePath(Leaf leaf)
+{
+    stats_.inc("pathUpdates");
+    Hash below{};
+    for (i64 l = params_.levels; l >= 0; --l) {
+        const u64 idx = leaf >> (params_.levels - l);
+        Hash computed;
+        if (l == static_cast<i64>(params_.levels)) {
+            computed = hashBucket(static_cast<u32>(l), idx, nullptr,
+                                  nullptr);
+        } else {
+            const u64 child_on_path = leaf >> (params_.levels - l - 1);
+            const Hash& sibling = storedHash(
+                static_cast<u32>(l) + 1, child_on_path ^ 1);
+            const Hash* left =
+                (child_on_path & 1) == 0 ? &below : &sibling;
+            const Hash* right =
+                (child_on_path & 1) == 0 ? &sibling : &below;
+            computed = hashBucket(static_cast<u32>(l), idx, left, right);
+        }
+        hashes_[heapIndex(static_cast<u32>(l), idx)] = computed;
+        below = computed;
+    }
+    root_ = below;
+}
+
+} // namespace froram

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DDR3-style DRAM geometry and timing configuration.
+ *
+ * Defaults follow the paper's evaluation (Section 7.1.1): DRAMSim2's
+ * default micron DDR3 configuration with 8 banks, 16384 rows and 1024
+ * columns per row, 667 MHz DDR clock and a 64-bit bus, i.e. ~10.67 GB/s
+ * peak per channel.
+ */
+#ifndef FRORAM_MEM_DRAM_CONFIG_HPP
+#define FRORAM_MEM_DRAM_CONFIG_HPP
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+/** DRAM timing parameters, in DRAM clock cycles unless noted. */
+struct DramTiming {
+    u64 tCkPs = 1500; ///< clock period in picoseconds (667 MHz)
+    u32 cl = 9;       ///< CAS latency
+    u32 tRcd = 9;     ///< RAS-to-CAS delay
+    u32 tRp = 9;      ///< row precharge
+    u32 tRas = 24;    ///< row active time (ACT -> PRE minimum)
+    u32 tBurst = 4;   ///< data bus occupancy of a BL8 burst (DDR)
+    u32 tWr = 10;     ///< write recovery
+    u32 tCcd = 4;     ///< column-to-column delay
+};
+
+/** DRAM organization for one memory system. */
+struct DramConfig {
+    u32 channels = 2;        ///< independent channels
+    u32 ranksPerChannel = 1; ///< ranks (modeled as extra banks)
+    u32 banksPerRank = 8;    ///< banks per rank
+    u32 rowsPerBank = 16384; ///< rows per bank
+    u32 rowBytes = 8192;     ///< row buffer: 1024 columns x 64-bit bus
+    u32 busBytes = 8;        ///< data bus width in bytes
+    u32 burstBytes = 64;     ///< bytes per BL8 burst (bus transaction unit)
+    DramTiming timing{};
+
+    /** Peak bandwidth of the whole memory system in bytes per second. */
+    double
+    peakBandwidthBytesPerSec() const
+    {
+        // DDR: two transfers per clock.
+        const double clk_hz = 1e12 / static_cast<double>(timing.tCkPs);
+        return clk_hz * 2.0 * busBytes * channels;
+    }
+
+    u32
+    totalBanksPerChannel() const
+    {
+        return ranksPerChannel * banksPerRank;
+    }
+
+    /** Default paper configuration with a given channel count. */
+    static DramConfig
+    ddr3(u32 num_channels)
+    {
+        DramConfig c;
+        c.channels = num_channels;
+        return c;
+    }
+};
+
+/** A single DRAM transaction (one burst) as seen by the timing model. */
+struct DramRequest {
+    u64 addr = 0;        ///< physical byte address (burst aligned)
+    bool isWrite = false;
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_DRAM_CONFIG_HPP

@@ -1,0 +1,114 @@
+#include "mem/dram_model.hpp"
+
+#include <algorithm>
+
+namespace froram {
+
+DramModel::DramModel(const DramConfig& config)
+    : config_(config), stats_("dram")
+{
+    if (config_.channels == 0 || !isPow2(config_.channels))
+        fatal("DRAM channel count must be a nonzero power of two, got ",
+              config_.channels);
+    if (!isPow2(config_.burstBytes) || !isPow2(config_.rowBytes))
+        fatal("DRAM burst/row sizes must be powers of two");
+    channels_.resize(config_.channels);
+    for (auto& ch : channels_)
+        ch.banks.resize(config_.totalBanksPerChannel());
+}
+
+DramModel::Decoded
+DramModel::decode(u64 addr) const
+{
+    // Channel interleaving at burst granularity so one bucket stripes
+    // across channels (as in Phantom / [26]).
+    const u64 burst = addr / config_.burstBytes;
+    Decoded d;
+    d.channel = static_cast<u32>(burst % config_.channels);
+    const u64 eff = (burst / config_.channels) * config_.burstBytes +
+                    (addr % config_.burstBytes);
+    const u64 row_id = eff / config_.rowBytes;
+    d.col = eff % config_.rowBytes;
+    d.bank = static_cast<u32>(row_id % config_.totalBanksPerChannel());
+    d.row = row_id / config_.totalBanksPerChannel();
+    return d;
+}
+
+u64
+DramModel::issue(const DramRequest& req)
+{
+    const Decoded d = decode(req.addr);
+    Channel& ch = channels_[d.channel];
+    Bank& bank = ch.banks[d.bank];
+    const DramTiming& t = config_.timing;
+
+    u64 col_cmd_at = std::max(now_, bank.nextColAt);
+
+    if (bank.openRow == static_cast<i64>(d.row)) {
+        stats_.inc("rowHits");
+    } else {
+        u64 act_at = col_cmd_at;
+        if (bank.openRow >= 0) {
+            // Precharge the open row first; respect tRAS from the last
+            // activate and write recovery from the last write burst.
+            const u64 pre_at = std::max(
+                {col_cmd_at, bank.activatedAt + cyc(t.tRas),
+                 bank.lastWriteEnd + cyc(t.tWr)});
+            act_at = pre_at + cyc(t.tRp);
+            stats_.inc("rowConflicts");
+        } else {
+            stats_.inc("rowMisses");
+        }
+        bank.activatedAt = act_at;
+        col_cmd_at = act_at + cyc(t.tRcd);
+        bank.openRow = static_cast<i64>(d.row);
+    }
+
+    // Data bus occupancy: the burst transfers CL after the column command
+    // and holds the channel bus for tBurst.
+    const u64 data_start = std::max(col_cmd_at + cyc(t.cl), ch.busFreeAt);
+    const u64 data_end = data_start + cyc(t.tBurst);
+    ch.busFreeAt = data_end;
+    // Consecutive column ops to one bank are spaced by tCCD; write
+    // recovery (tWR) is charged at the next precharge, not here, so
+    // write streams run at full bus rate as on real DDR3.
+    bank.nextColAt = col_cmd_at + cyc(t.tCcd);
+    if (req.isWrite)
+        bank.lastWriteEnd = data_end;
+
+    stats_.inc(req.isWrite ? "writeBursts" : "readBursts");
+    stats_.inc("bytes", config_.burstBytes);
+    return data_end;
+}
+
+u64
+DramModel::accessBatch(const std::vector<DramRequest>& requests)
+{
+    const u64 start = now_;
+    u64 done = start;
+    for (const auto& req : requests)
+        done = std::max(done, issue(req));
+    now_ = done;
+    stats_.inc("batches");
+    stats_.inc("busyPs", done - start);
+    return done - start;
+}
+
+u64
+DramModel::accessSingle(u64 addr, bool is_write)
+{
+    const u64 start = now_;
+    const u64 done = issue({addr, is_write});
+    now_ = done;
+    stats_.inc("singles");
+    stats_.inc("busyPs", done - start);
+    return done - start;
+}
+
+void
+DramModel::idle(u64 ps)
+{
+    now_ += ps;
+}
+
+} // namespace froram

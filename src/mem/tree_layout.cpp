@@ -1,0 +1,50 @@
+#include "mem/tree_layout.hpp"
+
+namespace froram {
+
+SubtreeLayout::SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes)
+    : TreeLayout(levels, bucket_bytes)
+{
+    // Largest k with (2^k - 1) * bucketBytes <= unitBytes; at least 1.
+    k_ = 1;
+    while (k_ < 20 && (((u64{1} << (k_ + 1)) - 1) * bucketBytes_) <=
+                          unit_bytes) {
+        ++k_;
+    }
+    subtreeBuckets_ = (u64{1} << k_) - 1;
+
+    // Super-level s spans tree levels [s*k, s*k + k). The number of
+    // subtrees rooted at super-level s is 2^(s*k). groupBase_[s] is the
+    // ordinal of the first subtree of super-level s.
+    const u32 num_groups = (levels_ + 1 + k_ - 1) / k_;
+    groupBase_.resize(num_groups + 1, 0);
+    u64 base = 0;
+    for (u32 s = 0; s < num_groups; ++s) {
+        groupBase_[s] = base;
+        base += u64{1} << (s * k_);
+    }
+    groupBase_[num_groups] = base;
+}
+
+u64
+SubtreeLayout::relativeAddressOf(BucketCoord b) const
+{
+    FRORAM_ASSERT(b.level <= levels_, "bucket level out of range");
+    const u32 s = b.level / k_; // super-level
+    const u32 r = b.level % k_; // level within the subtree
+    const u64 subtree = b.index >> r; // subtree root index at level s*k
+    const u64 ordinal = groupBase_[s] + subtree;
+    // Offset inside the depth-k subtree: heap position of the node on the
+    // sub-path of length r below the subtree root.
+    const u64 local = b.index & ((u64{1} << r) - 1);
+    const u64 offset = ((u64{1} << r) - 1) + local;
+    return (ordinal * subtreeBuckets_ + offset) * bucketBytes_;
+}
+
+u64
+SubtreeLayout::footprintBytes() const
+{
+    return groupBase_.back() * subtreeBuckets_ * bucketBytes_;
+}
+
+} // namespace froram

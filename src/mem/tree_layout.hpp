@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Mapping from ORAM tree buckets to DRAM physical addresses.
+ *
+ * Implements the subtree layout of Ren et al. [26] used by the paper
+ * (Section 7.1.1): the tree is partitioned into depth-k subtrees, each
+ * packed contiguously so that a path access touches one DRAM row region
+ * per k levels instead of one per level, achieving near-peak DRAM
+ * bandwidth. A naive level-order layout is provided for ablation.
+ */
+#ifndef FRORAM_MEM_TREE_LAYOUT_HPP
+#define FRORAM_MEM_TREE_LAYOUT_HPP
+
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Identifies one bucket: tree level and index within the level. */
+struct BucketCoord {
+    u32 level;
+    u64 index;
+
+    bool
+    operator==(const BucketCoord& o) const
+    {
+        return level == o.level && index == o.index;
+    }
+};
+
+/** Abstract bucket -> byte-address mapping. */
+class TreeLayout {
+  public:
+    /**
+     * @param levels ORAM tree depth L (levels 0..L inclusive)
+     * @param bucket_bytes physical bucket size (padded to bursts)
+     */
+    TreeLayout(u32 levels, u64 bucket_bytes)
+        : levels_(levels), bucketBytes_(bucket_bytes)
+    {
+    }
+    virtual ~TreeLayout() = default;
+
+    /** Physical byte address of the first byte of the given bucket. */
+    u64
+    addressOf(BucketCoord bucket) const
+    {
+        return baseAddr_ + relativeAddressOf(bucket);
+    }
+
+    /** Bucket address relative to the tree's base. */
+    virtual u64 relativeAddressOf(BucketCoord bucket) const = 0;
+
+    /**
+     * Place this tree at a byte offset in the physical address space
+     * (multiple ORAM trees -- the Recursive baseline -- occupy disjoint
+     * regions of the same DRAM).
+     */
+    void setBaseAddress(u64 base) { baseAddr_ = base; }
+    u64 baseAddress() const { return baseAddr_; }
+
+    /** Total footprint in bytes (for sizing the DRAM). */
+    virtual u64 footprintBytes() const = 0;
+
+    u32 levels() const { return levels_; }
+    u64 bucketBytes() const { return bucketBytes_; }
+
+    /** Buckets along the path from root to `leaf` (level order). */
+    std::vector<BucketCoord>
+    path(u64 leaf) const
+    {
+        std::vector<BucketCoord> p;
+        p.reserve(levels_ + 1);
+        for (u32 l = 0; l <= levels_; ++l)
+            p.push_back({l, leaf >> (levels_ - l)});
+        return p;
+    }
+
+  protected:
+    u32 levels_;
+    u64 bucketBytes_;
+    u64 baseAddr_ = 0;
+};
+
+/** Naive breadth-first (level-order) layout: bucket i at heap position. */
+class FlatLayout : public TreeLayout {
+  public:
+    using TreeLayout::TreeLayout;
+
+    u64
+    relativeAddressOf(BucketCoord b) const override
+    {
+        return (((u64{1} << b.level) - 1) + b.index) * bucketBytes_;
+    }
+
+    u64
+    footprintBytes() const override
+    {
+        return ((u64{1} << (levels_ + 1)) - 1) * bucketBytes_;
+    }
+};
+
+/**
+ * Subtree-packed layout of [26]: depth-k subtrees stored contiguously.
+ * k is chosen so one subtree (2^k - 1 buckets) just fits the given
+ * locality unit (typically channels * rowBytes).
+ */
+class SubtreeLayout : public TreeLayout {
+  public:
+    /**
+     * @param levels tree depth L
+     * @param bucket_bytes physical bucket size
+     * @param unit_bytes locality unit to pack a subtree into
+     */
+    SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes);
+
+    u64 relativeAddressOf(BucketCoord b) const override;
+    u64 footprintBytes() const override;
+
+    u32 subtreeDepth() const { return k_; }
+
+  private:
+    u32 k_;                        // levels per subtree
+    u64 subtreeBuckets_;           // 2^k - 1
+    std::vector<u64> groupBase_;   // first subtree ordinal per super-level
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_TREE_LAYOUT_HPP

@@ -1,0 +1,174 @@
+#include "oram/backend.hpp"
+
+namespace froram {
+
+PathOramBackend::PathOramBackend(const BackendConfig& config,
+                                 std::unique_ptr<TreeStorage> storage,
+                                 std::unique_ptr<TreeLayout> layout,
+                                 DramModel* dram)
+    : config_(config), storage_(std::move(storage)),
+      layout_(std::move(layout)), dram_(dram),
+      stash_(config.params.stashCapacity,
+             config.params.z * (config.params.levels + 1)),
+      stats_("backend")
+{
+    config_.params.validate();
+    FRORAM_ASSERT(storage_ != nullptr, "backend needs tree storage");
+}
+
+u64
+PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
+{
+    if (dram_ == nullptr || layout_ == nullptr)
+        return 0;
+    std::vector<DramRequest> reqs;
+    const u64 bucket_bytes = config_.params.bucketPhysBytes();
+    const u64 bursts = divCeil(bucket_bytes, dram_->config().burstBytes);
+    reqs.reserve((config_.params.levels + 1) * bursts);
+    for (const BucketCoord& c : layout_->path(leaf)) {
+        const u64 base = layout_->addressOf(c);
+        for (u64 b = 0; b < bursts; ++b)
+            reqs.push_back(
+                {base + b * dram_->config().burstBytes, is_write});
+    }
+    return dram_->accessBatch(reqs);
+}
+
+void
+PathOramBackend::readPath(Leaf leaf)
+{
+    FRORAM_ASSERT(leaf < config_.params.numLeaves(), "leaf out of range");
+    if (config_.beforePathRead)
+        config_.beforePathRead(leaf);
+    for (u32 l = 0; l <= config_.params.levels; ++l) {
+        const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+        Bucket bucket = storage_->readBucket(heapIndex(c));
+        for (auto& slot : bucket.slots) {
+            if (slot.valid())
+                stash_.insert(std::move(slot));
+        }
+    }
+    if (config_.traceSink)
+        config_.traceSink({TraceEvent::Kind::PathRead, config_.treeId, leaf});
+    stats_.inc("pathReads");
+}
+
+void
+PathOramBackend::writePath(Leaf leaf)
+{
+    auto per_level =
+        stash_.evictPath(leaf, config_.params.levels, config_.params.z);
+    for (u32 l = 0; l <= config_.params.levels; ++l) {
+        const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+        Bucket bucket = Bucket::empty(config_.params);
+        auto& chosen = per_level[l];
+        for (u32 s = 0; s < chosen.size(); ++s)
+            bucket.slots[s] = std::move(chosen[s]);
+        storage_->writeBucket(heapIndex(c), bucket);
+    }
+    if (config_.traceSink)
+        config_.traceSink(
+            {TraceEvent::Kind::PathWrite, config_.treeId, leaf});
+    if (config_.afterPathWrite)
+        config_.afterPathWrite(leaf);
+    stats_.inc("pathWrites");
+}
+
+BackendResult
+PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
+                        const std::vector<u8>* write_data,
+                        const BlockTransform& transform)
+{
+    FRORAM_ASSERT(op != Op::Append, "use append() for Append");
+    BackendResult res;
+
+    readPath(leaf);
+    res.dramPs += pathDramTime(leaf, /*is_write=*/false);
+
+    Block* in_stash = stash_.find(addr);
+    res.found = in_stash != nullptr;
+
+    switch (op) {
+      case Op::Read:
+      case Op::Write: {
+        if (!in_stash) {
+            // Cold miss (lazy init): materialize a zero block, mapped to
+            // the fresh leaf, exactly as a boot-time-initialized ORAM
+            // would contain it.
+            Block fresh;
+            fresh.addr = addr;
+            fresh.leaf = new_leaf;
+            fresh.data.assign(config_.params.storedBlockBytes(), 0);
+            stash_.insert(std::move(fresh));
+            in_stash = stash_.find(addr);
+            stats_.inc("coldMisses");
+        }
+        in_stash->leaf = new_leaf;
+        if (op == Op::Write && write_data != nullptr) {
+            FRORAM_ASSERT(
+                write_data->size() <= config_.params.storedBlockBytes(),
+                "write payload too large");
+            in_stash->data = *write_data;
+            in_stash->data.resize(config_.params.storedBlockBytes(), 0);
+        }
+        // Step 4 hook: runs while the block is guaranteed stash-resident
+        // (eviction below may immediately write it back to the tree).
+        if (transform)
+            transform(*in_stash, res.found);
+        res.block = *in_stash; // copy out for the Frontend
+        break;
+      }
+      case Op::ReadRmv: {
+        if (in_stash) {
+            res.block = stash_.remove(addr);
+        } else {
+            // Cold miss on a PosMap block: synthesize an all-zero block.
+            // It is *not* inserted; the Frontend owns it (PLB) now.
+            res.block.addr = addr;
+            res.block.leaf = new_leaf;
+            res.block.data.assign(config_.params.storedBlockBytes(), 0);
+            stats_.inc("coldMisses");
+        }
+        break;
+      }
+      default:
+        panic("unreachable");
+    }
+
+    writePath(leaf);
+    res.dramPs += pathDramTime(leaf, /*is_write=*/true);
+    res.bytesMoved = 2 * config_.params.pathBytes();
+    stats_.inc("accesses");
+    stats_.inc("bytesMoved", res.bytesMoved);
+    stats_.inc(op == Op::ReadRmv ? "readRmvOps"
+                                 : (op == Op::Write ? "writeOps" : "readOps"));
+    return res;
+}
+
+void
+PathOramBackend::append(Block block)
+{
+    FRORAM_ASSERT(block.valid(), "appending dummy block");
+    FRORAM_ASSERT(block.leaf < config_.params.numLeaves(),
+                  "append without a valid leaf");
+    stash_.insert(std::move(block));
+    stats_.inc("appends");
+}
+
+std::optional<BucketCoord>
+PathOramBackend::locateInTree(Addr addr)
+{
+    for (u32 l = 0; l <= config_.params.levels; ++l) {
+        for (u64 i = 0; i < (u64{1} << l); ++i) {
+            const BucketCoord c{l, i};
+            Bucket b = storage_->readBucket(heapIndex(c));
+            for (const auto& slot : b.slots) {
+                if (slot.valid() && slot.addr == addr)
+                    return c;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace froram

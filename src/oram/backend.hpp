@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Path ORAM Backend (Sections 3.1 and 4.2.2).
+ *
+ * The Backend owns the stash and the untrusted tree storage, and services
+ * four operations on behalf of a Frontend: Read, Write, ReadRmv and
+ * Append. Read/Write/ReadRmv each perform one path read plus one path
+ * writeback (eviction); Append only inserts into the stash.
+ *
+ * The Backend is deliberately Frontend-agnostic: the PLB, compressed
+ * PosMap and PMMAC (the paper's contributions) all sit in front of this
+ * unmodified interface, exactly as the paper requires ("requires no change
+ * to the ORAM Backend").
+ */
+#ifndef FRORAM_ORAM_BACKEND_HPP
+#define FRORAM_ORAM_BACKEND_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/dram_model.hpp"
+#include "mem/tree_layout.hpp"
+#include "oram/params.hpp"
+#include "oram/stash.hpp"
+#include "oram/tree_storage.hpp"
+#include "oram/types.hpp"
+#include "util/stats.hpp"
+
+namespace froram {
+
+/** Result of one Backend access. */
+struct BackendResult {
+    bool found = false;     ///< block was present (false => cold miss)
+    Block block;            ///< for Read/ReadRmv: the block of interest
+    u64 dramPs = 0;         ///< DRAM time consumed by this access
+    u64 bytesMoved = 0;     ///< path read + write bytes
+};
+
+/** Construction-time knobs for a Backend. */
+struct BackendConfig {
+    OramParams params;
+    /** Tree id reported in the adversary trace. */
+    u32 treeId = 0;
+    /** Emit per-access adversary trace events. */
+    TraceSink traceSink;
+    /** Called with the leaf before each path read (integrity verify). */
+    std::function<void(Leaf)> beforePathRead;
+    /** Called with the leaf after each path write (integrity update). */
+    std::function<void(Leaf)> afterPathWrite;
+};
+
+/** Hardware Path ORAM Backend over one ORAM tree. */
+class PathOramBackend {
+  public:
+    /**
+     * @param config geometry + tracing
+     * @param storage untrusted bucket store (owned)
+     * @param layout bucket -> DRAM address map (owned; may be null when no
+     *        DRAM timing is attached)
+     * @param dram shared DRAM timing model (not owned; may be null)
+     */
+    PathOramBackend(const BackendConfig& config,
+                    std::unique_ptr<TreeStorage> storage,
+                    std::unique_ptr<TreeLayout> layout, DramModel* dram);
+
+    /**
+     * Hook applied to the block of interest between Step 4 (update) and
+     * Step 5 (eviction) of the access. The Frontend uses it to verify
+     * the old payload (PMMAC) and to install new data + a fresh MAC tag
+     * while the block is still guaranteed to be in the stash.
+     * @param block the stashed block (mutable)
+     * @param found false if this access cold-created the block
+     */
+    using BlockTransform = std::function<void(Block& block, bool found)>;
+
+    /**
+     * Service one access (Section 3.1.1 steps 2-5).
+     *
+     * @param op Read, Write or ReadRmv
+     * @param addr block of interest
+     * @param leaf current leaf label for the block (from the Frontend)
+     * @param new_leaf fresh label to remap the block to (ignored for
+     *        ReadRmv: removed blocks are relabelled by the Frontend)
+     * @param write_data payload for Write (empty keeps old payload size)
+     * @param transform optional Step-4 hook (Read/Write only)
+     */
+    BackendResult access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
+                         const std::vector<u8>* write_data = nullptr,
+                         const BlockTransform& transform = nullptr);
+
+    /**
+     * Append a block to the stash without a tree access (Section 4.2.2).
+     * The block must not currently exist anywhere in this ORAM.
+     */
+    void append(Block block);
+
+    /** Blocks currently in the stash. */
+    const Stash& stash() const { return stash_; }
+
+    const OramParams& params() const { return config_.params; }
+    const StatSet& stats() const { return stats_; }
+    StatSet& stats() { return stats_; }
+
+    /** Untrusted storage, exposed for adversary harnesses. */
+    TreeStorage& storage() { return *storage_; }
+
+    /**
+     * Direct stash/tree scan for invariant checking in tests: returns the
+     * (level, bucket) holding `addr`, or nullopt if it is in the stash or
+     * absent. O(tree) -- test use only.
+     */
+    std::optional<BucketCoord> locateInTree(Addr addr);
+
+  private:
+    /** Heap index of a bucket coordinate. */
+    static u64
+    heapIndex(BucketCoord b)
+    {
+        return ((u64{1} << b.level) - 1) + b.index;
+    }
+
+    /** Read all buckets on the path to `leaf` into the stash. */
+    void readPath(Leaf leaf);
+
+    /** Evict as much of the stash as possible back onto path `leaf`. */
+    void writePath(Leaf leaf);
+
+    /** DRAM bursts for one path traversal. */
+    u64 pathDramTime(Leaf leaf, bool is_write);
+
+    BackendConfig config_;
+    std::unique_ptr<TreeStorage> storage_;
+    std::unique_ptr<TreeLayout> layout_;
+    DramModel* dram_;
+    Stash stash_;
+    StatSet stats_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_BACKEND_HPP

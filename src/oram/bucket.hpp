@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Decoded (plaintext) bucket representation.
+ */
+#ifndef FRORAM_ORAM_BUCKET_HPP
+#define FRORAM_ORAM_BUCKET_HPP
+
+#include <vector>
+
+#include "oram/params.hpp"
+#include "oram/types.hpp"
+
+namespace froram {
+
+/**
+ * One bucket of Z slots, in decoded form. Invalid slots hold kDummyAddr.
+ */
+struct Bucket {
+    std::vector<Block> slots;
+
+    Bucket() = default;
+    explicit Bucket(u32 z) : slots(z) {}
+
+    /** Number of valid (real) blocks. */
+    u32
+    occupancy() const
+    {
+        u32 n = 0;
+        for (const auto& s : slots)
+            n += s.valid() ? 1 : 0;
+        return n;
+    }
+
+    /** An all-dummy bucket of the right arity. */
+    static Bucket
+    empty(const OramParams& p)
+    {
+        return Bucket(p.z);
+    }
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_BUCKET_HPP

@@ -1,0 +1,126 @@
+#include "oram/bucket_codec.hpp"
+
+#include <cstring>
+
+namespace froram {
+namespace {
+
+void
+storeLe(u8* p, u64 v, u64 nbytes)
+{
+    for (u64 i = 0; i < nbytes; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u64
+loadLe(const u8* p, u64 nbytes)
+{
+    u64 v = 0;
+    for (u64 i = 0; i < nbytes; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+BucketCodec::BucketCodec(const OramParams& params, const StreamCipher* cipher,
+                         SeedScheme scheme)
+    : params_(params), cipher_(cipher), scheme_(scheme)
+{
+    FRORAM_ASSERT(cipher_ != nullptr, "codec needs a cipher");
+    addrBytes_ = divCeil(params_.addrBits(), 8);
+    leafBytes_ = divCeil(params_.levels == 0 ? 1 : params_.levels, 8);
+}
+
+u64
+BucketCodec::padSeedHi(u64 bucket_id, u64 stored_seed) const
+{
+    // GlobalCounter: pad = AES_K(GlobalSeed || chunk); the seed alone
+    // guarantees uniqueness. PerBucket: pad = AES_K(BucketID ||
+    // BucketSeed || chunk) as in [26].
+    return scheme_ == SeedScheme::GlobalCounter ? stored_seed : bucket_id;
+}
+
+u64
+BucketCodec::padSeedLo(u64 bucket_id, u64 stored_seed) const
+{
+    return scheme_ == SeedScheme::GlobalCounter ? 0 : stored_seed;
+}
+
+void
+BucketCodec::encode(u64 bucket_id, const Bucket& bucket,
+                    const std::vector<u8>& prev_image, std::vector<u8>& out)
+{
+    FRORAM_ASSERT(bucket.slots.size() == params_.z, "bucket arity");
+    const u64 phys = params_.bucketPhysBytes();
+    out.assign(phys, 0);
+
+    u64 seed;
+    if (scheme_ == SeedScheme::GlobalCounter) {
+        seed = globalSeed_++;
+    } else {
+        // Increment whatever seed is currently stored with the bucket --
+        // the step that goes wrong when an adversary rewinds it.
+        const u64 old_seed =
+            prev_image.empty() ? 0 : loadLe(prev_image.data(), 8);
+        seed = old_seed + 1;
+    }
+    storeLe(out.data(), seed, 8);
+
+    u8* p = out.data() + 8;
+    for (const auto& slot : bucket.slots) {
+        storeLe(p, slot.addr, addrBytes_);
+        p += addrBytes_;
+        storeLe(p, slot.valid() ? slot.leaf : 0, leafBytes_);
+        p += leafBytes_;
+    }
+    const u64 stored = params_.storedBlockBytes();
+    for (const auto& slot : bucket.slots) {
+        if (slot.valid() && !slot.data.empty()) {
+            FRORAM_ASSERT(slot.data.size() <= stored,
+                          "block payload exceeds slot");
+            std::memcpy(p, slot.data.data(), slot.data.size());
+        }
+        p += stored;
+    }
+
+    cipher_->xorCrypt(padSeedHi(bucket_id, seed), padSeedLo(bucket_id, seed),
+                      out.data() + 8, phys - 8);
+}
+
+Bucket
+BucketCodec::decode(u64 bucket_id, const std::vector<u8>& image) const
+{
+    Bucket bucket = Bucket::empty(params_);
+    if (image.empty())
+        return bucket; // never-written bucket: all dummies
+    FRORAM_ASSERT(image.size() == params_.bucketPhysBytes(),
+                  "bucket image size mismatch");
+
+    const u64 seed = loadLe(image.data(), 8);
+    std::vector<u8> plain(image.begin() + 8, image.end());
+    cipher_->xorCrypt(padSeedHi(bucket_id, seed),
+                      padSeedLo(bucket_id, seed), plain.data(),
+                      plain.size());
+
+    const u8* p = plain.data();
+    const u64 addr_mask =
+        addrBytes_ >= 8 ? ~u64{0} : (u64{1} << (8 * addrBytes_)) - 1;
+    for (auto& slot : bucket.slots) {
+        const u64 a = loadLe(p, addrBytes_);
+        p += addrBytes_;
+        const u64 l = loadLe(p, leafBytes_);
+        p += leafBytes_;
+        slot.addr = a == addr_mask ? kDummyAddr : a;
+        slot.leaf = l;
+    }
+    const u64 stored = params_.storedBlockBytes();
+    for (auto& slot : bucket.slots) {
+        if (slot.valid())
+            slot.data.assign(p, p + stored);
+        p += stored;
+    }
+    return bucket;
+}
+
+} // namespace froram

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bucket (de)serialization with probabilistic encryption.
+ *
+ * Wire format of one physical bucket (bucketPhysBytes total):
+ *
+ *   [0..8)   encryption seed used for this bucket image (plaintext)
+ *   [8..)    encrypted region:
+ *              per slot: address (addrBytes) | leaf (leafBytes)
+ *              then:     per slot payload (storedBlockBytes)
+ *            zero padding up to the burst-aligned size
+ *
+ * Two seed schemes (Section 6.4):
+ *  - GlobalCounter (default, secure): pads come from a monotonically
+ *    increasing controller register; the stored seed is only an input to
+ *    decryption and replaying it cannot force pad reuse on future writes.
+ *  - PerBucket ([26], insecure vs active adversaries): the stored seed is
+ *    incremented and reused for re-encryption, so a rewound seed makes the
+ *    controller reuse a one-time pad. Kept to demonstrate the attack.
+ */
+#ifndef FRORAM_ORAM_BUCKET_CODEC_HPP
+#define FRORAM_ORAM_BUCKET_CODEC_HPP
+
+#include <vector>
+
+#include "crypto/stream_cipher.hpp"
+#include "oram/bucket.hpp"
+#include "oram/params.hpp"
+
+namespace froram {
+
+/** Seed management policy for bucket encryption. */
+enum class SeedScheme { GlobalCounter, PerBucket };
+
+/** Serializes, encrypts, decrypts and deserializes buckets. */
+class BucketCodec {
+  public:
+    /**
+     * @param params tree geometry
+     * @param cipher pad generator (not owned; must outlive the codec)
+     * @param scheme seed management policy
+     */
+    BucketCodec(const OramParams& params, const StreamCipher* cipher,
+                SeedScheme scheme = SeedScheme::GlobalCounter);
+
+    /**
+     * Encode and encrypt `bucket` into a fresh bucket image.
+     * @param bucket_id physical bucket id (mixed into PerBucket pads)
+     * @param bucket decoded contents
+     * @param prev_image previous stored image (PerBucket scheme reads the
+     *        old seed from it; pass empty for never-written buckets)
+     * @param out receives bucketPhysBytes() of ciphertext
+     */
+    void encode(u64 bucket_id, const Bucket& bucket,
+                const std::vector<u8>& prev_image,
+                std::vector<u8>& out);
+
+    /**
+     * Decrypt and decode a bucket image. Tampered images decode without
+     * error into garbage slots (detection is PMMAC's job; Section 6.5.2).
+     * An empty image decodes as an all-dummy bucket.
+     */
+    Bucket decode(u64 bucket_id, const std::vector<u8>& image) const;
+
+    /** Value of the monotonic global seed register. */
+    u64 globalSeed() const { return globalSeed_; }
+
+    const OramParams& params() const { return params_; }
+    SeedScheme scheme() const { return scheme_; }
+
+  private:
+    u64 padSeedHi(u64 bucket_id, u64 stored_seed) const;
+    u64 padSeedLo(u64 bucket_id, u64 stored_seed) const;
+
+    OramParams params_;
+    const StreamCipher* cipher_;
+    SeedScheme scheme_;
+    u64 globalSeed_ = 1; // controller register (GlobalCounter scheme)
+    u64 addrBytes_;
+    u64 leafBytes_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_BUCKET_CODEC_HPP

@@ -1,0 +1,21 @@
+#include "oram/params.hpp"
+
+#include <sstream>
+
+namespace froram {
+
+std::string
+OramParams::toString() const
+{
+    std::ostringstream os;
+    os << "OramParams{N=2^" << log2Ceil(numBlocks) << " (" << numBlocks
+       << "), B=" << blockBytes << "B, Z=" << z << ", L=" << levels
+       << ", bucket=" << bucketPhysBytes() << "B, path=" << pathBytes()
+       << "B, footprint=" << (footprintBytes() >> 20) << "MiB";
+    if (macBytes)
+        os << ", mac=" << macBytes << "B";
+    os << "}";
+    return os.str();
+}
+
+} // namespace froram

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ORAM tree geometry and derived parameters.
+ */
+#ifndef FRORAM_ORAM_PARAMS_HPP
+#define FRORAM_ORAM_PARAMS_HPP
+
+#include <string>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+/**
+ * Geometry of one Path ORAM tree.
+ *
+ * Defaults mirror Table 1 of the paper: 64-byte blocks, Z = 4, and a tree
+ * sized so that real blocks occupy 50% of bucket slots (a 4 GB ORAM needs
+ * ~8 GB of DRAM).
+ */
+struct OramParams {
+    u64 numBlocks = 0;      ///< N: real data blocks
+    u64 blockBytes = 64;    ///< B: payload bytes per block
+    u32 z = 4;              ///< Z: block slots per bucket
+    u32 levels = 0;         ///< L: tree levels are 0..L inclusive
+    u64 macBytes = 0;       ///< extra per-block MAC bytes (PMMAC)
+    u64 burstBytes = 64;    ///< DRAM burst size buckets are padded to
+    u32 stashCapacity = 200; ///< stash block slots (excl. transient path)
+
+    /** Number of leaves = 2^L. */
+    u64 numLeaves() const { return u64{1} << levels; }
+
+    /** Total buckets in the tree. */
+    u64 numBuckets() const { return (u64{1} << (levels + 1)) - 1; }
+
+    /** Bits to encode any unified/logical block address. */
+    u32 addrBits() const { return log2Ceil(numBlocks) + 1; }
+
+    /** Stored payload bytes per slot (block + optional MAC). */
+    u64 storedBlockBytes() const { return blockBytes + macBytes; }
+
+    /** Serialized per-slot header bytes (address + leaf). */
+    u64
+    slotHeaderBytes() const
+    {
+        const u64 addr_bytes = divCeil(addrBits(), 8);
+        const u64 leaf_bytes = divCeil(levels == 0 ? 1 : levels, 8);
+        return addr_bytes + leaf_bytes;
+    }
+
+    /** Bucket header bytes: encryption seed + slot headers. */
+    u64
+    bucketHeaderBytes() const
+    {
+        return 8 + z * slotHeaderBytes();
+    }
+
+    /** Unpadded serialized bucket size. */
+    u64
+    bucketRawBytes() const
+    {
+        return bucketHeaderBytes() + z * storedBlockBytes();
+    }
+
+    /** Physical bucket size padded to whole DRAM bursts. */
+    u64
+    bucketPhysBytes() const
+    {
+        return roundUp(bucketRawBytes(), burstBytes);
+    }
+
+    /** Bytes moved by one path read (or one path write). */
+    u64
+    pathBytes() const
+    {
+        return static_cast<u64>(levels + 1) * bucketPhysBytes();
+    }
+
+    /** Total external-memory footprint. */
+    u64
+    footprintBytes() const
+    {
+        return numBuckets() * bucketPhysBytes();
+    }
+
+    /** Logical data capacity in bytes. */
+    u64
+    capacityBytes() const
+    {
+        return numBlocks * blockBytes;
+    }
+
+    /** Validate invariants; throws FatalError on bad configurations. */
+    void
+    validate() const
+    {
+        if (numBlocks == 0)
+            fatal("ORAM must hold at least one block");
+        if (z == 0)
+            fatal("bucket slots Z must be nonzero");
+        if (levels == 0 || levels > 48)
+            fatal("ORAM levels out of range: ", levels);
+        if (blockBytes == 0)
+            fatal("block size must be nonzero");
+    }
+
+    /**
+     * Standard sizing rule: 2^L leaves such that real blocks fill half of
+     * all bucket slots, i.e. Z * 2^(L+1) ~= 2N (Section 7.1.1's 50% DRAM
+     * utilization).
+     */
+    static OramParams
+    forCapacity(u64 capacity_bytes, u64 block_bytes = 64, u32 z = 4)
+    {
+        OramParams p;
+        p.blockBytes = block_bytes;
+        p.z = z;
+        p.numBlocks = capacity_bytes / block_bytes;
+        FRORAM_ASSERT(p.numBlocks >= 2, "capacity too small");
+        const u32 lg_n = log2Ceil(p.numBlocks);
+        const u32 lg_z = log2Floor(z);
+        p.levels = lg_n > lg_z ? lg_n - lg_z : 1;
+        return p;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_PARAMS_HPP

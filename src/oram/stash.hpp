@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Path ORAM stash: a small trusted memory that temporarily holds blocks
+ * between path reads and evictions (Section 3.1).
+ */
+#ifndef FRORAM_ORAM_STASH_HPP
+#define FRORAM_ORAM_STASH_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "oram/params.hpp"
+#include "oram/types.hpp"
+#include "util/stats.hpp"
+
+namespace froram {
+
+/**
+ * Stash keyed by block address.
+ *
+ * Capacity accounting follows [26]: `capacity` counts blocks that persist
+ * across accesses; the transient Z*(L+1) path blocks held during an access
+ * are allowed on top. insert() panics on persistent overflow, which models
+ * the (negligible-probability for Z >= 4) stash-overflow failure.
+ */
+class Stash {
+  public:
+    /**
+     * @param capacity persistent block capacity (paper default 200)
+     * @param transient_slack additional transient headroom (Z*(L+1))
+     */
+    Stash(u32 capacity, u32 transient_slack)
+        : capacity_(capacity), transientSlack_(transient_slack),
+          stats_("stash")
+    {
+    }
+
+    /** Insert (or overwrite) a block. */
+    void
+    insert(Block block)
+    {
+        FRORAM_ASSERT(block.valid(), "inserting dummy block into stash");
+        blocks_[block.addr] = std::move(block);
+        if (blocks_.size() > capacity_ + transientSlack_) {
+            panic("stash overflow: ", blocks_.size(), " blocks (capacity ",
+                  capacity_, " + transient ", transientSlack_, ")");
+        }
+        stats_.set("peakOccupancy",
+                   std::max<u64>(stats_.get("peakOccupancy"),
+                                 blocks_.size()));
+    }
+
+    /** Does the stash hold `addr`? */
+    bool contains(Addr addr) const { return blocks_.count(addr) != 0; }
+
+    /** Pointer to the stashed block, or nullptr. */
+    Block*
+    find(Addr addr)
+    {
+        auto it = blocks_.find(addr);
+        return it == blocks_.end() ? nullptr : &it->second;
+    }
+
+    /** Remove and return the block (must exist). */
+    Block
+    remove(Addr addr)
+    {
+        auto it = blocks_.find(addr);
+        FRORAM_ASSERT(it != blocks_.end(), "removing absent block");
+        Block b = std::move(it->second);
+        blocks_.erase(it);
+        return b;
+    }
+
+    /**
+     * Greedy Path ORAM eviction: select up to Z blocks per level for the
+     * path to `leaf`, deepest level first, removing them from the stash.
+     *
+     * @param leaf the path being written back
+     * @param levels tree depth L
+     * @param z slots per bucket
+     * @return per-level vectors of evicted blocks ([0] = root .. [L])
+     */
+    std::vector<std::vector<Block>>
+    evictPath(Leaf leaf, u32 levels, u32 z)
+    {
+        std::vector<std::vector<Block>> out(levels + 1);
+        // Deepest-first greedy: a block mapped to leaf l can live at level
+        // v iff the paths to l and leaf share the first v+1 buckets, i.e.
+        // (l >> (L - v)) == (leaf >> (L - v)).
+        for (i64 v = levels; v >= 0; --v) {
+            auto& dest = out[static_cast<size_t>(v)];
+            for (auto it = blocks_.begin();
+                 it != blocks_.end() && dest.size() < z;) {
+                const Leaf l = it->second.leaf;
+                const u32 shift = levels - static_cast<u32>(v);
+                if ((l >> shift) == (leaf >> shift)) {
+                    dest.push_back(std::move(it->second));
+                    it = blocks_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        return out;
+    }
+
+    u64 occupancy() const { return blocks_.size(); }
+    u32 capacity() const { return capacity_; }
+    const StatSet& stats() const { return stats_; }
+
+    /** Iterate over stashed blocks (test/diagnostic use). */
+    const std::unordered_map<Addr, Block>& blocks() const { return blocks_; }
+
+  private:
+    u32 capacity_;
+    u32 transientSlack_;
+    std::unordered_map<Addr, Block> blocks_;
+    StatSet stats_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_STASH_HPP

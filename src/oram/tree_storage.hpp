@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Untrusted external memory holding the ORAM tree.
+ *
+ * Two implementations behind one interface:
+ *
+ *  - EncryptedTreeStorage: stores real encrypted bucket images (what DRAM
+ *    would hold). Supports the active-adversary tamper API used by the
+ *    PMMAC/integrity tests and examples. Buckets are materialized lazily;
+ *    a bucket never written reads as all-dummy (zeroed-DRAM boot state).
+ *
+ *  - MetaTreeStorage: stores only decoded per-slot (address, leaf)
+ *    metadata, no payload bytes and no encryption. Functionally identical
+ *    placement behavior at a fraction of the memory cost; used for the
+ *    4-64 GB capacity sweeps. Byte counts for timing come from OramParams,
+ *    not from stored bytes, so both modes report identical traffic.
+ */
+#ifndef FRORAM_ORAM_TREE_STORAGE_HPP
+#define FRORAM_ORAM_TREE_STORAGE_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/bucket.hpp"
+#include "oram/bucket_codec.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** Abstract untrusted bucket store, addressed by heap index. */
+class TreeStorage {
+  public:
+    virtual ~TreeStorage() = default;
+
+    /** Read and decode the bucket at heap index `id`. */
+    virtual Bucket readBucket(u64 id) = 0;
+
+    /** Encode and store the bucket at heap index `id`. */
+    virtual void writeBucket(u64 id, const Bucket& bucket) = 0;
+
+    /** Number of buckets ever materialized (memory footprint proxy). */
+    virtual u64 bucketsTouched() const = 0;
+};
+
+/** Payload-carrying encrypted storage with a tamper API. */
+class EncryptedTreeStorage : public TreeStorage {
+  public:
+    /**
+     * @param params tree geometry
+     * @param cipher pad generator (not owned)
+     * @param scheme bucket-seed management policy (Section 6.4)
+     */
+    EncryptedTreeStorage(const OramParams& params, const StreamCipher* cipher,
+                         SeedScheme scheme = SeedScheme::GlobalCounter)
+        : codec_(params, cipher, scheme)
+    {
+    }
+
+    Bucket
+    readBucket(u64 id) override
+    {
+        auto it = images_.find(id);
+        if (it == images_.end())
+            return Bucket::empty(codec_.params());
+        return codec_.decode(id, it->second);
+    }
+
+    void
+    writeBucket(u64 id, const Bucket& bucket) override
+    {
+        auto& image = images_[id];
+        std::vector<u8> fresh;
+        codec_.encode(id, bucket, image, fresh);
+        image = std::move(fresh);
+    }
+
+    u64 bucketsTouched() const override { return images_.size(); }
+
+    /** @name Active-adversary tamper API (Section 2 threat model)
+     *  @{ */
+
+    /** True if the bucket has ever been written (has an image). */
+    bool hasImage(u64 id) const { return images_.count(id) != 0; }
+
+    /** Raw ciphertext of a bucket (copy); empty if never written. */
+    std::vector<u8>
+    rawImage(u64 id) const
+    {
+        auto it = images_.find(id);
+        return it == images_.end() ? std::vector<u8>{} : it->second;
+    }
+
+    /** Overwrite a bucket image wholesale (replay attack). */
+    void
+    replaceImage(u64 id, std::vector<u8> image)
+    {
+        images_[id] = std::move(image);
+    }
+
+    /** Flip one bit of a stored bucket image. */
+    void
+    flipBit(u64 id, u64 bit_index)
+    {
+        auto it = images_.find(id);
+        FRORAM_ASSERT(it != images_.end(), "no image to tamper with");
+        FRORAM_ASSERT(bit_index / 8 < it->second.size(), "bit out of range");
+        it->second[bit_index / 8] ^= static_cast<u8>(1u << (bit_index % 8));
+    }
+
+    /** Rewind the plaintext seed field of a bucket (Section 6.4 attack). */
+    void
+    rewindSeed(u64 id, u64 delta = 1)
+    {
+        auto it = images_.find(id);
+        FRORAM_ASSERT(it != images_.end(), "no image to tamper with");
+        u64 seed = 0;
+        for (int i = 0; i < 8; ++i)
+            seed |= static_cast<u64>(it->second[i]) << (8 * i);
+        seed -= delta;
+        for (int i = 0; i < 8; ++i)
+            it->second[i] = static_cast<u8>(seed >> (8 * i));
+    }
+    /** @} */
+
+    const BucketCodec& codec() const { return codec_; }
+
+  private:
+    BucketCodec codec_;
+    std::unordered_map<u64, std::vector<u8>> images_;
+};
+
+/** Metadata-only storage for large-capacity sweeps. */
+class MetaTreeStorage : public TreeStorage {
+  public:
+    explicit MetaTreeStorage(const OramParams& params) : params_(params) {}
+
+    Bucket
+    readBucket(u64 id) override
+    {
+        auto it = meta_.find(id);
+        Bucket b = Bucket::empty(params_);
+        if (it == meta_.end())
+            return b;
+        for (u32 s = 0; s < params_.z; ++s) {
+            b.slots[s].addr = it->second[s].addr;
+            b.slots[s].leaf = it->second[s].leaf;
+        }
+        return b;
+    }
+
+    void
+    writeBucket(u64 id, const Bucket& bucket) override
+    {
+        auto& m = meta_[id];
+        m.resize(params_.z);
+        for (u32 s = 0; s < params_.z; ++s) {
+            m[s].addr = bucket.slots[s].addr;
+            m[s].leaf = bucket.slots[s].leaf;
+        }
+    }
+
+    u64 bucketsTouched() const override { return meta_.size(); }
+
+  private:
+    struct SlotMeta {
+        Addr addr = kDummyAddr;
+        Leaf leaf = kNoLeaf;
+    };
+
+    OramParams params_;
+    std::unordered_map<u64, std::vector<SlotMeta>> meta_;
+};
+
+/**
+ * Discarding storage for pure bandwidth/latency sweeps.
+ *
+ * Byte-movement and DRAM-timing accounting depend only on *which* buckets
+ * a Backend touches, never on their contents; PosMap contents in those
+ * sweeps live in the Frontend's content oracle. NullTreeStorage therefore
+ * drops all writes and reads back all-dummy buckets, giving O(1) host
+ * memory even for 64 GB ORAMs (Figure 7).
+ */
+class NullTreeStorage : public TreeStorage {
+  public:
+    explicit NullTreeStorage(const OramParams& params) : params_(params) {}
+
+    Bucket readBucket(u64 id) override { return Bucket::empty(params_); }
+    void writeBucket(u64 id, const Bucket& bucket) override {}
+    u64 bucketsTouched() const override { return 0; }
+
+  private:
+    OramParams params_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_TREE_STORAGE_HPP

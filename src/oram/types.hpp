@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental ORAM types: addresses, leaves, operations, blocks, and the
+ * adversary-visible trace.
+ */
+#ifndef FRORAM_ORAM_TYPES_HPP
+#define FRORAM_ORAM_TYPES_HPP
+
+#include <functional>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Logical block address (in the unified space: tag i || a_i, Section 4.2.1). */
+using Addr = u64;
+/** Leaf label in [0, 2^L). */
+using Leaf = u64;
+
+/** Reserved address marking an empty (dummy) bucket slot. */
+constexpr Addr kDummyAddr = ~Addr{0};
+/** Reserved leaf meaning "no leaf assigned". */
+constexpr Leaf kNoLeaf = ~Leaf{0};
+
+/**
+ * ORAM Backend operations (Sections 3.1.1 and 4.2.2).
+ *
+ * Read/Write are ordinary data accesses. ReadRmv physically removes the
+ * block after forwarding it to the Frontend (PLB refill); Append inserts a
+ * previously removed block back into the stash without a tree access (PLB
+ * eviction).
+ */
+enum class Op { Read, Write, ReadRmv, Append };
+
+/** A data or PosMap block as held by the stash / PLB / Frontend. */
+struct Block {
+    Addr addr = kDummyAddr;
+    Leaf leaf = kNoLeaf;      ///< current (uncompressed) leaf assignment
+    std::vector<u8> data;     ///< payload; may be empty in metadata-only mode
+
+    bool valid() const { return addr != kDummyAddr; }
+};
+
+/** One adversary-visible event emitted by a Backend. */
+struct TraceEvent {
+    enum class Kind { PathRead, PathWrite };
+    Kind kind;
+    u32 treeId;  ///< which physical ORAM tree (Recursive baseline has many)
+    Leaf leaf;   ///< which path was touched
+};
+
+/** Observer of the adversary-visible request sequence. */
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_TYPES_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the ORAM geometry and DRAM
+ * address-mapping code.
+ */
+#ifndef FRORAM_UTIL_BITOPS_HPP
+#define FRORAM_UTIL_BITOPS_HPP
+
+#include <bit>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** floor(log2(x)); x must be nonzero. */
+constexpr u32
+log2Floor(u64 x)
+{
+    return 63u - static_cast<u32>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); x must be nonzero. log2Ceil(1) == 0. */
+constexpr u32
+log2Ceil(u64 x)
+{
+    return x <= 1 ? 0u : log2Floor(x - 1) + 1;
+}
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round x up to the next multiple of align (align need not be pow2). */
+constexpr u64
+roundUp(u64 x, u64 align)
+{
+    return align == 0 ? x : ((x + align - 1) / align) * align;
+}
+
+/** Extract bits [lo, lo+width) of x. */
+constexpr u64
+bits(u64 x, u32 lo, u32 width)
+{
+    return width >= 64 ? (x >> lo) : ((x >> lo) & ((u64{1} << width) - 1));
+}
+
+/** ceil(a / b) for integers. */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_BITOPS_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Common fixed-width types and error-reporting helpers used across the
+ * Freecursive ORAM library.
+ *
+ * Error-handling convention (gem5-style):
+ *  - panic():  an internal invariant was violated, i.e. a library bug.
+ *  - fatal():  the user supplied an impossible configuration.
+ * Both throw (rather than abort) so tests can assert on misuse.
+ */
+#ifndef FRORAM_UTIL_COMMON_HPP
+#define FRORAM_UTIL_COMMON_HPP
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace froram {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/** Exception thrown by panic(): an internal library invariant broke. */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Exception thrown by fatal(): the caller supplied a bad configuration. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/**
+ * Exception thrown by the integrity machinery (PMMAC / Merkle) when
+ * tampering is detected. Mirrors the "integrity exception delivered to the
+ * processor" in Section 2 of the paper.
+ */
+class IntegrityViolation : public std::runtime_error {
+  public:
+    explicit IntegrityViolation(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream& os)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream& os, const T& first, const Rest&... rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Report an internal bug: throws PanicError with the streamed message. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Report a user configuration error: throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** panic() unless the given invariant holds. */
+#define FRORAM_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::froram::panic("assertion failed: ", #cond, " ", __VA_ARGS__); \
+        }                                                                   \
+    } while (0)
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_COMMON_HPP

@@ -1,0 +1,111 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace froram {
+
+double
+Histogram::chiSquareUniform() const
+{
+    if (total_ == 0 || bins_.empty())
+        return 0.0;
+    const double expected =
+        static_cast<double>(total_) / static_cast<double>(bins_.size());
+    double chi2 = 0.0;
+    for (u64 c : bins_) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2;
+}
+
+double
+Histogram::chiSquareTwoSample(const Histogram& other) const
+{
+    FRORAM_ASSERT(bins_.size() == other.bins_.size(),
+                  "histograms must share binning");
+    const double n1 = static_cast<double>(total_);
+    const double n2 = static_cast<double>(other.total_);
+    if (n1 == 0 || n2 == 0)
+        return 0.0;
+    // Standard two-sample chi-square with scaling constants K1, K2.
+    const double k1 = std::sqrt(n2 / n1);
+    const double k2 = std::sqrt(n1 / n2);
+    double chi2 = 0.0;
+    for (u64 i = 0; i < bins_.size(); ++i) {
+        const double a = static_cast<double>(bins_[i]);
+        const double b = static_cast<double>(other.bins_[i]);
+        if (a + b == 0)
+            continue;
+        const double d = k1 * a - k2 * b;
+        chi2 += d * d / (a + b);
+    }
+    return chi2;
+}
+
+double
+Histogram::ksDistance(const Histogram& other) const
+{
+    FRORAM_ASSERT(bins_.size() == other.bins_.size(),
+                  "histograms must share binning");
+    if (total_ == 0 || other.total_ == 0)
+        return 0.0;
+    double cdf_a = 0.0, cdf_b = 0.0, max_d = 0.0;
+    for (u64 i = 0; i < bins_.size(); ++i) {
+        cdf_a += static_cast<double>(bins_[i]) / total_;
+        cdf_b += static_cast<double>(other.bins_[i]) / other.total_;
+        max_d = std::max(max_d, std::abs(cdf_a - cdf_b));
+    }
+    return max_d;
+}
+
+double
+normalQuantile(double p)
+{
+    // Acklam's rational approximation to the inverse normal CDF.
+    FRORAM_ASSERT(p > 0.0 && p < 1.0, "quantile domain");
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p > 1 - plow) {
+        const double q = std::sqrt(-2 * std::log(1 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                     q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double
+chiSquareCritical(double dof, double alpha)
+{
+    // Wilson-Hilferty: chi2_q ~ dof * (1 - 2/(9 dof) + z_q sqrt(2/(9 dof)))^3
+    const double z = normalQuantile(1.0 - alpha);
+    const double t = 2.0 / (9.0 * dof);
+    const double base = 1.0 - t + z * std::sqrt(t);
+    return dof * base * base * base;
+}
+
+} // namespace froram

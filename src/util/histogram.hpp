@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Histograms and the statistical tests used by the obliviousness checks.
+ *
+ * The ORAM security argument says the adversary-visible leaf sequence is
+ * uniform and independent of the program. The test suite verifies this
+ * empirically with a chi-square uniformity test and a two-sample
+ * Kolmogorov-Smirnov-style distance on observed traces.
+ */
+#ifndef FRORAM_UTIL_HISTOGRAM_HPP
+#define FRORAM_UTIL_HISTOGRAM_HPP
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Fixed-bin histogram over [0, numBins). */
+class Histogram {
+  public:
+    explicit Histogram(u64 num_bins) : bins_(num_bins, 0), total_(0) {}
+
+    /** Count one observation of `value` (must be < numBins()). */
+    void
+    add(u64 value)
+    {
+        FRORAM_ASSERT(value < bins_.size(), "histogram value out of range");
+        ++bins_[value];
+        ++total_;
+    }
+
+    u64 numBins() const { return bins_.size(); }
+    u64 total() const { return total_; }
+    u64 count(u64 bin) const { return bins_.at(bin); }
+    const std::vector<u64>& bins() const { return bins_; }
+
+    /**
+     * Chi-square statistic against the uniform distribution.
+     * Degrees of freedom = numBins() - 1.
+     */
+    double chiSquareUniform() const;
+
+    /**
+     * Two-sample chi-square statistic between this histogram and `other`
+     * (same binning required). Low values mean the two empirical
+     * distributions are statistically indistinguishable.
+     */
+    double chiSquareTwoSample(const Histogram& other) const;
+
+    /**
+     * Maximum CDF distance between this and `other` (two-sample KS
+     * statistic, un-normalized by sample size).
+     */
+    double ksDistance(const Histogram& other) const;
+
+  private:
+    std::vector<u64> bins_;
+    u64 total_;
+};
+
+/**
+ * Approximate upper critical value of the chi-square distribution with
+ * `dof` degrees of freedom at significance alpha using the Wilson-Hilferty
+ * normal approximation. Good to a few percent for dof >= 10, which is all
+ * the obliviousness tests need.
+ */
+double chiSquareCritical(double dof, double alpha);
+
+/** Standard normal quantile (Acklam's rational approximation). */
+double normalQuantile(double p);
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All randomness in the library flows through Xoshiro256 instances seeded
+ * explicitly, so every simulation and test is reproducible bit-for-bit.
+ * (Cryptographic randomness -- leaf remapping in deployments -- would come
+ * from the PRF in crypto/; the simulator's "fresh random leaf" uses this
+ * PRNG, which is statistically indistinguishable for the experiments.)
+ */
+#ifndef FRORAM_UTIL_RNG_HPP
+#define FRORAM_UTIL_RNG_HPP
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+ * reimplemented here. Fast, 256-bit state, passes BigCrush.
+ */
+class Xoshiro256 {
+  public:
+    using result_type = u64;
+
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ULL)
+    {
+        u64 x = seed;
+        for (auto& s : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 random bits. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    u64 operator()() { return next(); }
+
+    static constexpr u64 min() { return 0; }
+    static constexpr u64 max() { return ~u64{0}; }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for simulation purposes (< 2^-64 * bound).
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state_[4];
+};
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_RNG_HPP

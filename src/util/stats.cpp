@@ -1,0 +1,19 @@
+#include "util/stats.hpp"
+
+#include <sstream>
+
+namespace froram {
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [k, v] : counters_) {
+        if (!name_.empty())
+            os << name_ << '.';
+        os << k << " = " << v << '\n';
+    }
+    return os.str();
+}
+
+} // namespace froram

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Every simulator component owns a StatSet; counters are registered by name
+ * and can be dumped as a table or merged. This mirrors the role of the gem5
+ * stats package at a fraction of the complexity.
+ */
+#ifndef FRORAM_UTIL_STATS_HPP
+#define FRORAM_UTIL_STATS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** A named group of integer counters and derived averages. */
+class StatSet {
+  public:
+    explicit StatSet(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add delta to counter `key` (creating it at zero if absent). */
+    void
+    inc(const std::string& key, u64 delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Set counter `key` to value. */
+    void
+    set(const std::string& key, u64 value)
+    {
+        counters_[key] = value;
+    }
+
+    /** Current value of `key` (0 if never touched). */
+    u64
+    get(const std::string& key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** num/denom as double; 0 if denom counter is 0. */
+    double
+    ratio(const std::string& num, const std::string& denom) const
+    {
+        u64 d = get(denom);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** Merge all counters of `other` into this set (summing). */
+    void
+    merge(const StatSet& other)
+    {
+        for (const auto& [k, v] : other.counters_)
+            counters_[k] += v;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    clear()
+    {
+        counters_.clear();
+    }
+
+    const std::string& name() const { return name_; }
+    const std::map<std::string, u64>& counters() const { return counters_; }
+
+    /** Render as "name.key = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_STATS_HPP

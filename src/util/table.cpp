@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace froram {
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < row.size() ? row[c] : std::string{};
+            os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+               << v;
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+} // namespace froram

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain-text table / CSV printer used by the benchmark harnesses to emit
+ * the rows and series of each paper table and figure.
+ */
+#ifndef FRORAM_UTIL_TABLE_HPP
+#define FRORAM_UTIL_TABLE_HPP
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/** Column-aligned table with a header row, renderable as text or CSV. */
+class TextTable {
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {
+    }
+
+    /** Begin a new row. */
+    void
+    newRow()
+    {
+        rows_.emplace_back();
+    }
+
+    /** Append a pre-formatted cell to the current row. */
+    void
+    cell(const std::string& value)
+    {
+        FRORAM_ASSERT(!rows_.empty(), "call newRow() first");
+        rows_.back().push_back(value);
+    }
+
+    /** Append a numeric cell with fixed precision. */
+    void
+    cell(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        cell(os.str());
+    }
+
+    void cell(u64 value) { cell(std::to_string(value)); }
+    void cell(int value) { cell(std::to_string(value)); }
+
+    /** Render aligned text table. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (comma separated, header first). */
+    void printCsv(std::ostream& os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_TABLE_HPP

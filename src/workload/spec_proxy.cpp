@@ -1,0 +1,111 @@
+#include "workload/spec_proxy.hpp"
+
+#include "util/common.hpp"
+
+namespace froram {
+namespace {
+
+constexpr u64 kKiB = 1024;
+constexpr u64 kMiB = 1024 * 1024;
+
+std::vector<SpecProxySpec>
+buildSuite()
+{
+    std::vector<SpecProxySpec> s;
+    // name, zipf(fp, alpha, w), chase(fp, w), stride(fp, stride, w),
+    // gap, writeFrac.
+    //
+    // Calibrated against SPEC06-int LLC behavior at a 1 MB L2 (MPKI
+    // targets: astar 6, bzip2 4, gcc 6, gob 1.5, h264 1.2, hmmer 0.7,
+    // libq 25, mcf 45, omnet 22, perl 1.5, sjeng 0.8). Hot zipf sets
+    // mostly fit the LLC; the chase/stride components set the miss
+    // intensity and the *footprint over which misses spread*, which is
+    // what the PLB reacts to (bzip2/mcf straddle PLB coverage).
+    s.push_back({"astar", 640 * kKiB, 1.60, 0.979, 48 * kMiB, 0.012, 0.0, 16,
+                 6 * kMiB, 64, 0.009, 3, 0.30});
+    s.push_back({"bzip2", 512 * kKiB, 1.60, 0.987, 4 * kMiB, 0.006, 0.0, 24,
+                 3 * kMiB, 128, 0.007, 3, 0.35});
+    s.push_back({"gcc", 640 * kKiB, 1.60, 0.980, 24 * kMiB, 0.011, 0.0, 16,
+                 8 * kMiB, 64, 0.009, 3, 0.30});
+    s.push_back({"gob", 512 * kKiB, 1.80, 0.995, 8 * kMiB, 0.005, 0.0, 8,
+                 0, 64, 0.0, 4, 0.25});
+    s.push_back({"h264", 512 * kKiB, 1.70, 0.995, 0, 0.0, 0.0, 1,
+                 4 * kMiB, 192, 0.005, 4, 0.30});
+    s.push_back({"hmmer", 384 * kKiB, 2.00, 0.998, 0, 0.0, 0.0, 1,
+                 2 * kMiB, 64, 0.002, 3, 0.40});
+    s.push_back({"libq", 512 * kKiB, 1.80, 0.930, 0, 0.0, 0.0, 1,
+                 32 * kMiB, 64, 0.070, 2, 0.25});
+    s.push_back({"mcf", 768 * kKiB, 1.50, 0.478, 96 * kMiB, 0.510, 1.05, 6,
+                 16 * kMiB, 64, 0.012, 2, 0.30});
+    s.push_back({"omnet", 640 * kKiB, 1.50, 0.680, 48 * kMiB, 0.310, 1.05, 8,
+                 8 * kMiB, 64, 0.010, 3, 0.35});
+    s.push_back({"perl", 512 * kKiB, 1.70, 0.994, 16 * kMiB, 0.004, 0.0, 16,
+                 4 * kMiB, 64, 0.002, 4, 0.35});
+    s.push_back({"sjeng", 448 * kKiB, 1.80, 0.997, 12 * kMiB, 0.003, 0.0, 8,
+                 0, 64, 0.0, 4, 0.30});
+    return s;
+}
+
+} // namespace
+
+const std::vector<SpecProxySpec>&
+specSuite()
+{
+    static const std::vector<SpecProxySpec> suite = buildSuite();
+    return suite;
+}
+
+const SpecProxySpec&
+specByName(const std::string& name)
+{
+    for (const auto& s : specSuite()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("unknown SPEC proxy benchmark: ", name);
+}
+
+std::unique_ptr<WorkloadGen>
+makeSpecProxy(const SpecProxySpec& spec, u64 seed)
+{
+    auto mix = std::make_unique<MixGen>(spec.name, seed);
+    // Each component lives in a disjoint address region so the mixture
+    // resembles a program with distinct heap / pointer / streaming areas.
+    u64 base = 0;
+    if (spec.zipfWeight > 0 && spec.zipfFootprint > 0) {
+        mix->add(std::make_unique<ZipfGen>(spec.zipfFootprint,
+                                           spec.zipfAlpha, spec.writeFrac,
+                                           spec.gap, seed ^ 0x1111, base),
+                 spec.zipfWeight);
+        base += spec.zipfFootprint;
+    }
+    if (spec.chaseWeight > 0 && spec.chaseFootprint > 0) {
+        if (spec.chaseRun > 1) {
+            mix->add(std::make_unique<ClusterGen>(
+                         spec.chaseFootprint, /*cluster_bytes=*/2048,
+                         spec.chaseRun, spec.chaseAlpha, spec.writeFrac,
+                         spec.gap, seed ^ 0x2222, base),
+                     spec.chaseWeight);
+        } else if (spec.chaseAlpha > 1.0) {
+            mix->add(std::make_unique<ZipfGen>(
+                         spec.chaseFootprint, spec.chaseAlpha,
+                         spec.writeFrac, spec.gap, seed ^ 0x2222, base),
+                     spec.chaseWeight);
+        } else {
+            mix->add(std::make_unique<UniformGen>(
+                         spec.chaseFootprint, spec.writeFrac, spec.gap,
+                         seed ^ 0x2222, base),
+                     spec.chaseWeight);
+        }
+        base += spec.chaseFootprint;
+    }
+    if (spec.strideWeight > 0 && spec.strideFootprint > 0) {
+        mix->add(std::make_unique<StrideGen>(spec.strideFootprint,
+                                             spec.stride, spec.writeFrac,
+                                             spec.gap, seed ^ 0x3333, base),
+                 spec.strideWeight);
+    }
+    return mix;
+}
+
+} // namespace froram

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SPEC CPU2006-int proxy workloads.
+ *
+ * The paper evaluates 11 SPEC06-int benchmarks under Graphite. SPEC
+ * binaries/inputs are proprietary and a 3-billion-instruction cycle
+ * simulation is not laptop-scale, so each benchmark is modeled as a
+ * parameterized mixture of strided, uniform (pointer-chase) and zipf
+ * hot-set references over a calibrated footprint (see DESIGN.md,
+ * substitution #1). The parameters are tuned to reproduce the properties
+ * the paper's results depend on:
+ *
+ *  - LLC miss intensity (drives ORAM pressure and the Figure 6 slowdown
+ *    ordering: mcf/libq/omnet worst, hmmer/sjeng mildest);
+ *  - PosMap-block locality (drives PLB behavior: bzip2/mcf footprints
+ *    straddle the 8 KB..128 KB PLB coverage range, Figure 5);
+ *  - spatial locality (hmmer/libq like 128 B blocks; bzip2/mcf/omnetpp
+ *    dislike them, Figure 8).
+ */
+#ifndef FRORAM_WORKLOAD_SPEC_PROXY_HPP
+#define FRORAM_WORKLOAD_SPEC_PROXY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace froram {
+
+/** Mixture parameters of one proxy benchmark. */
+struct SpecProxySpec {
+    std::string name;
+    u64 zipfFootprint = 0;   ///< hot-set bytes
+    double zipfAlpha = 1.5;
+    double zipfWeight = 0;
+    u64 chaseFootprint = 0;  ///< pointer-chase bytes
+    double chaseWeight = 0;
+    /** 0 = uniform chase; >1 = zipf-skewed chase (hot graph regions
+     *  get revisited, as in mcf's actual reference behavior). */
+    double chaseAlpha = 0;
+    /** Sequential lines touched per chase-cluster visit (spatial
+     *  locality of allocations); 1 = fully random lines. */
+    u32 chaseRun = 1;
+    u64 strideFootprint = 0; ///< streaming bytes
+    u64 stride = 64;
+    double strideWeight = 0;
+    u32 gap = 3;             ///< instructions between references
+    double writeFrac = 0.3;
+};
+
+/** The 11-benchmark suite of the paper's evaluation. */
+const std::vector<SpecProxySpec>& specSuite();
+
+/** Look up a suite entry by name (fatal on unknown name). */
+const SpecProxySpec& specByName(const std::string& name);
+
+/** Instantiate the generator for a spec with a deterministic seed. */
+std::unique_ptr<WorkloadGen> makeSpecProxy(const SpecProxySpec& spec,
+                                           u64 seed);
+
+} // namespace froram
+
+#endif // FRORAM_WORKLOAD_SPEC_PROXY_HPP

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Memory-reference workload generators.
+ *
+ * Generators produce an infinite stream of MemRef events: a byte address,
+ * a read/write flag, and the number of non-memory instructions since the
+ * previous reference. Composable primitives (stride, uniform, zipf,
+ * pointer-chase) are mixed by MixGen; the SPEC-proxy suite
+ * (spec_proxy.hpp) builds on these.
+ */
+#ifndef FRORAM_WORKLOAD_WORKLOAD_HPP
+#define FRORAM_WORKLOAD_WORKLOAD_HPP
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** One memory reference issued by the core. */
+struct MemRef {
+    u64 addr = 0;        ///< byte address
+    bool isWrite = false;
+    u32 gap = 2;         ///< non-memory instructions preceding this ref
+};
+
+/** Infinite workload stream. */
+class WorkloadGen {
+  public:
+    virtual ~WorkloadGen() = default;
+    virtual MemRef next() = 0;
+    virtual std::string name() const = 0;
+};
+
+/** Sequential / strided scan over a footprint, wrapping around. */
+class StrideGen : public WorkloadGen {
+  public:
+    /**
+     * @param footprint_bytes region scanned
+     * @param stride_bytes distance between consecutive references
+     * @param write_frac fraction of writes
+     * @param gap mean instruction gap
+     */
+    StrideGen(u64 footprint_bytes, u64 stride_bytes, double write_frac,
+              u32 gap, u64 seed, u64 base = 0)
+        : footprint_(footprint_bytes), stride_(stride_bytes),
+          writeFrac_(write_frac), gap_(gap), base_(base), rng_(seed)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = base_ + pos_;
+        pos_ = (pos_ + stride_) % footprint_;
+        r.isWrite = rng_.chance(writeFrac_);
+        r.gap = gap_;
+        return r;
+    }
+
+    std::string name() const override { return "stride"; }
+
+  private:
+    u64 footprint_;
+    u64 stride_;
+    double writeFrac_;
+    u32 gap_;
+    u64 base_;
+    u64 pos_ = 0;
+    Xoshiro256 rng_;
+};
+
+/** Uniform random references over a footprint (pointer chasing). */
+class UniformGen : public WorkloadGen {
+  public:
+    UniformGen(u64 footprint_bytes, double write_frac, u32 gap, u64 seed,
+               u64 base = 0, u64 align = 64)
+        : footprint_(footprint_bytes), writeFrac_(write_frac), gap_(gap),
+          base_(base), align_(align), rng_(seed)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef r;
+        r.addr = base_ + rng_.below(footprint_ / align_) * align_;
+        r.isWrite = rng_.chance(writeFrac_);
+        r.gap = gap_;
+        return r;
+    }
+
+    std::string name() const override { return "uniform"; }
+
+  private:
+    u64 footprint_;
+    double writeFrac_;
+    u32 gap_;
+    u64 base_;
+    u64 align_;
+    Xoshiro256 rng_;
+};
+
+/**
+ * Zipf-like hot-set references: rank r is chosen with P(r) ~ r^-alpha
+ * via a bounded-Pareto inverse-CDF approximation, then mapped to a line
+ * in the footprint through a fixed permutation multiplier so hot lines
+ * are spread across the address space.
+ */
+class ZipfGen : public WorkloadGen {
+  public:
+    ZipfGen(u64 footprint_bytes, double alpha, double write_frac, u32 gap,
+            u64 seed, u64 base = 0, u64 align = 64)
+        : lines_(footprint_bytes / align), alpha_(alpha),
+          writeFrac_(write_frac), gap_(gap), base_(base), align_(align),
+          rng_(seed)
+    {
+        FRORAM_ASSERT(lines_ >= 1, "footprint too small");
+        FRORAM_ASSERT(alpha_ > 1.0, "zipf alpha must exceed 1");
+    }
+
+    MemRef
+    next() override
+    {
+        const double u = rng_.uniform();
+        // Bounded Pareto: rank = (1-u)^(-1/(alpha-1)) - 1, clamped.
+        const double raw =
+            std::pow(1.0 - u, -1.0 / (alpha_ - 1.0)) - 1.0;
+        u64 rank = raw >= static_cast<double>(lines_)
+                       ? lines_ - 1
+                       : static_cast<u64>(raw);
+        // Spread ranks over the footprint with an odd multiplier.
+        const u64 line = (rank * 0x9e3779b97f4a7c15ULL) % lines_;
+        MemRef r;
+        r.addr = base_ + line * align_;
+        r.isWrite = rng_.chance(writeFrac_);
+        r.gap = gap_;
+        return r;
+    }
+
+    std::string name() const override { return "zipf"; }
+
+  private:
+    u64 lines_;
+    double alpha_;
+    double writeFrac_;
+    u32 gap_;
+    u64 base_;
+    u64 align_;
+    Xoshiro256 rng_;
+};
+
+/**
+ * Clustered references: pick a cluster (uniformly or zipf-skewed),
+ * touch `run` sequential lines inside it, then jump to another cluster.
+ * Models the allocation/spatial locality of pointer-heavy programs:
+ * successive LLC misses often land in the same region even when the
+ * regions themselves are visited in arbitrary order.
+ */
+class ClusterGen : public WorkloadGen {
+  public:
+    /**
+     * @param footprint_bytes region the clusters live in
+     * @param cluster_bytes cluster size (e.g. 2 KB = one PosMap block
+     *        of coverage at X = 32, B = 64)
+     * @param run sequential lines touched per cluster visit
+     * @param alpha 0 = uniform cluster choice; >1 = zipf-skewed
+     */
+    ClusterGen(u64 footprint_bytes, u64 cluster_bytes, u32 run,
+               double alpha, double write_frac, u32 gap, u64 seed,
+               u64 base = 0, u64 line = 64)
+        : clusters_(footprint_bytes / cluster_bytes),
+          clusterBytes_(cluster_bytes), run_(run), alpha_(alpha),
+          writeFrac_(write_frac), gap_(gap), base_(base), line_(line),
+          rng_(seed)
+    {
+        FRORAM_ASSERT(clusters_ >= 1, "footprint too small");
+        FRORAM_ASSERT(run_ >= 1 && run_ * line_ <= cluster_bytes,
+                      "run exceeds cluster");
+    }
+
+    MemRef
+    next() override
+    {
+        if (left_ == 0) {
+            u64 cluster;
+            if (alpha_ > 1.0) {
+                const double u = rng_.uniform();
+                const double raw =
+                    std::pow(1.0 - u, -1.0 / (alpha_ - 1.0)) - 1.0;
+                const u64 rank =
+                    raw >= static_cast<double>(clusters_)
+                        ? clusters_ - 1
+                        : static_cast<u64>(raw);
+                cluster = (rank * 0x9e3779b97f4a7c15ULL) % clusters_;
+            } else {
+                cluster = rng_.below(clusters_);
+            }
+            clusterBase_ = cluster * clusterBytes_;
+            offset_ = 0;
+            left_ = run_;
+        }
+        MemRef r;
+        r.addr = base_ + clusterBase_ + offset_;
+        offset_ += line_;
+        --left_;
+        r.isWrite = rng_.chance(writeFrac_);
+        r.gap = gap_;
+        return r;
+    }
+
+    std::string name() const override { return "cluster"; }
+
+  private:
+    u64 clusters_;
+    u64 clusterBytes_;
+    u32 run_;
+    double alpha_;
+    double writeFrac_;
+    u32 gap_;
+    u64 base_;
+    u64 line_;
+    u64 clusterBase_ = 0;
+    u64 offset_ = 0;
+    u32 left_ = 0;
+    Xoshiro256 rng_;
+};
+
+/** Weighted mixture of sub-generators. */
+class MixGen : public WorkloadGen {
+  public:
+    MixGen(std::string name, u64 seed) : name_(std::move(name)), rng_(seed)
+    {
+    }
+
+    /** Add a component with the given selection weight. */
+    void
+    add(std::unique_ptr<WorkloadGen> gen, double weight)
+    {
+        parts_.push_back({std::move(gen), weight});
+        totalWeight_ += weight;
+    }
+
+    MemRef
+    next() override
+    {
+        double pick = rng_.uniform() * totalWeight_;
+        for (auto& p : parts_) {
+            if (pick < p.weight)
+                return p.gen->next();
+            pick -= p.weight;
+        }
+        return parts_.back().gen->next();
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    struct Part {
+        std::unique_ptr<WorkloadGen> gen;
+        double weight;
+    };
+
+    std::string name_;
+    std::vector<Part> parts_;
+    double totalWeight_ = 0;
+    Xoshiro256 rng_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_WORKLOAD_WORKLOAD_HPP

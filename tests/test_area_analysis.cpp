@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Area-model tests against Table 3 / Section 7.2.3, and the analytic
+ * recursion-bandwidth model behind Figure 3.
+ */
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "core/analysis.hpp"
+
+namespace froram {
+namespace {
+
+AreaInputs
+paperInputs(u32 channels)
+{
+    AreaInputs in;
+    in.channels = channels;
+    return in; // defaults are the Section 7.2.1 hardware configuration
+}
+
+TEST(AreaModel, Table3TotalsWithinTolerance)
+{
+    // Published post-synthesis totals: .316 / .326 / .438 mm^2.
+    const double expected[3] = {0.316, 0.326, 0.438};
+    const u32 chans[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        const auto a = AreaModel::synthesis(paperInputs(chans[i]));
+        EXPECT_NEAR(a.total(), expected[i], 0.12 * expected[i])
+            << "channels=" << chans[i];
+    }
+}
+
+TEST(AreaModel, Table3SharesWithinTolerance)
+{
+    // nchannel = 2 column: Frontend 30.0%, PLB 9.7%, PMMAC 11.9%,
+    // stash 28.9%, AES 41.1%.
+    const auto a = AreaModel::synthesis(paperInputs(2));
+    const double tot = a.total();
+    EXPECT_NEAR(a.frontend() / tot, 0.300, 0.05);
+    EXPECT_NEAR(a.plb / tot, 0.097, 0.03);
+    EXPECT_NEAR(a.pmmac / tot, 0.119, 0.03);
+    EXPECT_NEAR(a.stash / tot, 0.289, 0.05);
+    EXPECT_NEAR(a.aes / tot, 0.411, 0.06);
+}
+
+TEST(AreaModel, FrontendShareShrinksWithChannels)
+{
+    // Table 3's main observation: the Frontend (and PMMAC/PLB within
+    // it) amortizes as DRAM bandwidth grows.
+    const auto a1 = AreaModel::synthesis(paperInputs(1));
+    const auto a4 = AreaModel::synthesis(paperInputs(4));
+    EXPECT_GT(a1.frontend() / a1.total(), a4.frontend() / a4.total());
+    EXPECT_LT(a1.total(), a4.total());
+}
+
+TEST(AreaModel, PmmacCostBounded)
+{
+    // "PMMAC costs <= 13% of total design area" (abstract).
+    for (u32 ch : {1u, 2u, 4u}) {
+        const auto a = AreaModel::synthesis(paperInputs(ch));
+        EXPECT_LE(a.pmmac / a.total(), 0.135) << ch;
+    }
+    // Dropping integrity removes the block entirely.
+    AreaInputs in = paperInputs(2);
+    in.integrity = false;
+    EXPECT_EQ(AreaModel::synthesis(in).pmmac, 0.0);
+}
+
+TEST(AreaModel, PostLayoutMatchesPaper)
+{
+    // Section 7.2.2: nchannel = 2 post-layout ~ .47 mm^2.
+    const auto a = AreaModel::layout(paperInputs(2));
+    EXPECT_NEAR(a.total(), 0.47, 0.05);
+}
+
+TEST(AreaModel, NoRecursionPosMapExplodes)
+{
+    // Section 7.2.3: a 2^20-entry on-chip PosMap (no recursion, 4 KB
+    // blocks) costs ~5 mm^2, >10x the whole recursive design.
+    AreaInputs in = paperInputs(2);
+    in.onChipPosMapBits = (u64{1} << 20) * 20; // 2^20 entries x L=20
+    const auto a = AreaModel::synthesis(in);
+    EXPECT_NEAR(a.posmap, 5.0, 1.0);
+    EXPECT_GT(a.total() / AreaModel::synthesis(paperInputs(2)).total(),
+              10.0);
+}
+
+TEST(AreaModel, BigPlbCostsAbout29Percent)
+{
+    // Section 7.2.3: 64 KB PLB adds ~29% to the 1-channel design.
+    AreaInputs small = paperInputs(1);
+    AreaInputs big = paperInputs(1);
+    big.plbDataBits = 64 * 1024 * 8;
+    big.plbEntries = 1024;
+    const double ratio = AreaModel::synthesis(big).total() /
+                         AreaModel::synthesis(small).total();
+    EXPECT_NEAR(ratio, 1.29, 0.08);
+}
+
+TEST(AreaModel, SramDensityTiersAreMonotone)
+{
+    EXPECT_LT(AreaModel::sramMm2(1 << 10), AreaModel::sramMm2(1 << 20));
+    // Per-bit cost falls with size.
+    const double small_per_bit = AreaModel::sramMm2(1 << 15) / (1 << 15);
+    const double large_per_bit = AreaModel::sramMm2(1 << 22) / (1 << 22);
+    EXPECT_GT(small_per_bit, large_per_bit);
+    EXPECT_EQ(AreaModel::sramMm2(0), 0.0);
+}
+
+TEST(Fig3Analysis, FourGigabyteZoneMatchesPaper)
+{
+    // Section 3.2.1: at 4 GB capacity, PosMap ORAMs consume roughly
+    // half the bandwidth (39%-56% in the paper; our codec's byte-level
+    // headers land in the same zone).
+    const auto r64 = analyzeRecursiveBandwidth(u64{4} << 30, 64, 32, 4,
+                                               8 * 1024);
+    const auto r128 = analyzeRecursiveBandwidth(u64{4} << 30, 128, 32, 4,
+                                                8 * 1024);
+    EXPECT_GT(r64.posmapFraction(), 0.35);
+    EXPECT_LT(r64.posmapFraction(), 0.75);
+    EXPECT_GT(r128.posmapFraction(), 0.25);
+    // Smaller data blocks => larger PosMap share.
+    EXPECT_GT(r64.posmapFraction(), r128.posmapFraction());
+}
+
+TEST(Fig3Analysis, FractionGrowsWithCapacity)
+{
+    double last = 0;
+    for (u32 lg = 30; lg <= 40; lg += 2) {
+        const auto r = analyzeRecursiveBandwidth(u64{1} << lg, 64, 32, 4,
+                                                 8 * 1024);
+        EXPECT_GE(r.posmapFraction() + 0.02, last)
+            << "capacity 2^" << lg;
+        last = r.posmapFraction();
+    }
+}
+
+TEST(Fig3Analysis, BiggerOnChipPosMapOnlySlightlyDampens)
+{
+    const auto small = analyzeRecursiveBandwidth(u64{4} << 30, 64, 32, 4,
+                                                 8 * 1024);
+    const auto big = analyzeRecursiveBandwidth(u64{4} << 30, 64, 32, 4,
+                                               256 * 1024);
+    EXPECT_LE(big.posmapFraction(), small.posmapFraction());
+    EXPECT_GT(big.posmapFraction(), small.posmapFraction() - 0.15);
+    EXPECT_LE(big.h, small.h);
+}
+
+TEST(Fig3Analysis, TreeByteBreakdownIsConsistent)
+{
+    const auto r = analyzeRecursiveBandwidth(u64{1} << 32, 64, 32, 4,
+                                             8 * 1024);
+    u64 sum = 0;
+    for (u64 b : r.treeBytes)
+        sum += b;
+    EXPECT_EQ(sum, r.totalBytes());
+    EXPECT_EQ(r.treeBytes.size(), r.h);
+    EXPECT_EQ(r.treeBytes[0], r.dataBytes);
+}
+
+} // namespace
+} // namespace froram

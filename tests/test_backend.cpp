@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Path ORAM Backend tests: memory consistency under random access
+ * patterns, the Path ORAM invariant (a block is on its path or in the
+ * stash), readrmv/append semantics, stash behavior and DRAM coupling.
+ * Geometry is swept with TEST_P.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/dram_model.hpp"
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+struct Geometry {
+    u64 numBlocks;
+    u64 blockBytes;
+    u32 z;
+};
+
+class BackendTest : public ::testing::TestWithParam<Geometry> {
+  protected:
+    void
+    SetUp() override
+    {
+        const Geometry g = GetParam();
+        params_ = OramParams::forCapacity(g.numBlocks * g.blockBytes,
+                                          g.blockBytes, g.z);
+        BackendConfig bc;
+        bc.params = params_;
+        backend_ = std::make_unique<PathOramBackend>(
+            bc,
+            std::make_unique<EncryptedTreeStorage>(params_, &cipher_),
+            std::make_unique<FlatLayout>(params_.levels,
+                                         params_.bucketPhysBytes()),
+            nullptr);
+    }
+
+    Leaf randLeaf() { return rng_.below(params_.numLeaves()); }
+
+    std::vector<u8>
+    pattern(Addr a, u32 version)
+    {
+        std::vector<u8> d(params_.blockBytes);
+        for (size_t i = 0; i < d.size(); ++i)
+            d[i] = static_cast<u8>(a * 131 + version * 17 + i);
+        return d;
+    }
+
+    OramParams params_;
+    AesCtrCipher cipher_;
+    std::unique_ptr<PathOramBackend> backend_;
+    Xoshiro256 rng_{123};
+};
+
+TEST_P(BackendTest, ReadYourWrites)
+{
+    // Functional model: leaf bookkeeping lives here (stand-in for the
+    // Frontend), data must round-trip through path reads/evictions.
+    std::map<Addr, Leaf> posmap;
+    std::map<Addr, u32> version;
+    const u64 n = std::min<u64>(params_.numBlocks, 64);
+
+    for (int round = 0; round < 4; ++round) {
+        for (Addr a = 0; a < n; ++a) {
+            const Leaf use =
+                posmap.count(a) ? posmap[a] : randLeaf();
+            const Leaf fresh = randLeaf();
+            posmap[a] = fresh;
+            const auto data = pattern(a, round);
+            backend_->access(Op::Write, a, use, fresh, &data);
+            version[a] = round;
+        }
+        // Random-order readback.
+        for (Addr a = 0; a < n; ++a) {
+            const Addr target = (a * 31 + 7) % n;
+            const Leaf use = posmap[target];
+            const Leaf fresh = randLeaf();
+            posmap[target] = fresh;
+            const auto r =
+                backend_->access(Op::Read, target, use, fresh);
+            ASSERT_TRUE(r.found) << "block " << target << " lost";
+            EXPECT_EQ(r.block.data, pattern(target, version[target]))
+                << "stale data for block " << target;
+        }
+    }
+}
+
+TEST_P(BackendTest, ColdReadReturnsZeros)
+{
+    const Leaf use = randLeaf(), fresh = randLeaf();
+    const auto r = backend_->access(Op::Read, 1, use, fresh);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.block.data,
+              std::vector<u8>(params_.storedBlockBytes(), 0));
+    EXPECT_EQ(backend_->stats().get("coldMisses"), 1u);
+}
+
+TEST_P(BackendTest, ReadRmvRemovesAndAppendRestores)
+{
+    std::map<Addr, Leaf> posmap;
+    const auto data = pattern(5, 1);
+    Leaf l = randLeaf(), l2 = randLeaf();
+    backend_->access(Op::Write, 5, l, l2, &data);
+    posmap[5] = l2;
+
+    // readrmv: block leaves the ORAM entirely.
+    Leaf l3 = randLeaf();
+    auto r = backend_->access(Op::ReadRmv, 5, posmap[5], kNoLeaf);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.block.data, data);
+    EXPECT_FALSE(backend_->stash().contains(5));
+    EXPECT_FALSE(backend_->locateInTree(5).has_value());
+
+    // append puts it back (with a fresh leaf) without a tree access.
+    const u64 accesses_before = backend_->stats().get("accesses");
+    Block blk = r.block;
+    blk.leaf = l3;
+    backend_->append(std::move(blk));
+    EXPECT_EQ(backend_->stats().get("accesses"), accesses_before);
+    posmap[5] = l3;
+
+    // The block is readable again.
+    Leaf l4 = randLeaf();
+    r = backend_->access(Op::Read, 5, posmap[5], l4);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.block.data, data);
+}
+
+TEST_P(BackendTest, PathInvariantHolds)
+{
+    // After any access, every block must be in the stash or on the path
+    // to its (frontend-tracked) leaf.
+    std::map<Addr, Leaf> posmap;
+    const u64 n = std::min<u64>(params_.numBlocks, 32);
+    for (Addr a = 0; a < n; ++a) {
+        const Leaf use = posmap.count(a) ? posmap[a] : randLeaf();
+        const Leaf fresh = randLeaf();
+        posmap[a] = fresh;
+        const auto data = pattern(a, 0);
+        backend_->access(Op::Write, a, use, fresh, &data);
+    }
+    for (const auto& [a, leaf] : posmap) {
+        if (backend_->stash().contains(a))
+            continue;
+        const auto where = backend_->locateInTree(a);
+        ASSERT_TRUE(where.has_value()) << "block " << a << " vanished";
+        // The bucket must lie on the path to the tracked leaf.
+        const u64 path_index_at_level =
+            leaf >> (params_.levels - where->level);
+        EXPECT_EQ(where->index, path_index_at_level)
+            << "block " << a << " off its path (invariant violation)";
+    }
+}
+
+TEST_P(BackendTest, StashStaysBounded)
+{
+    std::map<Addr, Leaf> posmap;
+    Xoshiro256 addr_rng(77);
+    const u64 n = std::min<u64>(params_.numBlocks, 256);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = addr_rng.below(n);
+        const Leaf use = posmap.count(a) ? posmap[a] : randLeaf();
+        const Leaf fresh = randLeaf();
+        posmap[a] = fresh;
+        backend_->access(i % 3 == 0 ? Op::Write : Op::Read, a, use,
+                         fresh);
+    }
+    // Z >= 4 keeps the persistent stash tiny (Section 3.1.2).
+    EXPECT_LT(backend_->stash().stats().get("peakOccupancy"),
+              100u + params_.z * (params_.levels + 1));
+}
+
+TEST_P(BackendTest, BytesMovedMatchesGeometry)
+{
+    const auto r =
+        backend_->access(Op::Read, 0, randLeaf(), randLeaf());
+    EXPECT_EQ(r.bytesMoved, 2 * params_.pathBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BackendTest,
+    ::testing::Values(Geometry{256, 64, 4}, Geometry{1024, 64, 4},
+                      Geometry{4096, 64, 4}, Geometry{512, 128, 4},
+                      Geometry{1024, 32, 4}, Geometry{1024, 64, 5},
+                      Geometry{1024, 64, 3}, Geometry{300, 64, 4}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+        return "N" + std::to_string(info.param.numBlocks) + "_B" +
+               std::to_string(info.param.blockBytes) + "_Z" +
+               std::to_string(info.param.z);
+    });
+
+TEST(BackendTrace, EmitsPathEventsWithLeaves)
+{
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    std::vector<TraceEvent> trace;
+    BackendConfig bc;
+    bc.params = p;
+    bc.treeId = 3;
+    bc.traceSink = [&](const TraceEvent& e) { trace.push_back(e); };
+    AesCtrCipher cipher;
+    PathOramBackend backend(
+        bc, std::make_unique<EncryptedTreeStorage>(p, &cipher),
+        std::make_unique<FlatLayout>(p.levels, p.bucketPhysBytes()),
+        nullptr);
+    backend.access(Op::Read, 1, 5, 6);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].kind, TraceEvent::Kind::PathRead);
+    EXPECT_EQ(trace[0].treeId, 3u);
+    EXPECT_EQ(trace[0].leaf, 5u);
+    EXPECT_EQ(trace[1].kind, TraceEvent::Kind::PathWrite);
+    EXPECT_EQ(trace[1].leaf, 5u);
+}
+
+TEST(BackendDram, PathAccessConsumesDramTime)
+{
+    const OramParams p = OramParams::forCapacity(1 << 20, 64, 4);
+    DramModel dram(DramConfig::ddr3(2));
+    BackendConfig bc;
+    bc.params = p;
+    AesCtrCipher cipher;
+    PathOramBackend backend(
+        bc, std::make_unique<EncryptedTreeStorage>(p, &cipher),
+        std::make_unique<SubtreeLayout>(p.levels, p.bucketPhysBytes(),
+                                        2 * 8192),
+        &dram);
+    const auto r = backend.access(Op::Read, 0, 3, 9);
+    EXPECT_GT(r.dramPs, 0u);
+    // Sanity: a path (2x pathBytes) at ~21 GB/s takes O(hundreds of ns).
+    const double ns = static_cast<double>(r.dramPs) / 1000.0;
+    EXPECT_GT(ns, 100.0);
+    EXPECT_LT(ns, 10000.0);
+}
+
+TEST(BackendHooks, IntegrityHooksFire)
+{
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    u32 verifies = 0, updates = 0;
+    BackendConfig bc;
+    bc.params = p;
+    bc.beforePathRead = [&](Leaf) { ++verifies; };
+    bc.afterPathWrite = [&](Leaf) { ++updates; };
+    AesCtrCipher cipher;
+    PathOramBackend backend(
+        bc, std::make_unique<EncryptedTreeStorage>(p, &cipher),
+        std::make_unique<FlatLayout>(p.levels, p.bucketPhysBytes()),
+        nullptr);
+    backend.access(Op::Read, 1, 0, 1);
+    backend.access(Op::Write, 2, 1, 2);
+    EXPECT_EQ(verifies, 2u);
+    EXPECT_EQ(updates, 2u);
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Cache hierarchy and core model tests (the Graphite-substitute
+ * substrate, DESIGN.md #2).
+ */
+#include <gtest/gtest.h>
+
+#include "cachesim/core_model.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "workload/spec_proxy.hpp"
+
+namespace froram {
+namespace {
+
+TEST(Cache, HitAfterMiss)
+{
+    SetAssocCache c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0, false).hit);
+    EXPECT_TRUE(c.access(0, false).hit);
+    EXPECT_TRUE(c.access(63, false).hit);  // same line
+    EXPECT_FALSE(c.access(64, false).hit); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache c({2 * 64, 2, 64}); // 2 lines, 1 set, 2-way
+    c.access(0, false);
+    c.access(64, false);
+    c.access(0, false); // 0 is MRU
+    const auto r = c.access(128, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evictedValid);
+    EXPECT_EQ(r.evictedLineAddr, 1u); // line 64/64 was LRU
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(64));
+}
+
+TEST(Cache, DirtyEvictionFlagged)
+{
+    SetAssocCache c({64, 1, 64}); // 1 line
+    c.access(0, true);
+    const auto r = c.access(64, false);
+    EXPECT_TRUE(r.evictedDirty);
+    const auto r2 = c.access(128, false);
+    EXPECT_FALSE(r2.evictedDirty); // previous line was clean
+}
+
+TEST(Cache, InstallMergesDirty)
+{
+    SetAssocCache c({1024, 4, 64});
+    c.install(5, false);
+    c.install(5, true);
+    const auto r = c.access(5 * 64, false);
+    EXPECT_TRUE(r.hit);
+}
+
+class CountingMemory : public MainMemory {
+  public:
+    u64
+    lineAccessCycles(u64 line_addr, u64 line_bytes, bool is_write) override
+    {
+        reads += is_write ? 0 : 1;
+        writes += is_write ? 1 : 0;
+        return 100;
+    }
+
+    u64 reads = 0, writes = 0;
+};
+
+TEST(Hierarchy, L1HitIsCheap)
+{
+    CountingMemory mem;
+    MemoryHierarchy h(HierarchyConfig{}, &mem);
+    const u64 first = h.access(0, false); // cold: L1+L2+mem
+    const u64 second = h.access(0, false); // L1 hit
+    EXPECT_GT(first, 100u);
+    EXPECT_EQ(second, 2u);
+    EXPECT_EQ(mem.reads, 1u);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    CountingMemory mem;
+    HierarchyConfig cfg;
+    cfg.l1 = {2 * 64, 1, 64}; // tiny L1: 2 sets, direct mapped
+    MemoryHierarchy h(cfg, &mem);
+    h.access(0, false);
+    h.access(128, false); // evicts line 0 from L1 (clean)
+    h.access(0, false);   // L2 hit, no new memory read
+    EXPECT_EQ(mem.reads, 2u);
+}
+
+TEST(Hierarchy, DirtyLlcEvictionWritesBack)
+{
+    CountingMemory mem;
+    HierarchyConfig cfg;
+    cfg.l1 = {64, 1, 64};
+    cfg.l2 = {64, 1, 64}; // 1-line LLC
+    MemoryHierarchy h(cfg, &mem);
+    h.access(0, true);   // miss, fill
+    h.access(64, false); // evicts L1 dirty line 0 -> L2; L2 evicts...
+    h.access(128, false);
+    EXPECT_GT(mem.writes, 0u);
+}
+
+TEST(CoreModel, CyclesAccumulateGapsAndLatency)
+{
+    CountingMemory mem;
+    MemoryHierarchy h(HierarchyConfig{}, &mem);
+    InOrderCore core(&h);
+    StrideGen gen(1 << 20, 64, 0.0, 5, 1);
+    const auto r = core.run(gen, 100);
+    EXPECT_EQ(r.memRefs, 100u);
+    EXPECT_EQ(r.instructions, 100u * 6);
+    // Every ref is a cold miss with 100-cycle memory: cycles dominated
+    // by memory.
+    EXPECT_GT(r.cycles, 100u * 100);
+}
+
+TEST(CoreModel, WarmupExcludedFromCounters)
+{
+    CountingMemory mem;
+    MemoryHierarchy h(HierarchyConfig{}, &mem);
+    InOrderCore core(&h);
+    StrideGen gen(1 << 14, 64, 0.0, 2, 1); // 256 lines: fits L2
+    const auto r = core.run(gen, 256, /*warmup=*/256);
+    // After warmup the working set is L2-resident: ~no new misses.
+    EXPECT_EQ(r.memRefs, 256u);
+    EXPECT_LT(r.llcMisses, 10u);
+}
+
+TEST(Workload, StrideGenWrapsFootprint)
+{
+    StrideGen gen(1024, 64, 0.0, 2, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(gen.next().addr, 1024u);
+}
+
+TEST(Workload, UniformGenStaysInBounds)
+{
+    UniformGen gen(4096, 0.5, 3, 1, /*base=*/1 << 20);
+    for (int i = 0; i < 1000; ++i) {
+        const auto r = gen.next();
+        EXPECT_GE(r.addr, u64{1} << 20);
+        EXPECT_LT(r.addr, (u64{1} << 20) + 4096);
+    }
+}
+
+TEST(Workload, ZipfGenIsSkewed)
+{
+    ZipfGen gen(64 * 1024, 1.5, 0.0, 2, 1);
+    std::map<u64, u64> counts;
+    for (int i = 0; i < 20000; ++i)
+        counts[gen.next().addr]++;
+    // The hottest line should absorb far more than the uniform share.
+    u64 max_count = 0;
+    for (const auto& [addr, n] : counts)
+        max_count = std::max(max_count, n);
+    EXPECT_GT(max_count, 20000u / 1024 * 10);
+}
+
+TEST(Workload, MixGenDrawsFromAllParts)
+{
+    MixGen mix("m", 1);
+    mix.add(std::make_unique<StrideGen>(1024, 64, 0.0, 2, 1, 0), 0.5);
+    mix.add(std::make_unique<UniformGen>(1024, 0.0, 2, 1, 1 << 20), 0.5);
+    u64 low = 0, high = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (mix.next().addr >= (u64{1} << 20))
+            ++high;
+        else
+            ++low;
+    }
+    EXPECT_GT(low, 500u);
+    EXPECT_GT(high, 500u);
+}
+
+TEST(Workload, SpecSuiteHasElevenBenchmarks)
+{
+    EXPECT_EQ(specSuite().size(), 11u);
+    EXPECT_NO_THROW(specByName("mcf"));
+    EXPECT_NO_THROW(specByName("libq"));
+    EXPECT_THROW(specByName("nonesuch"), FatalError);
+}
+
+TEST(Workload, SpecProxiesAreDeterministic)
+{
+    for (const auto& spec : specSuite()) {
+        auto g1 = makeSpecProxy(spec, 42);
+        auto g2 = makeSpecProxy(spec, 42);
+        for (int i = 0; i < 50; ++i) {
+            const auto a = g1->next();
+            const auto b = g2->next();
+            EXPECT_EQ(a.addr, b.addr) << spec.name;
+            EXPECT_EQ(a.isWrite, b.isWrite);
+        }
+    }
+}
+
+TEST(Workload, McfHasLargerFootprintThanHmmer)
+{
+    // The locality contrast the PLB results rely on.
+    auto mcf = makeSpecProxy(specByName("mcf"), 1);
+    auto hmmer = makeSpecProxy(specByName("hmmer"), 1);
+    u64 mcf_max = 0, hmmer_max = 0;
+    for (int i = 0; i < 20000; ++i) {
+        mcf_max = std::max(mcf_max, mcf->next().addr);
+        hmmer_max = std::max(hmmer_max, hmmer->next().addr);
+    }
+    EXPECT_GT(mcf_max, 100 * hmmer_max);
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Crypto tests: AES-128 against FIPS-197 / SP 800-38A vectors, SHA3-224
+ * against FIPS-202 vectors, PRF/MAC properties, and the stream-cipher
+ * pad-uniqueness properties the encryption layer depends on.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "crypto/aes128.hpp"
+#include "crypto/prf.hpp"
+#include "crypto/sha3.hpp"
+#include "crypto/stream_cipher.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::vector<u8>
+fromHex(const std::string& hex)
+{
+    std::vector<u8> out;
+    for (size_t i = 0; i + 1 < hex.size(); i += 2)
+        out.push_back(static_cast<u8>(
+            std::stoul(hex.substr(i, 2), nullptr, 16)));
+    return out;
+}
+
+std::string
+toHex(const u8* data, size_t len)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+        s += digits[data[i] >> 4];
+        s += digits[data[i] & 0xf];
+    }
+    return s;
+}
+
+TEST(Aes128, Fips197Vector)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key.data());
+    u8 ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(toHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp80038aEcbVectors)
+{
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 aes(key.data());
+    const char* pts[4] = {"6bc1bee22e409f96e93d7e117393172a",
+                          "ae2d8a571e03ac9c9eb76fac45af8e51",
+                          "30c81c46a35ce411e5fbc1191a0a52ef",
+                          "f69f2445df4f9b17ad2b417be66c3710"};
+    const char* cts[4] = {"3ad77bb40d7a3660a89ecaf32466ef97",
+                          "f5d3d58503b9699de785895a96fdbaaf",
+                          "43b1cd7f598ece23881b00e3ed030688",
+                          "7b0c785e27e8ad3f8223207104725dd4"};
+    for (int i = 0; i < 4; ++i) {
+        const auto pt = fromHex(pts[i]);
+        u8 ct[16];
+        aes.encryptBlock(pt.data(), ct);
+        EXPECT_EQ(toHex(ct, 16), cts[i]) << "vector " << i;
+    }
+}
+
+TEST(Aes128, InPlaceEncryption)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    auto buf = fromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key.data());
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(toHex(buf.data(), 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, RekeyChangesOutput)
+{
+    const auto k1 = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto k2 = fromHex("100102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(k1.data());
+    u8 a[16], b[16];
+    aes.encryptBlock(pt.data(), a);
+    aes.setKey(k2.data());
+    aes.encryptBlock(pt.data(), b);
+    EXPECT_NE(0, std::memcmp(a, b, 16));
+}
+
+TEST(Sha3_224, EmptyMessage)
+{
+    const auto d = Sha3_224::hash(nullptr, 0);
+    EXPECT_EQ(toHex(d.data(), d.size()),
+              "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7");
+}
+
+TEST(Sha3_224, Abc)
+{
+    const std::string msg = "abc";
+    const auto d =
+        Sha3_224::hash(reinterpret_cast<const u8*>(msg.data()), msg.size());
+    EXPECT_EQ(toHex(d.data(), d.size()),
+              "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf");
+}
+
+TEST(Sha3_224, LongMessageMultipleBlocks)
+{
+    // 448 a's spans several 144-byte rate blocks; known digest of
+    // the FIPS "alphabet-soup" message.
+    const std::string msg =
+        "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+        "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+    const auto d =
+        Sha3_224::hash(reinterpret_cast<const u8*>(msg.data()), msg.size());
+    EXPECT_EQ(toHex(d.data(), d.size()),
+              "543e6868e1666c1a643630df77367ae5a62a85070a51c14cbf665cbc");
+}
+
+TEST(Sha3_224, IncrementalMatchesOneShot)
+{
+    std::vector<u8> msg(1000);
+    Xoshiro256 rng(9);
+    for (auto& b : msg)
+        b = static_cast<u8>(rng.next());
+    const auto whole = Sha3_224::hash(msg.data(), msg.size());
+    Sha3_224 h;
+    h.update(msg.data(), 100);
+    h.update(msg.data() + 100, 44);
+    h.update(msg.data() + 144, 856);
+    u8 digest[Sha3_224::kDigestBytes];
+    h.finalize(digest);
+    EXPECT_EQ(0, std::memcmp(digest, whole.data(), sizeof(digest)));
+}
+
+TEST(Prf, DeterministicAndKeyed)
+{
+    u8 k1[16] = {1}, k2[16] = {2};
+    Prf p1(k1), p1b(k1), p2(k2);
+    EXPECT_EQ(p1.eval(5, 7), p1b.eval(5, 7));
+    EXPECT_NE(p1.eval(5, 7), p2.eval(5, 7));
+    EXPECT_NE(p1.eval(5, 7), p1.eval(5, 8));
+    EXPECT_NE(p1.eval(5, 7), p1.eval(6, 7));
+    EXPECT_NE(p1.eval(5, 7, 0), p1.eval(5, 7, 1));
+}
+
+TEST(Prf, LeafForStaysInRange)
+{
+    u8 key[16] = {3};
+    Prf prf(key);
+    for (u64 c = 0; c < 1000; ++c) {
+        EXPECT_LT(prf.leafFor(c, c * 3, 12), u64{1} << 12);
+    }
+}
+
+TEST(Prf, LeafDistributionIsUniform)
+{
+    u8 key[16] = {4};
+    Prf prf(key);
+    const u32 levels = 6; // 64 leaves
+    std::vector<u64> counts(64, 0);
+    const int n = 64000;
+    for (int i = 0; i < n; ++i)
+        counts[prf.leafFor(42, static_cast<u64>(i), levels)]++;
+    const double expected = static_cast<double>(n) / 64;
+    double chi2 = 0;
+    for (u64 c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 120.0); // chi2(63 dof, 1e-5) ~ 117
+}
+
+TEST(Mac, VerifyAcceptsAndRejects)
+{
+    u8 key[16] = {5};
+    Mac mac(key);
+    std::vector<u8> data(64, 0xab);
+    const auto tag = mac.compute(10, 99, data.data(), data.size());
+    EXPECT_TRUE(mac.verify(tag, 10, 99, data.data(), data.size()));
+    // Any change to counter, address or data must fail.
+    EXPECT_FALSE(mac.verify(tag, 11, 99, data.data(), data.size()));
+    EXPECT_FALSE(mac.verify(tag, 10, 98, data.data(), data.size()));
+    data[0] ^= 1;
+    EXPECT_FALSE(mac.verify(tag, 10, 99, data.data(), data.size()));
+}
+
+TEST(Mac, TagsDifferAcrossCounters)
+{
+    u8 key[16] = {6};
+    Mac mac(key);
+    std::vector<u8> data(64, 0);
+    std::set<std::string> tags;
+    for (u64 c = 0; c < 200; ++c) {
+        const auto t = mac.compute(c, 7, data.data(), data.size());
+        tags.insert(toHex(t.data(), t.size()));
+    }
+    EXPECT_EQ(tags.size(), 200u); // replay-resistant: all distinct
+}
+
+template <typename CipherT>
+class StreamCipherTest : public ::testing::Test {
+  public:
+    CipherT cipher;
+};
+
+using CipherTypes = ::testing::Types<AesCtrCipher, FastCipher>;
+TYPED_TEST_SUITE(StreamCipherTest, CipherTypes);
+
+TYPED_TEST(StreamCipherTest, RoundTrip)
+{
+    std::vector<u8> data(300);
+    Xoshiro256 rng(10);
+    for (auto& b : data)
+        b = static_cast<u8>(rng.next());
+    auto copy = data;
+    this->cipher.xorCrypt(123, 456, copy.data(), copy.size());
+    EXPECT_NE(copy, data);
+    this->cipher.xorCrypt(123, 456, copy.data(), copy.size());
+    EXPECT_EQ(copy, data);
+}
+
+TYPED_TEST(StreamCipherTest, PadsUniquePerSeedAndChunk)
+{
+    std::set<std::string> pads;
+    u8 pad[16];
+    for (u64 hi = 0; hi < 8; ++hi) {
+        for (u64 lo = 0; lo < 8; ++lo) {
+            for (u32 chunk = 0; chunk < 8; ++chunk) {
+                this->cipher.pad(hi, lo, chunk, pad);
+                pads.insert(toHex(pad, 16));
+            }
+        }
+    }
+    EXPECT_EQ(pads.size(), 8u * 8 * 8);
+}
+
+TYPED_TEST(StreamCipherTest, SameSeedSamePad)
+{
+    u8 a[16], b[16];
+    this->cipher.pad(77, 88, 3, a);
+    this->cipher.pad(77, 88, 3, b);
+    EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DRAM timing model tests: address decode, row-buffer behavior, latency
+ * ordering, bandwidth sanity against the configured peak, and channel
+ * scaling (the substrate behind Table 2).
+ */
+#include <gtest/gtest.h>
+
+#include "mem/dram_model.hpp"
+
+namespace froram {
+namespace {
+
+TEST(DramConfig, PeakBandwidthMatchesPaper)
+{
+    // 667 MHz DDR x 64-bit bus ~ 10.67 GB/s per channel (Section 7.1.1).
+    const DramConfig one = DramConfig::ddr3(1);
+    EXPECT_NEAR(one.peakBandwidthBytesPerSec() / 1e9, 10.67, 0.05);
+    const DramConfig two = DramConfig::ddr3(2);
+    EXPECT_NEAR(two.peakBandwidthBytesPerSec() / 1e9, 21.33, 0.1);
+}
+
+TEST(DramModel, RejectsBadChannelCount)
+{
+    DramConfig c = DramConfig::ddr3(2);
+    c.channels = 3;
+    EXPECT_THROW(DramModel m(c), FatalError);
+}
+
+TEST(DramModel, DecodeStripesBurstsAcrossChannels)
+{
+    DramModel m(DramConfig::ddr3(4));
+    for (u64 i = 0; i < 16; ++i) {
+        const auto d = m.decode(i * 64);
+        EXPECT_EQ(d.channel, i % 4);
+    }
+}
+
+TEST(DramModel, DecodeRoundTripsWithinRow)
+{
+    DramModel m(DramConfig::ddr3(2));
+    // Consecutive bursts on the same channel land in the same row until
+    // rowBytes are exhausted.
+    const auto first = m.decode(0);
+    const auto later = m.decode(2 * 64 * 10); // same channel, +10 bursts
+    EXPECT_EQ(first.channel, later.channel);
+    EXPECT_EQ(first.row, later.row);
+    EXPECT_NE(first.col, later.col);
+}
+
+TEST(DramModel, RowHitFasterThanRowMiss)
+{
+    DramModel m(DramConfig::ddr3(1));
+    const u64 miss = m.accessSingle(0, false); // cold: activate needed
+    const u64 hit = m.accessSingle(64, false); // same row
+    EXPECT_LT(hit, miss);
+    EXPECT_EQ(m.stats().get("rowHits"), 1u);
+    EXPECT_EQ(m.stats().get("rowMisses"), 1u);
+}
+
+TEST(DramModel, RowConflictSlowerThanMiss)
+{
+    DramConfig cfg = DramConfig::ddr3(1);
+    DramModel m(cfg);
+    const u64 row_span =
+        u64{cfg.rowBytes} * cfg.totalBanksPerChannel(); // next row, bank 0
+    m.accessSingle(0, false);                  // open row 0 in bank 0
+    m.idle(1000000);                           // let tRAS pass
+    const u64 conflict = m.accessSingle(row_span, false);
+    DramModel fresh(cfg);
+    const u64 miss = fresh.accessSingle(0, false);
+    EXPECT_GT(conflict, miss);
+    EXPECT_EQ(m.stats().get("rowConflicts"), 1u);
+}
+
+TEST(DramModel, SequentialStreamApproachesPeakBandwidth)
+{
+    DramConfig cfg = DramConfig::ddr3(2);
+    DramModel m(cfg);
+    std::vector<DramRequest> reqs;
+    const u64 total_bytes = 4 << 20;
+    for (u64 a = 0; a < total_bytes; a += cfg.burstBytes)
+        reqs.push_back({a, false});
+    const u64 ps = m.accessBatch(reqs);
+    const double gbs = static_cast<double>(total_bytes) / 1e9 /
+                       (static_cast<double>(ps) * 1e-12);
+    const double peak = cfg.peakBandwidthBytesPerSec() / 1e9;
+    EXPECT_GT(gbs, 0.75 * peak); // subtree-style streaming is near-peak
+    EXPECT_LE(gbs, peak * 1.01);
+}
+
+TEST(DramModel, MoreChannelsReduceBatchLatency)
+{
+    std::vector<u64> latency;
+    for (u32 ch : {1u, 2u, 4u, 8u}) {
+        DramModel m(DramConfig::ddr3(ch));
+        std::vector<DramRequest> reqs;
+        for (u64 a = 0; a < 16384; a += 64)
+            reqs.push_back({a, false});
+        latency.push_back(m.accessBatch(reqs));
+    }
+    EXPECT_GT(latency[0], latency[1]);
+    EXPECT_GT(latency[1], latency[2]);
+    EXPECT_GT(latency[2], latency[3]);
+    // Scaling is sub-linear: 8 channels gain less than 8x (Table 2).
+    EXPECT_LT(static_cast<double>(latency[0]) / latency[3], 8.0);
+    EXPECT_GT(static_cast<double>(latency[0]) / latency[3], 2.0);
+}
+
+TEST(DramModel, WritesCostWriteRecovery)
+{
+    DramModel m(DramConfig::ddr3(1));
+    m.accessSingle(0, true);
+    const u64 after_write = m.accessSingle(64, false);
+    DramModel m2(DramConfig::ddr3(1));
+    m2.accessSingle(0, false);
+    const u64 after_read = m2.accessSingle(64, false);
+    EXPECT_GE(after_write, after_read);
+}
+
+TEST(DramModel, StatsCountBytes)
+{
+    DramModel m(DramConfig::ddr3(2));
+    std::vector<DramRequest> reqs;
+    for (int i = 0; i < 10; ++i)
+        reqs.push_back({static_cast<u64>(i) * 64, i % 2 == 0});
+    m.accessBatch(reqs);
+    EXPECT_EQ(m.stats().get("bytes"), 640u);
+    EXPECT_EQ(m.stats().get("readBursts") + m.stats().get("writeBursts"),
+              10u);
+}
+
+TEST(DramModel, IdleAdvancesClock)
+{
+    DramModel m(DramConfig::ddr3(1));
+    const u64 t0 = m.now();
+    m.idle(5000);
+    EXPECT_EQ(m.now(), t0 + 5000);
+}
+
+} // namespace
+} // namespace froram

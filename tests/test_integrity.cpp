@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Integrity tests: PMMAC end-to-end tamper detection (Section 6), the
+ * Merkle baseline (hash bandwidth + detection), and the Section 6.4
+ * encryption-seed replay attack with its GlobalSeed fix.
+ */
+#include <gtest/gtest.h>
+
+#include "core/unified_frontend.hpp"
+#include "integrity/adversary.hpp"
+#include "integrity/merkle_tree.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+UnifiedFrontendConfig
+pmmacConfig(PosMapFormat::Kind kind = PosMapFormat::Kind::Compressed)
+{
+    UnifiedFrontendConfig c;
+    c.numBlocks = 2048;
+    c.blockBytes = 64;
+    c.format = kind;
+    c.integrity = true;
+    c.plb.capacityBytes = 2 * 1024;
+    c.onChipTargetBytes = 256;
+    c.storage = StorageMode::Encrypted;
+    c.rngSeed = 31;
+    return c;
+}
+
+EncryptedTreeStorage&
+storageOf(UnifiedFrontend& fe)
+{
+    return static_cast<EncryptedTreeStorage&>(fe.backend().storage());
+}
+
+/** Touch blocks until an integrity violation fires or the budget ends. */
+bool
+violationWithin(UnifiedFrontend& fe, u64 accesses, u64 seed = 5)
+{
+    Xoshiro256 rng(seed);
+    try {
+        for (u64 i = 0; i < accesses; ++i)
+            fe.access(rng.below(2048), i % 4 == 0);
+    } catch (const IntegrityViolation&) {
+        return true;
+    }
+    return false;
+}
+
+TEST(Pmmac, CleanRunHasNoViolations)
+{
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+    EXPECT_FALSE(violationWithin(fe, 600));
+    EXPECT_GT(fe.stats().get("macChecks"), 0u);
+}
+
+TEST(Pmmac, DetectsLiveSlotBitFlips)
+{
+    // Property sweep: a bit flip in the MAC-covered payload of ANY live
+    // block (data or PosMap) must be detected once that block is
+    // consumed. Fresh frontend per trial so state is clean.
+    for (u32 trial = 0; trial < 5; ++trial) {
+        AesCtrCipher cipher;
+        UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+        Xoshiro256 rng(trial);
+        for (int i = 0; i < 150; ++i)
+            fe.access(rng.below(2048), i % 3 == 0);
+        fe.drainPlb(); // PosMap blocks become tamperable tree content
+
+        Adversary adv(&storageOf(fe), fe.backend().params(),
+                      5000 + trial);
+        // Flush the stash into the tree so the flip hits the live copy:
+        // a few accesses first, then tamper, then full scan.
+        ASSERT_TRUE(adv.flipBitInLiveSlotPayload().has_value());
+        bool caught = false;
+        try {
+            // Full scan touches every data block and hence every PosMap
+            // block on the way.
+            for (Addr a = 0; a < 2048; ++a)
+                fe.access(a, false);
+        } catch (const IntegrityViolation&) {
+            caught = true;
+        }
+        EXPECT_TRUE(caught) << "trial " << trial;
+    }
+}
+
+TEST(Pmmac, DummyAreaFlipsAreHarmless)
+{
+    // Flips that touch no live block (dummy-slot payloads) must NOT
+    // produce spurious violations: PMMAC has no false positives.
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 150; ++i)
+        fe.access(rng.below(2048), i % 3 == 0);
+    auto& st = storageOf(fe);
+    const auto& p = fe.backend().params();
+    u32 flips = 0;
+    for (u64 id = 0; id < p.numBuckets() && flips < 20; ++id) {
+        if (!st.hasImage(id))
+            continue;
+        const Bucket b = st.readBucket(id);
+        for (u32 s = 0; s < p.z && flips < 20; ++s) {
+            if (b.slots[s].valid())
+                continue;
+            const u64 payload_base = 8 + p.z * p.slotHeaderBytes() +
+                                     s * p.storedBlockBytes();
+            st.flipBit(id, payload_base * 8 + 13);
+            ++flips;
+        }
+    }
+    ASSERT_GT(flips, 0u);
+    EXPECT_FALSE(violationWithin(fe, 500));
+}
+
+TEST(Pmmac, DetectsTargetedDataTamper)
+{
+    // Deterministic variant: flip a bit in the root bucket (always on
+    // every path, rewritten every access => always live soon).
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+    std::vector<u8> d(64, 0xaa);
+    fe.access(5, true, &d);
+    // Locate the written block: flip bits across the whole bucket image
+    // of every written bucket to guarantee the block of interest is hit.
+    auto& st = storageOf(fe);
+    u32 tampered = 0;
+    for (u64 id = 0; id < fe.backend().params().numBuckets() &&
+                     tampered < 50;
+         ++id) {
+        if (st.hasImage(id)) {
+            st.flipBit(id, 8 * 8 + 7); // inside the encrypted region
+            ++tampered;
+        }
+    }
+    ASSERT_GT(tampered, 0u);
+    EXPECT_TRUE(violationWithin(fe, 800));
+}
+
+TEST(Pmmac, DetectsReplayOfStaleBucket)
+{
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 100; ++i)
+        fe.access(rng.below(2048), true);
+
+    // Snapshot the root bucket, let the system evolve, then roll it
+    // back: stale (authentic-at-the-time) data must still be rejected
+    // because counters have advanced.
+    auto& st = storageOf(fe);
+    ASSERT_TRUE(st.hasImage(0));
+    Adversary adv(&st, fe.backend().params());
+    const auto stale = adv.snapshot(0);
+    for (int i = 0; i < 100; ++i)
+        fe.access(rng.below(2048), true);
+    adv.replay(0, stale);
+    EXPECT_TRUE(violationWithin(fe, 800));
+}
+
+TEST(Pmmac, DetectsBlockSuppression)
+{
+    // Erasing a bucket makes previously written blocks vanish; PMMAC
+    // must flag "absent but counter > 0".
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(), &cipher, nullptr);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 150; ++i)
+        fe.access(rng.below(2048), true);
+    auto& st = storageOf(fe);
+    u32 wiped = 0;
+    for (u64 id = 0; id < fe.backend().params().numBuckets(); ++id) {
+        if (st.hasImage(id)) {
+            st.replaceImage(
+                id,
+                std::vector<u8>(fe.backend().params().bucketPhysBytes(),
+                                0));
+            ++wiped;
+        }
+    }
+    ASSERT_GT(wiped, 0u);
+    EXPECT_TRUE(violationWithin(fe, 600));
+}
+
+TEST(Pmmac, FlatCounterSchemeAlsoDetects)
+{
+    AesCtrCipher cipher;
+    UnifiedFrontend fe(pmmacConfig(PosMapFormat::Kind::FlatCounter),
+                       &cipher, nullptr);
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 150; ++i)
+        fe.access(rng.below(2048), true);
+    Adversary adv(&storageOf(fe), fe.backend().params(), 42);
+    ASSERT_TRUE(adv.flipBitInLiveSlotPayload().has_value());
+    bool caught = false;
+    try {
+        for (Addr a = 0; a < 2048; ++a)
+            fe.access(a, false);
+    } catch (const IntegrityViolation&) {
+        caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(EncryptionSeeds, BucketSeedRewindForcesPadReuse)
+{
+    // Section 6.4: under the per-bucket-seed scheme of [26], rewinding
+    // the stored seed makes the controller re-encrypt with an
+    // already-used pad; XORing the two ciphertexts cancels the pad.
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    AesCtrCipher cipher;
+    BucketCodec codec(p, &cipher, SeedScheme::PerBucket);
+
+    Bucket plain1 = Bucket::empty(p);
+    plain1.slots[0].addr = 1;
+    plain1.slots[0].leaf = 2;
+    plain1.slots[0].data.assign(p.storedBlockBytes(), 0x11);
+    Bucket plain2 = plain1;
+    plain2.slots[0].data.assign(p.storedBlockBytes(), 0x22);
+
+    std::vector<u8> img1, img2;
+    codec.encode(7, plain1, {}, img1); // seed s
+    // Adversary rewinds the seed: re-encode sees seed s-1 and reuses s.
+    auto rewound = img1;
+    u64 seed = 0;
+    for (int i = 0; i < 8; ++i)
+        seed |= static_cast<u64>(rewound[i]) << (8 * i);
+    seed -= 1;
+    for (int i = 0; i < 8; ++i)
+        rewound[i] = static_cast<u8>(seed >> (8 * i));
+    codec.encode(7, plain2, rewound, img2); // pad reuse!
+
+    // Same pad => ciphertext XOR equals plaintext XOR in the payload
+    // region: the adversary learns plaintext relationships.
+    const size_t payload0 = 8 + p.z * p.slotHeaderBytes();
+    u32 leaking = 0;
+    for (size_t i = payload0; i < payload0 + 64; ++i) {
+        if ((img1[i] ^ img2[i]) == (0x11 ^ 0x22))
+            ++leaking;
+    }
+    EXPECT_GT(leaking, 32u);
+}
+
+TEST(EncryptionSeeds, GlobalSeedNeverReusesPads)
+{
+    // The GlobalSeed fix: even with a rewound stored seed, re-encryption
+    // draws a fresh monotonic seed, so ciphertext XOR looks random.
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    AesCtrCipher cipher;
+    BucketCodec codec(p, &cipher, SeedScheme::GlobalCounter);
+
+    Bucket plain1 = Bucket::empty(p);
+    plain1.slots[0].addr = 1;
+    plain1.slots[0].leaf = 2;
+    plain1.slots[0].data.assign(p.storedBlockBytes(), 0x11);
+    Bucket plain2 = plain1;
+    plain2.slots[0].data.assign(p.storedBlockBytes(), 0x22);
+
+    std::vector<u8> img1, img2;
+    codec.encode(7, plain1, {}, img1);
+    auto rewound = img1; // seed tampering is irrelevant for fresh writes
+    codec.encode(7, plain2, rewound, img2);
+    const size_t payload0 = 8 + p.z * p.slotHeaderBytes();
+    u32 leaking = 0;
+    for (size_t i = payload0; i < payload0 + 64; ++i) {
+        if ((img1[i] ^ img2[i]) == (0x11 ^ 0x22))
+            ++leaking;
+    }
+    EXPECT_LT(leaking, 8u);
+}
+
+class MerkleTest : public ::testing::Test {
+  protected:
+    MerkleTest()
+    {
+        params_ = OramParams::forCapacity(1 << 16, 64, 4);
+        auto storage =
+            std::make_unique<EncryptedTreeStorage>(params_, &cipher_);
+        storage_ = storage.get();
+        u8 key[16] = {9};
+        merkle_ = std::make_unique<MerkleTree>(params_, storage_, key);
+        BackendConfig bc;
+        bc.params = params_;
+        merkle_->attach(bc);
+        backend_ = std::make_unique<PathOramBackend>(
+            bc, std::move(storage),
+            std::make_unique<FlatLayout>(params_.levels,
+                                         params_.bucketPhysBytes()),
+            nullptr);
+    }
+
+    OramParams params_;
+    AesCtrCipher cipher_;
+    EncryptedTreeStorage* storage_;
+    std::unique_ptr<MerkleTree> merkle_;
+    std::unique_ptr<PathOramBackend> backend_;
+    Xoshiro256 rng_{8};
+};
+
+TEST_F(MerkleTest, CleanAccessesVerify)
+{
+    std::vector<u8> d(64, 0x12);
+    Leaf l = 0;
+    for (int i = 0; i < 50; ++i) {
+        const Leaf fresh = rng_.below(params_.numLeaves());
+        EXPECT_NO_THROW(
+            backend_->access(Op::Write, static_cast<Addr>(i % 7), l,
+                             fresh, &d));
+        l = fresh;
+    }
+    EXPECT_GT(merkle_->stats().get("pathVerifies"), 0u);
+}
+
+TEST_F(MerkleTest, DetectsAnyBucketTamper)
+{
+    std::vector<u8> d(64, 0x21);
+    Leaf l = 0;
+    for (int i = 0; i < 30; ++i) {
+        const Leaf fresh = rng_.below(params_.numLeaves());
+        backend_->access(Op::Write, static_cast<Addr>(i), l, fresh, &d);
+        l = fresh;
+    }
+    Adversary adv(storage_, params_);
+    ASSERT_TRUE(adv.flipRandomBit().has_value());
+    // Merkle checks every path bucket, so ANY tamper on any later path
+    // is caught (unlike PMMAC, it has no blind spots -- at Z*(L+1)x the
+    // hash cost).
+    bool caught = false;
+    try {
+        for (int i = 0; i < 400; ++i) {
+            const Leaf fresh = rng_.below(params_.numLeaves());
+            backend_->access(Op::Read, 0, l, fresh);
+            l = fresh;
+        }
+    } catch (const IntegrityViolation&) {
+        caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST_F(MerkleTest, HashBandwidthMatchesFormula)
+{
+    // The Section 6.3 comparison: Z*(L+1) blocks hashed per path
+    // traversal vs 1 for PMMAC.
+    std::vector<u8> d(64, 1);
+    backend_->access(Op::Write, 0, 0, 1, &d);
+    // One access = verify (L+1 buckets) + update (L+1 buckets).
+    const u64 expected_buckets = 2 * (params_.levels + 1);
+    EXPECT_EQ(merkle_->stats().get("bucketsHashed"), expected_buckets);
+    EXPECT_EQ(merkle_->blocksHashedPerAccess(),
+              2 * params_.z * (params_.levels + 1));
+}
+
+} // namespace
+} // namespace froram

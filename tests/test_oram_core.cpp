@@ -1,0 +1,306 @@
+/**
+ * @file
+ * ORAM substrate unit tests: parameters, stash, bucket codec, and tree
+ * storage (including the tamper API).
+ */
+#include <gtest/gtest.h>
+
+#include "oram/bucket_codec.hpp"
+#include "oram/params.hpp"
+#include "oram/stash.hpp"
+#include "oram/tree_storage.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+TEST(OramParams, PaperConfiguration)
+{
+    // Table 1: 4 GB ORAM, 64 B blocks, Z = 4 => N = 2^26, L = 24, and
+    // ~2x DRAM footprint (50% utilization).
+    const OramParams p = OramParams::forCapacity(u64{4} << 30, 64, 4);
+    EXPECT_EQ(p.numBlocks, u64{1} << 26);
+    EXPECT_EQ(p.levels, 24u);
+    EXPECT_EQ(p.numLeaves(), u64{1} << 24);
+    // Z * total buckets ~= 2N slots.
+    EXPECT_NEAR(static_cast<double>(p.numBuckets() * p.z) / p.numBlocks,
+                2.0, 0.1);
+    // Bucket padded to whole bursts; 4x64B payload + header fits 320 B.
+    EXPECT_EQ(p.bucketPhysBytes() % 64, 0u);
+    EXPECT_EQ(p.bucketPhysBytes(), 320u);
+    EXPECT_EQ(p.pathBytes(), 25u * 320);
+}
+
+TEST(OramParams, MacBytesGrowBucket)
+{
+    OramParams p = OramParams::forCapacity(1 << 20, 64, 4);
+    const u64 plain = p.bucketPhysBytes();
+    p.macBytes = 16;
+    EXPECT_GT(p.bucketPhysBytes(), plain);
+    EXPECT_EQ(p.storedBlockBytes(), 80u);
+}
+
+TEST(OramParams, ValidationCatchesBadConfigs)
+{
+    OramParams p;
+    EXPECT_THROW(p.validate(), FatalError); // no blocks
+    p.numBlocks = 100;
+    p.levels = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p.levels = 5;
+    p.z = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(OramParams, Z3Configuration)
+{
+    // Figure 8 uses Z = 3 following [26]; geometry must still be sane.
+    const OramParams p = OramParams::forCapacity(u64{4} << 30, 128, 3);
+    EXPECT_EQ(p.numBlocks, u64{1} << 25);
+    EXPECT_GE(p.levels, 23u);
+    p.validate();
+}
+
+Block
+makeBlock(Addr a, Leaf l, u8 fill, u64 size = 64)
+{
+    Block b;
+    b.addr = a;
+    b.leaf = l;
+    b.data.assign(size, fill);
+    return b;
+}
+
+TEST(Stash, InsertFindRemove)
+{
+    Stash s(10, 10);
+    s.insert(makeBlock(1, 0, 0xaa));
+    s.insert(makeBlock(2, 1, 0xbb));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(3));
+    ASSERT_NE(s.find(2), nullptr);
+    EXPECT_EQ(s.find(2)->data[0], 0xbb);
+    const Block b = s.remove(1);
+    EXPECT_EQ(b.data[0], 0xaa);
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_EQ(s.occupancy(), 1u);
+}
+
+TEST(Stash, InsertOverwritesSameAddress)
+{
+    Stash s(10, 10);
+    s.insert(makeBlock(1, 0, 0xaa));
+    s.insert(makeBlock(1, 3, 0xcc));
+    EXPECT_EQ(s.occupancy(), 1u);
+    EXPECT_EQ(s.find(1)->data[0], 0xcc);
+    EXPECT_EQ(s.find(1)->leaf, 3u);
+}
+
+TEST(Stash, OverflowPanics)
+{
+    Stash s(2, 1);
+    s.insert(makeBlock(1, 0, 1));
+    s.insert(makeBlock(2, 0, 2));
+    s.insert(makeBlock(3, 0, 3));
+    EXPECT_THROW(s.insert(makeBlock(4, 0, 4)), PanicError);
+}
+
+TEST(Stash, RejectsDummyBlock)
+{
+    Stash s(4, 4);
+    Block dummy;
+    EXPECT_THROW(s.insert(std::move(dummy)), PanicError);
+}
+
+TEST(Stash, EvictPathRespectsInvariant)
+{
+    // L = 3 tree: a block mapped to leaf l may sit at level v on the
+    // path to `leaf` only if their paths agree down to level v.
+    const u32 levels = 3;
+    const u32 z = 2;
+    Stash s(100, 100);
+    s.insert(makeBlock(1, 0b000, 1)); // shares root..leaf with path 0
+    s.insert(makeBlock(2, 0b001, 2)); // shares levels 0..2
+    s.insert(makeBlock(3, 0b100, 3)); // shares only the root
+    s.insert(makeBlock(4, 0b011, 4)); // shares levels 0..1
+    auto out = s.evictPath(0b000, levels, z);
+    ASSERT_EQ(out.size(), 4u);
+    // Deepest placement first: block 1 must land at the leaf.
+    ASSERT_EQ(out[3].size(), 1u);
+    EXPECT_EQ(out[3][0].addr, 1u);
+    // Block 2 diverges at the last level => level 2 at best.
+    ASSERT_EQ(out[2].size(), 1u);
+    EXPECT_EQ(out[2][0].addr, 2u);
+    // Everything was evictable somewhere.
+    EXPECT_EQ(s.occupancy(), 0u);
+    for (u32 v = 0; v <= levels; ++v)
+        EXPECT_LE(out[v].size(), z);
+}
+
+TEST(Stash, EvictPathHonorsZ)
+{
+    const u32 levels = 2;
+    Stash s(100, 100);
+    for (Addr a = 0; a < 10; ++a)
+        s.insert(makeBlock(a + 1, 0, static_cast<u8>(a)));
+    auto out = s.evictPath(0, levels, 2);
+    u64 evicted = 0;
+    for (const auto& lvl : out) {
+        EXPECT_LE(lvl.size(), 2u);
+        evicted += lvl.size();
+    }
+    EXPECT_EQ(evicted, 6u); // 3 levels x Z=2
+    EXPECT_EQ(s.occupancy(), 4u);
+}
+
+class BucketCodecTest : public ::testing::Test {
+  protected:
+    BucketCodecTest()
+    {
+        params_ = OramParams::forCapacity(1 << 20, 64, 4);
+    }
+
+    OramParams params_;
+    AesCtrCipher cipher_;
+};
+
+TEST_F(BucketCodecTest, RoundTrip)
+{
+    BucketCodec codec(params_, &cipher_);
+    Bucket b = Bucket::empty(params_);
+    b.slots[0] = makeBlock(7, 3, 0x11);
+    b.slots[2] = makeBlock(9, 5, 0x22);
+    std::vector<u8> image;
+    codec.encode(42, b, {}, image);
+    EXPECT_EQ(image.size(), params_.bucketPhysBytes());
+    const Bucket d = codec.decode(42, image);
+    EXPECT_EQ(d.slots[0].addr, 7u);
+    EXPECT_EQ(d.slots[0].leaf, 3u);
+    EXPECT_EQ(d.slots[0].data[5], 0x11);
+    EXPECT_FALSE(d.slots[1].valid());
+    EXPECT_EQ(d.slots[2].addr, 9u);
+    EXPECT_FALSE(d.slots[3].valid());
+    EXPECT_EQ(d.occupancy(), 2u);
+}
+
+TEST_F(BucketCodecTest, EmptyImageDecodesAllDummy)
+{
+    BucketCodec codec(params_, &cipher_);
+    const Bucket d = codec.decode(0, {});
+    EXPECT_EQ(d.occupancy(), 0u);
+}
+
+TEST_F(BucketCodecTest, ReencryptionChangesCiphertext)
+{
+    BucketCodec codec(params_, &cipher_);
+    Bucket b = Bucket::empty(params_);
+    b.slots[0] = makeBlock(7, 3, 0x11);
+    std::vector<u8> img1, img2;
+    codec.encode(42, b, {}, img1);
+    codec.encode(42, b, img1, img2);
+    // Same plaintext, fresh seed => different ciphertext bytes.
+    EXPECT_NE(img1, img2);
+    // But both decode identically.
+    const Bucket d1 = codec.decode(42, img1);
+    const Bucket d2 = codec.decode(42, img2);
+    EXPECT_EQ(d1.slots[0].data, d2.slots[0].data);
+}
+
+TEST_F(BucketCodecTest, GlobalSeedMonotone)
+{
+    BucketCodec codec(params_, &cipher_, SeedScheme::GlobalCounter);
+    Bucket b = Bucket::empty(params_);
+    std::vector<u8> img;
+    const u64 s0 = codec.globalSeed();
+    codec.encode(1, b, {}, img);
+    codec.encode(2, b, {}, img);
+    EXPECT_EQ(codec.globalSeed(), s0 + 2);
+}
+
+TEST_F(BucketCodecTest, DummySlotsIndistinguishableAfterEncryption)
+{
+    // Two encodings of an all-dummy bucket share no equal 16-byte chunk
+    // with each other (probabilistic encryption).
+    BucketCodec codec(params_, &cipher_);
+    Bucket b = Bucket::empty(params_);
+    std::vector<u8> img1, img2;
+    codec.encode(5, b, {}, img1);
+    codec.encode(5, b, img1, img2);
+    u32 equal_chunks = 0;
+    for (size_t off = 8; off + 16 <= img1.size(); off += 16) {
+        if (std::equal(img1.begin() + off, img1.begin() + off + 16,
+                       img2.begin() + off))
+            ++equal_chunks;
+    }
+    EXPECT_EQ(equal_chunks, 0u);
+}
+
+TEST(TreeStorage, EncryptedRoundTripAndTamper)
+{
+    const OramParams p = OramParams::forCapacity(1 << 18, 64, 4);
+    AesCtrCipher cipher;
+    EncryptedTreeStorage st(p, &cipher);
+    EXPECT_EQ(st.readBucket(3).occupancy(), 0u); // never written
+
+    Bucket b = Bucket::empty(p);
+    b.slots[1] = makeBlock(11, 2, 0x77);
+    st.writeBucket(3, b);
+    EXPECT_TRUE(st.hasImage(3));
+    EXPECT_EQ(st.bucketsTouched(), 1u);
+    EXPECT_EQ(st.readBucket(3).slots[1].data[0], 0x77);
+
+    // Bit flips mutate the image; decode does NOT error (tamper
+    // detection is PMMAC's job, Section 6.5.2). Restoring the snapshot
+    // restores the contents.
+    const auto snapshot = st.rawImage(3);
+    st.flipBit(3, 200);
+    EXPECT_NE(st.rawImage(3), snapshot);
+    EXPECT_NO_THROW(st.readBucket(3));
+    st.replaceImage(3, snapshot);
+    EXPECT_EQ(st.readBucket(3).slots[1].data[0], 0x77);
+}
+
+TEST(TreeStorage, MetaKeepsPlacementOnly)
+{
+    const OramParams p = OramParams::forCapacity(1 << 18, 64, 4);
+    MetaTreeStorage st(p);
+    Bucket b = Bucket::empty(p);
+    b.slots[0] = makeBlock(5, 9, 0xff);
+    st.writeBucket(7, b);
+    const Bucket d = st.readBucket(7);
+    EXPECT_EQ(d.slots[0].addr, 5u);
+    EXPECT_EQ(d.slots[0].leaf, 9u);
+    EXPECT_TRUE(d.slots[0].data.empty());
+}
+
+TEST(TreeStorage, NullDropsEverything)
+{
+    const OramParams p = OramParams::forCapacity(1 << 18, 64, 4);
+    NullTreeStorage st(p);
+    Bucket b = Bucket::empty(p);
+    b.slots[0] = makeBlock(5, 9, 0xff);
+    st.writeBucket(7, b);
+    EXPECT_EQ(st.readBucket(7).occupancy(), 0u);
+    EXPECT_EQ(st.bucketsTouched(), 0u);
+}
+
+TEST(TreeStorage, SeedRewind)
+{
+    const OramParams p = OramParams::forCapacity(1 << 18, 64, 4);
+    AesCtrCipher cipher;
+    EncryptedTreeStorage st(p, &cipher, SeedScheme::PerBucket);
+    Bucket b = Bucket::empty(p);
+    st.writeBucket(0, b);
+    auto before = st.rawImage(0);
+    st.rewindSeed(0, 1);
+    auto after = st.rawImage(0);
+    u64 seed_before = 0, seed_after = 0;
+    for (int i = 0; i < 8; ++i) {
+        seed_before |= static_cast<u64>(before[i]) << (8 * i);
+        seed_after |= static_cast<u64>(after[i]) << (8 * i);
+    }
+    EXPECT_EQ(seed_after, seed_before - 1);
+}
+
+} // namespace
+} // namespace froram

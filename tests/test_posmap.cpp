@@ -1,0 +1,269 @@
+/**
+ * @file
+ * PosMap machinery tests: recursion geometry, block content formats
+ * (leaves / compressed / flat counters), and the PLB cache.
+ */
+#include <gtest/gtest.h>
+
+#include "core/plb.hpp"
+#include "core/posmap_format.hpp"
+#include "core/recursion.hpp"
+
+namespace froram {
+namespace {
+
+TEST(Recursion, PaperGeometryRx8)
+{
+    // R_X8 at 4 GB / 64 B blocks: N = 2^26, X = 8, stop at 2^17 entries
+    // => H = 4 (Section 7.1.4).
+    const auto g =
+        RecursionGeometry::compute(u64{1} << 26, 8, u64{1} << 17);
+    EXPECT_EQ(g.h, 4u);
+    EXPECT_EQ(g.levelBlocks[0], u64{1} << 26);
+    EXPECT_EQ(g.levelBlocks[1], u64{1} << 23);
+    EXPECT_EQ(g.levelBlocks[2], u64{1} << 20);
+    EXPECT_EQ(g.levelBlocks[3], u64{1} << 17);
+    EXPECT_EQ(g.onChipEntries, u64{1} << 17);
+}
+
+TEST(Recursion, PaperGeometryPcX32)
+{
+    // PC_X32: X = 32, on-chip <= 2^15 entries => 2^26 -> 2^21 -> 2^16
+    // -> 2^11 (H = 4), 2^11-entry on-chip PosMap (Section 7.1.4).
+    const auto g =
+        RecursionGeometry::compute(u64{1} << 26, 32, u64{1} << 15);
+    EXPECT_EQ(g.h, 4u);
+    EXPECT_EQ(g.onChipEntries, u64{1} << 11);
+}
+
+TEST(Recursion, UnifiedAddressesAreDisjoint)
+{
+    const auto g = RecursionGeometry::compute(1000, 8, 4);
+    // Base offsets partition the unified space.
+    for (u32 i = 1; i < g.h; ++i)
+        EXPECT_EQ(g.base[i], g.base[i - 1] + g.levelBlocks[i - 1]);
+    EXPECT_EQ(g.totalBlocks, g.base[g.h - 1] + g.levelBlocks[g.h - 1]);
+    // Unified tree grows by less than a factor X/(X-1).
+    EXPECT_LT(g.totalBlocks, 1000 * 8 / 7 + g.h);
+}
+
+TEST(Recursion, AddressDerivation)
+{
+    const auto g = RecursionGeometry::compute(4096, 16, 4);
+    // a_i = a_0 / X^i (Section 3.2).
+    EXPECT_EQ(g.levelAddr(0, 1234), 1234u);
+    EXPECT_EQ(g.levelAddr(1, 1234), 77u);   // 1234/16
+    EXPECT_EQ(g.levelAddr(2, 1234), 4u);    // 1234/256
+    EXPECT_EQ(g.entryIndex(1, 1234), 1234u % 16);
+    EXPECT_EQ(g.entryIndex(2, 1234), 77u % 16);
+}
+
+TEST(Recursion, RejectsBadParameters)
+{
+    EXPECT_THROW(RecursionGeometry::compute(100, 7, 4), FatalError);
+    EXPECT_THROW(RecursionGeometry::compute(100, 8, 0), FatalError);
+}
+
+TEST(PosMapFormat, FanoutMatchesPaper)
+{
+    // 512-bit blocks: Leaves -> X=16, FlatCounter -> X=8 (PI_X8),
+    // Compressed beta=14 -> X=32 (PC_X32); 1024-bit: X=64 (PC_X64).
+    EXPECT_EQ(PosMapFormat(PosMapFormat::Kind::Leaves, 64).x(), 16u);
+    EXPECT_EQ(PosMapFormat(PosMapFormat::Kind::FlatCounter, 64).x(), 8u);
+    EXPECT_EQ(PosMapFormat(PosMapFormat::Kind::Compressed, 64, 14).x(),
+              32u);
+    EXPECT_EQ(PosMapFormat(PosMapFormat::Kind::Compressed, 128, 14).x(),
+              64u);
+    // R_X8's 32-byte PosMap blocks hold 8 leaves.
+    EXPECT_EQ(PosMapFormat(PosMapFormat::Kind::Leaves, 32).x(), 8u);
+}
+
+TEST(PosMapFormat, SerializedFitsBlock)
+{
+    for (auto kind : {PosMapFormat::Kind::Leaves,
+                      PosMapFormat::Kind::Compressed,
+                      PosMapFormat::Kind::FlatCounter}) {
+        for (u64 b : {32, 64, 128, 256}) {
+            if (kind == PosMapFormat::Kind::Compressed && b == 32)
+                continue; // too small for a 64-bit GC + counters
+            PosMapFormat f(kind, b);
+            EXPECT_LE(f.serializedBytes(), b)
+                << "kind " << static_cast<int>(kind) << " B " << b;
+        }
+    }
+}
+
+TEST(PosMapFormat, LeavesRoundTrip)
+{
+    PosMapFormat f(PosMapFormat::Kind::Leaves, 64);
+    PosMapContent c = f.makeFresh();
+    EXPECT_TRUE(f.isCold(c, 3));
+    c.leaves[3] = 12345;
+    c.leaves[15] = 1;
+    std::vector<u8> buf(f.serializedBytes());
+    f.serialize(c, buf.data());
+    const PosMapContent d = f.deserialize(buf.data());
+    EXPECT_EQ(d.leaves[3], 12345u);
+    EXPECT_EQ(d.leaves[15], 1u);
+    EXPECT_EQ(d.leaves[0], PosMapContent::kUninitLeaf);
+    EXPECT_FALSE(f.isCold(d, 3));
+}
+
+TEST(PosMapFormat, CompressedRoundTripBitPacking)
+{
+    PosMapFormat f(PosMapFormat::Kind::Compressed, 64, 14);
+    ASSERT_EQ(f.x(), 32u);
+    PosMapContent c = f.makeFresh();
+    c.gc = 0x1122334455667788ULL;
+    for (u32 j = 0; j < f.x(); ++j)
+        c.ic[j] = static_cast<u16>((j * 1237) & 0x3fff);
+    std::vector<u8> buf(f.serializedBytes());
+    ASSERT_EQ(buf.size(), 64u); // exactly fills a 512-bit block
+    f.serialize(c, buf.data());
+    const PosMapContent d = f.deserialize(buf.data());
+    EXPECT_EQ(d.gc, c.gc);
+    for (u32 j = 0; j < f.x(); ++j)
+        EXPECT_EQ(d.ic[j], c.ic[j]) << "ic " << j;
+}
+
+TEST(PosMapFormat, FlatCounterRoundTrip)
+{
+    PosMapFormat f(PosMapFormat::Kind::FlatCounter, 64);
+    PosMapContent c = f.makeFresh();
+    c.flat[0] = ~u64{0} - 5;
+    c.flat[7] = 42;
+    std::vector<u8> buf(f.serializedBytes());
+    f.serialize(c, buf.data());
+    const PosMapContent d = f.deserialize(buf.data());
+    EXPECT_EQ(d.flat[0], ~u64{0} - 5);
+    EXPECT_EQ(d.flat[7], 42u);
+}
+
+TEST(PosMapFormat, CompressedCountersStrictlyIncrease)
+{
+    // Observation 3: (GC << beta) | IC never repeats across increments
+    // and group remaps.
+    PosMapFormat f(PosMapFormat::Kind::Compressed, 64, 3); // beta=3
+    PosMapContent c = f.makeFresh();
+    u64 last = f.currentCounter(c, 0);
+    EXPECT_EQ(last, 0u);
+    for (int i = 0; i < 40; ++i) {
+        if (f.incrementWouldOverflow(c, 0)) {
+            f.bumpGroupCounter(c);
+            EXPECT_GT(f.currentCounter(c, 0), last);
+            last = f.currentCounter(c, 0);
+        }
+        f.increment(c, 0);
+        EXPECT_GT(f.currentCounter(c, 0), last);
+        last = f.currentCounter(c, 0);
+    }
+}
+
+TEST(PosMapFormat, IncrementOverflowGuard)
+{
+    PosMapFormat f(PosMapFormat::Kind::Compressed, 64, 3);
+    PosMapContent c = f.makeFresh();
+    for (int i = 0; i < 7; ++i)
+        f.increment(c, 1);
+    EXPECT_TRUE(f.incrementWouldOverflow(c, 1));
+    EXPECT_THROW(f.increment(c, 1), PanicError);
+    f.bumpGroupCounter(c);
+    EXPECT_EQ(c.ic[1], 0u);
+    EXPECT_EQ(c.gc, 1u);
+    EXPECT_FALSE(f.incrementWouldOverflow(c, 1));
+}
+
+TEST(PosMapFormat, ColdDetection)
+{
+    PosMapFormat f(PosMapFormat::Kind::FlatCounter, 64);
+    PosMapContent c = f.makeFresh();
+    EXPECT_TRUE(f.isCold(c, 2));
+    f.increment(c, 2);
+    EXPECT_FALSE(f.isCold(c, 2));
+}
+
+PlbEntry
+entry(Addr a)
+{
+    PlbEntry e;
+    e.addr = a;
+    e.leaf = a * 10;
+    return e;
+}
+
+TEST(PlbCache, HitAndMiss)
+{
+    Plb plb({1024, 64, 1}); // 16 entries, direct-mapped
+    EXPECT_EQ(plb.lookup(5), nullptr);
+    EXPECT_FALSE(plb.insert(entry(5)).has_value());
+    PlbEntry* e = plb.lookup(5);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->leaf, 50u);
+    EXPECT_EQ(plb.stats().get("hits"), 1u);
+    EXPECT_EQ(plb.stats().get("misses"), 1u);
+}
+
+TEST(PlbCache, DirectMappedConflictEvicts)
+{
+    Plb plb({1024, 64, 1}); // 16 sets
+    EXPECT_FALSE(plb.insert(entry(3)).has_value());
+    const auto victim = plb.insert(entry(3 + 16)); // same set
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, 3u);
+    EXPECT_EQ(plb.lookup(3), nullptr);
+    EXPECT_NE(plb.lookup(3 + 16), nullptr);
+}
+
+TEST(PlbCache, SetAssociativeLru)
+{
+    Plb plb({512, 64, 2}); // 8 entries, 2-way, 4 sets
+    plb.insert(entry(0));
+    plb.insert(entry(4)); // same set as 0
+    plb.lookup(0);        // make 0 MRU
+    const auto victim = plb.insert(entry(8)); // evicts LRU = 4
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, 4u);
+    EXPECT_TRUE(plb.probe(0));
+}
+
+TEST(PlbCache, DoubleInsertPanics)
+{
+    Plb plb({1024, 64, 1});
+    plb.insert(entry(1));
+    EXPECT_THROW(plb.insert(entry(1)), PanicError);
+}
+
+TEST(PlbCache, FindDoesNotCountStats)
+{
+    Plb plb({1024, 64, 1});
+    plb.insert(entry(2));
+    const u64 h = plb.stats().get("hits");
+    const u64 m = plb.stats().get("misses");
+    EXPECT_NE(plb.find(2), nullptr);
+    EXPECT_EQ(plb.find(99), nullptr);
+    EXPECT_EQ(plb.stats().get("hits"), h);
+    EXPECT_EQ(plb.stats().get("misses"), m);
+}
+
+TEST(PlbCache, DrainReturnsAllValidEntries)
+{
+    Plb plb({1024, 64, 1});
+    plb.insert(entry(1));
+    plb.insert(entry(2));
+    plb.insert(entry(3));
+    const auto all = plb.drain();
+    EXPECT_EQ(all.size(), 3u);
+    EXPECT_EQ(plb.lookup(1), nullptr);
+}
+
+TEST(PlbCache, CapacitySizing)
+{
+    // 8 KB / 64 B = 128 entries (the paper's hardware default).
+    Plb plb({8 * 1024, 64, 1});
+    EXPECT_EQ(plb.numEntries(), 128u);
+    EXPECT_THROW(Plb({32, 64, 1}), FatalError);
+    EXPECT_THROW(Plb({1024, 64, 0}), FatalError);
+}
+
+} // namespace
+} // namespace froram

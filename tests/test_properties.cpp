@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Cross-cutting property tests:
+ *  - Backend fuzz: random interleavings of read/write/readrmv/append
+ *    checked against a shadow memory model, over several geometries.
+ *  - Stash eviction greedy-optimality invariant.
+ *  - Workload calibration bands (MPKI regression guard).
+ *  - Recursive-baseline obliviousness (per-tree leaf uniformity).
+ *  - Scheme equivalence: all four unified schemes return identical data
+ *    for identical request streams.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cachesim/core_model.hpp"
+#include "util/histogram.hpp"
+#include "core/unified_frontend.hpp"
+#include "oram/backend.hpp"
+#include "workload/spec_proxy.hpp"
+
+namespace froram {
+namespace {
+
+class BackendFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BackendFuzz, RandomOpSoup)
+{
+    const u32 z = GetParam();
+    const OramParams p = OramParams::forCapacity(1 << 17, 64, z);
+    AesCtrCipher cipher;
+    BackendConfig bc;
+    bc.params = p;
+    PathOramBackend backend(
+        bc, std::make_unique<EncryptedTreeStorage>(p, &cipher),
+        std::make_unique<FlatLayout>(p.levels, p.bucketPhysBytes()),
+        nullptr);
+
+    // Shadow model: address -> (leaf, value byte, checkedOut?).
+    struct Shadow {
+        Leaf leaf = kNoLeaf;
+        u8 value = 0;
+        bool checkedOut = false;
+        bool exists = false;
+    };
+    std::map<Addr, Shadow> shadow;
+    std::map<Addr, Block> held; // read-removed blocks we must re-append
+    Xoshiro256 rng(1234);
+    const u64 n = 128;
+
+    for (int step = 0; step < 3000; ++step) {
+        const Addr a = rng.below(n);
+        auto& sh = shadow[a];
+        const u32 dice = static_cast<u32>(rng.below(100));
+        if (sh.checkedOut) {
+            // Must append before the block can be accessed again.
+            Block blk = std::move(held[a]);
+            held.erase(a);
+            blk.leaf = rng.below(p.numLeaves());
+            sh.leaf = blk.leaf;
+            sh.checkedOut = false;
+            backend.append(std::move(blk));
+            continue;
+        }
+        const Leaf use =
+            sh.exists ? sh.leaf : rng.below(p.numLeaves());
+        const Leaf fresh = rng.below(p.numLeaves());
+        if (dice < 40) { // write
+            std::vector<u8> data(p.storedBlockBytes(),
+                                 static_cast<u8>(step));
+            backend.access(Op::Write, a, use, fresh, &data);
+            sh.leaf = fresh;
+            sh.value = static_cast<u8>(step);
+            sh.exists = true;
+        } else if (dice < 80) { // read
+            const auto r = backend.access(Op::Read, a, use, fresh);
+            if (sh.exists) {
+                ASSERT_TRUE(r.found) << "step " << step;
+                EXPECT_EQ(r.block.data[0], sh.value);
+            } else {
+                EXPECT_FALSE(r.found);
+                sh.value = 0;
+                sh.exists = true; // cold-created as zeros
+            }
+            sh.leaf = fresh;
+        } else { // readrmv; re-appended on next touch
+            const auto r = backend.access(Op::ReadRmv, a, use, kNoLeaf);
+            if (sh.exists) {
+                EXPECT_EQ(r.block.data[0], sh.value);
+            }
+            Block blk = r.block;
+            blk.addr = a;
+            if (blk.data.empty())
+                blk.data.assign(p.storedBlockBytes(), 0);
+            held[a] = std::move(blk);
+            sh.exists = true;
+            sh.checkedOut = true;
+        }
+    }
+    // Drain held blocks and verify everything is still readable.
+    for (auto& [a, blk] : held) {
+        blk.leaf = rng.below(p.numLeaves());
+        shadow[a].leaf = blk.leaf;
+        shadow[a].checkedOut = false;
+        backend.append(std::move(blk));
+    }
+    for (auto& [a, sh] : shadow) {
+        if (!sh.exists)
+            continue;
+        const Leaf fresh = rng.below(p.numLeaves());
+        const auto r = backend.access(Op::Read, a, sh.leaf, fresh);
+        ASSERT_TRUE(r.found) << "block " << a;
+        EXPECT_EQ(r.block.data[0], sh.value) << "block " << a;
+        sh.leaf = fresh;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zs, BackendFuzz, ::testing::Values(3, 4, 6),
+                         [](const ::testing::TestParamInfo<u32>& i) {
+                             return "Z" + std::to_string(i.param);
+                         });
+
+TEST(StashProperty, GreedyEvictionIsMaximal)
+{
+    // After evictPath, no remaining stash block may fit in a bucket
+    // that still has a free slot (greedy deepest-first maximality).
+    const u32 levels = 6, z = 2;
+    for (u64 seed = 0; seed < 20; ++seed) {
+        Stash stash(400, 400);
+        Xoshiro256 rng(seed);
+        const u64 blocks = 30 + rng.below(50);
+        for (Addr a = 1; a <= blocks; ++a) {
+            Block b;
+            b.addr = a;
+            b.leaf = rng.below(u64{1} << levels);
+            b.data.assign(8, 1);
+            stash.insert(std::move(b));
+        }
+        const Leaf path = rng.below(u64{1} << levels);
+        auto out = stash.evictPath(path, levels, z);
+        for (u32 v = 0; v <= levels; ++v) {
+            if (out[v].size() == z)
+                continue; // bucket full
+            // Bucket v has room: no remaining block may be eligible.
+            for (const auto& [addr, blk] : stash.blocks()) {
+                const u32 shift = levels - v;
+                EXPECT_NE(blk.leaf >> shift, path >> shift)
+                    << "seed " << seed << ": block " << addr
+                    << " could have been evicted to level " << v;
+            }
+        }
+    }
+}
+
+TEST(WorkloadCalibration, MpkiStaysInBand)
+{
+    // Regression guard for the SPEC-proxy calibration (DESIGN.md #1).
+    // Bands are generous; the point is catching accidental 10x drift.
+    const std::map<std::string, std::pair<double, double>> bands = {
+        {"astar", {3, 13}}, {"bzip2", {2, 9}},   {"gcc", {3, 13}},
+        {"gob", {0.7, 4}},  {"h264", {0.8, 4}},  {"hmmer", {0.3, 2}},
+        {"libq", {15, 40}}, {"mcf", {25, 65}},   {"omnet", {10, 33}},
+        {"perl", {0.8, 4}}, {"sjeng", {0.4, 2.5}}};
+    for (const auto& spec : specSuite()) {
+        InsecureMemory imem(2, LatencyModel{});
+        PlainMainMemory mem(&imem);
+        MemoryHierarchy hier(HierarchyConfig{}, &mem);
+        InOrderCore core(&hier);
+        auto gen = makeSpecProxy(spec, 7);
+        core.run(*gen, 0, 120000);
+        const auto r = core.run(*gen, 150000, 0);
+        const double mpki = 1000.0 * static_cast<double>(r.llcMisses) /
+                            static_cast<double>(r.instructions);
+        const auto band = bands.at(spec.name);
+        EXPECT_GE(mpki, band.first) << spec.name;
+        EXPECT_LE(mpki, band.second) << spec.name;
+    }
+}
+
+TEST(RecursiveObliviousness, PerTreeLeafUniformity)
+{
+    // The baseline is oblivious too: each tree's leaf sequence must be
+    // uniform even for a maximally structured program.
+    RecursiveFrontendConfig c;
+    c.numBlocks = 4096;
+    c.maxOnChipEntries = 16;
+    c.storage = StorageMode::Meta;
+    std::vector<TraceEvent> trace;
+    RecursiveFrontend fe(c, nullptr, nullptr,
+                         [&](const TraceEvent& e) { trace.push_back(e); });
+    for (int round = 0; round < 4; ++round)
+        for (Addr a = 0; a < 1024; ++a)
+            fe.access(a, false);
+    // Bin data-tree (id 0) leaves.
+    Histogram h(32);
+    const u64 leaves = u64{1} << fe.tree(0).params().levels;
+    for (const auto& e : trace)
+        if (e.treeId == 0 && e.kind == TraceEvent::Kind::PathRead)
+            h.add(e.leaf * 32 / leaves);
+    ASSERT_GT(h.total(), 2000u);
+    EXPECT_LT(h.chiSquareUniform(), chiSquareCritical(31, 0.001));
+}
+
+TEST(SchemeEquivalence, AllSchemesReturnIdenticalData)
+{
+    // P/PC/PI/PIC differ in traffic and metadata, never in semantics.
+    struct Cfg {
+        PosMapFormat::Kind kind;
+        bool integrity;
+    };
+    const Cfg cfgs[] = {{PosMapFormat::Kind::Leaves, false},
+                        {PosMapFormat::Kind::Compressed, false},
+                        {PosMapFormat::Kind::FlatCounter, true},
+                        {PosMapFormat::Kind::Compressed, true}};
+    std::vector<std::vector<u8>> outputs;
+    for (const auto& k : cfgs) {
+        UnifiedFrontendConfig c;
+        c.numBlocks = 2048;
+        c.format = k.kind;
+        c.integrity = k.integrity;
+        c.plb.capacityBytes = 2 * 1024;
+        c.onChipTargetBytes = 512;
+        c.storage = StorageMode::Encrypted;
+        AesCtrCipher cipher;
+        UnifiedFrontend fe(c, &cipher, nullptr);
+        Xoshiro256 rng(99);
+        std::vector<u8> digest;
+        for (int i = 0; i < 400; ++i) {
+            const Addr a = rng.below(2048);
+            if (rng.chance(0.4)) {
+                std::vector<u8> d(64, static_cast<u8>(i));
+                fe.access(a, true, &d);
+            } else {
+                const auto r = fe.access(a, false);
+                digest.insert(digest.end(), r.data.begin(),
+                              r.data.end());
+            }
+        }
+        outputs.push_back(std::move(digest));
+    }
+    for (size_t i = 1; i < outputs.size(); ++i)
+        EXPECT_EQ(outputs[0], outputs[i]) << "scheme " << i;
+}
+
+TEST(LatencyModel, PsToCyclesScalesWithClock)
+{
+    LatencyModel slow;
+    slow.procGHz = 1.3;
+    LatencyModel fast;
+    fast.procGHz = 2.6;
+    EXPECT_EQ(slow.psToCycles(10000), 13u);
+    EXPECT_EQ(fast.psToCycles(10000), 26u);
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Parameterized property sweeps across configuration space: bucket
+ * codec geometries, PosMap format widths, recursion fan-outs, PLB
+ * geometries, DRAM configurations, and frontend scheme matrices. These
+ * complement the per-module unit tests with breadth.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/unified_frontend.hpp"
+#include "mem/dram_model.hpp"
+#include "oram/bucket_codec.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+// ---------------------------------------------------------------- codec
+
+struct CodecGeom {
+    u64 numBlocks;
+    u64 blockBytes;
+    u32 z;
+    u64 macBytes;
+};
+
+class CodecSweep : public ::testing::TestWithParam<CodecGeom> {};
+
+TEST_P(CodecSweep, FullBucketRoundTrip)
+{
+    const auto g = GetParam();
+    OramParams p = OramParams::forCapacity(g.numBlocks * g.blockBytes,
+                                           g.blockBytes, g.z);
+    p.macBytes = g.macBytes;
+    AesCtrCipher cipher;
+    BucketCodec codec(p, &cipher);
+    Xoshiro256 rng(77);
+
+    Bucket b = Bucket::empty(p);
+    for (u32 s = 0; s < p.z; ++s) {
+        if (s % 2 == 1)
+            continue; // leave odd slots dummy
+        b.slots[s].addr = rng.below(p.numBlocks);
+        b.slots[s].leaf = rng.below(p.numLeaves());
+        b.slots[s].data.resize(p.storedBlockBytes());
+        for (auto& byte : b.slots[s].data)
+            byte = static_cast<u8>(rng.next());
+    }
+    std::vector<u8> image;
+    codec.encode(9, b, {}, image);
+    ASSERT_EQ(image.size(), p.bucketPhysBytes());
+    const Bucket d = codec.decode(9, image);
+    for (u32 s = 0; s < p.z; ++s) {
+        if (s % 2 == 1) {
+            EXPECT_FALSE(d.slots[s].valid()) << "slot " << s;
+            continue;
+        }
+        EXPECT_EQ(d.slots[s].addr, b.slots[s].addr) << "slot " << s;
+        EXPECT_EQ(d.slots[s].leaf, b.slots[s].leaf) << "slot " << s;
+        EXPECT_EQ(d.slots[s].data, b.slots[s].data) << "slot " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CodecSweep,
+    ::testing::Values(CodecGeom{1 << 10, 64, 4, 0},
+                      CodecGeom{1 << 14, 64, 4, 16},
+                      CodecGeom{1 << 12, 128, 3, 0},
+                      CodecGeom{1 << 12, 128, 3, 16},
+                      CodecGeom{1 << 10, 32, 4, 0},
+                      CodecGeom{1 << 16, 4096, 4, 0},
+                      CodecGeom{1 << 10, 64, 7, 0},
+                      CodecGeom{1 << 18, 64, 4, 16}),
+    [](const auto& info) {
+        return "N" + std::to_string(info.param.numBlocks) + "_B" +
+               std::to_string(info.param.blockBytes) + "_Z" +
+               std::to_string(info.param.z) + "_M" +
+               std::to_string(info.param.macBytes);
+    });
+
+// --------------------------------------------------------- posmap format
+
+class BetaSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BetaSweep, CompressedRoundTripAndBounds)
+{
+    const u32 beta = GetParam();
+    PosMapFormat f(PosMapFormat::Kind::Compressed, 64, beta);
+    // alpha + X*beta must fit the block.
+    EXPECT_LE(64 + u64{f.x()} * beta, 64 * 8u);
+    EXPECT_LE(f.serializedBytes(), 64u);
+    // Round-trip with extreme counter values.
+    PosMapContent c = f.makeFresh();
+    c.gc = ~u64{0} >> beta; // maximal GC that still shifts safely
+    for (u32 j = 0; j < f.x(); ++j)
+        c.ic[j] = static_cast<u16>((u32{1} << beta) - 1 - (j % 3));
+    std::vector<u8> buf(f.serializedBytes());
+    f.serialize(c, buf.data());
+    const PosMapContent d = f.deserialize(buf.data());
+    EXPECT_EQ(d.gc, c.gc);
+    for (u32 j = 0; j < f.x(); ++j)
+        EXPECT_EQ(d.ic[j], c.ic[j]) << "beta " << beta << " j " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaSweep,
+                         ::testing::Values(2, 3, 5, 7, 8, 11, 14, 16),
+                         [](const auto& info) {
+                             return "beta" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------ recursion
+
+class FanoutSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FanoutSweep, GeometryInvariants)
+{
+    const u32 x = GetParam();
+    for (u64 n : {u64{100}, u64{4096}, u64{1} << 20, (u64{1} << 20) + 3}) {
+        const auto g = RecursionGeometry::compute(n, x, 64);
+        // Level sizes shrink by exactly X (ceil) per level.
+        for (u32 i = 1; i < g.h; ++i)
+            EXPECT_EQ(g.levelBlocks[i],
+                      divCeil(g.levelBlocks[i - 1], x));
+        EXPECT_LE(g.onChipEntries, 64u);
+        // Every data address maps to strictly increasing unified
+        // addresses up the levels, all within totalBlocks.
+        Xoshiro256 rng(x);
+        for (int t = 0; t < 50; ++t) {
+            const u64 a0 = rng.below(n);
+            u64 prev = 0;
+            for (u32 i = 0; i < g.h; ++i) {
+                const u64 ua = g.unifiedAddr(i, a0);
+                EXPECT_LT(ua, g.totalBlocks);
+                if (i > 0) {
+                    EXPECT_GT(ua, prev);
+                }
+                prev = ua;
+                EXPECT_LT(g.levelAddr(i, a0), g.levelBlocks[i]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64),
+                         [](const auto& info) {
+                             return "X" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------------ plb
+
+class PlbGeomSweep
+    : public ::testing::TestWithParam<std::pair<u64, u32>> {};
+
+TEST_P(PlbGeomSweep, FillEvictConsistency)
+{
+    const auto [bytes, ways] = GetParam();
+    Plb plb({bytes, 64, ways});
+    const u64 entries = plb.numEntries();
+    // Fill with twice the capacity; every insert must either fit or
+    // evict exactly one block, and the PLB never exceeds capacity.
+    u64 resident = 0;
+    for (Addr a = 0; a < 2 * entries; ++a) {
+        PlbEntry e;
+        e.addr = a;
+        const auto victim = plb.insert(std::move(e));
+        resident += victim.has_value() ? 0 : 1;
+        EXPECT_LE(resident, entries);
+    }
+    // Drain returns exactly the resident set, each address once.
+    const auto all = plb.drain();
+    EXPECT_EQ(all.size(), resident);
+    std::set<Addr> seen;
+    for (const auto& e : all)
+        EXPECT_TRUE(seen.insert(e.addr).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PlbGeomSweep,
+    ::testing::Values(std::make_pair(u64{1024}, 1u),
+                      std::make_pair(u64{4096}, 2u),
+                      std::make_pair(u64{8192}, 4u),
+                      std::make_pair(u64{65536}, 1u),
+                      std::make_pair(u64{65536}, 1024u)),
+    [](const auto& info) {
+        return "B" + std::to_string(info.param.first) + "_W" +
+               std::to_string(info.param.second);
+    });
+
+// ----------------------------------------------------------------- dram
+
+TEST(DramSweep, TimingMonotoneInChannelCount)
+{
+    // Under any fixed request pattern, more channels never hurt.
+    for (u64 span : {u64{1} << 14, u64{1} << 18, u64{1} << 22}) {
+        u64 prev = ~u64{0};
+        for (u32 ch : {1u, 2u, 4u, 8u}) {
+            DramModel m(DramConfig::ddr3(ch));
+            std::vector<DramRequest> reqs;
+            Xoshiro256 rng(span);
+            for (int i = 0; i < 512; ++i)
+                reqs.push_back({rng.below(span) & ~63ULL, i % 4 == 0});
+            const u64 t = m.accessBatch(reqs);
+            EXPECT_LE(t, prev) << "span " << span << " ch " << ch;
+            prev = t;
+        }
+    }
+}
+
+TEST(DramSweep, DecodePartitionsAddressSpace)
+{
+    // Every 64-byte burst maps to exactly one (channel, bank, row, col)
+    // and distinct bursts within a row region stay distinct.
+    DramModel m(DramConfig::ddr3(4));
+    std::set<std::tuple<u32, u32, u64, u64>> seen;
+    for (u64 a = 0; a < 64 * 4096; a += 64) {
+        const auto d = m.decode(a);
+        EXPECT_TRUE(
+            seen.insert({d.channel, d.bank, d.row, d.col}).second)
+            << "duplicate mapping at " << a;
+    }
+}
+
+// ------------------------------------------------------ frontend matrix
+
+struct MatrixPoint {
+    u64 blockBytes;
+    u32 z;
+    PosMapFormat::Kind kind;
+    bool integrity;
+};
+
+class FrontendMatrix : public ::testing::TestWithParam<MatrixPoint> {};
+
+TEST_P(FrontendMatrix, SmokeAndAccounting)
+{
+    const auto m = GetParam();
+    UnifiedFrontendConfig c;
+    c.numBlocks = 4096;
+    c.blockBytes = m.blockBytes;
+    c.z = m.z;
+    c.format = m.kind;
+    c.integrity = m.integrity;
+    c.plb.capacityBytes = 16 * m.blockBytes;
+    c.onChipTargetBytes = 256;
+    c.storage = StorageMode::Meta;
+    UnifiedFrontend fe(c, nullptr, nullptr);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 300; ++i) {
+        const auto r = fe.access(rng.below(4096), i % 2 == 0);
+        // Accounting invariants.
+        EXPECT_GE(r.bytesMoved, r.posmapBytes);
+        EXPECT_EQ(r.bytesMoved % (2 * fe.backend().params().pathBytes()),
+                  0u);
+        EXPECT_GE(r.backendAccesses, 1u);
+        EXPECT_GT(r.cycles, 0u);
+    }
+    // PLB hit counters consistent with lookups.
+    const auto& ps = fe.plb().stats();
+    EXPECT_EQ(ps.get("hits") + ps.get("misses") > 0, fe.geometry().h > 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrontendMatrix,
+    ::testing::Values(
+        MatrixPoint{64, 4, PosMapFormat::Kind::Leaves, false},
+        MatrixPoint{64, 3, PosMapFormat::Kind::Compressed, false},
+        MatrixPoint{64, 4, PosMapFormat::Kind::Compressed, true},
+        MatrixPoint{128, 4, PosMapFormat::Kind::Compressed, false},
+        MatrixPoint{128, 3, PosMapFormat::Kind::FlatCounter, true},
+        MatrixPoint{256, 4, PosMapFormat::Kind::Leaves, false},
+        MatrixPoint{32, 4, PosMapFormat::Kind::FlatCounter, false},
+        MatrixPoint{128, 5, PosMapFormat::Kind::Compressed, true}),
+    [](const auto& info) {
+        const auto& p = info.param;
+        std::string k = p.kind == PosMapFormat::Kind::Leaves ? "L"
+                        : p.kind == PosMapFormat::Kind::Compressed
+                            ? "C"
+                            : "F";
+        return "B" + std::to_string(p.blockBytes) + "_Z" +
+               std::to_string(p.z) + "_" + k +
+               (p.integrity ? "_int" : "");
+    });
+
+} // namespace
+} // namespace froram

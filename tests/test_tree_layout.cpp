@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tree layout tests: path enumeration, address uniqueness, subtree
+ * packing locality ([26]) and base offsets for multi-tree systems.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/dram_model.hpp"
+#include "mem/tree_layout.hpp"
+
+namespace froram {
+namespace {
+
+TEST(TreeLayout, PathEnumeratesRootToLeaf)
+{
+    FlatLayout layout(3, 64);
+    const auto p = layout.path(5); // 0b101
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[0].level, 0u);
+    EXPECT_EQ(p[0].index, 0u);
+    EXPECT_EQ(p[1].index, 1u);  // 5 >> 2
+    EXPECT_EQ(p[2].index, 2u);  // 5 >> 1
+    EXPECT_EQ(p[3].index, 5u);
+}
+
+TEST(FlatLayout, HeapOrderAddresses)
+{
+    FlatLayout layout(2, 100);
+    EXPECT_EQ(layout.addressOf({0, 0}), 0u);
+    EXPECT_EQ(layout.addressOf({1, 0}), 100u);
+    EXPECT_EQ(layout.addressOf({1, 1}), 200u);
+    EXPECT_EQ(layout.addressOf({2, 3}), 600u);
+    EXPECT_EQ(layout.footprintBytes(), 700u);
+}
+
+TEST(SubtreeLayout, AddressesAreUniqueAndInBounds)
+{
+    const u32 levels = 9;
+    SubtreeLayout layout(levels, 320, 16384);
+    std::set<u64> seen;
+    for (u32 l = 0; l <= levels; ++l) {
+        for (u64 i = 0; i < (u64{1} << l); ++i) {
+            const u64 a = layout.addressOf({l, i});
+            EXPECT_TRUE(seen.insert(a).second)
+                << "duplicate address at level " << l << " idx " << i;
+            EXPECT_LT(a, layout.footprintBytes());
+            EXPECT_EQ(a % 320, 0u);
+        }
+    }
+}
+
+TEST(SubtreeLayout, PicksDeepestFittingSubtree)
+{
+    // 320-byte buckets, 16 KB unit: 2^k-1 buckets * 320 <= 16384
+    // => k = 5 (31 buckets, 9920 B); k = 6 would need 20160 B.
+    SubtreeLayout layout(20, 320, 16384);
+    EXPECT_EQ(layout.subtreeDepth(), 5u);
+}
+
+TEST(SubtreeLayout, PathTouchesFewLocalityUnits)
+{
+    const u32 levels = 19;
+    const u64 bucket = 320, unit = 16384;
+    SubtreeLayout subtree(levels, bucket, unit);
+    FlatLayout flat(levels, bucket);
+    auto units_touched = [&](const TreeLayout& lay, u64 leaf) {
+        std::set<u64> units;
+        for (const auto& c : lay.path(leaf))
+            units.insert(lay.addressOf(c) / unit);
+        return units.size();
+    };
+    // Subtree layout: one unit per k levels; flat layout: deep levels
+    // scatter across units.
+    u64 subtree_total = 0, flat_total = 0;
+    for (u64 leaf = 0; leaf < 64; ++leaf) {
+        subtree_total += units_touched(subtree, leaf * 7919 % (1 << 19));
+        flat_total += units_touched(flat, leaf * 7919 % (1 << 19));
+    }
+    EXPECT_LT(subtree_total, flat_total);
+    // ceil(20 levels / k) subtrees per path; a subtree smaller than the
+    // unit may straddle one unit boundary, hence the +2 slack.
+    EXPECT_LE(subtree_total / 64,
+              (levels + 1 + subtree.subtreeDepth() - 1) /
+                      subtree.subtreeDepth() +
+                  2);
+}
+
+TEST(SubtreeLayout, BaseAddressOffsetsWholeTree)
+{
+    SubtreeLayout layout(4, 64, 4096);
+    const u64 a0 = layout.addressOf({2, 1});
+    layout.setBaseAddress(1 << 20);
+    EXPECT_EQ(layout.addressOf({2, 1}), a0 + (1 << 20));
+}
+
+TEST(SubtreeLayout, RejectsOutOfRangeLevel)
+{
+    SubtreeLayout layout(4, 64, 4096);
+    EXPECT_THROW(layout.addressOf({5, 0}), PanicError);
+}
+
+TEST(SubtreeLayout, SubtreePathStaysInOneDramRowRegion)
+{
+    // With unit = channels * rowBytes, consecutive path levels inside a
+    // subtree should decode to the same DRAM row per channel.
+    DramConfig cfg = DramConfig::ddr3(2);
+    DramModel m(cfg);
+    const u64 unit = u64{cfg.rowBytes} * cfg.channels;
+    SubtreeLayout layout(18, 320, unit);
+    const u64 leaf = 0x2a5a5;
+    u64 row_changes = 0, last_row = ~u64{0};
+    for (const auto& c : layout.path(leaf & ((1 << 18) - 1))) {
+        const auto d = m.decode(layout.addressOf(c));
+        if (d.channel == 0) {
+            if (last_row != ~u64{0} && d.row != last_row)
+                ++row_changes;
+            last_row = d.row;
+        }
+    }
+    // 19 levels / k levels-per-subtree ~= 4 subtrees => few row changes.
+    EXPECT_LE(row_changes, 19u / layout.subtreeDepth() + 1);
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for util/: bit helpers, PRNG, statistics, histograms and the
+ * statistical machinery used by the obliviousness tests.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace froram {
+namespace {
+
+TEST(Bitops, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(u64{1} << 40), 40u);
+    EXPECT_EQ(log2Floor((u64{1} << 40) + 5), 40u);
+}
+
+TEST(Bitops, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil((u64{1} << 30) + 1), 31u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(u64{1} << 50));
+    EXPECT_FALSE(isPow2((u64{1} << 50) - 1));
+}
+
+TEST(Bitops, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundUp(100, 0), 100u);
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 64), 0xdeadbeefu);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Xoshiro256 a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Xoshiro256 rng(11);
+    const u64 bins = 16;
+    Histogram h(bins);
+    for (int i = 0; i < 160000; ++i)
+        h.add(rng.below(bins));
+    // chi^2 with 15 dof at alpha=0.001 ~ 37.7.
+    EXPECT_LT(h.chiSquareUniform(), chiSquareCritical(15, 0.001));
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Stats, IncGetRatio)
+{
+    StatSet s("x");
+    EXPECT_EQ(s.get("a"), 0u);
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+    s.set("b", 10);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.5);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "zero"), 0.0);
+}
+
+TEST(Stats, Merge)
+{
+    StatSet a("a"), b("b");
+    a.inc("x", 2);
+    b.inc("x", 3);
+    b.inc("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Histogram, ChiSquareUniformDetectsSkew)
+{
+    Histogram uniform(8), skewed(8);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 80000; ++i) {
+        uniform.add(rng.below(8));
+        skewed.add(rng.chance(0.5) ? 0 : rng.below(8));
+    }
+    EXPECT_LT(uniform.chiSquareUniform(), chiSquareCritical(7, 0.001));
+    EXPECT_GT(skewed.chiSquareUniform(), chiSquareCritical(7, 0.001));
+}
+
+TEST(Histogram, TwoSampleTestSeparatesDistributions)
+{
+    Histogram a(16), b(16), c(16);
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 50000; ++i) {
+        a.add(rng.below(16));
+        b.add(rng.below(16));
+        c.add(rng.below(8)); // different support
+    }
+    EXPECT_LT(a.chiSquareTwoSample(b), chiSquareCritical(15, 0.001));
+    EXPECT_GT(a.chiSquareTwoSample(c), chiSquareCritical(15, 0.001));
+    EXPECT_LT(a.ksDistance(b), 0.02);
+    EXPECT_GT(a.ksDistance(c), 0.2);
+}
+
+TEST(Histogram, RejectsOutOfRange)
+{
+    Histogram h(4);
+    EXPECT_THROW(h.add(4), PanicError);
+}
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.975), 1.95996, 1e-3);
+    EXPECT_NEAR(normalQuantile(0.999), 3.0902, 1e-2);
+}
+
+TEST(ChiSquareCritical, MatchesTables)
+{
+    // chi2(0.05, 10) = 18.307; chi2(0.001, 15) = 37.697.
+    EXPECT_NEAR(chiSquareCritical(10, 0.05), 18.307, 0.5);
+    EXPECT_NEAR(chiSquareCritical(15, 0.001), 37.697, 1.2);
+}
+
+TEST(TextTable, RendersAlignedAndCsv)
+{
+    TextTable t({"name", "value"});
+    t.newRow();
+    t.cell("alpha");
+    t.cell(u64{42});
+    t.newRow();
+    t.cell("b");
+    t.cell(3.14159, 2);
+    std::ostringstream text, csv;
+    t.print(text);
+    t.printCsv(csv);
+    EXPECT_NE(text.str().find("alpha"), std::string::npos);
+    EXPECT_NE(text.str().find("42"), std::string::npos);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,42\nb,3.14\n");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Errors, PanicAndFatalCarryMessages)
+{
+    try {
+        panic("boom ", 42);
+        FAIL();
+    } catch (const PanicError& e) {
+        EXPECT_NE(std::string(e.what()).find("boom 42"),
+                  std::string::npos);
+    }
+    try {
+        fatal("bad config: ", "x");
+        FAIL();
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("bad config"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace froram
