@@ -6,11 +6,23 @@
  * server learns nothing from the access pattern -- lookups of a hot key
  * are indistinguishable from uniform scans.
  *
- *   $ ./oblivious_kv_store
+ * The untrusted medium is pluggable:
+ *
+ *   $ ./oblivious_kv_store                    # DRAM-timed (default)
+ *   $ ./oblivious_kv_store --backend=flat    # fast functional RAM
+ *   $ ./oblivious_kv_store --backend=mmap --file=/tmp/kv.oram
+ *
+ * With --backend=mmap every encrypted bucket the server holds lives in
+ * the backing file (msync-durable), which is the seam a durable KV
+ * deployment builds on.
  */
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+
+#include <unistd.h>
 
 #include "core/oram_system.hpp"
 #include "util/histogram.hpp"
@@ -100,14 +112,50 @@ class ObliviousKvStore {
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     OramSystemConfig cfg;
     cfg.capacityBytes = u64{16} << 20; // 16 MB store
     cfg.storage = StorageMode::Encrypted;
     cfg.realAes = true;
     cfg.collectTrace = true;
-    OramSystem sys(SchemeId::PlbIntegrityCompressed, cfg);
+    // Per-user default path: a fixed shared /tmp name would collide
+    // between users (and could be pre-created as a symlink trap).
+    const char* tmpdir = std::getenv("TMPDIR");
+    cfg.backendPath = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                      "/froram_kv_store." + std::to_string(::getuid()) +
+                      ".oram";
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--backend=", 0) == 0)
+                cfg.backend = storageBackendKindFromName(arg.substr(10));
+            else if (arg.rfind("--file=", 0) == 0)
+                cfg.backendPath = arg.substr(7);
+            else
+                fatal("unknown argument: ", arg);
+        }
+    } catch (const FatalError& e) {
+        std::cerr << e.what()
+                  << "\nusage: oblivious_kv_store "
+                     "[--backend=flat|dram|mmap] [--file=PATH]\n";
+        return 2;
+    }
+    std::unique_ptr<OramSystem> sys_holder;
+    try {
+        sys_holder = std::make_unique<OramSystem>(
+            SchemeId::PlbIntegrityCompressed, cfg);
+    } catch (const FatalError& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+    OramSystem& sys = *sys_holder;
+    std::cout << "Untrusted storage backend: "
+              << toString(sys.storage().kind())
+              << (sys.storage().persistent()
+                      ? " (persistent: " + cfg.backendPath + ")"
+                      : "")
+              << "\n";
     ObliviousKvStore kv(sys.frontend(), cfg.capacityBytes / 64);
 
     std::cout << "Populating the store...\n";
@@ -156,5 +204,11 @@ main()
               << "\n\nEvery record is also MAC-verified on read "
               << "(PMMAC), so the server\ncan neither observe nor "
               << "undetectably modify the store.\n";
+    if (sys.storage().persistent()) {
+        sys.storage().sync();
+        std::cout << "\nDurability: " << (sys.storage().bytesTouched() >> 10)
+                  << " KB of encrypted buckets msync'd to "
+                  << cfg.backendPath << ".\n";
+    }
     return chi2 < crit ? 0 : 1;
 }

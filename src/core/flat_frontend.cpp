@@ -3,7 +3,7 @@
 namespace froram {
 
 FlatFrontend::FlatFrontend(const FlatFrontendConfig& config,
-                           const StreamCipher* cipher, DramModel* dram,
+                           const StreamCipher* cipher, StorageBackend* store,
                            TraceSink trace)
     : config_(config), rng_(config.rngSeed), stats_("frontend")
 {
@@ -23,35 +23,18 @@ FlatFrontend::FlatFrontend(const FlatFrontendConfig& config,
     }
     params_.validate();
 
-    std::unique_ptr<TreeStorage> storage;
-    switch (config_.storage) {
-      case StorageMode::Encrypted:
-        if (cipher == nullptr)
-            fatal("Encrypted storage mode requires a cipher");
-        storage = std::make_unique<EncryptedTreeStorage>(
-            params_, cipher, config_.seedScheme);
-        break;
-      case StorageMode::Meta:
-        storage = std::make_unique<MetaTreeStorage>(params_);
-        break;
-      case StorageMode::Null:
-        storage = std::make_unique<NullTreeStorage>(params_);
-        break;
-    }
+    std::unique_ptr<TreeStorage> storage = makeTreeStorage(
+        config_.storage, params_, cipher, config_.seedScheme, store);
 
-    const u64 unit = dram != nullptr
-                         ? u64{dram->config().rowBytes} *
-                               dram->config().channels
-                         : u64{8192} * 2;
     auto layout = std::make_unique<SubtreeLayout>(
-        params_.levels, params_.bucketPhysBytes(), unit);
+        params_.levels, params_.bucketPhysBytes(), layoutUnitBytes(store));
 
     BackendConfig bc;
     bc.params = params_;
     bc.treeId = 0;
     bc.traceSink = std::move(trace);
     backend_ = std::make_unique<PathOramBackend>(
-        bc, std::move(storage), std::move(layout), dram);
+        bc, std::move(storage), std::move(layout), store);
 
     posmap_.assign(config_.numBlocks, kUninit);
     if (config_.blockBufferBytes >= config_.blockBytes)

@@ -14,8 +14,7 @@
 #include <vector>
 
 #include "core/frontend.hpp"
-#include "core/unified_frontend.hpp" // StorageMode
-#include "oram/backend.hpp"
+#include "oram/backend.hpp" // StorageMode via oram/tree_storage.hpp
 #include "util/rng.hpp"
 
 namespace froram {
@@ -38,7 +37,7 @@ struct FlatFrontendConfig {
 class FlatFrontend : public Frontend {
   public:
     FlatFrontend(const FlatFrontendConfig& config,
-                 const StreamCipher* cipher, DramModel* dram,
+                 const StreamCipher* cipher, StorageBackend* store,
                  TraceSink trace = nullptr);
 
     FrontendResult access(Addr addr, bool is_write,

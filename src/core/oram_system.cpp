@@ -23,6 +23,27 @@ recursiveStopEntries(u64 num_blocks, u32 x, u32 z, u64 target_bytes)
     }
 }
 
+/**
+ * Build the storage medium from the system config. The default MmapFile
+ * capacity covers the worst configured scheme: ~2x bucket slots at 50%
+ * utilization, burst padding, slot headers, MAC tags, recursion trees
+ * and the per-tree header/bitmap. The file is sparse, so
+ * over-provisioning costs no disk.
+ */
+std::unique_ptr<StorageBackend>
+makeSystemBackend(const OramSystemConfig& cfg)
+{
+    StorageBackendConfig sc;
+    sc.kind = cfg.backend;
+    sc.dramChannels = cfg.dramChannels;
+    sc.path = cfg.backendPath;
+    sc.fileBytes = cfg.backendFileBytes != 0
+                       ? cfg.backendFileBytes
+                       : 8 * cfg.capacityBytes + (u64{16} << 20);
+    sc.reset = cfg.backendReset;
+    return makeStorageBackend(sc);
+}
+
 } // namespace
 
 SchemeId
@@ -45,8 +66,7 @@ schemeFromName(const std::string& name)
 }
 
 OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
-    : cfg_(config), scheme_(scheme),
-      dram_(DramConfig::ddr3(config.dramChannels))
+    : cfg_(config), scheme_(scheme), store_(makeSystemBackend(config))
 {
     if (cfg_.realAes) {
         Xoshiro256 kdf(cfg_.seed ^ 0xc1f0e4ULL);
@@ -82,7 +102,7 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         rc.maxOnChipEntries = recursiveStopEntries(
             num_blocks, x, cfg_.z, cfg_.recursiveOnChipTargetBytes);
         frontend_ = std::make_unique<RecursiveFrontend>(
-            rc, cipher_.get(), &dram_, sink);
+            rc, cipher_.get(), store_.get(), sink);
         break;
       }
       case SchemeId::Phantom: {
@@ -98,7 +118,7 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         fc.rngSeed = cfg_.seed;
         fc.stashCapacity = cfg_.stashCapacity;
         frontend_ = std::make_unique<FlatFrontend>(fc, cipher_.get(),
-                                                   &dram_, sink);
+                                                   store_.get(), sink);
         break;
       }
       default: {
@@ -136,7 +156,7 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         uc.rngSeed = cfg_.seed;
         uc.stashCapacity = cfg_.stashCapacity;
         frontend_ = std::make_unique<UnifiedFrontend>(uc, cipher_.get(),
-                                                      &dram_, sink);
+                                                      store_.get(), sink);
         break;
       }
     }

@@ -24,6 +24,8 @@
 #include "core/flat_frontend.hpp"
 #include "core/recursive_frontend.hpp"
 #include "core/unified_frontend.hpp"
+#include "mem/dram_model.hpp"
+#include "mem/storage_backend.hpp"
 
 namespace froram {
 
@@ -47,6 +49,12 @@ struct OramSystemConfig {
     u64 recursivePosmapBlockBytes = 32; ///< R_X*: PosMap ORAM block size
     u32 z = 4;
     u32 dramChannels = 2;
+    /** Storage medium under the tree(s). TimedDram reproduces the paper's
+     *  evaluation; Flat is the fast functional path; MmapFile persists. */
+    StorageBackendKind backend = StorageBackendKind::TimedDram;
+    std::string backendPath;   ///< MmapFile: backing file
+    u64 backendFileBytes = 0;  ///< MmapFile capacity (0: sized from config)
+    bool backendReset = true;  ///< MmapFile: truncate instead of reopening
     LatencyModel latency{};
     u64 plbBytes = 64 * 1024; ///< evaluation default (Section 7.1.3)
     u32 plbWays = 1;          ///< direct-mapped
@@ -71,7 +79,22 @@ class OramSystem {
 
     Frontend& frontend() { return *frontend_; }
     const Frontend& frontend() const { return *frontend_; }
-    DramModel& dram() { return dram_; }
+
+    /** The storage medium under the ORAM tree(s). */
+    StorageBackend& storage() { return *store_; }
+    const StorageBackend& storage() const { return *store_; }
+
+    /** DRAM timing model; fatal unless the backend is DRAM-timed. */
+    DramModel&
+    dram()
+    {
+        DramModel* model = store_->dramModel();
+        if (model == nullptr)
+            fatal("backend '", toString(store_->kind()),
+                  "' has no DRAM timing model");
+        return *model;
+    }
+
     SchemeId scheme() const { return scheme_; }
     const OramSystemConfig& config() const { return cfg_; }
 
@@ -82,7 +105,7 @@ class OramSystem {
   private:
     OramSystemConfig cfg_;
     SchemeId scheme_;
-    DramModel dram_;
+    std::unique_ptr<StorageBackend> store_;
     std::unique_ptr<StreamCipher> cipher_;
     std::unique_ptr<Frontend> frontend_;
     std::vector<TraceEvent> trace_;

@@ -30,22 +30,6 @@ readBits(const u8* buf, u64 pos, u32 width)
     return v;
 }
 
-void
-storeLe(u8* p, u64 v, u32 nbytes)
-{
-    for (u32 i = 0; i < nbytes; ++i)
-        p[i] = static_cast<u8>(v >> (8 * i));
-}
-
-u64
-loadLe(const u8* p, u32 nbytes)
-{
-    u64 v = 0;
-    for (u32 i = 0; i < nbytes; ++i)
-        v |= static_cast<u64>(p[i]) << (8 * i);
-    return v;
-}
-
 u32
 largestPow2AtMost(u64 v)
 {

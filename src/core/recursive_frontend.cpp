@@ -15,7 +15,7 @@ oracleKey(u32 tree, Addr addr)
 
 RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
                                      const StreamCipher* cipher,
-                                     DramModel* dram, TraceSink trace)
+                                     StorageBackend* store, TraceSink trace)
     : config_(config),
       format_(PosMapFormat::Kind::Leaves, config.posmapBlockBytes),
       rng_(config.rngSeed), stats_("frontend")
@@ -40,28 +40,13 @@ RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
             fatal("tree too deep for 32-bit PosMap leaves");
         treeParams_.push_back(p);
 
-        std::unique_ptr<TreeStorage> storage;
-        switch (config_.storage) {
-          case StorageMode::Encrypted:
-            if (cipher == nullptr)
-                fatal("Encrypted storage mode requires a cipher");
-            storage = std::make_unique<EncryptedTreeStorage>(
-                p, cipher, config_.seedScheme);
-            break;
-          case StorageMode::Meta:
-            storage = std::make_unique<MetaTreeStorage>(p);
-            break;
-          case StorageMode::Null:
-            storage = std::make_unique<NullTreeStorage>(p);
-            break;
-        }
+        // Tree index as pad domain: the recursion hierarchy shares one
+        // cipher, and per-tree seed registers would otherwise collide.
+        std::unique_ptr<TreeStorage> storage = makeTreeStorage(
+            config_.storage, p, cipher, config_.seedScheme, store, i);
 
-        const u64 unit = dram != nullptr
-                             ? u64{dram->config().rowBytes} *
-                                   dram->config().channels
-                             : u64{8192} * 2;
         auto layout = std::make_unique<SubtreeLayout>(
-            p.levels, p.bucketPhysBytes(), unit);
+            p.levels, p.bucketPhysBytes(), layoutUnitBytes(store));
         layout->setBaseAddress(dram_base);
         dram_base += layout->footprintBytes();
 
@@ -70,7 +55,7 @@ RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
         bc.treeId = i;
         bc.traceSink = trace;
         trees_.push_back(std::make_unique<PathOramBackend>(
-            bc, std::move(storage), std::move(layout), dram));
+            bc, std::move(storage), std::move(layout), store));
     }
 
     onChip_.assign(geo_.onChipEntries, kUninit);

@@ -19,8 +19,7 @@
 #include "core/frontend.hpp"
 #include "core/posmap_format.hpp"
 #include "core/recursion.hpp"
-#include "core/unified_frontend.hpp" // StorageMode
-#include "oram/backend.hpp"
+#include "oram/backend.hpp" // StorageMode via oram/tree_storage.hpp
 #include "util/rng.hpp"
 
 namespace froram {
@@ -45,13 +44,13 @@ class RecursiveFrontend : public Frontend {
     /**
      * @param config baseline configuration
      * @param cipher pad generator for Encrypted storage (not owned)
-     * @param dram shared DRAM model (not owned; may be null)
+     * @param store shared storage backend (not owned; may be null)
      * @param trace adversary trace; events carry the tree id, which is
      *        what the PLB-insecurity demonstration (Section 4.1.2)
      *        observes
      */
     RecursiveFrontend(const RecursiveFrontendConfig& config,
-                      const StreamCipher* cipher, DramModel* dram,
+                      const StreamCipher* cipher, StorageBackend* store,
                       TraceSink trace = nullptr);
 
     FrontendResult access(Addr addr, bool is_write,

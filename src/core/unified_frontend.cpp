@@ -31,41 +31,19 @@ makeParams(const UnifiedFrontendConfig& cfg, const RecursionGeometry& geo)
     return p;
 }
 
-std::unique_ptr<TreeStorage>
-makeStorage(const UnifiedFrontendConfig& cfg, const OramParams& params,
-            const StreamCipher* cipher)
-{
-    switch (cfg.storage) {
-      case StorageMode::Encrypted:
-        if (cipher == nullptr)
-            fatal("Encrypted storage mode requires a cipher");
-        return std::make_unique<EncryptedTreeStorage>(params, cipher,
-                                                      cfg.seedScheme);
-      case StorageMode::Meta:
-        return std::make_unique<MetaTreeStorage>(params);
-      case StorageMode::Null:
-        return std::make_unique<NullTreeStorage>(params);
-    }
-    panic("unreachable");
-}
-
 std::unique_ptr<TreeLayout>
-makeLayout(const OramParams& params, DramModel* dram)
+makeLayout(const OramParams& params, StorageBackend* store)
 {
     // Pack subtrees into one DRAM row per channel group ([26]).
-    const u64 unit = dram != nullptr
-                         ? u64{dram->config().rowBytes} *
-                               dram->config().channels
-                         : u64{8192} * 2;
-    return std::make_unique<SubtreeLayout>(params.levels,
-                                           params.bucketPhysBytes(), unit);
+    return std::make_unique<SubtreeLayout>(
+        params.levels, params.bucketPhysBytes(), layoutUnitBytes(store));
 }
 
 } // namespace
 
 UnifiedFrontend::UnifiedFrontend(const UnifiedFrontendConfig& config,
-                                 const StreamCipher* cipher, DramModel* dram,
-                                 TraceSink trace)
+                                 const StreamCipher* cipher,
+                                 StorageBackend* store, TraceSink trace)
     : config_(config),
       format_(config.format, config.blockBytes, config.beta),
       params_(),
@@ -96,8 +74,10 @@ UnifiedFrontend::UnifiedFrontend(const UnifiedFrontendConfig& config,
     bc.treeId = 0;
     bc.traceSink = std::move(trace);
     backend_ = std::make_unique<PathOramBackend>(
-        bc, makeStorage(config_, params_, cipher), makeLayout(params_, dram),
-        dram);
+        bc,
+        makeTreeStorage(config_.storage, params_, cipher,
+                        config_.seedScheme, store),
+        makeLayout(params_, store), store);
 
     onChip_.assign(geo_.onChipEntries,
                    config_.integrity ? 0 : kOnChipUninit);

@@ -30,13 +30,6 @@
 
 namespace froram {
 
-/** How the unified tree stores bucket contents. */
-enum class StorageMode {
-    Encrypted, ///< real encrypted payloads; supports tampering + integrity
-    Meta,      ///< per-slot placement metadata only (large functional sims)
-    Null       ///< nothing stored; pure bandwidth/latency accounting
-};
-
 /** Configuration for a UnifiedFrontend and its Backend. */
 struct UnifiedFrontendConfig {
     u64 numBlocks = 0;        ///< N data blocks
@@ -62,11 +55,12 @@ class UnifiedFrontend : public Frontend {
      * @param config scheme configuration
      * @param cipher pad generator for Encrypted storage (may be null for
      *        Meta/Null modes; not owned)
-     * @param dram shared DRAM timing model (may be null; not owned)
+     * @param store shared storage backend holding tree bytes and pricing
+     *        accesses (may be null for untimed RAM storage; not owned)
      * @param trace adversary-visible trace sink (may be empty)
      */
     UnifiedFrontend(const UnifiedFrontendConfig& config,
-                    const StreamCipher* cipher, DramModel* dram,
+                    const StreamCipher* cipher, StorageBackend* store,
                     TraceSink trace = nullptr);
 
     FrontendResult access(Addr addr, bool is_write,

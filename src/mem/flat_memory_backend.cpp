@@ -1,0 +1,42 @@
+#include "mem/flat_memory_backend.hpp"
+
+#include <cstring>
+
+namespace froram {
+
+void
+FlatMemoryBackend::read(u64 addr, u8* dst, u64 len)
+{
+    while (len > 0) {
+        const u64 chunk = addr / kChunkBytes;
+        const u64 off = addr % kChunkBytes;
+        const u64 n = std::min(len, kChunkBytes - off);
+        auto it = chunks_.find(chunk);
+        if (it == chunks_.end())
+            std::memset(dst, 0, n);
+        else
+            std::memcpy(dst, it->second.data() + off, n);
+        addr += n;
+        dst += n;
+        len -= n;
+    }
+}
+
+void
+FlatMemoryBackend::write(u64 addr, const u8* src, u64 len)
+{
+    while (len > 0) {
+        const u64 chunk = addr / kChunkBytes;
+        const u64 off = addr % kChunkBytes;
+        const u64 n = std::min(len, kChunkBytes - off);
+        auto& bytes = chunks_[chunk];
+        if (bytes.empty())
+            bytes.assign(kChunkBytes, 0);
+        std::memcpy(bytes.data() + off, src, n);
+        addr += n;
+        src += n;
+        len -= n;
+    }
+}
+
+} // namespace froram

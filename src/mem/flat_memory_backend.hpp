@@ -1,0 +1,48 @@
+/**
+ * @file
+ * In-RAM storage backend: sparse chunked byte store, zero timing.
+ */
+#ifndef FRORAM_MEM_FLAT_MEMORY_BACKEND_HPP
+#define FRORAM_MEM_FLAT_MEMORY_BACKEND_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/storage_backend.hpp"
+
+namespace froram {
+
+/**
+ * Raw host-RAM storage with no timing model.
+ *
+ * The address space is materialized lazily in fixed-size chunks, so a
+ * 64 GB ORAM whose accesses only ever touch a few thousand paths costs
+ * host memory proportional to the buckets actually written, exactly like
+ * the lazily-materialized bucket maps it replaces.
+ */
+class FlatMemoryBackend : public StorageBackend {
+  public:
+    FlatMemoryBackend() = default;
+
+    StorageBackendKind kind() const override
+    {
+        return StorageBackendKind::Flat;
+    }
+
+    void read(u64 addr, u8* dst, u64 len) override;
+    void write(u64 addr, const u8* src, u64 len) override;
+
+    u64 bytesTouched() const override
+    {
+        return chunks_.size() * kChunkBytes;
+    }
+
+  private:
+    static constexpr u64 kChunkBytes = 64 * 1024;
+
+    std::unordered_map<u64, std::vector<u8>> chunks_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_FLAT_MEMORY_BACKEND_HPP

@@ -1,0 +1,94 @@
+#include "mem/mmap_file_backend.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace froram {
+
+MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
+                                 bool reset)
+    : path_(path), capacity_(file_bytes)
+{
+    FRORAM_ASSERT(file_bytes > 0, "mmap backend needs a nonzero capacity");
+    int flags = O_RDWR | O_CREAT;
+    if (reset)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        fatal("mmap backend cannot open ", path, ": ",
+              std::strerror(errno));
+
+    // Grow (never shrink) the sparse file to the requested capacity.
+    struct stat st;
+    if (::fstat(fd_, &st) != 0)
+        fatal("mmap backend cannot stat ", path, ": ",
+              std::strerror(errno));
+    if (static_cast<u64>(st.st_size) > capacity_)
+        capacity_ = static_cast<u64>(st.st_size);
+    if (::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0)
+        fatal("mmap backend cannot size ", path, " to ", capacity_, ": ",
+              std::strerror(errno));
+
+    void* map = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED)
+        fatal("mmap backend cannot map ", path, ": ",
+              std::strerror(errno));
+    map_ = static_cast<u8*>(map);
+}
+
+MmapFileBackend::~MmapFileBackend()
+{
+    if (map_ != nullptr) {
+        ::msync(map_, capacity_, MS_SYNC);
+        ::munmap(map_, capacity_);
+    }
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+MmapFileBackend::read(u64 addr, u8* dst, u64 len)
+{
+    FRORAM_ASSERT(addr + len <= capacity_, "mmap read past capacity");
+    std::memcpy(dst, map_ + addr, len);
+}
+
+void
+MmapFileBackend::write(u64 addr, const u8* src, u64 len)
+{
+    FRORAM_ASSERT(addr + len <= capacity_, "mmap write past capacity");
+    std::memcpy(map_ + addr, src, len);
+}
+
+void
+MmapFileBackend::sync()
+{
+    if (::msync(map_, capacity_, MS_SYNC) != 0)
+        fatal("msync failed on ", path_, ": ", std::strerror(errno));
+}
+
+u64
+MmapFileBackend::bytesTouched() const
+{
+    struct stat st;
+    if (::fstat(fd_, &st) != 0)
+        return 0;
+    return static_cast<u64>(st.st_blocks) * 512;
+}
+
+void
+MmapFileBackend::onRegionAllocated(u64 total_bytes)
+{
+    if (total_bytes > capacity_)
+        fatal("mmap backend ", path_, " too small: need ", total_bytes,
+              " bytes, capacity ", capacity_,
+              " (raise StorageBackendConfig::fileBytes)");
+}
+
+} // namespace froram

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Persistent storage backend: file-backed mmap with msync durability.
+ */
+#ifndef FRORAM_MEM_MMAP_FILE_BACKEND_HPP
+#define FRORAM_MEM_MMAP_FILE_BACKEND_HPP
+
+#include <string>
+
+#include "mem/storage_backend.hpp"
+
+namespace froram {
+
+/**
+ * A byte store mapped from a sparse file on disk.
+ *
+ * The file is created (or reopened) at construction and truncated up to
+ * `file_bytes`; pages materialize on first touch, so a large capacity
+ * costs disk only for buckets actually written. sync() issues a
+ * synchronous msync, making everything written so far durable. Reopening
+ * with `reset = false` sees the previous run's bytes — the seam the
+ * durable oblivious-KV scenario builds on.
+ */
+class MmapFileBackend : public StorageBackend {
+  public:
+    /**
+     * @param path backing file, created if absent
+     * @param file_bytes capacity; every allocRegion must fit under it
+     * @param reset discard existing contents instead of reopening
+     */
+    MmapFileBackend(const std::string& path, u64 file_bytes, bool reset);
+    ~MmapFileBackend() override;
+
+    MmapFileBackend(const MmapFileBackend&) = delete;
+    MmapFileBackend& operator=(const MmapFileBackend&) = delete;
+
+    StorageBackendKind kind() const override
+    {
+        return StorageBackendKind::MmapFile;
+    }
+
+    void read(u64 addr, u8* dst, u64 len) override;
+    void write(u64 addr, const u8* src, u64 len) override;
+    void sync() override;
+    bool persistent() const override { return true; }
+
+    /** Disk blocks actually allocated to the sparse file, in bytes. */
+    u64 bytesTouched() const override;
+
+    const std::string& path() const { return path_; }
+    u64 capacityBytes() const { return capacity_; }
+
+  protected:
+    void onRegionAllocated(u64 total_bytes) override;
+
+  private:
+    std::string path_;
+    u64 capacity_ = 0;
+    int fd_ = -1;
+    u8* map_ = nullptr;
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_MMAP_FILE_BACKEND_HPP

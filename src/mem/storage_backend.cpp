@@ -1,0 +1,54 @@
+#include "mem/storage_backend.hpp"
+
+#include "mem/flat_memory_backend.hpp"
+#include "mem/mmap_file_backend.hpp"
+#include "mem/timed_dram_backend.hpp"
+
+namespace froram {
+
+const char*
+toString(StorageBackendKind kind)
+{
+    switch (kind) {
+      case StorageBackendKind::Flat:
+        return "flat";
+      case StorageBackendKind::TimedDram:
+        return "dram";
+      case StorageBackendKind::MmapFile:
+        return "mmap";
+    }
+    panic("unreachable");
+}
+
+StorageBackendKind
+storageBackendKindFromName(const std::string& name)
+{
+    if (name == "flat")
+        return StorageBackendKind::Flat;
+    if (name == "dram")
+        return StorageBackendKind::TimedDram;
+    if (name == "mmap")
+        return StorageBackendKind::MmapFile;
+    fatal("unknown storage backend: ", name,
+          " (expected flat, dram or mmap)");
+}
+
+std::unique_ptr<StorageBackend>
+makeStorageBackend(const StorageBackendConfig& config)
+{
+    switch (config.kind) {
+      case StorageBackendKind::Flat:
+        return std::make_unique<FlatMemoryBackend>();
+      case StorageBackendKind::TimedDram:
+        return std::make_unique<TimedDramBackend>(
+            DramConfig::ddr3(config.dramChannels));
+      case StorageBackendKind::MmapFile:
+        if (config.path.empty())
+            fatal("mmap storage backend needs a file path");
+        return std::make_unique<MmapFileBackend>(
+            config.path, config.fileBytes, config.reset);
+    }
+    panic("unreachable");
+}
+
+} // namespace froram

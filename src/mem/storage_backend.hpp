@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Pluggable untrusted-storage backends.
+ *
+ * A StorageBackend is the physical medium under the ORAM tree. It has two
+ * planes that the rest of the system consumes through one interface:
+ *
+ *  - a *data plane*: a flat, byte-addressed, zero-initialized address
+ *    space that BackedTreeStorage serializes encrypted bucket images
+ *    into. Regions are handed out by a deterministic bump allocator so a
+ *    persistent backend maps each ORAM tree to the same extent on every
+ *    run.
+ *
+ *  - a *timing plane*: accessBatch() prices a batch of burst requests
+ *    (one ORAM path read or write) in picoseconds. Functional backends
+ *    return 0; TimedDramBackend delegates to the cycle-level DramModel so
+ *    every figure-reproduction benchmark is unchanged.
+ *
+ * Three implementations:
+ *
+ *  - FlatMemoryBackend: sparse in-RAM chunks, zero timing. The fast path
+ *    for functional tests and throughput runs.
+ *  - TimedDramBackend: FlatMemoryBackend data plane + DramModel timing
+ *    plane (the previous hard-wired behavior, now behind the seam).
+ *  - MmapFileBackend: file-backed mmap with msync durability; opens the
+ *    persistent/durable-KV scenario.
+ */
+#ifndef FRORAM_MEM_STORAGE_BACKEND_HPP
+#define FRORAM_MEM_STORAGE_BACKEND_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/dram_config.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+class DramModel;
+
+/** Selects a StorageBackend implementation. */
+enum class StorageBackendKind {
+    Flat,     ///< in-RAM, zero timing
+    TimedDram, ///< in-RAM, DramModel timing
+    MmapFile  ///< file-backed mmap, zero timing, persistent
+};
+
+/** Human-readable backend name ("flat", "dram", "mmap"). */
+const char* toString(StorageBackendKind kind);
+
+/** Parse a backend name as printed by toString(); fatal on junk. */
+StorageBackendKind storageBackendKindFromName(const std::string& name);
+
+/** Construction-time knobs for makeStorageBackend(). */
+struct StorageBackendConfig {
+    StorageBackendKind kind = StorageBackendKind::TimedDram;
+    /** TimedDram: DRAM channel count (DramConfig::ddr3 geometry). */
+    u32 dramChannels = 2;
+    /** MmapFile: backing file path. */
+    std::string path;
+    /** MmapFile: data-region capacity; must cover all allocRegion calls. */
+    u64 fileBytes = u64{1} << 30;
+    /** MmapFile: discard any existing file instead of reopening it. */
+    bool reset = true;
+};
+
+/**
+ * Abstract untrusted storage medium (data plane + timing plane).
+ *
+ * The data plane reads back zeros for never-written bytes, matching the
+ * zeroed-DRAM boot state the lazy-init ORAM relies on.
+ */
+class StorageBackend {
+  public:
+    virtual ~StorageBackend() = default;
+
+    virtual StorageBackendKind kind() const = 0;
+
+    /** @name Data plane @{ */
+
+    /** Copy `len` bytes at `addr` into `dst`; unwritten bytes read 0. */
+    virtual void read(u64 addr, u8* dst, u64 len) = 0;
+
+    /** Store `len` bytes from `src` at `addr`. */
+    virtual void write(u64 addr, const u8* src, u64 len) = 0;
+
+    /** Durability barrier (msync for MmapFile; no-op otherwise). */
+    virtual void sync() {}
+
+    /** True if data survives destruction (reopen with the same path). */
+    virtual bool persistent() const { return false; }
+
+    /** Bytes the data plane has materialized (RAM/disk footprint proxy). */
+    virtual u64 bytesTouched() const = 0;
+    /** @} */
+
+    /** @name Timing plane @{ */
+
+    /** True if accessBatch can return nonzero time. Callers may skip
+     *  building request batches entirely for untimed backends. */
+    virtual bool timed() const { return false; }
+
+    /** Price a batch of back-to-back burst requests, in picoseconds. */
+    virtual u64 accessBatch(const std::vector<DramRequest>& requests)
+    {
+        (void)requests;
+        return 0;
+    }
+
+    /** Burst granularity requests should be split into. */
+    virtual u64 burstBytes() const { return 64; }
+
+    /**
+     * Locality unit for SubtreeLayout packing (one DRAM row across all
+     * channels for timed backends; a page-ish default otherwise).
+     */
+    virtual u64 layoutUnitBytes() const { return u64{8192} * 2; }
+
+    /** Underlying DramModel, or null for untimed backends. */
+    virtual DramModel* dramModel() { return nullptr; }
+    /** @} */
+
+    /** @name Region allocator @{ */
+
+    /**
+     * Reserve `bytes` of the data plane and return the region's base
+     * address. Purely a deterministic bump allocator: the same sequence
+     * of calls yields the same extents on every run, which is how a
+     * reopened persistent backend finds its trees again.
+     */
+    u64
+    allocRegion(u64 bytes)
+    {
+        const u64 base = allocated_;
+        allocated_ = roundUp(allocated_ + bytes, kRegionAlign);
+        onRegionAllocated(allocated_);
+        return base;
+    }
+
+    /** Total bytes handed out by allocRegion so far. */
+    u64 allocatedBytes() const { return allocated_; }
+    /** @} */
+
+  protected:
+    /** Capacity hook: backends may reject growth past their capacity. */
+    virtual void onRegionAllocated(u64 total_bytes) { (void)total_bytes; }
+
+    static constexpr u64 kRegionAlign = 64;
+
+  private:
+    u64 allocated_ = 0;
+};
+
+/** Build a backend from a config; fatal on unusable configurations. */
+std::unique_ptr<StorageBackend>
+makeStorageBackend(const StorageBackendConfig& config);
+
+/** Layout unit for an optional backend (page-ish default when absent). */
+inline u64
+layoutUnitBytes(const StorageBackend* store)
+{
+    return store != nullptr ? store->layoutUnitBytes() : u64{8192} * 2;
+}
+
+} // namespace froram
+
+#endif // FRORAM_MEM_STORAGE_BACKEND_HPP

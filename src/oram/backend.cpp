@@ -5,9 +5,9 @@ namespace froram {
 PathOramBackend::PathOramBackend(const BackendConfig& config,
                                  std::unique_ptr<TreeStorage> storage,
                                  std::unique_ptr<TreeLayout> layout,
-                                 DramModel* dram)
+                                 StorageBackend* mem)
     : config_(config), storage_(std::move(storage)),
-      layout_(std::move(layout)), dram_(dram),
+      layout_(std::move(layout)), mem_(mem),
       stash_(config.params.stashCapacity,
              config.params.z * (config.params.levels + 1)),
       stats_("backend")
@@ -19,19 +19,19 @@ PathOramBackend::PathOramBackend(const BackendConfig& config,
 u64
 PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
 {
-    if (dram_ == nullptr || layout_ == nullptr)
+    if (mem_ == nullptr || !mem_->timed() || layout_ == nullptr)
         return 0;
     std::vector<DramRequest> reqs;
     const u64 bucket_bytes = config_.params.bucketPhysBytes();
-    const u64 bursts = divCeil(bucket_bytes, dram_->config().burstBytes);
+    const u64 burst = mem_->burstBytes();
+    const u64 bursts = divCeil(bucket_bytes, burst);
     reqs.reserve((config_.params.levels + 1) * bursts);
     for (const BucketCoord& c : layout_->path(leaf)) {
         const u64 base = layout_->addressOf(c);
         for (u64 b = 0; b < bursts; ++b)
-            reqs.push_back(
-                {base + b * dram_->config().burstBytes, is_write});
+            reqs.push_back({base + b * burst, is_write});
     }
-    return dram_->accessBatch(reqs);
+    return mem_->accessBatch(reqs);
 }
 
 void

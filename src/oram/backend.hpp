@@ -20,7 +20,7 @@
 #include <optional>
 #include <vector>
 
-#include "mem/dram_model.hpp"
+#include "mem/storage_backend.hpp"
 #include "mem/tree_layout.hpp"
 #include "oram/params.hpp"
 #include "oram/stash.hpp"
@@ -57,13 +57,14 @@ class PathOramBackend {
     /**
      * @param config geometry + tracing
      * @param storage untrusted bucket store (owned)
-     * @param layout bucket -> DRAM address map (owned; may be null when no
-     *        DRAM timing is attached)
-     * @param dram shared DRAM timing model (not owned; may be null)
+     * @param layout bucket -> physical address map (owned; may be null
+     *        when no timing is attached)
+     * @param mem shared storage medium pricing path accesses (not owned;
+     *        may be null for purely functional trees)
      */
     PathOramBackend(const BackendConfig& config,
                     std::unique_ptr<TreeStorage> storage,
-                    std::unique_ptr<TreeLayout> layout, DramModel* dram);
+                    std::unique_ptr<TreeLayout> layout, StorageBackend* mem);
 
     /**
      * Hook applied to the block of interest between Step 4 (update) and
@@ -127,13 +128,13 @@ class PathOramBackend {
     /** Evict as much of the stash as possible back onto path `leaf`. */
     void writePath(Leaf leaf);
 
-    /** DRAM bursts for one path traversal. */
+    /** Storage-medium time for one path traversal's bursts. */
     u64 pathDramTime(Leaf leaf, bool is_write);
 
     BackendConfig config_;
     std::unique_ptr<TreeStorage> storage_;
     std::unique_ptr<TreeLayout> layout_;
-    DramModel* dram_;
+    StorageBackend* mem_;
     Stash stash_;
     StatSet stats_;
 };

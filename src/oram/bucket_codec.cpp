@@ -3,29 +3,10 @@
 #include <cstring>
 
 namespace froram {
-namespace {
-
-void
-storeLe(u8* p, u64 v, u64 nbytes)
-{
-    for (u64 i = 0; i < nbytes; ++i)
-        p[i] = static_cast<u8>(v >> (8 * i));
-}
-
-u64
-loadLe(const u8* p, u64 nbytes)
-{
-    u64 v = 0;
-    for (u64 i = 0; i < nbytes; ++i)
-        v |= static_cast<u64>(p[i]) << (8 * i);
-    return v;
-}
-
-} // namespace
 
 BucketCodec::BucketCodec(const OramParams& params, const StreamCipher* cipher,
-                         SeedScheme scheme)
-    : params_(params), cipher_(cipher), scheme_(scheme)
+                         SeedScheme scheme, u64 domain)
+    : params_(params), cipher_(cipher), scheme_(scheme), domain_(domain)
 {
     FRORAM_ASSERT(cipher_ != nullptr, "codec needs a cipher");
     addrBytes_ = divCeil(params_.addrBits(), 8);
@@ -35,16 +16,19 @@ BucketCodec::BucketCodec(const OramParams& params, const StreamCipher* cipher,
 u64
 BucketCodec::padSeedHi(u64 bucket_id, u64 stored_seed) const
 {
-    // GlobalCounter: pad = AES_K(GlobalSeed || chunk); the seed alone
-    // guarantees uniqueness. PerBucket: pad = AES_K(BucketID ||
-    // BucketSeed || chunk) as in [26].
-    return scheme_ == SeedScheme::GlobalCounter ? stored_seed : bucket_id;
+    // GlobalCounter: pad = AES_K(GlobalSeed || Domain || chunk); the
+    // (seed, domain) pair guarantees uniqueness across all trees sharing
+    // the cipher. PerBucket: pad = AES_K(BucketID || BucketSeed || chunk)
+    // as in [26], with the domain folded above any realistic bucket id.
+    return scheme_ == SeedScheme::GlobalCounter
+               ? stored_seed
+               : bucket_id ^ (domain_ << 48);
 }
 
 u64
 BucketCodec::padSeedLo(u64 bucket_id, u64 stored_seed) const
 {
-    return scheme_ == SeedScheme::GlobalCounter ? 0 : stored_seed;
+    return scheme_ == SeedScheme::GlobalCounter ? domain_ : stored_seed;
 }
 
 void

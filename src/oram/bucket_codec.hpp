@@ -39,9 +39,14 @@ class BucketCodec {
      * @param params tree geometry
      * @param cipher pad generator (not owned; must outlive the codec)
      * @param scheme seed management policy
+     * @param domain pad-domain separator for codecs sharing one cipher
+     *        (e.g. the tree index in a recursive hierarchy); two codecs
+     *        with different domains never reuse a pad even at equal seed
+     *        register values
      */
     BucketCodec(const OramParams& params, const StreamCipher* cipher,
-                SeedScheme scheme = SeedScheme::GlobalCounter);
+                SeedScheme scheme = SeedScheme::GlobalCounter,
+                u64 domain = 0);
 
     /**
      * Encode and encrypt `bucket` into a fresh bucket image.
@@ -65,8 +70,21 @@ class BucketCodec {
     /** Value of the monotonic global seed register. */
     u64 globalSeed() const { return globalSeed_; }
 
+    /**
+     * Restore the global seed register, e.g. from a persisted tree
+     * region. Never rewind a live register: pad reuse breaks secrecy.
+     */
+    void
+    setGlobalSeed(u64 seed)
+    {
+        FRORAM_ASSERT(seed >= globalSeed_,
+                      "rewinding the seed register would reuse pads");
+        globalSeed_ = seed;
+    }
+
     const OramParams& params() const { return params_; }
     SeedScheme scheme() const { return scheme_; }
+    u64 domain() const { return domain_; }
 
   private:
     u64 padSeedHi(u64 bucket_id, u64 stored_seed) const;
@@ -75,6 +93,7 @@ class BucketCodec {
     OramParams params_;
     const StreamCipher* cipher_;
     SeedScheme scheme_;
+    u64 domain_;
     u64 globalSeed_ = 1; // controller register (GlobalCounter scheme)
     u64 addrBytes_;
     u64 leafBytes_;

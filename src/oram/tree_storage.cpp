@@ -1,0 +1,172 @@
+#include "oram/tree_storage.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha3.hpp"
+
+namespace froram {
+
+BackedTreeStorage::BackedTreeStorage(const OramParams& params,
+                                     const StreamCipher* cipher,
+                                     SeedScheme scheme,
+                                     StorageBackend& backend, u64 domain)
+    : CodecTreeStorage(params, cipher, scheme, domain), backend_(backend),
+      numBuckets_(params.numBuckets()), slotBytes_(params.bucketPhysBytes())
+{
+    base_ = backend_.allocRegion(regionBytes());
+    bitmap_.assign(bitmapBytes(), 0);
+
+    // Key/scheme fingerprint: a one-way digest of the cipher's pad for a
+    // reserved seed pair. A resume under a different key or seed scheme
+    // would XOR stored ciphertext with the wrong pads and silently hand
+    // back garbage buckets; the fingerprint turns that into a loud
+    // error. Hashing (rather than storing keystream bytes verbatim on
+    // the untrusted medium) keeps the pad unusable for forgery.
+    u8 pad[16] = {0};
+    cipher->xorCrypt(kMagic, domain, pad, 16);
+    const auto digest = Sha3_224::hash(pad, 16);
+    u8 fingerprint[8];
+    std::copy(digest.begin(), digest.begin() + 8, fingerprint);
+
+    u8 header[kHeaderBytes] = {0};
+    backend_.read(base_, header, kHeaderBytes);
+    if (loadLe(header) == kMagic) {
+        // A previous run left a tree here: anything that would decode it
+        // wrong (or silently clobber it) must fail loudly instead.
+        if (loadLe(header + 8) != numBuckets_ ||
+            loadLe(header + 16) != slotBytes_)
+            fatal("persisted ORAM tree has different geometry (",
+                  loadLe(header + 8), " buckets of ", loadLe(header + 16),
+                  " bytes vs ", numBuckets_, " of ", slotBytes_,
+                  "); reset the backend to reinitialize");
+        if (loadLe(header + 32) != loadLe(fingerprint) ||
+            header[40] != static_cast<u8>(scheme))
+            fatal("persisted ORAM tree was written under a different "
+                  "cipher key or seed scheme; refusing to decode garbage "
+                  "(reset the backend to reinitialize)");
+        // A previous run left a matching tree here: reload its bitmap and
+        // its seed register so decoding works and pads are never reused.
+        resumed_ = true;
+        backend_.read(base_ + kHeaderBytes, bitmap_.data(), bitmapBytes());
+        for (const u8 byte : bitmap_)
+            touched_ += popcount64(byte);
+        codec_.setGlobalSeed(loadLe(header + 24));
+        return;
+    }
+
+    // Fresh region: the bitmap area may hold garbage from an unrelated
+    // file, so zero it explicitly before writing the header.
+    backend_.write(base_ + kHeaderBytes, bitmap_.data(), bitmapBytes());
+    storeLe(header, kMagic);
+    storeLe(header + 8, numBuckets_);
+    storeLe(header + 16, slotBytes_);
+    storeLe(header + 24, codec_.globalSeed());
+    storeLe(header + 32, loadLe(fingerprint));
+    header[40] = static_cast<u8>(scheme);
+    for (u64 i = 41; i < kHeaderBytes; ++i)
+        header[i] = 0;
+    backend_.write(base_, header, kHeaderBytes);
+}
+
+u64
+BackedTreeStorage::regionBytes() const
+{
+    return kHeaderBytes + bitmapBytes() + numBuckets_ * slotBytes_;
+}
+
+u64
+BackedTreeStorage::slotAddr(u64 id) const
+{
+    FRORAM_ASSERT(id < numBuckets_, "bucket id out of range");
+    return base_ + kHeaderBytes + bitmapBytes() + id * slotBytes_;
+}
+
+bool
+BackedTreeStorage::hasImage(u64 id) const
+{
+    FRORAM_ASSERT(id < numBuckets_, "bucket id out of range");
+    return (bitmap_[id / 8] >> (id % 8)) & 1;
+}
+
+std::vector<u8>
+BackedTreeStorage::rawImage(u64 id) const
+{
+    if (!hasImage(id))
+        return {};
+    std::vector<u8> image(slotBytes_);
+    backend_.read(slotAddr(id), image.data(), image.size());
+    return image;
+}
+
+void
+BackedTreeStorage::replaceImage(u64 id, std::vector<u8> image)
+{
+    FRORAM_ASSERT(image.size() == slotBytes_,
+                  "bucket image must fill its fixed-size slot");
+    backend_.write(slotAddr(id), image.data(), image.size());
+    markWritten(id);
+}
+
+void
+BackedTreeStorage::writeBucket(u64 id, const Bucket& bucket)
+{
+    std::vector<u8> fresh;
+    codec_.encode(id, bucket, prevImageFor(id), fresh);
+    // Persist the advanced seed register *before* the image it encrypted:
+    // if the *process* dies between the two writes, a resume sees a
+    // register ahead of every stored image and never re-issues a used pad
+    // (the reverse order could rewind the register past an image already
+    // stored). Power-loss ordering would additionally need an msync
+    // barrier between the two mmap pages; until then, resume after a
+    // kernel crash should reset the backend.
+    persistSeed();
+    replaceImage(id, std::move(fresh));
+}
+
+void
+BackedTreeStorage::markWritten(u64 id)
+{
+    if (hasImage(id))
+        return;
+    bitmap_[id / 8] |= static_cast<u8>(1u << (id % 8));
+    ++touched_;
+    backend_.write(base_ + kHeaderBytes + id / 8, &bitmap_[id / 8], 1);
+}
+
+void
+BackedTreeStorage::persistSeed()
+{
+    // Only GlobalCounter advances the register, and only a persistent
+    // backend can ever read it back; PerBucket seeds live in the bucket
+    // images themselves.
+    if (codec_.scheme() != SeedScheme::GlobalCounter ||
+        !backend_.persistent())
+        return;
+    u8 buf[8];
+    storeLe(buf, codec_.globalSeed());
+    backend_.write(base_ + 24, buf, 8);
+}
+
+std::unique_ptr<TreeStorage>
+makeTreeStorage(StorageMode mode, const OramParams& params,
+                const StreamCipher* cipher, SeedScheme scheme,
+                StorageBackend* backend, u64 domain)
+{
+    switch (mode) {
+      case StorageMode::Encrypted:
+        if (cipher == nullptr)
+            fatal("Encrypted storage mode requires a cipher");
+        if (backend != nullptr)
+            return std::make_unique<BackedTreeStorage>(
+                params, cipher, scheme, *backend, domain);
+        return std::make_unique<EncryptedTreeStorage>(params, cipher,
+                                                      scheme, domain);
+      case StorageMode::Meta:
+        return std::make_unique<MetaTreeStorage>(params);
+      case StorageMode::Null:
+        return std::make_unique<NullTreeStorage>(params);
+    }
+    panic("unreachable");
+}
+
+} // namespace froram

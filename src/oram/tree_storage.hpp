@@ -2,18 +2,28 @@
  * @file
  * Untrusted external memory holding the ORAM tree.
  *
- * Two implementations behind one interface:
+ * Implementations behind one interface:
  *
- *  - EncryptedTreeStorage: stores real encrypted bucket images (what DRAM
- *    would hold). Supports the active-adversary tamper API used by the
- *    PMMAC/integrity tests and examples. Buckets are materialized lazily;
- *    a bucket never written reads as all-dummy (zeroed-DRAM boot state).
+ *  - EncryptedTreeStorage: encrypted bucket images in a host-RAM map.
+ *    Buckets are materialized lazily; a bucket never written reads as
+ *    all-dummy (zeroed-DRAM boot state).
+ *
+ *  - BackedTreeStorage: encrypted bucket images serialized into a region
+ *    of a pluggable StorageBackend (RAM, DRAM-timed RAM, or a persistent
+ *    mmap file). This is what OramSystem uses whenever a backend is
+ *    attached.
  *
  *  - MetaTreeStorage: stores only decoded per-slot (address, leaf)
  *    metadata, no payload bytes and no encryption. Functionally identical
  *    placement behavior at a fraction of the memory cost; used for the
  *    4-64 GB capacity sweeps. Byte counts for timing come from OramParams,
  *    not from stored bytes, so both modes report identical traffic.
+ *
+ *  - NullTreeStorage: discards everything; pure bandwidth/latency sweeps.
+ *
+ * Both encrypted stores share CodecTreeStorage, which also hosts the
+ * active-adversary tamper API used by the PMMAC/integrity tests — the
+ * adversary can tamper with any medium, not just the RAM map.
  */
 #ifndef FRORAM_ORAM_TREE_STORAGE_HPP
 #define FRORAM_ORAM_TREE_STORAGE_HPP
@@ -22,11 +32,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/storage_backend.hpp"
 #include "oram/bucket.hpp"
 #include "oram/bucket_codec.hpp"
 #include "util/rng.hpp"
 
 namespace froram {
+
+/** How an ORAM tree stores bucket contents. */
+enum class StorageMode {
+    Encrypted, ///< real encrypted payloads; supports tampering + integrity
+    Meta,      ///< per-slot placement metadata only (large functional sims)
+    Null       ///< nothing stored; pure bandwidth/latency accounting
+};
 
 /** Abstract untrusted bucket store, addressed by heap index. */
 class TreeStorage {
@@ -43,20 +61,110 @@ class TreeStorage {
     virtual u64 bucketsTouched() const = 0;
 };
 
-/** Payload-carrying encrypted storage with a tamper API. */
-class EncryptedTreeStorage : public TreeStorage {
+/**
+ * Shared encode/decode layer for payload-carrying encrypted stores, plus
+ * the active-adversary tamper API (Section 2 threat model). Subclasses
+ * only decide where raw bucket images live.
+ */
+class CodecTreeStorage : public TreeStorage {
+  public:
+    CodecTreeStorage(const OramParams& params, const StreamCipher* cipher,
+                     SeedScheme scheme, u64 domain = 0)
+        : codec_(params, cipher, scheme, domain)
+    {
+    }
+
+    Bucket
+    readBucket(u64 id) override
+    {
+        if (!hasImage(id))
+            return Bucket::empty(codec_.params());
+        return codec_.decode(id, rawImage(id));
+    }
+
+    void
+    writeBucket(u64 id, const Bucket& bucket) override
+    {
+        std::vector<u8> fresh;
+        codec_.encode(id, bucket, prevImageFor(id), fresh);
+        replaceImage(id, std::move(fresh));
+    }
+
+    /** @name Active-adversary tamper API
+     *  @{ */
+
+    /** True if the bucket has ever been written (has an image). */
+    virtual bool hasImage(u64 id) const = 0;
+
+    /** Raw ciphertext of a bucket (copy); empty if never written. */
+    virtual std::vector<u8> rawImage(u64 id) const = 0;
+
+    /** Overwrite a bucket image wholesale (replay attack). */
+    virtual void replaceImage(u64 id, std::vector<u8> image) = 0;
+
+    /** Flip one bit of a stored bucket image. */
+    void
+    flipBit(u64 id, u64 bit_index)
+    {
+        std::vector<u8> image = rawImage(id);
+        FRORAM_ASSERT(!image.empty(), "no image to tamper with");
+        FRORAM_ASSERT(bit_index / 8 < image.size(), "bit out of range");
+        image[bit_index / 8] ^= static_cast<u8>(1u << (bit_index % 8));
+        replaceImage(id, std::move(image));
+    }
+
+    /** Rewind the plaintext seed field of a bucket (Section 6.4 attack). */
+    void
+    rewindSeed(u64 id, u64 delta = 1)
+    {
+        std::vector<u8> image = rawImage(id);
+        FRORAM_ASSERT(image.size() >= 8, "no image to tamper with");
+        u64 seed = 0;
+        for (int i = 0; i < 8; ++i)
+            seed |= static_cast<u64>(image[i]) << (8 * i);
+        seed -= delta;
+        for (int i = 0; i < 8; ++i)
+            image[i] = static_cast<u8>(seed >> (8 * i));
+        replaceImage(id, std::move(image));
+    }
+    /** @} */
+
+    const BucketCodec& codec() const { return codec_; }
+
+  protected:
+    /**
+     * Previous image for re-encryption. Only the PerBucket seed scheme
+     * reads it (to increment the stored seed); the default GlobalCounter
+     * scheme never does, so skip the fetch on the hot eviction path.
+     */
+    std::vector<u8>
+    prevImageFor(u64 id) const
+    {
+        if (codec_.scheme() == SeedScheme::PerBucket && hasImage(id))
+            return rawImage(id);
+        return {};
+    }
+
+    BucketCodec codec_;
+};
+
+/** Encrypted storage holding bucket images in a host-RAM map. */
+class EncryptedTreeStorage : public CodecTreeStorage {
   public:
     /**
      * @param params tree geometry
      * @param cipher pad generator (not owned)
      * @param scheme bucket-seed management policy (Section 6.4)
+     * @param domain pad-domain separator (see BucketCodec)
      */
     EncryptedTreeStorage(const OramParams& params, const StreamCipher* cipher,
-                         SeedScheme scheme = SeedScheme::GlobalCounter)
-        : codec_(params, cipher, scheme)
+                         SeedScheme scheme = SeedScheme::GlobalCounter,
+                         u64 domain = 0)
+        : CodecTreeStorage(params, cipher, scheme, domain)
     {
     }
 
+    /** Zero-copy read: decode straight from the stored image. */
     Bucket
     readBucket(u64 id) override
     {
@@ -66,68 +174,87 @@ class EncryptedTreeStorage : public TreeStorage {
         return codec_.decode(id, it->second);
     }
 
-    void
-    writeBucket(u64 id, const Bucket& bucket) override
-    {
-        auto& image = images_[id];
-        std::vector<u8> fresh;
-        codec_.encode(id, bucket, image, fresh);
-        image = std::move(fresh);
-    }
-
     u64 bucketsTouched() const override { return images_.size(); }
 
-    /** @name Active-adversary tamper API (Section 2 threat model)
-     *  @{ */
+    bool hasImage(u64 id) const override { return images_.count(id) != 0; }
 
-    /** True if the bucket has ever been written (has an image). */
-    bool hasImage(u64 id) const { return images_.count(id) != 0; }
-
-    /** Raw ciphertext of a bucket (copy); empty if never written. */
     std::vector<u8>
-    rawImage(u64 id) const
+    rawImage(u64 id) const override
     {
         auto it = images_.find(id);
         return it == images_.end() ? std::vector<u8>{} : it->second;
     }
 
-    /** Overwrite a bucket image wholesale (replay attack). */
     void
-    replaceImage(u64 id, std::vector<u8> image)
+    replaceImage(u64 id, std::vector<u8> image) override
     {
         images_[id] = std::move(image);
     }
 
-    /** Flip one bit of a stored bucket image. */
-    void
-    flipBit(u64 id, u64 bit_index)
-    {
-        auto it = images_.find(id);
-        FRORAM_ASSERT(it != images_.end(), "no image to tamper with");
-        FRORAM_ASSERT(bit_index / 8 < it->second.size(), "bit out of range");
-        it->second[bit_index / 8] ^= static_cast<u8>(1u << (bit_index % 8));
-    }
+  private:
+    std::unordered_map<u64, std::vector<u8>> images_;
+};
 
-    /** Rewind the plaintext seed field of a bucket (Section 6.4 attack). */
-    void
-    rewindSeed(u64 id, u64 delta = 1)
-    {
-        auto it = images_.find(id);
-        FRORAM_ASSERT(it != images_.end(), "no image to tamper with");
-        u64 seed = 0;
-        for (int i = 0; i < 8; ++i)
-            seed |= static_cast<u64>(it->second[i]) << (8 * i);
-        seed -= delta;
-        for (int i = 0; i < 8; ++i)
-            it->second[i] = static_cast<u8>(seed >> (8 * i));
-    }
-    /** @} */
+/**
+ * Encrypted storage whose bucket images live in a StorageBackend region.
+ *
+ * Region layout (all little-endian):
+ *
+ *   [0, 64)            header: magic, numBuckets, slot bytes, seed register
+ *   [64, 64 + ceil(numBuckets / 8))   written-bucket bitmap
+ *   [slot base, ...)   numBuckets fixed-size bucket image slots
+ *
+ * On construction over a persistent backend whose region already carries
+ * a matching header, the store *resumes*: the bitmap and the encryption
+ * seed register are reloaded, so previously written buckets decode again
+ * and re-encryption never reuses a one-time pad.
+ */
+class BackedTreeStorage : public CodecTreeStorage {
+  public:
+    /**
+     * @param params tree geometry
+     * @param cipher pad generator (not owned)
+     * @param scheme bucket-seed management policy
+     * @param backend storage medium (not owned; must outlive this store)
+     * @param domain pad-domain separator (see BucketCodec)
+     */
+    BackedTreeStorage(const OramParams& params, const StreamCipher* cipher,
+                      SeedScheme scheme, StorageBackend& backend,
+                      u64 domain = 0);
 
-    const BucketCodec& codec() const { return codec_; }
+    void writeBucket(u64 id, const Bucket& bucket) override;
+
+    u64 bucketsTouched() const override { return touched_; }
+
+    bool hasImage(u64 id) const override;
+    std::vector<u8> rawImage(u64 id) const override;
+    void replaceImage(u64 id, std::vector<u8> image) override;
+
+    /** True if a previous run's region was found and reloaded. */
+    bool resumed() const { return resumed_; }
+
+    /** Base address of this tree's region inside the backend. */
+    u64 regionBase() const { return base_; }
+
+    /** Total region size (header + bitmap + slots). */
+    u64 regionBytes() const;
 
   private:
-    BucketCodec codec_;
-    std::unordered_map<u64, std::vector<u8>> images_;
+    static constexpr u64 kHeaderBytes = 64;
+    static constexpr u64 kMagic = 0x46524F52414D5431ULL; // "FRORAMT1"
+
+    u64 bitmapBytes() const { return (numBuckets_ + 7) / 8; }
+    u64 slotAddr(u64 id) const;
+    void markWritten(u64 id);
+    void persistSeed();
+
+    StorageBackend& backend_;
+    u64 numBuckets_ = 0;
+    u64 slotBytes_ = 0;
+    u64 base_ = 0;
+    std::vector<u8> bitmap_;
+    u64 touched_ = 0;
+    bool resumed_ = false;
 };
 
 /** Metadata-only storage for large-capacity sweeps. */
@@ -192,6 +319,17 @@ class NullTreeStorage : public TreeStorage {
   private:
     OramParams params_;
 };
+
+/**
+ * Construct the tree storage for one ORAM tree: Encrypted mode routes to
+ * BackedTreeStorage when a StorageBackend is attached (so bucket bytes
+ * live on the chosen medium) and to the RAM map otherwise; Meta and Null
+ * modes never store payload bytes and ignore the backend.
+ */
+std::unique_ptr<TreeStorage>
+makeTreeStorage(StorageMode mode, const OramParams& params,
+                const StreamCipher* cipher, SeedScheme scheme,
+                StorageBackend* backend, u64 domain = 0);
 
 } // namespace froram
 

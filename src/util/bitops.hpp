@@ -6,8 +6,6 @@
 #ifndef FRORAM_UTIL_BITOPS_HPP
 #define FRORAM_UTIL_BITOPS_HPP
 
-#include <bit>
-
 #include "util/common.hpp"
 
 namespace froram {
@@ -16,7 +14,14 @@ namespace froram {
 constexpr u32
 log2Floor(u64 x)
 {
-    return 63u - static_cast<u32>(std::countl_zero(x));
+#if defined(__GNUC__) || defined(__clang__)
+    return 63u - static_cast<u32>(__builtin_clzll(x));
+#else
+    u32 r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+#endif
 }
 
 /** ceil(log2(x)); x must be nonzero. log2Ceil(1) == 0. */
@@ -52,6 +57,38 @@ constexpr u64
 divCeil(u64 a, u64 b)
 {
     return (a + b - 1) / b;
+}
+
+/** Number of set bits in x. */
+constexpr u32
+popcount64(u64 x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<u32>(__builtin_popcountll(x));
+#else
+    u32 n = 0;
+    for (; x != 0; x &= x - 1)
+        ++n;
+    return n;
+#endif
+}
+
+/** Store the low `nbytes` bytes of `v` little-endian at `p`. */
+inline void
+storeLe(u8* p, u64 v, u64 nbytes = 8)
+{
+    for (u64 i = 0; i < nbytes; ++i)
+        p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+/** Load `nbytes` little-endian bytes from `p`. */
+inline u64
+loadLe(const u8* p, u64 nbytes = 8)
+{
+    u64 v = 0;
+    for (u64 i = 0; i < nbytes; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
 }
 
 } // namespace froram

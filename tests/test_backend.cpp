@@ -9,7 +9,7 @@
 
 #include <map>
 
-#include "mem/dram_model.hpp"
+#include "mem/timed_dram_backend.hpp"
 #include "oram/backend.hpp"
 #include "util/rng.hpp"
 
@@ -219,7 +219,7 @@ TEST(BackendTrace, EmitsPathEventsWithLeaves)
 TEST(BackendDram, PathAccessConsumesDramTime)
 {
     const OramParams p = OramParams::forCapacity(1 << 20, 64, 4);
-    DramModel dram(DramConfig::ddr3(2));
+    TimedDramBackend dram(DramConfig::ddr3(2));
     BackendConfig bc;
     bc.params = p;
     AesCtrCipher cipher;

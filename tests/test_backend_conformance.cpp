@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Shared conformance suite for the pluggable storage backends.
+ *
+ * Every StorageBackend implementation must provide the same observable
+ * data-plane semantics (zero-filled cold reads, byte-exact round trips,
+ * stable region allocation); the timing plane and persistence are allowed
+ * to differ and are pinned per kind. The same checks run against all
+ * three backends via TEST_P, including the mmap reopen-and-verify paths
+ * at both the raw-byte and the encrypted-bucket (BackedTreeStorage)
+ * level, and a cross-backend determinism check over a full OramSystem.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/oram_system.hpp"
+#include "mem/flat_memory_backend.hpp"
+#include "mem/mmap_file_backend.hpp"
+#include "mem/storage_backend.hpp"
+#include "mem/timed_dram_backend.hpp"
+#include "oram/tree_storage.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::string
+tempPath(const std::string& tag)
+{
+    return ::testing::TempDir() + "froram_conformance_" + tag + ".bin";
+}
+
+class BackendConformance
+    : public ::testing::TestWithParam<StorageBackendKind> {
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tempPath(toString(GetParam()));
+        std::remove(path_.c_str());
+        backend_ = make(/*reset=*/true);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::unique_ptr<StorageBackend>
+    make(bool reset)
+    {
+        StorageBackendConfig c;
+        c.kind = GetParam();
+        c.dramChannels = 2;
+        c.path = path_;
+        c.fileBytes = u64{8} << 20;
+        c.reset = reset;
+        return makeStorageBackend(c);
+    }
+
+    std::string path_;
+    std::unique_ptr<StorageBackend> backend_;
+};
+
+TEST_P(BackendConformance, ColdReadsAreZeroFilled)
+{
+    std::vector<u8> buf(4096, 0xAB);
+    backend_->read(12345, buf.data(), buf.size());
+    for (const u8 b : buf)
+        ASSERT_EQ(b, 0);
+}
+
+TEST_P(BackendConformance, RoundTripsAcrossChunkBoundaries)
+{
+    // Straddle the 64 KB chunk granularity of the RAM backends with an
+    // unaligned extent, and mix in small writes at both ends.
+    const u64 base = 64 * 1024 - 37;
+    std::vector<u8> out(128 * 1024 + 3);
+    Xoshiro256 rng(42);
+    for (auto& b : out)
+        b = static_cast<u8>(rng.next());
+    backend_->write(base, out.data(), out.size());
+
+    std::vector<u8> in(out.size());
+    backend_->read(base, in.data(), in.size());
+    EXPECT_EQ(in, out);
+
+    // Bytes adjacent to the extent stay zero.
+    u8 edge[2] = {0xFF, 0xFF};
+    backend_->read(base - 1, edge, 1);
+    backend_->read(base + out.size(), edge + 1, 1);
+    EXPECT_EQ(edge[0], 0);
+    EXPECT_EQ(edge[1], 0);
+}
+
+TEST_P(BackendConformance, OverwriteIsLastWriterWins)
+{
+    const std::vector<u8> first(1000, 0x11);
+    const std::vector<u8> second(100, 0x22);
+    backend_->write(500, first.data(), first.size());
+    backend_->write(900, second.data(), second.size());
+
+    std::vector<u8> in(1000);
+    backend_->read(500, in.data(), in.size());
+    for (u64 i = 0; i < in.size(); ++i)
+        ASSERT_EQ(in[i], 500 + i < 900 || 500 + i >= 1000 ? 0x11 : 0x22)
+            << "offset " << i;
+}
+
+TEST_P(BackendConformance, RegionAllocatorIsAlignedAndDisjoint)
+{
+    const u64 a = backend_->allocRegion(100);
+    const u64 b = backend_->allocRegion(7);
+    const u64 c = backend_->allocRegion(4096);
+    EXPECT_EQ(a, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 7);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_EQ(c % 64, 0u);
+    EXPECT_GE(backend_->allocatedBytes(), c + 4096);
+}
+
+TEST_P(BackendConformance, TimingPlaneMatchesKind)
+{
+    std::vector<DramRequest> reqs;
+    for (u64 i = 0; i < 64; ++i)
+        reqs.push_back({i * backend_->burstBytes(), i % 2 == 0});
+    const u64 ps = backend_->accessBatch(reqs);
+    if (GetParam() == StorageBackendKind::TimedDram) {
+        EXPECT_TRUE(backend_->timed());
+        EXPECT_GT(ps, 0u);
+        ASSERT_NE(backend_->dramModel(), nullptr);
+        EXPECT_EQ(backend_->dramModel()->config().channels, 2u);
+    } else {
+        EXPECT_FALSE(backend_->timed());
+        EXPECT_EQ(ps, 0u);
+        EXPECT_EQ(backend_->dramModel(), nullptr);
+    }
+    EXPECT_GT(backend_->burstBytes(), 0u);
+    EXPECT_GT(backend_->layoutUnitBytes(), 0u);
+}
+
+TEST_P(BackendConformance, PersistenceFlagAndSync)
+{
+    EXPECT_EQ(backend_->persistent(),
+              GetParam() == StorageBackendKind::MmapFile);
+    const std::vector<u8> bytes(64, 0x5A);
+    backend_->write(0, bytes.data(), bytes.size());
+    backend_->sync(); // must be a safe no-op on volatile backends
+}
+
+TEST_P(BackendConformance, TouchedBytesGrowWithWrites)
+{
+    const std::vector<u8> bytes(64 * 1024, 0x77);
+    backend_->write(0, bytes.data(), bytes.size());
+    backend_->sync();
+    EXPECT_GT(backend_->bytesTouched(), 0u);
+}
+
+TEST_P(BackendConformance, BackedTreeStorageRoundTripsBuckets)
+{
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    FastCipher cipher;
+    BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                              *backend_);
+    EXPECT_FALSE(storage.resumed());
+    EXPECT_EQ(storage.bucketsTouched(), 0u);
+
+    // Never-written buckets decode as all-dummy.
+    EXPECT_EQ(storage.readBucket(3).occupancy(), 0u);
+
+    Xoshiro256 rng(7);
+    Bucket bucket = Bucket::empty(p);
+    for (u32 s = 0; s < p.z; ++s) {
+        bucket.slots[s].addr = s + 1;
+        bucket.slots[s].leaf = rng.below(p.numLeaves());
+        bucket.slots[s].data.assign(p.storedBlockBytes(),
+                                    static_cast<u8>(0x30 + s));
+    }
+    storage.writeBucket(5, bucket);
+    storage.writeBucket(5, bucket); // re-encryption over the old image
+    EXPECT_EQ(storage.bucketsTouched(), 1u);
+
+    const Bucket back = storage.readBucket(5);
+    for (u32 s = 0; s < p.z; ++s) {
+        EXPECT_EQ(back.slots[s].addr, bucket.slots[s].addr);
+        EXPECT_EQ(back.slots[s].leaf, bucket.slots[s].leaf);
+        EXPECT_EQ(back.slots[s].data, bucket.slots[s].data);
+    }
+
+    // The tamper API works over any medium: flipping ciphertext garbles
+    // the decode without faulting.
+    EXPECT_TRUE(storage.hasImage(5));
+    EXPECT_FALSE(storage.rawImage(5).empty());
+    storage.flipBit(5, 8 * 64);
+    (void)storage.readBucket(5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
+                         ::testing::Values(StorageBackendKind::Flat,
+                                           StorageBackendKind::TimedDram,
+                                           StorageBackendKind::MmapFile),
+                         [](const auto& info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ---------------------------------------------------------- mmap-specific
+
+TEST(MmapFileBackend, ReopenSeesPreviousBytes)
+{
+    const std::string path = tempPath("reopen_raw");
+    std::remove(path.c_str());
+    std::vector<u8> out(100 * 1024);
+    Xoshiro256 rng(11);
+    for (auto& b : out)
+        b = static_cast<u8>(rng.next());
+
+    {
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/true);
+        backend.write(777, out.data(), out.size());
+        backend.sync();
+    }
+    {
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/false);
+        std::vector<u8> in(out.size());
+        backend.read(777, in.data(), in.size());
+        EXPECT_EQ(in, out);
+    }
+    {
+        // reset=true discards the previous contents.
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/true);
+        u8 byte = 0xFF;
+        backend.read(777, &byte, 1);
+        EXPECT_EQ(byte, 0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, RejectsRegionsPastCapacity)
+{
+    const std::string path = tempPath("capacity");
+    std::remove(path.c_str());
+    MmapFileBackend backend(path, 64 * 1024, /*reset=*/true);
+    backend.allocRegion(32 * 1024);
+    EXPECT_THROW(backend.allocRegion(64 * 1024), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, BackedTreeStorageReopensAndVerifies)
+{
+    const std::string path = tempPath("reopen_tree");
+    std::remove(path.c_str());
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    FastCipher cipher;
+    Xoshiro256 rng(13);
+
+    std::vector<std::pair<u64, Bucket>> written;
+    u64 seed_after = 0;
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/true);
+        BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                                  backend);
+        EXPECT_FALSE(storage.resumed());
+        for (u64 id : {u64{0}, u64{9}, u64{p.numBuckets() - 1}}) {
+            Bucket b = Bucket::empty(p);
+            b.slots[0].addr = id + 1;
+            b.slots[0].leaf = rng.below(p.numLeaves());
+            b.slots[0].data.assign(p.storedBlockBytes(),
+                                   static_cast<u8>(id * 31 + 1));
+            storage.writeBucket(id, b);
+            written.emplace_back(id, b);
+        }
+        seed_after = storage.codec().globalSeed();
+        backend.sync();
+    }
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/false);
+        BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                                  backend);
+        EXPECT_TRUE(storage.resumed());
+        EXPECT_EQ(storage.bucketsTouched(), written.size());
+        // The seed register resumed monotonically: no pad reuse.
+        EXPECT_GE(storage.codec().globalSeed(), seed_after);
+        for (const auto& [id, expect] : written) {
+            const Bucket got = storage.readBucket(id);
+            EXPECT_EQ(got.slots[0].addr, expect.slots[0].addr);
+            EXPECT_EQ(got.slots[0].leaf, expect.slots[0].leaf);
+            EXPECT_EQ(got.slots[0].data, expect.slots[0].data);
+        }
+        // Unwritten buckets still read as dummy after resume.
+        EXPECT_EQ(storage.readBucket(1).occupancy(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, ResumeUnderDifferentKeyIsRejected)
+{
+    const std::string path = tempPath("wrong_key");
+    std::remove(path.c_str());
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/true);
+        AesCtrCipher cipher;
+        BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                                  backend);
+        Bucket b = Bucket::empty(p);
+        b.slots[0].addr = 1;
+        b.slots[0].data.assign(p.storedBlockBytes(), 7);
+        b.slots[0].leaf = 0;
+        storage.writeBucket(0, b);
+        backend.sync();
+    }
+    {
+        // A different pad generator (wrong key) must not silently decode
+        // the persisted tree into garbage.
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/false);
+        FastCipher other;
+        EXPECT_THROW(BackedTreeStorage(p, &other, SeedScheme::GlobalCounter,
+                                       backend),
+                     FatalError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, ResumeUnderDifferentGeometryIsRejected)
+{
+    const std::string path = tempPath("wrong_geometry");
+    std::remove(path.c_str());
+    FastCipher cipher;
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/true);
+        const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+        BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                                  backend);
+        backend.sync();
+    }
+    {
+        // Reopening without reset under a different tree shape must not
+        // silently clobber the persisted region.
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/false);
+        const OramParams p = OramParams::forCapacity(1 << 18, 64, 4);
+        EXPECT_THROW(BackedTreeStorage(p, &cipher,
+                                       SeedScheme::GlobalCounter, backend),
+                     FatalError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BucketCodec, PadDomainsSeparateTreesSharingOneCipher)
+{
+    // Two trees at the same seed-register value sharing one cipher must
+    // not produce pad-reusing ciphertexts (the recursive hierarchy case).
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    AesCtrCipher cipher;
+    EncryptedTreeStorage tree0(p, &cipher, SeedScheme::GlobalCounter, 0);
+    EncryptedTreeStorage tree1(p, &cipher, SeedScheme::GlobalCounter, 1);
+
+    Bucket b = Bucket::empty(p);
+    b.slots[0].addr = 1;
+    b.slots[0].leaf = 0;
+    b.slots[0].data.assign(p.storedBlockBytes(), 0xEE);
+    tree0.writeBucket(0, b);
+    tree1.writeBucket(0, b);
+
+    const auto img0 = tree0.rawImage(0);
+    const auto img1 = tree1.rawImage(0);
+    ASSERT_EQ(img0.size(), img1.size());
+    // Same stored seed (both registers started at 1)...
+    EXPECT_TRUE(std::equal(img0.begin(), img0.begin() + 8, img1.begin()));
+    // ...but domain-separated pads: ciphertexts differ.
+    EXPECT_NE(img0, img1);
+    // And both decode back to the same plaintext.
+    EXPECT_EQ(tree0.readBucket(0).slots[0].data,
+              tree1.readBucket(0).slots[0].data);
+}
+
+// ------------------------------------------------- whole-system conformance
+
+/** Run a deterministic workload and fingerprint every read payload. */
+std::vector<std::vector<u8>>
+runWorkload(OramSystem& sys)
+{
+    Xoshiro256 rng(99);
+    std::vector<std::vector<u8>> reads;
+    for (u64 i = 0; i < 200; ++i) {
+        const Addr addr = rng.below(256);
+        if (i % 3 == 0) {
+            std::vector<u8> data(sys.frontend().dataBlockBytes());
+            for (auto& b : data)
+                b = static_cast<u8>(rng.next());
+            sys.frontend().access(addr, true, &data);
+        } else {
+            reads.push_back(sys.frontend().access(addr, false).data);
+        }
+    }
+    return reads;
+}
+
+TEST(SystemConformance, IdenticalResultsAcrossBackends)
+{
+    const std::string path = tempPath("system");
+    std::remove(path.c_str());
+
+    std::vector<std::vector<std::vector<u8>>> results;
+    for (const StorageBackendKind kind :
+         {StorageBackendKind::Flat, StorageBackendKind::TimedDram,
+          StorageBackendKind::MmapFile}) {
+        OramSystemConfig c;
+        c.capacityBytes = 1 << 20;
+        c.storage = StorageMode::Encrypted;
+        c.backend = kind;
+        c.backendPath = path;
+        OramSystem sys(SchemeId::PlbIntegrityCompressed, c);
+        EXPECT_EQ(sys.storage().kind(), kind);
+        results.push_back(runWorkload(sys));
+    }
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0], results[1]) << "flat vs dram diverged";
+    EXPECT_EQ(results[0], results[2]) << "flat vs mmap diverged";
+    std::remove(path.c_str());
+}
+
+TEST(SystemConformance, TimedBackendAccumulatesDramTime)
+{
+    OramSystemConfig c;
+    c.capacityBytes = 1 << 20;
+    c.storage = StorageMode::Encrypted;
+    c.backend = StorageBackendKind::TimedDram;
+    OramSystem sys(SchemeId::PlbCompressed, c);
+    const auto r = sys.frontend().access(1, false);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(sys.dram().now(), 0u);
+
+    // Untimed backends still answer, just with zero memory time.
+    c.backend = StorageBackendKind::Flat;
+    OramSystem fast(SchemeId::PlbCompressed, c);
+    const auto rf = fast.frontend().access(1, false);
+    EXPECT_EQ(rf.data, r.data);
+    EXPECT_THROW(fast.dram(), FatalError);
+}
+
+} // namespace
+} // namespace froram
