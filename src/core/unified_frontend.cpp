@@ -360,12 +360,12 @@ UnifiedFrontend::access(Addr a0, bool is_write,
     for (u32 i = start; i >= 1; --i) {
         const EntryTouch t = touchEntryForChild(i, a0, res);
         const Addr uaddr = geo_.unifiedAddr(i, a0);
-        BackendResult r =
-            backend_->access(Op::ReadRmv, uaddr, t.oldLeaf, kNoLeaf);
-        account(res, r, /*posmap_overhead=*/true);
-        verifyPayload(r.found, r.block.data, uaddr, t.oldCounter,
+        backend_->accessInto(bres_, Op::ReadRmv, uaddr, t.oldLeaf,
+                             kNoLeaf);
+        account(res, bres_, /*posmap_overhead=*/true);
+        verifyPayload(bres_.found, bres_.block.data, uaddr, t.oldCounter,
                       t.wasCold, res);
-        insertIntoPlb(uaddr, t, contentOf(r, uaddr), res);
+        insertIntoPlb(uaddr, t, contentOf(bres_, uaddr), res);
     }
 
     // Step 3: the data block access. Verification and re-tagging run in
@@ -378,8 +378,12 @@ UnifiedFrontend::access(Addr a0, bool is_write,
         if (!carries)
             return;
         if (is_write) {
-            blk.data = write_data != nullptr ? *write_data
-                                             : std::vector<u8>{};
+            // assign + resize reuse the pooled block's reserved buffer;
+            // replacing the vector would reallocate on every write.
+            if (write_data != nullptr)
+                blk.data.assign(write_data->begin(), write_data->end());
+            else
+                blk.data.clear();
             blk.data.resize(params_.storedBlockBytes(), 0);
         }
         if (config_.integrity)
@@ -388,10 +392,9 @@ UnifiedFrontend::access(Addr a0, bool is_write,
                         blk.data.begin() +
                             static_cast<long>(config_.blockBytes));
     };
-    BackendResult r = backend_->access(is_write ? Op::Write : Op::Read, a0,
-                                       t.oldLeaf, t.newLeaf, nullptr,
-                                       xform);
-    account(res, r, /*posmap_overhead=*/false);
+    backend_->accessInto(bres_, is_write ? Op::Write : Op::Read, a0,
+                         t.oldLeaf, t.newLeaf, nullptr, xform);
+    account(res, bres_, /*posmap_overhead=*/false);
 
     if (t.wasCold)
         stats_.inc("coldMisses");

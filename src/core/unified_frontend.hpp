@@ -149,6 +149,9 @@ class UnifiedFrontend : public Frontend {
     std::vector<u64> onChip_;
     /** PosMap contents for Meta/Null storage modes. */
     std::unordered_map<Addr, PosMapContent> oracle_;
+    /** Reusable backend-access result: keeps the per-access payload
+     *  copy-out from reallocating on every step-2/step-3 access. */
+    BackendResult bres_;
     StatSet stats_;
 
     static constexpr u64 kOnChipUninit = ~u64{0};

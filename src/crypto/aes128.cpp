@@ -1,5 +1,7 @@
 #include "crypto/aes128.hpp"
 
+#include "crypto/aesni.hpp"
+
 namespace froram {
 namespace {
 
@@ -98,10 +100,24 @@ Aes128::setKey(const u8* key16)
             t = subWord((t << 8) | (t >> 24)) ^ rcon[i / 4 - 1];
         roundKeys_[i] = roundKeys_[i - 4] ^ t;
     }
+    // Mirror the schedule as bytes (big-endian word layout is exactly the
+    // FIPS-197 byte order the AES-NI kernels load with AESENC).
+    for (int i = 0; i < 4 * (kRounds + 1); ++i)
+        storeBe32(roundKeyBytes_.data() + 4 * i, roundKeys_[i]);
 }
 
 void
 Aes128::encryptBlock(const u8* in16, u8* out16) const
+{
+    if (aesni::enabled()) {
+        aesni::encryptBlock(roundKeyBytes_.data(), in16, out16);
+        return;
+    }
+    encryptBlockPortable(in16, out16);
+}
+
+void
+Aes128::encryptBlockPortable(const u8* in16, u8* out16) const
 {
     const u32* rk = roundKeys_.data();
     u32 s0 = loadBe32(in16) ^ rk[0];

@@ -4,8 +4,12 @@
  *
  * The ORAM controller uses AES only in the forward direction: AES-CTR for
  * bucket encryption (decryption XORs the same keystream) and PRF_K for
- * compressed-PosMap leaf derivation (Section 5.1 of the paper). A
- * table-based implementation keeps large simulations fast.
+ * compressed-PosMap leaf derivation (Section 5.1 of the paper).
+ *
+ * encryptBlock() dispatches at runtime: AES-NI hardware when the CPU has
+ * it (see crypto/aesni.hpp), the table-based software implementation
+ * otherwise. Both produce identical ciphertext; encryptBlockPortable()
+ * pins the software path for cross-checking.
  */
 #ifndef FRORAM_CRYPTO_AES128_HPP
 #define FRORAM_CRYPTO_AES128_HPP
@@ -36,9 +40,18 @@ class Aes128 {
     /** Encrypt one 16-byte block: out = AES_K(in). in/out may alias. */
     void encryptBlock(const u8* in16, u8* out16) const;
 
+    /** Table-based software path, independent of runtime dispatch. */
+    void encryptBlockPortable(const u8* in16, u8* out16) const;
+
+    /** Expanded key schedule in FIPS-197 byte order (11 x 16 bytes),
+     *  the layout the AES-NI kernels consume. */
+    const u8* roundKeyBytes() const { return roundKeyBytes_.data(); }
+
   private:
     // Round keys as 4 big-endian words per round.
     std::array<u32, 4 * (kRounds + 1)> roundKeys_;
+    // The same schedule as raw bytes, for the AES-NI kernels.
+    std::array<u8, 16 * (kRounds + 1)> roundKeyBytes_;
 };
 
 } // namespace froram

@@ -1,0 +1,178 @@
+#include "crypto/aesni.hpp"
+
+#include <atomic>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FRORAM_AESNI_COMPILED 1
+#include <immintrin.h>
+#endif
+
+namespace froram {
+namespace aesni {
+
+namespace {
+
+std::atomic<bool> g_force_disabled{false};
+
+bool
+probeCpu()
+{
+#ifdef FRORAM_AESNI_COMPILED
+    return __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+supported()
+{
+    static const bool has = probeCpu();
+    return has;
+}
+
+bool
+enabled()
+{
+    return supported() && !g_force_disabled.load(std::memory_order_relaxed);
+}
+
+void
+setForceDisabled(bool disabled)
+{
+    g_force_disabled.store(disabled, std::memory_order_relaxed);
+}
+
+#ifdef FRORAM_AESNI_COMPILED
+
+namespace {
+
+#define FRORAM_TARGET_AES __attribute__((target("aes,sse2")))
+
+FRORAM_TARGET_AES inline __m128i
+encryptOne(const __m128i rk[11], __m128i s)
+{
+    s = _mm_xor_si128(s, rk[0]);
+    for (int r = 1; r < 10; ++r)
+        s = _mm_aesenc_si128(s, rk[r]);
+    return _mm_aesenclast_si128(s, rk[10]);
+}
+
+/** Counter block for chunk c: seed_hi LE || seed_lo[31:0] LE || c LE. */
+FRORAM_TARGET_AES inline __m128i
+ctrBlock(u64 seed_hi, u64 lane_lo, u32 chunk)
+{
+    return _mm_set_epi64x(
+        static_cast<long long>(lane_lo |
+                               (static_cast<u64>(chunk) << 32)),
+        static_cast<long long>(seed_hi));
+}
+
+FRORAM_TARGET_AES void
+encryptBlockImpl(const u8* rk_bytes, const u8* in16, u8* out16)
+{
+    __m128i rk[11];
+    for (int i = 0; i < 11; ++i)
+        rk[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(rk_bytes + 16 * i));
+    const __m128i s = encryptOne(
+        rk, _mm_loadu_si128(reinterpret_cast<const __m128i*>(in16)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out16), s);
+}
+
+FRORAM_TARGET_AES void
+xorCtrImpl(const u8* rk_bytes, u64 seed_hi, u64 seed_lo, const u8* src,
+           u8* dst, size_t len)
+{
+    __m128i rk[11];
+    for (int i = 0; i < 11; ++i)
+        rk[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(rk_bytes + 16 * i));
+
+    const u64 lane_lo = seed_lo & 0xffffffffULL;
+    const size_t nfull = len / 16;
+    size_t c = 0;
+
+    // 8 independent counter blocks per iteration keep the AESENC units
+    // saturated (the per-block round chain is latency-bound otherwise).
+    for (; c + 8 <= nfull; c += 8) {
+        __m128i s[8];
+        for (int j = 0; j < 8; ++j)
+            s[j] = _mm_xor_si128(
+                ctrBlock(seed_hi, lane_lo, static_cast<u32>(c + j)),
+                rk[0]);
+        for (int r = 1; r < 10; ++r)
+            for (int j = 0; j < 8; ++j)
+                s[j] = _mm_aesenc_si128(s[j], rk[r]);
+        const u8* sp = src + 16 * c;
+        u8* dp = dst + 16 * c;
+        for (int j = 0; j < 8; ++j) {
+            s[j] = _mm_aesenclast_si128(s[j], rk[10]);
+            const __m128i d = _mm_xor_si128(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(sp + 16 * j)),
+                s[j]);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(dp + 16 * j), d);
+        }
+    }
+
+    for (; c < nfull; ++c) {
+        const __m128i pad = encryptOne(
+            rk, ctrBlock(seed_hi, lane_lo, static_cast<u32>(c)));
+        const __m128i d = _mm_xor_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(src + 16 * c)),
+            pad);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16 * c), d);
+    }
+
+    const size_t tail = len - 16 * nfull;
+    if (tail != 0) {
+        const __m128i pad = encryptOne(
+            rk, ctrBlock(seed_hi, lane_lo, static_cast<u32>(nfull)));
+        alignas(16) u8 p[16];
+        _mm_store_si128(reinterpret_cast<__m128i*>(p), pad);
+        for (size_t i = 0; i < tail; ++i)
+            dst[16 * nfull + i] =
+                static_cast<u8>(src[16 * nfull + i] ^ p[i]);
+    }
+}
+
+#undef FRORAM_TARGET_AES
+
+} // namespace
+
+void
+encryptBlock(const u8* round_keys176, const u8* in16, u8* out16)
+{
+    encryptBlockImpl(round_keys176, in16, out16);
+}
+
+void
+xorCtr(const u8* round_keys176, u64 seed_hi, u64 seed_lo, const u8* src,
+       u8* dst, size_t len)
+{
+    xorCtrImpl(round_keys176, seed_hi, seed_lo, src, dst, len);
+}
+
+#else // !FRORAM_AESNI_COMPILED
+
+void
+encryptBlock(const u8*, const u8*, u8*)
+{
+    panic("AES-NI kernel called on a platform without AES-NI support");
+}
+
+void
+xorCtr(const u8*, u64, u64, const u8*, u8*, size_t)
+{
+    panic("AES-NI kernel called on a platform without AES-NI support");
+}
+
+#endif // FRORAM_AESNI_COMPILED
+
+} // namespace aesni
+} // namespace froram

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-NI (hardware AES) kernels with runtime dispatch.
+ *
+ * The table-based Aes128 stays the portable reference; these kernels are
+ * drop-in accelerations selected at runtime via CPUID, so the same binary
+ * runs on any x86-64 and produces bit-identical ciphertext either way.
+ * The CTR kernel pipelines 8 independent blocks per iteration to hide the
+ * AESENC latency, which is where the bulk-encryption speedup comes from.
+ *
+ * All entry points take the expanded key schedule as 176 bytes in the
+ * FIPS-197 byte order (11 round keys of 16 bytes), as exported by
+ * Aes128::roundKeyBytes().
+ */
+#ifndef FRORAM_CRYPTO_AESNI_HPP
+#define FRORAM_CRYPTO_AESNI_HPP
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace froram {
+namespace aesni {
+
+/** True if the CPU executes AES-NI (cached CPUID probe). */
+bool supported();
+
+/** supported() minus the test override; the dispatch predicate. */
+bool enabled();
+
+/** Test hook: force the portable fallback even on AES-NI hardware. */
+void setForceDisabled(bool disabled);
+
+/** Encrypt one block: out16 = AES_K(in16). in/out may alias. */
+void encryptBlock(const u8* round_keys176, const u8* in16, u8* out16);
+
+/**
+ * CTR keystream XOR: dst[i] = src[i] ^ pad[i], where pad chunk c is
+ * AES_K(seed_hi || seed_lo[31:0] || c), the exact counter-block layout of
+ * AesCtrCipher::pad. src and dst may alias; a trailing partial chunk is
+ * handled byte-wise.
+ *
+ * Must only be called when enabled() is true.
+ */
+void xorCtr(const u8* round_keys176, u64 seed_hi, u64 seed_lo,
+            const u8* src, u8* dst, size_t len);
+
+} // namespace aesni
+} // namespace froram
+
+#endif // FRORAM_CRYPTO_AESNI_HPP

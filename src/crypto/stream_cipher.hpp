@@ -22,9 +22,12 @@
 #define FRORAM_CRYPTO_STREAM_CIPHER_HPP
 
 #include <cstddef>
+#include <cstring>
 #include <memory>
 
 #include "crypto/aes128.hpp"
+#include "crypto/aesni.hpp"
+#include "util/bitops.hpp"
 #include "util/common.hpp"
 
 namespace froram {
@@ -38,7 +41,9 @@ class StreamCipher {
     virtual void pad(u64 seed_hi, u64 seed_lo, u32 chunk, u8* out16)
         const = 0;
 
-    /** XOR-encrypt/decrypt `len` bytes in place under (seedHi, seedLo). */
+    /** XOR-encrypt/decrypt `len` bytes in place under (seedHi, seedLo).
+     *  Per-chunk reference implementation; the hot path uses the bulk
+     *  variants below, which are required to be byte-identical. */
     void
     xorCrypt(u64 seed_hi, u64 seed_lo, u8* data, size_t len) const
     {
@@ -49,6 +54,44 @@ class StreamCipher {
             for (size_t i = 0; i < take; ++i)
                 data[off + i] ^= p[i];
         }
+    }
+
+    /**
+     * Bulk keystream XOR: dst[i] = src[i] ^ pad[i] over `len` bytes
+     * (src may alias dst). Implementations generate pads many chunks at
+     * a time and XOR word-wise; output must equal xorCrypt's.
+     */
+    virtual void
+    xorCryptBulkTo(u64 seed_hi, u64 seed_lo, const u8* src, u8* dst,
+                   size_t len) const
+    {
+        u8 p[16];
+        size_t off = 0;
+        u32 chunk = 0;
+        for (; off + 16 <= len; off += 16, ++chunk) {
+            pad(seed_hi, seed_lo, chunk, p);
+            u64 a, b, pa, pb;
+            std::memcpy(&a, src + off, 8);
+            std::memcpy(&b, src + off + 8, 8);
+            std::memcpy(&pa, p, 8);
+            std::memcpy(&pb, p + 8, 8);
+            a ^= pa;
+            b ^= pb;
+            std::memcpy(dst + off, &a, 8);
+            std::memcpy(dst + off + 8, &b, 8);
+        }
+        if (off < len) {
+            pad(seed_hi, seed_lo, chunk, p);
+            for (size_t i = 0; off + i < len; ++i)
+                dst[off + i] = static_cast<u8>(src[off + i] ^ p[i]);
+        }
+    }
+
+    /** In-place convenience over xorCryptBulkTo. */
+    void
+    xorCryptBulk(u64 seed_hi, u64 seed_lo, u8* data, size_t len) const
+    {
+        xorCryptBulkTo(seed_hi, seed_lo, data, data, len);
     }
 };
 
@@ -69,6 +112,21 @@ class AesCtrCipher : public StreamCipher {
         for (int i = 0; i < 4; ++i)
             in[12 + i] = static_cast<u8>(chunk >> (8 * i));
         aes_.encryptBlock(in, out16);
+    }
+
+    void
+    xorCryptBulkTo(u64 seed_hi, u64 seed_lo, const u8* src, u8* dst,
+                   size_t len) const override
+    {
+        if (aesni::enabled()) {
+            // Pipelined hardware CTR: 8 counter blocks in flight.
+            aesni::xorCtr(aes_.roundKeyBytes(), seed_hi, seed_lo, src,
+                          dst, len);
+            return;
+        }
+        // Table-based fallback (one virtual pad call per chunk, XOR
+        // word-wise) via the base implementation.
+        StreamCipher::xorCryptBulkTo(seed_hi, seed_lo, src, dst, len);
     }
 
   private:
@@ -94,14 +152,40 @@ class FastCipher : public StreamCipher {
         }
     }
 
-  private:
-    static u64
-    mix(u64 z)
+    void
+    xorCryptBulkTo(u64 seed_hi, u64 seed_lo, const u8* src, u8* dst,
+                   size_t len) const override
     {
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-        return z ^ (z >> 31);
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__
+        // The word XOR below relies on the pad halves serializing LE;
+        // on other hosts fall back to the byte-exact base path.
+        StreamCipher::xorCryptBulkTo(seed_hi, seed_lo, src, dst, len);
+#else
+        // Little-endian pad halves XOR directly as words; no pad buffer.
+        size_t off = 0;
+        u32 chunk = 0;
+        for (; off + 16 <= len; off += 16, ++chunk) {
+            const u64 x = mix(seed_hi ^ mix(seed_lo ^ mix(chunk + 1)));
+            const u64 y = mix(x ^ 0xdeadbeefcafef00dULL);
+            u64 a, b;
+            std::memcpy(&a, src + off, 8);
+            std::memcpy(&b, src + off + 8, 8);
+            a ^= x;
+            b ^= y;
+            std::memcpy(dst + off, &a, 8);
+            std::memcpy(dst + off + 8, &b, 8);
+        }
+        if (off < len) {
+            u8 p[16];
+            pad(seed_hi, seed_lo, chunk, p);
+            for (size_t i = 0; off + i < len; ++i)
+                dst[off + i] = static_cast<u8>(src[off + i] ^ p[i]);
+        }
+#endif
     }
+
+  private:
+    static u64 mix(u64 z) { return splitmix64Mix(z); }
 };
 
 } // namespace froram

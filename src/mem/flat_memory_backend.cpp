@@ -1,8 +1,22 @@
 #include "mem/flat_memory_backend.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace froram {
+
+u8*
+FlatMemoryBackend::chunkFor(u64 chunk_index)
+{
+    if (chunk_index >= chunks_.size())
+        chunks_.resize(std::max(chunk_index + 1, 2 * chunks_.size()));
+    auto& chunk = chunks_[chunk_index];
+    if (chunk == nullptr) {
+        chunk.reset(new u8[kChunkBytes]()); // value-init: zero-filled
+        ++materialized_;
+    }
+    return chunk.get();
+}
 
 void
 FlatMemoryBackend::read(u64 addr, u8* dst, u64 len)
@@ -11,11 +25,10 @@ FlatMemoryBackend::read(u64 addr, u8* dst, u64 len)
         const u64 chunk = addr / kChunkBytes;
         const u64 off = addr % kChunkBytes;
         const u64 n = std::min(len, kChunkBytes - off);
-        auto it = chunks_.find(chunk);
-        if (it == chunks_.end())
+        if (chunk >= chunks_.size() || chunks_[chunk] == nullptr)
             std::memset(dst, 0, n);
         else
-            std::memcpy(dst, it->second.data() + off, n);
+            std::memcpy(dst, chunks_[chunk].get() + off, n);
         addr += n;
         dst += n;
         len -= n;
@@ -29,14 +42,21 @@ FlatMemoryBackend::write(u64 addr, const u8* src, u64 len)
         const u64 chunk = addr / kChunkBytes;
         const u64 off = addr % kChunkBytes;
         const u64 n = std::min(len, kChunkBytes - off);
-        auto& bytes = chunks_[chunk];
-        if (bytes.empty())
-            bytes.assign(kChunkBytes, 0);
-        std::memcpy(bytes.data() + off, src, n);
+        std::memcpy(chunkFor(chunk) + off, src, n);
         addr += n;
         src += n;
         len -= n;
     }
+}
+
+u8*
+FlatMemoryBackend::view(u64 addr, u64 len)
+{
+    const u64 chunk = addr / kChunkBytes;
+    const u64 off = addr % kChunkBytes;
+    if (len > kChunkBytes - off)
+        return nullptr; // range straddles a chunk boundary
+    return chunkFor(chunk) + off;
 }
 
 } // namespace froram

@@ -5,7 +5,7 @@
 #ifndef FRORAM_MEM_FLAT_MEMORY_BACKEND_HPP
 #define FRORAM_MEM_FLAT_MEMORY_BACKEND_HPP
 
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "mem/storage_backend.hpp"
@@ -18,7 +18,9 @@ namespace froram {
  * The address space is materialized lazily in fixed-size chunks, so a
  * 64 GB ORAM whose accesses only ever touch a few thousand paths costs
  * host memory proportional to the buckets actually written, exactly like
- * the lazily-materialized bucket maps it replaces.
+ * the lazily-materialized bucket maps it replaces. Chunks are addressed
+ * through a direct-indexed pointer table (8 bytes per possible chunk) so
+ * the hot path's view() is an array index, not a hash lookup.
  */
 class FlatMemoryBackend : public StorageBackend {
   public:
@@ -32,15 +34,23 @@ class FlatMemoryBackend : public StorageBackend {
     void read(u64 addr, u8* dst, u64 len) override;
     void write(u64 addr, const u8* src, u64 len) override;
 
+    /** In-place view when the range stays within one chunk (the chunk is
+     *  materialized zero-filled if absent); nullptr across chunks. */
+    u8* view(u64 addr, u64 len) override;
+
     u64 bytesTouched() const override
     {
-        return chunks_.size() * kChunkBytes;
+        return materialized_ * kChunkBytes;
     }
 
   private:
     static constexpr u64 kChunkBytes = 64 * 1024;
 
-    std::unordered_map<u64, std::vector<u8>> chunks_;
+    /** Chunk base pointer, materializing it (zero-filled) if absent. */
+    u8* chunkFor(u64 chunk_index);
+
+    std::vector<std::unique_ptr<u8[]>> chunks_;
+    u64 materialized_ = 0;
 };
 
 } // namespace froram

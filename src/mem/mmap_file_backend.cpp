@@ -66,6 +66,13 @@ MmapFileBackend::write(u64 addr, const u8* src, u64 len)
     std::memcpy(map_ + addr, src, len);
 }
 
+u8*
+MmapFileBackend::view(u64 addr, u64 len)
+{
+    FRORAM_ASSERT(addr + len <= capacity_, "mmap view past capacity");
+    return map_ + addr;
+}
+
 void
 MmapFileBackend::sync()
 {

@@ -41,6 +41,7 @@ class MmapFileBackend : public StorageBackend {
 
     void read(u64 addr, u8* dst, u64 len) override;
     void write(u64 addr, const u8* src, u64 len) override;
+    u8* view(u64 addr, u64 len) override;
     void sync() override;
     bool persistent() const override { return true; }
 

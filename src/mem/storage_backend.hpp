@@ -77,13 +77,34 @@ class StorageBackend {
 
     virtual StorageBackendKind kind() const = 0;
 
-    /** @name Data plane @{ */
+    /** @name Data plane
+     *
+     * Span-style access: read()/write() copy into/out of caller buffers
+     * (readInto / writeFrom semantics), and view() exposes backend bytes
+     * in place for the zero-copy hot path.
+     * @{ */
 
     /** Copy `len` bytes at `addr` into `dst`; unwritten bytes read 0. */
     virtual void read(u64 addr, u8* dst, u64 len) = 0;
 
     /** Store `len` bytes from `src` at `addr`. */
     virtual void write(u64 addr, const u8* src, u64 len) = 0;
+
+    /**
+     * Mutable in-place view of [addr, addr + len), or nullptr when the
+     * range is not contiguous in this backend's memory (callers must
+     * fall back to read()/write()). Obtaining a view may materialize
+     * backing storage, so only request views of ranges that will be (or
+     * have been) written. The pointer is invalidated by any subsequent
+     * view()/read()/write() call.
+     */
+    virtual u8*
+    view(u64 addr, u64 len)
+    {
+        (void)addr;
+        (void)len;
+        return nullptr;
+    }
 
     /** Durability barrier (msync for MmapFile; no-op otherwise). */
     virtual void sync() {}

@@ -37,6 +37,8 @@ class TimedDramBackend : public StorageBackend {
         data_.write(addr, src, len);
     }
 
+    u8* view(u64 addr, u64 len) override { return data_.view(addr, len); }
+
     u64 bytesTouched() const override { return data_.bytesTouched(); }
 
     bool timed() const override { return true; }

@@ -9,11 +9,17 @@ PathOramBackend::PathOramBackend(const BackendConfig& config,
     : config_(config), storage_(std::move(storage)),
       layout_(std::move(layout)), mem_(mem),
       stash_(config.params.stashCapacity,
-             config.params.z * (config.params.levels + 1)),
+             config.params.z * (config.params.levels + 1),
+             config.params.storedBlockBytes()),
       stats_("backend")
 {
     config_.params.validate();
     FRORAM_ASSERT(storage_ != nullptr, "backend needs tree storage");
+    const u64 plain = storage_->bucketPlainBytes();
+    if (plain != 0 && storage_->codec() != nullptr)
+        pathPlain_.resize((config_.params.levels + 1) * plain);
+    evictSlots_.assign(
+        u64{config_.params.levels + 1} * config_.params.z, nullptr);
 }
 
 u64
@@ -21,17 +27,17 @@ PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
 {
     if (mem_ == nullptr || !mem_->timed() || layout_ == nullptr)
         return 0;
-    std::vector<DramRequest> reqs;
     const u64 bucket_bytes = config_.params.bucketPhysBytes();
     const u64 burst = mem_->burstBytes();
     const u64 bursts = divCeil(bucket_bytes, burst);
-    reqs.reserve((config_.params.levels + 1) * bursts);
+    dramReqs_.clear(); // reusable member batch: capacity is retained
+    dramReqs_.reserve((config_.params.levels + 1) * bursts);
     for (const BucketCoord& c : layout_->path(leaf)) {
         const u64 base = layout_->addressOf(c);
         for (u64 b = 0; b < bursts; ++b)
-            reqs.push_back({base + b * burst, is_write});
+            dramReqs_.push_back({base + b * burst, is_write});
     }
-    return mem_->accessBatch(reqs);
+    return mem_->accessBatch(dramReqs_);
 }
 
 void
@@ -40,12 +46,34 @@ PathOramBackend::readPath(Leaf leaf)
     FRORAM_ASSERT(leaf < config_.params.numLeaves(), "leaf out of range");
     if (config_.beforePathRead)
         config_.beforePathRead(leaf);
-    for (u32 l = 0; l <= config_.params.levels; ++l) {
-        const BucketCoord c{l, leaf >> (config_.params.levels - l)};
-        Bucket bucket = storage_->readBucket(heapIndex(c));
-        for (auto& slot : bucket.slots) {
-            if (slot.valid())
-                stash_.insert(std::move(slot));
+    if (rawPath()) {
+        // Raw path: decrypt each bucket into the path arena and copy
+        // valid blocks into pooled stash storage -- no Bucket, no
+        // per-slot vectors.
+        const BucketCodec* codec = storage_->codec();
+        const u64 plain_bytes = storage_->bucketPlainBytes();
+        const u64 stored = config_.params.storedBlockBytes();
+        for (u32 l = 0; l <= config_.params.levels; ++l) {
+            const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+            u8* plain = pathPlain_.data() + u64{l} * plain_bytes;
+            if (!storage_->readBucketRaw(heapIndex(c), plain))
+                continue;
+            for (u32 s = 0; s < config_.params.z; ++s) {
+                const Addr a = codec->slotAddr(plain, s);
+                if (a == kDummyAddr)
+                    continue;
+                stash_.insertBytes(a, codec->slotLeaf(plain, s),
+                                   codec->slotPayload(plain, s), stored);
+            }
+        }
+    } else {
+        for (u32 l = 0; l <= config_.params.levels; ++l) {
+            const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+            Bucket bucket = storage_->readBucket(heapIndex(c));
+            for (auto& slot : bucket.slots) {
+                if (slot.valid())
+                    stash_.insert(slot);
+            }
         }
     }
     if (config_.traceSink)
@@ -56,16 +84,16 @@ PathOramBackend::readPath(Leaf leaf)
 void
 PathOramBackend::writePath(Leaf leaf)
 {
-    auto per_level =
-        stash_.evictPath(leaf, config_.params.levels, config_.params.z);
+    stash_.evictPath(leaf, config_.params.levels, config_.params.z,
+                     evictSlots_.data());
     for (u32 l = 0; l <= config_.params.levels; ++l) {
         const BucketCoord c{l, leaf >> (config_.params.levels - l)};
-        Bucket bucket = Bucket::empty(config_.params);
-        auto& chosen = per_level[l];
-        for (u32 s = 0; s < chosen.size(); ++s)
-            bucket.slots[s] = std::move(chosen[s]);
-        storage_->writeBucket(heapIndex(c), bucket);
+        storage_->writeBucketRaw(heapIndex(c),
+                                 evictSlots_.data() +
+                                     u64{l} * config_.params.z,
+                                 config_.params.z);
     }
+    stash_.finishEviction();
     if (config_.traceSink)
         config_.traceSink(
             {TraceEvent::Kind::PathWrite, config_.treeId, leaf});
@@ -79,8 +107,21 @@ PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
                         const std::vector<u8>* write_data,
                         const BlockTransform& transform)
 {
-    FRORAM_ASSERT(op != Op::Append, "use append() for Append");
     BackendResult res;
+    accessInto(res, op, addr, leaf, new_leaf, write_data, transform);
+    return res;
+}
+
+void
+PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
+                            Leaf new_leaf,
+                            const std::vector<u8>* write_data,
+                            const BlockTransform& transform)
+{
+    FRORAM_ASSERT(op != Op::Append, "use append() for Append");
+    res.found = false;
+    res.dramPs = 0;
+    res.bytesMoved = 0;
 
     readPath(leaf);
     res.dramPs += pathDramTime(leaf, /*is_write=*/false);
@@ -95,12 +136,9 @@ PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
             // Cold miss (lazy init): materialize a zero block, mapped to
             // the fresh leaf, exactly as a boot-time-initialized ORAM
             // would contain it.
-            Block fresh;
-            fresh.addr = addr;
-            fresh.leaf = new_leaf;
-            fresh.data.assign(config_.params.storedBlockBytes(), 0);
-            stash_.insert(std::move(fresh));
-            in_stash = stash_.find(addr);
+            in_stash = &stash_.insertBytes(
+                addr, new_leaf, nullptr,
+                config_.params.storedBlockBytes());
             stats_.inc("coldMisses");
         }
         in_stash->leaf = new_leaf;
@@ -108,19 +146,24 @@ PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
             FRORAM_ASSERT(
                 write_data->size() <= config_.params.storedBlockBytes(),
                 "write payload too large");
-            in_stash->data = *write_data;
+            in_stash->data.assign(write_data->begin(), write_data->end());
             in_stash->data.resize(config_.params.storedBlockBytes(), 0);
         }
         // Step 4 hook: runs while the block is guaranteed stash-resident
         // (eviction below may immediately write it back to the tree).
         if (transform)
             transform(*in_stash, res.found);
-        res.block = *in_stash; // copy out for the Frontend
+        // Copy out for the Frontend (assign, so a reused result's
+        // payload buffer is recycled rather than reallocated).
+        res.block.addr = in_stash->addr;
+        res.block.leaf = in_stash->leaf;
+        res.block.data.assign(in_stash->data.begin(),
+                              in_stash->data.end());
         break;
       }
       case Op::ReadRmv: {
         if (in_stash) {
-            res.block = stash_.remove(addr);
+            stash_.removeInto(addr, res.block);
         } else {
             // Cold miss on a PosMap block: synthesize an all-zero block.
             // It is *not* inserted; the Frontend owns it (PLB) now.
@@ -142,7 +185,6 @@ PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
     stats_.inc("bytesMoved", res.bytesMoved);
     stats_.inc(op == Op::ReadRmv ? "readRmvOps"
                                  : (op == Op::Write ? "writeOps" : "readOps"));
-    return res;
 }
 
 void
@@ -151,7 +193,7 @@ PathOramBackend::append(Block block)
     FRORAM_ASSERT(block.valid(), "appending dummy block");
     FRORAM_ASSERT(block.leaf < config_.params.numLeaves(),
                   "append without a valid leaf");
-    stash_.insert(std::move(block));
+    stash_.insert(block);
     stats_.inc("appends");
 }
 
@@ -161,7 +203,12 @@ PathOramBackend::locateInTree(Addr addr)
     for (u32 l = 0; l <= config_.params.levels; ++l) {
         for (u64 i = 0; i < (u64{1} << l); ++i) {
             const BucketCoord c{l, i};
-            Bucket b = storage_->readBucket(heapIndex(c));
+            const u64 id = heapIndex(c);
+            // Never-written buckets decode as all-dummy: skip them
+            // without touching (or decoding) storage at all.
+            if (!storage_->hasBucket(id))
+                continue;
+            Bucket b = storage_->readBucket(id);
             for (const auto& slot : b.slots) {
                 if (slot.valid() && slot.addr == addr)
                     return c;

@@ -92,6 +92,16 @@ class PathOramBackend {
                          const BlockTransform& transform = nullptr);
 
     /**
+     * access() into a caller-owned result. Reusing one BackendResult
+     * across calls makes the steady-state access allocation-free (the
+     * result block's payload buffer is assigned into, never replaced).
+     */
+    void accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
+                    Leaf new_leaf,
+                    const std::vector<u8>* write_data = nullptr,
+                    const BlockTransform& transform = nullptr);
+
+    /**
      * Append a block to the stash without a tree access (Section 4.2.2).
      * The block must not currently exist anywhere in this ORAM.
      */
@@ -131,12 +141,21 @@ class PathOramBackend {
     /** Storage-medium time for one path traversal's bursts. */
     u64 pathDramTime(Leaf leaf, bool is_write);
 
+    /** True when storage supports the raw (allocation-free) bucket IO. */
+    bool rawPath() const { return pathPlain_.size() != 0; }
+
     BackendConfig config_;
     std::unique_ptr<TreeStorage> storage_;
     std::unique_ptr<TreeLayout> layout_;
     StorageBackend* mem_;
     Stash stash_;
     StatSet stats_;
+
+    // Hot-path scratch, sized once at construction and reused across
+    // accesses so the steady state performs no heap allocation.
+    std::vector<u8> pathPlain_;      ///< decrypted path arena (L+1 buckets)
+    std::vector<Block*> evictSlots_; ///< (L+1)*z eviction slot pointers
+    std::vector<DramRequest> dramReqs_; ///< pathDramTime request batch
 };
 
 } // namespace froram

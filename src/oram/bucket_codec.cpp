@@ -11,6 +11,9 @@ BucketCodec::BucketCodec(const OramParams& params, const StreamCipher* cipher,
     FRORAM_ASSERT(cipher_ != nullptr, "codec needs a cipher");
     addrBytes_ = divCeil(params_.addrBits(), 8);
     leafBytes_ = divCeil(params_.levels == 0 ? 1 : params_.levels, 8);
+    addrMask_ =
+        addrBytes_ >= 8 ? ~u64{0} : (u64{1} << (8 * addrBytes_)) - 1;
+    payloadBase_ = 8 + params_.z * (addrBytes_ + leafBytes_);
 }
 
 u64
@@ -32,44 +35,70 @@ BucketCodec::padSeedLo(u64 bucket_id, u64 stored_seed) const
 }
 
 void
-BucketCodec::encode(u64 bucket_id, const Bucket& bucket,
-                    const std::vector<u8>& prev_image, std::vector<u8>& out)
+BucketCodec::encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
+                        u8* stage, u8* dst) const
 {
-    FRORAM_ASSERT(bucket.slots.size() == params_.z, "bucket arity");
     const u64 phys = params_.bucketPhysBytes();
-    out.assign(phys, 0);
+    const u64 stored = params_.storedBlockBytes();
 
-    u64 seed;
-    if (scheme_ == SeedScheme::GlobalCounter) {
-        seed = globalSeed_++;
-    } else {
-        // Increment whatever seed is currently stored with the bucket --
-        // the step that goes wrong when an adversary rewinds it.
-        const u64 old_seed =
-            prev_image.empty() ? 0 : loadLe(prev_image.data(), 8);
-        seed = old_seed + 1;
-    }
-    storeLe(out.data(), seed, 8);
+    std::memset(stage, 0, phys);
+    storeLe(stage, seed, 8);
 
-    u8* p = out.data() + 8;
-    for (const auto& slot : bucket.slots) {
-        storeLe(p, slot.addr, addrBytes_);
+    u8* p = stage + 8;
+    for (u32 s = 0; s < params_.z; ++s) {
+        const Block* blk = slots[s];
+        const bool valid = blk != nullptr && blk->valid();
+        storeLe(p, valid ? blk->addr : kDummyAddr, addrBytes_);
         p += addrBytes_;
-        storeLe(p, slot.valid() ? slot.leaf : 0, leafBytes_);
+        storeLe(p, valid ? blk->leaf : 0, leafBytes_);
         p += leafBytes_;
     }
-    const u64 stored = params_.storedBlockBytes();
-    for (const auto& slot : bucket.slots) {
-        if (slot.valid() && !slot.data.empty()) {
-            FRORAM_ASSERT(slot.data.size() <= stored,
+    for (u32 s = 0; s < params_.z; ++s) {
+        const Block* blk = slots[s];
+        if (blk != nullptr && blk->valid() && !blk->data.empty()) {
+            FRORAM_ASSERT(blk->data.size() <= stored,
                           "block payload exceeds slot");
-            std::memcpy(p, slot.data.data(), slot.data.size());
+            std::memcpy(p, blk->data.data(), blk->data.size());
         }
         p += stored;
     }
 
-    cipher_->xorCrypt(padSeedHi(bucket_id, seed), padSeedLo(bucket_id, seed),
-                      out.data() + 8, phys - 8);
+    // Only ciphertext (and the plaintext seed field) ever reaches `dst`,
+    // which may be a view into untrusted backend memory.
+    if (dst != stage)
+        std::memcpy(dst, stage, 8);
+    cipher_->xorCryptBulkTo(padSeedHi(bucket_id, seed),
+                            padSeedLo(bucket_id, seed), stage + 8, dst + 8,
+                            phys - 8);
+}
+
+void
+BucketCodec::decryptInto(u64 bucket_id, const u8* image, u8* plain) const
+{
+    const u64 phys = params_.bucketPhysBytes();
+    const u64 seed = loadLe(image, 8);
+    if (plain != image)
+        std::memcpy(plain, image, 8);
+    cipher_->xorCryptBulkTo(padSeedHi(bucket_id, seed),
+                            padSeedLo(bucket_id, seed), image + 8,
+                            plain + 8, phys - 8);
+}
+
+void
+BucketCodec::encode(u64 bucket_id, const Bucket& bucket,
+                    const std::vector<u8>& prev_image, std::vector<u8>& out)
+{
+    FRORAM_ASSERT(bucket.slots.size() == params_.z, "bucket arity");
+    out.resize(params_.bucketPhysBytes());
+
+    const u64 prev_seed =
+        prev_image.empty() ? 0 : loadLe(prev_image.data(), 8);
+    const u64 seed = nextSeed(prev_seed);
+
+    std::vector<const Block*> slots(params_.z);
+    for (u32 s = 0; s < params_.z; ++s)
+        slots[s] = &bucket.slots[s];
+    encodeInto(bucket_id, seed, slots.data(), out.data(), out.data());
 }
 
 Bucket
@@ -81,28 +110,18 @@ BucketCodec::decode(u64 bucket_id, const std::vector<u8>& image) const
     FRORAM_ASSERT(image.size() == params_.bucketPhysBytes(),
                   "bucket image size mismatch");
 
-    const u64 seed = loadLe(image.data(), 8);
-    std::vector<u8> plain(image.begin() + 8, image.end());
-    cipher_->xorCrypt(padSeedHi(bucket_id, seed),
-                      padSeedLo(bucket_id, seed), plain.data(),
-                      plain.size());
+    std::vector<u8> plain(image.size());
+    decryptInto(bucket_id, image.data(), plain.data());
 
-    const u8* p = plain.data();
-    const u64 addr_mask =
-        addrBytes_ >= 8 ? ~u64{0} : (u64{1} << (8 * addrBytes_)) - 1;
-    for (auto& slot : bucket.slots) {
-        const u64 a = loadLe(p, addrBytes_);
-        p += addrBytes_;
-        const u64 l = loadLe(p, leafBytes_);
-        p += leafBytes_;
-        slot.addr = a == addr_mask ? kDummyAddr : a;
-        slot.leaf = l;
-    }
     const u64 stored = params_.storedBlockBytes();
-    for (auto& slot : bucket.slots) {
-        if (slot.valid())
+    for (u32 s = 0; s < params_.z; ++s) {
+        Block& slot = bucket.slots[s];
+        slot.addr = slotAddr(plain.data(), s);
+        slot.leaf = slotLeaf(plain.data(), s);
+        if (slot.valid()) {
+            const u8* p = slotPayload(plain.data(), s);
             slot.data.assign(p, p + stored);
-        p += stored;
+        }
     }
     return bucket;
 }

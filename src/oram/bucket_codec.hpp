@@ -32,7 +32,16 @@ namespace froram {
 /** Seed management policy for bucket encryption. */
 enum class SeedScheme { GlobalCounter, PerBucket };
 
-/** Serializes, encrypts, decrypts and deserializes buckets. */
+/**
+ * Serializes, encrypts, decrypts and deserializes buckets.
+ *
+ * Two API layers:
+ *  - a raw span layer (nextSeed/encodeInto/decryptInto + slot accessors)
+ *    operating directly on caller-provided byte buffers — the
+ *    allocation-free hot path used by PathOramBackend's path arena;
+ *  - the legacy Bucket/vector layer (encode/decode), now thin wrappers
+ *    over the raw layer, kept for tests and the tamper API.
+ */
 class BucketCodec {
   public:
     /**
@@ -67,6 +76,70 @@ class BucketCodec {
      */
     Bucket decode(u64 bucket_id, const std::vector<u8>& image) const;
 
+    /** @name Raw span layer (allocation-free hot path)
+     *  @{ */
+
+    /** Physical bytes of one bucket image (= plaintext arena bytes). */
+    u64 physBytes() const { return params_.bucketPhysBytes(); }
+
+    /**
+     * Advance the seed state and return the seed the next image of a
+     * bucket will be encrypted under. GlobalCounter bumps the controller
+     * register; PerBucket increments `prev_seed` (the seed read from the
+     * bucket's previous image, 0 if never written).
+     */
+    u64
+    nextSeed(u64 prev_seed)
+    {
+        return scheme_ == SeedScheme::GlobalCounter ? globalSeed_++
+                                                    : prev_seed + 1;
+    }
+
+    /**
+     * Serialize `z` slot pointers (null = dummy slot) and encrypt under
+     * `seed` (from nextSeed).
+     *
+     * @param stage trusted plaintext staging buffer of physBytes(); the
+     *        serialized plaintext never touches `dst` directly, so `dst`
+     *        may live in untrusted backend memory. stage == dst is
+     *        allowed when dst itself is trusted scratch.
+     * @param dst receives physBytes() of ciphertext
+     */
+    void encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
+                    u8* stage, u8* dst) const;
+
+    /**
+     * Decrypt a stored image into `plain` (both physBytes()); the seed
+     * field is copied verbatim. image == plain decrypts in place.
+     */
+    void decryptInto(u64 bucket_id, const u8* image, u8* plain) const;
+
+    /** Slot address in a decrypted image; kDummyAddr for dummy slots. */
+    Addr
+    slotAddr(const u8* plain, u32 s) const
+    {
+        const u64 a =
+            loadLe(plain + 8 + s * (addrBytes_ + leafBytes_), addrBytes_);
+        return a == addrMask_ ? kDummyAddr : a;
+    }
+
+    /** Slot leaf label in a decrypted image (0 for dummy slots). */
+    Leaf
+    slotLeaf(const u8* plain, u32 s) const
+    {
+        return loadLe(plain + 8 + s * (addrBytes_ + leafBytes_) +
+                          addrBytes_,
+                      leafBytes_);
+    }
+
+    /** Slot payload bytes (storedBlockBytes) in a decrypted image. */
+    const u8*
+    slotPayload(const u8* plain, u32 s) const
+    {
+        return plain + payloadBase_ + s * params_.storedBlockBytes();
+    }
+    /** @} */
+
     /** Value of the monotonic global seed register. */
     u64 globalSeed() const { return globalSeed_; }
 
@@ -97,6 +170,8 @@ class BucketCodec {
     u64 globalSeed_ = 1; // controller register (GlobalCounter scheme)
     u64 addrBytes_;
     u64 leafBytes_;
+    u64 addrMask_;    // all-ones in addrBytes_: the serialized dummy addr
+    u64 payloadBase_; // offset of the first slot payload in an image
 };
 
 } // namespace froram

@@ -2,11 +2,17 @@
  * @file
  * Path ORAM stash: a small trusted memory that temporarily holds blocks
  * between path reads and evictions (Section 3.1).
+ *
+ * Engineered for an allocation-free steady state: blocks live in a
+ * fixed-size pool whose payload buffers are reserved once and only ever
+ * assigned into, the address index is an open-addressed table sized at
+ * construction, and eviction is a single O(stash + levels * z) pass that
+ * buckets blocks by their deepest legal level (instead of rescanning the
+ * whole stash once per level).
  */
 #ifndef FRORAM_ORAM_STASH_HPP
 #define FRORAM_ORAM_STASH_HPP
 
-#include <unordered_map>
 #include <vector>
 
 #include "oram/params.hpp"
@@ -28,47 +34,119 @@ class Stash {
     /**
      * @param capacity persistent block capacity (paper default 200)
      * @param transient_slack additional transient headroom (Z*(L+1))
+     * @param reserve_block_bytes payload bytes to pre-reserve per pooled
+     *        block (storedBlockBytes of the owning tree); inserts within
+     *        this size never allocate
      */
-    Stash(u32 capacity, u32 transient_slack)
+    Stash(u32 capacity, u32 transient_slack, u64 reserve_block_bytes = 0)
         : capacity_(capacity), transientSlack_(transient_slack),
           stats_("stash")
     {
+        const u64 pool = u64{capacity} + transient_slack + 1;
+        pool_.resize(pool);
+        chainNext_.assign(pool, kNil);
+        freeList_.reserve(pool);
+        for (u32 i = 0; i < pool; ++i) {
+            pool_[pool - 1 - i].data.reserve(reserve_block_bytes);
+            freeList_.push_back(static_cast<u32>(pool - 1 - i));
+        }
+        evicted_.reserve(pool);
+        u64 table = 16;
+        while (table < 2 * pool)
+            table *= 2;
+        keys_.assign(table, kDummyAddr);
+        vals_.assign(table, 0);
+        mask_ = table - 1;
     }
 
-    /** Insert (or overwrite) a block. */
+    /** Insert (or overwrite) a block; the payload is copied into pooled
+     *  storage (the argument's buffer is not adopted). */
     void
-    insert(Block block)
+    insert(const Block& block)
     {
         FRORAM_ASSERT(block.valid(), "inserting dummy block into stash");
-        blocks_[block.addr] = std::move(block);
-        if (blocks_.size() > capacity_ + transientSlack_) {
-            panic("stash overflow: ", blocks_.size(), " blocks (capacity ",
+        insertBytes(block.addr, block.leaf, block.data.data(),
+                    block.data.size());
+    }
+
+    /**
+     * Allocation-free insert: (addr, leaf) plus `len` payload bytes
+     * copied (or zero-filled when `data` is null) into pooled storage.
+     */
+    Block&
+    insertBytes(Addr addr, Leaf leaf, const u8* data, u64 len)
+    {
+        FRORAM_ASSERT(addr != kDummyAddr,
+                      "inserting dummy block into stash");
+        u64 slot = findSlot(addr);
+        u32 idx;
+        if (keys_[slot] == addr) {
+            idx = vals_[slot]; // overwrite in place
+        } else {
+            FRORAM_ASSERT(!freeList_.empty(), "stash pool exhausted");
+            idx = freeList_.back();
+            freeList_.pop_back();
+            keys_[slot] = addr;
+            vals_[slot] = idx;
+            ++size_;
+        }
+        Block& b = pool_[idx];
+        b.addr = addr;
+        b.leaf = leaf;
+        if (data != nullptr)
+            b.data.assign(data, data + len);
+        else
+            b.data.assign(len, 0);
+        if (size_ > capacity_ + transientSlack_) {
+            panic("stash overflow: ", size_, " blocks (capacity ",
                   capacity_, " + transient ", transientSlack_, ")");
         }
         stats_.set("peakOccupancy",
-                   std::max<u64>(stats_.get("peakOccupancy"),
-                                 blocks_.size()));
+                   std::max<u64>(stats_.get("peakOccupancy"), size_));
+        return b;
     }
 
     /** Does the stash hold `addr`? */
-    bool contains(Addr addr) const { return blocks_.count(addr) != 0; }
+    bool
+    contains(Addr addr) const
+    {
+        // kDummyAddr doubles as the index's empty-slot marker and can
+        // never be stashed; answer without probing.
+        return addr != kDummyAddr && keys_[findSlot(addr)] == addr;
+    }
 
     /** Pointer to the stashed block, or nullptr. */
     Block*
     find(Addr addr)
     {
-        auto it = blocks_.find(addr);
-        return it == blocks_.end() ? nullptr : &it->second;
+        if (addr == kDummyAddr)
+            return nullptr;
+        const u64 slot = findSlot(addr);
+        return keys_[slot] == addr ? &pool_[vals_[slot]] : nullptr;
+    }
+
+    /** Copy the block into `out` and release its slot (must exist). */
+    void
+    removeInto(Addr addr, Block& out)
+    {
+        FRORAM_ASSERT(addr != kDummyAddr, "removing absent block");
+        const u64 slot = findSlot(addr);
+        FRORAM_ASSERT(keys_[slot] == addr, "removing absent block");
+        const u32 idx = vals_[slot];
+        out.addr = pool_[idx].addr;
+        out.leaf = pool_[idx].leaf;
+        out.data.assign(pool_[idx].data.begin(), pool_[idx].data.end());
+        releaseIndexSlot(slot);
+        releasePoolSlot(idx);
+        --size_;
     }
 
     /** Remove and return the block (must exist). */
     Block
     remove(Addr addr)
     {
-        auto it = blocks_.find(addr);
-        FRORAM_ASSERT(it != blocks_.end(), "removing absent block");
-        Block b = std::move(it->second);
-        blocks_.erase(it);
+        Block b;
+        removeInto(addr, b);
         return b;
     }
 
@@ -76,46 +154,191 @@ class Stash {
      * Greedy Path ORAM eviction: select up to Z blocks per level for the
      * path to `leaf`, deepest level first, removing them from the stash.
      *
-     * @param leaf the path being written back
-     * @param levels tree depth L
-     * @param z slots per bucket
-     * @return per-level vectors of evicted blocks ([0] = root .. [L])
+     * Single pass: each block's deepest legal level on the path (the
+     * depth of the common prefix of its leaf and `leaf`) is computed
+     * once and the block chained onto that level; walking levels deepest
+     * first with an overflow carry list reproduces the greedy deepest-
+     * first placement without rescanning the stash per level.
+     *
+     * `slots` is a caller-owned array of (levels + 1) * z entries, laid
+     * out [level * z + slot]; entries are set to the chosen blocks
+     * (nullptr = dummy). The chosen blocks stay pool-resident — and the
+     * pointers valid — until finishEviction() releases them.
      */
+    void
+    evictPath(Leaf leaf, u32 levels, u32 z, Block** slots)
+    {
+        FRORAM_ASSERT(evicted_.empty(),
+                      "finishEviction() pending from a previous eviction");
+        for (u64 i = 0; i < u64{levels + 1} * z; ++i)
+            slots[i] = nullptr;
+
+        // Pass 1: chain every stashed block onto its deepest legal level.
+        chainHead_.assign(levels + 1, kNil);
+        for (u64 t = 0; t <= mask_; ++t) {
+            if (keys_[t] == kDummyAddr)
+                continue;
+            const u32 idx = vals_[t];
+            const u64 diff = pool_[idx].leaf ^ leaf;
+            // A leaf outside [0, 2^levels) (e.g. decoded from a tampered
+            // bucket) shares no prefix with any path: never evictable.
+            if ((diff >> levels) != 0)
+                continue;
+            const u32 d =
+                diff == 0 ? levels : levels - 1 - log2Floor(diff);
+            chainNext_[idx] = chainHead_[d];
+            chainHead_[d] = idx;
+        }
+
+        // Pass 2: deepest level first; blocks that miss a full bucket
+        // carry over to shallower levels (they remain legal there).
+        u32 carry = kNil;
+        for (i64 v = levels; v >= 0; --v) {
+            u32 head = chainHead_[static_cast<size_t>(v)];
+            u32 taken = 0;
+            while (taken < z && (head != kNil || carry != kNil)) {
+                u32 idx;
+                if (head != kNil) {
+                    idx = head;
+                    head = chainNext_[idx];
+                } else {
+                    idx = carry;
+                    carry = chainNext_[idx];
+                }
+                slots[static_cast<u64>(v) * z + taken] = &pool_[idx];
+                evicted_.push_back(idx);
+                eraseIndex(pool_[idx].addr);
+                --size_;
+                ++taken;
+            }
+            // Prepend what is left of this level's chain onto the carry.
+            while (head != kNil) {
+                const u32 next = chainNext_[head];
+                chainNext_[head] = carry;
+                carry = head;
+                head = next;
+            }
+        }
+    }
+
+    /** Return the blocks handed out by evictPath() to the free pool
+     *  (their payload buffers are retained for reuse). */
+    void
+    finishEviction()
+    {
+        for (const u32 idx : evicted_)
+            releasePoolSlot(idx);
+        evicted_.clear();
+    }
+
+    /** Legacy convenience eviction: copies the chosen blocks out.
+     *  @return per-level vectors of evicted blocks ([0] = root .. [L]) */
     std::vector<std::vector<Block>>
     evictPath(Leaf leaf, u32 levels, u32 z)
     {
+        std::vector<Block*> slots(u64{levels + 1} * z, nullptr);
+        evictPath(leaf, levels, z, slots.data());
         std::vector<std::vector<Block>> out(levels + 1);
-        // Deepest-first greedy: a block mapped to leaf l can live at level
-        // v iff the paths to l and leaf share the first v+1 buckets, i.e.
-        // (l >> (L - v)) == (leaf >> (L - v)).
-        for (i64 v = levels; v >= 0; --v) {
-            auto& dest = out[static_cast<size_t>(v)];
-            for (auto it = blocks_.begin();
-                 it != blocks_.end() && dest.size() < z;) {
-                const Leaf l = it->second.leaf;
-                const u32 shift = levels - static_cast<u32>(v);
-                if ((l >> shift) == (leaf >> shift)) {
-                    dest.push_back(std::move(it->second));
-                    it = blocks_.erase(it);
-                } else {
-                    ++it;
-                }
+        for (u32 v = 0; v <= levels; ++v) {
+            for (u32 s = 0; s < z; ++s) {
+                if (slots[u64{v} * z + s] != nullptr)
+                    out[v].push_back(*slots[u64{v} * z + s]);
             }
+        }
+        finishEviction();
+        return out;
+    }
+
+    u64 occupancy() const { return size_; }
+    u32 capacity() const { return capacity_; }
+    const StatSet& stats() const { return stats_; }
+
+    /** Snapshot of the stashed blocks (test/diagnostic use; copies). */
+    std::vector<Block>
+    blocksSnapshot() const
+    {
+        std::vector<Block> out;
+        out.reserve(size_);
+        for (u64 t = 0; t <= mask_; ++t) {
+            if (keys_[t] != kDummyAddr)
+                out.push_back(pool_[vals_[t]]);
         }
         return out;
     }
 
-    u64 occupancy() const { return blocks_.size(); }
-    u32 capacity() const { return capacity_; }
-    const StatSet& stats() const { return stats_; }
-
-    /** Iterate over stashed blocks (test/diagnostic use). */
-    const std::unordered_map<Addr, Block>& blocks() const { return blocks_; }
-
   private:
+    static constexpr u32 kNil = ~u32{0};
+
+    static u64
+    hashAddr(Addr a)
+    {
+        // splitmix64 finalizer: cheap and well-mixed for table probing.
+        return splitmix64Mix(a + 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Slot holding `addr`, or the empty slot where it would go. */
+    u64
+    findSlot(Addr addr) const
+    {
+        u64 slot = hashAddr(addr) & mask_;
+        while (keys_[slot] != kDummyAddr && keys_[slot] != addr)
+            slot = (slot + 1) & mask_;
+        return slot;
+    }
+
+    void
+    eraseIndex(Addr addr)
+    {
+        const u64 slot = findSlot(addr);
+        FRORAM_ASSERT(keys_[slot] == addr, "erasing absent index entry");
+        releaseIndexSlot(slot);
+    }
+
+    /** Backward-shift deletion keeps linear probe chains intact without
+     *  tombstones. */
+    void
+    releaseIndexSlot(u64 slot)
+    {
+        u64 hole = slot;
+        u64 i = slot;
+        for (;;) {
+            i = (i + 1) & mask_;
+            if (keys_[i] == kDummyAddr)
+                break;
+            const u64 home = hashAddr(keys_[i]) & mask_;
+            // Move i's entry into the hole iff the hole lies on i's
+            // probe path (cyclic distance from home to i covers hole).
+            if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+                keys_[hole] = keys_[i];
+                vals_[hole] = vals_[i];
+                hole = i;
+            }
+        }
+        keys_[hole] = kDummyAddr;
+    }
+
+    void
+    releasePoolSlot(u32 idx)
+    {
+        pool_[idx].addr = kDummyAddr;
+        pool_[idx].leaf = kNoLeaf;
+        freeList_.push_back(idx);
+    }
+
     u32 capacity_;
     u32 transientSlack_;
-    std::unordered_map<Addr, Block> blocks_;
+    u64 size_ = 0;
+
+    std::vector<Block> pool_;    ///< fixed block pool (reserved payloads)
+    std::vector<u32> freeList_;  ///< unused pool indices
+    std::vector<u64> keys_;      ///< open-addressed index: addresses
+    std::vector<u32> vals_;      ///< open-addressed index: pool indices
+    u64 mask_ = 0;
+
+    std::vector<u32> chainHead_; ///< evictPath scratch: per-level heads
+    std::vector<u32> chainNext_; ///< evictPath scratch: chain links
+    std::vector<u32> evicted_;   ///< pool slots pending finishEviction
+
     StatSet stats_;
 };
 

@@ -15,6 +15,7 @@ BackedTreeStorage::BackedTreeStorage(const OramParams& params,
 {
     base_ = backend_.allocRegion(regionBytes());
     bitmap_.assign(bitmapBytes(), 0);
+    stage_.assign(slotBytes_, 0);
 
     // Key/scheme fingerprint: a one-way digest of the cipher's pad for a
     // reserved seed pair. A resume under a different key or seed scheme
@@ -110,8 +111,47 @@ BackedTreeStorage::replaceImage(u64 id, std::vector<u8> image)
 void
 BackedTreeStorage::writeBucket(u64 id, const Bucket& bucket)
 {
-    std::vector<u8> fresh;
-    codec_.encode(id, bucket, prevImageFor(id), fresh);
+    FRORAM_ASSERT(bucket.slots.size() == codec_.params().z,
+                  "bucket arity");
+    std::vector<const Block*> slots(bucket.slots.size());
+    for (u32 s = 0; s < slots.size(); ++s)
+        slots[s] = &bucket.slots[s];
+    writeBucketRaw(id, slots.data(), static_cast<u32>(slots.size()));
+}
+
+bool
+BackedTreeStorage::readBucketRaw(u64 id, u8* plain)
+{
+    if (!hasImage(id))
+        return false;
+    const u64 addr = slotAddr(id);
+    if (const u8* image = backend_.view(addr, slotBytes_)) {
+        // Decrypt straight out of backend memory into the arena: one
+        // pad-XOR pass, no intermediate ciphertext copy.
+        codec_.decryptInto(id, image, plain);
+    } else {
+        backend_.read(addr, plain, slotBytes_);
+        codec_.decryptInto(id, plain, plain);
+    }
+    return true;
+}
+
+void
+BackedTreeStorage::writeBucketRaw(u64 id, const Block* const* slots, u32 z)
+{
+    FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+    const u64 addr = slotAddr(id);
+
+    // Only the PerBucket scheme consults the previous image, and it only
+    // needs the 8-byte seed field — never fetch the full bucket.
+    u64 prev_seed = 0;
+    if (codec_.scheme() == SeedScheme::PerBucket && hasImage(id)) {
+        u8 buf[8];
+        backend_.read(addr, buf, 8);
+        prev_seed = loadLe(buf, 8);
+    }
+    const u64 seed = codec_.nextSeed(prev_seed);
+
     // Persist the advanced seed register *before* the image it encrypted:
     // if the *process* dies between the two writes, a resume sees a
     // register ahead of every stored image and never re-issues a used pad
@@ -120,7 +160,17 @@ BackedTreeStorage::writeBucket(u64 id, const Bucket& bucket)
     // barrier between the two mmap pages; until then, resume after a
     // kernel crash should reset the backend.
     persistSeed();
-    replaceImage(id, std::move(fresh));
+
+    // Serialize into the trusted staging buffer, then stream ciphertext
+    // into the backend in place when it exposes a contiguous view (the
+    // plaintext never touches untrusted memory either way).
+    if (u8* dst = backend_.view(addr, slotBytes_)) {
+        codec_.encodeInto(id, seed, slots, stage_.data(), dst);
+    } else {
+        codec_.encodeInto(id, seed, slots, stage_.data(), stage_.data());
+        backend_.write(addr, stage_.data(), slotBytes_);
+    }
+    markWritten(id);
 }
 
 void

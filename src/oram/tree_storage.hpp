@@ -59,6 +59,59 @@ class TreeStorage {
 
     /** Number of buckets ever materialized (memory footprint proxy). */
     virtual u64 bucketsTouched() const = 0;
+
+    /** @name Allocation-free hot-path API
+     *
+     * PathOramBackend drives the steady-state path through these instead
+     * of the Bucket layer: raw reads decrypt into a caller-owned path
+     * arena and raw writes encode straight from stash block pointers,
+     * with no per-bucket vector churn.
+     * @{ */
+
+    /** Plaintext bytes one raw bucket read needs; 0 when this store has
+     *  no byte representation (raw reads unsupported). */
+    virtual u64 bucketPlainBytes() const { return 0; }
+
+    /** Codec for parsing raw plaintext images, or null if none. */
+    virtual const BucketCodec* codec() const { return nullptr; }
+
+    /** True if the bucket has ever been written. Stores that cannot
+     *  track this return true (callers must then read to find out). */
+    virtual bool hasBucket(u64 id) const
+    {
+        (void)id;
+        return true;
+    }
+
+    /**
+     * Decrypt bucket `id` into `plain` (bucketPlainBytes()); returns
+     * false for never-written buckets (callers treat them as all-dummy,
+     * `plain` is untouched). Only valid when bucketPlainBytes() > 0.
+     */
+    virtual bool
+    readBucketRaw(u64 id, u8* plain)
+    {
+        (void)id;
+        (void)plain;
+        panic("raw bucket reads unsupported by this storage");
+    }
+
+    /**
+     * Encode and store `z` slot pointers (null = dummy slot) as bucket
+     * `id`. Default bridges to writeBucket() for stores without a
+     * faster path.
+     */
+    virtual void
+    writeBucketRaw(u64 id, const Block* const* slots, u32 z)
+    {
+        Bucket bucket(z);
+        for (u32 s = 0; s < z; ++s) {
+            if (slots[s] != nullptr)
+                bucket.slots[s] = *slots[s];
+        }
+        writeBucket(id, bucket);
+    }
+    /** @} */
 };
 
 /**
@@ -88,6 +141,24 @@ class CodecTreeStorage : public TreeStorage {
         std::vector<u8> fresh;
         codec_.encode(id, bucket, prevImageFor(id), fresh);
         replaceImage(id, std::move(fresh));
+    }
+
+    u64 bucketPlainBytes() const override { return codec_.physBytes(); }
+
+    const BucketCodec* codec() const override { return &codec_; }
+
+    bool hasBucket(u64 id) const override { return hasImage(id); }
+
+    /** Generic raw read via rawImage(); subclasses override with
+     *  copy-free variants. */
+    bool
+    readBucketRaw(u64 id, u8* plain) override
+    {
+        if (!hasImage(id))
+            return false;
+        const std::vector<u8> image = rawImage(id);
+        codec_.decryptInto(id, image.data(), plain);
+        return true;
     }
 
     /** @name Active-adversary tamper API
@@ -128,8 +199,6 @@ class CodecTreeStorage : public TreeStorage {
         replaceImage(id, std::move(image));
     }
     /** @} */
-
-    const BucketCodec& codec() const { return codec_; }
 
   protected:
     /**
@@ -172,6 +241,34 @@ class EncryptedTreeStorage : public CodecTreeStorage {
         if (it == images_.end())
             return Bucket::empty(codec_.params());
         return codec_.decode(id, it->second);
+    }
+
+    bool
+    readBucketRaw(u64 id, u8* plain) override
+    {
+        auto it = images_.find(id);
+        if (it == images_.end())
+            return false;
+        codec_.decryptInto(id, it->second.data(), plain);
+        return true;
+    }
+
+    /** Re-encode in place over the stored image; allocation-free once a
+     *  bucket's image exists. */
+    void
+    writeBucketRaw(u64 id, const Block* const* slots, u32 z) override
+    {
+        FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+        u64 prev_seed = 0;
+        auto it = images_.find(id);
+        if (codec_.scheme() == SeedScheme::PerBucket &&
+            it != images_.end())
+            prev_seed = loadLe(it->second.data(), 8);
+        std::vector<u8>& image =
+            it != images_.end() ? it->second : images_[id];
+        image.resize(codec_.physBytes());
+        codec_.encodeInto(id, codec_.nextSeed(prev_seed), slots,
+                          image.data(), image.data());
     }
 
     u64 bucketsTouched() const override { return images_.size(); }
@@ -224,6 +321,14 @@ class BackedTreeStorage : public CodecTreeStorage {
 
     void writeBucket(u64 id, const Bucket& bucket) override;
 
+    /** Zero-copy read: decrypts straight out of the backend's memory
+     *  (via view()) into the caller's arena. */
+    bool readBucketRaw(u64 id, u8* plain) override;
+
+    /** Zero-copy write: encodes from slot pointers and streams the
+     *  ciphertext into the backend's memory in place. */
+    void writeBucketRaw(u64 id, const Block* const* slots, u32 z) override;
+
     u64 bucketsTouched() const override { return touched_; }
 
     bool hasImage(u64 id) const override;
@@ -253,6 +358,7 @@ class BackedTreeStorage : public CodecTreeStorage {
     u64 slotBytes_ = 0;
     u64 base_ = 0;
     std::vector<u8> bitmap_;
+    std::vector<u8> stage_; // trusted plaintext staging for raw writes
     u64 touched_ = 0;
     bool resumed_ = false;
 };
@@ -287,6 +393,21 @@ class MetaTreeStorage : public TreeStorage {
         }
     }
 
+    /** Metadata update straight from slot pointers; no payload copies. */
+    void
+    writeBucketRaw(u64 id, const Block* const* slots, u32 z) override
+    {
+        FRORAM_ASSERT(z == params_.z, "bucket arity");
+        auto& m = meta_[id];
+        m.resize(params_.z);
+        for (u32 s = 0; s < params_.z; ++s) {
+            m[s].addr = slots[s] != nullptr ? slots[s]->addr : kDummyAddr;
+            m[s].leaf = slots[s] != nullptr ? slots[s]->leaf : kNoLeaf;
+        }
+    }
+
+    bool hasBucket(u64 id) const override { return meta_.count(id) != 0; }
+
     u64 bucketsTouched() const override { return meta_.size(); }
 
   private:
@@ -314,6 +435,8 @@ class NullTreeStorage : public TreeStorage {
 
     Bucket readBucket(u64 id) override { return Bucket::empty(params_); }
     void writeBucket(u64 id, const Bucket& bucket) override {}
+    void writeBucketRaw(u64, const Block* const*, u32) override {}
+    bool hasBucket(u64) const override { return false; }
     u64 bucketsTouched() const override { return 0; }
 
   private:

@@ -73,6 +73,18 @@ popcount64(u64 x)
 #endif
 }
 
+/**
+ * splitmix64 finalizer (Steele/Lea/Flood): the shared bit-mixing step
+ * behind seed expansion, the fast simulation cipher and hash probing.
+ */
+constexpr u64
+splitmix64Mix(u64 z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** Store the low `nbytes` bytes of `v` little-endian at `p`. */
 inline void
 storeLe(u8* p, u64 v, u64 nbytes = 8)

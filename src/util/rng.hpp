@@ -11,6 +11,7 @@
 #ifndef FRORAM_UTIL_RNG_HPP
 #define FRORAM_UTIL_RNG_HPP
 
+#include "util/bitops.hpp"
 #include "util/common.hpp"
 
 namespace froram {
@@ -30,10 +31,7 @@ class Xoshiro256 {
         for (auto& s : state_) {
             // splitmix64 step
             x += 0x9e3779b97f4a7c15ULL;
-            u64 z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-            s = z ^ (z >> 31);
+            s = splitmix64Mix(x);
         }
     }
 

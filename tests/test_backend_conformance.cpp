@@ -197,6 +197,41 @@ TEST_P(BackendConformance, BackedTreeStorageRoundTripsBuckets)
     (void)storage.readBucket(5);
 }
 
+TEST_P(BackendConformance, BackedTreeStoragePerBucketSeedAdvances)
+{
+    // The PerBucket scheme reads the previous image's seed field off the
+    // backend (8 bytes, not the whole bucket) and increments it on every
+    // rewrite; a broken fetch would silently reuse one-time pads.
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    FastCipher cipher;
+    BackedTreeStorage storage(p, &cipher, SeedScheme::PerBucket,
+                              *backend_);
+
+    Bucket bucket = Bucket::empty(p);
+    bucket.slots[0].addr = 9;
+    bucket.slots[0].leaf = 3;
+    bucket.slots[0].data.assign(p.storedBlockBytes(), 0xA7);
+
+    std::vector<u8> images[3];
+    for (int rewrite = 0; rewrite < 3; ++rewrite) {
+        storage.writeBucket(5, bucket);
+        images[rewrite] = storage.rawImage(5);
+        // Stored plaintext seed field: 1, 2, 3 across rewrites.
+        EXPECT_EQ(loadLe(images[rewrite].data(), 8),
+                  static_cast<u64>(rewrite + 1));
+        const Bucket back = storage.readBucket(5);
+        EXPECT_EQ(back.slots[0].addr, 9u);
+        EXPECT_EQ(back.slots[0].data, bucket.slots[0].data);
+    }
+    // Fresh seeds => fresh pads: identical plaintext, distinct images.
+    EXPECT_NE(images[0], images[1]);
+    EXPECT_NE(images[1], images[2]);
+
+    // Other buckets keep independent seed chains.
+    storage.writeBucket(6, bucket);
+    EXPECT_EQ(loadLe(storage.rawImage(6).data(), 8), 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
                          ::testing::Values(StorageBackendKind::Flat,
                                            StorageBackendKind::TimedDram,
@@ -271,7 +306,7 @@ TEST(MmapFileBackend, BackedTreeStorageReopensAndVerifies)
             storage.writeBucket(id, b);
             written.emplace_back(id, b);
         }
-        seed_after = storage.codec().globalSeed();
+        seed_after = storage.codec()->globalSeed();
         backend.sync();
     }
     {
@@ -281,7 +316,7 @@ TEST(MmapFileBackend, BackedTreeStorageReopensAndVerifies)
         EXPECT_TRUE(storage.resumed());
         EXPECT_EQ(storage.bucketsTouched(), written.size());
         // The seed register resumed monotonically: no pad reuse.
-        EXPECT_GE(storage.codec().globalSeed(), seed_after);
+        EXPECT_GE(storage.codec()->globalSeed(), seed_after);
         for (const auto& [id, expect] : written) {
             const Bucket got = storage.readBucket(id);
             EXPECT_EQ(got.slots[0].addr, expect.slots[0].addr);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "crypto/aes128.hpp"
+#include "crypto/aesni.hpp"
 #include "crypto/prf.hpp"
 #include "crypto/sha3.hpp"
 #include "crypto/stream_cipher.hpp"
@@ -78,6 +79,70 @@ TEST(Aes128, InPlaceEncryption)
     Aes128 aes(key.data());
     aes.encryptBlock(buf.data(), buf.data());
     EXPECT_EQ(toHex(buf.data(), 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, PortablePathMatchesFips197)
+{
+    // The software tables must stay correct independently of whatever
+    // encryptBlock dispatches to on this machine.
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key.data());
+    u8 ct[16];
+    aes.encryptBlockPortable(pt.data(), ct);
+    EXPECT_EQ(toHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesNi, Fips197VectorOnHardwarePath)
+{
+    if (!aesni::supported())
+        GTEST_SKIP() << "CPU has no AES-NI";
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key.data());
+    u8 ct[16];
+    aesni::encryptBlock(aes.roundKeyBytes(), pt.data(), ct);
+    EXPECT_EQ(toHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesNi, Sp80038aEcbVectorsOnHardwarePath)
+{
+    if (!aesni::supported())
+        GTEST_SKIP() << "CPU has no AES-NI";
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 aes(key.data());
+    const char* pts[4] = {"6bc1bee22e409f96e93d7e117393172a",
+                          "ae2d8a571e03ac9c9eb76fac45af8e51",
+                          "30c81c46a35ce411e5fbc1191a0a52ef",
+                          "f69f2445df4f9b17ad2b417be66c3710"};
+    const char* cts[4] = {"3ad77bb40d7a3660a89ecaf32466ef97",
+                          "f5d3d58503b9699de785895a96fdbaaf",
+                          "43b1cd7f598ece23881b00e3ed030688",
+                          "7b0c785e27e8ad3f8223207104725dd4"};
+    for (int i = 0; i < 4; ++i) {
+        const auto pt = fromHex(pts[i]);
+        u8 ct[16];
+        aesni::encryptBlock(aes.roundKeyBytes(), pt.data(), ct);
+        EXPECT_EQ(toHex(ct, 16), cts[i]) << "vector " << i;
+    }
+}
+
+TEST(AesNi, HardwareMatchesPortableOnRandomBlocks)
+{
+    if (!aesni::supported())
+        GTEST_SKIP() << "CPU has no AES-NI";
+    Xoshiro256 rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        u8 key[16], pt[16], hw[16], sw[16];
+        for (auto& b : key)
+            b = static_cast<u8>(rng.next());
+        for (auto& b : pt)
+            b = static_cast<u8>(rng.next());
+        Aes128 aes(key);
+        aesni::encryptBlock(aes.roundKeyBytes(), pt, hw);
+        aes.encryptBlockPortable(pt, sw);
+        ASSERT_EQ(0, std::memcmp(hw, sw, 16)) << "trial " << trial;
+    }
 }
 
 TEST(Aes128, RekeyChangesOutput)
@@ -246,6 +311,76 @@ TYPED_TEST(StreamCipherTest, SameSeedSamePad)
     this->cipher.pad(77, 88, 3, a);
     this->cipher.pad(77, 88, 3, b);
     EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TYPED_TEST(StreamCipherTest, BulkMatchesPerChunkReference)
+{
+    // xorCryptBulk must be byte-identical to the per-chunk xorCrypt
+    // reference across odd lengths and unaligned buffer offsets,
+    // including the partial trailing chunk.
+    Xoshiro256 rng(21);
+    std::vector<u8> backing(512 + 8);
+    for (size_t align = 0; align < 8; ++align) {
+        for (const size_t len :
+             {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{17},
+              size_t{31}, size_t{48}, size_t{63}, size_t{100},
+              size_t{127}, size_t{128}, size_t{129}, size_t{255},
+              size_t{312}, size_t{471}}) {
+            for (auto& b : backing)
+                b = static_cast<u8>(rng.next());
+            u8* data = backing.data() + align;
+            std::vector<u8> reference(data, data + len);
+            this->cipher.xorCrypt(9991, 37, reference.data(),
+                                  reference.size());
+            this->cipher.xorCryptBulk(9991, 37, data, len);
+            ASSERT_EQ(0, std::memcmp(data, reference.data(), len))
+                << "align " << align << " len " << len;
+        }
+    }
+}
+
+TYPED_TEST(StreamCipherTest, BulkOutOfPlaceMatchesInPlace)
+{
+    Xoshiro256 rng(22);
+    std::vector<u8> src(300), dst(300, 0), in_place(300);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = in_place[i] = static_cast<u8>(rng.next());
+    this->cipher.xorCryptBulkTo(5, 6, src.data(), dst.data(), src.size());
+    this->cipher.xorCryptBulk(5, 6, in_place.data(), in_place.size());
+    EXPECT_EQ(dst, in_place);
+}
+
+/** Scope guard: force the software AES path, restore on exit even if an
+ *  assertion bails out of the test early. */
+class ForceSoftwareAes {
+  public:
+    ForceSoftwareAes() { aesni::setForceDisabled(true); }
+    ~ForceSoftwareAes() { aesni::setForceDisabled(false); }
+};
+
+TEST(AesCtrCipher, BulkIdenticalWithAndWithoutAesNi)
+{
+    if (!aesni::supported())
+        GTEST_SKIP() << "CPU has no AES-NI";
+    u8 key[16];
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<u8>(3 * i + 1);
+    AesCtrCipher cipher(key);
+    Xoshiro256 rng(23);
+    for (const size_t len : {size_t{1}, size_t{16}, size_t{100},
+                             size_t{312}, size_t{500}}) {
+        std::vector<u8> data(len);
+        for (auto& b : data)
+            b = static_cast<u8>(rng.next());
+        std::vector<u8> hw = data;
+        cipher.xorCryptBulk(42, 7, hw.data(), hw.size());
+        std::vector<u8> sw = data;
+        {
+            ForceSoftwareAes guard;
+            cipher.xorCryptBulk(42, 7, sw.data(), sw.size());
+        }
+        ASSERT_EQ(hw, sw) << "len " << len;
+    }
 }
 
 } // namespace

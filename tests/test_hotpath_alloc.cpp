@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Allocation accounting for the steady-state access hot path.
+ *
+ * The whole point of the path-arena + pooled-stash + raw bucket IO design
+ * is that a warmed-up PathOramBackend performs ZERO heap allocations per
+ * access on an in-RAM backend. This binary replaces the global operator
+ * new/delete with counting versions and asserts exactly that, so any
+ * future vector-per-bucket regression fails loudly here instead of
+ * silently costing throughput.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "crypto/stream_cipher.hpp"
+#include "mem/flat_memory_backend.hpp"
+#include "oram/backend.hpp"
+#include "oram/tree_storage.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<unsigned long long> g_allocs{0};
+}
+
+void*
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void*
+operator new[](std::size_t size, const std::nothrow_t& tag) noexcept
+{
+    return ::operator new(size, tag);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+namespace froram {
+namespace {
+
+TEST(HotPathAllocations, SteadyStateAccessIsAllocationFree)
+{
+    OramParams params = OramParams::forCapacity(u64{1} << 18, 64, 4);
+    params.stashCapacity = 200;
+    params.validate();
+
+    FlatMemoryBackend store;
+    AesCtrCipher cipher;
+
+    BackendConfig bc;
+    bc.params = params;
+    PathOramBackend backend(
+        bc,
+        makeTreeStorage(StorageMode::Encrypted, params, &cipher,
+                        SeedScheme::GlobalCounter, &store),
+        /*layout=*/nullptr, &store);
+
+    Xoshiro256 rng(7);
+    const u64 blocks = params.numBlocks;
+    std::vector<Leaf> posmap(blocks);
+    std::vector<u8> payload(params.storedBlockBytes(), 0x5A);
+    BackendResult res; // reused across accesses
+
+    // Warm-up: materialize every block (and every chunk, pool slot and
+    // scratch buffer on the way).
+    for (Addr a = 0; a < blocks; ++a) {
+        const Leaf fresh = rng.below(params.numLeaves());
+        backend.accessInto(res, Op::Write, a, rng.below(params.numLeaves()),
+                           fresh, &payload);
+        posmap[a] = fresh;
+    }
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(blocks);
+        const Leaf fresh = rng.below(params.numLeaves());
+        backend.accessInto(res, i % 4 == 0 ? Op::Write : Op::Read, a,
+                           posmap[a], fresh,
+                           i % 4 == 0 ? &payload : nullptr);
+        posmap[a] = fresh;
+    }
+
+    // Steady state: every access must run without touching the heap.
+    const unsigned long long before =
+        g_allocs.load(std::memory_order_relaxed);
+    u64 found = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.below(blocks);
+        const Leaf fresh = rng.below(params.numLeaves());
+        backend.accessInto(res, i % 4 == 0 ? Op::Write : Op::Read, a,
+                           posmap[a], fresh,
+                           i % 4 == 0 ? &payload : nullptr);
+        posmap[a] = fresh;
+        found += res.found ? 1 : 0;
+    }
+    const unsigned long long after =
+        g_allocs.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(found, 5000u) << "steady state must not cold-miss";
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state accesses performed heap allocations";
+}
+
+TEST(HotPathAllocations, AllocatorInstrumentationIsLive)
+{
+    // Guard the guard: if the counting operator new is not actually
+    // linked in, the zero-allocation assertion above proves nothing.
+    const unsigned long long before =
+        g_allocs.load(std::memory_order_relaxed);
+    auto* v = new std::vector<u8>(1024);
+    const unsigned long long after =
+        g_allocs.load(std::memory_order_relaxed);
+    delete v;
+    EXPECT_GT(after, before);
+}
+
+} // namespace
+} // namespace froram

@@ -142,10 +142,10 @@ TEST(StashProperty, GreedyEvictionIsMaximal)
             if (out[v].size() == z)
                 continue; // bucket full
             // Bucket v has room: no remaining block may be eligible.
-            for (const auto& [addr, blk] : stash.blocks()) {
+            for (const Block& blk : stash.blocksSnapshot()) {
                 const u32 shift = levels - v;
                 EXPECT_NE(blk.leaf >> shift, path >> shift)
-                    << "seed " << seed << ": block " << addr
+                    << "seed " << seed << ": block " << blk.addr
                     << " could have been evicted to level " << v;
             }
         }
