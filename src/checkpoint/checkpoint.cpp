@@ -1,0 +1,170 @@
+#include "checkpoint/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "crypto/prf.hpp"
+
+namespace froram {
+namespace ckpt {
+namespace {
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+/** Directory part of `path` ("." when none) for the post-rename fsync. */
+std::string
+dirOf(const std::string& path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+std::vector<u8>
+seal(const std::vector<u8>& payload, const Mac& mac, u64 fingerprint)
+{
+    std::vector<u8> blob(kHeaderBytes + payload.size() + kTagBytes);
+    storeLe(blob.data(), kMagic);
+    storeLe(blob.data() + 8, kVersion, 4);
+    storeLe(blob.data() + 12, 0, 4);
+    storeLe(blob.data() + 16, fingerprint);
+    storeLe(blob.data() + 24, payload.size());
+    std::memcpy(blob.data() + kHeaderBytes, payload.data(),
+                payload.size());
+    const Mac::Tag tag = mac.compute(kVersion, kMacDomain, blob.data(),
+                                     kHeaderBytes + payload.size());
+    std::memcpy(blob.data() + kHeaderBytes + payload.size(), tag.data(),
+                kTagBytes);
+    return blob;
+}
+
+std::vector<u8>
+unseal(const std::vector<u8>& blob, const Mac& mac, u64 fingerprint)
+{
+    if (blob.size() < kHeaderBytes + kTagBytes)
+        throw CheckpointError("snapshot too short (" +
+                              std::to_string(blob.size()) +
+                              " bytes): torn write or not a snapshot");
+    if (loadLe(blob.data()) != kMagic)
+        throw CheckpointError("bad magic: not a froram snapshot");
+    const u32 version = static_cast<u32>(loadLe(blob.data() + 8, 4));
+    if (version != kVersion)
+        throw CheckpointError(
+            "unsupported snapshot format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(kVersion) + ")");
+    const u64 len = loadLe(blob.data() + 24);
+    if (blob.size() != kHeaderBytes + len + kTagBytes)
+        throw CheckpointError(
+            "length prefix says " + std::to_string(len) +
+            " payload bytes but the snapshot holds " +
+            std::to_string(blob.size()) + " total: torn write");
+    Mac::Tag stored;
+    std::memcpy(stored.data(), blob.data() + kHeaderBytes + len,
+                kTagBytes);
+    if (!mac.verify(stored, version, kMacDomain, blob.data(),
+                    kHeaderBytes + len))
+        throw CheckpointError("MAC mismatch: snapshot was tampered with "
+                              "or sealed under a different key");
+    // Fingerprint after the MAC: an attacker-controlled fingerprint must
+    // not steer error reporting, and an authentic snapshot for a
+    // different configuration deserves the specific message.
+    if (loadLe(blob.data() + 16) != fingerprint)
+        throw CheckpointError(
+            "configuration fingerprint mismatch: snapshot was taken "
+            "under a different scheme/geometry/seed configuration");
+    return std::vector<u8>(blob.begin() + kHeaderBytes,
+                           blob.begin() + static_cast<long>(kHeaderBytes +
+                                                            len));
+}
+
+void
+writeFileAtomic(const std::string& path, const std::vector<u8>& blob)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw CheckpointError("cannot create " + tmp + ": " +
+                              errnoString());
+    u64 off = 0;
+    while (off < blob.size()) {
+        const ssize_t n =
+            ::write(fd, blob.data() + off, blob.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string err = errnoString();
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw CheckpointError("cannot write " + tmp + ": " + err);
+        }
+        off += static_cast<u64>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const std::string err = errnoString();
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw CheckpointError("cannot fsync " + tmp + ": " + err);
+    }
+    if (::close(fd) != 0)
+        throw CheckpointError("cannot close " + tmp + ": " +
+                              errnoString());
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string err = errnoString();
+        ::unlink(tmp.c_str());
+        throw CheckpointError("cannot rename " + tmp + " over " + path +
+                              ": " + err);
+    }
+    // Persist the rename itself; without this a crash can roll the
+    // directory entry back to the previous snapshot (which is safe) or
+    // to nothing on a fresh path (which restore reports loudly).
+    const int dfd = ::open(dirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+std::vector<u8>
+readFile(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw CheckpointError("cannot open snapshot " + path + ": " +
+                              errnoString());
+    std::vector<u8> blob;
+    u8 buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string err = errnoString();
+            ::close(fd);
+            throw CheckpointError("cannot read snapshot " + path + ": " +
+                                  err);
+        }
+        if (n == 0)
+            break;
+        blob.insert(blob.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return blob;
+}
+
+} // namespace ckpt
+} // namespace froram

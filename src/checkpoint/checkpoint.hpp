@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem: authenticated serialization of the
+ * trusted ORAM controller state.
+ *
+ * Freecursive ORAM's security argument treats the on-chip state — PosMap
+ * Lookaside Buffer, on-chip PosMap, stash, integrity counters, the
+ * encryption seed register and the leaf-remapping RNG — as one unit. A
+ * resumable deployment therefore has to persist that unit atomically and
+ * authenticate it on the way back in: a snapshot the adversary can
+ * truncate, splice or field-flip without detection would hand back a
+ * controller whose counters disagree with the tree it verifies.
+ *
+ * Three layers, bottom to top:
+ *
+ *  - CheckpointWriter / CheckpointReader: length-prefixed, tag-framed
+ *    binary sections (little-endian). Every read is bounds-checked and
+ *    every section tag verified, so a truncated or mis-framed payload
+ *    raises CheckpointError instead of decoding garbage.
+ *
+ *  - the envelope: seal() wraps a payload with magic, format version,
+ *    a configuration fingerprint and a 128-bit MAC (keyed SHA3-224 over
+ *    the whole header + payload, domain-separated from PMMAC block tags
+ *    by a reserved address constant far outside any unified block
+ *    address). unseal() verifies all of it and rejects loudly.
+ *
+ *  - atomic file commit: writeFileAtomic() streams the sealed blob to
+ *    `path + ".tmp"`, fsyncs, renames over `path` and fsyncs the parent
+ *    directory. A crash at any byte boundary leaves either the previous
+ *    complete snapshot or a torn temp file that restore never looks at;
+ *    a torn rename target is caught by the length prefix / MAC.
+ *
+ * Component serialization (Stash, Plb, frontends, ...) lives with each
+ * component as saveState()/restoreState() methods over these primitives.
+ */
+#ifndef FRORAM_CHECKPOINT_CHECKPOINT_HPP
+#define FRORAM_CHECKPOINT_CHECKPOINT_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+class Mac;
+
+/**
+ * Exception raised when a snapshot cannot be parsed, authenticated or
+ * applied. Restore paths throw this instead of resuming corrupt state.
+ */
+class CheckpointError : public std::runtime_error {
+  public:
+    explicit CheckpointError(const std::string& what)
+        : std::runtime_error("checkpoint: " + what)
+    {
+    }
+};
+
+namespace ckpt {
+
+/** Envelope magic: "FRORAMCK" little-endian. */
+constexpr u64 kMagic = 0x4B434D41524F5246ULL;
+/** Snapshot format version. Any layout change bumps this; unseal()
+ *  rejects every other version (no silent cross-version migration). */
+constexpr u32 kVersion = 1;
+/**
+ * MAC domain separator, passed as the `addr` input of the PMMAC-style
+ * keyed MAC. Unified block addresses are bounded by the recursion
+ * geometry (far below 2^48), so no PMMAC block tag is ever computed
+ * over this address — a snapshot tag can never be replayed as a block
+ * tag or vice versa. The checkpoint MAC key is additionally derived
+ * with its own KDF label, separating it from the bucket-pad and PMMAC
+ * keys.
+ */
+constexpr u64 kMacDomain = 0xC4EC4B0046524F52ULL;
+
+/** Envelope byte layout (see seal()). */
+constexpr u64 kHeaderBytes = 32;
+constexpr u64 kTagBytes = 16;
+
+/** @name Section tags ("what am I parsing" guards inside the payload) @{ */
+constexpr u32 kTagSystem = 0x53595330;     // "SYS0"
+constexpr u32 kTagDataPlane = 0x44415441;  // "DATA"
+constexpr u32 kTagDram = 0x4452414D;       // "DRAM"
+constexpr u32 kTagFrontend = 0x46524E54;   // "FRNT"
+constexpr u32 kTagBackend = 0x424B4E44;    // "BKND"
+constexpr u32 kTagStash = 0x53545348;      // "STSH"
+constexpr u32 kTagPlb = 0x504C4230;        // "PLB0"
+constexpr u32 kTagPosMap = 0x504F534D;     // "POSM"
+constexpr u32 kTagTreeStore = 0x54524545;  // "TREE"
+constexpr u32 kTagRng = 0x524E4730;        // "RNG0"
+constexpr u32 kTagOracle = 0x4F52434C;     // "ORCL"
+constexpr u32 kTagBuffer = 0x42554646;     // "BUFF"
+/** @} */
+
+} // namespace ckpt
+
+/** Appends little-endian fields and tag-framed sections to a buffer. */
+class CheckpointWriter {
+  public:
+    void
+    putU8(u8 v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    putU32(u32 v)
+    {
+        putLe(v, 4);
+    }
+
+    void
+    putU64(u64 v)
+    {
+        putLe(v, 8);
+    }
+
+    void
+    putBytes(const u8* data, u64 len)
+    {
+        out_.insert(out_.end(), data, data + len);
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    putBlob(const u8* data, u64 len)
+    {
+        putU64(len);
+        putBytes(data, len);
+    }
+
+    /** Open a section: tag + length placeholder (patched by end()). */
+    void
+    begin(u32 tag)
+    {
+        putU32(tag);
+        open_.push_back(out_.size());
+        putU64(0);
+    }
+
+    /** Close the innermost open section, patching its length. */
+    void
+    end()
+    {
+        FRORAM_ASSERT(!open_.empty(), "no open checkpoint section");
+        const u64 at = open_.back();
+        open_.pop_back();
+        const u64 len = out_.size() - (at + 8);
+        storeLe(out_.data() + at, len);
+    }
+
+    /** Serialized bytes; every begun section must be ended. */
+    const std::vector<u8>&
+    bytes() const
+    {
+        FRORAM_ASSERT(open_.empty(), "unclosed checkpoint section");
+        return out_;
+    }
+
+  private:
+    void
+    putLe(u64 v, u64 nbytes)
+    {
+        const u64 at = out_.size();
+        out_.resize(at + nbytes);
+        storeLe(out_.data() + at, v, nbytes);
+    }
+
+    std::vector<u8> out_;
+    std::vector<u64> open_;
+};
+
+/**
+ * Bounds-checked reader over a serialized payload. Any overrun, tag
+ * mismatch or leftover bytes raises CheckpointError: a snapshot either
+ * parses exactly or is rejected wholesale.
+ */
+class CheckpointReader {
+  public:
+    CheckpointReader(const u8* data, u64 len) : data_(data), end_(len) {}
+
+    u8
+    getU8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    u32
+    getU32()
+    {
+        return static_cast<u32>(getLe(4));
+    }
+
+    u64
+    getU64()
+    {
+        return getLe(8);
+    }
+
+    void
+    getBytes(u8* dst, u64 len)
+    {
+        need(len);
+        for (u64 i = 0; i < len; ++i)
+            dst[i] = data_[pos_ + i];
+        pos_ += len;
+    }
+
+    std::vector<u8>
+    getBlob()
+    {
+        const u64 len = getU64();
+        need(len);
+        std::vector<u8> out(data_ + pos_, data_ + pos_ + len);
+        pos_ += len;
+        return out;
+    }
+
+    /** Enter a section, verifying its tag and bounding reads to it. */
+    void
+    enter(u32 expect_tag)
+    {
+        const u32 tag = getU32();
+        if (tag != expect_tag)
+            throw CheckpointError("section tag mismatch (expected 0x" +
+                                  hex(expect_tag) + ", found 0x" +
+                                  hex(tag) + ")");
+        const u64 len = getU64();
+        need(len);
+        bounds_.push_back(end_);
+        end_ = pos_ + len;
+    }
+
+    /** Leave the current section; it must be fully consumed. */
+    void
+    exit()
+    {
+        FRORAM_ASSERT(!bounds_.empty(), "no entered checkpoint section");
+        if (pos_ != end_)
+            throw CheckpointError(
+                "section has " + std::to_string(end_ - pos_) +
+                " unconsumed bytes (format drift or corruption)");
+        end_ = bounds_.back();
+        bounds_.pop_back();
+    }
+
+    /** Require the stream to be fully consumed (top-level epilogue). */
+    void
+    expectEnd() const
+    {
+        if (pos_ != end_)
+            throw CheckpointError(std::to_string(end_ - pos_) +
+                                  " trailing bytes after payload");
+    }
+
+  private:
+    static std::string
+    hex(u32 v)
+    {
+        static const char* digits = "0123456789abcdef";
+        std::string s(8, '0');
+        for (int i = 7; i >= 0; --i, v >>= 4)
+            s[static_cast<size_t>(i)] = digits[v & 0xF];
+        return s;
+    }
+
+    void
+    need(u64 len) const
+    {
+        if (pos_ + len > end_ || pos_ + len < pos_)
+            throw CheckpointError("truncated snapshot payload (need " +
+                                  std::to_string(len) + " bytes at offset " +
+                                  std::to_string(pos_) + ")");
+    }
+
+    u64
+    getLe(u64 nbytes)
+    {
+        need(nbytes);
+        const u64 v = loadLe(data_ + pos_, nbytes);
+        pos_ += nbytes;
+        return v;
+    }
+
+    const u8* data_;
+    u64 pos_ = 0;
+    u64 end_;
+    std::vector<u64> bounds_;
+};
+
+namespace ckpt {
+
+/**
+ * Wrap `payload` in the authenticated envelope:
+ *
+ *   [0,8)    magic "FRORAMCK"
+ *   [8,12)   format version
+ *   [12,16)  reserved (zero)
+ *   [16,24)  configuration fingerprint
+ *   [24,32)  payload length
+ *   [32,32+len)        payload
+ *   [32+len,48+len)    MAC tag over bytes [0, 32+len)
+ */
+std::vector<u8> seal(const std::vector<u8>& payload, const Mac& mac,
+                     u64 fingerprint);
+
+/**
+ * Verify an envelope and return its payload. Throws CheckpointError on
+ * any of: short blob, magic/version mismatch, length-prefix mismatch
+ * (torn write), fingerprint mismatch (wrong configuration), MAC
+ * mismatch (tampering or bit rot).
+ */
+std::vector<u8> unseal(const std::vector<u8>& blob, const Mac& mac,
+                       u64 fingerprint);
+
+/**
+ * Atomic commit: write to `path + ".tmp"`, fsync, rename over `path`,
+ * fsync the directory. Throws CheckpointError on any I/O failure.
+ */
+void writeFileAtomic(const std::string& path, const std::vector<u8>& blob);
+
+/** Read a snapshot file wholesale; CheckpointError if unreadable. */
+std::vector<u8> readFile(const std::string& path);
+
+} // namespace ckpt
+
+} // namespace froram
+
+#endif // FRORAM_CHECKPOINT_CHECKPOINT_HPP

@@ -47,6 +47,80 @@ FlatFrontend::onChipPosMapBits() const
     return config_.numBlocks * params_.levels;
 }
 
+void
+FlatFrontend::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagFrontend);
+    w.putU32(3); // frontend kind: flat (Phantom)
+    w.begin(ckpt::kTagPosMap);
+    w.putU64(posmap_.size());
+    for (const u64 v : posmap_)
+        w.putU64(v);
+    w.end();
+    w.begin(ckpt::kTagRng);
+    u64 rng[4];
+    rng_.saveState(rng);
+    for (const u64 v : rng)
+        w.putU64(v);
+    w.end();
+    w.begin(ckpt::kTagBuffer);
+    w.putU64(buffer_.size());
+    w.putU32(clockHand_);
+    for (const BufferSlot& s : buffer_) {
+        w.putU8(s.valid ? 1 : 0);
+        if (!s.valid)
+            continue;
+        w.putU8(s.ref ? 1 : 0);
+        w.putU8(s.dirty ? 1 : 0);
+        w.putU64(s.addr);
+        w.putBlob(s.data.data(), s.data.size());
+    }
+    w.end();
+    backend_->saveState(w);
+    w.end();
+}
+
+void
+FlatFrontend::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagFrontend);
+    if (r.getU32() != 3)
+        throw CheckpointError("snapshot holds a different frontend kind");
+    r.enter(ckpt::kTagPosMap);
+    if (r.getU64() != posmap_.size())
+        throw CheckpointError(
+            "on-chip PosMap size differs from the checkpointed one");
+    for (u64& v : posmap_)
+        v = r.getU64();
+    r.exit();
+    r.enter(ckpt::kTagRng);
+    u64 rng[4];
+    for (u64& v : rng)
+        v = r.getU64();
+    rng_.restoreState(rng);
+    r.exit();
+    r.enter(ckpt::kTagBuffer);
+    if (r.getU64() != buffer_.size())
+        throw CheckpointError(
+            "block-buffer size differs from the checkpointed one");
+    clockHand_ = r.getU32();
+    if (!buffer_.empty() && clockHand_ >= buffer_.size())
+        throw CheckpointError("block-buffer clock hand out of range");
+    for (BufferSlot& s : buffer_) {
+        s = BufferSlot{};
+        if (r.getU8() == 0)
+            continue;
+        s.valid = true;
+        s.ref = r.getU8() != 0;
+        s.dirty = r.getU8() != 0;
+        s.addr = r.getU64();
+        s.data = r.getBlob();
+    }
+    r.exit();
+    backend_->restoreState(r);
+    r.exit();
+}
+
 u32
 FlatFrontend::clockVictim()
 {

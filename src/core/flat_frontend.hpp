@@ -52,6 +52,9 @@ class FlatFrontend : public Frontend {
     PathOramBackend& backend() { return *backend_; }
     const OramParams& params() const { return params_; }
 
+    void saveState(CheckpointWriter& w) const override;
+    void restoreState(CheckpointReader& r) override;
+
   private:
     struct BufferSlot {
         bool valid = false;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "oram/types.hpp"
 #include "util/stats.hpp"
 
@@ -72,6 +73,17 @@ class Frontend {
     virtual u64 onChipPosMapBits() const = 0;
 
     virtual const StatSet& stats() const = 0;
+
+    /** @name Checkpoint/restore
+     *
+     * Serialize/reload the complete trusted frontend state: on-chip
+     * PosMap, PLB, recursion metadata, RNG, and the owned Backend(s)
+     * (stash + tree-storage trusted residue). Statistics counters are
+     * monitoring-only and restart at zero after a restore.
+     * @{ */
+    virtual void saveState(CheckpointWriter& w) const = 0;
+    virtual void restoreState(CheckpointReader& r) = 0;
+    /** @} */
 };
 
 } // namespace froram

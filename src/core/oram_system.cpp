@@ -1,5 +1,8 @@
 #include "core/oram_system.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace froram {
 namespace {
 
@@ -76,6 +79,17 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         cipher_ = std::make_unique<AesCtrCipher>(key);
     } else {
         cipher_ = std::make_unique<FastCipher>();
+    }
+
+    // Snapshot MAC key: its own KDF label keeps it separate from the
+    // bucket-pad and PMMAC keys (the envelope additionally MACs under a
+    // reserved address-domain constant; see checkpoint.hpp).
+    {
+        Xoshiro256 kdf(cfg_.seed ^ 0xc4ec4b5ea1ULL);
+        u8 key[16];
+        for (auto& b : key)
+            b = static_cast<u8>(kdf.next());
+        ckptMac_.setKey(key);
     }
 
     TraceSink sink;
@@ -160,6 +174,181 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         break;
       }
     }
+}
+
+u64
+OramSystem::configFingerprint() const
+{
+    u64 h = 0x46524F52414D0001ULL;
+    const auto mix = [&h](u64 v) { h = splitmix64Mix(h ^ v); };
+    mix(static_cast<u64>(scheme_));
+    mix(cfg_.capacityBytes);
+    mix(cfg_.blockBytes);
+    mix(cfg_.recursivePosmapBlockBytes);
+    mix(cfg_.z);
+    mix(cfg_.dramChannels);
+    mix(static_cast<u64>(cfg_.backend));
+    u64 ghz_bits = 0;
+    std::memcpy(&ghz_bits, &cfg_.latency.procGHz, sizeof(ghz_bits));
+    mix(ghz_bits);
+    mix(cfg_.latency.frontendCycles);
+    mix(cfg_.latency.backendCycles);
+    mix(cfg_.latency.aesPipelineCycles);
+    mix(cfg_.latency.sha3Cycles);
+    mix(cfg_.latency.prfCycles);
+    mix(cfg_.plbBytes);
+    mix(cfg_.plbWays);
+    mix(cfg_.onChipTargetBytes);
+    mix(cfg_.recursiveOnChipTargetBytes);
+    mix(static_cast<u64>(cfg_.storage));
+    mix(cfg_.realAes ? 1 : 0);
+    mix(static_cast<u64>(cfg_.seedScheme));
+    mix(cfg_.seed);
+    mix(cfg_.stashCapacity);
+    mix(cfg_.phantomBlockBytes);
+    mix(cfg_.phantomForceLevels);
+    mix(cfg_.phantomBufferBytes);
+    return h;
+}
+
+CheckpointScope
+OramSystem::resolveScope(CheckpointScope scope) const
+{
+    const bool needs_data_plane =
+        !store_->persistent() ||
+        (cfg_.seedScheme == SeedScheme::PerBucket &&
+         cfg_.storage == StorageMode::Encrypted);
+    if (scope == CheckpointScope::Auto)
+        return needs_data_plane ? CheckpointScope::Full
+                                : CheckpointScope::TrustedOnly;
+    if (scope == CheckpointScope::TrustedOnly && needs_data_plane) {
+        if (!store_->persistent())
+            throw CheckpointError(
+                "trusted-only snapshots need a persistent backend (the "
+                "tree would be lost); use CheckpointScope::Full");
+        throw CheckpointError(
+            "the PerBucket seed scheme has no divergence anchor; use "
+            "CheckpointScope::Full");
+    }
+    return scope;
+}
+
+std::vector<u8>
+OramSystem::checkpoint(CheckpointScope scope)
+{
+    requireUsable(); // never serialize half-restored state
+    const CheckpointScope resolved = resolveScope(scope);
+    // Make the tree durable before the snapshot that anchors to it, so
+    // a committed snapshot never points at a region the medium lost.
+    store_->sync();
+
+    CheckpointWriter w;
+    w.begin(ckpt::kTagSystem);
+    w.putU32(static_cast<u32>(scheme_));
+    w.putU32(static_cast<u32>(store_->kind()));
+    w.putU32(static_cast<u32>(cfg_.storage));
+    w.putU8(resolved == CheckpointScope::Full ? 1 : 0);
+    w.end();
+
+    if (resolved == CheckpointScope::Full) {
+        w.begin(ckpt::kTagDataPlane);
+        const u64 total = store_->allocatedBytes();
+        w.putU64(total);
+        std::vector<u8> buf(std::min<u64>(std::max<u64>(total, 1),
+                                          u64{1} << 20));
+        for (u64 off = 0; off < total;) {
+            const u64 take = std::min<u64>(buf.size(), total - off);
+            store_->read(off, buf.data(), take);
+            w.putBytes(buf.data(), take);
+            off += take;
+        }
+        w.end();
+    }
+
+    if (DramModel* dram = store_->dramModel())
+        dram->saveState(w);
+
+    frontend_->saveState(w);
+    return ckpt::seal(w.bytes(), ckptMac_, configFingerprint());
+}
+
+void
+OramSystem::restore(const std::vector<u8>& blob)
+{
+    const std::vector<u8> payload =
+        ckpt::unseal(blob, ckptMac_, configFingerprint());
+    CheckpointReader r(payload.data(), payload.size());
+
+    r.enter(ckpt::kTagSystem);
+    if (r.getU32() != static_cast<u32>(scheme_) ||
+        r.getU32() != static_cast<u32>(store_->kind()) ||
+        r.getU32() != static_cast<u32>(cfg_.storage))
+        throw CheckpointError(
+            "snapshot was taken under a different scheme, backend kind "
+            "or storage mode");
+    const bool full = r.getU8() != 0;
+    r.exit();
+
+    // Everything up to here only read the snapshot; from the first
+    // data-plane or component write onward a failure leaves mixed
+    // state, so poison the system (frontend() then refuses) instead of
+    // letting a caller keep using half-restored trusted state.
+    poisoned_ = true;
+
+    if (full) {
+        r.enter(ckpt::kTagDataPlane);
+        const u64 total = r.getU64();
+        if (total != store_->allocatedBytes())
+            throw CheckpointError(
+                "snapshot data plane covers " + std::to_string(total) +
+                " bytes but this system allocated " +
+                std::to_string(store_->allocatedBytes()));
+        std::vector<u8> buf(std::min<u64>(std::max<u64>(total, 1),
+                                          u64{1} << 20));
+        for (u64 off = 0; off < total;) {
+            const u64 take = std::min<u64>(buf.size(), total - off);
+            r.getBytes(buf.data(), take);
+            store_->write(off, buf.data(), take);
+            off += take;
+        }
+        r.exit();
+    } else if (!store_->persistent()) {
+        throw CheckpointError(
+            "trusted-only snapshot cannot be restored onto a volatile "
+            "backend: the tree it anchors to is not there");
+    }
+
+    if (DramModel* dram = store_->dramModel())
+        dram->restoreState(r);
+
+    frontend_->restoreState(r);
+    r.expectEnd();
+    poisoned_ = false;
+    trace_.clear();
+    if (store_->persistent())
+        store_->sync();
+}
+
+void
+OramSystem::checkpointTo(const std::string& path, CheckpointScope scope)
+{
+    ckpt::writeFileAtomic(path, checkpoint(scope));
+}
+
+void
+OramSystem::restoreFrom(const std::string& path)
+{
+    restore(ckpt::readFile(path));
+}
+
+std::unique_ptr<OramSystem>
+OramSystem::open(SchemeId scheme, OramSystemConfig config,
+                 const std::string& snapshot_path)
+{
+    config.backendReset = false;
+    auto sys = std::make_unique<OramSystem>(scheme, config);
+    sys->restoreFrom(snapshot_path);
+    return sys;
 }
 
 } // namespace froram

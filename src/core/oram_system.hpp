@@ -21,9 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/flat_frontend.hpp"
 #include "core/recursive_frontend.hpp"
 #include "core/unified_frontend.hpp"
+#include "crypto/prf.hpp"
 #include "mem/dram_model.hpp"
 #include "mem/storage_backend.hpp"
 
@@ -72,13 +74,83 @@ struct OramSystemConfig {
     u64 phantomBufferBytes = 32 * 1024;
 };
 
+/**
+ * How much of the system a snapshot captures.
+ *
+ *  - TrustedOnly: the trusted controller state plus per-tree divergence
+ *    anchors; the untrusted tree stays on the (persistent) backend.
+ *    Restore requires the region's seed register to match the anchor
+ *    exactly, so a region that kept running after the snapshot is
+ *    rejected instead of resumed with stale integrity counters.
+ *  - Full: additionally captures the backend data plane, making the
+ *    snapshot a self-contained recovery point (kill-anywhere restore;
+ *    required for volatile backends, whose tree lives nowhere else).
+ *  - Auto: Full for volatile backends or the PerBucket seed scheme
+ *    (which has no divergence anchor), TrustedOnly otherwise.
+ */
+enum class CheckpointScope { Auto, TrustedOnly, Full };
+
 /** A complete ORAM memory system for one scheme. */
 class OramSystem {
   public:
     OramSystem(SchemeId scheme, const OramSystemConfig& config);
 
-    Frontend& frontend() { return *frontend_; }
-    const Frontend& frontend() const { return *frontend_; }
+    /** @name Checkpoint/restore
+     *
+     * checkpoint() serializes the complete trusted state — on-chip
+     * PosMap(s), PLB, stash(es), recursion metadata, integrity
+     * counters, seed registers, DRAM-timing state and the remapping
+     * RNG — into a sealed blob (versioned, length-prefixed, MAC'd; see
+     * src/checkpoint/). checkpointTo() additionally commits it to a
+     * file atomically (write-then-rename), so a crash at any byte
+     * leaves either the previous snapshot or a detectable torn file.
+     *
+     * restore()/restoreFrom() apply a snapshot to a freshly constructed
+     * system of the *same* configuration; open() is the one-call resume
+     * path for a persisted system. All failure modes (torn file, MAC or
+     * version mismatch, wrong configuration, diverged backend region)
+     * raise CheckpointError and corrupt state is never silently
+     * resumed: failures detected before anything was written leave the
+     * system untouched, and a failure that interrupts a partially
+     * applied restore poisons the system — frontend() refuses from then
+     * on (construct a fresh system, as open() does, to retry).
+     * @{ */
+    std::vector<u8> checkpoint(CheckpointScope scope
+                               = CheckpointScope::Auto);
+    void restore(const std::vector<u8>& blob);
+    void checkpointTo(const std::string& path,
+                      CheckpointScope scope = CheckpointScope::Auto);
+    void restoreFrom(const std::string& path);
+
+    /**
+     * Resume a persisted system in a fresh process: constructs the
+     * system over the existing backend (backendReset forced off) and
+     * applies the snapshot at `snapshot_path`. The result reproduces
+     * bit-identical access results and timing-model state versus the
+     * checkpointed instance.
+     */
+    static std::unique_ptr<OramSystem> open(SchemeId scheme,
+                                            OramSystemConfig config,
+                                            const std::string&
+                                                snapshot_path);
+
+    /** Fingerprint of every behavior-affecting configuration field;
+     *  embedded in the snapshot envelope and checked on restore. */
+    u64 configFingerprint() const;
+    /** @} */
+
+    Frontend&
+    frontend()
+    {
+        requireUsable();
+        return *frontend_;
+    }
+    const Frontend&
+    frontend() const
+    {
+        requireUsable();
+        return *frontend_;
+    }
 
     /** The storage medium under the ORAM tree(s). */
     StorageBackend& storage() { return *store_; }
@@ -103,11 +175,25 @@ class OramSystem {
     void clearTrace() { trace_.clear(); }
 
   private:
+    /** Resolve Auto and reject unsatisfiable explicit scopes. */
+    CheckpointScope resolveScope(CheckpointScope scope) const;
+
+    void
+    requireUsable() const
+    {
+        if (poisoned_)
+            throw CheckpointError(
+                "system is in a partially restored state after a failed "
+                "restore; construct a fresh system and retry");
+    }
+
+    bool poisoned_ = false; ///< a restore failed after it began writing
     OramSystemConfig cfg_;
     SchemeId scheme_;
     std::unique_ptr<StorageBackend> store_;
     std::unique_ptr<StreamCipher> cipher_;
     std::unique_ptr<Frontend> frontend_;
+    Mac ckptMac_; ///< snapshot authentication key (dedicated KDF label)
     std::vector<TraceEvent> trace_;
 };
 

@@ -78,6 +78,48 @@ Plb::insert(PlbEntry entry)
     return evicted;
 }
 
+void
+Plb::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagPlb);
+    w.putU64(sets_);
+    w.putU32(ways_);
+    w.putU64(clock_);
+    for (const PlbEntry& e : entries_) {
+        w.putU8(e.valid ? 1 : 0);
+        if (!e.valid)
+            continue;
+        w.putU64(e.addr);
+        w.putU64(e.leaf);
+        w.putU64(e.counter);
+        w.putU64(e.lastUse);
+        e.content.saveState(w);
+    }
+    w.end();
+}
+
+void
+Plb::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagPlb);
+    if (r.getU64() != sets_ || r.getU32() != ways_)
+        throw CheckpointError(
+            "PLB geometry differs from the checkpointed one");
+    clock_ = r.getU64();
+    for (PlbEntry& e : entries_) {
+        e = PlbEntry{};
+        if (r.getU8() == 0)
+            continue;
+        e.valid = true;
+        e.addr = r.getU64();
+        e.leaf = r.getU64();
+        e.counter = r.getU64();
+        e.lastUse = r.getU64();
+        e.content.restoreState(r);
+    }
+    r.exit();
+}
+
 std::vector<PlbEntry>
 Plb::drain()
 {

@@ -76,6 +76,11 @@ class Plb {
     const StatSet& stats() const { return stats_; }
     StatSet& stats() { return stats_; }
 
+    /** @name Checkpoint/restore (exact set/way/LRU layout) @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
+
   private:
     u64 setIndex(Addr addr) const { return addr % sets_; }
 

@@ -39,6 +39,36 @@ largestPow2AtMost(u64 v)
 
 } // namespace
 
+void
+PosMapContent::saveState(CheckpointWriter& w) const
+{
+    w.putU64(leaves.size());
+    for (const u32 v : leaves)
+        w.putU32(v);
+    w.putU64(gc);
+    w.putU64(ic.size());
+    for (const u16 v : ic)
+        w.putU32(v);
+    w.putU64(flat.size());
+    for (const u64 v : flat)
+        w.putU64(v);
+}
+
+void
+PosMapContent::restoreState(CheckpointReader& r)
+{
+    leaves.resize(r.getU64());
+    for (auto& v : leaves)
+        v = r.getU32();
+    gc = r.getU64();
+    ic.resize(r.getU64());
+    for (auto& v : ic)
+        v = static_cast<u16>(r.getU32());
+    flat.resize(r.getU64());
+    for (auto& v : flat)
+        v = r.getU64();
+}
+
 PosMapFormat::PosMapFormat(Kind kind, u64 block_bytes, u32 beta)
     : kind_(kind), beta_(beta), blockBytes_(block_bytes)
 {

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 
@@ -37,6 +38,11 @@ struct PosMapContent {
     std::vector<u64> flat;   ///< FlatCounter format
 
     static constexpr u32 kUninitLeaf = 0xffffffffu;
+
+    /** @name Checkpoint/restore (all three format variants) @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
 };
 
 /** Content format descriptor + codec for PosMap blocks. */

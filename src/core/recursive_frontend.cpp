@@ -1,6 +1,7 @@
 #include "core/recursive_frontend.hpp"
 
 #include <cstring>
+#include <map>
 
 namespace froram {
 namespace {
@@ -86,6 +87,76 @@ RecursiveFrontend::fullAccessBytes() const
     for (const auto& p : treeParams_)
         total += 2 * p.pathBytes();
     return total;
+}
+
+void
+RecursiveFrontend::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagFrontend);
+    w.putU32(2); // frontend kind: recursive
+    w.begin(ckpt::kTagPosMap);
+    w.putU64(onChip_.size());
+    for (const u64 v : onChip_)
+        w.putU64(v);
+    w.end();
+    w.begin(ckpt::kTagRng);
+    u64 rng[4];
+    rng_.saveState(rng);
+    for (const u64 v : rng)
+        w.putU64(v);
+    w.end();
+    w.begin(ckpt::kTagOracle);
+    const std::map<u64, const PosMapContent*> sorted = [&] {
+        std::map<u64, const PosMapContent*> m;
+        for (const auto& [key, content] : oracle_)
+            m.emplace(key, &content);
+        return m;
+    }();
+    w.putU64(sorted.size());
+    for (const auto& [key, content] : sorted) {
+        w.putU64(key);
+        content->saveState(w);
+    }
+    w.end();
+    w.putU32(geo_.h);
+    for (const auto& tree : trees_)
+        tree->saveState(w);
+    w.end();
+}
+
+void
+RecursiveFrontend::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagFrontend);
+    if (r.getU32() != 2)
+        throw CheckpointError("snapshot holds a different frontend kind");
+    r.enter(ckpt::kTagPosMap);
+    if (r.getU64() != onChip_.size())
+        throw CheckpointError(
+            "on-chip PosMap size differs from the checkpointed one");
+    for (u64& v : onChip_)
+        v = r.getU64();
+    r.exit();
+    r.enter(ckpt::kTagRng);
+    u64 rng[4];
+    for (u64& v : rng)
+        v = r.getU64();
+    rng_.restoreState(rng);
+    r.exit();
+    r.enter(ckpt::kTagOracle);
+    oracle_.clear();
+    const u64 oracle_count = r.getU64();
+    for (u64 i = 0; i < oracle_count; ++i) {
+        const u64 key = r.getU64();
+        oracle_[key].restoreState(r);
+    }
+    r.exit();
+    if (r.getU32() != geo_.h)
+        throw CheckpointError(
+            "recursion depth differs from the checkpointed one");
+    for (auto& tree : trees_)
+        tree->restoreState(r);
+    r.exit();
 }
 
 FrontendResult

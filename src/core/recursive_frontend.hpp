@@ -69,6 +69,9 @@ class RecursiveFrontend : public Frontend {
     /** Sum of per-tree path bytes for one full recursive access. */
     u64 fullAccessBytes() const;
 
+    void saveState(CheckpointWriter& w) const override;
+    void restoreState(CheckpointReader& r) override;
+
   private:
     Leaf randomLeafFor(u32 tree) const;
 

@@ -1,6 +1,7 @@
 #include "core/unified_frontend.hpp"
 
 #include <cstring>
+#include <map>
 
 namespace froram {
 namespace {
@@ -218,6 +219,72 @@ UnifiedFrontend::drainPlb()
     FrontendResult scratch;
     for (auto& e : plb_.drain())
         appendEvicted(std::move(e), scratch);
+}
+
+void
+UnifiedFrontend::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagFrontend);
+    w.putU32(1); // frontend kind: unified
+    w.begin(ckpt::kTagPosMap);
+    w.putU64(onChip_.size());
+    for (const u64 v : onChip_)
+        w.putU64(v);
+    w.end();
+    w.begin(ckpt::kTagRng);
+    u64 rng[4];
+    rng_.saveState(rng);
+    for (const u64 v : rng)
+        w.putU64(v);
+    w.end();
+    plb_.saveState(w);
+    w.begin(ckpt::kTagOracle);
+    const std::map<Addr, const PosMapContent*> sorted = [&] {
+        std::map<Addr, const PosMapContent*> m;
+        for (const auto& [addr, content] : oracle_)
+            m.emplace(addr, &content);
+        return m;
+    }();
+    w.putU64(sorted.size());
+    for (const auto& [addr, content] : sorted) {
+        w.putU64(addr);
+        content->saveState(w);
+    }
+    w.end();
+    backend_->saveState(w);
+    w.end();
+}
+
+void
+UnifiedFrontend::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagFrontend);
+    if (r.getU32() != 1)
+        throw CheckpointError("snapshot holds a different frontend kind");
+    r.enter(ckpt::kTagPosMap);
+    if (r.getU64() != onChip_.size())
+        throw CheckpointError(
+            "on-chip PosMap size differs from the checkpointed one");
+    for (u64& v : onChip_)
+        v = r.getU64();
+    r.exit();
+    r.enter(ckpt::kTagRng);
+    u64 rng[4];
+    for (u64& v : rng)
+        v = r.getU64();
+    rng_.restoreState(rng);
+    r.exit();
+    plb_.restoreState(r);
+    r.enter(ckpt::kTagOracle);
+    oracle_.clear();
+    const u64 oracle_count = r.getU64();
+    for (u64 i = 0; i < oracle_count; ++i) {
+        const Addr addr = r.getU64();
+        oracle_[addr].restoreState(r);
+    }
+    r.exit();
+    backend_->restoreState(r);
+    r.exit();
 }
 
 UnifiedFrontend::EntryTouch

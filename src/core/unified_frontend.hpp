@@ -83,6 +83,9 @@ class UnifiedFrontend : public Frontend {
     void drainPlb();
     /** @} */
 
+    void saveState(CheckpointWriter& w) const override;
+    void restoreState(CheckpointReader& r) override;
+
   private:
     /** Result of touching (reading + remapping) one PosMap entry. */
     struct EntryTouch {

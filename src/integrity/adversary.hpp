@@ -3,10 +3,11 @@
  * Active-adversary harness (Section 2 threat model: the data center "may
  * additionally try to tamper with the contents of DRAM").
  *
- * Each method implements one attack class against an EncryptedTreeStorage;
- * the integrity test suite asserts that PMMAC (or the Merkle baseline)
- * either detects the attack or the attack provably cannot affect the
- * block of interest.
+ * Each method implements one attack class against a CodecTreeStorage —
+ * any encrypted bucket medium, from the host-RAM map to a persisted mmap
+ * region reopened by a resumed controller; the integrity test suite
+ * asserts that PMMAC (or the Merkle baseline) either detects the attack
+ * or the attack provably cannot affect the block of interest.
  */
 #ifndef FRORAM_INTEGRITY_ADVERSARY_HPP
 #define FRORAM_INTEGRITY_ADVERSARY_HPP
@@ -22,7 +23,7 @@ namespace froram {
 /** Tampering adversary over one untrusted bucket store. */
 class Adversary {
   public:
-    Adversary(EncryptedTreeStorage* storage, const OramParams& params,
+    Adversary(CodecTreeStorage* storage, const OramParams& params,
               u64 seed = 0xbadc0de)
         : storage_(storage), params_(params), rng_(seed)
     {
@@ -123,7 +124,7 @@ class Adversary {
     }
 
   private:
-    EncryptedTreeStorage* storage_;
+    CodecTreeStorage* storage_;
     OramParams params_;
     Xoshiro256 rng_;
 };

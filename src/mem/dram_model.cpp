@@ -111,4 +111,46 @@ DramModel::idle(u64 ps)
     now_ += ps;
 }
 
+void
+DramModel::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagDram);
+    w.putU64(now_);
+    w.putU64(channels_.size());
+    for (const Channel& ch : channels_) {
+        w.putU64(ch.busFreeAt);
+        w.putU64(ch.banks.size());
+        for (const Bank& b : ch.banks) {
+            w.putU64(static_cast<u64>(b.openRow));
+            w.putU64(b.nextColAt);
+            w.putU64(b.activatedAt);
+            w.putU64(b.lastWriteEnd);
+        }
+    }
+    w.end();
+}
+
+void
+DramModel::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagDram);
+    now_ = r.getU64();
+    if (r.getU64() != channels_.size())
+        throw CheckpointError(
+            "DRAM channel count differs from the checkpointed one");
+    for (Channel& ch : channels_) {
+        ch.busFreeAt = r.getU64();
+        if (r.getU64() != ch.banks.size())
+            throw CheckpointError(
+                "DRAM bank count differs from the checkpointed one");
+        for (Bank& b : ch.banks) {
+            b.openRow = static_cast<i64>(r.getU64());
+            b.nextColAt = r.getU64();
+            b.activatedAt = r.getU64();
+            b.lastWriteEnd = r.getU64();
+        }
+    }
+    r.exit();
+}
+
 } // namespace froram

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "mem/dram_config.hpp"
 #include "util/stats.hpp"
 
@@ -54,6 +55,16 @@ class DramModel {
 
     /** Current model time in picoseconds. */
     u64 now() const { return now_; }
+
+    /** @name Checkpoint/restore
+     *
+     * The model clock, per-bank open rows and bus occupancy determine
+     * every future access latency; a restored simulation must price the
+     * next path exactly like the uninterrupted one would have.
+     * @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
 
   private:
     struct Bank {

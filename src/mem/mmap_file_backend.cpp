@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/bitops.hpp"
+
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -23,60 +25,120 @@ MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
         fatal("mmap backend cannot open ", path, ": ",
               std::strerror(errno));
 
-    // Grow (never shrink) the sparse file to the requested capacity.
-    struct stat st;
-    if (::fstat(fd_, &st) != 0)
-        fatal("mmap backend cannot stat ", path, ": ",
-              std::strerror(errno));
-    if (static_cast<u64>(st.st_size) > capacity_)
-        capacity_ = static_cast<u64>(st.st_size);
-    if (::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0)
-        fatal("mmap backend cannot size ", path, " to ", capacity_, ": ",
-              std::strerror(errno));
+    // fatal() throws, which skips the destructor mid-construction: any
+    // failure past open() must release the fd (and mapping) by hand or
+    // a process probing candidate files would leak them.
+    try {
+        struct stat st;
+        if (::fstat(fd_, &st) != 0)
+            fatal("mmap backend cannot stat ", path, ": ",
+                  std::strerror(errno));
+        const bool fresh = reset || st.st_size == 0;
+        if (!fresh) {
+            // Reopening an existing file: it must be a froram backend
+            // of a format this build understands, *before* anything
+            // dereferences region offsets into it.
+            if (static_cast<u64>(st.st_size) < kSuperblockBytes)
+                fatal("mmap backend ", path, " is too small (",
+                      st.st_size, " bytes) to be a froram backend "
+                      "file; reset to reinitialize");
+            // Grow (never shrink) the data plane to the requested size.
+            const u64 existing_data =
+                static_cast<u64>(st.st_size) - kSuperblockBytes;
+            if (existing_data > capacity_)
+                capacity_ = existing_data;
+        }
+        if (::ftruncate(fd_, static_cast<off_t>(capacity_ +
+                                                kSuperblockBytes)) != 0)
+            fatal("mmap backend cannot size ", path, " to ",
+                  capacity_ + kSuperblockBytes, ": ",
+                  std::strerror(errno));
 
-    void* map = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
-                       MAP_SHARED, fd_, 0);
-    if (map == MAP_FAILED)
-        fatal("mmap backend cannot map ", path, ": ",
-              std::strerror(errno));
-    map_ = static_cast<u8*>(map);
+        void* map = ::mmap(nullptr, capacity_ + kSuperblockBytes,
+                           PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+        if (map == MAP_FAILED)
+            fatal("mmap backend cannot map ", path, ": ",
+                  std::strerror(errno));
+        map_ = static_cast<u8*>(map);
+
+        if (fresh)
+            writeSuperblock();
+        else
+            loadSuperblock();
+    } catch (...) {
+        if (map_ != nullptr)
+            ::munmap(map_, capacity_ + kSuperblockBytes);
+        ::close(fd_);
+        map_ = nullptr;
+        fd_ = -1;
+        throw;
+    }
 }
 
 MmapFileBackend::~MmapFileBackend()
 {
     if (map_ != nullptr) {
-        ::msync(map_, capacity_, MS_SYNC);
-        ::munmap(map_, capacity_);
+        ::msync(map_, capacity_ + kSuperblockBytes, MS_SYNC);
+        ::munmap(map_, capacity_ + kSuperblockBytes);
     }
     if (fd_ >= 0)
         ::close(fd_);
 }
 
 void
+MmapFileBackend::writeSuperblock()
+{
+    std::memset(map_, 0, kSuperblockBytes);
+    storeLe(map_, kSuperMagic);
+    storeLe(map_ + 8, kSuperVersion, 4);
+    storeLe(map_ + 16, 0);
+}
+
+void
+MmapFileBackend::loadSuperblock()
+{
+    if (loadLe(map_) != kSuperMagic)
+        fatal("mmap backend ", path_, " is not a froram backend file "
+              "(or predates the superblock format); reset to "
+              "reinitialize");
+    const u32 version = static_cast<u32>(loadLe(map_ + 8, 4));
+    if (version != kSuperVersion)
+        fatal("mmap backend ", path_, " uses superblock format version ",
+              version, "; this build reads version ", kSuperVersion);
+    const u64 count = loadLe(map_ + 16);
+    if (count > kMaxRegions)
+        fatal("mmap backend ", path_, " superblock is corrupt (", count,
+              " recorded regions)");
+    recorded_.resize(count);
+    for (u64 i = 0; i < count; ++i)
+        recorded_[i] = loadLe(map_ + 24 + 8 * i);
+}
+
+void
 MmapFileBackend::read(u64 addr, u8* dst, u64 len)
 {
     FRORAM_ASSERT(addr + len <= capacity_, "mmap read past capacity");
-    std::memcpy(dst, map_ + addr, len);
+    std::memcpy(dst, data(addr), len);
 }
 
 void
 MmapFileBackend::write(u64 addr, const u8* src, u64 len)
 {
     FRORAM_ASSERT(addr + len <= capacity_, "mmap write past capacity");
-    std::memcpy(map_ + addr, src, len);
+    std::memcpy(data(addr), src, len);
 }
 
 u8*
 MmapFileBackend::view(u64 addr, u64 len)
 {
     FRORAM_ASSERT(addr + len <= capacity_, "mmap view past capacity");
-    return map_ + addr;
+    return data(addr);
 }
 
 void
 MmapFileBackend::sync()
 {
-    if (::msync(map_, capacity_, MS_SYNC) != 0)
+    if (::msync(map_, capacity_ + kSuperblockBytes, MS_SYNC) != 0)
         fatal("msync failed on ", path_, ": ", std::strerror(errno));
 }
 
@@ -96,6 +158,27 @@ MmapFileBackend::onRegionAllocated(u64 total_bytes)
         fatal("mmap backend ", path_, " too small: need ", total_bytes,
               " bytes, capacity ", capacity_,
               " (raise StorageBackendConfig::fileBytes)");
+    if (replayIdx_ < recorded_.size()) {
+        // Reopen: the allocation sequence must replay the persisted one
+        // exactly, otherwise this configuration would place its trees at
+        // different offsets and clobber (or misread) the stored regions.
+        if (recorded_[replayIdx_] != total_bytes)
+            fatal("mmap backend ", path_, " was persisted with a "
+                  "different region layout: region ", replayIdx_,
+                  " ended at ", recorded_[replayIdx_],
+                  " bytes, this configuration requests ", total_bytes,
+                  " (ORAM geometry/params differ from the persisted "
+                  "system; reset the backend to reinitialize)");
+        ++replayIdx_;
+        return;
+    }
+    if (recorded_.size() >= kMaxRegions)
+        fatal("mmap backend ", path_, " region log full (",
+              kMaxRegions, " regions)");
+    recorded_.push_back(total_bytes);
+    storeLe(map_ + 24 + 8 * (recorded_.size() - 1), total_bytes);
+    storeLe(map_ + 16, recorded_.size());
+    ++replayIdx_;
 }
 
 } // namespace froram

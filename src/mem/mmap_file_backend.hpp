@@ -6,6 +6,7 @@
 #define FRORAM_MEM_MMAP_FILE_BACKEND_HPP
 
 #include <string>
+#include <vector>
 
 #include "mem/storage_backend.hpp"
 
@@ -15,17 +16,28 @@ namespace froram {
  * A byte store mapped from a sparse file on disk.
  *
  * The file is created (or reopened) at construction and truncated up to
- * `file_bytes`; pages materialize on first touch, so a large capacity
- * costs disk only for buckets actually written. sync() issues a
- * synchronous msync, making everything written so far durable. Reopening
- * with `reset = false` sees the previous run's bytes — the seam the
- * durable oblivious-KV scenario builds on.
+ * `file_bytes` (plus one superblock page); pages materialize on first
+ * touch, so a large capacity costs disk only for buckets actually
+ * written. sync() issues a synchronous msync, making everything written
+ * so far durable. Reopening with `reset = false` sees the previous
+ * run's bytes — the seam the durable oblivious-KV scenario builds on.
+ *
+ * The first page of the file is a superblock recording the format
+ * version and the region-allocation log (the end offset of every
+ * allocRegion() call). Region extents are otherwise implied by the
+ * deterministic allocation order, so before the superblock existed a
+ * reopen under a *different* ORAM configuration would place trees at
+ * different offsets and silently clobber (or misread) the persisted
+ * regions. Now every reopened allocation is replayed against the log
+ * and any mismatch — or a file that is not a froram backend at all —
+ * raises a typed FatalError before the first bucket access.
  */
 class MmapFileBackend : public StorageBackend {
   public:
     /**
      * @param path backing file, created if absent
-     * @param file_bytes capacity; every allocRegion must fit under it
+     * @param file_bytes data-plane capacity; every allocRegion must fit
+     *        under it (the file itself is one superblock page larger)
      * @param reset discard existing contents instead of reopening
      */
     MmapFileBackend(const std::string& path, u64 file_bytes, bool reset);
@@ -51,14 +63,30 @@ class MmapFileBackend : public StorageBackend {
     const std::string& path() const { return path_; }
     u64 capacityBytes() const { return capacity_; }
 
+    /** Region end offsets recorded in the superblock (tests). */
+    const std::vector<u64>& recordedRegions() const { return recorded_; }
+
   protected:
     void onRegionAllocated(u64 total_bytes) override;
 
   private:
+    static constexpr u64 kSuperblockBytes = 4096;
+    static constexpr u64 kSuperMagic = 0x314D4D41524F5246ULL; // "FRORAMM1"
+    static constexpr u32 kSuperVersion = 1;
+    static constexpr u64 kMaxRegions = (kSuperblockBytes - 24) / 8;
+
+    /** Mapped bytes backing data-plane address `addr`. */
+    u8* data(u64 addr) { return map_ + kSuperblockBytes + addr; }
+
+    void writeSuperblock();
+    void loadSuperblock();
+
     std::string path_;
-    u64 capacity_ = 0;
+    u64 capacity_ = 0; ///< data-plane capacity (file is one page larger)
     int fd_ = -1;
     u8* map_ = nullptr;
+    std::vector<u64> recorded_; ///< superblock region-end log
+    u64 replayIdx_ = 0;         ///< next recorded entry to validate
 };
 
 } // namespace froram

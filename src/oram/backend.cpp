@@ -197,6 +197,28 @@ PathOramBackend::append(Block block)
     stats_.inc("appends");
 }
 
+void
+PathOramBackend::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagBackend);
+    stash_.saveState(w);
+    w.begin(ckpt::kTagTreeStore);
+    storage_->saveTrustedState(w);
+    w.end();
+    w.end();
+}
+
+void
+PathOramBackend::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagBackend);
+    stash_.restoreState(r);
+    r.enter(ckpt::kTagTreeStore);
+    storage_->restoreTrustedState(r);
+    r.exit();
+    r.exit();
+}
+
 std::optional<BucketCoord>
 PathOramBackend::locateInTree(Addr addr)
 {

@@ -124,6 +124,11 @@ class PathOramBackend {
      */
     std::optional<BucketCoord> locateInTree(Addr addr);
 
+    /** @name Checkpoint/restore (stash + tree-storage trusted state) @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
+
   private:
     /** Heap index of a bucket coordinate. */
     static u64

@@ -13,8 +13,10 @@
 #ifndef FRORAM_ORAM_STASH_HPP
 #define FRORAM_ORAM_STASH_HPP
 
+#include <algorithm>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "oram/params.hpp"
 #include "oram/types.hpp"
 #include "util/stats.hpp"
@@ -265,6 +267,92 @@ class Stash {
         }
         return out;
     }
+
+    /** @name Checkpoint/restore
+     *
+     * The stash serializes its *exact* internal layout — pool slot
+     * assignments, free-list order and open-addressed index placement —
+     * not just the block set. Eviction walks the index table in slot
+     * order, so two stashes holding the same blocks in different table
+     * layouts could evict different (equally legal) block subsets; a
+     * restored run must replay the original's choices bit for bit.
+     * @{ */
+    void
+    saveState(CheckpointWriter& w) const
+    {
+        FRORAM_ASSERT(evicted_.empty(),
+                      "cannot checkpoint mid-eviction");
+        w.begin(ckpt::kTagStash);
+        w.putU32(capacity_);
+        w.putU32(transientSlack_);
+        w.putU64(size_);
+        w.putU64(freeList_.size());
+        for (const u32 idx : freeList_)
+            w.putU32(idx);
+        // Occupied pool slots, identified via the index table so the
+        // count always matches size_.
+        u64 occupied = 0;
+        for (u64 t = 0; t <= mask_; ++t) {
+            if (keys_[t] == kDummyAddr)
+                continue;
+            const Block& b = pool_[vals_[t]];
+            w.putU64(t);
+            w.putU32(vals_[t]);
+            w.putU64(b.addr);
+            w.putU64(b.leaf);
+            w.putBlob(b.data.data(), b.data.size());
+            ++occupied;
+        }
+        FRORAM_ASSERT(occupied == size_, "stash index out of sync");
+        w.end();
+    }
+
+    void
+    restoreState(CheckpointReader& r)
+    {
+        r.enter(ckpt::kTagStash);
+        if (r.getU32() != capacity_ || r.getU32() != transientSlack_)
+            throw CheckpointError(
+                "stash geometry differs from the checkpointed one");
+        const u64 size = r.getU64();
+        const u64 free_count = r.getU64();
+        if (size + free_count != pool_.size())
+            throw CheckpointError("stash pool accounting corrupt");
+        // Reset to empty, keeping each pooled payload's reserved buffer.
+        for (Block& b : pool_) {
+            b.addr = kDummyAddr;
+            b.leaf = kNoLeaf;
+            b.data.clear();
+        }
+        freeList_.clear();
+        for (u64 i = 0; i < free_count; ++i) {
+            const u32 idx = r.getU32();
+            if (idx >= pool_.size())
+                throw CheckpointError("stash free-list index out of range");
+            freeList_.push_back(idx);
+        }
+        std::fill(keys_.begin(), keys_.end(), kDummyAddr);
+        std::fill(vals_.begin(), vals_.end(), 0);
+        for (u64 i = 0; i < size; ++i) {
+            const u64 slot = r.getU64();
+            const u32 idx = r.getU32();
+            if (slot > mask_ || idx >= pool_.size())
+                throw CheckpointError("stash index entry out of range");
+            if (keys_[slot] != kDummyAddr)
+                throw CheckpointError("stash index slot reused");
+            Block& b = pool_[idx];
+            b.addr = r.getU64();
+            b.leaf = r.getU64();
+            b.data = r.getBlob();
+            if (b.addr == kDummyAddr)
+                throw CheckpointError("stash holds a dummy block");
+            keys_[slot] = b.addr;
+            vals_[slot] = idx;
+        }
+        size_ = size;
+        r.exit();
+    }
+    /** @} */
 
   private:
     static constexpr u32 kNil = ~u32{0};

@@ -28,30 +28,15 @@ BackedTreeStorage::BackedTreeStorage(const OramParams& params,
     const auto digest = Sha3_224::hash(pad, 16);
     u8 fingerprint[8];
     std::copy(digest.begin(), digest.begin() + 8, fingerprint);
+    fingerprint_ = loadLe(fingerprint);
 
     u8 header[kHeaderBytes] = {0};
     backend_.read(base_, header, kHeaderBytes);
     if (loadLe(header) == kMagic) {
         // A previous run left a tree here: anything that would decode it
         // wrong (or silently clobber it) must fail loudly instead.
-        if (loadLe(header + 8) != numBuckets_ ||
-            loadLe(header + 16) != slotBytes_)
-            fatal("persisted ORAM tree has different geometry (",
-                  loadLe(header + 8), " buckets of ", loadLe(header + 16),
-                  " bytes vs ", numBuckets_, " of ", slotBytes_,
-                  "); reset the backend to reinitialize");
-        if (loadLe(header + 32) != loadLe(fingerprint) ||
-            header[40] != static_cast<u8>(scheme))
-            fatal("persisted ORAM tree was written under a different "
-                  "cipher key or seed scheme; refusing to decode garbage "
-                  "(reset the backend to reinitialize)");
-        // A previous run left a matching tree here: reload its bitmap and
-        // its seed register so decoding works and pads are never reused.
         resumed_ = true;
-        backend_.read(base_ + kHeaderBytes, bitmap_.data(), bitmapBytes());
-        for (const u8 byte : bitmap_)
-            touched_ += popcount64(byte);
-        codec_.setGlobalSeed(loadLe(header + 24));
+        reattach();
         return;
     }
 
@@ -62,11 +47,97 @@ BackedTreeStorage::BackedTreeStorage(const OramParams& params,
     storeLe(header + 8, numBuckets_);
     storeLe(header + 16, slotBytes_);
     storeLe(header + 24, codec_.globalSeed());
-    storeLe(header + 32, loadLe(fingerprint));
+    storeLe(header + 32, fingerprint_);
     header[40] = static_cast<u8>(scheme);
     for (u64 i = 41; i < kHeaderBytes; ++i)
         header[i] = 0;
     backend_.write(base_, header, kHeaderBytes);
+}
+
+void
+BackedTreeStorage::reattach()
+{
+    u8 header[kHeaderBytes] = {0};
+    backend_.read(base_, header, kHeaderBytes);
+    if (loadLe(header) != kMagic)
+        fatal("no persisted ORAM tree at region base ", base_,
+              "; the backend region was never initialized");
+    if (loadLe(header + 8) != numBuckets_ ||
+        loadLe(header + 16) != slotBytes_)
+        fatal("persisted ORAM tree has different geometry (",
+              loadLe(header + 8), " buckets of ", loadLe(header + 16),
+              " bytes vs ", numBuckets_, " of ", slotBytes_,
+              "); reset the backend to reinitialize");
+    if (loadLe(header + 32) != fingerprint_ ||
+        header[40] != static_cast<u8>(codec_.scheme()))
+        fatal("persisted ORAM tree was written under a different "
+              "cipher key or seed scheme; refusing to decode garbage "
+              "(reset the backend to reinitialize)");
+    // Reload the bitmap and seed register so previously written buckets
+    // decode again and re-encryption never reuses a one-time pad. The
+    // in-memory register is never rewound: a restored data plane whose
+    // stored register lags the live one keeps the larger value (stored
+    // seeds inside bucket images still decrypt; only *new* pads draw
+    // from the register).
+    backend_.read(base_ + kHeaderBytes, bitmap_.data(), bitmapBytes());
+    touched_ = 0;
+    for (const u8 byte : bitmap_)
+        touched_ += popcount64(byte);
+    const u64 stored_seed = loadLe(header + 24);
+    if (codec_.scheme() == SeedScheme::GlobalCounter &&
+        stored_seed > codec_.globalSeed())
+        codec_.setGlobalSeed(stored_seed);
+}
+
+void
+BackedTreeStorage::saveTrustedState(CheckpointWriter& w) const
+{
+    w.putU64(base_);
+    w.putU64(numBuckets_);
+    w.putU64(slotBytes_);
+    w.putU8(static_cast<u8>(codec_.scheme()));
+    w.putU64(codec_.globalSeed());
+    w.putU64(touched_);
+}
+
+void
+BackedTreeStorage::restoreTrustedState(CheckpointReader& r)
+{
+    if (r.getU64() != base_ || r.getU64() != numBuckets_ ||
+        r.getU64() != slotBytes_)
+        throw CheckpointError(
+            "tree region layout differs from the checkpointed one");
+    if (r.getU8() != static_cast<u8>(codec_.scheme()))
+        throw CheckpointError(
+            "tree seed scheme differs from the checkpointed one");
+    const u64 saved_seed = r.getU64();
+    const u64 saved_touched = r.getU64();
+    reattach();
+    // Divergence anchor: under GlobalCounter every bucket write advances
+    // the persisted register, so register equality pins the region to
+    // the exact write the checkpoint was taken after. A region that kept
+    // running (or went backwards) after the snapshot must not be married
+    // to the snapshot's stale stash/PosMap/integrity counters.
+    if (codec_.scheme() == SeedScheme::GlobalCounter &&
+        backend_.persistent()) {
+        u8 buf[8];
+        backend_.read(base_ + 24, buf, 8);
+        const u64 region_seed = loadLe(buf, 8);
+        if (region_seed != saved_seed)
+            throw CheckpointError(
+                "backend region diverged from the checkpoint (region "
+                "seed register " + std::to_string(region_seed) +
+                ", checkpoint " + std::to_string(saved_seed) +
+                "); restore a matching region or take a full snapshot");
+    }
+    if (touched_ != saved_touched)
+        throw CheckpointError(
+            "backend region diverged from the checkpoint (" +
+            std::to_string(touched_) + " buckets written vs " +
+            std::to_string(saved_touched) + " at checkpoint time)");
+    if (codec_.scheme() == SeedScheme::GlobalCounter &&
+        saved_seed > codec_.globalSeed())
+        codec_.setGlobalSeed(saved_seed);
 }
 
 u64

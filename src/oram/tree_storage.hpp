@@ -28,10 +28,12 @@
 #ifndef FRORAM_ORAM_TREE_STORAGE_HPP
 #define FRORAM_ORAM_TREE_STORAGE_HPP
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "mem/storage_backend.hpp"
 #include "oram/bucket.hpp"
 #include "oram/bucket_codec.hpp"
@@ -111,6 +113,17 @@ class TreeStorage {
         }
         writeBucket(id, bucket);
     }
+    /** @} */
+
+    /** @name Checkpoint/restore
+     *
+     * Serialize/reload the *trusted* residue this store keeps outside
+     * the untrusted medium (seed registers, written-bucket bitmaps,
+     * or — for RAM/metadata stores — the bucket contents themselves).
+     * Defaults are empty: NullTreeStorage has nothing to save.
+     * @{ */
+    virtual void saveTrustedState(CheckpointWriter& w) const { (void)w; }
+    virtual void restoreTrustedState(CheckpointReader& r) { (void)r; }
     /** @} */
 };
 
@@ -288,6 +301,37 @@ class EncryptedTreeStorage : public CodecTreeStorage {
         images_[id] = std::move(image);
     }
 
+    /** RAM-resident images are "trusted residue" in the checkpoint
+     *  sense: they live nowhere else, so the snapshot carries them —
+     *  together with the seed register, or a restored instance would
+     *  re-issue pads already consumed by the carried images. */
+    void
+    saveTrustedState(CheckpointWriter& w) const override
+    {
+        w.putU64(codec_.globalSeed());
+        const std::map<u64, std::vector<u8>> sorted(images_.begin(),
+                                                    images_.end());
+        w.putU64(sorted.size());
+        for (const auto& [id, image] : sorted) {
+            w.putU64(id);
+            w.putBlob(image.data(), image.size());
+        }
+    }
+
+    void
+    restoreTrustedState(CheckpointReader& r) override
+    {
+        const u64 seed = r.getU64();
+        if (seed > codec_.globalSeed())
+            codec_.setGlobalSeed(seed);
+        images_.clear();
+        const u64 count = r.getU64();
+        for (u64 i = 0; i < count; ++i) {
+            const u64 id = r.getU64();
+            images_[id] = r.getBlob();
+        }
+    }
+
   private:
     std::unordered_map<u64, std::vector<u8>> images_;
 };
@@ -344,6 +388,29 @@ class BackedTreeStorage : public CodecTreeStorage {
     /** Total region size (header + bitmap + slots). */
     u64 regionBytes() const;
 
+    /** @name Checkpoint/restore
+     *
+     * The snapshot carries the seed register and bucket count as an
+     * *anchor*; the bitmap and bucket images stay on the backend. On
+     * restore, reattach() re-reads and re-validates the region header
+     * and bitmap, and — under the GlobalCounter scheme on a persistent
+     * backend — the anchor must match the region's persisted seed
+     * register exactly: a region that advanced past the checkpoint (or
+     * lagged behind it) is rejected with CheckpointError rather than
+     * resumed with stale integrity state.
+     * @{ */
+    void saveTrustedState(CheckpointWriter& w) const override;
+    void restoreTrustedState(CheckpointReader& r) override;
+
+    /**
+     * Re-read the region header and bitmap from the backend (after the
+     * data plane was externally replaced, e.g. by a full-snapshot
+     * restore). Validates magic, geometry and cipher fingerprint; the
+     * in-memory seed register only ever moves forward.
+     */
+    void reattach();
+    /** @} */
+
   private:
     static constexpr u64 kHeaderBytes = 64;
     static constexpr u64 kMagic = 0x46524F52414D5431ULL; // "FRORAMT1"
@@ -357,6 +424,7 @@ class BackedTreeStorage : public CodecTreeStorage {
     u64 numBuckets_ = 0;
     u64 slotBytes_ = 0;
     u64 base_ = 0;
+    u64 fingerprint_ = 0; // cipher-key/domain digest stored in the header
     std::vector<u8> bitmap_;
     std::vector<u8> stage_; // trusted plaintext staging for raw writes
     u64 touched_ = 0;
@@ -409,6 +477,36 @@ class MetaTreeStorage : public TreeStorage {
     bool hasBucket(u64 id) const override { return meta_.count(id) != 0; }
 
     u64 bucketsTouched() const override { return meta_.size(); }
+
+    void
+    saveTrustedState(CheckpointWriter& w) const override
+    {
+        const std::map<u64, std::vector<SlotMeta>> sorted(meta_.begin(),
+                                                          meta_.end());
+        w.putU64(sorted.size());
+        for (const auto& [id, slots] : sorted) {
+            w.putU64(id);
+            for (const SlotMeta& s : slots) {
+                w.putU64(s.addr);
+                w.putU64(s.leaf);
+            }
+        }
+    }
+
+    void
+    restoreTrustedState(CheckpointReader& r) override
+    {
+        meta_.clear();
+        const u64 count = r.getU64();
+        for (u64 i = 0; i < count; ++i) {
+            auto& slots = meta_[r.getU64()];
+            slots.resize(params_.z);
+            for (auto& s : slots) {
+                s.addr = r.getU64();
+                s.leaf = r.getU64();
+            }
+        }
+    }
 
   private:
     struct SlotMeta {

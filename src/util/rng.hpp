@@ -75,6 +75,26 @@ class Xoshiro256 {
     /** Bernoulli draw with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** @name State capture (checkpoint/restore)
+     *
+     * The generator's 256-bit state, exposed so a restored simulation
+     * resumes the exact random sequence of the checkpointed one.
+     * @{ */
+    void
+    saveState(u64 out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    void
+    restoreState(const u64 in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+    /** @} */
+
   private:
     static constexpr u64
     rotl(u64 x, int k)

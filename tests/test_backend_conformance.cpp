@@ -14,9 +14,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/oram_system.hpp"
 #include "mem/flat_memory_backend.hpp"
 #include "mem/mmap_file_backend.hpp"
@@ -454,6 +456,224 @@ TEST(SystemConformance, IdenticalResultsAcrossBackends)
     ASSERT_EQ(results.size(), 3u);
     EXPECT_EQ(results[0], results[1]) << "flat vs dram diverged";
     EXPECT_EQ(results[0], results[2]) << "flat vs mmap diverged";
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------- differential restore
+
+/** Copy a backing file byte for byte (clone of a persisted region). */
+void
+copyFile(const std::string& from, const std::string& to)
+{
+    std::ifstream in(from, std::ios::binary);
+    ASSERT_TRUE(in.good()) << from;
+    std::ofstream out(to, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+    ASSERT_TRUE(out.good()) << to;
+}
+
+/**
+ * The checkpoint/restore acceptance test: run N accesses, snapshot,
+ * then continue M accesses on the live system and on a clone restored
+ * in a "fresh process" (fresh OramSystem; for mmap, a byte copy of the
+ * backing file). Read values, leaf assignments (the adversary-visible
+ * trace), stash occupancy and DRAM-model cycle counts must all match
+ * bit for bit.
+ */
+class DifferentialRestore
+    : public ::testing::TestWithParam<StorageBackendKind> {};
+
+TEST_P(DifferentialRestore, RestoredCloneMatchesLiveSystem)
+{
+    const StorageBackendKind kind = GetParam();
+    // Per-kind names: ctest runs the three instances in parallel
+    // processes sharing one temp dir.
+    const std::string tag = toString(kind);
+    const std::string live_path = tempPath("diff_live_" + tag);
+    const std::string clone_path = tempPath("diff_clone_" + tag);
+    const std::string snap = tempPath("diff_snap_" + tag);
+    for (const auto& p : {live_path, clone_path, snap})
+        std::remove(p.c_str());
+
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 18;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = kind;
+    cfg.backendPath = live_path;
+    cfg.onChipTargetBytes = 512;
+    cfg.collectTrace = true;
+    OramSystem live(SchemeId::PlbIntegrityCompressed, cfg);
+
+    // Phase 1: N accesses, then commit a snapshot.
+    Xoshiro256 rng1(42);
+    for (u64 i = 0; i < 150; ++i) {
+        const Addr addr = rng1.below(1024);
+        if (i % 3 == 0) {
+            std::vector<u8> data(64);
+            for (auto& b : data)
+                b = static_cast<u8>(rng1.next());
+            live.frontend().access(addr, true, &data);
+        } else {
+            live.frontend().access(addr, false);
+        }
+    }
+    live.checkpointTo(snap);
+
+    // "Fresh process": restore the snapshot into a new system. For the
+    // persistent backend the clone gets its own copy of the backing
+    // file (the snapshot holds trusted state only and anchors to it);
+    // volatile backends travel inside the snapshot.
+    OramSystemConfig clone_cfg = cfg;
+    if (kind == StorageBackendKind::MmapFile) {
+        copyFile(live_path, clone_path);
+        clone_cfg.backendPath = clone_path;
+    }
+    auto clone = OramSystem::open(SchemeId::PlbIntegrityCompressed,
+                                  clone_cfg, snap);
+
+    // Phase 2: the same M accesses on both.
+    live.clearTrace();
+    EXPECT_EQ(clone->trace().size(), 0u);
+    const auto phase2 = [](OramSystem& sys, std::vector<u64>& cycles,
+                           std::vector<std::vector<u8>>& reads) {
+        Xoshiro256 rng(43);
+        for (u64 i = 0; i < 150; ++i) {
+            const Addr addr = rng.below(1024);
+            FrontendResult r;
+            if (i % 4 == 0) {
+                std::vector<u8> data(64);
+                for (auto& b : data)
+                    b = static_cast<u8>(rng.next());
+                r = sys.frontend().access(addr, true, &data);
+            } else {
+                r = sys.frontend().access(addr, false);
+                reads.push_back(r.data);
+            }
+            cycles.push_back(r.cycles);
+        }
+    };
+    std::vector<u64> cycles_live, cycles_clone;
+    std::vector<std::vector<u8>> reads_live, reads_clone;
+    phase2(live, cycles_live, reads_live);
+    phase2(*clone, cycles_clone, reads_clone);
+
+    // Read values.
+    EXPECT_EQ(reads_live, reads_clone);
+    // Cycle counts (for the timed backend these include DRAM time, so
+    // the restored DramModel state is on the hook too).
+    EXPECT_EQ(cycles_live, cycles_clone);
+    if (kind == StorageBackendKind::TimedDram) {
+        EXPECT_EQ(live.dram().now(), clone->dram().now());
+    }
+    // Leaf assignments: the adversary-visible path sequence.
+    ASSERT_EQ(live.trace().size(), clone->trace().size());
+    for (u64 i = 0; i < live.trace().size(); ++i) {
+        EXPECT_EQ(live.trace()[i].leaf, clone->trace()[i].leaf) << i;
+        EXPECT_EQ(static_cast<int>(live.trace()[i].kind),
+                  static_cast<int>(clone->trace()[i].kind)) << i;
+    }
+    // Stash occupancy.
+    auto& fe_live = static_cast<UnifiedFrontend&>(live.frontend());
+    auto& fe_clone = static_cast<UnifiedFrontend&>(clone->frontend());
+    EXPECT_EQ(fe_live.backend().stash().occupancy(),
+              fe_clone.backend().stash().occupancy());
+
+    for (const auto& p : {live_path, clone_path, snap})
+        std::remove(p.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DifferentialRestore,
+                         ::testing::Values(StorageBackendKind::Flat,
+                                           StorageBackendKind::TimedDram,
+                                           StorageBackendKind::MmapFile),
+                         [](const auto& info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ------------------------------------------- mmap reopen validation (PR 1 gap)
+
+TEST(MmapFileBackend, ReopenUnderDifferentOramGeometryFailsTyped)
+{
+    // PR 1 latent gap: nothing validated that a reopened file's region
+    // layout matched the new configuration before the first access —
+    // a mismatched reopen silently clobbered or misread the persisted
+    // trees. The superblock's region log now rejects it up front.
+    const std::string path = tempPath("reopen_geometry");
+    std::remove(path.c_str());
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 18;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = StorageBackendKind::MmapFile;
+    cfg.backendPath = path;
+    {
+        OramSystem sys(SchemeId::PlbCompressed, cfg);
+        sys.frontend().access(1, false);
+        sys.storage().sync();
+    }
+    {
+        // Same file, different capacity => different region extents.
+        OramSystemConfig other = cfg;
+        other.capacityBytes = 1 << 19;
+        other.backendReset = false;
+        EXPECT_THROW(OramSystem(SchemeId::PlbCompressed, other),
+                     FatalError);
+    }
+    {
+        // The matching configuration still reopens fine.
+        OramSystemConfig same = cfg;
+        same.backendReset = false;
+        OramSystem sys(SchemeId::PlbCompressed, same);
+        sys.frontend().access(1, false);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, ReopenNonBackendFileFailsTyped)
+{
+    const std::string path = tempPath("reopen_garbage");
+    std::remove(path.c_str());
+    {
+        std::ofstream junk(path, std::ios::binary);
+        for (int i = 0; i < 100000; ++i)
+            junk.put(static_cast<char>(i * 13 + 7));
+    }
+    EXPECT_THROW(MmapFileBackend(path, u64{4} << 20, /*reset=*/false),
+                 FatalError);
+    // reset=true reinitializes it instead.
+    MmapFileBackend fresh(path, u64{4} << 20, /*reset=*/true);
+    fresh.allocRegion(1024);
+    std::remove(path.c_str());
+}
+
+TEST(MmapFileBackend, SuperblockRecordsAndReplaysRegionLog)
+{
+    const std::string path = tempPath("region_log");
+    std::remove(path.c_str());
+    {
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/true);
+        backend.allocRegion(1000);
+        backend.allocRegion(4096);
+        ASSERT_EQ(backend.recordedRegions().size(), 2u);
+        backend.sync();
+    }
+    {
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/false);
+        EXPECT_EQ(backend.recordedRegions().size(), 2u);
+        // Replaying the same sequence succeeds...
+        backend.allocRegion(1000);
+        backend.allocRegion(4096);
+        // ...and growing past the log appends new entries.
+        backend.allocRegion(64);
+        EXPECT_EQ(backend.recordedRegions().size(), 3u);
+        backend.sync();
+    }
+    {
+        // A diverging first allocation is rejected. (Region ends are
+        // logged at 64-byte alignment, so the divergence must cross an
+        // alignment boundary to be a real layout change.)
+        MmapFileBackend backend(path, u64{4} << 20, /*reset=*/false);
+        EXPECT_THROW(backend.allocRegion(2000), FatalError);
+    }
     std::remove(path.c_str());
 }
 

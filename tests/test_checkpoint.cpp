@@ -1,0 +1,674 @@
+/**
+ * @file
+ * Checkpoint subsystem tests: serialization primitives, the sealed
+ * envelope, atomic file commits, exact component state round trips
+ * (stash, PLB), whole-system restore equivalence for every frontend
+ * kind, and the authenticated-restore tamper matrix (every serialized
+ * field class flipped and rejected).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "core/oram_system.hpp"
+#include "crypto/prf.hpp"
+#include "oram/stash.hpp"
+#include "oram/tree_storage.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::string
+tempPath(const std::string& tag)
+{
+    return ::testing::TempDir() + "froram_ckpt_" + tag + ".bin";
+}
+
+Mac
+testMac(u8 fill = 0x42)
+{
+    u8 key[16];
+    for (auto& b : key)
+        b = fill;
+    return Mac(key);
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(CheckpointCodec, ScalarsAndSectionsRoundTrip)
+{
+    CheckpointWriter w;
+    w.begin(ckpt::kTagSystem);
+    w.putU8(7);
+    w.putU32(0xDEADBEEF);
+    w.putU64(u64{1} << 60);
+    const u8 blob[] = {1, 2, 3};
+    w.putBlob(blob, sizeof(blob));
+    w.begin(ckpt::kTagRng);
+    w.putU64(99);
+    w.end();
+    w.end();
+
+    const std::vector<u8>& bytes = w.bytes();
+    CheckpointReader r(bytes.data(), bytes.size());
+    r.enter(ckpt::kTagSystem);
+    EXPECT_EQ(r.getU8(), 7);
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), u64{1} << 60);
+    EXPECT_EQ(r.getBlob(), std::vector<u8>({1, 2, 3}));
+    r.enter(ckpt::kTagRng);
+    EXPECT_EQ(r.getU64(), 99u);
+    r.exit();
+    r.exit();
+    r.expectEnd();
+}
+
+TEST(CheckpointCodec, RejectsTagMismatchTruncationAndTrailingBytes)
+{
+    CheckpointWriter w;
+    w.begin(ckpt::kTagStash);
+    w.putU64(1);
+    w.end();
+    std::vector<u8> bytes = w.bytes();
+
+    {
+        CheckpointReader r(bytes.data(), bytes.size());
+        EXPECT_THROW(r.enter(ckpt::kTagPlb), CheckpointError);
+    }
+    {
+        // Truncated mid-section.
+        CheckpointReader r(bytes.data(), bytes.size() - 3);
+        EXPECT_THROW(r.enter(ckpt::kTagStash), CheckpointError);
+    }
+    {
+        // Section not fully consumed.
+        CheckpointReader r(bytes.data(), bytes.size());
+        r.enter(ckpt::kTagStash);
+        EXPECT_THROW(r.exit(), CheckpointError);
+    }
+    {
+        // Trailing bytes after the last section: the top-level
+        // epilogue rejects them.
+        bytes.push_back(0);
+        CheckpointReader r(bytes.data(), bytes.size());
+        r.enter(ckpt::kTagStash);
+        r.getU64();
+        r.exit();
+        EXPECT_THROW(r.expectEnd(), CheckpointError);
+    }
+}
+
+// --------------------------------------------------------------- envelope
+
+TEST(CheckpointEnvelope, SealUnsealRoundTrip)
+{
+    const Mac mac = testMac();
+    const std::vector<u8> payload = {10, 20, 30, 40, 50};
+    const std::vector<u8> blob = ckpt::seal(payload, mac, 0x1234);
+    EXPECT_EQ(blob.size(),
+              ckpt::kHeaderBytes + payload.size() + ckpt::kTagBytes);
+    EXPECT_EQ(ckpt::unseal(blob, mac, 0x1234), payload);
+}
+
+TEST(CheckpointEnvelope, RejectsEveryCorruptionClass)
+{
+    const Mac mac = testMac();
+    const std::vector<u8> payload(100, 0xAB);
+    const std::vector<u8> blob = ckpt::seal(payload, mac, 7);
+
+    // Wrong key.
+    EXPECT_THROW(ckpt::unseal(blob, testMac(0x43), 7), CheckpointError);
+    // Wrong configuration fingerprint.
+    EXPECT_THROW(ckpt::unseal(blob, mac, 8), CheckpointError);
+    // Version flip.
+    {
+        auto t = blob;
+        t[8] ^= 1;
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError);
+    }
+    // Magic flip.
+    {
+        auto t = blob;
+        t[0] ^= 1;
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError);
+    }
+    // Length-prefix flip (torn-write detector).
+    {
+        auto t = blob;
+        t[24] ^= 1;
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError);
+    }
+    // MAC tag flip.
+    {
+        auto t = blob;
+        t.back() ^= 1;
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError);
+    }
+    // Payload flip.
+    {
+        auto t = blob;
+        t[ckpt::kHeaderBytes + 50] ^= 0x80;
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError);
+    }
+    // Truncation to every prefix fails loudly.
+    for (u64 len = 0; len < blob.size(); len += 7) {
+        const std::vector<u8> t(blob.begin(),
+                                blob.begin() + static_cast<long>(len));
+        EXPECT_THROW(ckpt::unseal(t, mac, 7), CheckpointError)
+            << "prefix " << len;
+    }
+    // The pristine blob still unseals (the above never mutated it).
+    EXPECT_EQ(ckpt::unseal(blob, mac, 7), payload);
+}
+
+TEST(CheckpointFile, AtomicWriteReadRoundTrip)
+{
+    const std::string path = tempPath("atomic");
+    std::remove(path.c_str());
+    const std::vector<u8> blob(1000, 0x5C);
+    ckpt::writeFileAtomic(path, blob);
+    EXPECT_EQ(ckpt::readFile(path), blob);
+    // The temp file must not linger after a successful commit.
+    EXPECT_THROW(ckpt::readFile(path + ".tmp"), CheckpointError);
+    // Overwrite commits atomically over the old snapshot.
+    const std::vector<u8> blob2(500, 0x11);
+    ckpt::writeFileAtomic(path, blob2);
+    EXPECT_EQ(ckpt::readFile(path), blob2);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, MissingFileIsTypedError)
+{
+    EXPECT_THROW(ckpt::readFile(tempPath("never_written")),
+                 CheckpointError);
+}
+
+// ------------------------------------------------------- component state
+
+TEST(StashCheckpoint, ExactStateRoundTrip)
+{
+    Stash a(50, 40, 64);
+    Xoshiro256 rng(3);
+    // Build history: inserts and removes so free-list order and index
+    // placement are nontrivial.
+    for (u64 i = 1; i <= 40; ++i) {
+        std::vector<u8> data(64, static_cast<u8>(i));
+        a.insertBytes(i, rng.below(1 << 10), data.data(), data.size());
+    }
+    for (u64 i = 2; i <= 40; i += 3)
+        a.remove(i);
+
+    CheckpointWriter w;
+    a.saveState(w);
+
+    Stash b(50, 40, 64);
+    CheckpointReader r(w.bytes().data(), w.bytes().size());
+    b.restoreState(r);
+    r.expectEnd();
+
+    EXPECT_EQ(b.occupancy(), a.occupancy());
+    const auto blocks_a = a.blocksSnapshot();
+    const auto blocks_b = b.blocksSnapshot();
+    ASSERT_EQ(blocks_a.size(), blocks_b.size());
+    for (u64 i = 0; i < blocks_a.size(); ++i) {
+        // blocksSnapshot walks the index table in slot order: equality
+        // element-by-element proves the table layout matches exactly.
+        EXPECT_EQ(blocks_a[i].addr, blocks_b[i].addr);
+        EXPECT_EQ(blocks_a[i].leaf, blocks_b[i].leaf);
+        EXPECT_EQ(blocks_a[i].data, blocks_b[i].data);
+    }
+
+    // Eviction — which walks the table and the free list — must make
+    // identical choices on both instances.
+    const u32 levels = 10, z = 4;
+    auto ev_a = a.evictPath(77, levels, z);
+    auto ev_b = b.evictPath(77, levels, z);
+    ASSERT_EQ(ev_a.size(), ev_b.size());
+    for (u64 l = 0; l < ev_a.size(); ++l) {
+        ASSERT_EQ(ev_a[l].size(), ev_b[l].size()) << "level " << l;
+        for (u64 s = 0; s < ev_a[l].size(); ++s)
+            EXPECT_EQ(ev_a[l][s].addr, ev_b[l][s].addr);
+    }
+    EXPECT_EQ(a.occupancy(), b.occupancy());
+}
+
+TEST(StashCheckpoint, GeometryMismatchRejected)
+{
+    Stash a(50, 40, 64);
+    CheckpointWriter w;
+    a.saveState(w);
+    Stash b(51, 40, 64);
+    CheckpointReader r(w.bytes().data(), w.bytes().size());
+    EXPECT_THROW(b.restoreState(r), CheckpointError);
+}
+
+TEST(PlbCheckpoint, ExactStateRoundTrip)
+{
+    PlbConfig pc;
+    pc.capacityBytes = 1024;
+    pc.blockBytes = 64;
+    pc.ways = 2;
+    Plb a(pc);
+    PosMapFormat fmt(PosMapFormat::Kind::Compressed, 64);
+    for (u64 i = 0; i < 24; ++i) {
+        PlbEntry e;
+        e.addr = 1000 + i * 3;
+        e.leaf = i * 17;
+        e.counter = i;
+        e.content = fmt.makeFresh();
+        e.content.gc = i;
+        a.insert(std::move(e));
+    }
+
+    CheckpointWriter w;
+    a.saveState(w);
+    Plb b(pc);
+    CheckpointReader r(w.bytes().data(), w.bytes().size());
+    b.restoreState(r);
+    r.expectEnd();
+
+    auto da = a.drain();
+    auto db = b.drain();
+    ASSERT_EQ(da.size(), db.size());
+    for (u64 i = 0; i < da.size(); ++i) {
+        EXPECT_EQ(da[i].addr, db[i].addr);
+        EXPECT_EQ(da[i].leaf, db[i].leaf);
+        EXPECT_EQ(da[i].counter, db[i].counter);
+        EXPECT_EQ(da[i].lastUse, db[i].lastUse);
+        EXPECT_EQ(da[i].content.gc, db[i].content.gc);
+        EXPECT_EQ(da[i].content.ic, db[i].content.ic);
+    }
+}
+
+TEST(TreeStorageCheckpoint, EncryptedRamStoreRestoresSeedRegister)
+{
+    // The RAM-map store must carry its seed register in the snapshot:
+    // images travel with it, so a restored instance starting over at
+    // seed 1 would re-issue pads those images already consumed.
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    FastCipher cipher;
+    EncryptedTreeStorage a(p, &cipher);
+    Bucket bucket = Bucket::empty(p);
+    bucket.slots[0].addr = 1;
+    bucket.slots[0].leaf = 0;
+    bucket.slots[0].data.assign(p.storedBlockBytes(), 0x3C);
+    for (int i = 0; i < 5; ++i)
+        a.writeBucket(5, bucket);
+
+    CheckpointWriter w;
+    a.saveTrustedState(w);
+    EncryptedTreeStorage b(p, &cipher);
+    CheckpointReader r(w.bytes().data(), w.bytes().size());
+    b.restoreTrustedState(r);
+    r.expectEnd();
+
+    EXPECT_EQ(b.codec()->globalSeed(), a.codec()->globalSeed());
+    // A post-restore rewrite draws a fresh seed: the new image's stored
+    // seed field moves past every seed the carried images used.
+    const std::vector<u8> carried = b.rawImage(5);
+    b.writeBucket(5, bucket);
+    const std::vector<u8> fresh = b.rawImage(5);
+    EXPECT_GT(loadLe(fresh.data(), 8), loadLe(carried.data(), 8));
+    EXPECT_NE(fresh, carried);
+}
+
+// ------------------------------------------------------------ full system
+
+OramSystemConfig
+smallConfig(StorageBackendKind backend = StorageBackendKind::Flat)
+{
+    OramSystemConfig c;
+    c.capacityBytes = 1 << 18;
+    c.blockBytes = 64;
+    c.storage = StorageMode::Encrypted;
+    c.backend = backend;
+    c.plbBytes = 4 * 1024;
+    c.onChipTargetBytes = 512;
+    c.recursiveOnChipTargetBytes = 512;
+    c.phantomBlockBytes = 256;
+    c.phantomForceLevels = 0;
+    c.seed = 0xABCD;
+    return c;
+}
+
+/** Deterministic mixed read/write workload; returns read payloads. */
+std::vector<std::vector<u8>>
+drive(OramSystem& sys, u64 accesses, u64 rng_seed,
+      std::vector<u64>* cycles = nullptr)
+{
+    Xoshiro256 rng(rng_seed);
+    const u64 n =
+        sys.config().capacityBytes / sys.frontend().dataBlockBytes();
+    std::vector<std::vector<u8>> reads;
+    for (u64 i = 0; i < accesses; ++i) {
+        const Addr addr = rng.below(std::min<u64>(n, 512));
+        FrontendResult r;
+        if (i % 3 == 1) {
+            std::vector<u8> data(sys.frontend().dataBlockBytes());
+            for (auto& b : data)
+                b = static_cast<u8>(rng.next());
+            r = sys.frontend().access(addr, true, &data);
+        } else {
+            r = sys.frontend().access(addr, false);
+            reads.push_back(r.data);
+        }
+        if (cycles != nullptr)
+            cycles->push_back(r.cycles);
+    }
+    return reads;
+}
+
+u64
+stashOccupancy(OramSystem& sys, SchemeId scheme)
+{
+    switch (scheme) {
+      case SchemeId::Recursive: {
+        auto& fe = static_cast<RecursiveFrontend&>(sys.frontend());
+        u64 total = 0;
+        for (u32 i = 0; i < fe.numTrees(); ++i)
+            total += fe.tree(i).stash().occupancy();
+        return total;
+      }
+      case SchemeId::Phantom:
+        return static_cast<FlatFrontend&>(sys.frontend())
+            .backend()
+            .stash()
+            .occupancy();
+      default:
+        return static_cast<UnifiedFrontend&>(sys.frontend())
+            .backend()
+            .stash()
+            .occupancy();
+    }
+}
+
+class SystemCheckpoint : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(SystemCheckpoint, RestoredSystemContinuesBitIdentically)
+{
+    const SchemeId scheme = GetParam();
+    const OramSystemConfig cfg = smallConfig();
+
+    OramSystem live(scheme, cfg);
+    drive(live, 100, 11);
+    const std::vector<u8> blob = live.checkpoint();
+
+    OramSystem restored(scheme, cfg);
+    restored.restore(blob);
+    EXPECT_EQ(stashOccupancy(live, scheme),
+              stashOccupancy(restored, scheme));
+
+    std::vector<u64> cycles_live, cycles_restored;
+    const auto reads_live = drive(live, 120, 22, &cycles_live);
+    const auto reads_restored = drive(restored, 120, 22, &cycles_restored);
+    EXPECT_EQ(reads_live, reads_restored);
+    EXPECT_EQ(cycles_live, cycles_restored);
+    EXPECT_EQ(stashOccupancy(live, scheme),
+              stashOccupancy(restored, scheme));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFrontends, SystemCheckpoint,
+    ::testing::Values(SchemeId::PlbCompressed,
+                      SchemeId::PlbIntegrityCompressed,
+                      SchemeId::PlbIntegrity, SchemeId::Recursive,
+                      SchemeId::Phantom),
+    [](const auto& info) {
+        switch (info.param) {
+          case SchemeId::PlbCompressed: return std::string("PC");
+          case SchemeId::PlbIntegrityCompressed: return std::string("PIC");
+          case SchemeId::PlbIntegrity: return std::string("PI");
+          case SchemeId::Recursive: return std::string("R");
+          case SchemeId::Phantom: return std::string("Phantom");
+          default: return std::string("unknown");
+        }
+    });
+
+TEST(SystemCheckpoint, MetaStorageModeRoundTrips)
+{
+    OramSystemConfig cfg = smallConfig();
+    cfg.storage = StorageMode::Meta;
+    OramSystem live(SchemeId::PlbCompressed, cfg);
+    drive(live, 80, 5);
+    const auto blob = live.checkpoint();
+    OramSystem restored(SchemeId::PlbCompressed, cfg);
+    restored.restore(blob);
+    std::vector<u64> ca, cb;
+    drive(live, 80, 6, &ca);
+    drive(restored, 80, 6, &cb);
+    EXPECT_EQ(ca, cb);
+}
+
+TEST(SystemCheckpoint, TrustedOnlyOnVolatileBackendRejected)
+{
+    OramSystem sys(SchemeId::PlbCompressed, smallConfig());
+    EXPECT_THROW(sys.checkpoint(CheckpointScope::TrustedOnly),
+                 CheckpointError);
+}
+
+TEST(SystemCheckpoint, PerBucketSeedSchemeForcesFullScope)
+{
+    const std::string path = tempPath("perbucket");
+    std::remove(path.c_str());
+    OramSystemConfig cfg = smallConfig(StorageBackendKind::MmapFile);
+    cfg.backendPath = path;
+    cfg.seedScheme = SeedScheme::PerBucket;
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+    drive(sys, 30, 9);
+    EXPECT_THROW(sys.checkpoint(CheckpointScope::TrustedOnly),
+                 CheckpointError);
+    // Auto resolves to Full and succeeds.
+    const auto blob = sys.checkpoint();
+    OramSystem restored(SchemeId::PlbCompressed, cfg);
+    restored.restore(blob);
+    std::remove(path.c_str());
+}
+
+TEST(SystemCheckpoint, WrongConfigurationRejected)
+{
+    OramSystem live(SchemeId::PlbCompressed, smallConfig());
+    drive(live, 30, 1);
+    const auto blob = live.checkpoint();
+
+    // Different capacity: fingerprint mismatch (and MAC still passes,
+    // since the seed — hence the MAC key — is shared).
+    OramSystemConfig other = smallConfig();
+    other.capacityBytes = 1 << 19;
+    OramSystem wrong_geo(SchemeId::PlbCompressed, other);
+    EXPECT_THROW(wrong_geo.restore(blob), CheckpointError);
+
+    // Different seed: the snapshot MAC key itself differs.
+    OramSystemConfig reseeded = smallConfig();
+    reseeded.seed = 0x9999;
+    OramSystem wrong_key(SchemeId::PlbCompressed, reseeded);
+    EXPECT_THROW(wrong_key.restore(blob), CheckpointError);
+
+    // Different scheme under the same config.
+    OramSystem wrong_scheme(SchemeId::PlbIntegrityCompressed,
+                            smallConfig());
+    EXPECT_THROW(wrong_scheme.restore(blob), CheckpointError);
+}
+
+TEST(SystemCheckpoint, DivergedMmapRegionRejected)
+{
+    const std::string path = tempPath("diverged");
+    const std::string snap = path + ".ckpt";
+    std::remove(path.c_str());
+    std::remove(snap.c_str());
+    OramSystemConfig cfg = smallConfig(StorageBackendKind::MmapFile);
+    cfg.backendPath = path;
+    {
+        OramSystem sys(SchemeId::PlbIntegrityCompressed, cfg);
+        drive(sys, 60, 2);
+        sys.checkpointTo(snap, CheckpointScope::TrustedOnly);
+        // The region keeps evolving after the snapshot: the snapshot's
+        // integrity counters no longer describe this tree.
+        drive(sys, 30, 3);
+        sys.storage().sync();
+    }
+    EXPECT_THROW(
+        OramSystem::open(SchemeId::PlbIntegrityCompressed, cfg, snap),
+        CheckpointError);
+    std::remove(path.c_str());
+    std::remove(snap.c_str());
+}
+
+TEST(SystemCheckpoint, FailedMidApplyRestorePoisonsTheSystem)
+{
+    const std::string path = tempPath("poison");
+    const std::string snap = path + ".ckpt";
+    std::remove(path.c_str());
+    std::remove(snap.c_str());
+    OramSystemConfig cfg = smallConfig(StorageBackendKind::MmapFile);
+    cfg.backendPath = path;
+
+    OramSystem sys(SchemeId::PlbIntegrityCompressed, cfg);
+    drive(sys, 60, 2);
+    sys.checkpointTo(snap, CheckpointScope::TrustedOnly);
+    drive(sys, 30, 3); // region diverges from the snapshot
+
+    // The restore fails (diverged anchor) after it already overwrote
+    // trusted state: the system must refuse further use rather than
+    // run snapshot counters against a newer tree.
+    EXPECT_THROW(sys.restoreFrom(snap), CheckpointError);
+    EXPECT_THROW(sys.frontend(), CheckpointError);
+    EXPECT_THROW(sys.checkpoint(), CheckpointError);
+
+    // Failures *before* anything is written leave a system usable.
+    OramSystem fresh(SchemeId::PlbIntegrityCompressed, cfg);
+    std::vector<u8> junk(100, 0xAA);
+    EXPECT_THROW(fresh.restore(junk), CheckpointError);
+    drive(fresh, 10, 4); // still fine
+    std::remove(path.c_str());
+    std::remove(snap.c_str());
+}
+
+// ----------------------------------------------------------- tamper matrix
+
+/** Cursor over a snapshot payload mirroring the section framing. */
+struct Cursor {
+    const std::vector<u8>& p;
+    u64 pos = 0;
+
+    u8 u8f() { return p[pos++]; }
+    u32
+    u32f()
+    {
+        const u32 v = static_cast<u32>(loadLe(p.data() + pos, 4));
+        pos += 4;
+        return v;
+    }
+    u64
+    u64f()
+    {
+        const u64 v = loadLe(p.data() + pos);
+        pos += 8;
+        return v;
+    }
+    /** Enter a section; returns its end offset. */
+    u64
+    enter(u32 tag)
+    {
+        const u32 t = u32f();
+        EXPECT_EQ(t, tag) << "at payload offset " << pos - 4;
+        const u64 len = u64f();
+        return pos + len;
+    }
+    void skip(u32 tag) { pos = enter(tag); }
+};
+
+TEST(SystemCheckpoint, EveryFlippedFieldClassIsRejected)
+{
+    const OramSystemConfig cfg = smallConfig();
+    OramSystem live(SchemeId::PlbIntegrityCompressed, cfg);
+    // Thrash the PLB over the whole address space until an access ends
+    // with stash-resident blocks, so the stash-field flip targets a
+    // real block (the PLB is trivially nonempty throughout).
+    {
+        Xoshiro256 rng(77);
+        const u64 n = cfg.capacityBytes / cfg.blockBytes;
+        for (int i = 0; i < 2000; ++i) {
+            live.frontend().access(rng.below(n), i % 3 == 0);
+            if (stashOccupancy(live, SchemeId::PlbIntegrityCompressed) >
+                0)
+                break;
+        }
+    }
+    ASSERT_GT(stashOccupancy(live, SchemeId::PlbIntegrityCompressed), 0u);
+
+    const std::vector<u8> blob = live.checkpoint();
+    const std::vector<u8> payload(
+        blob.begin() + ckpt::kHeaderBytes,
+        blob.end() - static_cast<long>(ckpt::kTagBytes));
+
+    // Walk the payload to the exact offsets of each field class.
+    Cursor c{payload};
+    c.skip(ckpt::kTagSystem);
+    c.skip(ckpt::kTagDataPlane);
+    c.enter(ckpt::kTagFrontend);
+    EXPECT_EQ(c.u32f(), 1u); // unified frontend
+    const u64 posmap_end = c.enter(ckpt::kTagPosMap);
+    ASSERT_GT(c.u64f(), 0u);
+    const u64 posmap_entry_off = c.pos; // first on-chip PosMap entry
+    c.pos = posmap_end;
+    c.skip(ckpt::kTagRng);
+    const u64 plb_end = c.enter(ckpt::kTagPlb);
+    c.u64f(); // sets
+    c.u32f(); // ways
+    c.u64f(); // clock
+    u64 plb_tag_off = 0;
+    while (c.pos < plb_end) {
+        if (c.u8f() != 0) {
+            plb_tag_off = c.pos; // first valid entry's address tag
+            break;
+        }
+    }
+    ASSERT_NE(plb_tag_off, 0u) << "no PLB-resident PosMap block";
+    c.pos = plb_end;
+    c.skip(ckpt::kTagOracle);
+    c.enter(ckpt::kTagBackend);
+    c.enter(ckpt::kTagStash);
+    c.u32f(); // capacity
+    c.u32f(); // slack
+    const u64 stash_size = c.u64f();
+    ASSERT_GT(stash_size, 0u);
+    const u64 free_count = c.u64f();
+    c.pos += 4 * free_count;
+    c.u64f(); // index slot
+    c.u32f(); // pool index
+    c.u64f(); // addr
+    const u64 stash_leaf_off = c.pos; // first stashed block's leaf
+
+    struct FlipCase {
+        const char* name;
+        u64 blob_off;
+    };
+    const FlipCase cases[] = {
+        {"version", 8},
+        {"fingerprint", 16},
+        {"lengthPrefix", 24},
+        {"posmapEntry", ckpt::kHeaderBytes + posmap_entry_off},
+        {"plbTag", ckpt::kHeaderBytes + plb_tag_off},
+        {"stashLeaf", ckpt::kHeaderBytes + stash_leaf_off},
+        {"macTag", blob.size() - 1},
+    };
+    for (const FlipCase& f : cases) {
+        std::vector<u8> tampered = blob;
+        ASSERT_LT(f.blob_off, tampered.size()) << f.name;
+        tampered[f.blob_off] ^= 0x01;
+        OramSystem victim(SchemeId::PlbIntegrityCompressed, cfg);
+        EXPECT_THROW(victim.restore(tampered), CheckpointError)
+            << "flipped field: " << f.name;
+    }
+
+    // Control: the untampered snapshot restores fine.
+    OramSystem control(SchemeId::PlbIntegrityCompressed, cfg);
+    control.restore(blob);
+}
+
+} // namespace
+} // namespace froram
