@@ -10,6 +10,7 @@
 #ifndef FRORAM_BENCH_BENCH_COMMON_HPP
 #define FRORAM_BENCH_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -54,6 +55,32 @@ struct BenchOptions {
         return v < 1 ? 1 : static_cast<u64>(v);
     }
 };
+
+/** Git commit the binary was configured from (CMake bakes it in), so
+ *  BENCH_*.json rows are attributable across PRs. */
+inline const char*
+gitRev()
+{
+#ifdef FRORAM_GIT_REV
+    return FRORAM_GIT_REV;
+#else
+    return "unknown";
+#endif
+}
+
+/** p-th percentile (0..100) of a sample set; reorders `v` in place. */
+inline double
+percentile(std::vector<double>& v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    const size_t idx = static_cast<size_t>(rank);
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(idx),
+                     v.end());
+    return v[idx];
+}
 
 /** Geometric mean of a vector of positive values. */
 inline double

@@ -13,8 +13,12 @@
  *
  * JSON schema: one record per (backend, cipher) with
  *   {"bench", "scheme", "backend", "cipher", "capacity_mb", "accesses",
- *    "acc_per_sec", "us_per_acc", "mb_per_sec"}
- * where mb_per_sec is ORAM path traffic (bytesMoved) over wall time.
+ *    "acc_per_sec", "us_per_acc", "p50_us", "p99_us", "mb_per_sec",
+ *    "commit"}
+ * where mb_per_sec is ORAM path traffic (bytesMoved) over wall time,
+ * p50_us/p99_us are per-access wall-clock latency percentiles, and
+ * commit is the configure-time git revision — together they make
+ * BENCH_hotpath.json rows comparable across PRs.
  */
 #include <algorithm>
 #include <chrono>
@@ -35,6 +39,8 @@ struct Row {
     u64 accesses = 0;
     double accPerSec = 0;
     double usPerAcc = 0;
+    double p50Us = 0;
+    double p99Us = 0;
     double mbPerSec = 0;
 };
 
@@ -62,13 +68,21 @@ runOne(StorageBackendKind kind, bool real_aes, const std::string& path,
         sys.frontend().access(a, true, &payload);
 
     const u64 bytes0 = sys.frontend().stats().get("bytesMoved");
+    std::vector<double> lat_us;
+    lat_us.reserve(accesses);
     const auto start = std::chrono::steady_clock::now();
+    auto prev = start;
     for (u64 i = 0; i < accesses; ++i) {
         const Addr addr = rng.below(working);
         if (i % 4 == 0)
             sys.frontend().access(addr, true, &payload);
         else
             sys.frontend().access(addr, false);
+        const auto now = std::chrono::steady_clock::now();
+        lat_us.push_back(
+            std::chrono::duration<double, std::micro>(now - prev)
+                .count());
+        prev = now;
     }
     const auto end = std::chrono::steady_clock::now();
     const double secs =
@@ -81,6 +95,8 @@ runOne(StorageBackendKind kind, bool real_aes, const std::string& path,
     row.accesses = accesses;
     row.accPerSec = static_cast<double>(accesses) / secs;
     row.usPerAcc = 1e6 * secs / static_cast<double>(accesses);
+    row.p50Us = bench::percentile(lat_us, 50);
+    row.p99Us = bench::percentile(lat_us, 99);
     row.mbPerSec = static_cast<double>(moved) / secs / (1024.0 * 1024.0);
     return row;
 }
@@ -96,17 +112,19 @@ writeJson(const std::string& out_path, const std::vector<Row>& rows)
     out << "[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
-        char buf[512];
+        char buf[640];
         std::snprintf(
             buf, sizeof(buf),
             "  {\"bench\": \"hotpath\", \"scheme\": \"PC_X32\", "
             "\"backend\": \"%s\", \"cipher\": \"%s\", "
             "\"capacity_mb\": 64, \"accesses\": %llu, "
             "\"acc_per_sec\": %.1f, \"us_per_acc\": %.3f, "
-            "\"mb_per_sec\": %.1f}%s\n",
+            "\"p50_us\": %.3f, \"p99_us\": %.3f, "
+            "\"mb_per_sec\": %.1f, \"commit\": \"%s\"}%s\n",
             r.backend.c_str(), r.cipher.c_str(),
             static_cast<unsigned long long>(r.accesses), r.accPerSec,
-            r.usPerAcc, r.mbPerSec, i + 1 < rows.size() ? "," : "");
+            r.usPerAcc, r.p50Us, r.p99Us, r.mbPerSec, bench::gitRev(),
+            i + 1 < rows.size() ? "," : "");
         out << buf;
     }
     out << "]\n";
@@ -129,7 +147,7 @@ main(int argc, char** argv)
 
     std::vector<Row> rows;
     TextTable table({"backend", "cipher", "acc_per_sec", "us_per_acc",
-                     "mb_per_sec"});
+                     "p50_us", "p99_us", "mb_per_sec"});
     for (const StorageBackendKind kind :
          {StorageBackendKind::Flat, StorageBackendKind::MmapFile,
           StorageBackendKind::TimedDram}) {
@@ -141,6 +159,8 @@ main(int argc, char** argv)
             table.cell(row.cipher);
             table.cell(row.accPerSec, 0);
             table.cell(row.usPerAcc, 2);
+            table.cell(row.p50Us, 2);
+            table.cell(row.p99Us, 2);
             table.cell(row.mbPerSec, 1);
         }
     }

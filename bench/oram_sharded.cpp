@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Sharded-service scaling benchmark: aggregate wall-clock throughput
+ * and batch latency of a ShardedOramService (PC_X32, 64 MB total,
+ * Encrypted storage, flat backend, AES-NI CTR) across shard counts and
+ * batch depths. This is the tracked scaling stake: it emits
+ * `BENCH_shard.json` so successive PRs can compare the parallel path
+ * the way BENCH_hotpath.json tracks the single-threaded one.
+ *
+ *   $ ./oram_sharded [--scale=F] [--csv] [--out=BENCH_shard.json]
+ *
+ * JSON schema: one record per (shards, batch_depth) with
+ *   {"bench", "scheme", "backend", "cipher", "capacity_mb", "shards",
+ *    "workers", "batch_depth", "accesses", "acc_per_sec",
+ *    "p50_batch_us", "p99_batch_us", "hardware_threads", "commit"}
+ * where acc_per_sec is AGGREGATE service throughput and
+ * p50/p99_batch_us are submit→complete latency percentiles over whole
+ * batches (the unit of the async API).
+ *
+ * Scaling expectation: near-linear in shards on the flat backend while
+ * shards <= hardware_threads (each shard is an independent ORAM driven
+ * by its own worker); beyond the core count the lines flatten — the
+ * hardware_threads field is in every row precisely so a reader can
+ * tell the two regimes apart (a 1-core container cannot show >1x,
+ * however many shards it runs).
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "shard/sharded_service.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+namespace {
+
+struct Row {
+    u32 shards = 0;
+    u32 workers = 0;
+    u32 batchDepth = 0;
+    u64 accesses = 0;
+    double accPerSec = 0;
+    double p50BatchUs = 0;
+    double p99BatchUs = 0;
+};
+
+Row
+runOne(u32 shards, u32 batch_depth, u64 accesses)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{64} << 20; // 64 MB total, as hotpath
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::Flat;
+    cfg.base.realAes = true;
+    cfg.numShards = shards;
+    cfg.numWorkers = shards; // one worker per shard when cores allow
+    ShardedOramService svc(cfg);
+
+    Xoshiro256 rng(3);
+    std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+
+    // Fixed working set, written once up front (same protocol as
+    // oram_hotpath): the measured phase hits warmed blocks only.
+    const u64 working = std::min<u64>(svc.numBlocks(), 16384);
+    {
+        std::vector<ShardRequest> warm;
+        for (Addr a = 0; a < working; ++a) {
+            ShardRequest r;
+            r.addr = a;
+            r.isWrite = true;
+            r.writeData = payload;
+            warm.push_back(std::move(r));
+            if (warm.size() == 1024 || a + 1 == working) {
+                svc.submit(std::move(warm)).get();
+                warm.clear();
+            }
+        }
+    }
+
+    // Measured phase: batches of `batch_depth`, a small pipeline of
+    // them outstanding so the pool never idles between submissions;
+    // per-batch submit→complete latency sampled on every batch.
+    const u64 batches =
+        std::max<u64>(accesses / batch_depth, 1);
+    constexpr size_t kInflight = 4;
+    using Clock = std::chrono::steady_clock;
+    struct Pending {
+        std::future<ShardedOramService::BatchResult> fut;
+        Clock::time_point submitted;
+    };
+    std::vector<Pending> window;
+    std::vector<double> lat_us;
+    lat_us.reserve(batches);
+
+    const auto start = Clock::now();
+    for (u64 bi = 0; bi < batches; ++bi) {
+        std::vector<ShardRequest> batch(batch_depth);
+        for (u32 i = 0; i < batch_depth; ++i) {
+            batch[i].addr = rng.below(working);
+            if ((bi * batch_depth + i) % 4 == 0) {
+                batch[i].isWrite = true;
+                batch[i].writeData = payload;
+            }
+        }
+        if (window.size() == kInflight) {
+            Pending& p = window.front();
+            p.fut.get();
+            lat_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - p.submitted)
+                    .count());
+            window.erase(window.begin());
+        }
+        Pending p;
+        p.submitted = Clock::now();
+        p.fut = svc.submit(std::move(batch));
+        window.push_back(std::move(p));
+    }
+    for (Pending& p : window) {
+        p.fut.get();
+        lat_us.push_back(std::chrono::duration<double, std::micro>(
+                             Clock::now() - p.submitted)
+                             .count());
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    Row row;
+    row.shards = shards;
+    row.workers = svc.numWorkers();
+    row.batchDepth = batch_depth;
+    row.accesses = batches * batch_depth;
+    row.accPerSec = static_cast<double>(row.accesses) / secs;
+    row.p50BatchUs = bench::percentile(lat_us, 50);
+    row.p99BatchUs = bench::percentile(lat_us, 99);
+    return row;
+}
+
+void
+writeJson(const std::string& out_path, const std::vector<Row>& rows)
+{
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    out << "[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char buf[640];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  {\"bench\": \"sharded\", \"scheme\": \"PC_X32\", "
+            "\"backend\": \"flat\", \"cipher\": \"aesctr\", "
+            "\"capacity_mb\": 64, \"shards\": %u, \"workers\": %u, "
+            "\"batch_depth\": %u, \"accesses\": %llu, "
+            "\"acc_per_sec\": %.1f, \"p50_batch_us\": %.1f, "
+            "\"p99_batch_us\": %.1f, \"hardware_threads\": %u, "
+            "\"commit\": \"%s\"}%s\n",
+            r.shards, r.workers, r.batchDepth,
+            static_cast<unsigned long long>(r.accesses), r.accPerSec,
+            r.p50BatchUs, r.p99BatchUs, hw, bench::gitRev(),
+            i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    std::string out_path = "BENCH_shard.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+    }
+    const u64 accesses = opts.scaled(40000);
+
+    std::vector<Row> rows;
+    TextTable table({"shards", "workers", "batch_depth", "acc_per_sec",
+                     "p50_batch_us", "p99_batch_us"});
+    for (const u32 shards : {1u, 2u, 4u, 8u}) {
+        for (const u32 depth : {16u, 256u}) {
+            const Row row = runOne(shards, depth, accesses);
+            rows.push_back(row);
+            table.newRow();
+            table.cell(static_cast<u64>(row.shards));
+            table.cell(static_cast<u64>(row.workers));
+            table.cell(static_cast<u64>(row.batchDepth));
+            table.cell(row.accPerSec, 0);
+            table.cell(row.p50BatchUs, 1);
+            table.cell(row.p99BatchUs, 1);
+        }
+    }
+
+    bench::emit(opts, table,
+                "Sharded-service scaling (PC_X32, 64 MB total, flat "
+                "backend, AES-NI CTR, 3:1 read:write, " +
+                    std::to_string(
+                        std::thread::hardware_concurrency()) +
+                    " hardware threads)");
+    writeJson(out_path, rows);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

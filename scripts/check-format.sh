@@ -16,8 +16,14 @@ FILES=(
     src/mem/mmap_file_backend.hpp
     src/mem/mmap_file_backend.cpp
     src/oram/tree_storage.cpp
+    src/shard/request_queue.hpp
+    src/shard/sharded_service.hpp
+    src/shard/sharded_service.cpp
     tests/test_backend_conformance.cpp
+    tests/test_sharded.cpp
+    tests/test_sharded_restore.cpp
     bench/throughput_backends.cpp
+    bench/oram_sharded.cpp
 )
 
 clang-format --version

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "crypto/prf.hpp"
@@ -164,6 +165,22 @@ readFile(const std::string& path)
     }
     ::close(fd);
     return blob;
+}
+
+bool
+fileExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::vector<u8>
+sealedTag(const std::vector<u8>& blob)
+{
+    if (blob.size() < kHeaderBytes + kTagBytes)
+        throw CheckpointError("sealed blob shorter than its envelope");
+    return std::vector<u8>(blob.end() - static_cast<long>(kTagBytes),
+                           blob.end());
 }
 
 } // namespace ckpt

@@ -93,6 +93,7 @@ constexpr u32 kTagTreeStore = 0x54524545;  // "TREE"
 constexpr u32 kTagRng = 0x524E4730;        // "RNG0"
 constexpr u32 kTagOracle = 0x4F52434C;     // "ORCL"
 constexpr u32 kTagBuffer = 0x42554646;     // "BUFF"
+constexpr u32 kTagManifest = 0x4D4E4653;   // "MNFS" (sharded service)
 /** @} */
 
 } // namespace ckpt
@@ -325,6 +326,15 @@ void writeFileAtomic(const std::string& path, const std::vector<u8>& blob);
 
 /** Read a snapshot file wholesale; CheckpointError if unreadable. */
 std::vector<u8> readFile(const std::string& path);
+
+/** True if a regular file exists at `path` (restore pre-validation:
+ *  callers use it to fail atomically before touching any state). */
+bool fileExists(const std::string& path);
+
+/** The trailing 16-byte MAC tag of a sealed blob. A sharded manifest
+ *  pins each shard snapshot by this tag, so an individually rolled-back
+ *  (but validly sealed) shard snapshot is rejected at open(). */
+std::vector<u8> sealedTag(const std::vector<u8>& blob);
 
 } // namespace ckpt
 

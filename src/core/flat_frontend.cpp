@@ -161,8 +161,17 @@ FrontendResult
 FlatFrontend::access(Addr addr, bool is_write,
                      const std::vector<u8>* write_data)
 {
-    FRORAM_ASSERT(addr < config_.numBlocks, "address out of range");
     FrontendResult res;
+    accessInto(res, addr, is_write, write_data);
+    return res;
+}
+
+void
+FlatFrontend::accessInto(FrontendResult& res, Addr addr, bool is_write,
+                         const std::vector<u8>* write_data)
+{
+    FRORAM_ASSERT(addr < config_.numBlocks, "address out of range");
+    res.reset();
     stats_.inc("accesses");
     res.cycles += config_.latency.frontendCycles;
 
@@ -175,7 +184,7 @@ FlatFrontend::access(Addr addr, bool is_write,
         stats_.inc("cycles", res.cycles);
         stats_.inc("bytesMoved", res.bytesMoved);
         stats_.inc("backendAccesses", res.backendAccesses);
-        return res;
+        return;
     }
 
     // Block buffer (CLOCK): hits are served on-chip.
@@ -192,7 +201,7 @@ FlatFrontend::access(Addr addr, bool is_write,
             res.data = s.data;
             stats_.inc("bufferHits");
             stats_.inc("cycles", res.cycles);
-            return res;
+            return;
         }
     }
     stats_.inc("bufferMisses");
@@ -231,7 +240,6 @@ FlatFrontend::access(Addr addr, bool is_write,
     stats_.inc("cycles", res.cycles);
     stats_.inc("bytesMoved", res.bytesMoved);
     stats_.inc("backendAccesses", res.backendAccesses);
-    return res;
 }
 
 } // namespace froram

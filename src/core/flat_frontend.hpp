@@ -44,6 +44,10 @@ class FlatFrontend : public Frontend {
                           const std::vector<u8>* write_data
                           = nullptr) override;
 
+    void accessInto(FrontendResult& res, Addr addr, bool is_write,
+                    const std::vector<u8>* write_data
+                    = nullptr) override;
+
     std::string name() const override { return "Phantom"; }
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;

@@ -46,6 +46,18 @@ struct FrontendResult {
     u32 backendAccesses = 0; ///< tree accesses performed
     bool coldMiss = false;  ///< first-ever touch of the data block
     std::vector<u8> data;   ///< read payload (payload-carrying mode only)
+
+    /** Clear for reuse, keeping the payload buffer's capacity. */
+    void
+    reset()
+    {
+        cycles = 0;
+        bytesMoved = 0;
+        posmapBytes = 0;
+        backendAccesses = 0;
+        coldMiss = false;
+        data.clear();
+    }
 };
 
 /** Abstract ORAM Frontend: services LLC miss/eviction requests. */
@@ -62,6 +74,20 @@ class Frontend {
     virtual FrontendResult access(Addr addr, bool is_write,
                                   const std::vector<u8>* write_data
                                   = nullptr) = 0;
+
+    /**
+     * Reusable-result variant of access(): identical outcome, but the
+     * caller's `res` — including its payload buffer — is reset and
+     * reused, so a warmed steady-state caller (a shard worker driving
+     * one access after another) performs no per-access allocation for
+     * the result. The base implementation falls back to access().
+     */
+    virtual void
+    accessInto(FrontendResult& res, Addr addr, bool is_write,
+               const std::vector<u8>* write_data = nullptr)
+    {
+        res = access(addr, is_write, write_data);
+    }
 
     /** Scheme name for reports (e.g. "PC_X32"). */
     virtual std::string name() const = 0;

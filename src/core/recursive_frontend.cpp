@@ -163,8 +163,17 @@ FrontendResult
 RecursiveFrontend::access(Addr a0, bool is_write,
                           const std::vector<u8>* write_data)
 {
-    FRORAM_ASSERT(a0 < config_.numBlocks, "data address out of range");
     FrontendResult res;
+    accessInto(res, a0, is_write, write_data);
+    return res;
+}
+
+void
+RecursiveFrontend::accessInto(FrontendResult& res, Addr a0, bool is_write,
+                              const std::vector<u8>* write_data)
+{
+    FRORAM_ASSERT(a0 < config_.numBlocks, "data address out of range");
+    res.reset();
     stats_.inc("accesses");
     res.cycles += config_.latency.frontendCycles;
 
@@ -252,7 +261,6 @@ RecursiveFrontend::access(Addr a0, bool is_write,
     stats_.inc("posmapBytes", res.posmapBytes);
     stats_.inc("backendAccesses", res.backendAccesses);
     stats_.inc("cycles", res.cycles);
-    return res;
 }
 
 } // namespace froram

@@ -57,6 +57,10 @@ class RecursiveFrontend : public Frontend {
                           const std::vector<u8>* write_data
                           = nullptr) override;
 
+    void accessInto(FrontendResult& res, Addr addr, bool is_write,
+                    const std::vector<u8>* write_data
+                    = nullptr) override;
+
     std::string name() const override;
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;

@@ -1,6 +1,7 @@
 #include "crypto/aesni.hpp"
 
 #include <atomic>
+#include <mutex>
 
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
@@ -14,6 +15,14 @@ namespace aesni {
 namespace {
 
 std::atomic<bool> g_force_disabled{false};
+
+/** CPUID probe result, published exactly once. A function-local magic
+ *  static was equally race-free; the explicit once_flag + atomic form
+ *  (both constant-initialized — constinit in spirit, C++17 in letter)
+ *  keeps the guard visible, avoids the per-call guard-variable check,
+ *  and leaves the dispatch read a single relaxed atomic load. */
+std::once_flag g_probe_once;
+std::atomic<bool> g_has_aesni{false};
 
 bool
 probeCpu()
@@ -30,8 +39,10 @@ probeCpu()
 bool
 supported()
 {
-    static const bool has = probeCpu();
-    return has;
+    std::call_once(g_probe_once, [] {
+        g_has_aesni.store(probeCpu(), std::memory_order_relaxed);
+    });
+    return g_has_aesni.load(std::memory_order_relaxed);
 }
 
 bool

@@ -1,5 +1,14 @@
 #include "mem/storage_backend.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include "mem/flat_memory_backend.hpp"
 #include "mem/mmap_file_backend.hpp"
 #include "mem/timed_dram_backend.hpp"
@@ -49,6 +58,133 @@ makeStorageBackend(const StorageBackendConfig& config)
             config.path, config.fileBytes, config.reset);
     }
     panic("unreachable");
+}
+
+namespace {
+
+/** Shard index encoded in a `shard-NNNN.oram` name, or -1. */
+int
+parseShardFileName(const char* name)
+{
+    unsigned idx = 0;
+    if (std::sscanf(name, "shard-%4u.oram", &idx) != 1)
+        return -1;
+    char expect[32];
+    std::snprintf(expect, sizeof(expect), "shard-%04u.oram", idx);
+    return std::strcmp(name, expect) == 0 ? static_cast<int>(idx) : -1;
+}
+
+/** Shard indices present under `dir`; fatal on a non-directory path. */
+std::set<u32>
+scanShardFiles(const std::string& dir)
+{
+    struct stat st;
+    if (::stat(dir.c_str(), &st) != 0) {
+        if (errno == ENOENT)
+            return {};
+        fatal("cannot stat shard directory '", dir, "': ",
+              std::strerror(errno));
+    }
+    if (!S_ISDIR(st.st_mode))
+        fatal("shard directory path '", dir,
+              "' exists but is not a directory");
+
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        fatal("cannot open shard directory '", dir, "': ",
+              std::strerror(errno));
+    std::set<u32> found;
+    while (struct dirent* e = ::readdir(d)) {
+        const int idx = parseShardFileName(e->d_name);
+        if (idx >= 0)
+            found.insert(static_cast<u32>(idx));
+    }
+    ::closedir(d);
+    return found;
+}
+
+/** Fatal unless the indices are exactly 0 .. K-1 (K = found.size()). */
+void
+requireContiguous(const std::string& dir, const std::set<u32>& found)
+{
+    u32 expect = 0;
+    for (const u32 idx : found) {
+        if (idx != expect)
+            fatal("shard directory '", dir, "' is torn: shard file ",
+                  expect, " is missing but shard file ", idx,
+                  " exists (partially written or foreign layout; "
+                  "remove the directory to reinitialize)");
+        ++expect;
+    }
+}
+
+} // namespace
+
+std::string
+shardBackendPath(const std::string& dir, u32 shard)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%04u.oram", shard);
+    return dir + "/" + name;
+}
+
+u32
+countShardBackendFiles(const std::string& dir)
+{
+    const std::set<u32> found = scanShardFiles(dir);
+    requireContiguous(dir, found);
+    return static_cast<u32>(found.size());
+}
+
+void
+prepareShardDirectory(const std::string& dir, u32 num_shards, bool reset)
+{
+    if (num_shards == 0)
+        fatal("a sharded service needs at least one shard");
+    if (dir.empty())
+        fatal("sharded persistent storage needs a directory path");
+
+    const std::set<u32> found = scanShardFiles(dir);
+    if (found.empty() && ::mkdir(dir.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+        fatal("cannot create shard directory '", dir, "': ",
+              std::strerror(errno));
+    if (!found.empty()) {
+        requireContiguous(dir, found);
+        if (found.size() != num_shards)
+            fatal("shard directory '", dir, "' holds ", found.size(),
+                  " shard backend file(s) but this service is "
+                  "configured for ", num_shards,
+                  " shards; refusing to ",
+                  reset ? "clobber" : "reopen",
+                  " a mismatched layout (remove the directory to "
+                  "reinitialize)");
+    }
+
+    if (reset) {
+        // Explicit reinitialization: the shard files (if any) will be
+        // truncated by their backends, so the old service epoch is
+        // gone — drop its manifest and snapshots too, or a later
+        // open() would try to marry old trusted state to reset trees.
+        // This runs even when no shard file survived (deleted by
+        // hand): a stale MANIFEST must never outlive its epoch.
+        DIR* d = ::opendir(dir.c_str());
+        if (d == nullptr)
+            fatal("cannot open shard directory '", dir, "': ",
+                  std::strerror(errno));
+        std::vector<std::string> stale;
+        while (struct dirent* e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            const bool is_ckpt =
+                name.size() > 5 &&
+                name.compare(name.size() - 5, 5, ".ckpt") == 0;
+            if (name == "MANIFEST" || is_ckpt)
+                stale.push_back(dir + "/" + name);
+        }
+        ::closedir(d);
+        for (const std::string& path : stale)
+            std::remove(path.c_str());
+    }
 }
 
 } // namespace froram

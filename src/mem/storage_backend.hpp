@@ -177,6 +177,41 @@ class StorageBackend {
 std::unique_ptr<StorageBackend>
 makeStorageBackend(const StorageBackendConfig& config);
 
+/** @name Sharded-backend file plumbing
+ *
+ * A sharded service carves its persistent storage as one backend file
+ * per shard under a single directory (`shard-NNNN.oram`), plus a sealed
+ * service manifest. These helpers own the directory lifecycle so every
+ * misuse — a path that is not a directory, a directory laid out for a
+ * different shard count, a half-written directory — raises a typed
+ * FatalError *before* any shard file is created or truncated: a
+ * mismatched layout is never silently clobbered.
+ * @{ */
+
+/** Backing-file path of shard `shard` under a service directory. */
+std::string shardBackendPath(const std::string& dir, u32 shard);
+
+/** Number of `shard-NNNN.oram` files present under `dir` (0 if the
+ *  directory does not exist). Fatal if `dir` exists but is no
+ *  directory, or if the shard files present are not exactly
+ *  shard-0000 .. shard-(K-1) (a torn or foreign layout). */
+u32 countShardBackendFiles(const std::string& dir);
+
+/**
+ * Create or validate a shard directory for `num_shards` shards.
+ *
+ *  - absent: the directory is created (parent must exist).
+ *  - present with no shard files: accepted as-is.
+ *  - present with exactly `num_shards` shard files: accepted; with
+ *    `reset`, stale service metadata (MANIFEST, *.ckpt) is removed so
+ *    a reinitialized service cannot be resumed from the old epoch.
+ *  - present with any other shard count, a gap in the shard numbering,
+ *    or a non-directory path: typed FatalError, nothing touched.
+ */
+void prepareShardDirectory(const std::string& dir, u32 num_shards,
+                           bool reset);
+/** @} */
+
 /** Layout unit for an optional backend (page-ish default when absent). */
 inline u64
 layoutUnitBytes(const StorageBackend* store)

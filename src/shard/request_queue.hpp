@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Finely-locked MPSC queue for shard request routing.
+ *
+ * Each shard owns one queue: any number of submitter threads push, and
+ * exactly one worker thread (the shard's owner) drains. The single-
+ * consumer discipline is what makes the service deterministic — a
+ * shard's requests are executed in exactly the order they were pushed,
+ * no matter how many workers the pool has — so the queue itself only
+ * needs a mutex around a deque, with a swap-based bulk drain to keep
+ * the consumer's lock hold time (and lock traffic per request) low.
+ */
+#ifndef FRORAM_SHARD_REQUEST_QUEUE_HPP
+#define FRORAM_SHARD_REQUEST_QUEUE_HPP
+
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace froram {
+
+/** Multi-producer single-consumer FIFO (fine-grained lock per queue). */
+template <typename T>
+class MpscQueue {
+  public:
+    /** Append one entry (any thread). */
+    void
+    push(T value)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        q_.push_back(std::move(value));
+    }
+
+    /**
+     * Move every queued entry onto the back of `out`, preserving FIFO
+     * order (consumer thread only). Returns the number drained.
+     */
+    size_t
+    drainTo(std::vector<T>& out)
+    {
+        std::deque<T> taken;
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            taken.swap(q_);
+        }
+        for (T& v : taken)
+            out.push_back(std::move(v));
+        return taken.size();
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return q_.empty();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<T> q_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_SHARD_REQUEST_QUEUE_HPP

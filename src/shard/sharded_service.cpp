@@ -1,0 +1,530 @@
+#include "shard/sharded_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/bitops.hpp"
+
+namespace froram {
+namespace {
+
+/** KDF labels: one per key purpose, all distinct from the OramSystem
+ *  cipher (0xc1f0e4) and snapshot-MAC (0xc4ec4b5ea1) labels. */
+constexpr u64 kMapKdfLabel = 0x5a4d415050524600ULL;      // shard map PRF
+constexpr u64 kManifestKdfLabel = 0x5a4d414e46455354ULL; // manifest MAC
+/** Per-shard seed derivation domain (mixed with the shard index). */
+constexpr u64 kShardSeedDomain = 0x5348415244534442ULL;
+
+constexpr u32 kManifestVersion = 1;
+constexpr u32 kMaxShards = 4096;
+constexpr u32 kMaxWorkers = 64; // submit() routes wakeups via a u64 mask
+
+/** 16 key bytes from a labeled KDF stream (same scheme OramSystem and
+ *  the frontends use for their keys). */
+void
+deriveKey(u64 seed, u64 label, u8* key16)
+{
+    Xoshiro256 kdf(seed ^ label);
+    for (int i = 0; i < 16; ++i)
+        key16[i] = static_cast<u8>(kdf.next());
+}
+
+/** The one place the snapshot filename format lives: checkpoint()
+ *  writes and open() looks up through the same function. */
+std::string
+snapshotFilePath(const std::string& dir, u32 shard, u64 generation)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "shard-%04u.g%llu.ckpt", shard,
+                  static_cast<unsigned long long>(generation));
+    return dir + "/" + name;
+}
+
+} // namespace
+
+ShardedOramService::ShardedOramService(const ShardedServiceConfig& config)
+    : ShardedOramService(config, /*opening=*/false)
+{
+}
+
+ShardedOramService::ShardedOramService(const ShardedServiceConfig& config,
+                                       bool opening)
+    : cfg_(config)
+{
+    numShards_ = cfg_.numShards;
+    if (numShards_ == 0 || numShards_ > kMaxShards)
+        fatal("numShards must be in [1, ", kMaxShards, "], got ",
+              numShards_);
+    dataBlockBytes_ = cfg_.scheme == SchemeId::Phantom
+                          ? cfg_.base.phantomBlockBytes
+                          : cfg_.base.blockBytes;
+    numBlocks_ = cfg_.base.capacityBytes / dataBlockBytes_;
+    if (numBlocks_ < numShards_)
+        fatal("service capacity (", numBlocks_,
+              " blocks) is smaller than the shard count (", numShards_,
+              ")");
+    const u64 local_blocks = divCeil(numBlocks_, numShards_);
+
+    u8 key[16];
+    deriveKey(cfg_.base.seed, kMapKdfLabel, key);
+    mapPrf_.setKey(key);
+    deriveKey(cfg_.base.seed, kManifestKdfLabel, key);
+    manifestMac_.setKey(key);
+
+    const bool mmap = cfg_.base.backend == StorageBackendKind::MmapFile;
+    if (mmap) {
+        if (cfg_.directory.empty())
+            fatal("the mmap backend needs ShardedServiceConfig::"
+                  "directory (one backing file per shard)");
+        if (!opening)
+            prepareShardDirectory(cfg_.directory, numShards_,
+                                  cfg_.base.backendReset);
+    }
+
+    shards_.reserve(numShards_);
+    for (u32 s = 0; s < numShards_; ++s) {
+        OramSystemConfig sc = cfg_.base;
+        sc.capacityBytes = local_blocks * dataBlockBytes_;
+        // Domain separation: every shard derives its own seed, hence
+        // its own cipher, PRF, MAC, snapshot and remapping-RNG keys.
+        sc.seed = splitmix64Mix(cfg_.base.seed ^
+                                (kShardSeedDomain + s));
+        if (mmap) {
+            sc.backendPath = shardBackendPath(cfg_.directory, s);
+            sc.backendReset = opening ? false : cfg_.base.backendReset;
+        }
+        auto st = std::make_unique<ShardState>();
+        st->sys = std::make_unique<OramSystem>(cfg_.scheme, sc);
+        shards_.push_back(std::move(st));
+    }
+
+    u32 nworkers = cfg_.numWorkers;
+    if (nworkers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        nworkers = hw == 0 ? 1 : static_cast<u32>(hw);
+    }
+    nworkers = std::min(nworkers, numShards_);
+    nworkers = std::min(nworkers, kMaxWorkers);
+    nworkers = std::max<u32>(nworkers, 1);
+
+    workers_.reserve(nworkers);
+    for (u32 w = 0; w < nworkers; ++w)
+        workers_.push_back(std::make_unique<Worker>());
+    for (u32 s = 0; s < numShards_; ++s) {
+        const u32 w = s % nworkers;
+        shards_[s]->worker = w;
+        workers_[w]->shards.push_back(s);
+    }
+    for (u32 w = 0; w < nworkers; ++w)
+        workers_[w]->thread =
+            std::thread([this, w] { workerLoop(*workers_[w]); });
+}
+
+ShardedOramService::~ShardedOramService()
+{
+    {
+        std::unique_lock<std::shared_mutex> g(gate_);
+        stopping_ = true;
+    }
+    waitIdle();
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+        {
+            std::lock_guard<std::mutex> g(w->mu);
+            ++w->wake;
+        }
+        w->cv.notify_one();
+    }
+    for (auto& w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+}
+
+/** The full per-batch completion state shared with the workers. */
+struct ShardedOramService::Batch {
+    std::vector<ShardRequest> reqs;
+    BatchResult results;
+    std::atomic<u32> remaining{0};
+    std::mutex errMu;
+    std::exception_ptr error;
+    std::promise<BatchResult> promise;
+};
+
+u32
+ShardedOramService::shardOf(Addr addr) const
+{
+    const u64 group = addr / numShards_;
+    const u64 lane = addr % numShards_;
+    return static_cast<u32>((lane + mapPrf_.eval(group, 0)) %
+                            numShards_);
+}
+
+OramSystem&
+ShardedOramService::shard(u32 index)
+{
+    FRORAM_ASSERT(index < numShards_, "shard index out of range");
+    return *shards_[index]->sys;
+}
+
+std::future<ShardedOramService::BatchResult>
+ShardedOramService::submit(std::vector<ShardRequest> batch)
+{
+    auto b = std::make_shared<Batch>();
+    b->reqs = std::move(batch);
+    const u32 n = static_cast<u32>(b->reqs.size());
+    b->results.resize(n);
+    std::future<BatchResult> fut = b->promise.get_future();
+    if (n == 0) {
+        b->promise.set_value(std::move(b->results));
+        return fut;
+    }
+    for (const ShardRequest& r : b->reqs)
+        if (r.addr >= numBlocks_)
+            fatal("request address ", r.addr, " out of range [0, ",
+                  numBlocks_, ")");
+    b->remaining.store(n, std::memory_order_relaxed);
+
+    std::shared_lock<std::shared_mutex> gate(gate_);
+    if (stopping_)
+        fatal("submit() on a stopping ShardedOramService");
+    {
+        std::lock_guard<std::mutex> g(pendMu_);
+        ++pendingBatches_;
+    }
+
+    u64 touched = 0; // workers with new work (bit per worker, <= 64)
+    for (u32 i = 0; i < n; ++i) {
+        const u32 s = shardOf(b->reqs[i].addr);
+        shards_[s]->queue.push(QueueEntry{b, i});
+        touched |= u64{1} << shards_[s]->worker;
+    }
+    for (u32 w = 0; w < workers_.size(); ++w) {
+        if ((touched & (u64{1} << w)) == 0)
+            continue;
+        {
+            std::lock_guard<std::mutex> g(workers_[w]->mu);
+            ++workers_[w]->wake;
+        }
+        workers_[w]->cv.notify_one();
+    }
+    return fut;
+}
+
+FrontendResult
+ShardedOramService::access(Addr addr, bool is_write,
+                           const std::vector<u8>* write_data)
+{
+    std::vector<ShardRequest> batch(1);
+    batch[0].addr = addr;
+    batch[0].isWrite = is_write;
+    if (is_write && write_data != nullptr)
+        batch[0].writeData = *write_data;
+    BatchResult r = submit(std::move(batch)).get();
+    return std::move(r[0].result);
+}
+
+void
+ShardedOramService::drain()
+{
+    waitIdle();
+}
+
+void
+ShardedOramService::waitIdle()
+{
+    std::unique_lock<std::mutex> g(pendMu_);
+    pendCv_.wait(g, [this] { return pendingBatches_ == 0; });
+}
+
+void
+ShardedOramService::workerLoop(Worker& w)
+{
+    std::vector<QueueEntry> local;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(w.mu);
+            w.cv.wait(lk, [&] {
+                return w.wake != 0 ||
+                       stop_.load(std::memory_order_acquire);
+            });
+            w.wake = 0;
+        }
+        bool drained = true;
+        while (drained) {
+            drained = false;
+            for (const u32 s : w.shards) {
+                local.clear();
+                if (shards_[s]->queue.drainTo(local) == 0)
+                    continue;
+                drained = true;
+                for (QueueEntry& e : local)
+                    process(s, e);
+            }
+        }
+        if (stop_.load(std::memory_order_acquire)) {
+            // Final sweep: nothing new can arrive (the destructor
+            // drains before setting stop_), but close the window
+            // between the last drain and the flag check anyway.
+            for (const u32 s : w.shards) {
+                local.clear();
+                shards_[s]->queue.drainTo(local);
+                for (QueueEntry& e : local)
+                    process(s, e);
+            }
+            return;
+        }
+    }
+}
+
+void
+ShardedOramService::process(u32 shard_index, QueueEntry& entry)
+{
+    ShardState& st = *shards_[shard_index];
+    Batch& b = *entry.batch;
+    const ShardRequest& req = b.reqs[entry.index];
+    ShardAccessResult& slot = b.results[entry.index];
+    slot.shard = shard_index;
+    slot.addr = req.addr;
+    try {
+        if (st.failed)
+            fatal("shard ", shard_index,
+                  " is wedged by an earlier error: ", st.failReason);
+        const std::vector<u8>* payload =
+            req.isWrite && !req.writeData.empty() ? &req.writeData
+                                                  : nullptr;
+        // Straight into the batch slot: the slot is this request's
+        // final home, so there is nothing to gain from a bounce
+        // through per-shard scratch.
+        st.sys->frontend().accessInto(slot.result,
+                                      shardLocalAddr(req.addr),
+                                      req.isWrite, payload);
+    } catch (...) {
+        const std::exception_ptr eptr = std::current_exception();
+        if (!st.failed) {
+            st.failed = true;
+            try {
+                std::rethrow_exception(eptr);
+            } catch (const std::exception& ex) {
+                st.failReason = ex.what();
+            } catch (...) {
+                st.failReason = "unknown error";
+            }
+        }
+        std::lock_guard<std::mutex> g(b.errMu);
+        if (!b.error)
+            b.error = eptr;
+    }
+    finishOne(b);
+}
+
+void
+ShardedOramService::finishOne(Batch& b)
+{
+    if (b.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    if (b.error)
+        b.promise.set_exception(b.error);
+    else
+        b.promise.set_value(std::move(b.results));
+    std::lock_guard<std::mutex> g(pendMu_);
+    --pendingBatches_;
+    pendCv_.notify_all();
+}
+
+u64
+ShardedOramService::fingerprintFor(const ShardedServiceConfig& config)
+{
+    u64 h = 0x46524F52414D5348ULL; // "FRORAMSH"
+    const auto mix = [&h](u64 v) { h = splitmix64Mix(h ^ v); };
+    mix(static_cast<u64>(config.base.storage));
+    mix(config.base.realAes ? 1 : 0);
+    mix(static_cast<u64>(config.base.seedScheme));
+    mix(config.base.seed);
+    mix(config.base.z);
+    return h;
+}
+
+u64
+ShardedOramService::serviceFingerprint() const
+{
+    return fingerprintFor(cfg_);
+}
+
+std::string
+ShardedOramService::manifestPath() const
+{
+    return cfg_.directory + "/MANIFEST";
+}
+
+std::string
+ShardedOramService::snapshotPath(u32 shard, u64 generation) const
+{
+    return snapshotFilePath(cfg_.directory, shard, generation);
+}
+
+void
+ShardedOramService::checkpoint(CheckpointScope scope)
+{
+    // Quiesce: block new submissions and wait out in-flight batches, so
+    // every shard snapshot is taken at one consistent service point.
+    std::unique_lock<std::shared_mutex> gate(gate_);
+    waitIdle();
+
+    if (cfg_.directory.empty())
+        fatal("sharded checkpoint needs ShardedServiceConfig::"
+              "directory");
+    for (u32 s = 0; s < numShards_; ++s)
+        if (shards_[s]->failed)
+            fatal("refusing to checkpoint: shard ", s,
+                  " is wedged by an earlier error: ",
+                  shards_[s]->failReason);
+    // Volatile backends have no shard files; this just creates the
+    // directory (and validates it is ours) on first use.
+    if (cfg_.base.backend != StorageBackendKind::MmapFile)
+        prepareShardDirectory(cfg_.directory, numShards_,
+                              /*reset=*/false);
+
+    const u64 gen = generation_ + 1;
+    std::vector<std::vector<u8>> tags;
+    std::vector<u64> sizes;
+    tags.reserve(numShards_);
+    sizes.reserve(numShards_);
+    for (u32 s = 0; s < numShards_; ++s) {
+        const std::vector<u8> blob = shards_[s]->sys->checkpoint(scope);
+        ckpt::writeFileAtomic(snapshotPath(s, gen), blob);
+        tags.push_back(ckpt::sealedTag(blob));
+        sizes.push_back(blob.size());
+    }
+
+    CheckpointWriter w;
+    w.begin(ckpt::kTagManifest);
+    w.putU32(kManifestVersion);
+    w.putU32(numShards_);
+    w.putU32(static_cast<u32>(cfg_.scheme));
+    w.putU32(static_cast<u32>(cfg_.base.backend));
+    w.putU64(numBlocks_);
+    w.putU64(dataBlockBytes_);
+    w.putU64(gen);
+    for (u32 s = 0; s < numShards_; ++s) {
+        w.putU64(shards_[s]->sys->configFingerprint());
+        w.putBytes(tags[s].data(), tags[s].size());
+        w.putU64(sizes[s]);
+    }
+    w.end();
+    // Commit point: only this rename makes generation `gen` current; a
+    // crash before it leaves the previous generation fully restorable.
+    ckpt::writeFileAtomic(manifestPath(),
+                          ckpt::seal(w.bytes(), manifestMac_,
+                                     serviceFingerprint()));
+
+    if (generation_ != 0)
+        for (u32 s = 0; s < numShards_; ++s)
+            std::remove(snapshotPath(s, generation_).c_str());
+    generation_ = gen;
+}
+
+std::unique_ptr<ShardedOramService>
+ShardedOramService::open(ShardedServiceConfig config)
+{
+    if (config.directory.empty())
+        fatal("ShardedOramService::open needs a service directory");
+
+    // Stage 1 — authenticate + parse the manifest, using only key
+    // material derived from the config (no shard is constructed yet).
+    u8 key[16];
+    deriveKey(config.base.seed, kManifestKdfLabel, key);
+    Mac mac(key);
+    const u64 fp = fingerprintFor(config);
+    const std::string mpath = config.directory + "/MANIFEST";
+    const std::vector<u8> payload =
+        ckpt::unseal(ckpt::readFile(mpath), mac, fp);
+    CheckpointReader r(payload.data(), payload.size());
+    r.enter(ckpt::kTagManifest);
+    if (r.getU32() != kManifestVersion)
+        throw CheckpointError("unsupported shard manifest version");
+    const u32 m_shards = r.getU32();
+    const u32 m_scheme = r.getU32();
+    const u32 m_backend = r.getU32();
+    const u64 m_blocks = r.getU64();
+    const u64 m_block_bytes = r.getU64();
+    const u64 m_gen = r.getU64();
+    if (m_shards != config.numShards)
+        throw CheckpointError(
+            "manifest records " + std::to_string(m_shards) +
+            " shards but this service is configured for " +
+            std::to_string(config.numShards));
+    if (m_scheme != static_cast<u32>(config.scheme) ||
+        m_backend != static_cast<u32>(config.base.backend))
+        throw CheckpointError(
+            "manifest was written under a different scheme or backend "
+            "kind");
+    const u64 cfg_block_bytes =
+        config.scheme == SchemeId::Phantom
+            ? config.base.phantomBlockBytes
+            : config.base.blockBytes;
+    if (m_block_bytes != cfg_block_bytes ||
+        m_blocks != config.base.capacityBytes / cfg_block_bytes)
+        throw CheckpointError(
+            "manifest was written for a different capacity or block "
+            "size");
+    struct ShardPin {
+        u64 fingerprint;
+        std::vector<u8> tag;
+        u64 bytes;
+    };
+    std::vector<ShardPin> pins(m_shards);
+    for (u32 s = 0; s < m_shards; ++s) {
+        pins[s].fingerprint = r.getU64();
+        pins[s].tag.resize(ckpt::kTagBytes);
+        r.getBytes(pins[s].tag.data(), pins[s].tag.size());
+        pins[s].bytes = r.getU64();
+    }
+    r.exit();
+    r.expectEnd();
+
+    // Stage 2 — pre-validate the directory so a partially written (or
+    // partially deleted) service fails *before* any file is created or
+    // any shard constructed: open() never clobbers what it rejects.
+    const bool mmap =
+        config.base.backend == StorageBackendKind::MmapFile;
+    if (mmap && countShardBackendFiles(config.directory) != m_shards)
+        throw CheckpointError(
+            "service directory does not hold exactly " +
+            std::to_string(m_shards) + " shard backend files");
+    for (u32 s = 0; s < m_shards; ++s)
+        if (!ckpt::fileExists(snapshotFilePath(config.directory, s,
+                                               m_gen)))
+            throw CheckpointError(
+                "snapshot of shard " + std::to_string(s) +
+                " (generation " + std::to_string(m_gen) +
+                ") is missing");
+
+    // Stage 3 — construct over the existing backends and restore every
+    // shard. Any failure destroys the half-built service wholesale; a
+    // caller never observes a service with a mix of restored and fresh
+    // shards.
+    config.base.backendReset = false;
+    std::unique_ptr<ShardedOramService> svc(
+        new ShardedOramService(config, /*opening=*/true));
+    svc->generation_ = m_gen;
+    for (u32 s = 0; s < m_shards; ++s) {
+        const std::vector<u8> blob =
+            ckpt::readFile(snapshotFilePath(config.directory, s,
+                                            m_gen));
+        if (blob.size() != pins[s].bytes ||
+            ckpt::sealedTag(blob) != pins[s].tag)
+            throw CheckpointError(
+                "snapshot of shard " + std::to_string(s) +
+                " does not match the manifest (rolled back, swapped "
+                "or corrupt)");
+        if (svc->shards_[s]->sys->configFingerprint() !=
+            pins[s].fingerprint)
+            throw CheckpointError(
+                "shard " + std::to_string(s) +
+                " configuration fingerprint mismatch");
+        svc->shards_[s]->sys->restore(blob);
+    }
+    return svc;
+}
+
+} // namespace froram

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Sharded multi-threaded ORAM service.
+ *
+ * A ShardedOramService PRF-partitions a block address space across N
+ * independent OramSystem shards — each with its own storage region (or
+ * backing file), domain-separated cipher/MAC keys, stash, PLB and
+ * integrity counters — and drives them from a fixed worker-thread pool
+ * behind an asynchronous batched API.
+ *
+ * Address → shard mapping. An address a splits into a *group*
+ * g = a / N and a *lane* l = a % N; the shard is (l + PRF_K(g)) mod N
+ * and the shard-local address is g. For every group the N lanes land on
+ * N distinct shards (a keyed rotation), so the map is a bijection onto
+ * shard-local addresses, every shard holds exactly ⌈blocks/N⌉ slots,
+ * and which shard serves a given address is pseudorandom to anyone
+ * without K. Obliviousness is preserved *per shard*: each shard is an
+ * unmodified OramSystem whose access sequence is independent of the
+ * data accessed; what the service adds is only the (standard for
+ * partitioned ORAMs) shard-choice channel, which under the PRF is a
+ * keyed rotation of the public lane index.
+ *
+ * Threading model. Shard s is owned by worker s mod W: every request
+ * for a shard is executed by one thread, in exactly the order it was
+ * submitted (per-shard MPSC queue, single consumer). Hence results and
+ * per-shard adversary traces are bit-identical for any worker count,
+ * per-address completion order equals submission order, and no lock is
+ * ever taken around OramSystem internals. submit()/access() are safe
+ * from any number of threads.
+ *
+ * Persistence. With the mmap backend each shard gets its own backing
+ * file under a service directory (`shard-NNNN.oram`). checkpoint()
+ * quiesces the pool, writes one sealed per-shard snapshot
+ * (`shard-NNNN.gG.ckpt`, atomic each) and then commits a sealed
+ * MANIFEST recording the generation and every snapshot's MAC tag — the
+ * manifest rename is the commit point, so a crash anywhere leaves the
+ * previous generation fully intact. open() verifies the manifest, that
+ * every shard file and snapshot of the recorded generation exists and
+ * carries the exact tag the manifest pinned (an individually
+ * rolled-back shard snapshot is rejected), and then restores all
+ * shards, or fails without leaving a half-open service.
+ */
+#ifndef FRORAM_SHARD_SHARDED_SERVICE_HPP
+#define FRORAM_SHARD_SHARDED_SERVICE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oram_system.hpp"
+#include "shard/request_queue.hpp"
+
+namespace froram {
+
+/** Configuration of a ShardedOramService. */
+struct ShardedServiceConfig {
+    SchemeId scheme = SchemeId::PlbCompressed;
+    /**
+     * Per-shard system template. `capacityBytes` is the TOTAL service
+     * capacity (divided across shards); `seed` is the service master
+     * seed (each shard derives a domain-separated seed, so no two
+     * shards share cipher, PRF, MAC or remapping-RNG key material);
+     * `backendPath`/`backendReset` are ignored for mmap — the service
+     * carves one file per shard under `directory` instead.
+     */
+    OramSystemConfig base{};
+    u32 numShards = 4;
+    /** Worker threads; 0 = min(numShards, hardware threads). Capped at
+     *  64 and at numShards (extra workers would never own a shard). */
+    u32 numWorkers = 0;
+    /** Service directory: mmap shard files + checkpoint snapshots.
+     *  Required for the mmap backend and for checkpoint()/open(). */
+    std::string directory;
+};
+
+/** One access request; writes own their payload (empty = zero-fill). */
+struct ShardRequest {
+    Addr addr = 0;
+    bool isWrite = false;
+    std::vector<u8> writeData;
+};
+
+/** Completion record for one request of a batch. */
+struct ShardAccessResult {
+    u32 shard = 0;           ///< shard that served the request
+    Addr addr = 0;           ///< global address (as submitted)
+    FrontendResult result{}; ///< payload + accounting from the shard
+};
+
+/** PRF-partitioned multi-threaded ORAM service (see file comment). */
+class ShardedOramService {
+  public:
+    using BatchResult = std::vector<ShardAccessResult>;
+
+    explicit ShardedOramService(const ShardedServiceConfig& config);
+    ~ShardedOramService();
+
+    ShardedOramService(const ShardedOramService&) = delete;
+    ShardedOramService& operator=(const ShardedOramService&) = delete;
+
+    /**
+     * Enqueue a batch of requests and return a future for the full
+     * batch (results in submission order). Requests are routed to their
+     * shards and executed concurrently across shards, FIFO within each
+     * shard. If any request throws (e.g. IntegrityViolation), the
+     * future rethrows the first error and the offending shard refuses
+     * further requests (wedged); other shards keep serving.
+     *
+     * Addresses are validated here — an out-of-range address throws
+     * FatalError immediately and enqueues nothing.
+     */
+    std::future<BatchResult> submit(std::vector<ShardRequest> batch);
+
+    /** Blocking convenience wrapper preserving OramSystem::access
+     *  semantics for a single request (routed through the pool). */
+    FrontendResult access(Addr addr, bool is_write,
+                          const std::vector<u8>* write_data = nullptr);
+
+    /** Block until every submitted batch has completed. */
+    void drain();
+
+    /** @name Geometry / introspection @{ */
+    u32 numShards() const { return numShards_; }
+    u32 numWorkers() const { return static_cast<u32>(workers_.size()); }
+    u64 numBlocks() const { return numBlocks_; }
+    /** Shard serving global address `addr` (the keyed rotation). */
+    u32 shardOf(Addr addr) const;
+    /** Shard-local address of global address `addr` (its group). */
+    Addr shardLocalAddr(Addr addr) const { return addr / numShards_; }
+    /** Direct access to one shard system (tests/benches; only safe
+     *  while no requests are in flight — call drain() first). */
+    OramSystem& shard(u32 index);
+    const ShardedServiceConfig& config() const { return cfg_; }
+    /** @} */
+
+    /** @name Checkpoint / resume
+     *
+     * checkpoint() blocks new submissions, waits for in-flight batches,
+     * snapshots every shard and atomically commits the manifest (the
+     * previous generation stays restorable until then). open() resumes
+     * a persisted service in a fresh process, verifying the manifest
+     * and every pinned snapshot before any shard state is applied; all
+     * failure modes raise CheckpointError (or FatalError for a torn
+     * shard directory) and never yield a half-open service.
+     * @{ */
+    void checkpoint(CheckpointScope scope = CheckpointScope::Auto);
+    static std::unique_ptr<ShardedOramService>
+    open(ShardedServiceConfig config);
+
+    /** Manifest envelope fingerprint (service-shape digest). */
+    u64 serviceFingerprint() const;
+    /** Snapshot generation last committed or opened (0 = none). */
+    u64 generation() const { return generation_; }
+    /** @} */
+
+  private:
+    struct Batch;
+
+    /** Routing entry: one request of one batch. */
+    struct QueueEntry {
+        std::shared_ptr<Batch> batch;
+        u32 index = 0;
+    };
+
+    /** Per-shard state; touched only by the owning worker once requests
+     *  flow (construction/checkpoint access is gated + drained). */
+    struct ShardState {
+        std::unique_ptr<OramSystem> sys;
+        MpscQueue<QueueEntry> queue;
+        bool failed = false; ///< wedged by an earlier exception
+        std::string failReason;
+        u32 worker = 0;
+    };
+
+    struct Worker {
+        std::mutex mu;
+        std::condition_variable cv;
+        u64 wake = 0; ///< pending wakeups (guarded by mu)
+        std::vector<u32> shards;
+        std::thread thread;
+    };
+
+    ShardedOramService(const ShardedServiceConfig& config, bool opening);
+
+    /** serviceFingerprint(), computable before any shard exists. */
+    static u64 fingerprintFor(const ShardedServiceConfig& config);
+
+    void workerLoop(Worker& w);
+    void process(u32 shard_index, QueueEntry& entry);
+    void finishOne(Batch& b);
+    void waitIdle(); ///< pendingBatches_ == 0 (caller holds no locks)
+
+    std::string manifestPath() const;
+    std::string snapshotPath(u32 shard, u64 generation) const;
+
+    ShardedServiceConfig cfg_;
+    u32 numShards_ = 0;
+    u64 numBlocks_ = 0;
+    u64 dataBlockBytes_ = 0;
+    Prf mapPrf_;        ///< address → shard rotation (dedicated key)
+    Mac manifestMac_;   ///< manifest envelope key (dedicated KDF label)
+    u64 generation_ = 0;
+
+    std::vector<std::unique_ptr<ShardState>> shards_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Submission gate: submit() holds it shared; checkpoint() and the
+     *  destructor hold it exclusively to quiesce the pool. */
+    std::shared_mutex gate_;
+    bool stopping_ = false; ///< guarded by gate_ (exclusive to set)
+
+    std::atomic<bool> stop_{false};
+    std::mutex pendMu_;
+    std::condition_variable pendCv_;
+    u64 pendingBatches_ = 0; ///< guarded by pendMu_
+};
+
+} // namespace froram
+
+#endif // FRORAM_SHARD_SHARDED_SERVICE_HPP

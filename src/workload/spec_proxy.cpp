@@ -1,5 +1,7 @@
 #include "workload/spec_proxy.hpp"
 
+#include <mutex>
+
 #include "util/common.hpp"
 
 namespace froram {
@@ -51,7 +53,12 @@ buildSuite()
 const std::vector<SpecProxySpec>&
 specSuite()
 {
-    static const std::vector<SpecProxySpec> suite = buildSuite();
+    // One-time build; a magic static was equally race-free, but the
+    // explicit call_once keeps the initialization visible now that
+    // bench/test harnesses may reach this from shard worker threads.
+    static std::once_flag once;
+    static std::vector<SpecProxySpec> suite;
+    std::call_once(once, [] { suite = buildSuite(); });
     return suite;
 }
 

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * ShardedOramService behavior: address-map bijection, functional
+ * correctness of the blocking and batched APIs against a reference
+ * map, worker-count determinism (results AND per-shard adversary
+ * traces must be bit-identical for 1 vs N workers, on all three
+ * backends), and multi-threaded submitter safety (the test the TSan CI
+ * leg leans on).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <thread>
+#include <unistd.h>
+
+#include "shard/sharded_service.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::string
+freshDir(const std::string& tag)
+{
+    // Unique across runs too (the pid), so a previous run's leftovers
+    // can never masquerade as this run's directories.
+    static int counter = 0;
+    return ::testing::TempDir() + "froram_shard_" +
+           std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++);
+}
+
+ShardedServiceConfig
+smallConfig(u32 shards, u32 workers,
+            StorageBackendKind kind = StorageBackendKind::Flat)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{1} << 20; // 16384 blocks
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = kind;
+    cfg.base.seed = 0x5eed1;
+    cfg.numShards = shards;
+    cfg.numWorkers = workers;
+    return cfg;
+}
+
+std::vector<u8>
+payloadFor(Addr addr, u64 version, u64 block_bytes)
+{
+    std::vector<u8> data(block_bytes);
+    for (u64 j = 0; j < block_bytes; ++j)
+        data[j] = static_cast<u8>(addr * 31 + version * 131 + j);
+    return data;
+}
+
+TEST(ShardedService, AddressMapIsBalancedBijection)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/5, /*workers=*/1);
+    cfg.base.capacityBytes = 64 * 1024; // 1024 blocks over 5 shards
+    ShardedOramService svc(cfg);
+
+    const u64 n = svc.numBlocks();
+    const u64 local_cap = divCeil(n, svc.numShards());
+    std::set<std::pair<u32, Addr>> seen;
+    std::vector<u64> per_shard(svc.numShards(), 0);
+    for (Addr a = 0; a < n; ++a) {
+        const u32 s = svc.shardOf(a);
+        const Addr local = svc.shardLocalAddr(a);
+        ASSERT_LT(s, svc.numShards());
+        ASSERT_LT(local, local_cap);
+        ASSERT_TRUE(seen.emplace(s, local).second)
+            << "two addresses mapped to shard " << s << " slot "
+            << local;
+        ++per_shard[s];
+    }
+    // Perfect balance up to the final partial group.
+    const u64 lo =
+        *std::min_element(per_shard.begin(), per_shard.end());
+    const u64 hi =
+        *std::max_element(per_shard.begin(), per_shard.end());
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ShardedService, BlockingAccessMatchesReferenceMap)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/4, /*workers=*/2);
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    std::map<Addr, std::vector<u8>> reference;
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 600; ++i) {
+        const Addr addr = rng.below(svc.numBlocks());
+        if (rng.below(2) == 0) {
+            const std::vector<u8> data = payloadFor(addr, i, bb);
+            svc.access(addr, true, &data);
+            reference[addr] = data;
+        } else {
+            const FrontendResult r = svc.access(addr, false);
+            const auto it = reference.find(addr);
+            if (it == reference.end()) {
+                EXPECT_TRUE(r.coldMiss ||
+                            std::all_of(r.data.begin(), r.data.end(),
+                                        [](u8 b) { return b == 0; }));
+            } else {
+                ASSERT_EQ(r.data.size(), bb);
+                EXPECT_EQ(r.data, it->second) << "addr " << addr;
+            }
+        }
+    }
+}
+
+TEST(ShardedService, BatchedSubmitMatchesReferenceAndOrdersPerAddress)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/4, /*workers=*/4);
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    // One batch containing a write and a read of the SAME address:
+    // per-address FIFO means the read must observe the write.
+    std::vector<ShardRequest> batch(3);
+    batch[0].addr = 7;
+    batch[0].isWrite = true;
+    batch[0].writeData = payloadFor(7, 1, bb);
+    batch[1].addr = 7;
+    batch[2].addr = 7 + svc.numShards(); // same shard lane, other group
+    auto results = svc.submit(std::move(batch)).get();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[1].result.data, payloadFor(7, 1, bb));
+    EXPECT_EQ(results[0].shard, results[1].shard);
+    EXPECT_EQ(results[0].addr, 7u);
+
+    // Larger mixed batches against a reference map.
+    std::map<Addr, std::vector<u8>> reference;
+    Xoshiro256 rng(43);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<ShardRequest> b(32);
+        // Per-address FIFO: a read at batch index i observes exactly
+        // the writes at indices < i (plus earlier batches), so track
+        // the expectation while filling, in order. Empty = cold.
+        std::vector<std::vector<u8>> expect(b.size());
+        for (size_t i = 0; i < b.size(); ++i) {
+            b[i].addr = rng.below(svc.numBlocks());
+            if (rng.below(2) == 0) {
+                b[i].isWrite = true;
+                b[i].writeData =
+                    payloadFor(b[i].addr, round * 100 + i, bb);
+                reference[b[i].addr] = b[i].writeData;
+            } else {
+                const auto it = reference.find(b[i].addr);
+                if (it != reference.end())
+                    expect[i] = it->second;
+            }
+        }
+        auto rs = svc.submit(std::move(b)).get();
+        ASSERT_EQ(rs.size(), expect.size());
+        for (size_t i = 0; i < rs.size(); ++i) {
+            if (!expect[i].empty()) {
+                EXPECT_EQ(rs[i].result.data, expect[i])
+                    << "round " << round << " index " << i;
+            }
+        }
+    }
+}
+
+TEST(ShardedService, OutOfRangeAddressRejectedWithoutEnqueuing)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/2, /*workers=*/1);
+    ShardedOramService svc(cfg);
+    std::vector<ShardRequest> batch(1);
+    batch[0].addr = svc.numBlocks();
+    EXPECT_THROW(svc.submit(std::move(batch)), FatalError);
+    // The service is still fully operational afterwards.
+    const std::vector<u8> data =
+        payloadFor(3, 1, cfg.base.blockBytes);
+    svc.access(3, true, &data);
+    EXPECT_EQ(svc.access(3, false).data, data);
+}
+
+/** Drive one deterministic request sequence through a service. */
+std::vector<std::vector<u8>>
+runSequence(ShardedOramService& svc, u64 block_bytes)
+{
+    Xoshiro256 rng(7);
+    std::vector<std::vector<u8>> reads;
+    for (int round = 0; round < 12; ++round) {
+        std::vector<ShardRequest> batch(24);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            batch[i].addr = rng.below(svc.numBlocks());
+            if (rng.below(3) == 0) {
+                batch[i].isWrite = true;
+                batch[i].writeData = payloadFor(
+                    batch[i].addr, round * 1000 + i, block_bytes);
+            }
+        }
+        auto rs = svc.submit(std::move(batch)).get();
+        for (auto& r : rs)
+            reads.push_back(r.result.data);
+    }
+    return reads;
+}
+
+/** Per-shard adversary trace flattened to comparable tuples. */
+std::vector<std::vector<u64>>
+shardTraces(ShardedOramService& svc)
+{
+    std::vector<std::vector<u64>> traces(svc.numShards());
+    for (u32 s = 0; s < svc.numShards(); ++s)
+        for (const TraceEvent& e : svc.shard(s).trace()) {
+            traces[s].push_back(static_cast<u64>(e.kind));
+            traces[s].push_back(e.treeId);
+            traces[s].push_back(e.leaf);
+        }
+    return traces;
+}
+
+class ShardedDeterminism
+    : public ::testing::TestWithParam<StorageBackendKind> {};
+
+/**
+ * The satellite determinism guarantee: read results and per-shard
+ * trace leaves are byte-identical regardless of the worker count, on
+ * every backend.
+ */
+TEST_P(ShardedDeterminism, WorkerCountInvariant)
+{
+    const StorageBackendKind kind = GetParam();
+    auto build = [&](u32 workers, const std::string& dir) {
+        ShardedServiceConfig cfg =
+            smallConfig(/*shards=*/4, workers, kind);
+        cfg.base.capacityBytes = u64{256} << 10;
+        cfg.base.collectTrace = true;
+        if (kind == StorageBackendKind::MmapFile)
+            cfg.directory = dir;
+        return std::make_unique<ShardedOramService>(cfg);
+    };
+
+    const std::string dir1 = freshDir("det1");
+    const std::string dir4 = freshDir("det4");
+    auto svc1 = build(1, dir1);
+    auto svc4 = build(4, dir4);
+    ASSERT_EQ(svc1->numWorkers(), 1u);
+    ASSERT_EQ(svc4->numWorkers(), 4u);
+
+    const auto reads1 = runSequence(*svc1, 64);
+    const auto reads4 = runSequence(*svc4, 64);
+    EXPECT_EQ(reads1, reads4);
+
+    svc1->drain();
+    svc4->drain();
+    const auto traces1 = shardTraces(*svc1);
+    const auto traces4 = shardTraces(*svc4);
+    ASSERT_EQ(traces1.size(), traces4.size());
+    for (u32 s = 0; s < traces1.size(); ++s)
+        EXPECT_EQ(traces1[s], traces4[s]) << "shard " << s;
+    for (u32 s = 0; s < svc1->numShards(); ++s)
+        EXPECT_FALSE(svc1->shard(s).trace().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ShardedDeterminism,
+                         ::testing::Values(StorageBackendKind::Flat,
+                                           StorageBackendKind::TimedDram,
+                                           StorageBackendKind::MmapFile),
+                         [](const auto& info) {
+                             return std::string(toString(info.param));
+                         });
+
+TEST(ShardedService, ConcurrentSubmittersOnDisjointAddresses)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/8, /*workers=*/4);
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 80;
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Thread t owns addresses congruent to t mod kThreads.
+            Xoshiro256 rng(100 + t);
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const Addr addr =
+                    (rng.below(svc.numBlocks() / kThreads)) *
+                        kThreads +
+                    static_cast<u64>(t);
+                const std::vector<u8> data = payloadFor(addr, i, bb);
+                svc.access(addr, true, &data);
+                const FrontendResult r = svc.access(addr, false);
+                if (r.data != data)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ShardedService, DrainQuiescesAndShardsStayConsistent)
+{
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/4, /*workers=*/2);
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    std::vector<std::future<ShardedOramService::BatchResult>> futs;
+    for (int round = 0; round < 8; ++round) {
+        std::vector<ShardRequest> batch(16);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            batch[i].addr = static_cast<Addr>(round * 16 + i);
+            batch[i].isWrite = true;
+            batch[i].writeData =
+                payloadFor(batch[i].addr, round, bb);
+        }
+        futs.push_back(svc.submit(std::move(batch)));
+    }
+    svc.drain();
+    // After drain every future must be ready.
+    for (auto& f : futs)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    for (int round = 0; round < 8; ++round)
+        for (int i = 0; i < 16; ++i) {
+            const Addr addr = static_cast<Addr>(round * 16 + i);
+            EXPECT_EQ(svc.access(addr, false).data,
+                      payloadFor(addr, round, bb));
+        }
+}
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * ShardedOramService persistence: checkpoint()/open() round trips, the
+ * manifest tamper/missing-shard failure matrix, and the mmap shard
+ * directory lifecycle (creation, wrong-shard-count reopen, partially
+ * written directories) — every failure mode must raise a typed error
+ * and leave the on-disk state unclobbered.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "shard/sharded_service.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::string
+freshDir(const std::string& tag)
+{
+    // Unique across runs too (the pid), so a previous run's leftovers
+    // can never masquerade as this run's directories.
+    static int counter = 0;
+    return ::testing::TempDir() + "froram_shardr_" +
+           std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++);
+}
+
+ShardedServiceConfig
+mmapConfig(const std::string& dir, u32 shards = 4)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbIntegrityCompressed;
+    cfg.base.capacityBytes = u64{256} << 10;
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::MmapFile;
+    cfg.base.seed = 0xd1d1;
+    cfg.numShards = shards;
+    cfg.numWorkers = 2;
+    cfg.directory = dir;
+    return cfg;
+}
+
+std::vector<u8>
+payloadFor(Addr addr, u64 version, u64 block_bytes)
+{
+    std::vector<u8> data(block_bytes);
+    for (u64 j = 0; j < block_bytes; ++j)
+        data[j] = static_cast<u8>(addr * 37 + version * 101 + j);
+    return data;
+}
+
+void
+writeSome(ShardedOramService& svc, u64 version, u64 block_bytes,
+          int count = 64)
+{
+    for (int i = 0; i < count; ++i) {
+        const std::vector<u8> data =
+            payloadFor(static_cast<Addr>(i), version, block_bytes);
+        svc.access(static_cast<Addr>(i), true, &data);
+    }
+}
+
+void
+expectSome(ShardedOramService& svc, u64 version, u64 block_bytes,
+           int count = 64)
+{
+    for (int i = 0; i < count; ++i)
+        EXPECT_EQ(svc.access(static_cast<Addr>(i), false).data,
+                  payloadFor(static_cast<Addr>(i), version,
+                             block_bytes))
+            << "record " << i;
+}
+
+std::vector<u8>
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<u8>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string& path, const std::vector<u8>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<long>(bytes.size()));
+}
+
+std::string
+snapName(const std::string& dir, u32 shard, u64 gen)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "shard-%04u.g%llu.ckpt", shard,
+                  static_cast<unsigned long long>(gen));
+    return dir + "/" + name;
+}
+
+TEST(ShardedRestore, MmapRoundTripContinuesBitIdentically)
+{
+    const std::string dir = freshDir("roundtrip");
+    const std::string control_dir = freshDir("roundtrip_ctl");
+    const u64 bb = 64;
+
+    // Control: an identical service that never checkpoints. Its
+    // post-snapshot-point accesses are the ground truth the resumed
+    // service must reproduce bit-for-bit (remap RNG, PMMAC counters
+    // and stash state all restored exactly).
+    ShardedOramService control(mmapConfig(control_dir));
+    writeSome(control, /*version=*/1, bb);
+
+    {
+        ShardedOramService svc(mmapConfig(dir));
+        writeSome(svc, /*version=*/1, bb);
+        svc.checkpoint();
+        EXPECT_EQ(svc.generation(), 1u);
+    } // destructor: original gone (simulates clean process exit)
+
+    auto resumed = ShardedOramService::open(mmapConfig(dir));
+    EXPECT_EQ(resumed->generation(), 1u);
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 40; ++i) {
+        const Addr addr = rng.below(64);
+        const bool write = i % 4 == 0;
+        if (write) {
+            const std::vector<u8> data =
+                payloadFor(addr, 90 + static_cast<u64>(i), bb);
+            EXPECT_EQ(resumed->access(addr, true, &data).data,
+                      control.access(addr, true, &data).data);
+        } else {
+            EXPECT_EQ(resumed->access(addr, false).data,
+                      control.access(addr, false).data)
+                << "replayed access " << i;
+        }
+    }
+    // Per-shard trace leaves also line up between control and resumed
+    // ... but the control collected no trace here; value equality above
+    // plus the determinism suite covers the trace dimension.
+}
+
+TEST(ShardedRestore, VolatileBackendFullScopeRoundTrip)
+{
+    const std::string dir = freshDir("flatfull");
+    ShardedServiceConfig cfg = mmapConfig(dir);
+    cfg.base.backend = StorageBackendKind::Flat;
+    const u64 bb = 64;
+    {
+        ShardedOramService svc(cfg);
+        writeSome(svc, 3, bb);
+        svc.checkpoint(); // Auto resolves to Full on a volatile backend
+    }
+    auto resumed = ShardedOramService::open(cfg);
+    expectSome(*resumed, 3, bb);
+}
+
+TEST(ShardedRestore, SecondCheckpointSupersedesAndCleansUp)
+{
+    const std::string dir = freshDir("gen2");
+    ShardedServiceConfig cfg = mmapConfig(dir);
+    const u64 bb = 64;
+    {
+        ShardedOramService svc(cfg);
+        writeSome(svc, 1, bb);
+        svc.checkpoint();
+        writeSome(svc, 2, bb);
+        svc.checkpoint();
+        EXPECT_EQ(svc.generation(), 2u);
+        // Generation-1 snapshots are gone once gen 2 committed.
+        for (u32 s = 0; s < cfg.numShards; ++s)
+            EXPECT_FALSE(ckpt::fileExists(snapName(dir, s, 1)));
+    }
+    auto resumed = ShardedOramService::open(mmapConfig(dir));
+    expectSome(*resumed, 2, bb);
+}
+
+TEST(ShardedRestore, ManifestTamperMatrix)
+{
+    const std::string dir = freshDir("tamper");
+    ShardedServiceConfig cfg = mmapConfig(dir);
+    {
+        ShardedOramService svc(cfg);
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+    const std::string mpath = dir + "/MANIFEST";
+    const std::vector<u8> good = slurp(mpath);
+    ASSERT_FALSE(good.empty());
+
+    // Flip one byte at representative offsets: magic, version,
+    // fingerprint, payload (shard count / tags), MAC tail.
+    const size_t offsets[] = {0,           9,  20,
+                              40,          good.size() / 2,
+                              good.size() - 1};
+    for (const size_t off : offsets) {
+        ASSERT_LT(off, good.size());
+        std::vector<u8> bad = good;
+        bad[off] ^= 0x40;
+        spit(mpath, bad);
+        EXPECT_THROW(ShardedOramService::open(mmapConfig(dir)),
+                     CheckpointError)
+            << "flipped byte " << off;
+    }
+    // Truncations.
+    for (const size_t keep :
+         {size_t{0}, size_t{16}, good.size() - 1}) {
+        spit(mpath, std::vector<u8>(good.begin(),
+                                    good.begin() +
+                                        static_cast<long>(keep)));
+        EXPECT_THROW(ShardedOramService::open(mmapConfig(dir)),
+                     CheckpointError)
+            << "truncated to " << keep;
+    }
+    // Restoring the pristine manifest still works: nothing above
+    // clobbered any other file.
+    spit(mpath, good);
+    auto resumed = ShardedOramService::open(mmapConfig(dir));
+    expectSome(*resumed, 1, 64, 16);
+}
+
+TEST(ShardedRestore, MissingManifestOrSnapshotFailsAtomically)
+{
+    const std::string dir = freshDir("missing");
+    ShardedServiceConfig cfg = mmapConfig(dir);
+    {
+        ShardedOramService svc(cfg);
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+
+    // Missing shard snapshot: open must fail and must not touch the
+    // remaining files (sizes unchanged).
+    const std::string victim = snapName(dir, 2, 1);
+    const std::vector<u8> saved = slurp(victim);
+    ASSERT_FALSE(saved.empty());
+    std::remove(victim.c_str());
+    const std::vector<u8> other = slurp(snapName(dir, 1, 1));
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir)),
+                 CheckpointError);
+    EXPECT_EQ(slurp(snapName(dir, 1, 1)), other);
+
+    // Putting it back heals the service.
+    spit(victim, saved);
+    auto resumed = ShardedOramService::open(mmapConfig(dir));
+    expectSome(*resumed, 1, 64, 16);
+    resumed.reset();
+
+    // Missing manifest entirely.
+    std::remove((dir + "/MANIFEST").c_str());
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir)),
+                 CheckpointError);
+}
+
+TEST(ShardedRestore, RolledBackShardSnapshotIsRejected)
+{
+    const std::string dir = freshDir("rollback");
+    ShardedServiceConfig cfg = mmapConfig(dir);
+    std::vector<u8> old_snap;
+    {
+        ShardedOramService svc(cfg);
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+        old_snap = slurp(snapName(dir, 0, 1));
+        writeSome(svc, 2, 64, 16);
+        svc.checkpoint();
+    }
+    // Replay attack: slide shard 0 back to its (validly sealed!)
+    // generation-1 snapshot under the generation-2 name. The manifest
+    // pinned generation 2's MAC tag, so open() must reject it.
+    ASSERT_FALSE(old_snap.empty());
+    spit(snapName(dir, 0, 2), old_snap);
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir)),
+                 CheckpointError);
+}
+
+TEST(ShardedRestore, WrongShardCountOnOpenIsTyped)
+{
+    const std::string dir = freshDir("wrongcount");
+    {
+        ShardedOramService svc(mmapConfig(dir, 4));
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir, 2)),
+                 CheckpointError);
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir, 8)),
+                 CheckpointError);
+    // The right count still opens: the failures above changed nothing.
+    auto resumed = ShardedOramService::open(mmapConfig(dir, 4));
+    expectSome(*resumed, 1, 64, 16);
+}
+
+TEST(ShardedLifecycle, CreatingOverMismatchedLayoutRefusesToClobber)
+{
+    const std::string dir = freshDir("mismatch");
+    { ShardedOramService svc(mmapConfig(dir, 4)); }
+
+    // Reinitializing (reset=true) with a different shard count must
+    // fail before any file is truncated.
+    const std::vector<u8> shard0 =
+        slurp(shardBackendPath(dir, 0));
+    ASSERT_FALSE(shard0.empty());
+    EXPECT_THROW(ShardedOramService svc(mmapConfig(dir, 2)),
+                 FatalError);
+    EXPECT_THROW(ShardedOramService svc(mmapConfig(dir, 8)),
+                 FatalError);
+    EXPECT_EQ(slurp(shardBackendPath(dir, 0)), shard0);
+
+    // Reopening (reset=false) with a wrong count is equally typed.
+    ShardedServiceConfig reopen = mmapConfig(dir, 2);
+    reopen.base.backendReset = false;
+    EXPECT_THROW(ShardedOramService svc(reopen), FatalError);
+
+    // Same count + reset reinitializes fine.
+    ShardedOramService again(mmapConfig(dir, 4));
+}
+
+TEST(ShardedLifecycle, ResetDropsStaleServiceMetadata)
+{
+    const std::string dir = freshDir("stale");
+    {
+        ShardedOramService svc(mmapConfig(dir, 4));
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+    ASSERT_TRUE(ckpt::fileExists(dir + "/MANIFEST"));
+    // Reinitialize: the old epoch's manifest and snapshots must not
+    // survive to be opened against the reset trees.
+    { ShardedOramService svc(mmapConfig(dir, 4)); }
+    EXPECT_FALSE(ckpt::fileExists(dir + "/MANIFEST"));
+    EXPECT_FALSE(ckpt::fileExists(snapName(dir, 0, 1)));
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir, 4)),
+                 CheckpointError);
+}
+
+TEST(ShardedLifecycle, ResetSweepsStaleMetadataEvenWithoutShardFiles)
+{
+    const std::string dir = freshDir("stale_nofiles");
+    {
+        ShardedOramService svc(mmapConfig(dir, 4));
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+    // All backend files vanish (hand-deleted) but the old epoch's
+    // MANIFEST/snapshots survive. A reset re-creation must sweep them:
+    // otherwise open() would marry the stale (validly sealed, Full-
+    // scope) trusted state to the freshly reset trees.
+    for (u32 s = 0; s < 4; ++s)
+        std::remove(shardBackendPath(dir, s).c_str());
+    ASSERT_TRUE(ckpt::fileExists(dir + "/MANIFEST"));
+    { ShardedOramService svc(mmapConfig(dir, 4)); }
+    EXPECT_FALSE(ckpt::fileExists(dir + "/MANIFEST"));
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir, 4)),
+                 CheckpointError);
+}
+
+TEST(ShardedLifecycle, PartiallyWrittenDirectoryIsTorn)
+{
+    const std::string dir = freshDir("torn");
+    {
+        ShardedOramService svc(mmapConfig(dir, 4));
+        writeSome(svc, 1, 64, 16);
+        svc.checkpoint();
+    }
+    // Simulate a partially materialized directory: shard 1's backing
+    // file vanished (e.g. interrupted copy). Creation, reopening and
+    // restoring must all detect the gap as a typed error.
+    std::remove(shardBackendPath(dir, 1).c_str());
+    EXPECT_THROW(ShardedOramService svc(mmapConfig(dir, 4)),
+                 FatalError);
+    ShardedServiceConfig reopen = mmapConfig(dir, 4);
+    reopen.base.backendReset = false;
+    EXPECT_THROW(ShardedOramService svc(reopen), FatalError);
+    EXPECT_THROW(ShardedOramService::open(mmapConfig(dir, 4)),
+                 FatalError);
+}
+
+TEST(ShardedLifecycle, NonDirectoryPathIsTyped)
+{
+    const std::string path = freshDir("file");
+    spit(path, {1, 2, 3});
+    EXPECT_THROW(ShardedOramService svc(mmapConfig(path, 2)),
+                 FatalError);
+}
+
+TEST(ShardedLifecycle, CheckpointRefusesDirectoryOfOtherService)
+{
+    // A volatile-backend service checkpointing into a directory that
+    // belongs to an mmap service with a different shard count.
+    const std::string dir = freshDir("foreign");
+    { ShardedOramService svc(mmapConfig(dir, 4)); }
+    ShardedServiceConfig cfg = mmapConfig(dir, 2);
+    cfg.base.backend = StorageBackendKind::Flat;
+    ShardedOramService svc(cfg);
+    EXPECT_THROW(svc.checkpoint(), FatalError);
+}
+
+} // namespace
+} // namespace froram
