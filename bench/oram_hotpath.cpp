@@ -11,14 +11,20 @@
  *
  *   $ ./oram_hotpath [--scale=F] [--csv] [--out=BENCH_hotpath.json]
  *
- * JSON schema: one record per (backend, cipher) with
- *   {"bench", "scheme", "backend", "cipher", "capacity_mb", "accesses",
- *    "acc_per_sec", "us_per_acc", "p50_us", "p99_us", "mb_per_sec",
- *    "commit"}
+ * JSON schema: one record per (backend, cipher, batch) with
+ *   {"bench", "scheme", "backend", "cipher", "capacity_mb", "batch",
+ *    "accesses", "acc_per_sec", "us_per_acc", "p50_us", "p99_us",
+ *    "mb_per_sec", "commit"}
  * where mb_per_sec is ORAM path traffic (bytesMoved) over wall time,
  * p50_us/p99_us are per-access wall-clock latency percentiles, and
  * commit is the configure-time git revision — together they make
  * BENCH_hotpath.json rows comparable across PRs.
+ *
+ * batch = 1 rows drive frontend().access() one request at a time (the
+ * historic shape, comparable with pre-batch rows); batch = 8/32 rows
+ * drive the same request stream through OramSystem::accessBatch(), the
+ * software-pipelined engine (per-access latency for those rows is the
+ * batch latency divided by its depth).
  */
 #include <algorithm>
 #include <chrono>
@@ -36,6 +42,7 @@ namespace {
 struct Row {
     std::string backend;
     std::string cipher;
+    u32 batch = 1;
     u64 accesses = 0;
     double accPerSec = 0;
     double usPerAcc = 0;
@@ -45,8 +52,8 @@ struct Row {
 };
 
 Row
-runOne(StorageBackendKind kind, bool real_aes, const std::string& path,
-       u64 accesses)
+runOne(StorageBackendKind kind, bool real_aes, u32 batch,
+       const std::string& path, u64 accesses)
 {
     OramSystemConfig cfg;
     cfg.capacityBytes = u64{64} << 20; // 64 MB ORAM: ~20-level tree
@@ -70,18 +77,39 @@ runOne(StorageBackendKind kind, bool real_aes, const std::string& path,
     const u64 bytes0 = sys.frontend().stats().get("bytesMoved");
     std::vector<double> lat_us;
     lat_us.reserve(accesses);
+
+    // Reused across batches: zero per-batch allocation in the measured
+    // loop (results keep their payload buffers, requests their slots).
+    std::vector<BatchRequest> reqs(batch);
+    std::vector<FrontendResult> results(batch);
+
     const auto start = std::chrono::steady_clock::now();
     auto prev = start;
-    for (u64 i = 0; i < accesses; ++i) {
-        const Addr addr = rng.below(working);
-        if (i % 4 == 0)
-            sys.frontend().access(addr, true, &payload);
-        else
-            sys.frontend().access(addr, false);
+    u64 issued = 0;
+    for (u64 i = 0; issued < accesses; ++i) {
+        if (batch == 1) {
+            // Historic single-access shape (comparable with pre-batch
+            // BENCH rows): one frontend access per measured point.
+            const Addr addr = rng.below(working);
+            if (issued % 4 == 0)
+                sys.frontend().access(addr, true, &payload);
+            else
+                sys.frontend().access(addr, false);
+            ++issued;
+        } else {
+            for (u32 j = 0; j < batch; ++j) {
+                reqs[j].addr = rng.below(working);
+                reqs[j].isWrite = (issued + j) % 4 == 0;
+                reqs[j].writeData = reqs[j].isWrite ? &payload : nullptr;
+            }
+            sys.accessBatch(reqs.data(), results.data(), batch);
+            issued += batch;
+        }
         const auto now = std::chrono::steady_clock::now();
         lat_us.push_back(
             std::chrono::duration<double, std::micro>(now - prev)
-                .count());
+                .count() /
+            static_cast<double>(batch));
         prev = now;
     }
     const auto end = std::chrono::steady_clock::now();
@@ -92,9 +120,10 @@ runOne(StorageBackendKind kind, bool real_aes, const std::string& path,
     Row row;
     row.backend = toString(kind);
     row.cipher = real_aes ? "aesctr" : "fast";
-    row.accesses = accesses;
-    row.accPerSec = static_cast<double>(accesses) / secs;
-    row.usPerAcc = 1e6 * secs / static_cast<double>(accesses);
+    row.batch = batch;
+    row.accesses = issued;
+    row.accPerSec = static_cast<double>(issued) / secs;
+    row.usPerAcc = 1e6 * secs / static_cast<double>(issued);
     row.p50Us = bench::percentile(lat_us, 50);
     row.p99Us = bench::percentile(lat_us, 99);
     row.mbPerSec = static_cast<double>(moved) / secs / (1024.0 * 1024.0);
@@ -117,11 +146,11 @@ writeJson(const std::string& out_path, const std::vector<Row>& rows)
             buf, sizeof(buf),
             "  {\"bench\": \"hotpath\", \"scheme\": \"PC_X32\", "
             "\"backend\": \"%s\", \"cipher\": \"%s\", "
-            "\"capacity_mb\": 64, \"accesses\": %llu, "
+            "\"capacity_mb\": 64, \"batch\": %u, \"accesses\": %llu, "
             "\"acc_per_sec\": %.1f, \"us_per_acc\": %.3f, "
             "\"p50_us\": %.3f, \"p99_us\": %.3f, "
             "\"mb_per_sec\": %.1f, \"commit\": \"%s\"}%s\n",
-            r.backend.c_str(), r.cipher.c_str(),
+            r.backend.c_str(), r.cipher.c_str(), r.batch,
             static_cast<unsigned long long>(r.accesses), r.accPerSec,
             r.usPerAcc, r.p50Us, r.p99Us, r.mbPerSec, bench::gitRev(),
             i + 1 < rows.size() ? "," : "");
@@ -137,38 +166,48 @@ main(int argc, char** argv)
 {
     const auto opts = bench::BenchOptions::parse(argc, argv);
     std::string out_path = "BENCH_hotpath.json";
+    std::string only_backend; // --backend=flat|mmap|dram: fast iteration
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--out=", 0) == 0)
             out_path = arg.substr(6);
+        else if (arg.rfind("--backend=", 0) == 0)
+            only_backend = arg.substr(10);
     }
     const u64 accesses = opts.scaled(40000);
     const std::string path = "/tmp/froram_oram_hotpath.bin";
 
     std::vector<Row> rows;
-    TextTable table({"backend", "cipher", "acc_per_sec", "us_per_acc",
-                     "p50_us", "p99_us", "mb_per_sec"});
+    TextTable table({"backend", "cipher", "batch", "acc_per_sec",
+                     "us_per_acc", "p50_us", "p99_us", "mb_per_sec"});
     for (const StorageBackendKind kind :
          {StorageBackendKind::Flat, StorageBackendKind::MmapFile,
           StorageBackendKind::TimedDram}) {
+        if (!only_backend.empty() && only_backend != toString(kind))
+            continue;
         for (const bool real_aes : {true, false}) {
-            const Row row = runOne(kind, real_aes, path, accesses);
-            rows.push_back(row);
-            table.newRow();
-            table.cell(row.backend);
-            table.cell(row.cipher);
-            table.cell(row.accPerSec, 0);
-            table.cell(row.usPerAcc, 2);
-            table.cell(row.p50Us, 2);
-            table.cell(row.p99Us, 2);
-            table.cell(row.mbPerSec, 1);
+            for (const u32 batch : {1u, 8u, 32u}) {
+                const Row row =
+                    runOne(kind, real_aes, batch, path, accesses);
+                rows.push_back(row);
+                table.newRow();
+                table.cell(row.backend);
+                table.cell(row.cipher);
+                table.cell(static_cast<u64>(row.batch));
+                table.cell(row.accPerSec, 0);
+                table.cell(row.usPerAcc, 2);
+                table.cell(row.p50Us, 2);
+                table.cell(row.p99Us, 2);
+                table.cell(row.mbPerSec, 1);
+            }
         }
     }
     std::remove(path.c_str());
 
     bench::emit(opts, table,
                 "Hot-path wall-clock throughput (PC_X32, 64 MB ORAM, "
-                "Encrypted storage, 3:1 read:write)");
+                "Encrypted storage, 3:1 read:write, batched rows via "
+                "OramSystem::accessBatch)");
     writeJson(out_path, rows);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

@@ -190,8 +190,11 @@ main(int argc, char** argv)
     std::vector<Row> rows;
     TextTable table({"shards", "workers", "batch_depth", "acc_per_sec",
                      "p50_batch_us", "p99_batch_us"});
+    // batch depths aligned with BENCH_hotpath.json's batched rows so
+    // the sharded pipeline (worker lookahead prefetch) and the
+    // single-threaded accessBatch engine are comparable at equal depth.
     for (const u32 shards : {1u, 2u, 4u, 8u}) {
-        for (const u32 depth : {16u, 256u}) {
+        for (const u32 depth : {1u, 8u, 32u}) {
             const Row row = runOne(shards, depth, accesses);
             rows.push_back(row);
             table.newRow();

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files row by row and flag regressions.
+
+Rows from the two files are matched on their identity keys (every
+string/int field that is not a measured metric: bench, scheme, backend,
+cipher, batch, shards, workers, batch_depth, capacity_mb, ...).  For
+each matched row the numeric metrics are printed side by side with their
+relative delta; metrics whose direction is known (acc_per_sec and
+mb_per_sec are higher-is-better, the *_us latencies lower-is-better)
+count as regressions when they move the wrong way by more than the
+threshold (default 10%).
+
+Exit status: 0 when no metric regressed past the threshold, 1 otherwise
+(missing/unmatched rows are reported but do not fail the run — a new
+row shape is an addition, not a regression).
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+"""
+
+import argparse
+import json
+import sys
+
+# Metric -> direction. +1: higher is better, -1: lower is better,
+# 0: informational only (never flags).
+METRICS = {
+    "acc_per_sec": +1,
+    "mb_per_sec": +1,
+    "us_per_acc": -1,
+    "p50_us": -1,
+    "p99_us": -1,
+    "p50_batch_us": -1,
+    "p99_batch_us": -1,
+    "accesses": 0,
+    "hardware_threads": 0,
+}
+
+# Fields that never identify a row (metrics + provenance).
+NON_IDENTITY = set(METRICS) | {"commit"}
+
+
+def row_key(row):
+    """Identity of a row: every non-metric field, sorted for stability."""
+    return tuple(
+        sorted((k, v) for k, v in row.items() if k not in NON_IDENTITY)
+    )
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if not isinstance(rows, list):
+        sys.exit(f"bench_compare: {path} is not a JSON row array")
+    for r in rows:
+        # Rows predating the batched engine had an implicit batch of 1;
+        # normalize so old and new batch=1 rows keep matching.
+        r.setdefault("batch", 1)
+    return {row_key(r): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression threshold (default 0.10 = 10%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    regressions = 0
+    for key in sorted(base):
+        if key not in cand:
+            print(f"[only in baseline]  {fmt_key(key)}")
+            continue
+        b, c = base[key], cand[key]
+        lines = []
+        row_flagged = False
+        for metric, direction in METRICS.items():
+            if metric not in b or metric not in c:
+                continue
+            bv, cv = float(b[metric]), float(c[metric])
+            delta = (cv - bv) / bv if bv != 0 else 0.0
+            flag = ""
+            if direction != 0 and delta * direction < -args.threshold:
+                flag = "  << REGRESSION"
+                row_flagged = True
+                regressions += 1
+            elif direction != 0 and delta * direction > args.threshold:
+                flag = "  (improved)"
+            lines.append(
+                f"    {metric:>14}: {bv:>12.2f} -> {cv:>12.2f} "
+                f"({delta:+7.1%}){flag}"
+            )
+        marker = "!!" if row_flagged else "  "
+        print(f"{marker} {fmt_key(key)}")
+        for line in lines:
+            print(line)
+    for key in sorted(cand):
+        if key not in base:
+            print(f"[only in candidate] {fmt_key(key)}")
+
+    if regressions:
+        print(
+            f"\nbench_compare: {regressions} metric(s) regressed more "
+            f"than {args.threshold:.0%}"
+        )
+        return 1
+    print(f"\nbench_compare: no regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,6 +157,21 @@ FlatFrontend::oramAccess(Addr addr, bool is_write,
     return r;
 }
 
+void
+FlatFrontend::prefetchHint(Addr addr)
+{
+    if (!backend_->prefetchUseful() || addr >= config_.numBlocks ||
+        posmap_[addr] == kUninit)
+        return;
+    // A block-buffer hit performs no tree access; only prefetch for
+    // requests that will actually miss to the ORAM.
+    for (const auto& s : buffer_) {
+        if (s.valid && s.addr == addr)
+            return;
+    }
+    backend_->prefetchPath(posmap_[addr]);
+}
+
 FrontendResult
 FlatFrontend::access(Addr addr, bool is_write,
                      const std::vector<u8>* write_data)

@@ -48,6 +48,10 @@ class FlatFrontend : public Frontend {
                     const std::vector<u8>* write_data
                     = nullptr) override;
 
+    /** Batch-pipeline hint: the whole PosMap is on-chip, so a miss's
+     *  exact path is known up front — prefetch it. */
+    void prefetchHint(Addr addr) override;
+
     std::string name() const override { return "Phantom"; }
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;

@@ -12,6 +12,7 @@
 #ifndef FRORAM_CORE_FRONTEND_HPP
 #define FRORAM_CORE_FRONTEND_HPP
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,14 @@ struct FrontendResult {
     }
 };
 
+/** One request of a batched access (see Frontend::accessBatch). */
+struct BatchRequest {
+    Addr addr = 0;
+    bool isWrite = false;
+    /** Write payload (nullptr keeps zeros); not owned. */
+    const std::vector<u8>* writeData = nullptr;
+};
+
 /** Abstract ORAM Frontend: services LLC miss/eviction requests. */
 class Frontend {
   public:
@@ -88,6 +97,41 @@ class Frontend {
     {
         res = access(addr, is_write, write_data);
     }
+
+    /**
+     * Software-pipelined batch access: service `n` requests exactly as
+     * `n` sequential accessInto() calls would — results, adversary
+     * trace and all trusted state are bit-identical to the sequential
+     * path — while overlapping request i+1's storage fetch with request
+     * i's decrypt/evict compute. Before each request runs, the NEXT
+     * request's path prefetch is issued via prefetchHint(), so on a
+     * faulting backend (mmap) the kernel's readahead runs under the
+     * current request's cipher and eviction work. Single-threaded; a
+     * thrown error (e.g. IntegrityViolation) leaves requests past the
+     * throwing one unprocessed.
+     */
+    virtual void
+    accessBatch(const BatchRequest* reqs, FrontendResult* results,
+                size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            if (i + 1 < n)
+                prefetchHint(reqs[i + 1].addr);
+            accessInto(results[i], reqs[i].addr, reqs[i].isWrite,
+                       reqs[i].writeData);
+        }
+    }
+
+    /**
+     * Issue an advisory storage prefetch for the path an access to
+     * `addr` would take under the CURRENT PosMap state, when that leaf
+     * is determinable without any state change (PLB/on-chip resident).
+     * A stale or impossible guess is harmless — the hint never touches
+     * ORAM state, the trace, statistics or the timing plane, which is
+     * what makes the batch pipeline's overlap semantics-free. Default:
+     * no-op.
+     */
+    virtual void prefetchHint(Addr addr) { (void)addr; }
 
     /** Scheme name for reports (e.g. "PC_X32"). */
     virtual std::string name() const = 0;

@@ -139,6 +139,30 @@ class OramSystem {
     u64 configFingerprint() const;
     /** @} */
 
+    /**
+     * Software-pipelined batch access (see Frontend::accessBatch): the
+     * single-threaded entry point to the staged engine. Results, trace
+     * and all trusted state are bit-identical to issuing the requests
+     * through frontend().access() one by one; request i+1's storage
+     * prefetch overlaps request i's decrypt/evict compute.
+     */
+    void
+    accessBatch(const BatchRequest* reqs, FrontendResult* results,
+                size_t n)
+    {
+        frontend().accessBatch(reqs, results, n);
+    }
+
+    /** Vector convenience over the pointer form; `results` is resized
+     *  (its elements — including payload buffers — are reused). */
+    void
+    accessBatch(const std::vector<BatchRequest>& reqs,
+                std::vector<FrontendResult>& results)
+    {
+        results.resize(reqs.size());
+        accessBatch(reqs.data(), results.data(), reqs.size());
+    }
+
     Frontend&
     frontend()
     {

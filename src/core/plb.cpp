@@ -43,6 +43,17 @@ Plb::find(Addr addr)
     return nullptr;
 }
 
+const PlbEntry*
+Plb::peek(Addr addr) const
+{
+    const PlbEntry* base = &entries_[setIndex(addr) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
 bool
 Plb::probe(Addr addr) const
 {

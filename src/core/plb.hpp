@@ -53,6 +53,14 @@ class Plb {
     bool probe(Addr addr) const;
 
     /**
+     * Read-only lookup with NO stats and NO LRU refresh: the batched
+     * access engine peeks at resident PosMap blocks to compute prefetch
+     * hints, which must leave the PLB's architectural state (and hence
+     * every future eviction choice) untouched.
+     */
+    const PlbEntry* peek(Addr addr) const;
+
+    /**
      * Internal lookup used by the Frontend walk: refreshes LRU but does
      * not count toward hit/miss statistics (those model the architectural
      * "PLB lookup loop" of Section 4.2.4 only).

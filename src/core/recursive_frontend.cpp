@@ -159,6 +159,19 @@ RecursiveFrontend::restoreState(CheckpointReader& r)
     r.exit();
 }
 
+void
+RecursiveFrontend::prefetchHint(Addr a0)
+{
+    if (!trees_[geo_.h - 1]->prefetchUseful() || a0 >= config_.numBlocks)
+        return;
+    // The walk starts at ORam_{H-1}, whose leaf sits in the on-chip
+    // PosMap: that first path is exactly determined by current state
+    // (deeper trees' leaves only materialize during the walk).
+    const u64 top_idx = geo_.levelAddr(geo_.h - 1, a0);
+    if (top_idx < onChip_.size() && onChip_[top_idx] != kUninit)
+        trees_[geo_.h - 1]->prefetchPath(onChip_[top_idx]);
+}
+
 FrontendResult
 RecursiveFrontend::access(Addr a0, bool is_write,
                           const std::vector<u8>* write_data)

@@ -61,6 +61,10 @@ class RecursiveFrontend : public Frontend {
                     const std::vector<u8>* write_data
                     = nullptr) override;
 
+    /** Batch-pipeline hint: the on-chip PosMap pins the FIRST tree a
+     *  recursive access touches (ORam_{H-1}); prefetch that path. */
+    void prefetchHint(Addr addr) override;
+
     std::string name() const override;
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;

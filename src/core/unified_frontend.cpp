@@ -401,6 +401,39 @@ UnifiedFrontend::touchEntryForChild(u32 child_level, Addr a0,
                         geo_.levelAddr(child_level, a0), res);
 }
 
+void
+UnifiedFrontend::prefetchHint(Addr a0)
+{
+    if (!backend_->prefetchUseful() || a0 >= geo_.levelBlocks[0])
+        return;
+    const Addr uaddr0 = geo_.unifiedAddr(0, a0);
+    const u64 idx = geo_.levelAddr(0, a0);
+    Leaf leaf = kNoLeaf;
+    if (geo_.h == 1) {
+        // Parent is the on-chip PosMap.
+        const u64 slot = onChip_[idx];
+        if (config_.integrity)
+            leaf = prf_.leafFor(uaddr0, slot, treeLevels());
+        else if (slot != kOnChipUninit)
+            leaf = slot;
+    } else if (const PlbEntry* parent =
+                   plb_.peek(geo_.unifiedAddr(1, a0))) {
+        const u32 j = static_cast<u32>(idx & (format_.x() - 1));
+        if (format_.kind() == PosMapFormat::Kind::Leaves) {
+            if (parent->content.leaves[j] != PosMapContent::kUninitLeaf)
+                leaf = parent->content.leaves[j];
+        } else {
+            leaf = prf_.leafFor(
+                uaddr0, format_.currentCounter(parent->content, j),
+                treeLevels());
+        }
+    }
+    // A miss (or an uninitialized entry) simply yields no hint; the
+    // access itself will fetch the parent chain as usual.
+    if (leaf != kNoLeaf)
+        backend_->prefetchPath(leaf);
+}
+
 FrontendResult
 UnifiedFrontend::access(Addr a0, bool is_write,
                         const std::vector<u8>* write_data)

@@ -71,6 +71,15 @@ class UnifiedFrontend : public Frontend {
                     const std::vector<u8>* write_data
                     = nullptr) override;
 
+    /**
+     * Batch-pipeline hint: when the PosMap entry covering `addr` is
+     * resident (PLB for deep hierarchies, the on-chip PosMap for
+     * shallow ones), compute the leaf its data path WOULD take under
+     * current state — a pure read: no PLB LRU refresh, no counter
+     * bump, no trace — and issue the storage prefetch for that path.
+     */
+    void prefetchHint(Addr addr) override;
+
     std::string name() const override;
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;

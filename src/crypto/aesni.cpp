@@ -94,6 +94,34 @@ encryptBlockImpl(const u8* rk_bytes, const u8* in16, u8* out16)
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out16), s);
 }
 
+/** The 8-wide pipelined CTR body: encrypt counter blocks c..c+7 and XOR
+ *  them into src/dst at chunk offset c. Eight independent blocks per
+ *  iteration keep the AESENC units saturated (the per-block round chain
+ *  is latency-bound otherwise). Shared by the single-stream and the
+ *  spans kernels so the counter scheme lives in exactly one place. */
+FRORAM_TARGET_AES inline void
+xorFull8(const __m128i rk[11], u64 seed_hi, u64 lane_lo, u64 c,
+         const u8* src, u8* dst)
+{
+    __m128i s[8];
+    for (int j = 0; j < 8; ++j)
+        s[j] = _mm_xor_si128(
+            ctrBlock(seed_hi, lane_lo, static_cast<u32>(c + j)), rk[0]);
+    for (int r = 1; r < 10; ++r)
+        for (int j = 0; j < 8; ++j)
+            s[j] = _mm_aesenc_si128(s[j], rk[r]);
+    const u8* sp = src + 16 * c;
+    u8* dp = dst + 16 * c;
+    for (int j = 0; j < 8; ++j) {
+        s[j] = _mm_aesenclast_si128(s[j], rk[10]);
+        const __m128i d = _mm_xor_si128(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(sp + 16 * j)),
+            s[j]);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dp + 16 * j), d);
+    }
+}
+
 FRORAM_TARGET_AES void
 xorCtrImpl(const u8* rk_bytes, u64 seed_hi, u64 seed_lo, const u8* src,
            u8* dst, size_t len)
@@ -107,28 +135,8 @@ xorCtrImpl(const u8* rk_bytes, u64 seed_hi, u64 seed_lo, const u8* src,
     const size_t nfull = len / 16;
     size_t c = 0;
 
-    // 8 independent counter blocks per iteration keep the AESENC units
-    // saturated (the per-block round chain is latency-bound otherwise).
-    for (; c + 8 <= nfull; c += 8) {
-        __m128i s[8];
-        for (int j = 0; j < 8; ++j)
-            s[j] = _mm_xor_si128(
-                ctrBlock(seed_hi, lane_lo, static_cast<u32>(c + j)),
-                rk[0]);
-        for (int r = 1; r < 10; ++r)
-            for (int j = 0; j < 8; ++j)
-                s[j] = _mm_aesenc_si128(s[j], rk[r]);
-        const u8* sp = src + 16 * c;
-        u8* dp = dst + 16 * c;
-        for (int j = 0; j < 8; ++j) {
-            s[j] = _mm_aesenclast_si128(s[j], rk[10]);
-            const __m128i d = _mm_xor_si128(
-                _mm_loadu_si128(
-                    reinterpret_cast<const __m128i*>(sp + 16 * j)),
-                s[j]);
-            _mm_storeu_si128(reinterpret_cast<__m128i*>(dp + 16 * j), d);
-        }
-    }
+    for (; c + 8 <= nfull; c += 8)
+        xorFull8(rk, seed_hi, lane_lo, c, src, dst);
 
     for (; c < nfull; ++c) {
         const __m128i pad = encryptOne(
@@ -152,6 +160,90 @@ xorCtrImpl(const u8* rk_bytes, u64 seed_hi, u64 seed_lo, const u8* src,
     }
 }
 
+/** One enqueued 16-byte chunk of some span (cross-span batching). */
+struct ChunkRef {
+    __m128i ctr;    // counter block for this chunk
+    const u8* src;  // chunk source
+    u8* dst;        // chunk destination
+    u32 len;        // 16, or the span's trailing partial length
+};
+
+/** Encrypt `m` queued counter blocks together (round-interleaved, the
+ *  same ILP shape as the 8-wide loop in xorCtrImpl) and XOR them into
+ *  their chunks. Partial chunks XOR byte-wise through a pad buffer. */
+FRORAM_TARGET_AES inline void
+flushChunks(const __m128i rk[11], ChunkRef* q, int m)
+{
+    __m128i s[8];
+    for (int j = 0; j < m; ++j)
+        s[j] = _mm_xor_si128(q[j].ctr, rk[0]);
+    for (int r = 1; r < 10; ++r)
+        for (int j = 0; j < m; ++j)
+            s[j] = _mm_aesenc_si128(s[j], rk[r]);
+    for (int j = 0; j < m; ++j) {
+        s[j] = _mm_aesenclast_si128(s[j], rk[10]);
+        if (q[j].len == 16) {
+            const __m128i d = _mm_xor_si128(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(q[j].src)),
+                s[j]);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(q[j].dst), d);
+        } else {
+            alignas(16) u8 p[16];
+            _mm_store_si128(reinterpret_cast<__m128i*>(p), s[j]);
+            for (u32 i = 0; i < q[j].len; ++i)
+                q[j].dst[i] = static_cast<u8>(q[j].src[i] ^ p[i]);
+        }
+    }
+}
+
+FRORAM_TARGET_AES void
+xorCtrSpansImpl(const u8* rk_bytes, const CryptSpan* spans, size_t n)
+{
+    __m128i rk[11];
+    for (int i = 0; i < 11; ++i)
+        rk[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(rk_bytes + 16 * i));
+
+    // Full 8-chunk groups run the straight pipelined body per span
+    // (zero bookkeeping, same inner loop as xorCtr but with the round
+    // keys loaded once for the whole path). Only the LEFTOVERS — each
+    // span's < 8 trailing full chunks and its partial tail, the chunks
+    // a per-bucket kernel executes one latency-bound block at a time —
+    // flow through a cross-span queue that batches them 8 wide.
+    ChunkRef q[8];
+    int m = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const u64 lane_lo = spans[i].seedLo & 0xffffffffULL;
+        const u64 hi = spans[i].seedHi;
+        const u8* src = spans[i].src;
+        u8* dst = spans[i].dst;
+        const u64 len = spans[i].len;
+        const u64 nfull = len / 16;
+        u64 c = 0;
+        for (; c + 8 <= nfull; c += 8)
+            xorFull8(rk, hi, lane_lo, c, src, dst);
+        u64 left = len - 16 * c;
+        const u8* sp = src + 16 * c;
+        u8* dp = dst + 16 * c;
+        while (left > 0) {
+            const u32 take = left >= 16 ? 16 : static_cast<u32>(left);
+            q[m++] = {ctrBlock(hi, lane_lo, static_cast<u32>(c)), sp,
+                      dp, take};
+            if (m == 8) {
+                flushChunks(rk, q, 8);
+                m = 0;
+            }
+            sp += take;
+            dp += take;
+            left -= take;
+            ++c;
+        }
+    }
+    if (m != 0)
+        flushChunks(rk, q, m);
+}
+
 #undef FRORAM_TARGET_AES
 
 } // namespace
@@ -169,6 +261,12 @@ xorCtr(const u8* round_keys176, u64 seed_hi, u64 seed_lo, const u8* src,
     xorCtrImpl(round_keys176, seed_hi, seed_lo, src, dst, len);
 }
 
+void
+xorCtrSpans(const u8* round_keys176, const CryptSpan* spans, size_t n)
+{
+    xorCtrSpansImpl(round_keys176, spans, n);
+}
+
 #else // !FRORAM_AESNI_COMPILED
 
 void
@@ -179,6 +277,12 @@ encryptBlock(const u8*, const u8*, u8*)
 
 void
 xorCtr(const u8*, u64, u64, const u8*, u8*, size_t)
+{
+    panic("AES-NI kernel called on a platform without AES-NI support");
+}
+
+void
+xorCtrSpans(const u8*, const CryptSpan*, size_t)
 {
     panic("AES-NI kernel called on a platform without AES-NI support");
 }

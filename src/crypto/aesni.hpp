@@ -20,6 +20,21 @@
 #include "util/common.hpp"
 
 namespace froram {
+
+/**
+ * One keystream-XOR work item: `len` bytes of `src` XORed with the CTR
+ * pad of (seedHi, seedLo) into `dst` (src may alias dst). Defined here
+ * (below the StreamCipher layer) so the AES-NI spans kernel and the
+ * generic StreamCipher::xorCryptSpans share one description of a span.
+ */
+struct CryptSpan {
+    u64 seedHi = 0;
+    u64 seedLo = 0;
+    const u8* src = nullptr;
+    u8* dst = nullptr;
+    u64 len = 0;
+};
+
 namespace aesni {
 
 /** True if the CPU executes AES-NI (cached CPUID probe). */
@@ -44,6 +59,20 @@ void encryptBlock(const u8* round_keys176, const u8* in16, u8* out16);
  */
 void xorCtr(const u8* round_keys176, u64 seed_hi, u64 seed_lo,
             const u8* src, u8* dst, size_t len);
+
+/**
+ * Multi-span CTR keystream XOR: one kernel invocation processes every
+ * span of `spans` (each an independent (seedHi, seedLo) stream, exactly
+ * as xorCtr would). Round keys are loaded once, and the 8-wide block
+ * pipeline is kept full ACROSS span boundaries, so short spans (one
+ * ORAM bucket each) no longer pay a pipeline drain per bucket — this is
+ * the "one crypto kernel per path" entry point.
+ *
+ * Byte-identical to calling xorCtr once per span. Must only be called
+ * when enabled() is true.
+ */
+void xorCtrSpans(const u8* round_keys176, const CryptSpan* spans,
+                 size_t n);
 
 } // namespace aesni
 } // namespace froram

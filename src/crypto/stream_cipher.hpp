@@ -93,6 +93,24 @@ class StreamCipher {
     {
         xorCryptBulkTo(seed_hi, seed_lo, data, data, len);
     }
+
+    /**
+     * Multi-span keystream XOR: process `n` independent spans — e.g.
+     * every bucket of one ORAM path, each under its own seed pair — in
+     * ONE cipher invocation. Output must be byte-identical to calling
+     * xorCryptBulkTo once per span; implementations may (and the AES-NI
+     * path does) keep their block pipeline full across span boundaries,
+     * which is where the per-path speedup over per-bucket calls comes
+     * from. Spans must not overlap each other (src == dst within a span
+     * is allowed).
+     */
+    virtual void
+    xorCryptSpans(const CryptSpan* spans, size_t n) const
+    {
+        for (size_t i = 0; i < n; ++i)
+            xorCryptBulkTo(spans[i].seedHi, spans[i].seedLo,
+                           spans[i].src, spans[i].dst, spans[i].len);
+    }
 };
 
 /** Real AES-128 counter-mode pad generator. */
@@ -127,6 +145,18 @@ class AesCtrCipher : public StreamCipher {
         // Table-based fallback (one virtual pad call per chunk, XOR
         // word-wise) via the base implementation.
         StreamCipher::xorCryptBulkTo(seed_hi, seed_lo, src, dst, len);
+    }
+
+    void
+    xorCryptSpans(const CryptSpan* spans, size_t n) const override
+    {
+        if (aesni::enabled()) {
+            // One kernel call for the whole span set: round keys loaded
+            // once, 8-block pipeline kept full across spans.
+            aesni::xorCtrSpans(aes_.roundKeyBytes(), spans, n);
+            return;
+        }
+        StreamCipher::xorCryptSpans(spans, n);
     }
 
   private:

@@ -1,5 +1,6 @@
 #include "mem/mmap_file_backend.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -133,6 +134,34 @@ MmapFileBackend::view(u64 addr, u64 len)
 {
     FRORAM_ASSERT(addr + len <= capacity_, "mmap view past capacity");
     return data(addr);
+}
+
+void
+MmapFileBackend::prefetch(u64 addr, u64 len)
+{
+    if (len == 0 || addr >= capacity_)
+        return;
+    len = std::min(len, capacity_ - addr);
+    // Page-align the advised range (madvise requires it).
+    const u64 page = 4096;
+    const u64 begin = (kSuperblockBytes + addr) & ~(page - 1);
+    const u64 end = kSuperblockBytes + addr + len;
+    // Memoize recently advised ranges: an ORAM path's shallow runs
+    // (root subtree and its children) repeat on EVERY access and are
+    // resident by construction, so re-advising them is a wasted
+    // syscall per access. Keyed by base page AND covering extent — run
+    // lengths vary with the path's position inside a subtree, and a
+    // longer request through a memoized base must still be advised. A
+    // stale memo entry only skips advice — a later touch faults
+    // synchronously, which is always correct.
+    const u64 slot = (begin / page) & (kAdvisedSlots - 1);
+    if (advisedBase_[slot] == begin + 1 && advisedEnd_[slot] >= end)
+        return;
+    advisedBase_[slot] = begin + 1; // +1: distinguish addr 0 from empty
+    advisedEnd_[slot] = end;
+    // Advice only: ignore failures (e.g. kernels without WILLNEED
+    // support for this mapping) — reads stay correct, just colder.
+    (void)::madvise(map_ + begin, end - begin, MADV_WILLNEED);
 }
 
 void

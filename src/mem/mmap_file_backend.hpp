@@ -54,6 +54,11 @@ class MmapFileBackend : public StorageBackend {
     void read(u64 addr, u8* dst, u64 len) override;
     void write(u64 addr, const u8* src, u64 len) override;
     u8* view(u64 addr, u64 len) override;
+    /** madvise(MADV_WILLNEED) on the covering pages: the kernel starts
+     *  readahead so upcoming path reads fault less (no-op on failure —
+     *  the advice is strictly optional). */
+    void prefetch(u64 addr, u64 len) override;
+    bool prefetchable() const override { return true; }
     void sync() override;
     bool persistent() const override { return true; }
 
@@ -87,6 +92,12 @@ class MmapFileBackend : public StorageBackend {
     u8* map_ = nullptr;
     std::vector<u64> recorded_; ///< superblock region-end log
     u64 replayIdx_ = 0;         ///< next recorded entry to validate
+
+    /** Recently advised ranges (see prefetch): +1-encoded base page
+     *  and the end of the extent advised from it. */
+    static constexpr u64 kAdvisedSlots = 256;
+    u64 advisedBase_[kAdvisedSlots] = {};
+    u64 advisedEnd_[kAdvisedSlots] = {};
 };
 
 } // namespace froram

@@ -39,6 +39,12 @@ namespace froram {
 
 class DramModel;
 
+/** One contiguous byte range of the data plane (a gather span). */
+struct ByteSpan {
+    u64 addr = 0;
+    u64 len = 0;
+};
+
 /** Selects a StorageBackend implementation. */
 enum class StorageBackendKind {
     Flat,     ///< in-RAM, zero timing
@@ -95,8 +101,12 @@ class StorageBackend {
      * range is not contiguous in this backend's memory (callers must
      * fall back to read()/write()). Obtaining a view may materialize
      * backing storage, so only request views of ranges that will be (or
-     * have been) written. The pointer is invalidated by any subsequent
-     * view()/read()/write() call.
+     * have been) written. Views are PINNED: they stay valid across
+     * subsequent view()/gatherView()/read()/write() calls (the gather
+     * path holds a whole path's views while issuing reads for its
+     * viewless runs), and are only invalidated by the backend's
+     * destruction. A backend that cannot pin a range must return
+     * nullptr for it, never a temporary bounce buffer.
      */
     virtual u8*
     view(u64 addr, u64 len)
@@ -105,6 +115,44 @@ class StorageBackend {
         (void)len;
         return nullptr;
     }
+
+    /**
+     * Gather views: fill `views[i]` with an in-place pointer for
+     * `spans[i]` (view() semantics per span — pinned, nullptr when a
+     * span is not contiguous in this backend's memory). One call
+     * resolves a whole ORAM path's runs, replacing per-bucket virtual
+     * dispatch on the hot path.
+     *
+     * @return the number of spans that got a direct view
+     */
+    virtual u32
+    gatherView(const ByteSpan* spans, u32 n, u8** views)
+    {
+        u32 direct = 0;
+        for (u32 i = 0; i < n; ++i) {
+            views[i] = view(spans[i].addr, spans[i].len);
+            direct += views[i] != nullptr ? 1 : 0;
+        }
+        return direct;
+    }
+
+    /**
+     * Advisory readahead: hint that [addr, addr + len) is about to be
+     * read. MmapFile issues madvise(MADV_WILLNEED) so page faults for
+     * the upcoming path overlap the caller's current compute; in-RAM
+     * backends are already resident and make this a no-op. Never
+     * affects data-plane contents or the timing plane.
+     */
+    virtual void
+    prefetch(u64 addr, u64 len)
+    {
+        (void)addr;
+        (void)len;
+    }
+
+    /** True when prefetch() actually does something; callers skip
+     *  building prefetch batches entirely for always-resident media. */
+    virtual bool prefetchable() const { return false; }
 
     /** Durability barrier (msync for MmapFile; no-op otherwise). */
     virtual void sync() {}
@@ -126,6 +174,23 @@ class StorageBackend {
     virtual u64 accessBatch(const std::vector<DramRequest>& requests)
     {
         (void)requests;
+        return 0;
+    }
+
+    /**
+     * Price a batch of gathered runs, each as ONE sequential burst
+     * stream over its byte range (the fetch shape of the gather path:
+     * a subtree run is streamed like the row it occupies, instead of
+     * being priced as per-bucket row activates). Untimed backends
+     * return 0; TimedDramBackend feeds the streams through the same
+     * DramModel as accessBatch.
+     */
+    virtual u64
+    streamBatch(const ByteSpan* spans, u32 n, bool is_write)
+    {
+        (void)spans;
+        (void)n;
+        (void)is_write;
         return 0;
     }
 

@@ -48,6 +48,25 @@ class TimedDramBackend : public StorageBackend {
         return dram_.accessBatch(requests);
     }
 
+    /** Each run priced as one sequential burst stream: back-to-back
+     *  bursts covering the run's bytes, through the same DramModel (one
+     *  row activate per row crossed, streamed CAS within it). */
+    u64
+    streamBatch(const ByteSpan* spans, u32 n, bool is_write) override
+    {
+        const u64 burst = dram_.config().burstBytes;
+        streamReqs_.clear(); // reusable member batch: capacity retained
+        for (u32 i = 0; i < n; ++i) {
+            if (spans[i].len == 0)
+                continue;
+            const u64 first = spans[i].addr / burst;
+            const u64 last = (spans[i].addr + spans[i].len - 1) / burst;
+            for (u64 b = first; b <= last; ++b)
+                streamReqs_.push_back({b * burst, is_write});
+        }
+        return dram_.accessBatch(streamReqs_);
+    }
+
     u64 burstBytes() const override { return dram_.config().burstBytes; }
 
     u64 layoutUnitBytes() const override
@@ -63,6 +82,7 @@ class TimedDramBackend : public StorageBackend {
   private:
     DramModel dram_;
     FlatMemoryBackend data_;
+    std::vector<DramRequest> streamReqs_; ///< streamBatch scratch
 };
 
 } // namespace froram

@@ -1,8 +1,11 @@
 #include "mem/tree_layout.hpp"
 
+#include <algorithm>
+
 namespace froram {
 
-SubtreeLayout::SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes)
+SubtreeLayout::SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes,
+                             bool pack_tail)
     : TreeLayout(levels, bucket_bytes)
 {
     // Largest k with (2^k - 1) * bucketBytes <= unitBytes; at least 1.
@@ -11,19 +14,25 @@ SubtreeLayout::SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes)
                           unit_bytes) {
         ++k_;
     }
-    subtreeBuckets_ = (u64{1} << k_) - 1;
 
     // Super-level s spans tree levels [s*k, s*k + k). The number of
-    // subtrees rooted at super-level s is 2^(s*k). groupBase_[s] is the
-    // ordinal of the first subtree of super-level s.
+    // subtrees rooted at super-level s is 2^(s*k). With pack_tail, the
+    // final super-level's subtrees keep only the levels that exist.
     const u32 num_groups = (levels_ + 1 + k_ - 1) / k_;
-    groupBase_.resize(num_groups + 1, 0);
+    groupByteBase_.resize(num_groups + 1, 0);
+    groupStride_.resize(num_groups, 0);
+    groupDepth_.resize(num_groups, 0);
     u64 base = 0;
     for (u32 s = 0; s < num_groups; ++s) {
-        groupBase_[s] = base;
-        base += u64{1} << (s * k_);
+        const u32 depth = pack_tail
+                              ? std::min(k_, levels_ + 1 - s * k_)
+                              : k_;
+        groupDepth_[s] = depth;
+        groupStride_[s] = ((u64{1} << depth) - 1) * bucketBytes_;
+        groupByteBase_[s] = base;
+        base += (u64{1} << (s * k_)) * groupStride_[s];
     }
-    groupBase_[num_groups] = base;
+    groupByteBase_[num_groups] = base;
 }
 
 u64
@@ -33,18 +42,48 @@ SubtreeLayout::relativeAddressOf(BucketCoord b) const
     const u32 s = b.level / k_; // super-level
     const u32 r = b.level % k_; // level within the subtree
     const u64 subtree = b.index >> r; // subtree root index at level s*k
-    const u64 ordinal = groupBase_[s] + subtree;
     // Offset inside the depth-k subtree: heap position of the node on the
     // sub-path of length r below the subtree root.
     const u64 local = b.index & ((u64{1} << r) - 1);
     const u64 offset = ((u64{1} << r) - 1) + local;
-    return (ordinal * subtreeBuckets_ + offset) * bucketBytes_;
+    return groupByteBase_[s] + subtree * groupStride_[s] +
+           offset * bucketBytes_;
 }
 
 u64
 SubtreeLayout::footprintBytes() const
 {
-    return groupBase_.back() * subtreeBuckets_ * bucketBytes_;
+    return groupByteBase_.back();
+}
+
+u32
+SubtreeLayout::pathRuns(u64 leaf, PathRun* runs, u64* level_offset) const
+{
+    // One run per depth-k subtree crossed: the run starts at the subtree
+    // root (the shallowest path bucket, always at subtree offset 0) and
+    // ends just past the deepest path bucket in that subtree.
+    const u32 num_groups = static_cast<u32>(groupDepth_.size());
+    u32 n = 0;
+    for (u32 s = 0; s < num_groups; ++s) {
+        const u32 first = s * k_;
+        if (first > levels_)
+            break;
+        const u32 depth = std::min(groupDepth_[s], levels_ + 1 - first);
+        const u64 subtree = leaf >> (levels_ - first);
+        const u64 run_base = baseAddr_ + groupByteBase_[s] +
+                             subtree * groupStride_[s];
+        u64 end = 0;
+        for (u32 r = 0; r < depth; ++r) {
+            const u32 l = first + r;
+            const u64 local =
+                (leaf >> (levels_ - l)) & ((u64{1} << r) - 1);
+            const u64 off = (((u64{1} << r) - 1) + local) * bucketBytes_;
+            level_offset[l] = off;
+            end = off + bucketBytes_; // offsets grow with r
+        }
+        runs[n++] = {run_base, end, first, depth};
+    }
+    return n;
 }
 
 } // namespace froram

@@ -30,6 +30,20 @@ struct BucketCoord {
     }
 };
 
+/**
+ * One contiguous byte range of a path, covering one or more consecutive
+ * path levels. The subtree layout maps a whole path onto a handful of
+ * these runs (one per depth-k subtree crossed), which is what lets the
+ * storage gather/prefetch layer fetch a path as a few long sequential
+ * streams instead of L+1 scattered bucket reads.
+ */
+struct PathRun {
+    u64 addr = 0;       ///< physical byte address of the run's first byte
+    u64 bytes = 0;      ///< run length in bytes
+    u32 firstLevel = 0; ///< first path level contained in the run
+    u32 numLevels = 0;  ///< consecutive path levels covered
+};
+
 /** Abstract bucket -> byte-address mapping. */
 class TreeLayout {
   public:
@@ -78,6 +92,31 @@ class TreeLayout {
         return p;
     }
 
+    /**
+     * Decompose the path to `leaf` into contiguous byte runs.
+     *
+     * Fills `runs` (caller-owned, capacity levels+1 covers every layout)
+     * in level order and `level_offset[l]` with the byte offset of the
+     * level-l bucket from the start of its containing run. Allocation-
+     * free: the hot path calls this once per access.
+     *
+     * The base implementation emits one bucket-sized run per level (no
+     * layout can do worse); SubtreeLayout overrides it with one run per
+     * depth-k subtree crossed.
+     *
+     * @return the number of runs written
+     */
+    virtual u32
+    pathRuns(u64 leaf, PathRun* runs, u64* level_offset) const
+    {
+        for (u32 l = 0; l <= levels_; ++l) {
+            runs[l] = {addressOf({l, leaf >> (levels_ - l)}),
+                       bucketBytes_, l, 1};
+            level_offset[l] = 0;
+        }
+        return levels_ + 1;
+    }
+
   protected:
     u32 levels_;
     u64 bucketBytes_;
@@ -106,6 +145,14 @@ class FlatLayout : public TreeLayout {
  * Subtree-packed layout of [26]: depth-k subtrees stored contiguously.
  * k is chosen so one subtree (2^k - 1 buckets) just fits the given
  * locality unit (typically channels * rowBytes).
+ *
+ * When `pack_tail` is set, the last super-level's subtrees are truncated
+ * to the levels that actually exist, so the footprint is exactly
+ * numBuckets * bucketBytes (a padded tail group can otherwise inflate
+ * the footprint by up to 2^(k-1)x). The timing plane keeps the historic
+ * padded form (pack_tail = false) so simulated DRAM addresses — and
+ * every figure reproduction — stay bit-identical; the data plane
+ * (BackedTreeStorage bucket placement) packs the tail.
  */
 class SubtreeLayout : public TreeLayout {
   public:
@@ -113,18 +160,24 @@ class SubtreeLayout : public TreeLayout {
      * @param levels tree depth L
      * @param bucket_bytes physical bucket size
      * @param unit_bytes locality unit to pack a subtree into
+     * @param pack_tail truncate the final super-level's subtrees
      */
-    SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes);
+    SubtreeLayout(u32 levels, u64 bucket_bytes, u64 unit_bytes,
+                  bool pack_tail = false);
 
     u64 relativeAddressOf(BucketCoord b) const override;
     u64 footprintBytes() const override;
+
+    u32 pathRuns(u64 leaf, PathRun* runs,
+                 u64* level_offset) const override;
 
     u32 subtreeDepth() const { return k_; }
 
   private:
     u32 k_;                        // levels per subtree
-    u64 subtreeBuckets_;           // 2^k - 1
-    std::vector<u64> groupBase_;   // first subtree ordinal per super-level
+    std::vector<u64> groupByteBase_; // byte offset of each super-level
+    std::vector<u64> groupStride_;   // subtree bytes per super-level
+    std::vector<u32> groupDepth_;    // levels per subtree per super-level
 };
 
 } // namespace froram

@@ -18,8 +18,26 @@ PathOramBackend::PathOramBackend(const BackendConfig& config,
     const u64 plain = storage_->bucketPlainBytes();
     if (plain != 0 && storage_->codec() != nullptr)
         pathPlain_.resize((config_.params.levels + 1) * plain);
+    pathIO_ = storage_->pathIO() && rawPath();
+    pathPresent_.assign(config_.params.levels + 1, 0);
     evictSlots_.assign(
         u64{config_.params.levels + 1} * config_.params.z, nullptr);
+    timingRuns_.resize(config_.params.levels + 1);
+    timingOff_.resize(config_.params.levels + 1);
+    timingSpans_.resize(config_.params.levels + 1);
+}
+
+void
+PathOramBackend::issueFetch(Leaf leaf)
+{
+    // No storage prefetch here: this path is about to be read
+    // synchronously, so advising the kernel now buys nothing. The
+    // readahead half of the stage runs as the batch engine's LOOKAHEAD
+    // — prefetchPath(next leaf) issued before the CURRENT request's
+    // compute (Frontend::accessBatch, shard-worker pipeline).
+    FRORAM_ASSERT(leaf < config_.params.numLeaves(), "leaf out of range");
+    if (config_.beforePathRead)
+        config_.beforePathRead(leaf);
 }
 
 u64
@@ -27,6 +45,21 @@ PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
 {
     if (mem_ == nullptr || !mem_->timed() || layout_ == nullptr)
         return 0;
+    if (pathIO_) {
+        // Gather fetch shape: each run of the path is one sequential
+        // burst stream from the subtree's base — one row activate per
+        // run, then streamed CAS. Only the path's own bucket bytes are
+        // transferred (a gather view moves no more than is touched),
+        // so the burst count matches the per-bucket request shape; the
+        // difference is the stream's contiguity within the run.
+        const u64 phys = config_.params.bucketPhysBytes();
+        const u32 nruns = layout_->pathRuns(leaf, timingRuns_.data(),
+                                            timingOff_.data());
+        for (u32 i = 0; i < nruns; ++i)
+            timingSpans_[i] = {timingRuns_[i].addr,
+                               u64{timingRuns_[i].numLevels} * phys};
+        return mem_->streamBatch(timingSpans_.data(), nruns, is_write);
+    }
     const u64 bucket_bytes = config_.params.bucketPhysBytes();
     const u64 burst = mem_->burstBytes();
     const u64 bursts = divCeil(bucket_bytes, burst);
@@ -43,13 +76,32 @@ PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
 void
 PathOramBackend::readPath(Leaf leaf)
 {
-    FRORAM_ASSERT(leaf < config_.params.numLeaves(), "leaf out of range");
-    if (config_.beforePathRead)
-        config_.beforePathRead(leaf);
-    if (rawPath()) {
-        // Raw path: decrypt each bucket into the path arena and copy
-        // valid blocks into pooled stash storage -- no Bucket, no
-        // per-slot vectors.
+    if (pathIO_) {
+        // Gather path: the storage fetches the whole path as a few
+        // contiguous runs and decrypts every present bucket with ONE
+        // cipher kernel; this loop only scans the arena into pooled
+        // stash storage.
+        storage_->readPathRaw(leaf, pathPlain_.data(),
+                              pathPresent_.data());
+        const BucketCodec* codec = storage_->codec();
+        const u64 plain_bytes = storage_->bucketPlainBytes();
+        const u64 stored = config_.params.storedBlockBytes();
+        for (u32 l = 0; l <= config_.params.levels; ++l) {
+            if (pathPresent_[l] == 0)
+                continue;
+            const u8* plain = pathPlain_.data() + u64{l} * plain_bytes;
+            for (u32 s = 0; s < config_.params.z; ++s) {
+                const Addr a = codec->slotAddr(plain, s);
+                if (a == kDummyAddr)
+                    continue;
+                stash_.insertBytes(a, codec->slotLeaf(plain, s),
+                                   codec->slotPayload(plain, s), stored);
+            }
+        }
+    } else if (rawPath()) {
+        // Raw per-bucket path: decrypt each bucket into the path arena
+        // and copy valid blocks into pooled stash storage -- no Bucket,
+        // no per-slot vectors.
         const BucketCodec* codec = storage_->codec();
         const u64 plain_bytes = storage_->bucketPlainBytes();
         const u64 stored = config_.params.storedBlockBytes();
@@ -86,12 +138,19 @@ PathOramBackend::writePath(Leaf leaf)
 {
     stash_.evictPath(leaf, config_.params.levels, config_.params.z,
                      evictSlots_.data());
-    for (u32 l = 0; l <= config_.params.levels; ++l) {
-        const BucketCoord c{l, leaf >> (config_.params.levels - l)};
-        storage_->writeBucketRaw(heapIndex(c),
-                                 evictSlots_.data() +
-                                     u64{l} * config_.params.z,
-                                 config_.params.z);
+    if (pathIO_) {
+        // Whole-path writeback: every bucket serialized, then ONE
+        // cipher kernel encrypts the path into the gathered views.
+        storage_->writePathRaw(leaf, evictSlots_.data(),
+                               config_.params.z);
+    } else {
+        for (u32 l = 0; l <= config_.params.levels; ++l) {
+            const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+            storage_->writeBucketRaw(heapIndex(c),
+                                     evictSlots_.data() +
+                                         u64{l} * config_.params.z,
+                                     config_.params.z);
+        }
     }
     stash_.finishEviction();
     if (config_.traceSink)
@@ -123,6 +182,7 @@ PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
     res.dramPs = 0;
     res.bytesMoved = 0;
 
+    issueFetch(leaf);
     readPath(leaf);
     res.dramPs += pathDramTime(leaf, /*is_write=*/false);
 
@@ -222,6 +282,7 @@ PathOramBackend::restoreState(CheckpointReader& r)
 std::optional<BucketCoord>
 PathOramBackend::locateInTree(Addr addr)
 {
+    const BucketCodec* codec = storage_->codec();
     for (u32 l = 0; l <= config_.params.levels; ++l) {
         for (u64 i = 0; i < (u64{1} << l); ++i) {
             const BucketCoord c{l, i};
@@ -230,10 +291,23 @@ PathOramBackend::locateInTree(Addr addr)
             // without touching (or decoding) storage at all.
             if (!storage_->hasBucket(id))
                 continue;
-            Bucket b = storage_->readBucket(id);
-            for (const auto& slot : b.slots) {
-                if (slot.valid() && slot.addr == addr)
-                    return c;
+            if (rawPath()) {
+                // Raw probe through the path arena's first slot: no
+                // Bucket, no per-slot vectors — the debug walk stays
+                // allocation-free like the access hot path.
+                u8* plain = pathPlain_.data();
+                if (!storage_->readBucketRaw(id, plain))
+                    continue;
+                for (u32 s = 0; s < config_.params.z; ++s) {
+                    if (codec->slotAddr(plain, s) == addr)
+                        return c;
+                }
+            } else {
+                Bucket b = storage_->readBucket(id);
+                for (const auto& slot : b.slots) {
+                    if (slot.valid() && slot.addr == addr)
+                        return c;
+                }
             }
         }
     }

@@ -107,6 +107,33 @@ class PathOramBackend {
      */
     void append(Block block);
 
+    /**
+     * Advisory readahead for the path a future access to `leaf` will
+     * traverse (storage-level prefetch of its gather runs). Purely a
+     * hint: it never changes ORAM state, stored bytes, the trace or the
+     * timing plane, so a caller may prefetch a *stale* leaf guess for
+     * request i+1 while request i computes — that overlap is the
+     * software pipeline of the batched access engine.
+     */
+    void
+    prefetchPath(Leaf leaf)
+    {
+        if (pathIO_)
+            storage_->prefetchPath(leaf);
+    }
+
+    /**
+     * True when prefetchPath() can actually reach a prefetchable
+     * medium. Frontends bail out of their prefetchHint() computation
+     * (PLB peek, PRF leaf derivation) on this, so batched access over
+     * always-resident backends pays nothing for the hint plumbing.
+     */
+    bool
+    prefetchUseful() const
+    {
+        return pathIO_ && mem_ != nullptr && mem_->prefetchable();
+    }
+
     /** Blocks currently in the stash. */
     const Stash& stash() const { return stash_; }
 
@@ -137,11 +164,27 @@ class PathOramBackend {
         return ((u64{1} << b.level) - 1) + b.index;
     }
 
-    /** Read all buckets on the path to `leaf` into the stash. */
+    /** @name Access stages
+     *
+     * One access runs issueFetch -> decryptPath -> stashAndEvict (split
+     * into readPath's stash fill, the op logic in accessInto, and the
+     * eviction inside encryptWriteback). The stages are explicit so the
+     * batched engine can overlap request i+1's issueFetch (storage
+     * prefetch) with request i's decrypt/evict compute.
+     * @{ */
+
+    /** Stage 1: integrity hook + storage readahead for the path. */
+    void issueFetch(Leaf leaf);
+
+    /** Stage 2+3: fetch and decrypt the path (one gather + one cipher
+     *  kernel on path-IO storage), then fill the stash; emits the
+     *  PathRead trace event. */
     void readPath(Leaf leaf);
 
-    /** Evict as much of the stash as possible back onto path `leaf`. */
+    /** Stage 4: evict onto the path and encrypt + write it back (one
+     *  cipher kernel on path-IO storage); emits PathWrite. */
     void writePath(Leaf leaf);
+    /** @} */
 
     /** Storage-medium time for one path traversal's bursts. */
     u64 pathDramTime(Leaf leaf, bool is_write);
@@ -155,12 +198,17 @@ class PathOramBackend {
     StorageBackend* mem_;
     Stash stash_;
     StatSet stats_;
+    bool pathIO_ = false; ///< storage implements whole-path gather IO
 
     // Hot-path scratch, sized once at construction and reused across
     // accesses so the steady state performs no heap allocation.
     std::vector<u8> pathPlain_;      ///< decrypted path arena (L+1 buckets)
+    std::vector<u8> pathPresent_;    ///< per-level present flags
     std::vector<Block*> evictSlots_; ///< (L+1)*z eviction slot pointers
     std::vector<DramRequest> dramReqs_; ///< pathDramTime request batch
+    std::vector<PathRun> timingRuns_;   ///< pathDramTime gather runs
+    std::vector<u64> timingOff_;        ///< pathRuns offset scratch
+    std::vector<ByteSpan> timingSpans_; ///< streamBatch request batch
 };
 
 } // namespace froram

@@ -35,8 +35,8 @@ BucketCodec::padSeedLo(u64 bucket_id, u64 stored_seed) const
 }
 
 void
-BucketCodec::encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
-                        u8* stage, u8* dst) const
+BucketCodec::serializeInto(u64 seed, const Block* const* slots,
+                           u8* stage) const
 {
     const u64 phys = params_.bucketPhysBytes();
     const u64 stored = params_.storedBlockBytes();
@@ -62,6 +62,13 @@ BucketCodec::encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
         }
         p += stored;
     }
+}
+
+void
+BucketCodec::encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
+                        u8* stage, u8* dst) const
+{
+    serializeInto(seed, slots, stage);
 
     // Only ciphertext (and the plaintext seed field) ever reaches `dst`,
     // which may be a view into untrusted backend memory.
@@ -69,7 +76,7 @@ BucketCodec::encodeInto(u64 bucket_id, u64 seed, const Block* const* slots,
         std::memcpy(dst, stage, 8);
     cipher_->xorCryptBulkTo(padSeedHi(bucket_id, seed),
                             padSeedLo(bucket_id, seed), stage + 8, dst + 8,
-                            phys - 8);
+                            params_.bucketPhysBytes() - 8);
 }
 
 void

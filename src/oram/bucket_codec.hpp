@@ -109,10 +109,32 @@ class BucketCodec {
                     u8* stage, u8* dst) const;
 
     /**
+     * Serialization half of encodeInto: write the plaintext image
+     * (seed field + slot headers + payloads + zero padding) of `z` slot
+     * pointers into `stage` (physBytes()), without encrypting. The
+     * whole-path writeback serializes every bucket this way and then
+     * encrypts all of them with one xorCryptSpans call.
+     */
+    void serializeInto(u64 seed, const Block* const* slots,
+                       u8* stage) const;
+
+    /**
      * Decrypt a stored image into `plain` (both physBytes()); the seed
      * field is copied verbatim. image == plain decrypts in place.
      */
     void decryptInto(u64 bucket_id, const u8* image, u8* plain) const;
+
+    /**
+     * Cipher seed pair for a bucket image stored under `stored_seed`
+     * (the plaintext seed field). Callers batching several buckets into
+     * one xorCryptSpans call build each span's (seedHi, seedLo) here;
+     * encodeInto/decryptInto use the same mapping internally.
+     */
+    u64 padSeedHi(u64 bucket_id, u64 stored_seed) const;
+    u64 padSeedLo(u64 bucket_id, u64 stored_seed) const;
+
+    /** Pad generator backing this codec (for bulk span crypto). */
+    const StreamCipher* cipher() const { return cipher_; }
 
     /** Slot address in a decrypted image; kDummyAddr for dummy slots. */
     Addr
@@ -160,9 +182,6 @@ class BucketCodec {
     u64 domain() const { return domain_; }
 
   private:
-    u64 padSeedHi(u64 bucket_id, u64 stored_seed) const;
-    u64 padSeedLo(u64 bucket_id, u64 stored_seed) const;
-
     OramParams params_;
     const StreamCipher* cipher_;
     SeedScheme scheme_;

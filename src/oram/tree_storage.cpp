@@ -11,11 +11,29 @@ BackedTreeStorage::BackedTreeStorage(const OramParams& params,
                                      SeedScheme scheme,
                                      StorageBackend& backend, u64 domain)
     : CodecTreeStorage(params, cipher, scheme, domain), backend_(backend),
-      numBuckets_(params.numBuckets()), slotBytes_(params.bucketPhysBytes())
+      levels_(params.levels), numBuckets_(params.numBuckets()),
+      slotBytes_(params.bucketPhysBytes()),
+      layout_(params.levels, params.bucketPhysBytes(),
+              backend.layoutUnitBytes(), /*pack_tail=*/true)
 {
+    // Tail packing makes the subtree placement occupy exactly one slot
+    // per bucket, so the region formula stays numBuckets * slotBytes.
+    FRORAM_ASSERT(layout_.footprintBytes() == numBuckets_ * slotBytes_,
+                  "tail-packed layout must fit the bucket slots exactly");
     base_ = backend_.allocRegion(regionBytes());
+    layout_.setBaseAddress(base_ + kHeaderBytes + bitmapBytes());
     bitmap_.assign(bitmapBytes(), 0);
     stage_.assign(slotBytes_, 0);
+
+    const u64 path_levels = u64{levels_} + 1;
+    runs_.resize(path_levels);
+    levelOff_.resize(path_levels);
+    spans_.resize(path_levels);
+    views_.resize(path_levels);
+    levelDst_.resize(path_levels);
+    levelAddr_.resize(path_levels);
+    crypt_.resize(path_levels);
+    pathStage_.assign(path_levels * slotBytes_, 0);
 
     // Key/scheme fingerprint: a one-way digest of the cipher's pad for a
     // reserved seed pair. A resume under a different key or seed scheme
@@ -39,6 +57,11 @@ BackedTreeStorage::BackedTreeStorage(const OramParams& params,
         reattach();
         return;
     }
+    if (loadLe(header) == kMagicV1)
+        fatal("persisted ORAM tree at region base ", base_,
+              " uses the heap-order FRORAMT1 placement; this build "
+              "places buckets by subtree (FRORAMT2) and would misread "
+              "it — reset the backend to reinitialize");
 
     // Fresh region: the bitmap area may hold garbage from an unrelated
     // file, so zero it explicitly before writing the header.
@@ -150,7 +173,7 @@ u64
 BackedTreeStorage::slotAddr(u64 id) const
 {
     FRORAM_ASSERT(id < numBuckets_, "bucket id out of range");
-    return base_ + kHeaderBytes + bitmapBytes() + id * slotBytes_;
+    return layout_.addressOf(coordOf(id));
 }
 
 bool
@@ -242,6 +265,134 @@ BackedTreeStorage::writeBucketRaw(u64 id, const Block* const* slots, u32 z)
         backend_.write(addr, stage_.data(), slotBytes_);
     }
     markWritten(id);
+}
+
+void
+BackedTreeStorage::prefetchPath(u64 leaf)
+{
+    if (!backend_.prefetchable())
+        return; // always-resident medium: skip the run decomposition
+    const u32 nruns = layout_.pathRuns(leaf, runs_.data(),
+                                       levelOff_.data());
+    for (u32 i = 0; i < nruns; ++i)
+        backend_.prefetch(runs_[i].addr, runs_[i].bytes);
+}
+
+void
+BackedTreeStorage::readPathRaw(u64 leaf, u8* plain, u8* present)
+{
+    const u64 phys = slotBytes_;
+    const u32 nruns = layout_.pathRuns(leaf, runs_.data(),
+                                       levelOff_.data());
+    for (u32 i = 0; i < nruns; ++i)
+        spans_[i] = {runs_[i].addr, runs_[i].bytes};
+    backend_.gatherView(spans_.data(), nruns, views_.data());
+
+    // Stage one: resolve every present bucket to a (src, dst) pair and
+    // its pad seeds. Buckets inside a direct view decrypt straight out
+    // of backend memory; a viewless run's buckets are copied into the
+    // arena first and decrypt in place.
+    u32 nspans = 0;
+    for (u32 i = 0; i < nruns; ++i) {
+        const PathRun& run = runs_[i];
+        for (u32 r = 0; r < run.numLevels; ++r) {
+            const u32 l = run.firstLevel + r;
+            const u64 id = pathBucketId(leaf, l);
+            if (!hasImage(id)) {
+                present[l] = 0;
+                continue;
+            }
+            present[l] = 1;
+            u8* dst = plain + u64{l} * phys;
+            const u8* src;
+            if (views_[i] != nullptr) {
+                src = views_[i] + levelOff_[l];
+            } else {
+                backend_.read(run.addr + levelOff_[l], dst, phys);
+                src = dst;
+            }
+            const u64 seed = loadLe(src, 8);
+            if (src != dst)
+                std::memcpy(dst, src, 8);
+            crypt_[nspans++] = {codec_.padSeedHi(id, seed),
+                                codec_.padSeedLo(id, seed), src + 8,
+                                dst + 8, phys - 8};
+        }
+    }
+
+    // Stage two: one cipher kernel for the whole path.
+    codec_.cipher()->xorCryptSpans(crypt_.data(), nspans);
+}
+
+void
+BackedTreeStorage::writePathRaw(u64 leaf, const Block* const* slots, u32 z)
+{
+    FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+    const u64 phys = slotBytes_;
+    const u32 nruns = layout_.pathRuns(leaf, runs_.data(),
+                                       levelOff_.data());
+    for (u32 i = 0; i < nruns; ++i)
+        spans_[i] = {runs_[i].addr, runs_[i].bytes};
+    backend_.gatherView(spans_.data(), nruns, views_.data());
+
+    // Stage one: draw every bucket's seed and serialize its plaintext
+    // into the path staging arena. Nothing lands on the backend yet
+    // (only the PerBucket scheme reads its 8-byte previous seed).
+    u32 nspans = 0;
+    for (u32 i = 0; i < nruns; ++i) {
+        const PathRun& run = runs_[i];
+        for (u32 r = 0; r < run.numLevels; ++r) {
+            const u32 l = run.firstLevel + r;
+            const u64 id = pathBucketId(leaf, l);
+            const u64 addr = run.addr + levelOff_[l];
+            u64 prev_seed = 0;
+            if (codec_.scheme() == SeedScheme::PerBucket &&
+                hasImage(id)) {
+                // Previous seed straight from the view when one exists;
+                // only a viewless run pays a read() for its 8 bytes.
+                if (views_[i] != nullptr) {
+                    prev_seed = loadLe(views_[i] + levelOff_[l], 8);
+                } else {
+                    u8 buf[8];
+                    backend_.read(addr, buf, 8);
+                    prev_seed = loadLe(buf, 8);
+                }
+            }
+            const u64 seed = codec_.nextSeed(prev_seed);
+            u8* stage = pathStage_.data() + u64{l} * phys;
+            codec_.serializeInto(seed, slots + u64{l} * z, stage);
+            u8* dst = views_[i] != nullptr ? views_[i] + levelOff_[l]
+                                           : stage;
+            levelDst_[l] = dst;
+            levelAddr_[l] = addr;
+            crypt_[nspans++] = {codec_.padSeedHi(id, seed),
+                                codec_.padSeedLo(id, seed), stage + 8,
+                                dst + 8, phys - 8};
+        }
+    }
+
+    // Persist the advanced seed register *before* any image byte lands
+    // (same crash-ordering contract as writeBucketRaw, amortized to one
+    // register write per path).
+    persistSeed();
+
+    // Stage two: plaintext seed fields to their destinations, then one
+    // cipher kernel encrypts the whole path in place.
+    for (u32 l = 0; l <= levels_; ++l) {
+        u8* stage = pathStage_.data() + u64{l} * phys;
+        if (levelDst_[l] != stage)
+            std::memcpy(levelDst_[l], stage, 8);
+    }
+    codec_.cipher()->xorCryptSpans(crypt_.data(), nspans);
+
+    // Stage three: viewless runs stream their staged ciphertext out via
+    // write(); every bucket is then marked written.
+    for (u32 l = 0; l <= levels_; ++l) {
+        u8* stage = pathStage_.data() + u64{l} * phys;
+        if (levelDst_[l] == stage)
+            backend_.write(levelAddr_[l], stage, phys);
+        markWritten(pathBucketId(leaf, l));
+    }
 }
 
 void

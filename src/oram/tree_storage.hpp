@@ -35,6 +35,7 @@
 
 #include "checkpoint/checkpoint.hpp"
 #include "mem/storage_backend.hpp"
+#include "mem/tree_layout.hpp"
 #include "oram/bucket.hpp"
 #include "oram/bucket_codec.hpp"
 #include "util/rng.hpp"
@@ -112,6 +113,57 @@ class TreeStorage {
                 bucket.slots[s] = *slots[s];
         }
         writeBucket(id, bucket);
+    }
+    /** @} */
+
+    /** @name Whole-path gather IO
+     *
+     * Path-granular raw IO for stores whose buckets live contiguously on
+     * a StorageBackend: the path's buckets are resolved to a handful of
+     * gather runs (subtree placement), fetched through gatherView(), and
+     * de/encrypted with ONE bulk-cipher call per path — no per-bucket
+     * virtual dispatch, no per-bucket cipher setup. PathOramBackend
+     * drives its fetch/decrypt/writeback stages through these whenever
+     * pathIO() is true and falls back to the per-bucket raw API
+     * otherwise.
+     * @{ */
+
+    /** True when this store implements the whole-path gather IO. */
+    virtual bool pathIO() const { return false; }
+
+    /** Advisory readahead for the path to `leaf` (storage prefetch of
+     *  its gather runs); never changes stored bytes. */
+    virtual void prefetchPath(u64 leaf) { (void)leaf; }
+
+    /**
+     * Decrypt every bucket on the path to `leaf` into `plain` (levels+1
+     * images of bucketPlainBytes() each, level order), decrypting all
+     * present buckets with one bulk-cipher invocation. present[l] = 0
+     * marks a never-written bucket (its arena slot is untouched).
+     * Only valid when pathIO() is true.
+     */
+    virtual void
+    readPathRaw(u64 leaf, u8* plain, u8* present)
+    {
+        (void)leaf;
+        (void)plain;
+        (void)present;
+        panic("whole-path reads unsupported by this storage");
+    }
+
+    /**
+     * Encode and store all levels+1 buckets of the path to `leaf` from
+     * `slots` ((levels+1) * z level-major block pointers, null = dummy),
+     * encrypting the whole path with one bulk-cipher invocation.
+     * Only valid when pathIO() is true.
+     */
+    virtual void
+    writePathRaw(u64 leaf, const Block* const* slots, u32 z)
+    {
+        (void)leaf;
+        (void)slots;
+        (void)z;
+        panic("whole-path writes unsupported by this storage");
     }
     /** @} */
 
@@ -343,12 +395,19 @@ class EncryptedTreeStorage : public CodecTreeStorage {
  *
  *   [0, 64)            header: magic, numBuckets, slot bytes, seed register
  *   [64, 64 + ceil(numBuckets / 8))   written-bucket bitmap
- *   [slot base, ...)   numBuckets fixed-size bucket image slots
+ *   [slot base, ...)   numBuckets fixed-size bucket image slots, placed
+ *                      by a tail-packed SubtreeLayout: a path's buckets
+ *                      occupy one contiguous byte run per depth-k
+ *                      subtree, so a path read is a handful of gather
+ *                      views (and sequential prefetch streams) instead
+ *                      of L+1 scattered heap-order slots
  *
  * On construction over a persistent backend whose region already carries
  * a matching header, the store *resumes*: the bitmap and the encryption
  * seed register are reloaded, so previously written buckets decode again
- * and re-encryption never reuses a one-time pad.
+ * and re-encryption never reuses a one-time pad. (The magic identifies
+ * the placement: regions written by the heap-order "FRORAMT1" format
+ * predate the subtree placement and are not resumed.)
  */
 class BackedTreeStorage : public CodecTreeStorage {
   public:
@@ -372,6 +431,14 @@ class BackedTreeStorage : public CodecTreeStorage {
     /** Zero-copy write: encodes from slot pointers and streams the
      *  ciphertext into the backend's memory in place. */
     void writeBucketRaw(u64 id, const Block* const* slots, u32 z) override;
+
+    /** @name Whole-path gather IO (see TreeStorage)
+     *  @{ */
+    bool pathIO() const override { return true; }
+    void prefetchPath(u64 leaf) override;
+    void readPathRaw(u64 leaf, u8* plain, u8* present) override;
+    void writePathRaw(u64 leaf, const Block* const* slots, u32 z) override;
+    /** @} */
 
     u64 bucketsTouched() const override { return touched_; }
 
@@ -413,20 +480,52 @@ class BackedTreeStorage : public CodecTreeStorage {
 
   private:
     static constexpr u64 kHeaderBytes = 64;
-    static constexpr u64 kMagic = 0x46524F52414D5431ULL; // "FRORAMT1"
+    static constexpr u64 kMagic = 0x46524F52414D5432ULL; // "FRORAMT2"
+    /** PR 1-4 heap-order placement; recognized only to reject loudly. */
+    static constexpr u64 kMagicV1 = 0x46524F52414D5431ULL; // "FRORAMT1"
 
     u64 bitmapBytes() const { return (numBuckets_ + 7) / 8; }
     u64 slotAddr(u64 id) const;
     void markWritten(u64 id);
     void persistSeed();
 
+    /** Heap index -> (level, index) of the bucket. */
+    static BucketCoord
+    coordOf(u64 id)
+    {
+        const u32 level = log2Floor(id + 1);
+        return {level, id + 1 - (u64{1} << level)};
+    }
+
+    /** Heap index of the level-l bucket on the path to `leaf`. */
+    u64
+    pathBucketId(u64 leaf, u32 l) const
+    {
+        return ((u64{1} << l) - 1) + (leaf >> (levels_ - l));
+    }
+
     StorageBackend& backend_;
+    u32 levels_ = 0;
     u64 numBuckets_ = 0;
     u64 slotBytes_ = 0;
     u64 base_ = 0;
     u64 fingerprint_ = 0; // cipher-key/domain digest stored in the header
+    SubtreeLayout layout_; // tail-packed bucket placement in the region
     std::vector<u8> bitmap_;
     std::vector<u8> stage_; // trusted plaintext staging for raw writes
+
+    // Whole-path scratch, sized once at construction so the gather IO
+    // stages are allocation-free (one entry per path level suffices for
+    // every quantity below).
+    std::vector<PathRun> runs_;       ///< pathRuns decomposition
+    std::vector<u64> levelOff_;       ///< per-level offset into its run
+    std::vector<ByteSpan> spans_;     ///< gatherView request batch
+    std::vector<u8*> views_;          ///< gatherView results
+    std::vector<u8*> levelDst_;       ///< writeback destination per level
+    std::vector<u64> levelAddr_;      ///< backend address per level
+    std::vector<CryptSpan> crypt_;    ///< one bulk-cipher span per bucket
+    std::vector<u8> pathStage_;       ///< writeback plaintext staging
+
     u64 touched_ = 0;
     bool resumed_ = false;
 };

@@ -191,7 +191,11 @@ class ShardedOramService {
     static u64 fingerprintFor(const ShardedServiceConfig& config);
 
     void workerLoop(Worker& w);
-    void process(u32 shard_index, QueueEntry& entry);
+    /** Service one popped request; `next` (the following request popped
+     *  for the same shard, if any) gets its path prefetch issued first
+     *  so storage fetch overlaps this request's compute. */
+    void process(u32 shard_index, QueueEntry& entry,
+                 const QueueEntry* next = nullptr);
     void finishOne(Batch& b);
     void waitIdle(); ///< pendingBatches_ == 0 (caller holds no locks)
 

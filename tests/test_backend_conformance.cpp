@@ -360,6 +360,48 @@ TEST(MmapFileBackend, ResumeUnderDifferentKeyIsRejected)
     std::remove(path.c_str());
 }
 
+TEST(MmapFileBackend, ResumeOfHeapOrderV1RegionIsRejected)
+{
+    // Regions written by the pre-gather heap-order placement carry the
+    // FRORAMT1 magic; the subtree-placed format must refuse them loudly
+    // instead of treating the region as fresh and wiping the tree.
+    const std::string path = tempPath("v1_region");
+    std::remove(path.c_str());
+    const OramParams p = OramParams::forCapacity(1 << 16, 64, 4);
+    FastCipher cipher;
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/true);
+        BackedTreeStorage storage(p, &cipher, SeedScheme::GlobalCounter,
+                                  backend);
+        Bucket b = Bucket::empty(p);
+        b.slots[0].addr = 1;
+        b.slots[0].leaf = 0;
+        b.slots[0].data.assign(p.storedBlockBytes(), 0x3C);
+        storage.writeBucket(0, b);
+        backend.sync();
+    }
+    {
+        // Rewrite the region magic to the V1 ("FRORAMT1") value.
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/false);
+        u8 magic[8];
+        storeLe(magic, 0x46524F52414D5431ULL);
+        backend.write(0, magic, 8);
+        backend.sync();
+    }
+    {
+        MmapFileBackend backend(path, u64{16} << 20, /*reset=*/false);
+        EXPECT_THROW(BackedTreeStorage(p, &cipher,
+                                       SeedScheme::GlobalCounter,
+                                       backend),
+                     FatalError);
+        // Nothing was clobbered: the V1 magic is still there.
+        u8 magic[8];
+        backend.read(0, magic, 8);
+        EXPECT_EQ(loadLe(magic), 0x46524F52414D5431ULL);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(MmapFileBackend, ResumeUnderDifferentGeometryIsRejected)
 {
     const std::string path = tempPath("wrong_geometry");

@@ -354,6 +354,43 @@ TYPED_TEST(StreamCipherTest, BulkOutOfPlaceMatchesInPlace)
     EXPECT_EQ(dst, in_place);
 }
 
+TYPED_TEST(StreamCipherTest, SpansMatchPerSpanBulk)
+{
+    // xorCryptSpans must be byte-identical to one xorCryptBulkTo per
+    // span, across mixed lengths (partial tails included), mixed seeds
+    // and both in-place and out-of-place spans — the whole-path decrypt
+    // shape of the gather engine.
+    Xoshiro256 rng(31);
+    constexpr size_t kSpans = 23;
+    const size_t lens[] = {312, 8, 16, 17, 1, 120, 312, 64};
+    std::vector<std::vector<u8>> srcs(kSpans), dsts(kSpans),
+        refs(kSpans);
+    std::vector<CryptSpan> spans(kSpans);
+    for (size_t i = 0; i < kSpans; ++i) {
+        const size_t len = lens[i % 8];
+        srcs[i].resize(len);
+        for (auto& b : srcs[i])
+            b = static_cast<u8>(rng.next());
+        refs[i] = srcs[i];
+        this->cipher.xorCryptBulkTo(1000 + i, 7 * i, refs[i].data(),
+                                    refs[i].data(), len);
+        const bool in_place = i % 3 == 0;
+        if (in_place) {
+            spans[i] = {1000 + i, 7 * i, srcs[i].data(), srcs[i].data(),
+                        len};
+        } else {
+            dsts[i].assign(len, 0);
+            spans[i] = {1000 + i, 7 * i, srcs[i].data(), dsts[i].data(),
+                        len};
+        }
+    }
+    this->cipher.xorCryptSpans(spans.data(), spans.size());
+    for (size_t i = 0; i < kSpans; ++i) {
+        const std::vector<u8>& got = i % 3 == 0 ? srcs[i] : dsts[i];
+        EXPECT_EQ(got, refs[i]) << "span " << i;
+    }
+}
+
 /** Scope guard: force the software AES path, restore on exit even if an
  *  assertion bails out of the test early. */
 class ForceSoftwareAes {
@@ -385,6 +422,39 @@ TEST(AesCtrCipher, BulkIdenticalWithAndWithoutAesNi)
         }
         ASSERT_EQ(hw, sw) << "len " << len;
     }
+}
+
+TEST(AesCtrCipher, SpansIdenticalWithAndWithoutAesNi)
+{
+    if (!aesni::supported())
+        GTEST_SKIP() << "CPU has no AES-NI";
+    u8 key[16];
+    for (int i = 0; i < 16; ++i)
+        key[i] = static_cast<u8>(5 * i + 2);
+    AesCtrCipher cipher(key);
+    Xoshiro256 rng(29);
+    constexpr size_t kSpans = 21; // one ORAM path's worth of buckets
+    std::vector<std::vector<u8>> hw(kSpans), sw(kSpans);
+    std::vector<CryptSpan> spans(kSpans);
+    for (size_t i = 0; i < kSpans; ++i) {
+        hw[i].resize(312); // bucketPhysBytes - seed field, with tail
+        for (auto& b : hw[i])
+            b = static_cast<u8>(rng.next());
+        sw[i] = hw[i];
+    }
+    for (size_t i = 0; i < kSpans; ++i)
+        spans[i] = {90 + i, 3, hw[i].data(), hw[i].data(),
+                    hw[i].size()};
+    cipher.xorCryptSpans(spans.data(), spans.size());
+    {
+        ForceSoftwareAes guard;
+        for (size_t i = 0; i < kSpans; ++i)
+            spans[i] = {90 + i, 3, sw[i].data(), sw[i].data(),
+                        sw[i].size()};
+        cipher.xorCryptSpans(spans.data(), spans.size());
+    }
+    for (size_t i = 0; i < kSpans; ++i)
+        ASSERT_EQ(hw[i], sw[i]) << "span " << i;
 }
 
 } // namespace

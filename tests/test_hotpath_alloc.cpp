@@ -153,6 +153,81 @@ TEST(HotPathAllocations, SteadyStateAccessIsAllocationFree)
         << "steady-state accesses performed heap allocations";
 }
 
+TEST(HotPathAllocations, BatchedSteadyStateIsAllocationFree)
+{
+    // The batched engine's per-request shape: prefetch the NEXT
+    // request's path (issueFetch of the software pipeline), then run
+    // the current access through the whole-path gather IO. Warmed up,
+    // the prefetch + gather + one-kernel-crypt stages must all run
+    // without touching the heap, exactly like the plain access path.
+    OramParams params = OramParams::forCapacity(u64{1} << 18, 64, 4);
+    params.stashCapacity = 200;
+    params.validate();
+
+    FlatMemoryBackend store;
+    AesCtrCipher cipher;
+
+    BackendConfig bc;
+    bc.params = params;
+    PathOramBackend backend(
+        bc,
+        makeTreeStorage(StorageMode::Encrypted, params, &cipher,
+                        SeedScheme::GlobalCounter, &store),
+        /*layout=*/nullptr, &store);
+
+    Xoshiro256 rng(11);
+    const u64 blocks = params.numBlocks;
+    std::vector<Leaf> posmap(blocks);
+    std::vector<u8> payload(params.storedBlockBytes(), 0xB4);
+    BackendResult res;
+
+    for (Addr a = 0; a < blocks; ++a) {
+        const Leaf fresh = rng.below(params.numLeaves());
+        backend.accessInto(res, Op::Write, a,
+                           rng.below(params.numLeaves()), fresh,
+                           &payload);
+        posmap[a] = fresh;
+    }
+
+    // Pre-draw the batch so the steady-state loop below does nothing
+    // but prefetch + access.
+    constexpr int kBatch = 32;
+    constexpr int kBatches = 100;
+    std::vector<Addr> addrs(kBatch * kBatches);
+    std::vector<Leaf> fresh(kBatch * kBatches);
+    for (auto& a : addrs)
+        a = rng.below(blocks);
+    for (auto& f : fresh)
+        f = rng.below(params.numLeaves());
+
+    // Warm one pipelined batch (materializes any prefetch-side scratch).
+    for (int i = 0; i < kBatch; ++i) {
+        if (i + 1 < kBatch)
+            backend.prefetchPath(posmap[addrs[i + 1]]);
+        backend.accessInto(res, Op::Read, addrs[i], posmap[addrs[i]],
+                           fresh[i]);
+        posmap[addrs[i]] = fresh[i];
+    }
+
+    const unsigned long long before =
+        g_allocs.load(std::memory_order_relaxed);
+    for (int b = 1; b < kBatches; ++b) {
+        for (int i = 0; i < kBatch; ++i) {
+            const int r = b * kBatch + i;
+            if (i + 1 < kBatch)
+                backend.prefetchPath(posmap[addrs[r + 1]]);
+            backend.accessInto(res, i % 4 == 0 ? Op::Write : Op::Read,
+                               addrs[r], posmap[addrs[r]], fresh[r],
+                               i % 4 == 0 ? &payload : nullptr);
+            posmap[addrs[r]] = fresh[r];
+        }
+    }
+    const unsigned long long after =
+        g_allocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "batched steady-state accesses performed heap allocations";
+}
+
 TEST(HotPathAllocations, AllocatorInstrumentationIsLive)
 {
     // Guard the guard: if the counting operator new is not actually

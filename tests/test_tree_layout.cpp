@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "mem/dram_model.hpp"
 #include "mem/tree_layout.hpp"
@@ -99,6 +101,90 @@ TEST(SubtreeLayout, RejectsOutOfRangeLevel)
 {
     SubtreeLayout layout(4, 64, 4096);
     EXPECT_THROW(layout.addressOf({5, 0}), PanicError);
+}
+
+TEST(FlatLayout, PathRunsDefaultIsOneRunPerBucket)
+{
+    FlatLayout layout(5, 128);
+    layout.setBaseAddress(1 << 16);
+    std::vector<PathRun> runs(6);
+    std::vector<u64> off(6);
+    const u32 n = layout.pathRuns(21, runs.data(), off.data());
+    ASSERT_EQ(n, 6u);
+    for (u32 l = 0; l < n; ++l) {
+        EXPECT_EQ(runs[l].firstLevel, l);
+        EXPECT_EQ(runs[l].numLevels, 1u);
+        EXPECT_EQ(runs[l].bytes, 128u);
+        EXPECT_EQ(off[l], 0u);
+        EXPECT_EQ(runs[l].addr, layout.addressOf({l, u64{21} >> (5 - l)}));
+    }
+}
+
+class SubtreePathRuns : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SubtreePathRuns, CoverEveryPathBucketContiguously)
+{
+    const bool pack_tail = GetParam();
+    const u32 levels = 17; // 18 path levels, k=5 => ragged tail group
+    const u64 bucket = 320;
+    SubtreeLayout layout(levels, bucket, 16384, pack_tail);
+    layout.setBaseAddress(1 << 20);
+
+    std::vector<PathRun> runs(levels + 1);
+    std::vector<u64> off(levels + 1);
+    for (u64 seed = 0; seed < 64; ++seed) {
+        const u64 leaf = (seed * 7919) & ((u64{1} << levels) - 1);
+        const u32 n = layout.pathRuns(leaf, runs.data(), off.data());
+        // One run per depth-k subtree crossed.
+        EXPECT_EQ(n, (levels + 1 + layout.subtreeDepth() - 1) /
+                         layout.subtreeDepth());
+        u32 covered = 0;
+        for (u32 i = 0; i < n; ++i) {
+            for (u32 r = 0; r < runs[i].numLevels; ++r) {
+                const u32 l = runs[i].firstLevel + r;
+                // The run-relative offset lands exactly on the bucket's
+                // own address, and stays inside the run.
+                EXPECT_EQ(runs[i].addr + off[l],
+                          layout.addressOf({l, leaf >> (levels - l)}))
+                    << "level " << l << " leaf " << leaf;
+                EXPECT_LE(off[l] + bucket, runs[i].bytes);
+                ++covered;
+            }
+        }
+        EXPECT_EQ(covered, levels + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddedAndPacked, SubtreePathRuns,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                             return info.param ? std::string("packed")
+                                               : std::string("padded");
+                         });
+
+TEST(SubtreeLayout, PackedTailFitsBucketCountExactly)
+{
+    // levels+1 = 18 with k = 5 leaves a 3-deep tail group; packing it
+    // must shrink the footprint to exactly one slot per bucket (the
+    // padded form pays full-depth subtrees in the tail group).
+    const u32 levels = 17;
+    const u64 bucket = 320;
+    SubtreeLayout padded(levels, bucket, 16384, /*pack_tail=*/false);
+    SubtreeLayout packed(levels, bucket, 16384, /*pack_tail=*/true);
+    const u64 buckets = (u64{1} << (levels + 1)) - 1;
+    EXPECT_EQ(packed.footprintBytes(), buckets * bucket);
+    EXPECT_GT(padded.footprintBytes(), packed.footprintBytes());
+
+    // Packed addresses stay unique and in bounds.
+    std::set<u64> seen;
+    for (u32 l = 0; l <= levels; ++l) {
+        for (u64 i = 0; i < (u64{1} << l); i += (l > 10 ? 97 : 1)) {
+            const u64 a = packed.addressOf({l, i});
+            EXPECT_TRUE(seen.insert(a).second);
+            EXPECT_LT(a, packed.footprintBytes());
+            EXPECT_EQ(a % bucket, 0u);
+        }
+    }
 }
 
 TEST(SubtreeLayout, SubtreePathStaysInOneDramRowRegion)
