@@ -85,10 +85,16 @@ BM_BucketEncode(benchmark::State& state)
     b.slots[0].addr = 1;
     b.slots[0].leaf = 2;
     b.slots[0].data.assign(p.storedBlockBytes(), 0x5c);
-    std::vector<u8> out;
+    // The raw span layer: serialize + encrypt into preallocated buffers,
+    // as the backend's writeback hot path does.
+    std::vector<const Block*> slots(codec.slots(), nullptr);
+    slots[0] = &b.slots[0];
+    std::vector<u8> stage(codec.physBytes());
+    std::vector<u8> out(codec.physBytes());
     for (auto _ : state) {
-        codec.encode(3, b, out, out);
-        benchmark::DoNotOptimize(out);
+        codec.encodeInto(3, codec.nextSeed(0), slots.data(),
+                         stage.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
                             static_cast<i64>(p.bucketPhysBytes()));
@@ -101,6 +107,7 @@ BM_StashEvictPath(benchmark::State& state)
 {
     const u32 levels = 24, z = 4;
     Xoshiro256 rng(5);
+    std::vector<Block*> slots(u64{levels + 1} * z, nullptr);
     for (auto _ : state) {
         state.PauseTiming();
         Stash stash(200, z * (levels + 1));
@@ -112,9 +119,10 @@ BM_StashEvictPath(benchmark::State& state)
             stash.insert(std::move(blk));
         }
         state.ResumeTiming();
-        auto out = stash.evictPath(rng.below(u64{1} << levels), levels,
-                                   z);
-        benchmark::DoNotOptimize(out);
+        stash.evictPath(rng.below(u64{1} << levels), levels, z,
+                        slots.data());
+        stash.finishEviction();
+        benchmark::DoNotOptimize(slots.data());
     }
 }
 BENCHMARK(BM_StashEvictPath);

@@ -11,20 +11,30 @@
  *
  *   $ ./oram_hotpath [--scale=F] [--csv] [--out=BENCH_hotpath.json]
  *
- * JSON schema: one record per (backend, cipher, batch) with
- *   {"bench", "scheme", "backend", "cipher", "capacity_mb", "batch",
- *    "accesses", "acc_per_sec", "us_per_acc", "p50_us", "p99_us",
- *    "mb_per_sec", "commit"}
+ * JSON schema: one record per (bucket scheme, backend, cipher, batch)
+ * with
+ *   {"bench", "scheme", "bucket_scheme", "backend", "cipher",
+ *    "capacity_mb", "batch", "accesses", "acc_per_sec", "us_per_acc",
+ *    "p50_us", "p99_us", "mb_per_sec", "online_blocks_per_acc",
+ *    "commit"}
  * where mb_per_sec is ORAM path traffic (bytesMoved) over wall time,
- * p50_us/p99_us are per-access wall-clock latency percentiles, and
- * commit is the configure-time git revision — together they make
- * BENCH_hotpath.json rows comparable across PRs.
+ * p50_us/p99_us are per-access wall-clock latency percentiles,
+ * online_blocks_per_acc is the simulated online read cost in data
+ * blocks per backend access ((L+1)*Z for Path's whole-path reads, the
+ * measured one-block-per-bucket count for Ring), and commit is the
+ * configure-time git revision — together they make BENCH_hotpath.json
+ * rows comparable across PRs. Rows predating the bucket-scheme seam
+ * carry no "bucket_scheme" field; bench_compare.py normalizes them to
+ * "path".
  *
  * batch = 1 rows drive frontend().access() one request at a time (the
  * historic shape, comparable with pre-batch rows); batch = 8/32 rows
- * drive the same request stream through OramSystem::accessBatch(), the
+ * drive the same request stream through OramSystem::submit(), the
  * software-pipelined engine (per-access latency for those rows is the
  * batch latency divided by its depth).
+ *
+ * --scheme=path|ring|both (default both) selects the bucket-scheme
+ * rows to run.
  */
 #include <algorithm>
 #include <chrono>
@@ -33,6 +43,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "core/unified_frontend.hpp"
 #include "util/rng.hpp"
 
 using namespace froram;
@@ -40,6 +51,7 @@ using namespace froram;
 namespace {
 
 struct Row {
+    std::string bucketScheme;
     std::string backend;
     std::string cipher;
     u32 batch = 1;
@@ -49,11 +61,12 @@ struct Row {
     double p50Us = 0;
     double p99Us = 0;
     double mbPerSec = 0;
+    double onlineBlocksPerAcc = 0;
 };
 
 Row
-runOne(StorageBackendKind kind, bool real_aes, u32 batch,
-       const std::string& path, u64 accesses)
+runOne(BucketSchemeKind scheme, StorageBackendKind kind, bool real_aes,
+       u32 batch, const std::string& path, u64 accesses)
 {
     OramSystemConfig cfg;
     cfg.capacityBytes = u64{64} << 20; // 64 MB ORAM: ~20-level tree
@@ -61,6 +74,7 @@ runOne(StorageBackendKind kind, bool real_aes, u32 batch,
     cfg.backend = kind;
     cfg.backendPath = path;
     cfg.realAes = real_aes;
+    cfg.bucketScheme = scheme;
     OramSystem sys(SchemeId::PlbCompressed, cfg);
     const u64 blocks = cfg.capacityBytes / cfg.blockBytes;
 
@@ -75,13 +89,19 @@ runOne(StorageBackendKind kind, bool real_aes, u32 batch,
         sys.frontend().access(a, true, &payload);
 
     const u64 bytes0 = sys.frontend().stats().get("bytesMoved");
+    const StatSet& bstats =
+        static_cast<UnifiedFrontend&>(sys.frontend()).backend().stats();
+    const u64 bacc0 = bstats.get("accesses");
+    const u64 online0 = scheme == BucketSchemeKind::Ring
+                            ? bstats.get("onlineBlocks")
+                            : bstats.get("pathReads");
     std::vector<double> lat_us;
     lat_us.reserve(accesses);
 
     // Reused across batches: zero per-batch allocation in the measured
     // loop (results keep their payload buffers, requests their slots).
-    std::vector<BatchRequest> reqs(batch);
-    std::vector<FrontendResult> results(batch);
+    std::vector<AccessRequest> reqs(batch);
+    std::vector<AccessResult> results(batch);
 
     const auto start = std::chrono::steady_clock::now();
     auto prev = start;
@@ -102,7 +122,7 @@ runOne(StorageBackendKind kind, bool real_aes, u32 batch,
                 reqs[j].isWrite = (issued + j) % 4 == 0;
                 reqs[j].writeData = reqs[j].isWrite ? &payload : nullptr;
             }
-            sys.accessBatch(reqs.data(), results.data(), batch);
+            sys.submit(reqs.data(), results.data(), batch);
             issued += batch;
         }
         const auto now = std::chrono::steady_clock::now();
@@ -116,8 +136,24 @@ runOne(StorageBackendKind kind, bool real_aes, u32 batch,
     const double secs =
         std::chrono::duration<double>(end - start).count();
     const u64 moved = sys.frontend().stats().get("bytesMoved") - bytes0;
+    const u64 bacc = bstats.get("accesses") - bacc0;
+    const OramParams& params =
+        static_cast<UnifiedFrontend&>(sys.frontend()).backend().params();
+    // Online read cost in data blocks per backend access: Path reads
+    // the whole path ((L+1)*Z, exactly); Ring reads one block per
+    // bucket plus the scheduled-eviction paths it interleaves — report
+    // only the online component (the Ring ORAM headline metric).
+    const double online_per_acc =
+        scheme == BucketSchemeKind::Ring
+            ? static_cast<double>(bstats.get("onlineBlocks") - online0) /
+                  static_cast<double>(bacc)
+            : static_cast<double>(
+                  (bstats.get("pathReads") - online0) *
+                  u64{params.levels + 1} * params.z) /
+                  static_cast<double>(bacc);
 
     Row row;
+    row.bucketScheme = toString(scheme);
     row.backend = toString(kind);
     row.cipher = real_aes ? "aesctr" : "fast";
     row.batch = batch;
@@ -127,6 +163,7 @@ runOne(StorageBackendKind kind, bool real_aes, u32 batch,
     row.p50Us = bench::percentile(lat_us, 50);
     row.p99Us = bench::percentile(lat_us, 99);
     row.mbPerSec = static_cast<double>(moved) / secs / (1024.0 * 1024.0);
+    row.onlineBlocksPerAcc = online_per_acc;
     return row;
 }
 
@@ -145,14 +182,17 @@ writeJson(const std::string& out_path, const std::vector<Row>& rows)
         std::snprintf(
             buf, sizeof(buf),
             "  {\"bench\": \"hotpath\", \"scheme\": \"PC_X32\", "
+            "\"bucket_scheme\": \"%s\", "
             "\"backend\": \"%s\", \"cipher\": \"%s\", "
             "\"capacity_mb\": 64, \"batch\": %u, \"accesses\": %llu, "
             "\"acc_per_sec\": %.1f, \"us_per_acc\": %.3f, "
             "\"p50_us\": %.3f, \"p99_us\": %.3f, "
-            "\"mb_per_sec\": %.1f, \"commit\": \"%s\"}%s\n",
-            r.backend.c_str(), r.cipher.c_str(), r.batch,
-            static_cast<unsigned long long>(r.accesses), r.accPerSec,
-            r.usPerAcc, r.p50Us, r.p99Us, r.mbPerSec, bench::gitRev(),
+            "\"mb_per_sec\": %.1f, \"online_blocks_per_acc\": %.2f, "
+            "\"commit\": \"%s\"}%s\n",
+            r.bucketScheme.c_str(), r.backend.c_str(), r.cipher.c_str(),
+            r.batch, static_cast<unsigned long long>(r.accesses),
+            r.accPerSec, r.usPerAcc, r.p50Us, r.p99Us, r.mbPerSec,
+            r.onlineBlocksPerAcc, bench::gitRev(),
             i + 1 < rows.size() ? "," : "");
         out << buf;
     }
@@ -167,38 +207,51 @@ main(int argc, char** argv)
     const auto opts = bench::BenchOptions::parse(argc, argv);
     std::string out_path = "BENCH_hotpath.json";
     std::string only_backend; // --backend=flat|mmap|dram: fast iteration
+    std::string scheme_arg = "both"; // --scheme=path|ring|both
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--out=", 0) == 0)
             out_path = arg.substr(6);
         else if (arg.rfind("--backend=", 0) == 0)
             only_backend = arg.substr(10);
+        else if (arg.rfind("--scheme=", 0) == 0)
+            scheme_arg = arg.substr(9);
     }
+    std::vector<BucketSchemeKind> schemes;
+    if (scheme_arg == "both")
+        schemes = {BucketSchemeKind::Path, BucketSchemeKind::Ring};
+    else
+        schemes = {bucketSchemeFromName(scheme_arg)};
     const u64 accesses = opts.scaled(40000);
     const std::string path = "/tmp/froram_oram_hotpath.bin";
 
     std::vector<Row> rows;
-    TextTable table({"backend", "cipher", "batch", "acc_per_sec",
-                     "us_per_acc", "p50_us", "p99_us", "mb_per_sec"});
-    for (const StorageBackendKind kind :
-         {StorageBackendKind::Flat, StorageBackendKind::MmapFile,
-          StorageBackendKind::TimedDram}) {
-        if (!only_backend.empty() && only_backend != toString(kind))
-            continue;
-        for (const bool real_aes : {true, false}) {
-            for (const u32 batch : {1u, 8u, 32u}) {
-                const Row row =
-                    runOne(kind, real_aes, batch, path, accesses);
-                rows.push_back(row);
-                table.newRow();
-                table.cell(row.backend);
-                table.cell(row.cipher);
-                table.cell(static_cast<u64>(row.batch));
-                table.cell(row.accPerSec, 0);
-                table.cell(row.usPerAcc, 2);
-                table.cell(row.p50Us, 2);
-                table.cell(row.p99Us, 2);
-                table.cell(row.mbPerSec, 1);
+    TextTable table({"bucket", "backend", "cipher", "batch",
+                     "acc_per_sec", "us_per_acc", "p50_us", "p99_us",
+                     "mb_per_sec", "onl_blk/acc"});
+    for (const BucketSchemeKind scheme : schemes) {
+        for (const StorageBackendKind kind :
+             {StorageBackendKind::Flat, StorageBackendKind::MmapFile,
+              StorageBackendKind::TimedDram}) {
+            if (!only_backend.empty() && only_backend != toString(kind))
+                continue;
+            for (const bool real_aes : {true, false}) {
+                for (const u32 batch : {1u, 8u, 32u}) {
+                    const Row row = runOne(scheme, kind, real_aes,
+                                           batch, path, accesses);
+                    rows.push_back(row);
+                    table.newRow();
+                    table.cell(row.bucketScheme);
+                    table.cell(row.backend);
+                    table.cell(row.cipher);
+                    table.cell(static_cast<u64>(row.batch));
+                    table.cell(row.accPerSec, 0);
+                    table.cell(row.usPerAcc, 2);
+                    table.cell(row.p50Us, 2);
+                    table.cell(row.p99Us, 2);
+                    table.cell(row.mbPerSec, 1);
+                    table.cell(row.onlineBlocksPerAcc, 1);
+                }
             }
         }
     }
@@ -206,8 +259,8 @@ main(int argc, char** argv)
 
     bench::emit(opts, table,
                 "Hot-path wall-clock throughput (PC_X32, 64 MB ORAM, "
-                "Encrypted storage, 3:1 read:write, batched rows via "
-                "OramSystem::accessBatch)");
+                "Encrypted storage, 3:1 read:write, Path + Ring bucket "
+                "schemes, batched rows via OramSystem::submit)");
     writeJson(out_path, rows);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

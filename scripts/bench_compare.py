@@ -32,6 +32,10 @@ METRICS = {
     "p99_us": -1,
     "p50_batch_us": -1,
     "p99_batch_us": -1,
+    # Simulated online read cost in blocks per backend access; fixed
+    # per (bucket_scheme, geometry), so any growth is a real structural
+    # regression (e.g. Ring falling back to whole-path reads).
+    "online_blocks_per_acc": -1,
     "accesses": 0,
     "hardware_threads": 0,
 }
@@ -63,6 +67,9 @@ def load(path):
         # Rows predating the batched engine had an implicit batch of 1;
         # normalize so old and new batch=1 rows keep matching.
         r.setdefault("batch", 1)
+        # Rows predating the bucket-scheme seam were all Path ORAM;
+        # normalize so they keep matching new scheme-tagged path rows.
+        r.setdefault("bucket_scheme", "path")
     return {row_key(r): r for r in rows}
 
 

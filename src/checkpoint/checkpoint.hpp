@@ -94,6 +94,7 @@ constexpr u32 kTagRng = 0x524E4730;        // "RNG0"
 constexpr u32 kTagOracle = 0x4F52434C;     // "ORCL"
 constexpr u32 kTagBuffer = 0x42554646;     // "BUFF"
 constexpr u32 kTagManifest = 0x4D4E4653;   // "MNFS" (sharded service)
+constexpr u32 kTagScheme = 0x53434845;     // "SCHE" (bucket-scheme state)
 /** @} */
 
 } // namespace ckpt

@@ -21,6 +21,10 @@ FlatFrontend::FlatFrontend(const FlatFrontendConfig& config,
         const u32 lg_z = log2Floor(params_.z);
         params_.levels = lg_n > lg_z ? lg_n - lg_z : 1;
     }
+    params_.bucketScheme = config_.bucketScheme;
+    params_.ringS = config_.ringS;
+    params_.ringA = config_.ringA;
+    params_.normalizeRing();
     params_.validate();
 
     std::unique_ptr<TreeStorage> storage = makeTreeStorage(
@@ -33,6 +37,7 @@ FlatFrontend::FlatFrontend(const FlatFrontendConfig& config,
     bc.params = params_;
     bc.treeId = 0;
     bc.traceSink = std::move(trace);
+    bc.schemeSeed = config_.rngSeed ^ 0x52494e47ULL; // "RING" domain
     backend_ = std::make_unique<PathOramBackend>(
         bc, std::move(storage), std::move(layout), store);
 
@@ -158,7 +163,7 @@ FlatFrontend::oramAccess(Addr addr, bool is_write,
 }
 
 void
-FlatFrontend::prefetchHint(Addr addr)
+FlatFrontend::serviceHint(Addr addr)
 {
     if (!backend_->prefetchUseful() || addr >= config_.numBlocks ||
         posmap_[addr] == kUninit)
@@ -172,19 +177,12 @@ FlatFrontend::prefetchHint(Addr addr)
     backend_->prefetchPath(posmap_[addr]);
 }
 
-FrontendResult
-FlatFrontend::access(Addr addr, bool is_write,
-                     const std::vector<u8>* write_data)
-{
-    FrontendResult res;
-    accessInto(res, addr, is_write, write_data);
-    return res;
-}
-
 void
-FlatFrontend::accessInto(FrontendResult& res, Addr addr, bool is_write,
-                         const std::vector<u8>* write_data)
+FlatFrontend::serviceAccess(AccessResult& res, const AccessRequest& req)
 {
+    const Addr addr = req.addr;
+    const bool is_write = req.isWrite;
+    const std::vector<u8>* const write_data = req.writeData;
     FRORAM_ASSERT(addr < config_.numBlocks, "address out of range");
     res.reset();
     stats_.inc("accesses");

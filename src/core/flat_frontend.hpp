@@ -31,6 +31,10 @@ struct FlatFrontendConfig {
     LatencyModel latency{};
     u64 rngSeed = 0x5eed;
     u32 stashCapacity = 200;
+    /** Bucket discipline for the data tree (Path or Ring). */
+    BucketSchemeKind bucketScheme = BucketSchemeKind::Path;
+    u32 ringS = 0; ///< Ring dummy slots (0 = normalizeRing default)
+    u32 ringA = 0; ///< Ring eviction rate (0 = normalizeRing default)
 };
 
 /** Whole-PosMap-on-chip Frontend with an optional CLOCK block buffer. */
@@ -39,18 +43,6 @@ class FlatFrontend : public Frontend {
     FlatFrontend(const FlatFrontendConfig& config,
                  const StreamCipher* cipher, StorageBackend* store,
                  TraceSink trace = nullptr);
-
-    FrontendResult access(Addr addr, bool is_write,
-                          const std::vector<u8>* write_data
-                          = nullptr) override;
-
-    void accessInto(FrontendResult& res, Addr addr, bool is_write,
-                    const std::vector<u8>* write_data
-                    = nullptr) override;
-
-    /** Batch-pipeline hint: the whole PosMap is on-chip, so a miss's
-     *  exact path is known up front — prefetch it. */
-    void prefetchHint(Addr addr) override;
 
     std::string name() const override { return "Phantom"; }
     u64 dataBlockBytes() const override { return config_.blockBytes; }
@@ -62,6 +54,14 @@ class FlatFrontend : public Frontend {
 
     void saveState(CheckpointWriter& w) const override;
     void restoreState(CheckpointReader& r) override;
+
+  protected:
+    void serviceAccess(AccessResult& res,
+                       const AccessRequest& req) override;
+
+    /** Submit-pipeline hint: the whole PosMap is on-chip, so a miss's
+     *  exact path is known up front — prefetch it. */
+    void serviceHint(Addr addr) override;
 
   private:
     struct BufferSlot {

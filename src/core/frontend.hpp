@@ -40,7 +40,7 @@ struct LatencyModel {
 };
 
 /** Outcome of one Frontend access (one LLC miss serviced). */
-struct FrontendResult {
+struct AccessResult {
     u64 cycles = 0;         ///< end-to-end latency in processor cycles
     u64 bytesMoved = 0;     ///< total DRAM bytes (path reads + writes)
     u64 posmapBytes = 0;    ///< subset attributable to PosMap machinery
@@ -61,77 +61,123 @@ struct FrontendResult {
     }
 };
 
-/** One request of a batched access (see Frontend::accessBatch). */
-struct BatchRequest {
+/** Historical name for AccessResult (pre-submit() API). */
+using FrontendResult = AccessResult;
+
+/**
+ * One request of the unified access surface (Frontend::submit).
+ * Plain-data and non-owning, so callers can stage request arrays
+ * without per-request allocation.
+ */
+struct AccessRequest {
     Addr addr = 0;
     bool isWrite = false;
     /** Write payload (nullptr keeps zeros); not owned. */
     const std::vector<u8>* writeData = nullptr;
+    /**
+     * Advisory entry: issue a storage prefetch for `addr`'s current
+     * path instead of performing an access. Never touches ORAM state,
+     * the trace, statistics or the timing plane; its result slot is
+     * reset and carries no data.
+     */
+    bool prefetchOnly = false;
 };
 
-/** Abstract ORAM Frontend: services LLC miss/eviction requests. */
+/** Historical name for AccessRequest (pre-submit() API). */
+using BatchRequest = AccessRequest;
+
+/**
+ * Abstract ORAM Frontend: services LLC miss/eviction requests.
+ *
+ * The access surface is submit(): an ordered span of AccessRequest
+ * entries serviced exactly as sequential single accesses would be —
+ * results, adversary trace and all trusted state are bit-identical to
+ * the one-by-one path — while overlapping request i+1's storage fetch
+ * (an advisory serviceHint) with request i's decrypt/evict compute.
+ * Implementations plug in via the protected serviceAccess/serviceHint
+ * hooks; the legacy access/accessInto/accessBatch/prefetchHint entry
+ * points are thin non-virtual wrappers kept for source compatibility.
+ */
 class Frontend {
   public:
     virtual ~Frontend() = default;
 
     /**
+     * Service `n` requests in submission order. Semantically pure
+     * pipelining: outcomes are bit-identical to `n` sequential
+     * single-request submits. Before each real request runs, the NEXT
+     * request's path prefetch is issued via serviceHint(), so on a
+     * faulting backend (mmap) the kernel's readahead runs under the
+     * current request's cipher and eviction work. Entries flagged
+     * prefetchOnly only issue their hint (their result slot is reset).
+     * Single-threaded; a thrown error (e.g. IntegrityViolation) leaves
+     * requests past the throwing one unprocessed.
+     */
+    virtual void
+    submit(const AccessRequest* reqs, AccessResult* results, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            if (reqs[i].prefetchOnly) {
+                serviceHint(reqs[i].addr);
+                results[i].reset();
+                continue;
+            }
+            if (i + 1 < n)
+                serviceHint(reqs[i + 1].addr);
+            serviceAccess(results[i], reqs[i]);
+        }
+    }
+
+    /** Vector convenience overload of submit(). */
+    void
+    submit(const std::vector<AccessRequest>& reqs,
+           std::vector<AccessResult>& results)
+    {
+        results.resize(reqs.size());
+        submit(reqs.data(), results.data(), reqs.size());
+    }
+
+    /**
      * Service one request for data block `addr`.
+     * Thin wrapper over submit(); prefer staging AccessRequests.
      * @param addr data block address in [0, N)
      * @param is_write true for an LLC dirty eviction
      * @param write_data payload for writes (nullptr keeps zeros)
      */
-    virtual FrontendResult access(Addr addr, bool is_write,
-                                  const std::vector<u8>* write_data
-                                  = nullptr) = 0;
+    FrontendResult
+    access(Addr addr, bool is_write,
+           const std::vector<u8>* write_data = nullptr)
+    {
+        AccessResult res;
+        serviceAccess(res, {addr, is_write, write_data, false});
+        return res;
+    }
 
     /**
      * Reusable-result variant of access(): identical outcome, but the
      * caller's `res` — including its payload buffer — is reset and
      * reused, so a warmed steady-state caller (a shard worker driving
      * one access after another) performs no per-access allocation for
-     * the result. The base implementation falls back to access().
+     * the result. Thin wrapper over the serviceAccess hook.
      */
-    virtual void
+    void
     accessInto(FrontendResult& res, Addr addr, bool is_write,
                const std::vector<u8>* write_data = nullptr)
     {
-        res = access(addr, is_write, write_data);
+        serviceAccess(res, {addr, is_write, write_data, false});
     }
 
-    /**
-     * Software-pipelined batch access: service `n` requests exactly as
-     * `n` sequential accessInto() calls would — results, adversary
-     * trace and all trusted state are bit-identical to the sequential
-     * path — while overlapping request i+1's storage fetch with request
-     * i's decrypt/evict compute. Before each request runs, the NEXT
-     * request's path prefetch is issued via prefetchHint(), so on a
-     * faulting backend (mmap) the kernel's readahead runs under the
-     * current request's cipher and eviction work. Single-threaded; a
-     * thrown error (e.g. IntegrityViolation) leaves requests past the
-     * throwing one unprocessed.
-     */
-    virtual void
+    /** Historical name for submit() (deprecated thin wrapper). */
+    void
     accessBatch(const BatchRequest* reqs, FrontendResult* results,
                 size_t n)
     {
-        for (size_t i = 0; i < n; ++i) {
-            if (i + 1 < n)
-                prefetchHint(reqs[i + 1].addr);
-            accessInto(results[i], reqs[i].addr, reqs[i].isWrite,
-                       reqs[i].writeData);
-        }
+        submit(reqs, results, n);
     }
 
-    /**
-     * Issue an advisory storage prefetch for the path an access to
-     * `addr` would take under the CURRENT PosMap state, when that leaf
-     * is determinable without any state change (PLB/on-chip resident).
-     * A stale or impossible guess is harmless — the hint never touches
-     * ORAM state, the trace, statistics or the timing plane, which is
-     * what makes the batch pipeline's overlap semantics-free. Default:
-     * no-op.
-     */
-    virtual void prefetchHint(Addr addr) { (void)addr; }
+    /** Historical name for an advisory serviceHint() (deprecated thin
+     *  wrapper); see AccessRequest::prefetchOnly for the submit form. */
+    void prefetchHint(Addr addr) { serviceHint(addr); }
 
     /** Scheme name for reports (e.g. "PC_X32"). */
     virtual std::string name() const = 0;
@@ -154,6 +200,26 @@ class Frontend {
     virtual void saveState(CheckpointWriter& w) const = 0;
     virtual void restoreState(CheckpointReader& r) = 0;
     /** @} */
+
+  protected:
+    /**
+     * Service one real request into `res` (reset first, reusing its
+     * payload buffer's capacity). The single implementation hook every
+     * access entry point funnels through.
+     */
+    virtual void serviceAccess(AccessResult& res,
+                               const AccessRequest& req) = 0;
+
+    /**
+     * Issue an advisory storage prefetch for the path an access to
+     * `addr` would take under the CURRENT PosMap state, when that leaf
+     * is determinable without any state change (PLB/on-chip resident).
+     * A stale or impossible guess is harmless — the hint never touches
+     * ORAM state, the trace, statistics or the timing plane, which is
+     * what makes the submit pipeline's overlap semantics-free. Default:
+     * no-op.
+     */
+    virtual void serviceHint(Addr addr) { (void)addr; }
 };
 
 } // namespace froram

@@ -30,8 +30,9 @@ recursiveStopEntries(u64 num_blocks, u32 x, u32 z, u64 target_bytes)
  * Build the storage medium from the system config. The default MmapFile
  * capacity covers the worst configured scheme: ~2x bucket slots at 50%
  * utilization, burst padding, slot headers, MAC tags, recursion trees
- * and the per-tree header/bitmap. The file is sparse, so
- * over-provisioning costs no disk.
+ * and the per-tree header/bitmap — scaled up for Ring's extra dummy
+ * slots per bucket. The file is sparse, so over-provisioning costs no
+ * disk.
  */
 std::unique_ptr<StorageBackend>
 makeSystemBackend(const OramSystemConfig& cfg)
@@ -40,9 +41,14 @@ makeSystemBackend(const OramSystemConfig& cfg)
     sc.kind = cfg.backend;
     sc.dramChannels = cfg.dramChannels;
     sc.path = cfg.backendPath;
+    u64 mult = 8;
+    if (cfg.bucketScheme == BucketSchemeKind::Ring) {
+        const u32 s = cfg.ringS != 0 ? cfg.ringS : cfg.z + 2;
+        mult = divCeil(u64{8} * (cfg.z + s), cfg.z);
+    }
     sc.fileBytes = cfg.backendFileBytes != 0
                        ? cfg.backendFileBytes
-                       : 8 * cfg.capacityBytes + (u64{16} << 20);
+                       : mult * cfg.capacityBytes + (u64{16} << 20);
     sc.reset = cfg.backendReset;
     return makeStorageBackend(sc);
 }
@@ -110,6 +116,9 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         rc.latency = cfg_.latency;
         rc.rngSeed = cfg_.seed;
         rc.stashCapacity = cfg_.stashCapacity;
+        rc.bucketScheme = cfg_.bucketScheme;
+        rc.ringS = cfg_.ringS;
+        rc.ringA = cfg_.ringA;
         const u32 x = PosMapFormat(PosMapFormat::Kind::Leaves,
                                    rc.posmapBlockBytes)
                           .x();
@@ -131,6 +140,9 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         fc.latency = cfg_.latency;
         fc.rngSeed = cfg_.seed;
         fc.stashCapacity = cfg_.stashCapacity;
+        fc.bucketScheme = cfg_.bucketScheme;
+        fc.ringS = cfg_.ringS;
+        fc.ringA = cfg_.ringA;
         frontend_ = std::make_unique<FlatFrontend>(fc, cipher_.get(),
                                                    store_.get(), sink);
         break;
@@ -169,6 +181,9 @@ OramSystem::OramSystem(SchemeId scheme, const OramSystemConfig& config)
         uc.latency = cfg_.latency;
         uc.rngSeed = cfg_.seed;
         uc.stashCapacity = cfg_.stashCapacity;
+        uc.bucketScheme = cfg_.bucketScheme;
+        uc.ringS = cfg_.ringS;
+        uc.ringA = cfg_.ringA;
         frontend_ = std::make_unique<UnifiedFrontend>(uc, cipher_.get(),
                                                       store_.get(), sink);
         break;
@@ -205,6 +220,9 @@ OramSystem::configFingerprint() const
     mix(static_cast<u64>(cfg_.seedScheme));
     mix(cfg_.seed);
     mix(cfg_.stashCapacity);
+    mix(static_cast<u64>(cfg_.bucketScheme));
+    mix(cfg_.ringS);
+    mix(cfg_.ringA);
     mix(cfg_.phantomBlockBytes);
     mix(cfg_.phantomForceLevels);
     mix(cfg_.phantomBufferBytes);

@@ -67,6 +67,11 @@ struct OramSystemConfig {
     SeedScheme seedScheme = SeedScheme::GlobalCounter;
     u64 seed = 0x5eed;
     u32 stashCapacity = 200;
+    /** Bucket discipline for every tree (Path or Ring; see
+     *  oram/bucket_scheme.hpp). */
+    BucketSchemeKind bucketScheme = BucketSchemeKind::Path;
+    u32 ringS = 0; ///< Ring dummy slots (0 = normalizeRing default)
+    u32 ringA = 0; ///< Ring eviction rate (0 = normalizeRing default)
     bool collectTrace = false; ///< buffer the adversary-visible trace
     /** Phantom-specific knobs (Section 7.1.6). */
     u64 phantomBlockBytes = 4096;
@@ -140,27 +145,43 @@ class OramSystem {
     /** @} */
 
     /**
-     * Software-pipelined batch access (see Frontend::accessBatch): the
-     * single-threaded entry point to the staged engine. Results, trace
-     * and all trusted state are bit-identical to issuing the requests
-     * through frontend().access() one by one; request i+1's storage
-     * prefetch overlaps request i's decrypt/evict compute.
+     * Unified access surface (see Frontend::submit): the
+     * single-threaded entry point to the staged pipelined engine.
+     * Results, trace and all trusted state are bit-identical to issuing
+     * the requests through frontend().access() one by one; request
+     * i+1's storage prefetch overlaps request i's decrypt/evict
+     * compute.
      */
     void
-    accessBatch(const BatchRequest* reqs, FrontendResult* results,
-                size_t n)
+    submit(const AccessRequest* reqs, AccessResult* results, size_t n)
     {
-        frontend().accessBatch(reqs, results, n);
+        frontend().submit(reqs, results, n);
     }
 
     /** Vector convenience over the pointer form; `results` is resized
      *  (its elements — including payload buffers — are reused). */
     void
+    submit(const std::vector<AccessRequest>& reqs,
+           std::vector<AccessResult>& results)
+    {
+        results.resize(reqs.size());
+        submit(reqs.data(), results.data(), reqs.size());
+    }
+
+    /** Historical name for submit() (deprecated thin wrapper). */
+    void
+    accessBatch(const BatchRequest* reqs, FrontendResult* results,
+                size_t n)
+    {
+        submit(reqs, results, n);
+    }
+
+    /** Historical vector form of submit() (deprecated thin wrapper). */
+    void
     accessBatch(const std::vector<BatchRequest>& reqs,
                 std::vector<FrontendResult>& results)
     {
-        results.resize(reqs.size());
-        accessBatch(reqs.data(), results.data(), reqs.size());
+        submit(reqs, results);
     }
 
     Frontend&

@@ -39,6 +39,10 @@ RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
         p.levels = lg_n > lg_z ? lg_n - lg_z : 1;
         if (p.levels > 31)
             fatal("tree too deep for 32-bit PosMap leaves");
+        p.bucketScheme = config_.bucketScheme;
+        p.ringS = config_.ringS;
+        p.ringA = config_.ringA;
+        p.normalizeRing();
         treeParams_.push_back(p);
 
         // Tree index as pad domain: the recursion hierarchy shares one
@@ -55,6 +59,7 @@ RecursiveFrontend::RecursiveFrontend(const RecursiveFrontendConfig& config,
         bc.params = p;
         bc.treeId = i;
         bc.traceSink = trace;
+        bc.schemeSeed = config_.rngSeed ^ 0x52494e47ULL ^ (u64{i} << 32);
         trees_.push_back(std::make_unique<PathOramBackend>(
             bc, std::move(storage), std::move(layout), store));
     }
@@ -160,7 +165,7 @@ RecursiveFrontend::restoreState(CheckpointReader& r)
 }
 
 void
-RecursiveFrontend::prefetchHint(Addr a0)
+RecursiveFrontend::serviceHint(Addr a0)
 {
     if (!trees_[geo_.h - 1]->prefetchUseful() || a0 >= config_.numBlocks)
         return;
@@ -172,19 +177,12 @@ RecursiveFrontend::prefetchHint(Addr a0)
         trees_[geo_.h - 1]->prefetchPath(onChip_[top_idx]);
 }
 
-FrontendResult
-RecursiveFrontend::access(Addr a0, bool is_write,
-                          const std::vector<u8>* write_data)
-{
-    FrontendResult res;
-    accessInto(res, a0, is_write, write_data);
-    return res;
-}
-
 void
-RecursiveFrontend::accessInto(FrontendResult& res, Addr a0, bool is_write,
-                              const std::vector<u8>* write_data)
+RecursiveFrontend::serviceAccess(AccessResult& res, const AccessRequest& req)
 {
+    const Addr a0 = req.addr;
+    const bool is_write = req.isWrite;
+    const std::vector<u8>* const write_data = req.writeData;
     FRORAM_ASSERT(a0 < config_.numBlocks, "data address out of range");
     res.reset();
     stats_.inc("accesses");

@@ -36,6 +36,10 @@ struct RecursiveFrontendConfig {
     LatencyModel latency{};
     u64 rngSeed = 0x5eed;
     u32 stashCapacity = 200;
+    /** Bucket discipline for every tree of the hierarchy. */
+    BucketSchemeKind bucketScheme = BucketSchemeKind::Path;
+    u32 ringS = 0; ///< Ring dummy slots (0 = normalizeRing default)
+    u32 ringA = 0; ///< Ring eviction rate (0 = normalizeRing default)
 };
 
 /** The Recursive ORAM baseline Frontend. */
@@ -53,18 +57,6 @@ class RecursiveFrontend : public Frontend {
                       const StreamCipher* cipher, StorageBackend* store,
                       TraceSink trace = nullptr);
 
-    FrontendResult access(Addr addr, bool is_write,
-                          const std::vector<u8>* write_data
-                          = nullptr) override;
-
-    void accessInto(FrontendResult& res, Addr addr, bool is_write,
-                    const std::vector<u8>* write_data
-                    = nullptr) override;
-
-    /** Batch-pipeline hint: the on-chip PosMap pins the FIRST tree a
-     *  recursive access touches (ORam_{H-1}); prefetch that path. */
-    void prefetchHint(Addr addr) override;
-
     std::string name() const override;
     u64 dataBlockBytes() const override { return config_.blockBytes; }
     u64 onChipPosMapBits() const override;
@@ -79,6 +71,14 @@ class RecursiveFrontend : public Frontend {
 
     void saveState(CheckpointWriter& w) const override;
     void restoreState(CheckpointReader& r) override;
+
+  protected:
+    void serviceAccess(AccessResult& res,
+                       const AccessRequest& req) override;
+
+    /** Submit-pipeline hint: the on-chip PosMap pins the FIRST tree a
+     *  recursive access touches (ORam_{H-1}); prefetch that path. */
+    void serviceHint(Addr addr) override;
 
   private:
     Leaf randomLeafFor(u32 tree) const;

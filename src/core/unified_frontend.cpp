@@ -29,6 +29,10 @@ makeParams(const UnifiedFrontendConfig& cfg, const RecursionGeometry& geo)
     const u32 lg_n = log2Ceil(p.numBlocks);
     const u32 lg_z = log2Floor(cfg.z);
     p.levels = lg_n > lg_z ? lg_n - lg_z : 1;
+    p.bucketScheme = cfg.bucketScheme;
+    p.ringS = cfg.ringS;
+    p.ringA = cfg.ringA;
+    p.normalizeRing();
     return p;
 }
 
@@ -74,6 +78,7 @@ UnifiedFrontend::UnifiedFrontend(const UnifiedFrontendConfig& config,
     bc.params = params_;
     bc.treeId = 0;
     bc.traceSink = std::move(trace);
+    bc.schemeSeed = config_.rngSeed ^ 0x52494e47ULL; // "RING" domain
     backend_ = std::make_unique<PathOramBackend>(
         bc,
         makeTreeStorage(config_.storage, params_, cipher,
@@ -402,7 +407,7 @@ UnifiedFrontend::touchEntryForChild(u32 child_level, Addr a0,
 }
 
 void
-UnifiedFrontend::prefetchHint(Addr a0)
+UnifiedFrontend::serviceHint(Addr a0)
 {
     if (!backend_->prefetchUseful() || a0 >= geo_.levelBlocks[0])
         return;
@@ -434,19 +439,12 @@ UnifiedFrontend::prefetchHint(Addr a0)
         backend_->prefetchPath(leaf);
 }
 
-FrontendResult
-UnifiedFrontend::access(Addr a0, bool is_write,
-                        const std::vector<u8>* write_data)
-{
-    FrontendResult res;
-    accessInto(res, a0, is_write, write_data);
-    return res;
-}
-
 void
-UnifiedFrontend::accessInto(FrontendResult& res, Addr a0, bool is_write,
-                            const std::vector<u8>* write_data)
+UnifiedFrontend::serviceAccess(AccessResult& res, const AccessRequest& req)
 {
+    const Addr a0 = req.addr;
+    const bool is_write = req.isWrite;
+    const std::vector<u8>* const write_data = req.writeData;
     FRORAM_ASSERT(a0 < geo_.levelBlocks[0], "data address out of range");
     res.reset();
     stats_.inc("accesses");

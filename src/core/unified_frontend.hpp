@@ -46,6 +46,10 @@ struct UnifiedFrontendConfig {
     u64 rngSeed = 0x5eed;
     u64 macBytes = 16;        ///< PMMAC tag bytes per block
     u32 stashCapacity = 200;
+    /** Bucket discipline for the unified tree (Path or Ring). */
+    BucketSchemeKind bucketScheme = BucketSchemeKind::Path;
+    u32 ringS = 0; ///< Ring dummy slots (0 = normalizeRing default)
+    u32 ringA = 0; ///< Ring eviction rate (0 = normalizeRing default)
 };
 
 /** PLB + unified-tree Frontend (the paper's proposal). */
@@ -62,23 +66,6 @@ class UnifiedFrontend : public Frontend {
     UnifiedFrontend(const UnifiedFrontendConfig& config,
                     const StreamCipher* cipher, StorageBackend* store,
                     TraceSink trace = nullptr);
-
-    FrontendResult access(Addr addr, bool is_write,
-                          const std::vector<u8>* write_data
-                          = nullptr) override;
-
-    void accessInto(FrontendResult& res, Addr addr, bool is_write,
-                    const std::vector<u8>* write_data
-                    = nullptr) override;
-
-    /**
-     * Batch-pipeline hint: when the PosMap entry covering `addr` is
-     * resident (PLB for deep hierarchies, the on-chip PosMap for
-     * shallow ones), compute the leaf its data path WOULD take under
-     * current state — a pure read: no PLB LRU refresh, no counter
-     * bump, no trace — and issue the storage prefetch for that path.
-     */
-    void prefetchHint(Addr addr) override;
 
     std::string name() const override;
     u64 dataBlockBytes() const override { return config_.blockBytes; }
@@ -98,6 +85,20 @@ class UnifiedFrontend : public Frontend {
 
     void saveState(CheckpointWriter& w) const override;
     void restoreState(CheckpointReader& r) override;
+
+  protected:
+    /** The single access hook (Sections 4-6 pipeline; see submit()). */
+    void serviceAccess(AccessResult& res,
+                       const AccessRequest& req) override;
+
+    /**
+     * Submit-pipeline hint: when the PosMap entry covering `addr` is
+     * resident (PLB for deep hierarchies, the on-chip PosMap for
+     * shallow ones), compute the leaf its data path WOULD take under
+     * current state — a pure read: no PLB LRU refresh, no counter
+     * bump, no trace — and issue the storage prefetch for that path.
+     */
+    void serviceHint(Addr addr) override;
 
   private:
     /** Result of touching (reading + remapping) one PosMap entry. */

@@ -1,11 +1,13 @@
 #include "oram/backend.hpp"
 
+#include "oram/bucket_scheme.hpp"
+
 namespace froram {
 
-PathOramBackend::PathOramBackend(const BackendConfig& config,
-                                 std::unique_ptr<TreeStorage> storage,
-                                 std::unique_ptr<TreeLayout> layout,
-                                 StorageBackend* mem)
+OramBackend::OramBackend(const BackendConfig& config,
+                         std::unique_ptr<TreeStorage> storage,
+                         std::unique_ptr<TreeLayout> layout,
+                         StorageBackend* mem)
     : config_(config), storage_(std::move(storage)),
       layout_(std::move(layout)), mem_(mem),
       stash_(config.params.stashCapacity,
@@ -13,6 +15,7 @@ PathOramBackend::PathOramBackend(const BackendConfig& config,
              config.params.storedBlockBytes()),
       stats_("backend")
 {
+    config_.params.normalizeRing();
     config_.params.validate();
     FRORAM_ASSERT(storage_ != nullptr, "backend needs tree storage");
     const u64 plain = storage_->bucketPlainBytes();
@@ -25,10 +28,13 @@ PathOramBackend::PathOramBackend(const BackendConfig& config,
     timingRuns_.resize(config_.params.levels + 1);
     timingOff_.resize(config_.params.levels + 1);
     timingSpans_.resize(config_.params.levels + 1);
+    scheme_ = makeBucketScheme(*this);
 }
 
+OramBackend::~OramBackend() = default;
+
 void
-PathOramBackend::issueFetch(Leaf leaf)
+OramBackend::issueFetch(Leaf leaf)
 {
     // No storage prefetch here: this path is about to be read
     // synchronously, so advising the kernel now buys nothing. The
@@ -41,7 +47,7 @@ PathOramBackend::issueFetch(Leaf leaf)
 }
 
 u64
-PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
+OramBackend::pathDramTime(Leaf leaf, bool is_write)
 {
     if (mem_ == nullptr || !mem_->timed() || layout_ == nullptr)
         return 0;
@@ -74,8 +80,9 @@ PathOramBackend::pathDramTime(Leaf leaf, bool is_write)
 }
 
 void
-PathOramBackend::readPath(Leaf leaf)
+OramBackend::fetchPathToStash(Leaf leaf, const u64* live)
 {
+    const u32 spb = config_.params.slotsPerBucket();
     if (pathIO_) {
         // Gather path: the storage fetches the whole path as a few
         // contiguous runs and decrypts every present bucket with ONE
@@ -89,8 +96,11 @@ PathOramBackend::readPath(Leaf leaf)
         for (u32 l = 0; l <= config_.params.levels; ++l) {
             if (pathPresent_[l] == 0)
                 continue;
+            const u64 mask = live != nullptr ? live[l] : ~u64{0};
             const u8* plain = pathPlain_.data() + u64{l} * plain_bytes;
-            for (u32 s = 0; s < config_.params.z; ++s) {
+            for (u32 s = 0; s < spb; ++s) {
+                if (((mask >> s) & 1) == 0)
+                    continue;
                 const Addr a = codec->slotAddr(plain, s);
                 if (a == kDummyAddr)
                     continue;
@@ -107,10 +117,13 @@ PathOramBackend::readPath(Leaf leaf)
         const u64 stored = config_.params.storedBlockBytes();
         for (u32 l = 0; l <= config_.params.levels; ++l) {
             const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+            const u64 mask = live != nullptr ? live[l] : ~u64{0};
             u8* plain = pathPlain_.data() + u64{l} * plain_bytes;
-            if (!storage_->readBucketRaw(heapIndex(c), plain))
+            if (mask == 0 || !storage_->readBucketRaw(heapIndex(c), plain))
                 continue;
-            for (u32 s = 0; s < config_.params.z; ++s) {
+            for (u32 s = 0; s < spb; ++s) {
+                if (((mask >> s) & 1) == 0)
+                    continue;
                 const Addr a = codec->slotAddr(plain, s);
                 if (a == kDummyAddr)
                     continue;
@@ -121,50 +134,39 @@ PathOramBackend::readPath(Leaf leaf)
     } else {
         for (u32 l = 0; l <= config_.params.levels; ++l) {
             const BucketCoord c{l, leaf >> (config_.params.levels - l)};
+            const u64 mask = live != nullptr ? live[l] : ~u64{0};
+            if (mask == 0)
+                continue;
             Bucket bucket = storage_->readBucket(heapIndex(c));
-            for (auto& slot : bucket.slots) {
-                if (slot.valid())
-                    stash_.insert(slot);
+            for (u32 s = 0; s < bucket.slots.size() && s < 64; ++s) {
+                if (((mask >> s) & 1) != 0 && bucket.slots[s].valid())
+                    stash_.insert(bucket.slots[s]);
             }
         }
     }
-    if (config_.traceSink)
-        config_.traceSink({TraceEvent::Kind::PathRead, config_.treeId, leaf});
-    stats_.inc("pathReads");
 }
 
 void
-PathOramBackend::writePath(Leaf leaf)
+OramBackend::writebackPath(Leaf leaf, const Block* const* slots)
 {
-    stash_.evictPath(leaf, config_.params.levels, config_.params.z,
-                     evictSlots_.data());
+    const u32 spb = config_.params.slotsPerBucket();
     if (pathIO_) {
         // Whole-path writeback: every bucket serialized, then ONE
         // cipher kernel encrypts the path into the gathered views.
-        storage_->writePathRaw(leaf, evictSlots_.data(),
-                               config_.params.z);
+        storage_->writePathRaw(leaf, slots, spb);
     } else {
         for (u32 l = 0; l <= config_.params.levels; ++l) {
             const BucketCoord c{l, leaf >> (config_.params.levels - l)};
-            storage_->writeBucketRaw(heapIndex(c),
-                                     evictSlots_.data() +
-                                         u64{l} * config_.params.z,
-                                     config_.params.z);
+            storage_->writeBucketRaw(heapIndex(c), slots + u64{l} * spb,
+                                     spb);
         }
     }
-    stash_.finishEviction();
-    if (config_.traceSink)
-        config_.traceSink(
-            {TraceEvent::Kind::PathWrite, config_.treeId, leaf});
-    if (config_.afterPathWrite)
-        config_.afterPathWrite(leaf);
-    stats_.inc("pathWrites");
 }
 
 BackendResult
-PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
-                        const std::vector<u8>* write_data,
-                        const BlockTransform& transform)
+OramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
+                    const std::vector<u8>* write_data,
+                    const BlockTransform& transform)
 {
     BackendResult res;
     accessInto(res, op, addr, leaf, new_leaf, write_data, transform);
@@ -172,10 +174,9 @@ PathOramBackend::access(Op op, Addr addr, Leaf leaf, Leaf new_leaf,
 }
 
 void
-PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
-                            Leaf new_leaf,
-                            const std::vector<u8>* write_data,
-                            const BlockTransform& transform)
+OramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
+                        Leaf new_leaf, const std::vector<u8>* write_data,
+                        const BlockTransform& transform)
 {
     FRORAM_ASSERT(op != Op::Append, "use append() for Append");
     res.found = false;
@@ -183,8 +184,7 @@ PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
     res.bytesMoved = 0;
 
     issueFetch(leaf);
-    readPath(leaf);
-    res.dramPs += pathDramTime(leaf, /*is_write=*/false);
+    scheme_->readForAccess(res, leaf, addr);
 
     Block* in_stash = stash_.find(addr);
     res.found = in_stash != nullptr;
@@ -238,9 +238,7 @@ PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
         panic("unreachable");
     }
 
-    writePath(leaf);
-    res.dramPs += pathDramTime(leaf, /*is_write=*/true);
-    res.bytesMoved = 2 * config_.params.pathBytes();
+    scheme_->finishAccess(res, leaf);
     stats_.inc("accesses");
     stats_.inc("bytesMoved", res.bytesMoved);
     stats_.inc(op == Op::ReadRmv ? "readRmvOps"
@@ -248,7 +246,7 @@ PathOramBackend::accessInto(BackendResult& res, Op op, Addr addr, Leaf leaf,
 }
 
 void
-PathOramBackend::append(Block block)
+OramBackend::append(Block block)
 {
     FRORAM_ASSERT(block.valid(), "appending dummy block");
     FRORAM_ASSERT(block.leaf < config_.params.numLeaves(),
@@ -258,31 +256,44 @@ PathOramBackend::append(Block block)
 }
 
 void
-PathOramBackend::saveState(CheckpointWriter& w) const
+OramBackend::saveState(CheckpointWriter& w) const
 {
     w.begin(ckpt::kTagBackend);
     stash_.saveState(w);
     w.begin(ckpt::kTagTreeStore);
     storage_->saveTrustedState(w);
     w.end();
+    // Stateless schemes (Path) write no section, keeping pre-seam
+    // checkpoint images byte-identical.
+    if (scheme_->hasState()) {
+        w.begin(ckpt::kTagScheme);
+        scheme_->saveState(w);
+        w.end();
+    }
     w.end();
 }
 
 void
-PathOramBackend::restoreState(CheckpointReader& r)
+OramBackend::restoreState(CheckpointReader& r)
 {
     r.enter(ckpt::kTagBackend);
     stash_.restoreState(r);
     r.enter(ckpt::kTagTreeStore);
     storage_->restoreTrustedState(r);
     r.exit();
+    if (scheme_->hasState()) {
+        r.enter(ckpt::kTagScheme);
+        scheme_->restoreState(r);
+        r.exit();
+    }
     r.exit();
 }
 
 std::optional<BucketCoord>
-PathOramBackend::locateInTree(Addr addr)
+OramBackend::locateInTree(Addr addr)
 {
     const BucketCodec* codec = storage_->codec();
+    const u32 spb = config_.params.slotsPerBucket();
     for (u32 l = 0; l <= config_.params.levels; ++l) {
         for (u64 i = 0; i < (u64{1} << l); ++i) {
             const BucketCoord c{l, i};
@@ -298,14 +309,16 @@ PathOramBackend::locateInTree(Addr addr)
                 u8* plain = pathPlain_.data();
                 if (!storage_->readBucketRaw(id, plain))
                     continue;
-                for (u32 s = 0; s < config_.params.z; ++s) {
-                    if (codec->slotAddr(plain, s) == addr)
+                for (u32 s = 0; s < spb; ++s) {
+                    if (codec->slotAddr(plain, s) == addr &&
+                        scheme_->slotLive(id, s))
                         return c;
                 }
             } else {
                 Bucket b = storage_->readBucket(id);
-                for (const auto& slot : b.slots) {
-                    if (slot.valid() && slot.addr == addr)
+                for (u32 s = 0; s < b.slots.size(); ++s) {
+                    if (b.slots[s].valid() && b.slots[s].addr == addr &&
+                        scheme_->slotLive(id, s))
                         return c;
                 }
             }

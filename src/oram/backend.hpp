@@ -1,11 +1,16 @@
 /**
  * @file
- * Path ORAM Backend (Sections 3.1 and 4.2.2).
+ * ORAM tree Backend (Sections 3.1 and 4.2.2).
  *
  * The Backend owns the stash and the untrusted tree storage, and services
  * four operations on behalf of a Frontend: Read, Write, ReadRmv and
- * Append. Read/Write/ReadRmv each perform one path read plus one path
- * writeback (eviction); Append only inserts into the stash.
+ * Append. *How* the tree is touched per access — whole-path
+ * read-and-evict (Path ORAM) or one-block-per-bucket online reads with
+ * scheduled evictions (Ring ORAM) — is delegated to a pluggable
+ * BucketScheme (bucket_scheme.hpp); the Backend provides the shared
+ * stage pipeline underneath: issueFetch -> path fetch/decrypt ->
+ * stash/op logic -> encrypt/writeback, the gather/prefetch storage layer
+ * and the one-kernel spans crypto.
  *
  * The Backend is deliberately Frontend-agnostic: the PLB, compressed
  * PosMap and PMMAC (the paper's contributions) all sit in front of this
@@ -30,12 +35,14 @@
 
 namespace froram {
 
+class BucketScheme;
+
 /** Result of one Backend access. */
 struct BackendResult {
     bool found = false;     ///< block was present (false => cold miss)
     Block block;            ///< for Read/ReadRmv: the block of interest
     u64 dramPs = 0;         ///< DRAM time consumed by this access
-    u64 bytesMoved = 0;     ///< path read + write bytes
+    u64 bytesMoved = 0;     ///< tree bytes moved (reads + writebacks)
 };
 
 /** Construction-time knobs for a Backend. */
@@ -49,10 +56,13 @@ struct BackendConfig {
     std::function<void(Leaf)> beforePathRead;
     /** Called with the leaf after each path write (integrity update). */
     std::function<void(Leaf)> afterPathWrite;
+    /** Seed for scheme-private randomness (Ring's dummy-slot draws and
+     *  eviction offsets); Path consumes no randomness here. */
+    u64 schemeSeed = 0x5eed;
 };
 
-/** Hardware Path ORAM Backend over one ORAM tree. */
-class PathOramBackend {
+/** Hardware ORAM Backend over one ORAM tree. */
+class OramBackend {
   public:
     /**
      * @param config geometry + tracing
@@ -62,9 +72,10 @@ class PathOramBackend {
      * @param mem shared storage medium pricing path accesses (not owned;
      *        may be null for purely functional trees)
      */
-    PathOramBackend(const BackendConfig& config,
-                    std::unique_ptr<TreeStorage> storage,
-                    std::unique_ptr<TreeLayout> layout, StorageBackend* mem);
+    OramBackend(const BackendConfig& config,
+                std::unique_ptr<TreeStorage> storage,
+                std::unique_ptr<TreeLayout> layout, StorageBackend* mem);
+    ~OramBackend();
 
     /**
      * Hook applied to the block of interest between Step 4 (update) and
@@ -144,19 +155,24 @@ class PathOramBackend {
     /** Untrusted storage, exposed for adversary harnesses. */
     TreeStorage& storage() { return *storage_; }
 
+    /** The bucket scheme driving this tree's access discipline. */
+    const BucketScheme& scheme() const { return *scheme_; }
+    BucketScheme& scheme() { return *scheme_; }
+
     /**
      * Direct stash/tree scan for invariant checking in tests: returns the
-     * (level, bucket) holding `addr`, or nullopt if it is in the stash or
-     * absent. O(tree) -- test use only.
+     * (level, bucket) holding a *live* copy of `addr` (dead Ring slots
+     * are skipped), or nullopt if it is in the stash or absent.
+     * O(tree) -- test use only.
      */
     std::optional<BucketCoord> locateInTree(Addr addr);
 
-    /** @name Checkpoint/restore (stash + tree-storage trusted state) @{ */
+    /** @name Checkpoint/restore (stash + tree-storage trusted state +
+     *  scheme state) @{ */
     void saveState(CheckpointWriter& w) const;
     void restoreState(CheckpointReader& r);
     /** @} */
 
-  private:
     /** Heap index of a bucket coordinate. */
     static u64
     heapIndex(BucketCoord b)
@@ -164,29 +180,42 @@ class PathOramBackend {
         return ((u64{1} << b.level) - 1) + b.index;
     }
 
-    /** @name Access stages
+  private:
+    friend class PathBucketScheme;
+    friend class RingBucketScheme;
+
+    /** @name Shared access-pipeline stages
      *
-     * One access runs issueFetch -> decryptPath -> stashAndEvict (split
-     * into readPath's stash fill, the op logic in accessInto, and the
-     * eviction inside encryptWriteback). The stages are explicit so the
-     * batched engine can overlap request i+1's issueFetch (storage
-     * prefetch) with request i's decrypt/evict compute.
+     * One access runs issueFetch -> scheme read discipline -> the op
+     * logic in accessInto -> scheme eviction/writeback. The schemes
+     * drive their storage traffic through these shared stages (whole-
+     * path gather fetch + one-kernel crypto + timing), so the batched
+     * engine's overlap (prefetch of request i+1 under request i's
+     * compute) works identically for every scheme.
      * @{ */
 
-    /** Stage 1: integrity hook + storage readahead for the path. */
+    /** Stage 1: integrity hook + leaf bound check. */
     void issueFetch(Leaf leaf);
 
-    /** Stage 2+3: fetch and decrypt the path (one gather + one cipher
-     *  kernel on path-IO storage), then fill the stash; emits the
-     *  PathRead trace event. */
-    void readPath(Leaf leaf);
+    /**
+     * Fetch and decrypt the path to `leaf` (one gather + one cipher
+     * kernel on path-IO storage) and move blocks into the stash.
+     * `live` is an optional per-level slot-liveness mask ((levels+1)
+     * words; null = all slots live): dead slots — Ring slots already
+     * consumed by online reads — are not stashed.
+     */
+    void fetchPathToStash(Leaf leaf, const u64* live);
 
-    /** Stage 4: evict onto the path and encrypt + write it back (one
-     *  cipher kernel on path-IO storage); emits PathWrite. */
-    void writePath(Leaf leaf);
+    /**
+     * Serialize, encrypt (one cipher kernel on path-IO storage) and
+     * store all levels+1 buckets of the path from `slots`:
+     * (levels+1) * slotsPerBucket level-major block pointers,
+     * null = dummy.
+     */
+    void writebackPath(Leaf leaf, const Block* const* slots);
     /** @} */
 
-    /** Storage-medium time for one path traversal's bursts. */
+    /** Storage-medium time for one whole-path traversal's bursts. */
     u64 pathDramTime(Leaf leaf, bool is_write);
 
     /** True when storage supports the raw (allocation-free) bucket IO. */
@@ -198,6 +227,7 @@ class PathOramBackend {
     StorageBackend* mem_;
     Stash stash_;
     StatSet stats_;
+    std::unique_ptr<BucketScheme> scheme_;
     bool pathIO_ = false; ///< storage implements whole-path gather IO
 
     // Hot-path scratch, sized once at construction and reused across
@@ -210,6 +240,10 @@ class PathOramBackend {
     std::vector<u64> timingOff_;        ///< pathRuns offset scratch
     std::vector<ByteSpan> timingSpans_; ///< streamBatch request batch
 };
+
+/** Legacy name from before the bucket-scheme seam; the Path discipline
+ *  now lives in PathBucketScheme, selected via OramParams. */
+using PathOramBackend = OramBackend;
 
 } // namespace froram
 

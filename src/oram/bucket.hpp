@@ -13,7 +13,8 @@
 namespace froram {
 
 /**
- * One bucket of Z slots, in decoded form. Invalid slots hold kDummyAddr.
+ * One bucket of slotsPerBucket() slots (Z, or Z + S under the Ring
+ * scheme), in decoded form. Invalid slots hold kDummyAddr.
  */
 struct Bucket {
     std::vector<Block> slots;
@@ -35,7 +36,7 @@ struct Bucket {
     static Bucket
     empty(const OramParams& p)
     {
-        return Bucket(p.z);
+        return Bucket(p.slotsPerBucket());
     }
 };
 

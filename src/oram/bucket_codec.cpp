@@ -1,5 +1,6 @@
 #include "oram/bucket_codec.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace froram {
@@ -9,11 +10,12 @@ BucketCodec::BucketCodec(const OramParams& params, const StreamCipher* cipher,
     : params_(params), cipher_(cipher), scheme_(scheme), domain_(domain)
 {
     FRORAM_ASSERT(cipher_ != nullptr, "codec needs a cipher");
+    slots_ = params_.slotsPerBucket();
     addrBytes_ = divCeil(params_.addrBits(), 8);
     leafBytes_ = divCeil(params_.levels == 0 ? 1 : params_.levels, 8);
     addrMask_ =
         addrBytes_ >= 8 ? ~u64{0} : (u64{1} << (8 * addrBytes_)) - 1;
-    payloadBase_ = 8 + params_.z * (addrBytes_ + leafBytes_);
+    payloadBase_ = 8 + slots_ * (addrBytes_ + leafBytes_);
 }
 
 u64
@@ -45,7 +47,7 @@ BucketCodec::serializeInto(u64 seed, const Block* const* slots,
     storeLe(stage, seed, 8);
 
     u8* p = stage + 8;
-    for (u32 s = 0; s < params_.z; ++s) {
+    for (u32 s = 0; s < slots_; ++s) {
         const Block* blk = slots[s];
         const bool valid = blk != nullptr && blk->valid();
         storeLe(p, valid ? blk->addr : kDummyAddr, addrBytes_);
@@ -53,7 +55,7 @@ BucketCodec::serializeInto(u64 seed, const Block* const* slots,
         storeLe(p, valid ? blk->leaf : 0, leafBytes_);
         p += leafBytes_;
     }
-    for (u32 s = 0; s < params_.z; ++s) {
+    for (u32 s = 0; s < slots_; ++s) {
         const Block* blk = slots[s];
         if (blk != nullptr && blk->valid() && !blk->data.empty()) {
             FRORAM_ASSERT(blk->data.size() <= stored,
@@ -92,45 +94,54 @@ BucketCodec::decryptInto(u64 bucket_id, const u8* image, u8* plain) const
 }
 
 void
-BucketCodec::encode(u64 bucket_id, const Bucket& bucket,
-                    const std::vector<u8>& prev_image, std::vector<u8>& out)
+BucketCodec::cryptRange(u64 pad_hi, u64 pad_lo, const u8* image, u64 off,
+                        u64 len, u8* out) const
 {
-    FRORAM_ASSERT(bucket.slots.size() == params_.z, "bucket arity");
-    out.resize(params_.bucketPhysBytes());
-
-    const u64 prev_seed =
-        prev_image.empty() ? 0 : loadLe(prev_image.data(), 8);
-    const u64 seed = nextSeed(prev_seed);
-
-    std::vector<const Block*> slots(params_.z);
-    for (u32 s = 0; s < params_.z; ++s)
-        slots[s] = &bucket.slots[s];
-    encodeInto(bucket_id, seed, slots.data(), out.data(), out.data());
+    // The encrypted region starts at image offset 8 and consumes the pad
+    // stream from chunk 0, so byte `off` sits at stream position off - 8.
+    // Walk whole 16-byte pad chunks, XORing only the overlapped bytes;
+    // a sub-range read touches ~5 chunks, so per-chunk pad() calls cost
+    // nothing next to the DRAM transfer they model.
+    FRORAM_ASSERT(off >= 8, "range enters the plaintext seed field");
+    u64 pos = off - 8; // position within the pad stream
+    u8 pad[16];
+    while (len != 0) {
+        const u64 chunk = pos / 16;
+        const u64 within = pos % 16;
+        const u64 take = std::min<u64>(16 - within, len);
+        cipher_->pad(pad_hi, pad_lo, static_cast<u32>(chunk), pad);
+        for (u64 i = 0; i < take; ++i)
+            out[i] = image[8 + pos + i] ^ pad[within + i];
+        out += take;
+        pos += take;
+        len -= take;
+    }
 }
 
-Bucket
-BucketCodec::decode(u64 bucket_id, const std::vector<u8>& image) const
+void
+BucketCodec::decryptHeaderInto(u64 bucket_id, const u8* image,
+                               u8* plain) const
 {
-    Bucket bucket = Bucket::empty(params_);
-    if (image.empty())
-        return bucket; // never-written bucket: all dummies
-    FRORAM_ASSERT(image.size() == params_.bucketPhysBytes(),
-                  "bucket image size mismatch");
+    const u64 seed = loadLe(image, 8);
+    if (plain != image)
+        std::memcpy(plain, image, 8);
+    // The header trails the seed field directly, so its pad chunks align
+    // with the bulk path: one prefix decrypt, no repositioning needed.
+    cipher_->xorCryptBulkTo(padSeedHi(bucket_id, seed),
+                            padSeedLo(bucket_id, seed), image + 8,
+                            plain + 8, params_.bucketHeaderBytes() - 8);
+}
 
-    std::vector<u8> plain(image.size());
-    decryptInto(bucket_id, image.data(), plain.data());
-
+void
+BucketCodec::decryptSlotPayloadInto(u64 bucket_id, const u8* image, u32 s,
+                                    u8* out) const
+{
+    FRORAM_ASSERT(s < slots_, "slot out of range");
+    const u64 seed = loadLe(image, 8);
     const u64 stored = params_.storedBlockBytes();
-    for (u32 s = 0; s < params_.z; ++s) {
-        Block& slot = bucket.slots[s];
-        slot.addr = slotAddr(plain.data(), s);
-        slot.leaf = slotLeaf(plain.data(), s);
-        if (slot.valid()) {
-            const u8* p = slotPayload(plain.data(), s);
-            slot.data.assign(p, p + stored);
-        }
-    }
-    return bucket;
+    const u64 off = payloadBase_ + u64{s} * stored;
+    cryptRange(padSeedHi(bucket_id, seed), padSeedLo(bucket_id, seed),
+               image, off, stored, out);
 }
 
 } // namespace froram

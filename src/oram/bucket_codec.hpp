@@ -24,8 +24,8 @@
 #include <vector>
 
 #include "crypto/stream_cipher.hpp"
-#include "oram/bucket.hpp"
 #include "oram/params.hpp"
+#include "oram/types.hpp"
 
 namespace froram {
 
@@ -35,12 +35,16 @@ enum class SeedScheme { GlobalCounter, PerBucket };
 /**
  * Serializes, encrypts, decrypts and deserializes buckets.
  *
- * Two API layers:
- *  - a raw span layer (nextSeed/encodeInto/decryptInto + slot accessors)
- *    operating directly on caller-provided byte buffers — the
- *    allocation-free hot path used by PathOramBackend's path arena;
- *  - the legacy Bucket/vector layer (encode/decode), now thin wrappers
- *    over the raw layer, kept for tests and the tamper API.
+ * One API surface: the raw span layer (nextSeed/encodeInto/decryptInto +
+ * slot accessors) operating directly on caller-provided byte buffers —
+ * the allocation-free hot path used by the backend's path arena. (The
+ * PR 2-era Bucket/vector wrapper layer is gone; callers that need a
+ * decoded view parse a decrypted image through the slot accessors.)
+ *
+ * Buckets carry slotsPerBucket() slots: Z for the Path scheme, Z + S for
+ * Ring (whose S dummy slots exist on the wire). The partial-read helpers
+ * (decryptHeaderInto/decryptSlotPayloadInto) serve Ring's metadata-then-
+ * one-block online read without decrypting whole buckets.
  */
 class BucketCodec {
   public:
@@ -57,30 +61,17 @@ class BucketCodec {
                 SeedScheme scheme = SeedScheme::GlobalCounter,
                 u64 domain = 0);
 
-    /**
-     * Encode and encrypt `bucket` into a fresh bucket image.
-     * @param bucket_id physical bucket id (mixed into PerBucket pads)
-     * @param bucket decoded contents
-     * @param prev_image previous stored image (PerBucket scheme reads the
-     *        old seed from it; pass empty for never-written buckets)
-     * @param out receives bucketPhysBytes() of ciphertext
-     */
-    void encode(u64 bucket_id, const Bucket& bucket,
-                const std::vector<u8>& prev_image,
-                std::vector<u8>& out);
-
-    /**
-     * Decrypt and decode a bucket image. Tampered images decode without
-     * error into garbage slots (detection is PMMAC's job; Section 6.5.2).
-     * An empty image decodes as an all-dummy bucket.
-     */
-    Bucket decode(u64 bucket_id, const std::vector<u8>& image) const;
-
     /** @name Raw span layer (allocation-free hot path)
      *  @{ */
 
     /** Physical bytes of one bucket image (= plaintext arena bytes). */
     u64 physBytes() const { return params_.bucketPhysBytes(); }
+
+    /** Serialized slots per bucket (Z, or Z + S under Ring). */
+    u32 slots() const { return slots_; }
+
+    /** Bytes of the bucket header (seed field + slot headers). */
+    u64 headerBytes() const { return params_.bucketHeaderBytes(); }
 
     /**
      * Advance the seed state and return the seed the next image of a
@@ -96,8 +87,8 @@ class BucketCodec {
     }
 
     /**
-     * Serialize `z` slot pointers (null = dummy slot) and encrypt under
-     * `seed` (from nextSeed).
+     * Serialize slots() slot pointers (null = dummy slot) and encrypt
+     * under `seed` (from nextSeed).
      *
      * @param stage trusted plaintext staging buffer of physBytes(); the
      *        serialized plaintext never touches `dst` directly, so `dst`
@@ -110,8 +101,8 @@ class BucketCodec {
 
     /**
      * Serialization half of encodeInto: write the plaintext image
-     * (seed field + slot headers + payloads + zero padding) of `z` slot
-     * pointers into `stage` (physBytes()), without encrypting. The
+     * (seed field + slot headers + payloads + zero padding) of slots()
+     * slot pointers into `stage` (physBytes()), without encrypting. The
      * whole-path writeback serializes every bucket this way and then
      * encrypts all of them with one xorCryptSpans call.
      */
@@ -123,6 +114,31 @@ class BucketCodec {
      * field is copied verbatim. image == plain decrypts in place.
      */
     void decryptInto(u64 bucket_id, const u8* image, u8* plain) const;
+
+    /** @name Partial reads (Ring ORAM's online access)
+     *
+     * Ring reads bucket *metadata* (the header's slot addresses) for
+     * every path bucket but the payload of only ONE slot, so decrypting
+     * whole buckets would forfeit the scheme's bandwidth advantage.
+     * These decrypt a sub-range of the image against the same pad
+     * stream (the pad is positioned, not restarted, at the offset).
+     * @{ */
+
+    /**
+     * Decrypt only the bucket header: `plain` receives headerBytes()
+     * (seed field verbatim + decrypted slot headers), parseable with
+     * slotAddr/slotLeaf.
+     */
+    void decryptHeaderInto(u64 bucket_id, const u8* image,
+                           u8* plain) const;
+
+    /**
+     * Decrypt the payload of slot `s` only: `out` receives
+     * storedBlockBytes. `image` is the full stored bucket image.
+     */
+    void decryptSlotPayloadInto(u64 bucket_id, const u8* image, u32 s,
+                                u8* out) const;
+    /** @} */
 
     /**
      * Cipher seed pair for a bucket image stored under `stored_seed`
@@ -160,6 +176,13 @@ class BucketCodec {
     {
         return plain + payloadBase_ + s * params_.storedBlockBytes();
     }
+
+    /** Byte offset of slot `s`'s payload within a bucket image. */
+    u64
+    slotPayloadOffset(u32 s) const
+    {
+        return payloadBase_ + s * params_.storedBlockBytes();
+    }
     /** @} */
 
     /** Value of the monotonic global seed register. */
@@ -182,11 +205,17 @@ class BucketCodec {
     u64 domain() const { return domain_; }
 
   private:
+    /** XOR a positioned pad over image[off, off+len) into out (off is an
+     *  absolute image offset within the encrypted region, i.e. >= 8). */
+    void cryptRange(u64 pad_hi, u64 pad_lo, const u8* image, u64 off,
+                    u64 len, u8* out) const;
+
     OramParams params_;
     const StreamCipher* cipher_;
     SeedScheme scheme_;
     u64 domain_;
     u64 globalSeed_ = 1; // controller register (GlobalCounter scheme)
+    u32 slots_;       // serialized slots per bucket (Z or Z + S)
     u64 addrBytes_;
     u64 leafBytes_;
     u64 addrMask_;    // all-ones in addrBytes_: the serialized dummy addr

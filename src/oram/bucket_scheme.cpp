@@ -1,0 +1,358 @@
+#include "oram/bucket_scheme.hpp"
+
+namespace froram {
+
+// ---------------------------------------------------------------- Path
+
+void
+PathBucketScheme::readForAccess(BackendResult& res, Leaf leaf, Addr addr)
+{
+    (void)addr; // whole-path read: the target falls out with the rest
+    b_.fetchPathToStash(leaf, nullptr);
+    if (b_.config_.traceSink)
+        b_.config_.traceSink(
+            {TraceEvent::Kind::PathRead, b_.config_.treeId, leaf});
+    b_.stats_.inc("pathReads");
+    res.dramPs += b_.pathDramTime(leaf, /*is_write=*/false);
+}
+
+void
+PathBucketScheme::finishAccess(BackendResult& res, Leaf leaf)
+{
+    const OramParams& p = b_.config_.params;
+    b_.stash_.evictPath(leaf, p.levels, p.z, b_.evictSlots_.data());
+    b_.writebackPath(leaf, b_.evictSlots_.data());
+    b_.stash_.finishEviction();
+    if (b_.config_.traceSink)
+        b_.config_.traceSink(
+            {TraceEvent::Kind::PathWrite, b_.config_.treeId, leaf});
+    if (b_.config_.afterPathWrite)
+        b_.config_.afterPathWrite(leaf);
+    b_.stats_.inc("pathWrites");
+    res.dramPs += b_.pathDramTime(leaf, /*is_write=*/true);
+    res.bytesMoved = 2 * p.pathBytes();
+}
+
+// ---------------------------------------------------------------- Ring
+
+RingBucketScheme::RingBucketScheme(OramBackend& backend)
+    : BucketScheme(backend), rng_(backend.config_.schemeSeed)
+{
+    const OramParams& p = b_.config_.params;
+    spb_ = p.slotsPerBucket();
+    ringS_ = p.ringS;
+    ringA_ = p.ringA;
+    FRORAM_ASSERT(ringS_ != 0 && ringA_ != 0,
+                  "Ring scheme needs normalized ringS/ringA");
+    fullMask_ = spb_ >= 64 ? ~u64{0} : (u64{1} << spb_) - 1;
+    meta_.resize((u64{1} << (p.levels + 1)) - 1);
+    hdr_.resize(p.bucketHeaderBytes());
+    payload_.resize(p.storedBlockBytes());
+    bucketPlain_.resize(p.bucketPhysBytes());
+    liveMasks_.assign(p.levels + 1, 0);
+    ringSlots_.assign(u64{p.levels + 1} * spb_, nullptr);
+    perm_.resize(spb_);
+}
+
+void
+RingBucketScheme::onlineReadBucket(BackendResult& res, BucketCoord c,
+                                   Addr addr, bool timed,
+                                   u64& online_blocks)
+{
+    const OramParams& p = b_.config_.params;
+    const u64 id = OramBackend::heapIndex(c);
+    RingBucketMeta& m = meta_[id];
+    if (m.written == 0)
+        return; // virgin bucket: provably empty, nothing to hide yet
+    if (m.count >= ringS_)
+        earlyReshuffle(res, c, timed); // resets count; read proceeds
+    const u64 stored = p.storedBlockBytes();
+
+    // Metadata read: locate `addr` among the live slots, and learn which
+    // live slots hold dummies (the candidates for a cover read).
+    int target = -1;
+    u64 dummies = 0;
+    if (b_.rawPath()) {
+        const BucketCodec* codec = b_.storage_->codec();
+        if (!b_.storage_->readBucketHeaderRaw(id, hdr_.data()))
+            return;
+        for (u32 s = 0; s < spb_; ++s) {
+            if (((m.validMask >> s) & 1) == 0)
+                continue;
+            const Addr a = codec->slotAddr(hdr_.data(), s);
+            if (a == addr)
+                target = static_cast<int>(s);
+            else if (a == kDummyAddr)
+                dummies |= u64{1} << s;
+        }
+        u32 slot;
+        if (target >= 0) {
+            slot = static_cast<u32>(target);
+            b_.storage_->readSlotPayloadRaw(id, slot, payload_.data());
+            b_.stash_.insertBytes(addr,
+                                  codec->slotLeaf(hdr_.data(), slot),
+                                  payload_.data(), stored);
+        } else {
+            // Cover read: a random live dummy. Its payload is pad bytes
+            // the controller would discard; only the transfer is priced.
+            FRORAM_ASSERT(dummies != 0, "ring bucket out of dummies");
+            slot = nthSetBit(dummies,
+                             static_cast<u32>(
+                                 rng_.below(popcount64(dummies))));
+        }
+        m.validMask &= ~(u64{1} << slot);
+    } else {
+        // Bucket-layer storage (Meta/Null sims): decode once, same
+        // discipline.
+        Bucket bk = b_.storage_->readBucket(id);
+        for (u32 s = 0; s < spb_ && s < bk.slots.size(); ++s) {
+            if (((m.validMask >> s) & 1) == 0)
+                continue;
+            if (bk.slots[s].addr == addr)
+                target = static_cast<int>(s);
+            else if (!bk.slots[s].valid())
+                dummies |= u64{1} << s;
+        }
+        u32 slot;
+        if (target >= 0) {
+            slot = static_cast<u32>(target);
+            b_.stash_.insertBytes(addr, bk.slots[slot].leaf,
+                                  bk.slots[slot].data.data(),
+                                  bk.slots[slot].data.size());
+        } else if (dummies != 0) {
+            slot = nthSetBit(dummies,
+                             static_cast<u32>(
+                                 rng_.below(popcount64(dummies))));
+        } else {
+            // Content-free storage (Null) can run out of nominal
+            // dummies; burn any live slot, the image is vapor anyway.
+            FRORAM_ASSERT(m.validMask != 0, "ring bucket fully consumed");
+            slot = nthSetBit(m.validMask,
+                             static_cast<u32>(
+                                 rng_.below(popcount64(m.validMask))));
+        }
+        m.validMask &= ~(u64{1} << slot);
+    }
+    ++m.count;
+    ++online_blocks;
+    res.bytesMoved += p.bucketHeaderBytes() + stored;
+    if (timed) {
+        // One metadata+block burst train per touched bucket. The header
+        // and the chosen slot are not adjacent in the image; the burst
+        // count (what the timing model prices) is the same either way.
+        const u64 base = b_.layout_->addressOf(c);
+        const u64 burst = b_.mem_->burstBytes();
+        const u64 bursts = divCeil(p.bucketHeaderBytes() + stored, burst);
+        for (u64 j = 0; j < bursts; ++j)
+            dramReqs_.push_back({base + j * burst, false});
+    }
+}
+
+void
+RingBucketScheme::earlyReshuffle(BackendResult& res, BucketCoord c,
+                                 bool timed)
+{
+    const OramParams& p = b_.config_.params;
+    const u64 id = OramBackend::heapIndex(c);
+    RingBucketMeta& m = meta_[id];
+    const u64 stored = p.storedBlockBytes();
+
+    // Pull the bucket's live real blocks into the stash...
+    if (b_.rawPath()) {
+        const BucketCodec* codec = b_.storage_->codec();
+        if (b_.storage_->readBucketRaw(id, bucketPlain_.data())) {
+            for (u32 s = 0; s < spb_; ++s) {
+                if (((m.validMask >> s) & 1) == 0)
+                    continue;
+                const Addr a = codec->slotAddr(bucketPlain_.data(), s);
+                if (a == kDummyAddr)
+                    continue;
+                b_.stash_.insertBytes(
+                    a, codec->slotLeaf(bucketPlain_.data(), s),
+                    codec->slotPayload(bucketPlain_.data(), s), stored);
+            }
+        }
+    } else {
+        Bucket bk = b_.storage_->readBucket(id);
+        for (u32 s = 0; s < spb_ && s < bk.slots.size(); ++s) {
+            if (((m.validMask >> s) & 1) != 0 && bk.slots[s].valid())
+                b_.stash_.insert(bk.slots[s]);
+        }
+    }
+
+    // ...and rewrite it empty (all dummies) under a fresh pad. The
+    // stashed blocks re-enter the tree on later EvictPaths. This is the
+    // reshuffle-to-empty variant: simpler than write-back-in-place and
+    // oblivious for free, at the price of a little extra stash pressure.
+    std::fill(ringSlots_.begin(), ringSlots_.begin() + spb_, nullptr);
+    b_.storage_->writeBucketRaw(id, ringSlots_.data(), spb_);
+    m.validMask = fullMask_;
+    m.count = 0;
+    m.written = 1;
+    if (b_.config_.traceSink)
+        b_.config_.traceSink({TraceEvent::Kind::BucketReshuffle,
+                              b_.config_.treeId, id});
+    b_.stats_.inc("reshuffles");
+    res.bytesMoved += 2 * p.bucketPhysBytes();
+    if (timed) {
+        const u64 base = b_.layout_->addressOf(c);
+        const u64 burst = b_.mem_->burstBytes();
+        const u64 bursts = divCeil(p.bucketPhysBytes(), burst);
+        for (u64 j = 0; j < bursts; ++j) {
+            dramReqs_.push_back({base + j * burst, false});
+            dramReqs_.push_back({base + j * burst, true});
+        }
+    }
+}
+
+void
+RingBucketScheme::readForAccess(BackendResult& res, Leaf leaf, Addr addr)
+{
+    const OramParams& p = b_.config_.params;
+    const bool timed =
+        b_.mem_ != nullptr && b_.mem_->timed() && b_.layout_ != nullptr;
+    dramReqs_.clear();
+    u64 online_blocks = 0;
+    for (u32 l = 0; l <= p.levels; ++l) {
+        const BucketCoord c{l, leaf >> (p.levels - l)};
+        onlineReadBucket(res, c, addr, timed, online_blocks);
+    }
+    if (timed && !dramReqs_.empty())
+        res.dramPs += b_.mem_->accessBatch(dramReqs_);
+    if (b_.config_.traceSink)
+        b_.config_.traceSink(
+            {TraceEvent::Kind::PathRead, b_.config_.treeId, leaf});
+    b_.stats_.inc("onlineReads");
+    b_.stats_.inc("onlineBlocks", online_blocks);
+}
+
+void
+RingBucketScheme::finishAccess(BackendResult& res, Leaf leaf)
+{
+    (void)leaf; // Ring never writes back along the accessed path
+    ++round_;
+    if (round_ % ringA_ == 0)
+        scheduledEvict(res);
+}
+
+void
+RingBucketScheme::scheduledEvict(BackendResult& res)
+{
+    const OramParams& p = b_.config_.params;
+    const Leaf eleaf = reverseBits(evictG_, p.levels);
+    evictG_ = (evictG_ + 1) & (p.numLeaves() - 1);
+
+    if (b_.config_.beforePathRead)
+        b_.config_.beforePathRead(eleaf);
+
+    // Fetch the path's live blocks into the stash (dead slots were
+    // consumed by online reads; their stale images must not resurrect).
+    for (u32 l = 0; l <= p.levels; ++l) {
+        const u64 id =
+            OramBackend::heapIndex({l, eleaf >> (p.levels - l)});
+        liveMasks_[l] = meta_[id].written != 0 ? meta_[id].validMask : 0;
+    }
+    b_.fetchPathToStash(eleaf, liveMasks_.data());
+
+    // Greedy-evict Z real blocks per level, then scatter them across the
+    // Z+S wire slots at PRNG-chosen offsets so the next epoch's online
+    // reads touch unpredictable positions.
+    b_.stash_.evictPath(eleaf, p.levels, p.z, b_.evictSlots_.data());
+    for (u32 l = 0; l <= p.levels; ++l) {
+        for (u32 i = 0; i < spb_; ++i)
+            perm_[i] = i;
+        for (u32 i = spb_ - 1; i > 0; --i) {
+            const u32 j = static_cast<u32>(rng_.below(i + 1));
+            const u32 t = perm_[i];
+            perm_[i] = perm_[j];
+            perm_[j] = t;
+        }
+        Block** dst = ringSlots_.data() + u64{l} * spb_;
+        std::fill(dst, dst + spb_, nullptr);
+        for (u32 k = 0; k < p.z; ++k)
+            dst[perm_[k]] = b_.evictSlots_[u64{l} * p.z + k];
+    }
+    b_.writebackPath(eleaf, ringSlots_.data());
+    b_.stash_.finishEviction();
+
+    for (u32 l = 0; l <= p.levels; ++l) {
+        RingBucketMeta& m =
+            meta_[OramBackend::heapIndex({l, eleaf >> (p.levels - l)})];
+        m.validMask = fullMask_;
+        m.count = 0;
+        m.written = 1;
+    }
+    if (b_.config_.traceSink)
+        b_.config_.traceSink(
+            {TraceEvent::Kind::EvictPath, b_.config_.treeId, eleaf});
+    if (b_.config_.afterPathWrite)
+        b_.config_.afterPathWrite(eleaf);
+    b_.stats_.inc("evictPaths");
+    res.bytesMoved += 2 * p.pathBytes();
+    res.dramPs += b_.pathDramTime(eleaf, /*is_write=*/false);
+    res.dramPs += b_.pathDramTime(eleaf, /*is_write=*/true);
+}
+
+void
+RingBucketScheme::saveState(CheckpointWriter& w) const
+{
+    w.putU64(round_);
+    w.putU64(evictG_);
+    u64 s[4];
+    rng_.saveState(s);
+    for (const u64 v : s)
+        w.putU64(v);
+    u64 n = 0;
+    for (const RingBucketMeta& m : meta_)
+        n += m.written != 0 ? 1 : 0;
+    w.putU64(n);
+    for (u64 id = 0; id < meta_.size(); ++id) {
+        const RingBucketMeta& m = meta_[id];
+        if (m.written == 0)
+            continue;
+        w.putU64(id);
+        w.putU64(m.validMask);
+        w.putU32(m.count);
+    }
+}
+
+void
+RingBucketScheme::restoreState(CheckpointReader& r)
+{
+    round_ = r.getU64();
+    evictG_ = r.getU64();
+    u64 s[4];
+    for (u64& v : s)
+        v = r.getU64();
+    rng_.restoreState(s);
+    for (RingBucketMeta& m : meta_)
+        m = RingBucketMeta{};
+    const u64 n = r.getU64();
+    for (u64 i = 0; i < n; ++i) {
+        const u64 id = r.getU64();
+        if (id >= meta_.size())
+            throw CheckpointError("ring meta id out of range");
+        RingBucketMeta& m = meta_[id];
+        m.validMask = r.getU64();
+        m.count = r.getU32();
+        m.written = 1;
+        if ((m.validMask & ~fullMask_) != 0 || m.count > ringS_)
+            throw CheckpointError("ring meta entry corrupt");
+    }
+}
+
+// -------------------------------------------------------------- factory
+
+std::unique_ptr<BucketScheme>
+makeBucketScheme(OramBackend& backend)
+{
+    switch (backend.params().bucketScheme) {
+      case BucketSchemeKind::Path:
+        return std::make_unique<PathBucketScheme>(backend);
+      case BucketSchemeKind::Ring:
+        return std::make_unique<RingBucketScheme>(backend);
+    }
+    panic("unknown bucket scheme");
+}
+
+} // namespace froram

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Pluggable bucket schemes: the per-access tree-touch discipline.
+ *
+ * A BucketScheme owns what is *policy* about an ORAM access — the bucket
+ * metadata layout, the read discipline (whole path vs one block per
+ * bucket), the eviction schedule (inline per access vs every A accesses)
+ * and early reshuffles — while the OramBackend keeps what is *mechanism*:
+ * the stash, the gather/prefetch storage layer, the one-kernel spans
+ * crypto and the timing plane. The paper's Frontend stack (PLB,
+ * compressed PosMap, PMMAC) composes with either scheme unchanged.
+ *
+ * Two schemes:
+ *  - PathBucketScheme: classic Path ORAM [26]. Z-slot buckets, every
+ *    access reads the whole path into the stash and evicts back along
+ *    the same path. This is the determinism/trace oracle: its storage
+ *    traffic, trace and statistics are bit-identical to the pre-seam
+ *    backend.
+ *  - RingBucketScheme: Ring ORAM (Ren et al.). Buckets carry Z real
+ *    slots plus S dummies and per-bucket valid/count metadata; an online
+ *    access reads bucket metadata plus ONE block per path bucket (a
+ *    random live dummy when the bucket misses), evictions run every A
+ *    accesses along deterministic reverse-lexicographic paths, and a
+ *    bucket whose read count hits S is early-reshuffled. Online
+ *    bandwidth drops from (L+1)*Z blocks to ~(L+1) blocks per access.
+ */
+#ifndef FRORAM_ORAM_BUCKET_SCHEME_HPP
+#define FRORAM_ORAM_BUCKET_SCHEME_HPP
+
+#include <memory>
+#include <vector>
+
+#include "oram/backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/**
+ * Interface between the shared access pipeline (OramBackend::accessInto)
+ * and a bucket discipline. One access runs:
+ *
+ *   issueFetch -> readForAccess -> [op logic on the stash] -> finishAccess
+ *
+ * readForAccess must guarantee that if a live copy of `addr` was in the
+ * tree on this path, it is in the stash afterwards. finishAccess performs
+ * whatever writeback the discipline schedules for this access (all of it
+ * for Path; possibly none for Ring).
+ */
+class BucketScheme {
+  public:
+    explicit BucketScheme(OramBackend& backend) : b_(backend) {}
+    virtual ~BucketScheme() = default;
+
+    virtual BucketSchemeKind kind() const = 0;
+
+    /** Read discipline for one access to `addr` along `leaf`'s path. */
+    virtual void readForAccess(BackendResult& res, Leaf leaf,
+                               Addr addr) = 0;
+
+    /** Eviction/writeback discipline after the op logic ran. */
+    virtual void finishAccess(BackendResult& res, Leaf leaf) = 0;
+
+    /**
+     * Is slot `slot` of bucket `bucket_id` live (holds current data)?
+     * Path slots always are; Ring slots die when an online read consumes
+     * them and resurrect on the next eviction/reshuffle rewrite. Used by
+     * the backend's test-only tree scans to skip stale ghosts.
+     */
+    virtual bool
+    slotLive(u64 bucket_id, u32 slot) const
+    {
+        (void)bucket_id;
+        (void)slot;
+        return true;
+    }
+
+    /** @name Checkpoint/restore of scheme-private trusted state
+     *
+     * A scheme with hasState() == true gets a kTagScheme section inside
+     * the backend's checkpoint frame; a stateless scheme writes nothing,
+     * which keeps pre-seam (Path) checkpoint images byte-identical.
+     * @{ */
+    virtual bool hasState() const { return false; }
+    virtual void saveState(CheckpointWriter& w) const { (void)w; }
+    virtual void restoreState(CheckpointReader& r) { (void)r; }
+    /** @} */
+
+  protected:
+    OramBackend& b_;
+};
+
+/** Classic Path ORAM: whole-path read + inline same-path eviction. */
+class PathBucketScheme final : public BucketScheme {
+  public:
+    using BucketScheme::BucketScheme;
+
+    BucketSchemeKind
+    kind() const override
+    {
+        return BucketSchemeKind::Path;
+    }
+
+    void readForAccess(BackendResult& res, Leaf leaf, Addr addr) override;
+    void finishAccess(BackendResult& res, Leaf leaf) override;
+};
+
+/**
+ * Ring ORAM engine.
+ *
+ * Trusted per-bucket metadata (validMask/count/written) lives client-side
+ * in this object, as the paper's controller would hold it on-chip or
+ * under MAC; the untrusted image only stores the (encrypted) slot
+ * headers. All scheme randomness (dummy-slot draws, eviction slot
+ * permutations) comes from a private deterministic PRNG seeded by
+ * BackendConfig::schemeSeed, so runs are reproducible and
+ * checkpoint/restore can replay them bit for bit.
+ */
+class RingBucketScheme final : public BucketScheme {
+  public:
+    explicit RingBucketScheme(OramBackend& backend);
+
+    BucketSchemeKind
+    kind() const override
+    {
+        return BucketSchemeKind::Ring;
+    }
+
+    void readForAccess(BackendResult& res, Leaf leaf, Addr addr) override;
+    void finishAccess(BackendResult& res, Leaf leaf) override;
+
+    bool
+    slotLive(u64 bucket_id, u32 slot) const override
+    {
+        const RingBucketMeta& m = meta_[bucket_id];
+        return m.written != 0 && ((m.validMask >> slot) & 1) != 0;
+    }
+
+    bool hasState() const override { return true; }
+    void saveState(CheckpointWriter& w) const override;
+    void restoreState(CheckpointReader& r) override;
+
+    /** @name Introspection (tests/benches) @{ */
+    u32 ringS() const { return ringS_; }
+    u32 ringA() const { return ringA_; }
+    /** Accesses serviced since start (drives the eviction schedule). */
+    u64 round() const { return round_; }
+    /** Reverse-lex eviction counter (number of EvictPaths issued). */
+    u64 evictCounter() const { return evictG_; }
+    /** Online reads still owed on bucket `id` before it must reshuffle. */
+    u32
+    readsUntilReshuffle(u64 id) const
+    {
+        return ringS_ - meta_[id].count;
+    }
+    /** @} */
+
+    /** Reverse the low `bits` bits of `v` (the reverse-lexicographic
+     *  eviction order of Ring ORAM / the G counter of [26]). */
+    static u64
+    reverseBits(u64 v, u32 bits)
+    {
+        u64 r = 0;
+        for (u32 i = 0; i < bits; ++i)
+            r |= ((v >> i) & 1) << (bits - 1 - i);
+        return r;
+    }
+
+  private:
+    /** Client-side metadata for one bucket. */
+    struct RingBucketMeta {
+        u64 validMask = 0; ///< bit s: slot s unread since last rewrite
+        u32 count = 0;     ///< online reads since last rewrite
+        u8 written = 0;    ///< bucket has been written at least once
+    };
+
+    void onlineReadBucket(BackendResult& res, BucketCoord c, Addr addr,
+                          bool timed, u64& online_blocks);
+    void earlyReshuffle(BackendResult& res, BucketCoord c, bool timed);
+    void scheduledEvict(BackendResult& res);
+
+    /** Index of the (k+1)-th set bit of `mask` (k < popcount). */
+    static u32
+    nthSetBit(u64 mask, u32 k)
+    {
+        while (k--)
+            mask &= mask - 1;
+        return log2Floor(mask & (~mask + 1));
+    }
+
+    u32 spb_;   ///< slots per bucket (Z + S)
+    u32 ringS_; ///< dummy slots / max online reads per bucket epoch
+    u32 ringA_; ///< accesses per scheduled EvictPath
+    u64 fullMask_;
+    u64 round_ = 0;
+    u64 evictG_ = 0;
+    Xoshiro256 rng_;
+    std::vector<RingBucketMeta> meta_; ///< heap-indexed, all buckets
+
+    // Scratch, sized once so the steady state stays allocation-free.
+    std::vector<u8> hdr_;            ///< decrypted bucket header
+    std::vector<u8> payload_;        ///< one decrypted slot payload
+    std::vector<u8> bucketPlain_;    ///< whole-bucket arena (reshuffle)
+    std::vector<u64> liveMasks_;     ///< per-level masks for evict fetch
+    std::vector<Block*> ringSlots_;  ///< (L+1)*spb writeback pointers
+    std::vector<u32> perm_;          ///< per-level slot permutation
+    std::vector<DramRequest> dramReqs_; ///< online-read timing batch
+};
+
+/** Build the scheme selected by the backend's OramParams. */
+std::unique_ptr<BucketScheme> makeBucketScheme(OramBackend& backend);
+
+} // namespace froram
+
+#endif // FRORAM_ORAM_BUCKET_SCHEME_HPP

@@ -4,6 +4,28 @@
 
 namespace froram {
 
+const char*
+toString(BucketSchemeKind kind)
+{
+    switch (kind) {
+      case BucketSchemeKind::Path:
+        return "path";
+      case BucketSchemeKind::Ring:
+        return "ring";
+    }
+    return "?";
+}
+
+BucketSchemeKind
+bucketSchemeFromName(const std::string& name)
+{
+    if (name == "path")
+        return BucketSchemeKind::Path;
+    if (name == "ring")
+        return BucketSchemeKind::Ring;
+    fatal("unknown bucket scheme: ", name);
+}
+
 std::string
 OramParams::toString() const
 {
@@ -14,6 +36,8 @@ OramParams::toString() const
        << "B, footprint=" << (footprintBytes() >> 20) << "MiB";
     if (macBytes)
         os << ", mac=" << macBytes << "B";
+    if (bucketScheme == BucketSchemeKind::Ring)
+        os << ", ring{S=" << ringS << ", A=" << ringA << "}";
     os << "}";
     return os.str();
 }

@@ -13,7 +13,22 @@
 namespace froram {
 
 /**
- * Geometry of one Path ORAM tree.
+ * Bucket-level access discipline of one ORAM tree (the scheme seam).
+ *
+ *  - Path: read-path-and-evict (Stefanov et al.). Every access reads all
+ *    Z blocks of every bucket on the path and writes the path back.
+ *  - Ring: Ring ORAM (Ren et al., "Constants Count"). Buckets carry S
+ *    extra dummy slots; an access reads ONE block per bucket (the block
+ *    of interest or a fresh dummy) and evictions run every A accesses on
+ *    deterministic reverse-lexicographic paths.
+ */
+enum class BucketSchemeKind : u8 { Path, Ring };
+
+const char* toString(BucketSchemeKind kind);
+BucketSchemeKind bucketSchemeFromName(const std::string& name);
+
+/**
+ * Geometry of one ORAM tree.
  *
  * Defaults mirror Table 1 of the paper: 64-byte blocks, Z = 4, and a tree
  * sized so that real blocks occupy 50% of bucket slots (a 4 GB ORAM needs
@@ -22,14 +37,46 @@ namespace froram {
 struct OramParams {
     u64 numBlocks = 0;      ///< N: real data blocks
     u64 blockBytes = 64;    ///< B: payload bytes per block
-    u32 z = 4;              ///< Z: block slots per bucket
+    u32 z = 4;              ///< Z: real-block slots per bucket
     u32 levels = 0;         ///< L: tree levels are 0..L inclusive
     u64 macBytes = 0;       ///< extra per-block MAC bytes (PMMAC)
     u64 burstBytes = 64;    ///< DRAM burst size buckets are padded to
     u32 stashCapacity = 200; ///< stash block slots (excl. transient path)
+    /** Bucket-level access discipline served by the tree engine. */
+    BucketSchemeKind bucketScheme = BucketSchemeKind::Path;
+    u32 ringS = 0; ///< Ring: extra dummy slots per bucket (0 = derive)
+    u32 ringA = 0; ///< Ring: accesses per scheduled eviction (0 = derive)
 
     /** Number of leaves = 2^L. */
     u64 numLeaves() const { return u64{1} << levels; }
+
+    /**
+     * Physical slots per bucket: Z for Path, Z + S for Ring (the dummy
+     * slots exist on the wire so the one-block online read has fresh
+     * dummies to draw from). All serialized-size math below uses this.
+     */
+    u32
+    slotsPerBucket() const
+    {
+        return bucketScheme == BucketSchemeKind::Ring ? z + ringS : z;
+    }
+
+    /**
+     * Fill derived Ring knobs left at 0: S = Z + 2 dummies (enough that
+     * early reshuffles stay rare at A accesses per eviction) and
+     * A = max(2, Z - 1), conservative against stash growth (Ring ORAM
+     * requires A <= 2Z for a bounded stash; smaller A evicts more).
+     */
+    void
+    normalizeRing()
+    {
+        if (bucketScheme != BucketSchemeKind::Ring)
+            return;
+        if (ringS == 0)
+            ringS = z + 2;
+        if (ringA == 0)
+            ringA = z > 3 ? z - 1 : 2;
+    }
 
     /** Total buckets in the tree. */
     u64 numBuckets() const { return (u64{1} << (levels + 1)) - 1; }
@@ -53,14 +100,14 @@ struct OramParams {
     u64
     bucketHeaderBytes() const
     {
-        return 8 + z * slotHeaderBytes();
+        return 8 + slotsPerBucket() * slotHeaderBytes();
     }
 
     /** Unpadded serialized bucket size. */
     u64
     bucketRawBytes() const
     {
-        return bucketHeaderBytes() + z * storedBlockBytes();
+        return bucketHeaderBytes() + slotsPerBucket() * storedBlockBytes();
     }
 
     /** Physical bucket size padded to whole DRAM bursts. */
@@ -103,6 +150,12 @@ struct OramParams {
             fatal("ORAM levels out of range: ", levels);
         if (blockBytes == 0)
             fatal("block size must be nonzero");
+        if (bucketScheme == BucketSchemeKind::Ring) {
+            if (ringS == 0 || ringA == 0)
+                fatal("Ring scheme needs S and A (call normalizeRing)");
+            if (slotsPerBucket() > 64)
+                fatal("Ring bucket slots exceed the valid-bitmap width");
+        }
     }
 
     /**

@@ -233,24 +233,6 @@ class Stash {
         evicted_.clear();
     }
 
-    /** Legacy convenience eviction: copies the chosen blocks out.
-     *  @return per-level vectors of evicted blocks ([0] = root .. [L]) */
-    std::vector<std::vector<Block>>
-    evictPath(Leaf leaf, u32 levels, u32 z)
-    {
-        std::vector<Block*> slots(u64{levels + 1} * z, nullptr);
-        evictPath(leaf, levels, z, slots.data());
-        std::vector<std::vector<Block>> out(levels + 1);
-        for (u32 v = 0; v <= levels; ++v) {
-            for (u32 s = 0; s < z; ++s) {
-                if (slots[u64{v} * z + s] != nullptr)
-                    out[v].push_back(*slots[u64{v} * z + s]);
-            }
-        }
-        finishEviction();
-        return out;
-    }
-
     u64 occupancy() const { return size_; }
     u32 capacity() const { return capacity_; }
     const StatSet& stats() const { return stats_; }

@@ -205,7 +205,7 @@ BackedTreeStorage::replaceImage(u64 id, std::vector<u8> image)
 void
 BackedTreeStorage::writeBucket(u64 id, const Bucket& bucket)
 {
-    FRORAM_ASSERT(bucket.slots.size() == codec_.params().z,
+    FRORAM_ASSERT(bucket.slots.size() == codec_.slots(),
                   "bucket arity");
     std::vector<const Block*> slots(bucket.slots.size());
     for (u32 s = 0; s < slots.size(); ++s)
@@ -230,10 +230,49 @@ BackedTreeStorage::readBucketRaw(u64 id, u8* plain)
     return true;
 }
 
+bool
+BackedTreeStorage::readBucketHeaderRaw(u64 id, u8* plain)
+{
+    if (!hasImage(id))
+        return false;
+    const u64 addr = slotAddr(id);
+    const u64 header = codec_.headerBytes();
+    if (const u8* image = backend_.view(addr, header)) {
+        codec_.decryptHeaderInto(id, image, plain);
+    } else {
+        backend_.read(addr, plain, header);
+        codec_.decryptHeaderInto(id, plain, plain);
+    }
+    return true;
+}
+
+bool
+BackedTreeStorage::readSlotPayloadRaw(u64 id, u32 slot, u8* out)
+{
+    if (!hasImage(id))
+        return false;
+    const u64 addr = slotAddr(id);
+    // The positioned decrypt wants the seed field and the slot's bytes;
+    // a full-bucket view serves both without a copy. Viewless backends
+    // read only those two small ranges into a sparse image window
+    // instead of transferring the whole bucket.
+    if (const u8* image = backend_.view(addr, slotBytes_)) {
+        codec_.decryptSlotPayloadInto(id, image, slot, out);
+        return true;
+    }
+    const u64 stored = codec_.params().storedBlockBytes();
+    const u64 payload_off = codec_.slotPayloadOffset(slot);
+    std::vector<u8> image(payload_off + stored);
+    backend_.read(addr, image.data(), 8); // seed field
+    backend_.read(addr + payload_off, image.data() + payload_off, stored);
+    codec_.decryptSlotPayloadInto(id, image.data(), slot, out);
+    return true;
+}
+
 void
 BackedTreeStorage::writeBucketRaw(u64 id, const Block* const* slots, u32 z)
 {
-    FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+    FRORAM_ASSERT(z == codec_.slots(), "bucket arity");
     const u64 addr = slotAddr(id);
 
     // Only the PerBucket scheme consults the previous image, and it only
@@ -327,7 +366,7 @@ BackedTreeStorage::readPathRaw(u64 leaf, u8* plain, u8* present)
 void
 BackedTreeStorage::writePathRaw(u64 leaf, const Block* const* slots, u32 z)
 {
-    FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+    FRORAM_ASSERT(z == codec_.slots(), "bucket arity");
     const u64 phys = slotBytes_;
     const u32 nruns = layout_.pathRuns(leaf, runs_.data(),
                                        levelOff_.data());

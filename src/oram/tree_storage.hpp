@@ -114,6 +114,41 @@ class TreeStorage {
         }
         writeBucket(id, bucket);
     }
+
+    /** @name Partial bucket reads (Ring ORAM's online access)
+     *
+     * Ring reads every path bucket's *header* (slot addresses) but the
+     * payload of only one slot, so whole-bucket decrypts would forfeit
+     * its bandwidth advantage. Only meaningful when codec() != null;
+     * payload-less stores (Meta/Null) serve Ring through the Bucket
+     * layer instead.
+     * @{ */
+
+    /**
+     * Decrypt only the header of bucket `id` into `plain`
+     * (codec()->headerBytes(); parseable with the codec slot
+     * accessors). Returns false for never-written buckets.
+     */
+    virtual bool
+    readBucketHeaderRaw(u64 id, u8* plain)
+    {
+        (void)id;
+        (void)plain;
+        panic("partial bucket reads unsupported by this storage");
+    }
+
+    /**
+     * Decrypt the payload of slot `slot` of bucket `id` into `out`
+     * (storedBlockBytes). Returns false for never-written buckets.
+     */
+    virtual bool
+    readSlotPayloadRaw(u64 id, u32 slot, u8* out)
+    {
+        (void)id;
+        (void)slot;
+        (void)out;
+        panic("partial bucket reads unsupported by this storage");
+    }
     /** @} */
 
     /** @name Whole-path gather IO
@@ -197,14 +232,24 @@ class CodecTreeStorage : public TreeStorage {
     {
         if (!hasImage(id))
             return Bucket::empty(codec_.params());
-        return codec_.decode(id, rawImage(id));
+        const std::vector<u8> image = rawImage(id);
+        return decodeImage(id, image.data());
     }
 
     void
     writeBucket(u64 id, const Bucket& bucket) override
     {
-        std::vector<u8> fresh;
-        codec_.encode(id, bucket, prevImageFor(id), fresh);
+        FRORAM_ASSERT(bucket.slots.size() == codec_.slots(),
+                      "bucket arity");
+        const std::vector<u8> prev = prevImageFor(id);
+        const u64 seed =
+            codec_.nextSeed(prev.empty() ? 0 : loadLe(prev.data(), 8));
+        std::vector<const Block*> slots(codec_.slots());
+        for (u32 s = 0; s < codec_.slots(); ++s)
+            slots[s] = &bucket.slots[s];
+        std::vector<u8> fresh(codec_.physBytes());
+        codec_.encodeInto(id, seed, slots.data(), fresh.data(),
+                          fresh.data());
         replaceImage(id, std::move(fresh));
     }
 
@@ -223,6 +268,26 @@ class CodecTreeStorage : public TreeStorage {
             return false;
         const std::vector<u8> image = rawImage(id);
         codec_.decryptInto(id, image.data(), plain);
+        return true;
+    }
+
+    bool
+    readBucketHeaderRaw(u64 id, u8* plain) override
+    {
+        if (!hasImage(id))
+            return false;
+        const std::vector<u8> image = rawImage(id);
+        codec_.decryptHeaderInto(id, image.data(), plain);
+        return true;
+    }
+
+    bool
+    readSlotPayloadRaw(u64 id, u32 slot, u8* out) override
+    {
+        if (!hasImage(id))
+            return false;
+        const std::vector<u8> image = rawImage(id);
+        codec_.decryptSlotPayloadInto(id, image.data(), slot, out);
         return true;
     }
 
@@ -279,6 +344,27 @@ class CodecTreeStorage : public TreeStorage {
         return {};
     }
 
+    /** Decrypt + deserialize a full stored image into a Bucket (the
+     *  non-hot-path convenience behind readBucket). */
+    Bucket
+    decodeImage(u64 id, const u8* image) const
+    {
+        Bucket bucket = Bucket::empty(codec_.params());
+        std::vector<u8> plain(codec_.physBytes());
+        codec_.decryptInto(id, image, plain.data());
+        const u64 stored = codec_.params().storedBlockBytes();
+        for (u32 s = 0; s < codec_.slots(); ++s) {
+            Block& slot = bucket.slots[s];
+            slot.addr = codec_.slotAddr(plain.data(), s);
+            slot.leaf = codec_.slotLeaf(plain.data(), s);
+            if (slot.valid()) {
+                const u8* p = codec_.slotPayload(plain.data(), s);
+                slot.data.assign(p, p + stored);
+            }
+        }
+        return bucket;
+    }
+
     BucketCodec codec_;
 };
 
@@ -305,7 +391,7 @@ class EncryptedTreeStorage : public CodecTreeStorage {
         auto it = images_.find(id);
         if (it == images_.end())
             return Bucket::empty(codec_.params());
-        return codec_.decode(id, it->second);
+        return decodeImage(id, it->second.data());
     }
 
     bool
@@ -318,12 +404,32 @@ class EncryptedTreeStorage : public CodecTreeStorage {
         return true;
     }
 
+    bool
+    readBucketHeaderRaw(u64 id, u8* plain) override
+    {
+        auto it = images_.find(id);
+        if (it == images_.end())
+            return false;
+        codec_.decryptHeaderInto(id, it->second.data(), plain);
+        return true;
+    }
+
+    bool
+    readSlotPayloadRaw(u64 id, u32 slot, u8* out) override
+    {
+        auto it = images_.find(id);
+        if (it == images_.end())
+            return false;
+        codec_.decryptSlotPayloadInto(id, it->second.data(), slot, out);
+        return true;
+    }
+
     /** Re-encode in place over the stored image; allocation-free once a
      *  bucket's image exists. */
     void
     writeBucketRaw(u64 id, const Block* const* slots, u32 z) override
     {
-        FRORAM_ASSERT(z == codec_.params().z, "bucket arity");
+        FRORAM_ASSERT(z == codec_.slots(), "bucket arity");
         u64 prev_seed = 0;
         auto it = images_.find(id);
         if (codec_.scheme() == SeedScheme::PerBucket &&
@@ -431,6 +537,12 @@ class BackedTreeStorage : public CodecTreeStorage {
     /** Zero-copy write: encodes from slot pointers and streams the
      *  ciphertext into the backend's memory in place. */
     void writeBucketRaw(u64 id, const Block* const* slots, u32 z) override;
+
+    /** @name Partial bucket reads (Ring online access), straight out of
+     *  the backend's memory via view() when available. @{ */
+    bool readBucketHeaderRaw(u64 id, u8* plain) override;
+    bool readSlotPayloadRaw(u64 id, u32 slot, u8* out) override;
+    /** @} */
 
     /** @name Whole-path gather IO (see TreeStorage)
      *  @{ */
@@ -542,7 +654,7 @@ class MetaTreeStorage : public TreeStorage {
         Bucket b = Bucket::empty(params_);
         if (it == meta_.end())
             return b;
-        for (u32 s = 0; s < params_.z; ++s) {
+        for (u32 s = 0; s < params_.slotsPerBucket(); ++s) {
             b.slots[s].addr = it->second[s].addr;
             b.slots[s].leaf = it->second[s].leaf;
         }
@@ -553,8 +665,8 @@ class MetaTreeStorage : public TreeStorage {
     writeBucket(u64 id, const Bucket& bucket) override
     {
         auto& m = meta_[id];
-        m.resize(params_.z);
-        for (u32 s = 0; s < params_.z; ++s) {
+        m.resize(params_.slotsPerBucket());
+        for (u32 s = 0; s < params_.slotsPerBucket(); ++s) {
             m[s].addr = bucket.slots[s].addr;
             m[s].leaf = bucket.slots[s].leaf;
         }
@@ -564,10 +676,10 @@ class MetaTreeStorage : public TreeStorage {
     void
     writeBucketRaw(u64 id, const Block* const* slots, u32 z) override
     {
-        FRORAM_ASSERT(z == params_.z, "bucket arity");
+        FRORAM_ASSERT(z == params_.slotsPerBucket(), "bucket arity");
         auto& m = meta_[id];
-        m.resize(params_.z);
-        for (u32 s = 0; s < params_.z; ++s) {
+        m.resize(params_.slotsPerBucket());
+        for (u32 s = 0; s < params_.slotsPerBucket(); ++s) {
             m[s].addr = slots[s] != nullptr ? slots[s]->addr : kDummyAddr;
             m[s].leaf = slots[s] != nullptr ? slots[s]->leaf : kNoLeaf;
         }
@@ -599,7 +711,7 @@ class MetaTreeStorage : public TreeStorage {
         const u64 count = r.getU64();
         for (u64 i = 0; i < count; ++i) {
             auto& slots = meta_[r.getU64()];
-            slots.resize(params_.z);
+            slots.resize(params_.slotsPerBucket());
             for (auto& s : slots) {
                 s.addr = r.getU64();
                 s.leaf = r.getU64();

@@ -44,10 +44,16 @@ struct Block {
 
 /** One adversary-visible event emitted by a Backend. */
 struct TraceEvent {
-    enum class Kind { PathRead, PathWrite };
+    enum class Kind {
+        PathRead,       ///< whole-path read (Path) / one-block-per-bucket
+                        ///< online read (Ring); leaf = path touched
+        PathWrite,      ///< inline path writeback (Path scheme)
+        EvictPath,      ///< scheduled reverse-lex eviction (Ring scheme)
+        BucketReshuffle ///< early reshuffle; leaf field = bucket heap id
+    };
     Kind kind;
     u32 treeId;  ///< which physical ORAM tree (Recursive baseline has many)
-    Leaf leaf;   ///< which path was touched
+    Leaf leaf;   ///< which path (or bucket, for reshuffles) was touched
 };
 
 /** Observer of the adversary-visible request sequence. */

@@ -210,6 +210,22 @@ ShardedOramService::submit(std::vector<ShardRequest> batch)
     return fut;
 }
 
+std::future<ShardedOramService::BatchResult>
+ShardedOramService::submit(const AccessRequest* reqs, size_t n)
+{
+    std::vector<ShardRequest> batch(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (reqs[i].prefetchOnly)
+            fatal("prefetchOnly requests are not supported by the "
+                  "sharded service");
+        batch[i].addr = reqs[i].addr;
+        batch[i].isWrite = reqs[i].isWrite;
+        if (reqs[i].isWrite && reqs[i].writeData != nullptr)
+            batch[i].writeData = *reqs[i].writeData;
+    }
+    return submit(std::move(batch));
+}
+
 FrontendResult
 ShardedOramService::access(Addr addr, bool is_write,
                            const std::vector<u8>* write_data)
@@ -298,22 +314,30 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
         if (st.failed)
             fatal("shard ", shard_index,
                   " is wedged by an earlier error: ", st.failReason);
-        // Pipeline stage overlap: hint the NEXT popped request's path
-        // to the storage layer before this one's compute runs. The
-        // hint never mutates ORAM state, so per-shard results and
-        // traces stay bit-identical to the unpipelined worker.
-        if (next != nullptr)
-            st.sys->frontend().prefetchHint(shardLocalAddr(
-                next->batch->reqs[next->index].addr));
+        // Pipeline stage overlap via the unified submit surface: a
+        // prefetchOnly entry for the NEXT popped request's path runs
+        // before this one's compute. The hint never mutates ORAM
+        // state, so per-shard results and traces stay bit-identical
+        // to the unpipelined worker.
         const std::vector<u8>* payload =
             req.isWrite && !req.writeData.empty() ? &req.writeData
                                                   : nullptr;
+        if (next != nullptr) {
+            AccessRequest hint;
+            hint.addr = shardLocalAddr(
+                next->batch->reqs[next->index].addr);
+            hint.prefetchOnly = true;
+            AccessResult ignored;
+            st.sys->frontend().submit(&hint, &ignored, 1);
+        }
+        AccessRequest ar;
+        ar.addr = shardLocalAddr(req.addr);
+        ar.isWrite = req.isWrite;
+        ar.writeData = payload;
         // Straight into the batch slot: the slot is this request's
         // final home, so there is nothing to gain from a bounce
         // through per-shard scratch.
-        st.sys->frontend().accessInto(slot.result,
-                                      shardLocalAddr(req.addr),
-                                      req.isWrite, payload);
+        st.sys->frontend().submit(&ar, &slot.result, 1);
     } catch (...) {
         const std::exception_ptr eptr = std::current_exception();
         if (!st.failed) {

@@ -116,8 +116,18 @@ class ShardedOramService {
      */
     std::future<BatchResult> submit(std::vector<ShardRequest> batch);
 
+    /**
+     * Unified-surface overload: the Frontend/OramSystem AccessRequest
+     * span form. Payloads are copied into the owned ShardRequest batch
+     * (the async service outlives the caller's buffers); prefetchOnly
+     * entries are not supported here and throw FatalError — hinting is
+     * the shard workers' job.
+     */
+    std::future<BatchResult> submit(const AccessRequest* reqs, size_t n);
+
     /** Blocking convenience wrapper preserving OramSystem::access
-     *  semantics for a single request (routed through the pool). */
+     *  semantics for a single request (routed through the pool;
+     *  deprecated thin wrapper over submit()). */
     FrontendResult access(Addr addr, bool is_write,
                           const std::vector<u8>* write_data = nullptr);
 

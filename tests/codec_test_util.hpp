@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Test-side Bucket <-> image round-trip helpers over BucketCodec's raw
+ * span layer. The production codec API is allocation-free and operates
+ * on caller buffers (encodeInto/decryptInto + slot accessors); these
+ * wrappers rebuild the convenient decoded-Bucket view that tests like
+ * to assert against, without the library carrying a legacy vector API.
+ */
+#ifndef FRORAM_TESTS_CODEC_TEST_UTIL_HPP
+#define FRORAM_TESTS_CODEC_TEST_UTIL_HPP
+
+#include <vector>
+
+#include "oram/bucket.hpp"
+#include "oram/bucket_codec.hpp"
+
+namespace froram {
+
+/**
+ * Encode `b` as the next image of bucket `bucket_id`, chaining the seed
+ * off `prev` (the bucket's previous image; empty = never written).
+ */
+inline void
+encodeBucket(BucketCodec& codec, u64 bucket_id, const Bucket& b,
+             const std::vector<u8>& prev, std::vector<u8>& out)
+{
+    const u64 prev_seed =
+        prev.size() >= 8 ? loadLe(prev.data(), 8) : 0;
+    const u64 seed = codec.nextSeed(prev_seed);
+    std::vector<const Block*> slots(codec.slots(), nullptr);
+    for (u32 s = 0; s < codec.slots() && s < b.slots.size(); ++s) {
+        if (b.slots[s].valid())
+            slots[s] = &b.slots[s];
+    }
+    std::vector<u8> stage(codec.physBytes());
+    out.assign(codec.physBytes(), 0);
+    codec.encodeInto(bucket_id, seed, slots.data(), stage.data(),
+                     out.data());
+}
+
+/** Decrypt + deserialize an image (empty = all-dummy bucket). */
+inline Bucket
+decodeBucket(const BucketCodec& codec, u64 bucket_id,
+             const std::vector<u8>& image)
+{
+    Bucket b(codec.slots());
+    if (image.empty())
+        return b;
+    std::vector<u8> plain(codec.physBytes());
+    codec.decryptInto(bucket_id, image.data(), plain.data());
+    const u64 stored = codec.params().storedBlockBytes();
+    for (u32 s = 0; s < codec.slots(); ++s) {
+        b.slots[s].addr = codec.slotAddr(plain.data(), s);
+        b.slots[s].leaf = codec.slotLeaf(plain.data(), s);
+        if (b.slots[s].valid()) {
+            const u8* p = codec.slotPayload(plain.data(), s);
+            b.slots[s].data.assign(p, p + stored);
+        }
+    }
+    return b;
+}
+
+} // namespace froram
+
+#endif // FRORAM_TESTS_CODEC_TEST_UTIL_HPP

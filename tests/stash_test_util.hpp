@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Test-side convenience eviction over Stash's pointer-slot API. The
+ * production eviction hands out pool-resident slot pointers
+ * (evictPath(leaf, levels, z, slots) + finishEviction()); this wrapper
+ * rebuilds the per-level copied-vector view that invariant tests assert
+ * against.
+ */
+#ifndef FRORAM_TESTS_STASH_TEST_UTIL_HPP
+#define FRORAM_TESTS_STASH_TEST_UTIL_HPP
+
+#include <vector>
+
+#include "oram/stash.hpp"
+
+namespace froram {
+
+/** Evict up to z blocks per level for `leaf`'s path; returns per-level
+ *  copies ([0] = root .. [levels]). */
+inline std::vector<std::vector<Block>>
+evictPathCopy(Stash& stash, Leaf leaf, u32 levels, u32 z)
+{
+    std::vector<Block*> slots(u64{levels + 1} * z, nullptr);
+    stash.evictPath(leaf, levels, z, slots.data());
+    std::vector<std::vector<Block>> out(levels + 1);
+    for (u32 v = 0; v <= levels; ++v) {
+        for (u32 s = 0; s < z; ++s) {
+            if (slots[u64{v} * z + s] != nullptr)
+                out[v].push_back(*slots[u64{v} * z + s]);
+        }
+    }
+    stash.finishEviction();
+    return out;
+}
+
+} // namespace froram
+
+#endif // FRORAM_TESTS_STASH_TEST_UTIL_HPP

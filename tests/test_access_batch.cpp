@@ -28,13 +28,17 @@ struct Combo {
     SchemeId scheme;
     const char* schemeName;
     StorageBackendKind backend;
+    BucketSchemeKind bucket = BucketSchemeKind::Path;
 };
 
 std::string
 comboName(const ::testing::TestParamInfo<Combo>& info)
 {
-    return std::string(info.param.schemeName) + "_" +
-           toString(info.param.backend);
+    std::string name = std::string(info.param.schemeName) + "_" +
+                       toString(info.param.backend);
+    if (info.param.bucket == BucketSchemeKind::Ring)
+        name += "_ring";
+    return name;
 }
 
 class BatchEquivalence : public ::testing::TestWithParam<Combo> {};
@@ -56,6 +60,7 @@ makeConfig(const Combo& combo, const std::string& path)
     // paper's forced 19 levels (whose 4 GB region would not fit the
     // default mmap file sizing in a unit test).
     cfg.phantomForceLevels = 0;
+    cfg.bucketScheme = combo.bucket;
     return cfg;
 }
 
@@ -169,8 +174,70 @@ INSTANTIATE_TEST_SUITE_P(
         Combo{SchemeId::Phantom, "Phantom",
               StorageBackendKind::TimedDram},
         Combo{SchemeId::Phantom, "Phantom",
-              StorageBackendKind::MmapFile}),
+              StorageBackendKind::MmapFile},
+        // Ring bucket scheme: the pipelined hint must not perturb the
+        // round counter, the evict schedule or per-bucket metadata.
+        Combo{SchemeId::PlbCompressed, "PC", StorageBackendKind::Flat,
+              BucketSchemeKind::Ring},
+        Combo{SchemeId::PlbCompressed, "PC",
+              StorageBackendKind::TimedDram, BucketSchemeKind::Ring},
+        Combo{SchemeId::PlbIntegrityCompressed, "PIC",
+              StorageBackendKind::MmapFile, BucketSchemeKind::Ring},
+        Combo{SchemeId::Recursive, "R", StorageBackendKind::Flat,
+              BucketSchemeKind::Ring}),
     comboName);
+
+TEST(SubmitSurface, PrefetchOnlyEntriesAreSemanticsFree)
+{
+    // The unified surface: a submit() span with interleaved
+    // prefetchOnly entries must leave results, trace and all trusted
+    // state bit-identical to the same real requests submitted alone.
+    const Combo combo{SchemeId::PlbCompressed, "PC",
+                      StorageBackendKind::Flat, BucketSchemeKind::Ring};
+    OramSystem plain(combo.scheme, makeConfig(combo, ""));
+    OramSystem hinted(combo.scheme, makeConfig(combo, ""));
+
+    Xoshiro256 rng(5);
+    std::vector<AccessRequest> real(96);
+    std::vector<std::vector<u8>> payloads(real.size());
+    for (u64 i = 0; i < real.size(); ++i) {
+        real[i].addr = rng.below(256);
+        if (i % 3 == 0) {
+            real[i].isWrite = true;
+            payloads[i].assign(plain.frontend().dataBlockBytes(),
+                               static_cast<u8>(rng.next()));
+            real[i].writeData = &payloads[i];
+        }
+    }
+    std::vector<AccessRequest> mixed;
+    for (u64 i = 0; i < real.size(); ++i) {
+        if (i % 2 == 0) {
+            AccessRequest hint;
+            hint.addr = real[i].addr;
+            hint.prefetchOnly = true;
+            mixed.push_back(hint);
+        }
+        mixed.push_back(real[i]);
+    }
+
+    std::vector<AccessResult> r_plain, r_mixed;
+    plain.submit(real, r_plain);
+    hinted.submit(mixed, r_mixed);
+
+    u64 j = 0;
+    for (u64 i = 0; i < mixed.size(); ++i) {
+        if (mixed[i].prefetchOnly) {
+            EXPECT_TRUE(r_mixed[i].data.empty());
+            continue;
+        }
+        EXPECT_EQ(r_mixed[i].data, r_plain[j].data) << "request " << j;
+        EXPECT_EQ(r_mixed[i].cycles, r_plain[j].cycles) << "request " << j;
+        ++j;
+    }
+    EXPECT_EQ(j, r_plain.size());
+    EXPECT_EQ(plain.checkpoint(CheckpointScope::Full),
+              hinted.checkpoint(CheckpointScope::Full));
+}
 
 } // namespace
 } // namespace froram

@@ -476,9 +476,13 @@ runWorkload(OramSystem& sys)
     return reads;
 }
 
-TEST(SystemConformance, IdenticalResultsAcrossBackends)
+class SystemConformance
+    : public ::testing::TestWithParam<BucketSchemeKind> {};
+
+TEST_P(SystemConformance, IdenticalResultsAcrossBackends)
 {
-    const std::string path = tempPath("system");
+    const std::string path =
+        tempPath(std::string("system_") + toString(GetParam()));
     std::remove(path.c_str());
 
     std::vector<std::vector<std::vector<u8>>> results;
@@ -490,6 +494,7 @@ TEST(SystemConformance, IdenticalResultsAcrossBackends)
         c.storage = StorageMode::Encrypted;
         c.backend = kind;
         c.backendPath = path;
+        c.bucketScheme = GetParam();
         OramSystem sys(SchemeId::PlbIntegrityCompressed, c);
         EXPECT_EQ(sys.storage().kind(), kind);
         results.push_back(runWorkload(sys));
@@ -500,6 +505,13 @@ TEST(SystemConformance, IdenticalResultsAcrossBackends)
     EXPECT_EQ(results[0], results[2]) << "flat vs mmap diverged";
     std::remove(path.c_str());
 }
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SystemConformance,
+                         ::testing::Values(BucketSchemeKind::Path,
+                                           BucketSchemeKind::Ring),
+                         [](const auto& info) {
+                             return std::string(toString(info.param));
+                         });
 
 // --------------------------------------------------- differential restore
 
@@ -522,15 +534,22 @@ copyFile(const std::string& from, const std::string& to)
  * trace), stash occupancy and DRAM-model cycle counts must all match
  * bit for bit.
  */
+struct RestoreCase {
+    StorageBackendKind kind;
+    BucketSchemeKind bucket;
+};
+
 class DifferentialRestore
-    : public ::testing::TestWithParam<StorageBackendKind> {};
+    : public ::testing::TestWithParam<RestoreCase> {};
 
 TEST_P(DifferentialRestore, RestoredCloneMatchesLiveSystem)
 {
-    const StorageBackendKind kind = GetParam();
-    // Per-kind names: ctest runs the three instances in parallel
-    // processes sharing one temp dir.
-    const std::string tag = toString(kind);
+    const StorageBackendKind kind = GetParam().kind;
+    // Per-case names: ctest runs the instances in parallel processes
+    // sharing one temp dir.
+    const std::string tag =
+        std::string(toString(kind)) + "_" +
+        toString(GetParam().bucket);
     const std::string live_path = tempPath("diff_live_" + tag);
     const std::string clone_path = tempPath("diff_clone_" + tag);
     const std::string snap = tempPath("diff_snap_" + tag);
@@ -544,6 +563,7 @@ TEST_P(DifferentialRestore, RestoredCloneMatchesLiveSystem)
     cfg.backendPath = live_path;
     cfg.onChipTargetBytes = 512;
     cfg.collectTrace = true;
+    cfg.bucketScheme = GetParam().bucket;
     OramSystem live(SchemeId::PlbIntegrityCompressed, cfg);
 
     // Phase 1: N accesses, then commit a snapshot.
@@ -624,13 +644,26 @@ TEST_P(DifferentialRestore, RestoredCloneMatchesLiveSystem)
         std::remove(p.c_str());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBackends, DifferentialRestore,
-                         ::testing::Values(StorageBackendKind::Flat,
-                                           StorageBackendKind::TimedDram,
-                                           StorageBackendKind::MmapFile),
-                         [](const auto& info) {
-                             return std::string(toString(info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, DifferentialRestore,
+    ::testing::Values(
+        RestoreCase{StorageBackendKind::Flat, BucketSchemeKind::Path},
+        RestoreCase{StorageBackendKind::TimedDram,
+                    BucketSchemeKind::Path},
+        RestoreCase{StorageBackendKind::MmapFile,
+                    BucketSchemeKind::Path},
+        // Ring: the restored clone must replay online reads (whose
+        // dummy choices consume the scheme RNG), the evict schedule and
+        // early reshuffles cycle-identically on every medium.
+        RestoreCase{StorageBackendKind::Flat, BucketSchemeKind::Ring},
+        RestoreCase{StorageBackendKind::TimedDram,
+                    BucketSchemeKind::Ring},
+        RestoreCase{StorageBackendKind::MmapFile,
+                    BucketSchemeKind::Ring}),
+    [](const auto& info) {
+        return std::string(toString(info.param.kind)) + "_" +
+               toString(info.param.bucket);
+    });
 
 // ------------------------------------------- mmap reopen validation (PR 1 gap)
 
@@ -719,7 +752,7 @@ TEST(MmapFileBackend, SuperblockRecordsAndReplaysRegionLog)
     std::remove(path.c_str());
 }
 
-TEST(SystemConformance, TimedBackendAccumulatesDramTime)
+TEST(SystemConformanceTimed, TimedBackendAccumulatesDramTime)
 {
     OramSystemConfig c;
     c.capacityBytes = 1 << 20;

@@ -8,10 +8,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "stash_test_util.hpp"
 #include "checkpoint/checkpoint.hpp"
 #include "core/oram_system.hpp"
 #include "crypto/prf.hpp"
@@ -225,8 +228,8 @@ TEST(StashCheckpoint, ExactStateRoundTrip)
     // Eviction — which walks the table and the free list — must make
     // identical choices on both instances.
     const u32 levels = 10, z = 4;
-    auto ev_a = a.evictPath(77, levels, z);
-    auto ev_b = b.evictPath(77, levels, z);
+    auto ev_a = evictPathCopy(a, 77, levels, z);
+    auto ev_b = evictPathCopy(b, 77, levels, z);
     ASSERT_EQ(ev_a.size(), ev_b.size());
     for (u64 l = 0; l < ev_a.size(); ++l) {
         ASSERT_EQ(ev_a[l].size(), ev_b[l].size()) << "level " << l;
@@ -386,12 +389,18 @@ stashOccupancy(OramSystem& sys, SchemeId scheme)
     }
 }
 
-class SystemCheckpoint : public ::testing::TestWithParam<SchemeId> {};
+struct CkptCase {
+    SchemeId scheme;
+    BucketSchemeKind bucket;
+};
+
+class SystemCheckpoint : public ::testing::TestWithParam<CkptCase> {};
 
 TEST_P(SystemCheckpoint, RestoredSystemContinuesBitIdentically)
 {
-    const SchemeId scheme = GetParam();
-    const OramSystemConfig cfg = smallConfig();
+    const SchemeId scheme = GetParam().scheme;
+    OramSystemConfig cfg = smallConfig();
+    cfg.bucketScheme = GetParam().bucket;
 
     OramSystem live(scheme, cfg);
     drive(live, 100, 11);
@@ -413,20 +422,77 @@ TEST_P(SystemCheckpoint, RestoredSystemContinuesBitIdentically)
 
 INSTANTIATE_TEST_SUITE_P(
     AllFrontends, SystemCheckpoint,
-    ::testing::Values(SchemeId::PlbCompressed,
-                      SchemeId::PlbIntegrityCompressed,
-                      SchemeId::PlbIntegrity, SchemeId::Recursive,
-                      SchemeId::Phantom),
+    ::testing::Values(
+        CkptCase{SchemeId::PlbCompressed, BucketSchemeKind::Path},
+        CkptCase{SchemeId::PlbIntegrityCompressed,
+                 BucketSchemeKind::Path},
+        CkptCase{SchemeId::PlbIntegrity, BucketSchemeKind::Path},
+        CkptCase{SchemeId::Recursive, BucketSchemeKind::Path},
+        CkptCase{SchemeId::Phantom, BucketSchemeKind::Path},
+        // Ring carries per-bucket metadata, the round counter and the
+        // dummy-shuffle RNG through the kTagScheme section.
+        CkptCase{SchemeId::PlbCompressed, BucketSchemeKind::Ring},
+        CkptCase{SchemeId::PlbIntegrityCompressed,
+                 BucketSchemeKind::Ring},
+        CkptCase{SchemeId::Recursive, BucketSchemeKind::Ring},
+        CkptCase{SchemeId::Phantom, BucketSchemeKind::Ring}),
     [](const auto& info) {
-        switch (info.param) {
-          case SchemeId::PlbCompressed: return std::string("PC");
-          case SchemeId::PlbIntegrityCompressed: return std::string("PIC");
-          case SchemeId::PlbIntegrity: return std::string("PI");
-          case SchemeId::Recursive: return std::string("R");
-          case SchemeId::Phantom: return std::string("Phantom");
-          default: return std::string("unknown");
+        std::string name;
+        switch (info.param.scheme) {
+          case SchemeId::PlbCompressed: name = "PC"; break;
+          case SchemeId::PlbIntegrityCompressed: name = "PIC"; break;
+          case SchemeId::PlbIntegrity: name = "PI"; break;
+          case SchemeId::Recursive: name = "R"; break;
+          case SchemeId::Phantom: name = "Phantom"; break;
+          default: name = "unknown"; break;
         }
+        if (info.param.bucket == BucketSchemeKind::Ring)
+            name += "_ring";
+        return name;
     });
+
+TEST(SystemCheckpoint, RingSchemeSectionTamperRejected)
+{
+    // The kTagScheme section (Ring's bucket metadata) sits under the
+    // envelope MAC like everything else: a flipped valid-bit must not
+    // restore into a scheme that would read a consumed slot as live.
+    OramSystemConfig cfg = smallConfig();
+    cfg.bucketScheme = BucketSchemeKind::Ring;
+    OramSystem live(SchemeId::PlbCompressed, cfg);
+    drive(live, 100, 31);
+    const std::vector<u8> blob = live.checkpoint();
+
+    // Locate the scheme section by its tag bytes in the payload.
+    u8 tag[4];
+    storeLe(tag, ckpt::kTagScheme, 4);
+    const auto it = std::search(blob.begin() + ckpt::kHeaderBytes,
+                                blob.end(), tag, tag + 4);
+    ASSERT_NE(it, blob.end()) << "no kTagScheme section in Ring blob";
+    std::vector<u8> tampered = blob;
+    tampered[static_cast<u64>(it - blob.begin()) + 12] ^= 0x04;
+
+    OramSystem victim(SchemeId::PlbCompressed, cfg);
+    EXPECT_THROW(victim.restore(tampered), CheckpointError);
+    // The untampered blob still restores.
+    victim.restore(blob);
+    std::vector<u64> ca, cb;
+    drive(live, 60, 32, &ca);
+    drive(victim, 60, 32, &cb);
+    EXPECT_EQ(ca, cb);
+}
+
+TEST(SystemCheckpoint, PathSchemeBlobHasNoSchemeSection)
+{
+    // Path is stateless: its checkpoint format is byte-compatible with
+    // pre-seam snapshots, so no kTagScheme frame may appear.
+    OramSystem live(SchemeId::PlbCompressed, smallConfig());
+    drive(live, 60, 33);
+    const std::vector<u8> blob = live.checkpoint();
+    u8 tag[4];
+    storeLe(tag, ckpt::kTagScheme, 4);
+    EXPECT_EQ(std::search(blob.begin(), blob.end(), tag, tag + 4),
+              blob.end());
+}
 
 TEST(SystemCheckpoint, MetaStorageModeRoundTrips)
 {

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "codec_test_util.hpp"
 #include "core/oram_system.hpp"
 #include "core/unified_frontend.hpp"
 #include "integrity/adversary.hpp"
@@ -313,7 +314,7 @@ TEST(EncryptionSeeds, BucketSeedRewindForcesPadReuse)
     plain2.slots[0].data.assign(p.storedBlockBytes(), 0x22);
 
     std::vector<u8> img1, img2;
-    codec.encode(7, plain1, {}, img1); // seed s
+    encodeBucket(codec, 7, plain1, {}, img1); // seed s
     // Adversary rewinds the seed: re-encode sees seed s-1 and reuses s.
     auto rewound = img1;
     u64 seed = 0;
@@ -322,7 +323,7 @@ TEST(EncryptionSeeds, BucketSeedRewindForcesPadReuse)
     seed -= 1;
     for (int i = 0; i < 8; ++i)
         rewound[i] = static_cast<u8>(seed >> (8 * i));
-    codec.encode(7, plain2, rewound, img2); // pad reuse!
+    encodeBucket(codec, 7, plain2, rewound, img2); // pad reuse!
 
     // Same pad => ciphertext XOR equals plaintext XOR in the payload
     // region: the adversary learns plaintext relationships.
@@ -351,9 +352,9 @@ TEST(EncryptionSeeds, GlobalSeedNeverReusesPads)
     plain2.slots[0].data.assign(p.storedBlockBytes(), 0x22);
 
     std::vector<u8> img1, img2;
-    codec.encode(7, plain1, {}, img1);
+    encodeBucket(codec, 7, plain1, {}, img1);
     auto rewound = img1; // seed tampering is irrelevant for fresh writes
-    codec.encode(7, plain2, rewound, img2);
+    encodeBucket(codec, 7, plain2, rewound, img2);
     const size_t payload0 = 8 + p.z * p.slotHeaderBytes();
     u32 leaking = 0;
     for (size_t i = payload0; i < payload0 + 64; ++i) {

@@ -9,23 +9,36 @@
  * accesses to the same block use independent leaves, and the Section
  * 4.1.2 PLB-without-unified-tree leak exists (as walk-depth structure)
  * while the unified tree hides it.
+ *
+ * The statistical tests run for both bucket schemes (TEST_P over the
+ * scheme axis): Path and Ring differ in what a "path read" physically
+ * moves, but the adversary-visible leaf sequence must be uniform and
+ * workload-independent either way. Scheme-specific trace composition
+ * (Path's strict read/write pairing, Ring's deterministic eviction
+ * cadence) is pinned per scheme at the end.
  */
 #include <gtest/gtest.h>
 
 #include "core/unified_frontend.hpp"
+#include "oram/bucket_scheme.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 
 namespace froram {
 namespace {
 
+class SchemeObliviousness
+    : public ::testing::TestWithParam<BucketSchemeKind> {};
+
 struct TraceHarness {
     std::vector<TraceEvent> events;
+    BucketSchemeKind scheme = BucketSchemeKind::Path;
 
     UnifiedFrontendConfig
     config()
     {
         UnifiedFrontendConfig c;
+        c.bucketScheme = scheme;
         c.numBlocks = 4096;
         c.blockBytes = 64;
         c.format = PosMapFormat::Kind::Compressed;
@@ -45,9 +58,10 @@ struct TraceHarness {
     }
 };
 
-TEST(Obliviousness, LeafSequenceIsUniform)
+TEST_P(SchemeObliviousness, LeafSequenceIsUniform)
 {
     TraceHarness h;
+    h.scheme = GetParam();
     auto fe = h.make(nullptr);
     const u64 leaves = fe->backend().params().numLeaves();
     // Program: sequential scan (maximum structure in the address trace).
@@ -64,11 +78,12 @@ TEST(Obliviousness, LeafSequenceIsUniform)
         << "path access distribution must look uniform";
 }
 
-TEST(Obliviousness, RepeatedAccessUsesIndependentLeaves)
+TEST_P(SchemeObliviousness, RepeatedAccessUsesIndependentLeaves)
 {
     // Accessing the same block repeatedly must produce fresh leaves
     // every time (the core Path ORAM security argument).
     TraceHarness h;
+    h.scheme = GetParam();
     auto fe = h.make(nullptr);
     for (int i = 0; i < 400; ++i)
         fe->access(42, false);
@@ -86,13 +101,14 @@ TEST(Obliviousness, RepeatedAccessUsesIndependentLeaves)
     EXPECT_LT(static_cast<double>(repeats) / seq.size(), 0.01);
 }
 
-TEST(Obliviousness, TwoProgramsProduceIndistinguishableTraces)
+TEST_P(SchemeObliviousness, TwoProgramsProduceIndistinguishableTraces)
 {
     // Program A: sequential unit stride. Program B: stride X (the two
     // programs of Section 4.1.2). Their *unified-tree* traces must be
     // statistically identical per event.
     auto run = [&](u64 stride) {
         TraceHarness h;
+        h.scheme = GetParam();
         auto fe = h.make(nullptr);
         Addr a = 0;
         for (int i = 0; i < 3000; ++i) {
@@ -112,11 +128,12 @@ TEST(Obliviousness, TwoProgramsProduceIndistinguishableTraces)
     EXPECT_LT(a.ksDistance(b), 0.03);
 }
 
-TEST(Obliviousness, AllUnifiedEventsTouchOneTree)
+TEST_P(SchemeObliviousness, AllUnifiedEventsTouchOneTree)
 {
     // With the unified ORAM tree, the adversary never learns *which*
     // recursion level an access serves (Section 4.1.3).
     TraceHarness h;
+    h.scheme = GetParam();
     auto fe = h.make(nullptr);
     for (Addr a = 0; a < 500; ++a)
         fe->access(a, false);
@@ -124,7 +141,7 @@ TEST(Obliviousness, AllUnifiedEventsTouchOneTree)
         EXPECT_EQ(e.treeId, 0u);
 }
 
-TEST(Obliviousness, PlbWithoutUnifiedTreeWouldLeak)
+TEST_P(SchemeObliviousness, PlbWithoutUnifiedTreeWouldLeak)
 {
     // Section 4.1.2 demonstration. The PLB's walk depth (how many
     // PosMap ORAMs would be accessed) differs structurally between
@@ -134,6 +151,7 @@ TEST(Obliviousness, PlbWithoutUnifiedTreeWouldLeak)
     // (previous tests); here we show the signal it removed is real.
     auto depths = [&](u64 stride) {
         TraceHarness h;
+        h.scheme = GetParam();
         auto fe = h.make(nullptr);
         const u32 x = fe->format().x();
         u64 walk_accesses = 0, data_accesses = 0;
@@ -156,7 +174,8 @@ TEST(Obliviousness, TraceLengthIsTheOnlyWorkloadSignal)
 {
     // For a fixed number of *backend* accesses, traces from different
     // programs are exchangeable. Verify composition: every backend
-    // access is exactly one PathRead followed by one PathWrite.
+    // access is exactly one PathRead followed by one PathWrite. (Path
+    // scheme only: Ring decouples reads from evictions, pinned below.)
     TraceHarness h;
     auto fe = h.make(nullptr);
     for (int i = 0; i < 500; ++i)
@@ -167,6 +186,48 @@ TEST(Obliviousness, TraceLengthIsTheOnlyWorkloadSignal)
         EXPECT_EQ(h.events[i + 1].kind, TraceEvent::Kind::PathWrite);
         EXPECT_EQ(h.events[i].leaf, h.events[i + 1].leaf);
     }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeObliviousness,
+                         ::testing::Values(BucketSchemeKind::Path,
+                                           BucketSchemeKind::Ring),
+                         [](const auto& info) {
+                             return std::string(toString(info.param));
+                         });
+
+TEST(Obliviousness, RingTraceCompositionIsDeterministic)
+{
+    // Ring's analogue of the pairing test: one PathRead (the online
+    // read) per backend access, one EvictPath every A accesses, and the
+    // EvictPath leaf order is fixed by the reverse-lexicographic
+    // schedule — none of it depends on the program.
+    TraceHarness h;
+    h.scheme = BucketSchemeKind::Ring;
+    auto fe = h.make(nullptr);
+    const u32 a_cadence =
+        static_cast<const RingBucketScheme&>(fe->backend().scheme())
+            .ringA();
+    for (int i = 0; i < 500; ++i)
+        fe->access((i * 797) % 4096, i % 2 == 0);
+    u64 reads = 0, evicts = 0;
+    std::vector<Leaf> evict_leaves;
+    for (const auto& e : h.events) {
+        if (e.kind == TraceEvent::Kind::PathRead)
+            ++reads;
+        if (e.kind == TraceEvent::Kind::EvictPath) {
+            ++evicts;
+            evict_leaves.push_back(e.leaf);
+        }
+    }
+    ASSERT_GT(reads, 0u);
+    EXPECT_EQ(evicts, reads / a_cadence);
+    // Reverse-lex: the g-th eviction touches bit-reversed(g).
+    const u32 levels = fe->backend().params().levels;
+    const u64 leaves = fe->backend().params().numLeaves();
+    for (u64 g = 0; g < evict_leaves.size(); ++g)
+        EXPECT_EQ(evict_leaves[g],
+                  RingBucketScheme::reverseBits(g % leaves, levels))
+            << "eviction " << g;
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 
 #include <map>
 
+#include "stash_test_util.hpp"
 #include "cachesim/core_model.hpp"
 #include "util/histogram.hpp"
 #include "core/unified_frontend.hpp"
@@ -137,7 +138,7 @@ TEST(StashProperty, GreedyEvictionIsMaximal)
             stash.insert(std::move(b));
         }
         const Leaf path = rng.below(u64{1} << levels);
-        auto out = stash.evictPath(path, levels, z);
+        auto out = evictPathCopy(stash, path, levels, z);
         for (u32 v = 0; v <= levels; ++v) {
             if (out[v].size() == z)
                 continue; // bucket full

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Ring ORAM bucket-scheme tests: reference-model consistency across
+ * storage layers, the deterministic reverse-lexicographic eviction
+ * schedule, early reshuffles, metadata invariants, online-bandwidth
+ * accounting and checkpoint round-trips of the scheme state.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/oram_system.hpp"
+#include "mem/storage_backend.hpp"
+#include "oram/backend.hpp"
+#include "oram/bucket_scheme.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+struct RingCase {
+    const char* name;
+    u64 numBlocks;
+    u64 blockBytes;
+    u32 z;
+    u32 ringS; ///< 0 = normalizeRing default
+    u32 ringA; ///< 0 = normalizeRing default
+    bool backed; ///< BackedTreeStorage over a flat medium (path-IO
+                 ///< gather + partial reads) vs map-resident Encrypted
+};
+
+class RingBackendTest : public ::testing::TestWithParam<RingCase> {
+  protected:
+    void
+    SetUp() override
+    {
+        const RingCase c = GetParam();
+        params_ = OramParams::forCapacity(c.numBlocks * c.blockBytes,
+                                          c.blockBytes, c.z);
+        params_.bucketScheme = BucketSchemeKind::Ring;
+        params_.ringS = c.ringS;
+        params_.ringA = c.ringA;
+        params_.normalizeRing();
+
+        BackendConfig bc;
+        bc.params = params_;
+        bc.schemeSeed = 0xabc123;
+        std::unique_ptr<TreeStorage> storage;
+        if (c.backed) {
+            StorageBackendConfig sc;
+            sc.kind = StorageBackendKind::Flat;
+            store_ = makeStorageBackend(sc);
+            storage = makeTreeStorage(StorageMode::Encrypted, params_,
+                                      &cipher_, SeedScheme::GlobalCounter,
+                                      store_.get());
+        } else {
+            storage = std::make_unique<EncryptedTreeStorage>(params_,
+                                                             &cipher_);
+        }
+        backend_ = std::make_unique<OramBackend>(
+            bc, std::move(storage),
+            std::make_unique<FlatLayout>(params_.levels,
+                                         params_.bucketPhysBytes()),
+            store_.get());
+    }
+
+    RingBucketScheme&
+    ring()
+    {
+        return static_cast<RingBucketScheme&>(backend_->scheme());
+    }
+
+    Leaf randLeaf() { return rng_.below(params_.numLeaves()); }
+
+    std::vector<u8>
+    pattern(Addr a, u32 version)
+    {
+        std::vector<u8> d(params_.blockBytes);
+        for (size_t i = 0; i < d.size(); ++i)
+            d[i] = static_cast<u8>(a * 131 + version * 17 + i);
+        return d;
+    }
+
+    OramParams params_;
+    AesCtrCipher cipher_;
+    std::unique_ptr<StorageBackend> store_;
+    std::unique_ptr<OramBackend> backend_;
+    Xoshiro256 rng_{123};
+};
+
+TEST_P(RingBackendTest, ReadYourWrites)
+{
+    // Functional model: leaf bookkeeping stands in for the Frontend;
+    // data must survive online reads, scheduled evictions and early
+    // reshuffles interleaving arbitrarily.
+    std::map<Addr, Leaf> posmap;
+    std::map<Addr, u32> version;
+    const u64 n = std::min<u64>(params_.numBlocks, 64);
+
+    for (u32 round = 0; round < 4; ++round) {
+        for (Addr a = 0; a < n; ++a) {
+            const Leaf use = posmap.count(a) ? posmap[a] : randLeaf();
+            const Leaf fresh = randLeaf();
+            posmap[a] = fresh;
+            const auto data = pattern(a, round);
+            backend_->access(Op::Write, a, use, fresh, &data);
+            version[a] = round;
+        }
+        for (Addr a = 0; a < n; ++a) {
+            const Addr target = (a * 31 + 7) % n;
+            const Leaf use = posmap[target];
+            const Leaf fresh = randLeaf();
+            posmap[target] = fresh;
+            const auto r =
+                backend_->access(Op::Read, target, use, fresh);
+            ASSERT_TRUE(r.found) << "block " << target << " lost";
+            EXPECT_EQ(r.block.data, pattern(target, version[target]))
+                << "stale data for block " << target;
+        }
+    }
+}
+
+TEST_P(RingBackendTest, BlockIsOnPathOrInStash)
+{
+    // The tree invariant, with Ring's twist: only LIVE slots count (a
+    // consumed slot's stale image is not the block's home).
+    std::map<Addr, Leaf> posmap;
+    const u64 n = std::min<u64>(params_.numBlocks, 32);
+    for (Addr a = 0; a < n; ++a) {
+        const Leaf fresh = randLeaf();
+        const auto data = pattern(a, 0);
+        backend_->access(Op::Write, a,
+                         posmap.count(a) ? posmap[a] : randLeaf(), fresh,
+                         &data);
+        posmap[a] = fresh;
+    }
+    for (const auto& [addr, leaf] : posmap) {
+        if (backend_->stash().contains(addr))
+            continue;
+        const auto where = backend_->locateInTree(addr);
+        ASSERT_TRUE(where.has_value()) << "block " << addr << " lost";
+        // The bucket must lie on the path to the mapped leaf.
+        const u32 l = where->level;
+        EXPECT_EQ(where->index, leaf >> (params_.levels - l))
+            << "block " << addr << " off its path";
+    }
+}
+
+TEST_P(RingBackendTest, OnlineBandwidthBelowWholePath)
+{
+    // Ring's point: the online read touches at most one block (plus
+    // header) per path bucket, vs Z blocks per bucket for Path.
+    std::map<Addr, Leaf> posmap;
+    const u64 n = std::min<u64>(params_.numBlocks, 64);
+    for (u32 round = 0; round < 3; ++round) {
+        for (Addr a = 0; a < n; ++a) {
+            const Leaf fresh = randLeaf();
+            const auto data = pattern(a, round);
+            backend_->access(Op::Write, a,
+                             posmap.count(a) ? posmap[a] : randLeaf(),
+                             fresh, &data);
+            posmap[a] = fresh;
+        }
+    }
+    const u64 accesses = backend_->stats().get("accesses");
+    const u64 online = backend_->stats().get("onlineBlocks");
+    ASSERT_GT(accesses, 0u);
+    // <= (L+1) online blocks per access...
+    EXPECT_LE(online, accesses * (params_.levels + 1));
+    // ...which beats Path's (L+1)*Z whenever Z > 1.
+    EXPECT_LT(online, accesses * (params_.levels + 1) * params_.z);
+}
+
+TEST_P(RingBackendTest, MetadataInvariants)
+{
+    std::map<Addr, Leaf> posmap;
+    const u64 n = std::min<u64>(params_.numBlocks, 48);
+    for (u32 round = 0; round < 3; ++round) {
+        for (Addr a = 0; a < n; ++a) {
+            const Leaf fresh = randLeaf();
+            const auto data = pattern(a, round);
+            backend_->access(Op::Write, a,
+                             posmap.count(a) ? posmap[a] : randLeaf(),
+                             fresh, &data);
+            posmap[a] = fresh;
+        }
+    }
+    const RingBucketScheme& r = ring();
+    EXPECT_EQ(r.round(), backend_->stats().get("accesses"));
+    // Every bucket owes the scheme at most S reads before a reshuffle;
+    // readsUntilReshuffle never underflows (count <= S).
+    const u64 buckets = (u64{1} << (params_.levels + 1)) - 1;
+    for (u64 id = 0; id < buckets; ++id)
+        EXPECT_LE(r.readsUntilReshuffle(id), r.ringS()) << "bucket " << id;
+    // The scheduled-eviction cadence: one EvictPath per A accesses.
+    EXPECT_EQ(backend_->stats().get("evictPaths"),
+              backend_->stats().get("accesses") / r.ringA());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RingBackendTest,
+    ::testing::Values(
+        RingCase{"map_defaults", 1 << 10, 64, 4, 0, 0, false},
+        RingCase{"map_tight_s", 1 << 10, 64, 4, 3, 2, false},
+        RingCase{"backed_defaults", 1 << 10, 64, 4, 0, 0, true},
+        RingCase{"backed_z8", 1 << 12, 32, 8, 0, 0, true}),
+    [](const ::testing::TestParamInfo<RingCase>& info) {
+        return info.param.name;
+    });
+
+TEST(RingScheme, ReverseLexSequence)
+{
+    EXPECT_EQ(RingBucketScheme::reverseBits(0, 3), 0u);
+    EXPECT_EQ(RingBucketScheme::reverseBits(1, 3), 4u);
+    EXPECT_EQ(RingBucketScheme::reverseBits(2, 3), 2u);
+    EXPECT_EQ(RingBucketScheme::reverseBits(3, 3), 6u);
+    EXPECT_EQ(RingBucketScheme::reverseBits(4, 3), 1u);
+    // Consecutive reverse-lex leaves maximize shared-prefix turnover:
+    // all 2^L leaves appear once per 2^L evictions.
+    std::set<u64> seen;
+    for (u64 g = 0; g < 8; ++g)
+        seen.insert(RingBucketScheme::reverseBits(g, 3));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RingSystem, EvictScheduleIsWorkloadIndependent)
+{
+    // System-level: the EvictPath trace is the deterministic reverse-lex
+    // sequence regardless of which addresses the program touches.
+    auto run = [](u64 addr_stride) {
+        OramSystemConfig cfg;
+        cfg.capacityBytes = 64 * 1024;
+        cfg.blockBytes = 64;
+        cfg.backend = StorageBackendKind::Flat;
+        cfg.storage = StorageMode::Encrypted;
+        cfg.bucketScheme = BucketSchemeKind::Ring;
+        cfg.collectTrace = true;
+        OramSystem sys(SchemeId::PlbCompressed, cfg);
+        for (u64 i = 0; i < 200; ++i)
+            sys.frontend().access((i * addr_stride) % 512, i % 2 == 0);
+        std::vector<Leaf> evicts;
+        for (const TraceEvent& e : sys.trace()) {
+            if (e.kind == TraceEvent::Kind::EvictPath && e.treeId == 0)
+                evicts.push_back(e.leaf);
+        }
+        return evicts;
+    };
+    const auto a = run(1);
+    const auto b = run(97);
+    ASSERT_FALSE(a.empty());
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], b[i]) << "evict " << i << " depends on workload";
+}
+
+TEST(RingSystem, EarlyReshuffleFires)
+{
+    // A hammered address forces its path buckets through S reads long
+    // before the reverse-lex schedule refreshes them.
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 64 * 1024;
+    cfg.blockBytes = 64;
+    cfg.backend = StorageBackendKind::Flat;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.bucketScheme = BucketSchemeKind::Ring;
+    cfg.ringS = 3; // tight dummy budget
+    cfg.ringA = 4; // slow scheduled evictions
+    cfg.collectTrace = true;
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+    for (u64 i = 0; i < 400; ++i)
+        sys.frontend().access(7, false);
+    u64 reshuffles = 0;
+    for (const TraceEvent& e : sys.trace())
+        reshuffles += e.kind == TraceEvent::Kind::BucketReshuffle ? 1 : 0;
+    EXPECT_GT(reshuffles, 0u);
+}
+
+TEST(RingSystem, CheckpointRoundTripReplaysBitIdentical)
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 64 * 1024;
+    cfg.blockBytes = 64;
+    cfg.backend = StorageBackendKind::Flat;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.bucketScheme = BucketSchemeKind::Ring;
+    cfg.collectTrace = true;
+
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+    std::vector<u8> payload(64, 0x5a);
+    for (u64 i = 0; i < 150; ++i)
+        sys.frontend().access(i % 300, i % 3 == 0, &payload);
+    const auto snap = sys.checkpoint(CheckpointScope::Full);
+
+    // Continue the original; replay the restored clone; every result,
+    // cycle count and trace event must match (the scheme's RNG, round
+    // counter and per-bucket metadata all replayed exactly).
+    OramSystem clone(SchemeId::PlbCompressed, cfg);
+    clone.restore(snap);
+    sys.clearTrace();
+    clone.clearTrace();
+    for (u64 i = 0; i < 120; ++i) {
+        const Addr a = (i * 13) % 300;
+        const auto r1 = sys.frontend().access(a, i % 4 == 0, &payload);
+        const auto r2 = clone.frontend().access(a, i % 4 == 0, &payload);
+        ASSERT_EQ(r1.data, r2.data) << "divergence at access " << i;
+        ASSERT_EQ(r1.cycles, r2.cycles) << "timing divergence at " << i;
+    }
+    ASSERT_EQ(sys.trace().size(), clone.trace().size());
+    for (size_t i = 0; i < sys.trace().size(); ++i) {
+        EXPECT_EQ(sys.trace()[i].kind, clone.trace()[i].kind);
+        EXPECT_EQ(sys.trace()[i].leaf, clone.trace()[i].leaf);
+    }
+}
+
+} // namespace
+} // namespace froram

@@ -271,6 +271,89 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ShardedDeterminism,
                              return std::string(toString(info.param));
                          });
 
+TEST(ShardedService, AccessRequestSpanSubmitMatchesShardRequests)
+{
+    // The unified-surface overload copies payloads into the owned
+    // batch; results must match the ShardRequest form bit for bit.
+    ShardedServiceConfig cfg = smallConfig(/*shards=*/3, /*workers=*/2);
+    ShardedOramService a(cfg), b(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    Xoshiro256 rng(11);
+    std::vector<ShardRequest> owned(64);
+    std::vector<AccessRequest> span(64);
+    std::vector<std::vector<u8>> payloads(64);
+    for (u64 i = 0; i < owned.size(); ++i) {
+        owned[i].addr = span[i].addr = rng.below(a.numBlocks());
+        if (i % 2 == 0) {
+            owned[i].isWrite = span[i].isWrite = true;
+            payloads[i] = payloadFor(owned[i].addr, i, bb);
+            owned[i].writeData = payloads[i];
+            span[i].writeData = &payloads[i];
+        }
+    }
+    const auto ra = a.submit(owned).get();
+    const auto rb = b.submit(span.data(), span.size()).get();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (u64 i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].shard, rb[i].shard) << i;
+        EXPECT_EQ(ra[i].result.data, rb[i].result.data) << i;
+    }
+    // prefetchOnly entries are rejected up front.
+    AccessRequest hint;
+    hint.prefetchOnly = true;
+    EXPECT_THROW(b.submit(&hint, 1), FatalError);
+}
+
+TEST(ShardedService, RingShardsMatchReferenceAndStayDeterministic)
+{
+    // Every shard runs a Ring-scheme ORAM: functional correctness
+    // against a reference map, plus worker-count invariance of the
+    // per-shard traces (which now include EvictPath/BucketReshuffle
+    // events driven by each shard's own round counter).
+    auto build = [&](u32 workers) {
+        ShardedServiceConfig cfg = smallConfig(/*shards=*/4, workers);
+        cfg.base.capacityBytes = u64{256} << 10;
+        cfg.base.collectTrace = true;
+        cfg.base.bucketScheme = BucketSchemeKind::Ring;
+        return std::make_unique<ShardedOramService>(cfg);
+    };
+    auto svc1 = build(1);
+    auto svc4 = build(4);
+
+    std::map<Addr, std::vector<u8>> reference;
+    Xoshiro256 rng(7);
+    const u64 bb = svc1->shard(0).frontend().dataBlockBytes();
+    for (int i = 0; i < 400; ++i) {
+        const Addr addr = rng.below(svc1->numBlocks());
+        if (rng.below(2) == 0) {
+            const std::vector<u8> data = payloadFor(addr, i, bb);
+            svc1->access(addr, true, &data);
+            svc4->access(addr, true, &data);
+            reference[addr] = data;
+        } else {
+            const FrontendResult r1 = svc1->access(addr, false);
+            const FrontendResult r4 = svc4->access(addr, false);
+            EXPECT_EQ(r1.data, r4.data) << "addr " << addr;
+            const auto it = reference.find(addr);
+            if (it != reference.end())
+                EXPECT_EQ(r1.data, it->second) << "addr " << addr;
+        }
+    }
+    svc1->drain();
+    svc4->drain();
+    const auto traces1 = shardTraces(*svc1);
+    const auto traces4 = shardTraces(*svc4);
+    for (u32 s = 0; s < svc1->numShards(); ++s) {
+        EXPECT_EQ(traces1[s], traces4[s]) << "shard " << s;
+        // Ring shards emit scheduled evictions.
+        bool evicts = false;
+        for (const TraceEvent& e : svc1->shard(s).trace())
+            evicts |= e.kind == TraceEvent::Kind::EvictPath;
+        EXPECT_TRUE(evicts) << "shard " << s;
+    }
+}
+
 TEST(ShardedService, ConcurrentSubmittersOnDisjointAddresses)
 {
     ShardedServiceConfig cfg = smallConfig(/*shards=*/8, /*workers=*/4);
