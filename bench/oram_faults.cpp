@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Fault-tolerance benchmark: what storage misbehavior costs.
+ *
+ * Two measured modes, both on the supervised sharded service (PC_X32,
+ * 64 MB total, Encrypted storage, flat backend, AES-NI CTR):
+ *
+ *  - throughput: aggregate accesses/sec at 0%, 0.1% and 1% random
+ *    transient-EIO rates on path reads, with the retry layer absorbing
+ *    every fault (degraded mode). The 0% row doubles as the zero-fault
+ *    control: its cost relative to BENCH_shard.json's matching row is
+ *    the price of merely arming the fault decorators.
+ *  - recovery: time-to-recover after a forced quarantine — a hard
+ *    (non-transient) EIO fail-stops one shard, and the recovery clock
+ *    runs from the typed fault reply until the supervisor has rolled
+ *    the shard back to its recovery point and re-admitted it.
+ *
+ *   $ ./oram_faults [--scale=F] [--csv] [--out=BENCH_faults.json]
+ *
+ * JSON schema (`BENCH_faults.json`): throughput rows are
+ *   {"bench": "faults", "mode": "throughput", "scheme", "backend",
+ *    "cipher", "capacity_mb", "shards", "workers", "batch_depth",
+ *    "fault_rate", "accesses", "acc_per_sec", "faults", "retries",
+ *    "failed", "hardware_threads", "commit"}
+ * and recovery rows are
+ *   {"bench": "faults", "mode": "recovery", ..., "rounds",
+ *    "recovery_ms_p50", "recovery_ms_p99", "commit"}.
+ * scripts/bench_compare.py knows this schema: fault_rate identifies a
+ * row, acc_per_sec and the recovery percentiles are judged metrics,
+ * faults/retries/failed are informational.
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "mem/fault_injecting_backend.hpp"
+#include "shard/sharded_service.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+namespace {
+
+constexpr u32 kShards = 4;
+constexpr u32 kBatchDepth = 32;
+
+struct Row {
+    std::string mode;
+    double faultRate = 0;
+    u64 accesses = 0;
+    double accPerSec = 0;
+    u64 faults = 0;
+    u64 retries = 0;
+    u64 failed = 0;
+    u64 rounds = 0;
+    double recoveryMsP50 = 0;
+    double recoveryMsP99 = 0;
+};
+
+ShardedServiceConfig
+serviceConfig()
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{64} << 20; // as BENCH_shard.json
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::Flat;
+    cfg.base.realAes = true;
+    cfg.numShards = kShards;
+    cfg.numWorkers = kShards;
+    cfg.supervision.retry.maxAttempts = 8;
+    cfg.supervision.retry.baseBackoffUs = 1;
+    cfg.supervision.retry.maxBackoffUs = 50;
+    return cfg;
+}
+
+void
+warmWorkingSet(ShardedOramService& svc, u64 working,
+               const std::vector<u8>& payload)
+{
+    std::vector<ShardRequest> warm;
+    for (Addr a = 0; a < working; ++a) {
+        ShardRequest r;
+        r.addr = a;
+        r.isWrite = true;
+        r.writeData = payload;
+        warm.push_back(std::move(r));
+        if (warm.size() == 1024 || a + 1 == working) {
+            svc.submit(std::move(warm)).get();
+            warm.clear();
+        }
+    }
+}
+
+/** Degraded-mode throughput at one random transient-fault rate. */
+Row
+runThroughput(double fault_rate, u64 accesses)
+{
+    ShardedServiceConfig cfg = serviceConfig();
+    auto sched = std::make_shared<FaultSchedule>();
+    if (fault_rate > 0)
+        sched->setRandomRate(fault_rate, 0xfa57 + u64(fault_rate * 1e4));
+    cfg.base.faultSchedule = sched;
+    ShardedOramService svc(cfg);
+
+    Xoshiro256 rng(3);
+    std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+    const u64 working = std::min<u64>(svc.numBlocks(), 16384);
+    warmWorkingSet(svc, working, payload);
+    const u64 warm_faults = sched->faultsFired();
+
+    const u64 batches = std::max<u64>(accesses / kBatchDepth, 1);
+    constexpr size_t kInflight = 4;
+    using Clock = std::chrono::steady_clock;
+    std::vector<std::future<ShardedOramService::BatchResult>> window;
+    u64 failed = 0;
+    const auto drainOne = [&](size_t i) {
+        for (const ShardAccessResult& r : window[i].get())
+            failed += r.status != RequestStatus::Ok ? 1 : 0;
+        window.erase(window.begin() + static_cast<std::ptrdiff_t>(i));
+    };
+
+    const auto start = Clock::now();
+    for (u64 bi = 0; bi < batches; ++bi) {
+        std::vector<ShardRequest> batch(kBatchDepth);
+        for (u32 i = 0; i < kBatchDepth; ++i) {
+            batch[i].addr = rng.below(working);
+            if ((bi * kBatchDepth + i) % 4 == 0) {
+                batch[i].isWrite = true;
+                batch[i].writeData = payload;
+            }
+        }
+        if (window.size() == kInflight)
+            drainOne(0);
+        window.push_back(svc.submit(std::move(batch)));
+    }
+    while (!window.empty())
+        drainOne(0);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    Row row;
+    row.mode = "throughput";
+    row.faultRate = fault_rate;
+    row.accesses = batches * kBatchDepth;
+    row.accPerSec = static_cast<double>(row.accesses) / secs;
+    row.faults = sched->faultsFired() - warm_faults;
+    for (u32 s = 0; s < svc.numShards(); ++s)
+        row.retries += svc.shardReport(s).transientFaults;
+    row.failed = failed;
+    return row;
+}
+
+/** Forced quarantine + rollback: time-to-recover percentiles. */
+Row
+runRecovery(u64 rounds)
+{
+    ShardedServiceConfig cfg = serviceConfig();
+    cfg.supervision.retry.maxAttempts = 1; // hard faults escape at once
+    cfg.supervision.maxRecoveries = 0xffffffffu;
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules.assign(kShards, nullptr);
+    cfg.shardFaultSchedules[0] = sched; // shard 0 is the victim
+    ShardedOramService svc(cfg);
+
+    std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+    const u64 working = std::min<u64>(svc.numBlocks(), 4096);
+    warmWorkingSet(svc, working, payload);
+
+    // The victim address: any block shard 0 serves.
+    Addr victim = 0;
+    while (svc.shardOf(victim) != 0)
+        ++victim;
+
+    using Clock = std::chrono::steady_clock;
+    std::vector<double> recovery_ms;
+    recovery_ms.reserve(rounds);
+    for (u64 round = 0; round < rounds; ++round) {
+        svc.refreshRecoveryPoints();
+        svc.drain();
+
+        FaultSpec spec;
+        spec.op = FaultOp::Read;
+        spec.kind = FaultKind::Eio;
+        spec.afterOps = sched->opsSeen(FaultOp::Read);
+        spec.count = 1;
+        spec.transient = false;
+        sched->inject(spec);
+
+        std::vector<ShardRequest> one;
+        one.push_back({victim, false, {}, 0});
+        auto res = svc.submit(std::move(one)).get();
+        if (res[0].status == RequestStatus::Ok) {
+            std::fprintf(stderr,
+                         "round %llu: fault did not fire, skipping\n",
+                         static_cast<unsigned long long>(round));
+            continue;
+        }
+        // Clock runs from the typed fault reply to re-admission (the
+        // supervisor rolls back as soon as the shard's queue drains).
+        const auto t0 = Clock::now();
+        while (svc.shardHealth(0) == ShardHealth::Quarantined)
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+        recovery_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+        svc.drain();
+    }
+
+    Row row;
+    row.mode = "recovery";
+    row.rounds = recovery_ms.size();
+    row.recoveryMsP50 = bench::percentile(recovery_ms, 50);
+    row.recoveryMsP99 = bench::percentile(recovery_ms, 99);
+    return row;
+}
+
+void
+writeJson(const std::string& out_path, const std::vector<Row>& rows)
+{
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    out << "[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char buf[768];
+        if (r.mode == "throughput") {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"bench\": \"faults\", \"mode\": \"throughput\", "
+                "\"scheme\": \"PC_X32\", \"backend\": \"flat\", "
+                "\"cipher\": \"aesctr\", \"capacity_mb\": 64, "
+                "\"shards\": %u, \"workers\": %u, \"batch_depth\": %u, "
+                "\"fault_rate\": %g, \"accesses\": %llu, "
+                "\"acc_per_sec\": %.1f, \"faults\": %llu, "
+                "\"retries\": %llu, \"failed\": %llu, "
+                "\"hardware_threads\": %u, \"commit\": \"%s\"}%s\n",
+                kShards, kShards, kBatchDepth, r.faultRate,
+                static_cast<unsigned long long>(r.accesses),
+                r.accPerSec,
+                static_cast<unsigned long long>(r.faults),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.failed), hw,
+                bench::gitRev(), i + 1 < rows.size() ? "," : "");
+        } else {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"bench\": \"faults\", \"mode\": \"recovery\", "
+                "\"scheme\": \"PC_X32\", \"backend\": \"flat\", "
+                "\"cipher\": \"aesctr\", \"capacity_mb\": 64, "
+                "\"shards\": %u, \"workers\": %u, \"rounds\": %llu, "
+                "\"recovery_ms_p50\": %.3f, \"recovery_ms_p99\": %.3f, "
+                "\"hardware_threads\": %u, \"commit\": \"%s\"}%s\n",
+                kShards, kShards,
+                static_cast<unsigned long long>(r.rounds),
+                r.recoveryMsP50, r.recoveryMsP99, hw, bench::gitRev(),
+                i + 1 < rows.size() ? "," : "");
+        }
+        out << buf;
+    }
+    out << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    std::string out_path = "BENCH_faults.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+    }
+    const u64 accesses = opts.scaled(40000);
+    const u64 rounds = opts.scaled(20);
+
+    std::vector<Row> rows;
+    TextTable table({"mode", "fault_rate", "acc_per_sec", "faults",
+                     "retries", "failed", "recovery_ms_p50",
+                     "recovery_ms_p99"});
+    for (const double rate : {0.0, 0.001, 0.01}) {
+        const Row row = runThroughput(rate, accesses);
+        rows.push_back(row);
+        table.newRow();
+        table.cell(row.mode);
+        table.cell(row.faultRate, 3);
+        table.cell(row.accPerSec, 0);
+        table.cell(row.faults);
+        table.cell(row.retries);
+        table.cell(row.failed);
+        table.cell(0.0, 3);
+        table.cell(0.0, 3);
+    }
+    {
+        const Row row = runRecovery(rounds);
+        rows.push_back(row);
+        table.newRow();
+        table.cell(row.mode);
+        table.cell(0.0, 3);
+        table.cell(0.0, 0);
+        table.cell(row.faults);
+        table.cell(row.retries);
+        table.cell(row.failed);
+        table.cell(row.recoveryMsP50, 3);
+        table.cell(row.recoveryMsP99, 3);
+    }
+
+    bench::emit(opts, table,
+                "Fault-tolerance: degraded-mode throughput and "
+                "time-to-recover (PC_X32, 64 MB total, flat backend, "
+                "AES-NI CTR, " +
+                    std::to_string(
+                        std::thread::hardware_concurrency()) +
+                    " hardware threads)");
+    writeJson(out_path, rows);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -14,7 +14,9 @@
  *
  * With --backend=mmap every encrypted bucket the server holds lives in
  * the backing file (msync-durable), which is the seam a durable KV
- * deployment builds on.
+ * deployment builds on. --fault-rate=F arms seeded random transient
+ * EIO on the medium (absorbed by the retry layer — the store keeps
+ * answering correctly; see README "Fault model & recovery").
  */
 #include <cstdlib>
 #include <iostream>
@@ -25,6 +27,7 @@
 #include <unistd.h>
 
 #include "core/oram_system.hpp"
+#include "mem/fault_injecting_backend.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 
@@ -125,6 +128,7 @@ main(int argc, char** argv)
     cfg.backendPath = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
                       "/froram_kv_store." + std::to_string(::getuid()) +
                       ".oram";
+    double fault_rate = 0.0;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -132,14 +136,26 @@ main(int argc, char** argv)
                 cfg.backend = storageBackendKindFromName(arg.substr(10));
             else if (arg.rfind("--file=", 0) == 0)
                 cfg.backendPath = arg.substr(7);
+            else if (arg.rfind("--fault-rate=", 0) == 0)
+                fault_rate = std::stod(arg.substr(13));
             else
                 fatal("unknown argument: ", arg);
         }
-    } catch (const FatalError& e) {
+        if (fault_rate < 0.0 || fault_rate > 1.0)
+            fatal("--fault-rate must be in [0, 1]");
+    } catch (const std::exception& e) {
         std::cerr << e.what()
                   << "\nusage: oblivious_kv_store "
-                     "[--backend=flat|dram|mmap] [--file=PATH]\n";
+                     "[--backend=flat|dram|mmap] [--file=PATH] "
+                     "[--fault-rate=F]\n";
         return 2;
+    }
+    if (fault_rate > 0.0) {
+        cfg.faultSchedule = std::make_shared<FaultSchedule>();
+        cfg.faultSchedule->setRandomRate(fault_rate, 0x6b7501);
+        cfg.storageRetry.maxAttempts = 8;
+        cfg.storageRetry.baseBackoffUs = 1;
+        cfg.storageRetry.maxBackoffUs = 50;
     }
     std::unique_ptr<OramSystem> sys_holder;
     try {
@@ -204,6 +220,12 @@ main(int argc, char** argv)
               << "\n\nEvery record is also MAC-verified on read "
               << "(PMMAC), so the server\ncan neither observe nor "
               << "undetectably modify the store.\n";
+    if (cfg.faultSchedule) {
+        std::cout << "\nChaos: " << cfg.faultSchedule->faultsFired()
+                  << " storage faults injected, " << sys.storageRetries()
+                  << " absorbed by retry — every answer above was still "
+                  << "correct.\n";
+    }
     if (sys.storage().persistent()) {
         sys.storage().sync();
         std::cout << "\nDurability: " << (sys.storage().bytesTouched() >> 10)

@@ -22,12 +22,19 @@
  * mixed generations. Every read is PMMAC-verified against the restored
  * per-shard counters; verify either reproduces a consistent pre-crash
  * state or fails loudly. CI runs exactly this kill/restore dance.
+ *
+ * `run --fault-rate=F` additionally arms seeded random transient EIO
+ * on every shard's storage (see README "Fault model & recovery"): the
+ * retry layer absorbs the faults, the service keeps answering
+ * correctly, and a later `verify` still checks out — chaos on top of
+ * the kill -9 story.
  */
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "mem/fault_injecting_backend.hpp"
 #include "shard/sharded_service.hpp"
 
 using namespace froram;
@@ -61,10 +68,17 @@ recordFor(Addr addr, u64 block_bytes)
 
 int
 runForever(const std::string& dir, u32 shards, u64 commit_every,
-           u64 max_batches)
+           u64 max_batches, double fault_rate)
 {
     ShardedServiceConfig cfg = makeConfig(dir, shards);
     cfg.base.backendReset = true;
+    if (fault_rate > 0.0) {
+        cfg.base.faultSchedule = std::make_shared<FaultSchedule>();
+        cfg.base.faultSchedule->setRandomRate(fault_rate, 0xc4a05);
+        cfg.supervision.retry.maxAttempts = 8;
+        cfg.supervision.retry.baseBackoffUs = 1;
+        cfg.supervision.retry.maxBackoffUs = 50;
+    }
     ShardedOramService svc(cfg);
     const u64 n = svc.numBlocks();
     const u64 bb = cfg.base.blockBytes;
@@ -79,6 +93,7 @@ runForever(const std::string& dir, u32 shards, u64 commit_every,
               << " batches (kill -9 me anytime)\n"
               << std::flush;
 
+    u64 failed = 0;
     for (u64 b = 0; max_batches == 0 || b < max_batches; ++b) {
         std::vector<ShardRequest> batch(kBatch);
         for (u64 i = 0; i < kBatch; ++i) {
@@ -87,13 +102,30 @@ runForever(const std::string& dir, u32 shards, u64 commit_every,
             batch[i].isWrite = true;
             batch[i].writeData = recordFor(addr, bb);
         }
-        svc.submit(std::move(batch)).get();
-        if (b % commit_every == commit_every - 1)
+        const auto res = svc.submit(std::move(batch)).get();
+        for (const auto& r : res) {
+            if (r.status != RequestStatus::Ok)
+                ++failed;
+        }
+        if (b % commit_every == commit_every - 1) {
             svc.checkpoint(CheckpointScope::Full);
+            if (cfg.base.faultSchedule) {
+                u64 retries = 0;
+                for (u32 s = 0; s < svc.numShards(); ++s)
+                    retries += svc.shardReport(s).transientFaults;
+                std::cout << "committed; "
+                          << cfg.base.faultSchedule->faultsFired()
+                          << " faults injected, " << retries
+                          << " absorbed by retry, " << failed
+                          << " requests failed\n"
+                          << std::flush;
+            }
+        }
     }
     svc.checkpoint(CheckpointScope::Full);
-    std::cout << "completed " << max_batches << " batches\n";
-    return 0;
+    std::cout << "completed " << max_batches << " batches ("
+              << failed << " failed requests)\n";
+    return failed != 0;
 }
 
 int
@@ -153,6 +185,7 @@ main(int argc, char** argv)
     u32 shards = 4;
     u64 commit_every = 4;
     u64 max_batches = 0;
+    double fault_rate = 0.0;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -167,21 +200,26 @@ main(int argc, char** argv)
                 commit_every = std::stoull(arg.substr(15));
             else if (arg.rfind("--max-batches=", 0) == 0)
                 max_batches = std::stoull(arg.substr(14));
+            else if (arg.rfind("--fault-rate=", 0) == 0)
+                fault_rate = std::stod(arg.substr(13));
             else
                 fatal("unknown argument: ", arg);
         }
         if (mode.empty() || commit_every == 0 || shards == 0)
             fatal("mode required");
+        if (fault_rate < 0.0 || fault_rate > 1.0)
+            fatal("--fault-rate must be in [0, 1]");
     } catch (const std::exception& e) {
         std::cerr << e.what()
                   << "\nusage: sharded_service run|verify [--dir=PATH] "
                      "[--shards=N] [--commit-every=N] "
-                     "[--max-batches=N]\n";
+                     "[--max-batches=N] [--fault-rate=F]\n";
         return 2;
     }
     try {
         return mode == "run"
-                   ? runForever(dir, shards, commit_every, max_batches)
+                   ? runForever(dir, shards, commit_every, max_batches,
+                                fault_rate)
                    : verify(dir, shards);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";

@@ -36,6 +36,16 @@ METRICS = {
     # per (bucket_scheme, geometry), so any growth is a real structural
     # regression (e.g. Ring falling back to whole-path reads).
     "online_blocks_per_acc": -1,
+    # BENCH_faults.json (bench/oram_faults.cpp): time-to-recover after a
+    # forced quarantine + rollback. fault_rate/mode are identity fields
+    # (a 1%-fault row only ever compares against another 1%-fault row);
+    # the fault/retry tallies describe the injected load, not quality.
+    "recovery_ms_p50": -1,
+    "recovery_ms_p99": -1,
+    "faults": 0,
+    "retries": 0,
+    "failed": 0,
+    "rounds": 0,
     "accesses": 0,
     "hardware_threads": 0,
 }

@@ -216,8 +216,10 @@ class Frontend {
      * is determinable without any state change (PLB/on-chip resident).
      * A stale or impossible guess is harmless — the hint never touches
      * ORAM state, the trace, statistics or the timing plane, which is
-     * what makes the submit pipeline's overlap semantics-free. Default:
-     * no-op.
+     * what makes the submit pipeline's overlap semantics-free. Hints
+     * never throw storage faults either: they bottom out in backend
+     * prefetch(), which is advisory by contract (fault injection only
+     * delays it, never fails it). Default: no-op.
      */
     virtual void serviceHint(Addr addr) { (void)addr; }
 };

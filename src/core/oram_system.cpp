@@ -50,6 +50,8 @@ makeSystemBackend(const OramSystemConfig& cfg)
                        ? cfg.backendFileBytes
                        : mult * cfg.capacityBytes + (u64{16} << 20);
     sc.reset = cfg.backendReset;
+    sc.faultSchedule = cfg.faultSchedule;
+    sc.retry = cfg.storageRetry;
     return makeStorageBackend(sc);
 }
 

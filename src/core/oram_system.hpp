@@ -77,6 +77,16 @@ struct OramSystemConfig {
     u64 phantomBlockBytes = 4096;
     u32 phantomForceLevels = 19;
     u64 phantomBufferBytes = 32 * 1024;
+    /**
+     * Optional fault plumbing (tests/chaos runs), passed through to
+     * StorageBackendConfig: when `faultSchedule` is set the storage
+     * medium is wrapped in a FaultInjectingBackend honoring it, plus a
+     * RetryingBackend absorbing transient faults under `storageRetry`.
+     * Operational, not behavioral: excluded from configFingerprint()
+     * (a snapshot restores identically with or without injection).
+     */
+    std::shared_ptr<FaultSchedule> faultSchedule;
+    RetryPolicy storageRetry{};
 };
 
 /**
@@ -155,7 +165,21 @@ class OramSystem {
     void
     submit(const AccessRequest* reqs, AccessResult* results, size_t n)
     {
-        frontend().submit(reqs, results, n);
+        // Fail-stop containment: a StorageError that escaped the retry
+        // layer, or an IntegrityViolation, may have left the engine's
+        // per-access state machine mid-transition (the PosMap entry is
+        // remapped BEFORE the path access), so continuing could return
+        // wrong values. Latch faulted_ and refuse all further access;
+        // recovery is restore-from-checkpoint into a fresh system.
+        try {
+            frontend().submit(reqs, results, n);
+        } catch (const StorageError&) {
+            faulted_ = true;
+            throw;
+        } catch (const IntegrityViolation&) {
+            faulted_ = true;
+            throw;
+        }
     }
 
     /** Vector convenience over the pointer form; `results` is resized
@@ -201,6 +225,15 @@ class OramSystem {
     StorageBackend& storage() { return *store_; }
     const StorageBackend& storage() const { return *store_; }
 
+    /** Transient storage faults absorbed below the engine so far (0
+     *  without fault plumbing); a growing value under a steady workload
+     *  is the shard supervisor's "degraded" signal. */
+    u64 storageRetries() const { return store_->transientFaultsRetried(); }
+
+    /** True once a storage/integrity fault escaped submit() and the
+     *  system fail-stopped (see submit()). */
+    bool faulted() const { return faulted_; }
+
     /** DRAM timing model; fatal unless the backend is DRAM-timed. */
     DramModel&
     dram()
@@ -230,9 +263,15 @@ class OramSystem {
             throw CheckpointError(
                 "system is in a partially restored state after a failed "
                 "restore; construct a fresh system and retry");
+        if (faulted_)
+            throw StorageError(
+                "system fail-stopped after an unrecovered storage or "
+                "integrity fault; restore a checkpoint into a fresh "
+                "system to resume");
     }
 
     bool poisoned_ = false; ///< a restore failed after it began writing
+    bool faulted_ = false;  ///< a fault escaped submit(); see submit()
     OramSystemConfig cfg_;
     SchemeId scheme_;
     std::unique_ptr<StorageBackend> store_;

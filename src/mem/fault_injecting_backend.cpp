@@ -1,0 +1,296 @@
+#include "mem/fault_injecting_backend.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace froram {
+
+const char*
+toString(FaultOp op)
+{
+    switch (op) {
+      case FaultOp::Read:
+        return "read";
+      case FaultOp::Write:
+        return "write";
+      case FaultOp::GatherView:
+        return "gatherView";
+      case FaultOp::StreamBatch:
+        return "streamBatch";
+      case FaultOp::Sync:
+        return "sync";
+      case FaultOp::Prefetch:
+        return "prefetch";
+    }
+    return "?";
+}
+
+const char*
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Eio:
+        return "EIO";
+      case FaultKind::TornWrite:
+        return "torn write";
+      case FaultKind::BitRot:
+        return "bit rot";
+      case FaultKind::Latency:
+        return "latency spike";
+    }
+    return "?";
+}
+
+void
+FaultSchedule::inject(const FaultSpec& spec)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    specs_.push_back(spec);
+}
+
+void
+FaultSchedule::setRandomRate(double rate, u64 seed)
+{
+    FRORAM_ASSERT(rate >= 0.0 && rate <= 1.0,
+                  "fault rate must be a probability");
+    std::lock_guard<std::mutex> g(mu_);
+    randomRate_ = rate;
+    rng_ = Xoshiro256(seed);
+}
+
+void
+FaultSchedule::clear()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    specs_.clear();
+    randomRate_ = 0.0;
+}
+
+u64
+FaultSchedule::opsSeen(FaultOp op) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return opsSeen_[static_cast<u32>(op)];
+}
+
+u64
+FaultSchedule::faultsFired() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return fired_;
+}
+
+FaultSchedule::Decision
+FaultSchedule::onOp(FaultOp op)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const u64 seen = opsSeen_[static_cast<u32>(op)]++;
+    for (FaultSpec& s : specs_) {
+        if (s.op != op || s.count == 0 || seen < s.afterOps)
+            continue;
+        if (s.count != FaultSpec::kPersistentCount)
+            --s.count;
+        ++fired_;
+        return {true, s};
+    }
+    if (randomRate_ > 0.0 &&
+        (op == FaultOp::Read || op == FaultOp::GatherView)) {
+        const double roll =
+            static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+        if (roll < randomRate_) {
+            ++fired_;
+            FaultSpec s;
+            s.op = op;
+            s.kind = FaultKind::Eio;
+            s.transient = true;
+            return {true, s};
+        }
+    }
+    return {false, {}};
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<StorageBackend> inner,
+    std::shared_ptr<FaultSchedule> schedule)
+    : inner_(std::move(inner)), schedule_(std::move(schedule))
+{
+    FRORAM_ASSERT(inner_ != nullptr, "fault decorator needs a backend");
+    FRORAM_ASSERT(schedule_ != nullptr, "fault decorator needs a schedule");
+}
+
+namespace {
+
+void
+sleepUs(u64 us)
+{
+    if (us != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void
+flipBit(u8* bytes, u64 len, u64 bit_index)
+{
+    if (len == 0)
+        return;
+    const u64 bit = bit_index % (len * 8);
+    bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+} // namespace
+
+void
+FaultInjectingBackend::throwEio(FaultOp op, const FaultSpec& spec)
+{
+    throw StorageError(std::string("injected ") +
+                           (spec.transient ? "transient" : "persistent") +
+                           " I/O error on " + toString(op),
+                       spec.transient);
+}
+
+void
+FaultInjectingBackend::read(u64 addr, u8* dst, u64 len)
+{
+    const auto d = schedule_->onOp(FaultOp::Read);
+    if (!d.fire) {
+        inner_->read(addr, dst, len);
+        return;
+    }
+    switch (d.spec.kind) {
+      case FaultKind::Eio:
+      case FaultKind::TornWrite: // meaningless for reads: treat as Eio
+        throwEio(FaultOp::Read, d.spec);
+      case FaultKind::BitRot:
+        inner_->read(addr, dst, len);
+        flipBit(dst, len, d.spec.bitIndex);
+        return;
+      case FaultKind::Latency:
+        sleepUs(d.spec.latencyUs);
+        inner_->read(addr, dst, len);
+        return;
+    }
+}
+
+void
+FaultInjectingBackend::write(u64 addr, const u8* src, u64 len)
+{
+    const auto d = schedule_->onOp(FaultOp::Write);
+    if (!d.fire) {
+        inner_->write(addr, src, len);
+        return;
+    }
+    switch (d.spec.kind) {
+      case FaultKind::Eio:
+        throwEio(FaultOp::Write, d.spec);
+      case FaultKind::TornWrite: {
+        u64 torn = d.spec.tornBytes == FaultSpec::kHalfTorn
+                       ? len / 2
+                       : d.spec.tornBytes;
+        torn = torn < len ? torn : len;
+        inner_->write(addr, src, torn);
+        throw StorageError(
+            std::string("injected torn write (") + std::to_string(torn) +
+                "/" + std::to_string(len) + " bytes landed)",
+            d.spec.transient);
+      }
+      case FaultKind::BitRot: {
+        // Silent persistent corruption: store a rotted copy, report
+        // success. Scratch allocation is fine — this path only exists
+        // under injection.
+        std::vector<u8> rotten(src, src + len);
+        flipBit(rotten.data(), len, d.spec.bitIndex);
+        inner_->write(addr, rotten.data(), len);
+        return;
+      }
+      case FaultKind::Latency:
+        sleepUs(d.spec.latencyUs);
+        inner_->write(addr, src, len);
+        return;
+    }
+}
+
+u8*
+FaultInjectingBackend::view(u64 addr, u64 len)
+{
+    // No in-place views under injection: a raw pointer would bypass the
+    // schedule (see file doc). Callers fall back to read()/write().
+    (void)addr;
+    (void)len;
+    return nullptr;
+}
+
+u32
+FaultInjectingBackend::gatherView(const ByteSpan* spans, u32 n, u8** views)
+{
+    const auto d = schedule_->onOp(FaultOp::GatherView);
+    if (d.fire) {
+        switch (d.spec.kind) {
+          case FaultKind::Eio:
+          case FaultKind::TornWrite:
+            throwEio(FaultOp::GatherView, d.spec);
+          case FaultKind::Latency:
+            sleepUs(d.spec.latencyUs);
+            break;
+          case FaultKind::BitRot:
+            break; // nothing to rot here; reads will be targeted instead
+        }
+    }
+    for (u32 i = 0; i < n; ++i)
+        views[i] = nullptr;
+    (void)spans;
+    return 0;
+}
+
+void
+FaultInjectingBackend::prefetch(u64 addr, u64 len)
+{
+    // Advisory: never throws (see file doc). Latency still applies —
+    // a slow readahead engine is a realistic fault mode.
+    const auto d = schedule_->onOp(FaultOp::Prefetch);
+    if (d.fire && d.spec.kind == FaultKind::Latency)
+        sleepUs(d.spec.latencyUs);
+    if (d.fire && d.spec.kind != FaultKind::Latency)
+        return; // dropped advice is always correct
+    inner_->prefetch(addr, len);
+}
+
+void
+FaultInjectingBackend::sync()
+{
+    const auto d = schedule_->onOp(FaultOp::Sync);
+    if (d.fire) {
+        switch (d.spec.kind) {
+          case FaultKind::Eio:
+          case FaultKind::TornWrite:
+          case FaultKind::BitRot: // a failed barrier, however phrased
+            throw StorageError("injected durability-barrier (msync) "
+                               "failure",
+                               d.spec.transient);
+          case FaultKind::Latency:
+            sleepUs(d.spec.latencyUs);
+            break;
+        }
+    }
+    inner_->sync();
+}
+
+u64
+FaultInjectingBackend::streamBatch(const ByteSpan* spans, u32 n,
+                                   bool is_write)
+{
+    const auto d = schedule_->onOp(FaultOp::StreamBatch);
+    if (d.fire) {
+        switch (d.spec.kind) {
+          case FaultKind::Eio:
+          case FaultKind::TornWrite:
+          case FaultKind::BitRot:
+            throwEio(FaultOp::StreamBatch, d.spec);
+          case FaultKind::Latency:
+            sleepUs(d.spec.latencyUs);
+            break;
+        }
+    }
+    return inner_->streamBatch(spans, n, is_write);
+}
+
+} // namespace froram

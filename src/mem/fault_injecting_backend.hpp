@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fault-injecting StorageBackend decorator.
+ *
+ * Wraps any functional backend and makes it misbehave on a seeded,
+ * scriptable schedule: transient or persistent EIO on read / write /
+ * gatherView / streamBatch / sync, torn (partial) writes, silent
+ * bit-rot, and latency spikes. Every higher layer — TreeStorage, the
+ * ORAM engines, the frontends, the sharded service — can thereby be
+ * tested against *live* storage misbehavior, deterministically: the
+ * schedule is driven by per-operation counters and a seeded RNG, never
+ * by wall-clock state.
+ *
+ * Two deliberate design points:
+ *
+ *  - view()/gatherView() return no direct views while any fault can
+ *    still fire. An in-place view would let callers bypass the
+ *    decorator entirely (reads through a pointer cannot throw), so all
+ *    data-plane traffic is funneled through read()/write(), where the
+ *    schedule applies. The hot path degrades to its copy mode under
+ *    injection — correctness-observable behavior is unchanged.
+ *
+ *  - prefetch() never throws. Prefetch is advisory by contract (a
+ *    dropped advice is always correct), so an Eio scheduled against it
+ *    only burns the scheduled firing; latency specs still apply.
+ */
+#ifndef FRORAM_MEM_FAULT_INJECTING_BACKEND_HPP
+#define FRORAM_MEM_FAULT_INJECTING_BACKEND_HPP
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mem/storage_backend.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+
+/** Data-plane operation class a fault spec targets. */
+enum class FaultOp : u32 {
+    Read,        ///< read() (and gatherView, which degrades to reads)
+    Write,       ///< write()
+    GatherView,  ///< gatherView() itself (before any span resolves)
+    StreamBatch, ///< streamBatch() (timing plane)
+    Sync,        ///< sync() — the msync-failure class
+    Prefetch     ///< prefetch() — latency only; EIO is swallowed
+};
+constexpr u32 kNumFaultOps = 6;
+
+const char* toString(FaultOp op);
+
+/** What the fault does when it fires. */
+enum class FaultKind : u32 {
+    Eio,       ///< throw StorageError (transient or persistent)
+    TornWrite, ///< write only a prefix of the bytes, then throw
+    BitRot,    ///< silently flip one bit (reads: of the data returned;
+               ///  writes: of the data stored)
+    Latency    ///< sleep latencyUs, then perform the op normally
+};
+
+const char* toString(FaultKind kind);
+
+/** One scripted fault. */
+struct FaultSpec {
+    FaultOp op = FaultOp::Read;
+    FaultKind kind = FaultKind::Eio;
+    /** Fires once at least `afterOps` operations of `op` completed
+     *  before it (0 = eligible immediately). */
+    u64 afterOps = 0;
+    /** How many times to fire (kPersistentCount = forever). */
+    u32 count = 1;
+    /** Eio/TornWrite: marks the thrown StorageError transient. */
+    bool transient = true;
+    /** Latency: injected delay in microseconds. */
+    u64 latencyUs = 0;
+    /** BitRot: bit position within the op's byte range (mod len*8). */
+    u64 bitIndex = 0;
+    /** TornWrite: bytes actually written before the throw
+     *  (kHalfTorn = half the request). */
+    u64 tornBytes = kHalfTorn;
+
+    static constexpr u32 kPersistentCount = 0xffffffffu;
+    static constexpr u64 kHalfTorn = ~u64{0};
+};
+
+/**
+ * Thread-safe fault schedule shared between a test/bench driver and the
+ * FaultInjectingBackend(s) consuming it. Two sources compose:
+ *
+ *  - scripted specs (inject()): counter-triggered, fully deterministic;
+ *  - a random mode (setRandomRate()): every Read/GatherView op fires a
+ *    transient Eio with probability `rate`, from a seeded RNG — the
+ *    soak-test workhorse.
+ *
+ * All counters are per schedule, so attaching one schedule per shard
+ * keeps multi-threaded runs deterministic per shard.
+ */
+class FaultSchedule {
+  public:
+    /** Arm one scripted fault (appended; specs fire independently). */
+    void inject(const FaultSpec& spec);
+
+    /** Arm random transient Eio on reads at the given rate in [0, 1]. */
+    void setRandomRate(double rate, u64 seed);
+
+    /** Disarm everything (counters keep running). */
+    void clear();
+
+    /** Operations of class `op` observed so far. */
+    u64 opsSeen(FaultOp op) const;
+
+    /** Total faults fired (all kinds, all ops). */
+    u64 faultsFired() const;
+
+    /** Decision handed to the backend for one operation. */
+    struct Decision {
+        bool fire = false;
+        FaultSpec spec{};
+    };
+
+    /** Count one operation of class `op` and decide whether a fault
+     *  fires on it (backend-side entry point). */
+    Decision onOp(FaultOp op);
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<FaultSpec> specs_;
+    std::array<u64, kNumFaultOps> opsSeen_{};
+    u64 fired_ = 0;
+    double randomRate_ = 0.0;
+    Xoshiro256 rng_{0};
+};
+
+/** StorageBackend decorator applying a FaultSchedule (see file doc). */
+class FaultInjectingBackend : public StorageBackend {
+  public:
+    FaultInjectingBackend(std::unique_ptr<StorageBackend> inner,
+                          std::shared_ptr<FaultSchedule> schedule);
+
+    StorageBackendKind kind() const override { return inner_->kind(); }
+
+    void read(u64 addr, u8* dst, u64 len) override;
+    void write(u64 addr, const u8* src, u64 len) override;
+    u8* view(u64 addr, u64 len) override;
+    u32 gatherView(const ByteSpan* spans, u32 n, u8** views) override;
+    void prefetch(u64 addr, u64 len) override;
+    bool prefetchable() const override { return inner_->prefetchable(); }
+    void sync() override;
+    bool persistent() const override { return inner_->persistent(); }
+    u64 bytesTouched() const override { return inner_->bytesTouched(); }
+
+    bool timed() const override { return inner_->timed(); }
+    u64 accessBatch(const std::vector<DramRequest>& requests) override
+    {
+        return inner_->accessBatch(requests);
+    }
+    u64 streamBatch(const ByteSpan* spans, u32 n, bool is_write) override;
+    u64 burstBytes() const override { return inner_->burstBytes(); }
+    u64 layoutUnitBytes() const override
+    {
+        return inner_->layoutUnitBytes();
+    }
+    DramModel* dramModel() override { return inner_->dramModel(); }
+
+    u64 allocRegion(u64 bytes) override
+    {
+        return inner_->allocRegion(bytes);
+    }
+    u64 allocatedBytes() const override
+    {
+        return inner_->allocatedBytes();
+    }
+
+    StorageBackend& inner() { return *inner_; }
+    const FaultSchedule& schedule() const { return *schedule_; }
+
+  private:
+    /** Throw the StorageError a fired Eio-class spec calls for. */
+    [[noreturn]] void throwEio(FaultOp op, const FaultSpec& spec);
+
+    std::unique_ptr<StorageBackend> inner_;
+    std::shared_ptr<FaultSchedule> schedule_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_FAULT_INJECTING_BACKEND_HPP

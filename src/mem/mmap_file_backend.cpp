@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "util/bitops.hpp"
@@ -13,6 +14,22 @@
 
 namespace froram {
 
+namespace {
+
+/** Typed error for an OS call that failed with `err` (an errno value).
+ *  EINTR/EAGAIN/EBUSY mark the error transient — reissuing the call may
+ *  succeed — so the retry layer (when present) can absorb it. */
+[[noreturn]] void
+throwSys(const char* what, const std::string& path, int err)
+{
+    const bool transient = err == EINTR || err == EAGAIN || err == EBUSY;
+    throw StorageError(std::string("mmap backend ") + what + " failed on " +
+                           path + ": " + std::strerror(err),
+                       transient);
+}
+
+} // namespace
+
 MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
                                  bool reset)
     : path_(path), capacity_(file_bytes)
@@ -23,17 +40,15 @@ MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
         flags |= O_TRUNC;
     fd_ = ::open(path.c_str(), flags, 0644);
     if (fd_ < 0)
-        fatal("mmap backend cannot open ", path, ": ",
-              std::strerror(errno));
+        throwSys("open", path, errno);
 
-    // fatal() throws, which skips the destructor mid-construction: any
+    // The throws below skip the destructor mid-construction: any
     // failure past open() must release the fd (and mapping) by hand or
     // a process probing candidate files would leak them.
     try {
         struct stat st;
         if (::fstat(fd_, &st) != 0)
-            fatal("mmap backend cannot stat ", path, ": ",
-                  std::strerror(errno));
+            throwSys("fstat", path, errno);
         const bool fresh = reset || st.st_size == 0;
         if (!fresh) {
             // Reopening an existing file: it must be a froram backend
@@ -51,15 +66,12 @@ MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
         }
         if (::ftruncate(fd_, static_cast<off_t>(capacity_ +
                                                 kSuperblockBytes)) != 0)
-            fatal("mmap backend cannot size ", path, " to ",
-                  capacity_ + kSuperblockBytes, ": ",
-                  std::strerror(errno));
+            throwSys("ftruncate", path, errno);
 
         void* map = ::mmap(nullptr, capacity_ + kSuperblockBytes,
                            PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
         if (map == MAP_FAILED)
-            fatal("mmap backend cannot map ", path, ": ",
-                  std::strerror(errno));
+            throwSys("mmap", path, errno);
         map_ = static_cast<u8*>(map);
 
         if (fresh)
@@ -78,12 +90,23 @@ MmapFileBackend::MmapFileBackend(const std::string& path, u64 file_bytes,
 
 MmapFileBackend::~MmapFileBackend()
 {
+    // Destructors cannot throw, but a failed final flush must not be
+    // SILENT either: a caller who needed the durability guarantee had
+    // to call sync() (which throws StorageError); this best-effort
+    // flush only narrows the loss window, so report and carry on.
     if (map_ != nullptr) {
-        ::msync(map_, capacity_ + kSuperblockBytes, MS_SYNC);
-        ::munmap(map_, capacity_ + kSuperblockBytes);
+        if (::msync(map_, capacity_ + kSuperblockBytes, MS_SYNC) != 0)
+            std::fprintf(stderr,
+                         "froram: warning: final msync failed on %s: %s\n",
+                         path_.c_str(), std::strerror(errno));
+        if (::munmap(map_, capacity_ + kSuperblockBytes) != 0)
+            std::fprintf(stderr,
+                         "froram: warning: munmap failed on %s: %s\n",
+                         path_.c_str(), std::strerror(errno));
     }
-    if (fd_ >= 0)
-        ::close(fd_);
+    if (fd_ >= 0 && ::close(fd_) != 0)
+        std::fprintf(stderr, "froram: warning: close failed on %s: %s\n",
+                     path_.c_str(), std::strerror(errno));
 }
 
 void
@@ -168,7 +191,7 @@ void
 MmapFileBackend::sync()
 {
     if (::msync(map_, capacity_ + kSuperblockBytes, MS_SYNC) != 0)
-        fatal("msync failed on ", path_, ": ", std::strerror(errno));
+        throwSys("msync", path_, errno);
 }
 
 u64

@@ -59,6 +59,9 @@ class MmapFileBackend : public StorageBackend {
      *  the advice is strictly optional). */
     void prefetch(u64 addr, u64 len) override;
     bool prefetchable() const override { return true; }
+    /** Synchronous msync of the whole mapping; throws StorageError when
+     *  the kernel reports the flush failed (transient for
+     *  EINTR/EAGAIN/EBUSY, persistent otherwise). */
     void sync() override;
     bool persistent() const override { return true; }
 

@@ -1,0 +1,68 @@
+#include "mem/retrying_backend.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/bitops.hpp"
+
+namespace froram {
+
+RetryingBackend::RetryingBackend(std::unique_ptr<StorageBackend> inner,
+                                 const RetryPolicy& policy)
+    : inner_(std::move(inner)), policy_(policy)
+{
+    FRORAM_ASSERT(inner_ != nullptr, "retry decorator needs a backend");
+    FRORAM_ASSERT(policy_.maxAttempts >= 1,
+                  "retry policy needs at least one attempt");
+}
+
+void
+RetryingBackend::backoff(u32 attempt)
+{
+    // Exponential base doubling per attempt, clamped, then up to +50%
+    // deterministic jitter so retry storms from parallel shards decohere
+    // while a given run stays reproducible.
+    const u32 shift = attempt - 1 < 32 ? attempt - 1 : 31;
+    u64 us = policy_.baseBackoffUs << shift;
+    if (us > policy_.maxBackoffUs || us < policy_.baseBackoffUs)
+        us = policy_.maxBackoffUs;
+    const u64 nonce =
+        jitterCounter_.fetch_add(1, std::memory_order_relaxed);
+    const u64 jitter = splitmix64Mix(policy_.jitterSeed ^ nonce);
+    us += (us / 2) * (jitter & 0xffff) / 0x10000;
+    if (us != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void
+RetryingBackend::read(u64 addr, u8* dst, u64 len)
+{
+    withRetry([&] { inner_->read(addr, dst, len); });
+}
+
+void
+RetryingBackend::write(u64 addr, const u8* src, u64 len)
+{
+    withRetry([&] { inner_->write(addr, src, len); });
+}
+
+u32
+RetryingBackend::gatherView(const ByteSpan* spans, u32 n, u8** views)
+{
+    return withRetry([&] { return inner_->gatherView(spans, n, views); });
+}
+
+void
+RetryingBackend::sync()
+{
+    withRetry([&] { inner_->sync(); });
+}
+
+u64
+RetryingBackend::streamBatch(const ByteSpan* spans, u32 n, bool is_write)
+{
+    return withRetry(
+        [&] { return inner_->streamBatch(spans, n, is_write); });
+}
+
+} // namespace froram

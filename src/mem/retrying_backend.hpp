@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Transient-fault-absorbing StorageBackend decorator.
+ *
+ * Retries raw data-plane operations that fail with a *transient*
+ * StorageError, under a bounded-attempts / exponential-backoff /
+ * deterministic-jitter policy (RetryPolicy). This is the ONLY safe
+ * place for retry in the stack: a backend read/write/gatherView/sync
+ * carries no trusted ORAM state, so reissuing it is trivially
+ * idempotent — whereas the ORAM engines remap the PosMap entry *before*
+ * the path access, so replaying a faulted access at that level would
+ * fetch the freshly-assigned (still empty) path and return wrong
+ * values. Persistent errors, and transient ones that exhaust the
+ * budget, are rethrown and fail-stop the owning OramSystem.
+ *
+ * Jitter is derived from a seeded counter (splitmix64), never from
+ * wall-clock or global randomness, so chaos runs are reproducible.
+ */
+#ifndef FRORAM_MEM_RETRYING_BACKEND_HPP
+#define FRORAM_MEM_RETRYING_BACKEND_HPP
+
+#include <atomic>
+#include <memory>
+
+#include "mem/storage_backend.hpp"
+
+namespace froram {
+
+/** StorageBackend decorator applying a RetryPolicy (see file doc). */
+class RetryingBackend : public StorageBackend {
+  public:
+    RetryingBackend(std::unique_ptr<StorageBackend> inner,
+                    const RetryPolicy& policy);
+
+    StorageBackendKind kind() const override { return inner_->kind(); }
+
+    void read(u64 addr, u8* dst, u64 len) override;
+    void write(u64 addr, const u8* src, u64 len) override;
+    u8* view(u64 addr, u64 len) override
+    {
+        return inner_->view(addr, len);
+    }
+    u32 gatherView(const ByteSpan* spans, u32 n, u8** views) override;
+    void prefetch(u64 addr, u64 len) override
+    {
+        inner_->prefetch(addr, len); // advisory: never throws, no retry
+    }
+    bool prefetchable() const override { return inner_->prefetchable(); }
+    void sync() override;
+    bool persistent() const override { return inner_->persistent(); }
+    u64 bytesTouched() const override { return inner_->bytesTouched(); }
+    u64 transientFaultsRetried() const override
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
+
+    bool timed() const override { return inner_->timed(); }
+    u64 accessBatch(const std::vector<DramRequest>& requests) override
+    {
+        return inner_->accessBatch(requests);
+    }
+    u64 streamBatch(const ByteSpan* spans, u32 n, bool is_write) override;
+    u64 burstBytes() const override { return inner_->burstBytes(); }
+    u64 layoutUnitBytes() const override
+    {
+        return inner_->layoutUnitBytes();
+    }
+    DramModel* dramModel() override { return inner_->dramModel(); }
+
+    u64 allocRegion(u64 bytes) override
+    {
+        return inner_->allocRegion(bytes);
+    }
+    u64 allocatedBytes() const override
+    {
+        return inner_->allocatedBytes();
+    }
+
+    StorageBackend& inner() { return *inner_; }
+    const RetryPolicy& policy() const { return policy_; }
+
+  private:
+    /** Sleep before reissue attempt `attempt` (1-based). */
+    void backoff(u32 attempt);
+
+    /** Run `fn` under the retry policy; rethrows what it cannot absorb. */
+    template <typename Fn>
+    auto
+    withRetry(Fn&& fn) -> decltype(fn())
+    {
+        for (u32 attempt = 1;; ++attempt) {
+            try {
+                return fn();
+            } catch (const StorageError& e) {
+                if (!e.transient() || attempt >= policy_.maxAttempts)
+                    throw;
+                retries_.fetch_add(1, std::memory_order_relaxed);
+                backoff(attempt);
+            }
+        }
+    }
+
+    std::unique_ptr<StorageBackend> inner_;
+    RetryPolicy policy_;
+    std::atomic<u64> retries_{0};
+    std::atomic<u64> jitterCounter_{0};
+};
+
+} // namespace froram
+
+#endif // FRORAM_MEM_RETRYING_BACKEND_HPP

@@ -9,8 +9,10 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include "mem/fault_injecting_backend.hpp"
 #include "mem/flat_memory_backend.hpp"
 #include "mem/mmap_file_backend.hpp"
+#include "mem/retrying_backend.hpp"
 #include "mem/timed_dram_backend.hpp"
 
 namespace froram {
@@ -42,8 +44,11 @@ storageBackendKindFromName(const std::string& name)
           " (expected flat, dram or mmap)");
 }
 
+namespace {
+
+/** The functional medium itself, before any decorators. */
 std::unique_ptr<StorageBackend>
-makeStorageBackend(const StorageBackendConfig& config)
+makeBareBackend(const StorageBackendConfig& config)
 {
     switch (config.kind) {
       case StorageBackendKind::Flat:
@@ -58,6 +63,22 @@ makeStorageBackend(const StorageBackendConfig& config)
             config.path, config.fileBytes, config.reset);
     }
     panic("unreachable");
+}
+
+} // namespace
+
+std::unique_ptr<StorageBackend>
+makeStorageBackend(const StorageBackendConfig& config)
+{
+    std::unique_ptr<StorageBackend> backend = makeBareBackend(config);
+    if (config.faultSchedule == nullptr)
+        return backend; // zero-fault hot path: no decorators, no cost
+    backend = std::make_unique<FaultInjectingBackend>(
+        std::move(backend), config.faultSchedule);
+    if (config.retry.maxAttempts > 1)
+        backend = std::make_unique<RetryingBackend>(std::move(backend),
+                                                    config.retry);
+    return backend;
 }
 
 namespace {

@@ -58,6 +58,25 @@ const char* toString(StorageBackendKind kind);
 /** Parse a backend name as printed by toString(); fatal on junk. */
 StorageBackendKind storageBackendKindFromName(const std::string& name);
 
+class FaultSchedule; // mem/fault_injecting_backend.hpp
+
+/**
+ * Transient-fault retry policy applied by RetryingBackend around raw
+ * data-plane operations. A single backend read/write/gatherView/sync is
+ * stateless with respect to the trusted ORAM controller, so reissuing
+ * it is always safe — which is exactly why the retry lives here and not
+ * in the ORAM engine, whose per-access state machine (PosMap remap
+ * before the path access, Ring's incremental valid-mask updates) is NOT
+ * restartable mid-access. Backoff is exponential with deterministic
+ * (seeded, attempt-indexed) jitter so chaos runs stay reproducible.
+ */
+struct RetryPolicy {
+    u32 maxAttempts = 3;   ///< total tries per operation (1 = no retry)
+    u64 baseBackoffUs = 50;  ///< sleep before the first reissue
+    u64 maxBackoffUs = 5000; ///< exponential backoff ceiling
+    u64 jitterSeed = 0x6a177e12;
+};
+
 /** Construction-time knobs for makeStorageBackend(). */
 struct StorageBackendConfig {
     StorageBackendKind kind = StorageBackendKind::TimedDram;
@@ -69,6 +88,17 @@ struct StorageBackendConfig {
     u64 fileBytes = u64{1} << 30;
     /** MmapFile: discard any existing file instead of reopening it. */
     bool reset = true;
+    /**
+     * Optional fault-injection schedule (tests/chaos runs): when set,
+     * the functional backend is wrapped in a FaultInjectingBackend
+     * honoring this schedule, and that in a RetryingBackend absorbing
+     * transient faults under `retry`. Never part of any configuration
+     * fingerprint — fault plumbing is operational, not behavioral.
+     */
+    std::shared_ptr<FaultSchedule> faultSchedule;
+    /** Transient-fault retry policy (used only with a faultSchedule or
+     *  a medium that can actually fail; in-RAM backends never do). */
+    RetryPolicy retry{};
 };
 
 /**
@@ -154,7 +184,8 @@ class StorageBackend {
      *  building prefetch batches entirely for always-resident media. */
     virtual bool prefetchable() const { return false; }
 
-    /** Durability barrier (msync for MmapFile; no-op otherwise). */
+    /** Durability barrier (msync for MmapFile; no-op otherwise).
+     *  Throws StorageError when the medium reports the barrier failed. */
     virtual void sync() {}
 
     /** True if data survives destruction (reopen with the same path). */
@@ -162,6 +193,10 @@ class StorageBackend {
 
     /** Bytes the data plane has materialized (RAM/disk footprint proxy). */
     virtual u64 bytesTouched() const = 0;
+
+    /** Transient faults absorbed by a retry layer below this interface
+     *  (0 for media that never fail; see RetryingBackend). */
+    virtual u64 transientFaultsRetried() const { return 0; }
     /** @} */
 
     /** @name Timing plane @{ */
@@ -213,9 +248,11 @@ class StorageBackend {
      * Reserve `bytes` of the data plane and return the region's base
      * address. Purely a deterministic bump allocator: the same sequence
      * of calls yields the same extents on every run, which is how a
-     * reopened persistent backend finds its trees again.
+     * reopened persistent backend finds its trees again. Virtual so
+     * decorators (fault injection, retry) forward to the inner backend,
+     * whose allocation state may be persisted (the mmap region log).
      */
-    u64
+    virtual u64
     allocRegion(u64 bytes)
     {
         const u64 base = allocated_;
@@ -225,7 +262,7 @@ class StorageBackend {
     }
 
     /** Total bytes handed out by allocRegion so far. */
-    u64 allocatedBytes() const { return allocated_; }
+    virtual u64 allocatedBytes() const { return allocated_; }
     /** @} */
 
   protected:

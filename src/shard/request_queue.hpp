@@ -24,12 +24,29 @@ namespace froram {
 template <typename T>
 class MpscQueue {
   public:
-    /** Append one entry (any thread). */
-    void
+    /**
+     * Append one entry (any thread). Returns false — and enqueues
+     * nothing — once the queue is closed: the producer must fail the
+     * entry itself. This is what keeps a dead consumer from stranding
+     * promises: close() + one final drain happen under the same mutex,
+     * so no push can slip in between the drain and the closed state.
+     */
+    bool
     push(T value)
     {
         std::lock_guard<std::mutex> g(mu_);
+        if (closed_)
+            return false;
         q_.push_back(std::move(value));
+        return true;
+    }
+
+    /** Refuse all future pushes (consumer-death teardown path). */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        closed_ = true;
     }
 
     /**
@@ -59,6 +76,7 @@ class MpscQueue {
   private:
     mutable std::mutex mu_;
     std::deque<T> q_;
+    bool closed_ = false;
 };
 
 } // namespace froram

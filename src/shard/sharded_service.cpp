@@ -1,6 +1,7 @@
 #include "shard/sharded_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "util/bitops.hpp"
@@ -42,6 +43,40 @@ snapshotFilePath(const std::string& dir, u32 shard, u64 generation)
 
 } // namespace
 
+const char*
+toString(ShardHealth health)
+{
+    switch (health) {
+      case ShardHealth::Healthy:
+        return "healthy";
+      case ShardHealth::Degraded:
+        return "degraded";
+      case ShardHealth::Quarantined:
+        return "quarantined";
+    }
+    return "?";
+}
+
+const char*
+toString(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::Ok:
+        return "ok";
+      case RequestStatus::StorageFault:
+        return "storage fault";
+      case RequestStatus::IntegrityFault:
+        return "integrity fault";
+      case RequestStatus::Quarantined:
+        return "shard quarantined";
+      case RequestStatus::Deadline:
+        return "deadline expired";
+      case RequestStatus::WorkerLost:
+        return "worker thread lost";
+    }
+    return "?";
+}
+
 ShardedOramService::ShardedOramService(const ShardedServiceConfig& config)
     : ShardedOramService(config, /*opening=*/false)
 {
@@ -63,7 +98,6 @@ ShardedOramService::ShardedOramService(const ShardedServiceConfig& config,
         fatal("service capacity (", numBlocks_,
               " blocks) is smaller than the shard count (", numShards_,
               ")");
-    const u64 local_blocks = divCeil(numBlocks_, numShards_);
 
     u8 key[16];
     deriveKey(cfg_.base.seed, kMapKdfLabel, key);
@@ -83,18 +117,9 @@ ShardedOramService::ShardedOramService(const ShardedServiceConfig& config,
 
     shards_.reserve(numShards_);
     for (u32 s = 0; s < numShards_; ++s) {
-        OramSystemConfig sc = cfg_.base;
-        sc.capacityBytes = local_blocks * dataBlockBytes_;
-        // Domain separation: every shard derives its own seed, hence
-        // its own cipher, PRF, MAC, snapshot and remapping-RNG keys.
-        sc.seed = splitmix64Mix(cfg_.base.seed ^
-                                (kShardSeedDomain + s));
-        if (mmap) {
-            sc.backendPath = shardBackendPath(cfg_.directory, s);
-            sc.backendReset = opening ? false : cfg_.base.backendReset;
-        }
         auto st = std::make_unique<ShardState>();
-        st->sys = std::make_unique<OramSystem>(cfg_.scheme, sc);
+        st->sys = std::make_unique<OramSystem>(cfg_.scheme,
+                                               shardConfig(s, opening));
         shards_.push_back(std::move(st));
     }
 
@@ -116,12 +141,57 @@ ShardedOramService::ShardedOramService(const ShardedServiceConfig& config,
         workers_[w]->shards.push_back(s);
     }
     for (u32 w = 0; w < nworkers; ++w)
-        workers_[w]->thread =
-            std::thread([this, w] { workerLoop(*workers_[w]); });
+        workers_[w]->thread = std::thread([this, w] {
+            // Worker-death guard: if the loop ever leaves abnormally —
+            // a library bug, or debugKillWorker in tests — every
+            // promise its shards own is failed typed instead of
+            // stranded, and the shards quarantine permanently.
+            try {
+                workerLoop(*workers_[w]);
+            } catch (const std::exception& e) {
+                onWorkerDeath(*workers_[w], e.what());
+            } catch (...) {
+                onWorkerDeath(*workers_[w], "unknown error");
+            }
+        });
+
+    if (!opening && cfg_.supervision.checkpointIntervalMs != 0)
+        supervisor_ = std::thread([this] { supervisorLoop(); });
+}
+
+OramSystemConfig
+ShardedOramService::shardConfig(u32 shard, bool opening) const
+{
+    const u64 local_blocks = divCeil(numBlocks_, numShards_);
+    OramSystemConfig sc = cfg_.base;
+    sc.capacityBytes = local_blocks * dataBlockBytes_;
+    // Domain separation: every shard derives its own seed, hence
+    // its own cipher, PRF, MAC, snapshot and remapping-RNG keys.
+    sc.seed = splitmix64Mix(cfg_.base.seed ^ (kShardSeedDomain + shard));
+    if (cfg_.base.backend == StorageBackendKind::MmapFile) {
+        sc.backendPath = shardBackendPath(cfg_.directory, shard);
+        sc.backendReset = opening ? false : cfg_.base.backendReset;
+    }
+    sc.storageRetry = cfg_.supervision.retry;
+    if (shard < cfg_.shardFaultSchedules.size() &&
+        cfg_.shardFaultSchedules[shard] != nullptr)
+        sc.faultSchedule = cfg_.shardFaultSchedules[shard];
+    return sc;
 }
 
 ShardedOramService::~ShardedOramService()
 {
+    // Stop the supervisor first: it submits recovery-point jobs, which
+    // must all be in flight (counted in pendingBatches_) before the
+    // quiesce below can mean anything.
+    if (supervisor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> g(supMu_);
+            supStop_ = true;
+        }
+        supCv_.notify_one();
+        supervisor_.join();
+    }
     {
         std::unique_lock<std::shared_mutex> g(gate_);
         stopping_ = true;
@@ -148,6 +218,8 @@ struct ShardedOramService::Batch {
     std::mutex errMu;
     std::exception_ptr error;
     std::promise<BatchResult> promise;
+    /** submit() time; request deadlines are measured from here. */
+    std::chrono::steady_clock::time_point start;
 };
 
 u32
@@ -183,6 +255,7 @@ ShardedOramService::submit(std::vector<ShardRequest> batch)
             fatal("request address ", r.addr, " out of range [0, ",
                   numBlocks_, ")");
     b->remaining.store(n, std::memory_order_relaxed);
+    b->start = std::chrono::steady_clock::now();
 
     std::shared_lock<std::shared_mutex> gate(gate_);
     if (stopping_)
@@ -195,7 +268,16 @@ ShardedOramService::submit(std::vector<ShardRequest> batch)
     u64 touched = 0; // workers with new work (bit per worker, <= 64)
     for (u32 i = 0; i < n; ++i) {
         const u32 s = shardOf(b->reqs[i].addr);
-        shards_[s]->queue.push(QueueEntry{b, i});
+        QueueEntry e{b, i, nullptr};
+        if (!shards_[s]->queue.push(std::move(e))) {
+            // The owning worker died and closed the queue: fail the
+            // request here, typed, instead of stranding its slot.
+            QueueEntry dead{b, i, nullptr};
+            failEntry(dead, RequestStatus::WorkerLost,
+                      "shard " + std::to_string(s) +
+                          " lost its worker thread");
+            continue;
+        }
         touched |= u64{1} << shards_[s]->worker;
     }
     for (u32 w = 0; w < workers_.size(); ++w) {
@@ -236,7 +318,15 @@ ShardedOramService::access(Addr addr, bool is_write,
     if (is_write && write_data != nullptr)
         batch[0].writeData = *write_data;
     BatchResult r = submit(std::move(batch)).get();
-    return std::move(r[0].result);
+    switch (r[0].status) {
+      case RequestStatus::Ok:
+        return std::move(r[0].result);
+      case RequestStatus::IntegrityFault:
+        throw IntegrityViolation(r[0].error);
+      default:
+        throw StorageError(std::string(toString(r[0].status)) + ": " +
+                           r[0].error);
+    }
 }
 
 void
@@ -255,48 +345,197 @@ ShardedOramService::waitIdle()
 void
 ShardedOramService::workerLoop(Worker& w)
 {
-    std::vector<QueueEntry> local;
+    // Popped entries live in w.local / w.localPos (not a stack vector)
+    // so the death guard can see — and fail — what was in flight when
+    // the loop threw. process() itself never throws; the only throw
+    // points are between entries, so [localPos, end) is exactly the
+    // unserviced remainder.
+    const auto killCheck = [&] {
+        if (w.killRequested.load(std::memory_order_acquire))
+            panic("worker killed by debugKillWorker");
+    };
     for (;;) {
         {
             std::unique_lock<std::mutex> lk(w.mu);
             w.cv.wait(lk, [&] {
                 return w.wake != 0 ||
-                       stop_.load(std::memory_order_acquire);
+                       stop_.load(std::memory_order_acquire) ||
+                       w.killRequested.load(std::memory_order_acquire);
             });
             w.wake = 0;
         }
+        killCheck();
         bool drained = true;
         while (drained) {
             drained = false;
             for (const u32 s : w.shards) {
-                local.clear();
-                if (shards_[s]->queue.drainTo(local) == 0)
+                w.local.clear();
+                w.localPos = 0;
+                if (shards_[s]->queue.drainTo(w.local) == 0)
                     continue;
                 drained = true;
                 // Software pipeline over the popped batch: request
                 // i+1's path prefetch is issued before request i runs,
                 // so its storage fetch overlaps i's decrypt/evict
                 // compute (see process()).
-                for (size_t i = 0; i < local.size(); ++i)
-                    process(s, local[i],
-                            i + 1 < local.size() ? &local[i + 1]
-                                                 : nullptr);
+                for (size_t i = 0; i < w.local.size(); ++i) {
+                    w.localPos = i;
+                    killCheck();
+                    process(s, w.local[i],
+                            i + 1 < w.local.size() ? &w.local[i + 1]
+                                                   : nullptr);
+                    w.localPos = i + 1;
+                }
             }
+            // Rollback pass: a shard quarantined during the drain above
+            // recovers once its queue is empty — every request queued
+            // before this point has been failed typed (the "gap"), so
+            // nothing is ever replayed against the rolled-back state.
+            for (const u32 s : w.shards)
+                if (shards_[s]->needsRecovery && shards_[s]->queue.empty())
+                    recoverShard(s);
         }
         if (stop_.load(std::memory_order_acquire)) {
             // Final sweep: nothing new can arrive (the destructor
             // drains before setting stop_), but close the window
             // between the last drain and the flag check anyway.
             for (const u32 s : w.shards) {
-                local.clear();
-                shards_[s]->queue.drainTo(local);
-                for (size_t i = 0; i < local.size(); ++i)
-                    process(s, local[i],
-                            i + 1 < local.size() ? &local[i + 1]
-                                                 : nullptr);
+                w.local.clear();
+                w.localPos = 0;
+                shards_[s]->queue.drainTo(w.local);
+                for (size_t i = 0; i < w.local.size(); ++i) {
+                    w.localPos = i;
+                    process(s, w.local[i],
+                            i + 1 < w.local.size() ? &w.local[i + 1]
+                                                   : nullptr);
+                    w.localPos = i + 1;
+                }
             }
             return;
         }
+    }
+}
+
+void
+ShardedOramService::failEntry(QueueEntry& entry, RequestStatus status,
+                              const std::string& why)
+{
+    if (entry.snap != nullptr) {
+        entry.snap->done.set_exception(
+            std::make_exception_ptr(StorageError(why)));
+        std::lock_guard<std::mutex> g(pendMu_);
+        --pendingBatches_;
+        pendCv_.notify_all();
+        return;
+    }
+    Batch& b = *entry.batch;
+    ShardAccessResult& slot = b.results[entry.index];
+    slot.addr = b.reqs[entry.index].addr;
+    slot.status = status;
+    slot.error = why;
+    slot.result = FrontendResult{};
+    finishOne(b);
+}
+
+void
+ShardedOramService::quarantineShard(u32 shard_index, RequestStatus status,
+                                    const std::string& why)
+{
+    ShardState& st = *shards_[shard_index];
+    {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        st.health = ShardHealth::Quarantined;
+        st.lastError = std::string(toString(status)) + ": " + why;
+    }
+    st.needsRecovery = true;
+    // The pending rollback counts like a batch so drain()/checkpoint()
+    // wait for it instead of racing the worker's sys replacement.
+    std::lock_guard<std::mutex> g(pendMu_);
+    ++pendingBatches_;
+}
+
+void
+ShardedOramService::recoverShard(u32 shard_index)
+{
+    ShardState& st = *shards_[shard_index];
+    st.needsRecovery = false;
+    const auto permanently = [&](const std::string& why) {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        st.permanent = true;
+        st.lastError = why + " (previously: " + st.lastError + ")";
+    };
+    if (st.recoveryBlob.empty()) {
+        permanently("no recovery point; shard quarantined permanently");
+    } else if (st.recoveries >= cfg_.supervision.maxRecoveries) {
+        permanently("recovery budget exhausted; shard quarantined "
+                    "permanently");
+    } else {
+        // Destroy the fail-stopped system FIRST: with the mmap backend
+        // the old instance still maps the shard file, and its
+        // destructor flush must not land on top of the rebuilt tree.
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            ++st.recoveries;
+        }
+        std::unique_ptr<OramSystem> old;
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            old = std::move(st.sys);
+        }
+        old.reset();
+        try {
+            OramSystemConfig sc = shardConfig(shard_index,
+                                              /*opening=*/false);
+            // The Full-scope blob restores the whole data plane, so
+            // rebuild from a clean slate even when the file persists.
+            sc.backendReset = true;
+            auto fresh = std::make_unique<OramSystem>(cfg_.scheme, sc);
+            fresh->restore(st.recoveryBlob);
+            st.lastRetries = fresh->storageRetries();
+            st.cleanStreak = 0;
+            std::lock_guard<std::mutex> g(st.healthMu);
+            st.sys = std::move(fresh);
+            st.health = ShardHealth::Degraded; // re-admitted, watched
+        } catch (const std::exception& e) {
+            permanently(std::string("rollback failed: ") + e.what());
+        }
+    }
+    std::lock_guard<std::mutex> g(pendMu_);
+    --pendingBatches_;
+    pendCv_.notify_all();
+}
+
+void
+ShardedOramService::onWorkerDeath(Worker& w, const std::string& why)
+{
+    const std::string msg = "worker thread died: " + why;
+    // Fail what the loop had popped but not yet serviced...
+    for (size_t i = w.localPos; i < w.local.size(); ++i)
+        failEntry(w.local[i], RequestStatus::WorkerLost, msg);
+    w.local.clear();
+    w.localPos = 0;
+    // ...then close each owned shard's queue (no producer can slip a
+    // new entry past the close) and fail everything still queued.
+    for (const u32 s : w.shards) {
+        ShardState& st = *shards_[s];
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            st.health = ShardHealth::Quarantined;
+            st.permanent = true;
+            st.lastError = msg;
+        }
+        if (st.needsRecovery) {
+            // A rollback was pending; release its drain() hold.
+            st.needsRecovery = false;
+            std::lock_guard<std::mutex> g(pendMu_);
+            --pendingBatches_;
+            pendCv_.notify_all();
+        }
+        st.queue.close();
+        std::vector<QueueEntry> leftover;
+        st.queue.drainTo(leftover);
+        for (QueueEntry& e : leftover)
+            failEntry(e, RequestStatus::WorkerLost, msg);
     }
 }
 
@@ -305,15 +544,64 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
                             const QueueEntry* next)
 {
     ShardState& st = *shards_[shard_index];
+
+    if (entry.snap != nullptr) {
+        // Recovery-point control entry: capture a sealed Full-scope
+        // snapshot at this point of the shard's request order. The
+        // service keeps serving its other shards meanwhile — no global
+        // quiesce — and a quarantined shard keeps its previous point.
+        try {
+            if (st.health != ShardHealth::Quarantined) {
+                std::vector<u8> blob =
+                    st.sys->checkpoint(CheckpointScope::Full);
+                std::lock_guard<std::mutex> g(st.healthMu);
+                st.recoveryBlob = std::move(blob);
+            }
+            entry.snap->done.set_value();
+        } catch (...) {
+            entry.snap->done.set_exception(std::current_exception());
+        }
+        std::lock_guard<std::mutex> g(pendMu_);
+        --pendingBatches_;
+        pendCv_.notify_all();
+        return;
+    }
+
     Batch& b = *entry.batch;
     const ShardRequest& req = b.reqs[entry.index];
     ShardAccessResult& slot = b.results[entry.index];
     slot.shard = shard_index;
     slot.addr = req.addr;
+    slot.status = RequestStatus::Ok;
+
+    // Quarantine fast-fail: requests in the gap between the fault and
+    // re-admission fail typed — they are never replayed against the
+    // rolled-back state. (health is written only by this worker, so
+    // reading our own slot without the lock is race-free.)
+    if (st.health == ShardHealth::Quarantined) {
+        std::string why;
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            why = st.lastError;
+        }
+        failEntry(entry, RequestStatus::Quarantined, why);
+        return;
+    }
+    if (req.deadlineUs != 0) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - b.start)
+                .count();
+        if (waited > static_cast<i64>(req.deadlineUs)) {
+            failEntry(entry, RequestStatus::Deadline,
+                      "request waited " + std::to_string(waited) +
+                          "us, deadline " +
+                          std::to_string(req.deadlineUs) + "us");
+            return;
+        }
+    }
+
     try {
-        if (st.failed)
-            fatal("shard ", shard_index,
-                  " is wedged by an earlier error: ", st.failReason);
         // Pipeline stage overlap via the unified submit surface: a
         // prefetchOnly entry for the NEXT popped request's path runs
         // before this one's compute. The hint never mutates ORAM
@@ -322,13 +610,13 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
         const std::vector<u8>* payload =
             req.isWrite && !req.writeData.empty() ? &req.writeData
                                                   : nullptr;
-        if (next != nullptr) {
+        if (next != nullptr && next->snap == nullptr) {
             AccessRequest hint;
             hint.addr = shardLocalAddr(
                 next->batch->reqs[next->index].addr);
             hint.prefetchOnly = true;
             AccessResult ignored;
-            st.sys->frontend().submit(&hint, &ignored, 1);
+            st.sys->submit(&hint, &ignored, 1);
         }
         AccessRequest ar;
         ar.addr = shardLocalAddr(req.addr);
@@ -336,25 +624,66 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
         ar.writeData = payload;
         // Straight into the batch slot: the slot is this request's
         // final home, so there is nothing to gain from a bounce
-        // through per-shard scratch.
-        st.sys->frontend().submit(&ar, &slot.result, 1);
-    } catch (...) {
-        const std::exception_ptr eptr = std::current_exception();
-        if (!st.failed) {
-            st.failed = true;
-            try {
-                std::rethrow_exception(eptr);
-            } catch (const std::exception& ex) {
-                st.failReason = ex.what();
-            } catch (...) {
-                st.failReason = "unknown error";
-            }
+        // through per-shard scratch. OramSystem::submit fail-stops the
+        // shard system on any escaping storage/integrity fault.
+        st.sys->submit(&ar, &slot.result, 1);
+
+        // Degraded-mode bookkeeping: the retry layer absorbing
+        // transient faults shows up as a growing retry counter; a
+        // clean streak promotes the shard back to Healthy.
+        const u64 retries = st.sys->storageRetries();
+        if (retries != st.lastRetries) {
+            st.lastRetries = retries;
+            st.cleanStreak = 0;
+            std::lock_guard<std::mutex> g(st.healthMu);
+            if (st.health == ShardHealth::Healthy)
+                st.health = ShardHealth::Degraded;
+        } else if (++st.cleanStreak >= cfg_.supervision.healthyStreak) {
+            st.cleanStreak = 0;
+            std::lock_guard<std::mutex> g(st.healthMu);
+            if (st.health == ShardHealth::Degraded)
+                st.health = ShardHealth::Healthy;
         }
-        std::lock_guard<std::mutex> g(b.errMu);
-        if (!b.error)
-            b.error = eptr;
+        finishOne(b);
+        return;
+    } catch (const IntegrityViolation& e) {
+        // Quarantine BEFORE finishing the entry: failEntry can complete
+        // the batch and drop pendingBatches_ to zero, and a drain()er
+        // waking in that window must already see the quarantine and its
+        // pending-rollback hold.
+        quarantineShard(shard_index, RequestStatus::IntegrityFault,
+                        e.what());
+        failEntry(entry, RequestStatus::IntegrityFault, e.what());
+    } catch (const StorageError& e) {
+        quarantineShard(shard_index, RequestStatus::StorageFault,
+                        e.what());
+        failEntry(entry, RequestStatus::StorageFault, e.what());
+    } catch (...) {
+        // Not a storage/integrity fault: a library bug or misuse. No
+        // typed per-request story exists for these — reject the whole
+        // batch's future (legacy semantics) and quarantine the shard
+        // permanently (no rollback: the failure mode is unknown).
+        const std::exception_ptr eptr = std::current_exception();
+        std::string why = "unknown error";
+        try {
+            std::rethrow_exception(eptr);
+        } catch (const std::exception& ex) {
+            why = ex.what();
+        } catch (...) {
+        }
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            st.health = ShardHealth::Quarantined;
+            st.permanent = true;
+            st.lastError = why;
+        }
+        {
+            std::lock_guard<std::mutex> g(b.errMu);
+            if (!b.error)
+                b.error = eptr;
+        }
+        finishOne(b);
     }
-    finishOne(b);
 }
 
 void
@@ -369,6 +698,120 @@ ShardedOramService::finishOne(Batch& b)
     std::lock_guard<std::mutex> g(pendMu_);
     --pendingBatches_;
     pendCv_.notify_all();
+}
+
+ShardHealth
+ShardedOramService::shardHealth(u32 index) const
+{
+    FRORAM_ASSERT(index < numShards_, "shard index out of range");
+    std::lock_guard<std::mutex> g(shards_[index]->healthMu);
+    return shards_[index]->health;
+}
+
+ShardedOramService::ShardHealthReport
+ShardedOramService::shardReport(u32 index) const
+{
+    FRORAM_ASSERT(index < numShards_, "shard index out of range");
+    const ShardState& st = *shards_[index];
+    ShardHealthReport r;
+    std::lock_guard<std::mutex> g(st.healthMu);
+    r.health = st.health;
+    r.recoveries = st.recoveries;
+    r.lastError = st.lastError;
+    r.hasRecoveryPoint = !st.recoveryBlob.empty();
+    // st.sys is null only inside the worker's rollback window, which
+    // holds healthMu around both the detach and the reattach.
+    r.transientFaults = st.sys != nullptr ? st.sys->storageRetries() : 0;
+    return r;
+}
+
+void
+ShardedOramService::refreshRecoveryPoints()
+{
+    std::vector<std::shared_ptr<SnapshotJob>> jobs;
+    jobs.reserve(numShards_);
+    {
+        std::shared_lock<std::shared_mutex> gate(gate_);
+        if (stopping_)
+            return;
+        u64 touched = 0;
+        for (u32 s = 0; s < numShards_; ++s) {
+            auto job = std::make_shared<SnapshotJob>();
+            {
+                std::lock_guard<std::mutex> g(pendMu_);
+                ++pendingBatches_;
+            }
+            QueueEntry e;
+            e.snap = job;
+            if (!shards_[s]->queue.push(std::move(e))) {
+                // Worker gone: the shard is permanently quarantined and
+                // keeps (at most) its old point; nothing to wait for.
+                job->done.set_value();
+                std::lock_guard<std::mutex> g(pendMu_);
+                --pendingBatches_;
+                pendCv_.notify_all();
+            } else {
+                touched |= u64{1} << shards_[s]->worker;
+            }
+            jobs.push_back(std::move(job));
+        }
+        for (u32 w = 0; w < workers_.size(); ++w) {
+            if ((touched & (u64{1} << w)) == 0)
+                continue;
+            {
+                std::lock_guard<std::mutex> g(workers_[w]->mu);
+                ++workers_[w]->wake;
+            }
+            workers_[w]->cv.notify_one();
+        }
+    }
+    // Wait out every capture before rethrowing the first failure, so a
+    // caller never races jobs it believes are finished.
+    std::exception_ptr first;
+    for (auto& job : jobs) {
+        try {
+            job->done.get_future().get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+void
+ShardedOramService::supervisorLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(cfg_.supervision.checkpointIntervalMs);
+    std::unique_lock<std::mutex> lk(supMu_);
+    for (;;) {
+        if (supCv_.wait_for(lk, interval, [this] { return supStop_; }))
+            return;
+        lk.unlock();
+        try {
+            refreshRecoveryPoints();
+        } catch (...) {
+            // A failed capture leaves the previous recovery point in
+            // place; the next tick retries. Shard-level causes surface
+            // through shardReport(), not by killing the supervisor.
+        }
+        lk.lock();
+    }
+}
+
+void
+ShardedOramService::debugKillWorker(u32 index)
+{
+    FRORAM_ASSERT(index < workers_.size(), "worker index out of range");
+    Worker& w = *workers_[index];
+    w.killRequested.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> g(w.mu);
+        ++w.wake;
+    }
+    w.cv.notify_one();
 }
 
 u64
@@ -413,11 +856,12 @@ ShardedOramService::checkpoint(CheckpointScope scope)
     if (cfg_.directory.empty())
         fatal("sharded checkpoint needs ShardedServiceConfig::"
               "directory");
-    for (u32 s = 0; s < numShards_; ++s)
-        if (shards_[s]->failed)
+    for (u32 s = 0; s < numShards_; ++s) {
+        std::lock_guard<std::mutex> g(shards_[s]->healthMu);
+        if (shards_[s]->health == ShardHealth::Quarantined)
             fatal("refusing to checkpoint: shard ", s,
-                  " is wedged by an earlier error: ",
-                  shards_[s]->failReason);
+                  " is quarantined: ", shards_[s]->lastError);
+    }
     // Volatile backends have no shard files; this just creates the
     // directory (and validates it is ours) on first use.
     if (cfg_.base.backend != StorageBackendKind::MmapFile)
@@ -564,6 +1008,12 @@ ShardedOramService::open(ShardedServiceConfig config)
                 " configuration fingerprint mismatch");
         svc->shards_[s]->sys->restore(blob);
     }
+    // The opening constructor defers the recovery-point supervisor so
+    // no capture can race the restores above; start it now.
+    if (config.supervision.checkpointIntervalMs != 0)
+        svc->supervisor_ = std::thread([p = svc.get()] {
+            p->supervisorLoop();
+        });
     return svc;
 }
 

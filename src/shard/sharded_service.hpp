@@ -39,6 +39,23 @@
  * carries the exact tag the manifest pinned (an individually
  * rolled-back shard snapshot is rejected), and then restores all
  * shards, or fails without leaving a half-open service.
+ *
+ * Supervision (see README "Fault model & recovery"). Each shard has a
+ * health state: Healthy → Degraded (transient storage faults were
+ * absorbed by the retry layer; cleared after a configurable streak of
+ * clean accesses) → Quarantined (a storage/integrity fault escaped and
+ * the shard's OramSystem fail-stopped). A quarantined shard fails its
+ * address slice with typed per-request errors while sibling shards keep
+ * serving; its owning worker then rolls it back to its last in-memory
+ * recovery point (a sealed Full-scope snapshot captured by
+ * refreshRecoveryPoints() or the periodic supervisor thread), failing —
+ * never replaying — every request queued in the gap, and re-admits it
+ * as Degraded. Rollback discards all writes since the recovery point:
+ * the RPO is bounded by the recovery-point cadence. A shard with no
+ * recovery point, an exhausted recovery budget, or a lost worker
+ * thread is quarantined permanently. Faults surface as
+ * ShardAccessResult::status (the future always resolves); only
+ * non-fault exceptions — library bugs, misuse — reject the future.
  */
 #ifndef FRORAM_SHARD_SHARDED_SERVICE_HPP
 #define FRORAM_SHARD_SHARDED_SERVICE_HPP
@@ -56,6 +73,43 @@
 #include "shard/request_queue.hpp"
 
 namespace froram {
+
+/** Per-shard health state (see file comment). */
+enum class ShardHealth : u32 {
+    Healthy,    ///< serving, no recent transient faults
+    Degraded,   ///< serving, but transient faults were absorbed recently
+    Quarantined ///< fail-stopped; address slice fails typed until
+                ///  rollback re-admits it (or permanently)
+};
+
+const char* toString(ShardHealth health);
+
+/** Typed outcome of one request (ShardAccessResult::status). */
+enum class RequestStatus : u32 {
+    Ok,             ///< result holds the access outcome
+    StorageFault,   ///< a StorageError escaped the retry budget
+    IntegrityFault, ///< PMMAC/MAC verification failed (tampering)
+    Quarantined,    ///< the shard was quarantined when the request ran
+    Deadline,       ///< the per-request deadline expired before service
+    WorkerLost      ///< the owning worker thread died
+};
+
+const char* toString(RequestStatus status);
+
+/** Supervision knobs (operational — never part of any fingerprint). */
+struct SupervisionConfig {
+    /** Transient-fault retry policy for every shard's storage (applies
+     *  when fault plumbing is armed; see StorageBackendConfig). */
+    RetryPolicy retry{};
+    /** Rollback budget per shard; exhausted = permanent quarantine. */
+    u32 maxRecoveries = 8;
+    /** Clean accesses that promote Degraded back to Healthy. */
+    u32 healthyStreak = 128;
+    /** Periodic in-memory recovery-point cadence in milliseconds
+     *  (0 = none; capture via refreshRecoveryPoints() instead). This
+     *  bounds the RPO: rollback loses at most one interval of writes. */
+    u64 checkpointIntervalMs = 0;
+};
 
 /** Configuration of a ShardedOramService. */
 struct ShardedServiceConfig {
@@ -76,6 +130,12 @@ struct ShardedServiceConfig {
     /** Service directory: mmap shard files + checkpoint snapshots.
      *  Required for the mmap backend and for checkpoint()/open(). */
     std::string directory;
+    /** Health/retry/recovery policy (see SupervisionConfig). */
+    SupervisionConfig supervision{};
+    /** Per-shard fault schedules (tests/chaos): schedule s, when
+     *  present and non-null, arms fault injection on shard s's storage.
+     *  base.faultSchedule, when set, applies to ALL shards instead. */
+    std::vector<std::shared_ptr<FaultSchedule>> shardFaultSchedules;
 };
 
 /** One access request; writes own their payload (empty = zero-fill). */
@@ -83,13 +143,20 @@ struct ShardRequest {
     Addr addr = 0;
     bool isWrite = false;
     std::vector<u8> writeData;
+    /** Fail the request typed (RequestStatus::Deadline) if it has not
+     *  started service this many microseconds after submit() (0 =
+     *  no deadline). Expiry is checked when the owning worker picks
+     *  the request up, so a deadline never interrupts an access. */
+    u64 deadlineUs = 0;
 };
 
 /** Completion record for one request of a batch. */
 struct ShardAccessResult {
     u32 shard = 0;           ///< shard that served the request
     Addr addr = 0;           ///< global address (as submitted)
-    FrontendResult result{}; ///< payload + accounting from the shard
+    RequestStatus status = RequestStatus::Ok;
+    std::string error;       ///< diagnostic when status != Ok
+    FrontendResult result{}; ///< payload + accounting (status == Ok)
 };
 
 /** PRF-partitioned multi-threaded ORAM service (see file comment). */
@@ -107,9 +174,17 @@ class ShardedOramService {
      * Enqueue a batch of requests and return a future for the full
      * batch (results in submission order). Requests are routed to their
      * shards and executed concurrently across shards, FIFO within each
-     * shard. If any request throws (e.g. IntegrityViolation), the
-     * future rethrows the first error and the offending shard refuses
-     * further requests (wedged); other shards keep serving.
+     * shard.
+     *
+     * Fault semantics: storage/integrity faults, quarantine, expired
+     * deadlines and lost workers surface as per-request
+     * ShardAccessResult::status values — the future still resolves with
+     * set_value, and sibling shards (and unaffected requests of the
+     * same batch) complete normally. The future only rethrows for
+     * NON-fault exceptions (PanicError and friends: a library bug, not
+     * a storage fault). It never hangs: every enqueued request is
+     * eventually finished by its worker, the worker-death guard, or
+     * the submit-side closed-queue path.
      *
      * Addresses are validated here — an out-of-range address throws
      * FatalError immediately and enqueues nothing.
@@ -127,12 +202,50 @@ class ShardedOramService {
 
     /** Blocking convenience wrapper preserving OramSystem::access
      *  semantics for a single request (routed through the pool;
-     *  deprecated thin wrapper over submit()). */
+     *  deprecated thin wrapper over submit()). Non-Ok statuses are
+     *  rethrown typed: IntegrityViolation for IntegrityFault,
+     *  StorageError otherwise. */
     FrontendResult access(Addr addr, bool is_write,
                           const std::vector<u8>* write_data = nullptr);
 
     /** Block until every submitted batch has completed. */
     void drain();
+
+    /** @name Supervision @{ */
+
+    /** Health snapshot of one shard (any thread). */
+    ShardHealth shardHealth(u32 index) const;
+
+    /** Aggregate supervision counters of one shard (any thread). */
+    struct ShardHealthReport {
+        ShardHealth health = ShardHealth::Healthy;
+        u64 transientFaults = 0; ///< retries absorbed by the backend
+        u64 recoveries = 0;      ///< rollbacks performed
+        bool hasRecoveryPoint = false;
+        std::string lastError;   ///< most recent fault diagnostic
+    };
+    ShardHealthReport shardReport(u32 index) const;
+
+    /**
+     * Capture a fresh in-memory recovery point (sealed Full-scope
+     * snapshot) for every serving shard and block until all are taken.
+     * Runs on the worker threads — one shard at a time per worker, in
+     * queue order with normal requests — so the service keeps serving
+     * while the points are captured (no global quiesce). Quarantined
+     * shards keep their previous point. This is what rollback restores
+     * to; the periodic supervisor thread (checkpointIntervalMs) calls
+     * it on a cadence to bound the RPO.
+     */
+    void refreshRecoveryPoints();
+
+    /**
+     * TEST HOOK: make worker `index` die (throw) at its next loop
+     * iteration, exercising the worker-death guard: all in-flight and
+     * queued requests of its shards fail with RequestStatus::WorkerLost
+     * and the shards are permanently quarantined. Not for production.
+     */
+    void debugKillWorker(u32 index);
+    /** @} */
 
     /** @name Geometry / introspection @{ */
     u32 numShards() const { return numShards_; }
@@ -171,20 +284,41 @@ class ShardedOramService {
   private:
     struct Batch;
 
-    /** Routing entry: one request of one batch. */
+    /** Recovery-point capture job (counts as one pending batch). */
+    struct SnapshotJob {
+        std::promise<void> done;
+    };
+
+    /** Routing entry: one request of one batch, or (when `snap` is
+     *  set) a recovery-point control entry for the shard. */
     struct QueueEntry {
         std::shared_ptr<Batch> batch;
         u32 index = 0;
+        std::shared_ptr<SnapshotJob> snap;
     };
 
-    /** Per-shard state; touched only by the owning worker once requests
-     *  flow (construction/checkpoint access is gated + drained). */
+    /** Per-shard state. `sys`, `recoveryBlob` and the supervision
+     *  counters are touched only by the owning worker once requests
+     *  flow (construction/checkpoint access is gated + drained);
+     *  `health`/`lastError`/`recoveries` are additionally readable from
+     *  any thread under `healthMu`. */
     struct ShardState {
         std::unique_ptr<OramSystem> sys;
         MpscQueue<QueueEntry> queue;
-        bool failed = false; ///< wedged by an earlier exception
-        std::string failReason;
         u32 worker = 0;
+
+        mutable std::mutex healthMu;
+        ShardHealth health = ShardHealth::Healthy; ///< under healthMu
+        bool permanent = false; ///< quarantine is final (under healthMu)
+        std::string lastError;  ///< under healthMu
+        u64 recoveries = 0;     ///< under healthMu
+
+        /** Last sealed Full-scope snapshot (empty = no recovery point);
+         *  owning worker only. */
+        std::vector<u8> recoveryBlob;
+        bool needsRecovery = false;  ///< owning worker only
+        u64 lastRetries = 0;         ///< storageRetries() watermark
+        u64 cleanStreak = 0;         ///< consecutive clean accesses
     };
 
     struct Worker {
@@ -193,6 +327,11 @@ class ShardedOramService {
         u64 wake = 0; ///< pending wakeups (guarded by mu)
         std::vector<u32> shards;
         std::thread thread;
+        std::atomic<bool> killRequested{false}; ///< debugKillWorker
+        /** Popped-but-unserviced entries, exposed as members so the
+         *  death guard can fail what the loop had in flight. */
+        std::vector<QueueEntry> local;
+        size_t localPos = 0;
     };
 
     ShardedOramService(const ShardedServiceConfig& config, bool opening);
@@ -200,14 +339,31 @@ class ShardedOramService {
     /** serviceFingerprint(), computable before any shard exists. */
     static u64 fingerprintFor(const ShardedServiceConfig& config);
 
+    /** Per-shard OramSystemConfig (ctor and rollback reconstruction). */
+    OramSystemConfig shardConfig(u32 shard, bool opening) const;
+
     void workerLoop(Worker& w);
+    /** Everything after a worker thread leaves workerLoop abnormally:
+     *  permanently quarantine its shards, close + fail their queues. */
+    void onWorkerDeath(Worker& w, const std::string& why);
     /** Service one popped request; `next` (the following request popped
      *  for the same shard, if any) gets its path prefetch issued first
      *  so storage fetch overlaps this request's compute. */
     void process(u32 shard_index, QueueEntry& entry,
                  const QueueEntry* next = nullptr);
+    /** Fail one entry typed without touching the shard (quarantine /
+     *  deadline / worker-death paths). */
+    void failEntry(QueueEntry& entry, RequestStatus status,
+                   const std::string& why);
+    /** Quarantine + immediate fault bookkeeping (owning worker). */
+    void quarantineShard(u32 shard_index, RequestStatus status,
+                         const std::string& why);
+    /** Attempt rollback of a quarantined shard to its recovery point
+     *  (owning worker, queue drained). */
+    void recoverShard(u32 shard_index);
     void finishOne(Batch& b);
     void waitIdle(); ///< pendingBatches_ == 0 (caller holds no locks)
+    void supervisorLoop();
 
     std::string manifestPath() const;
     std::string snapshotPath(u32 shard, u64 generation) const;
@@ -232,6 +388,12 @@ class ShardedOramService {
     std::mutex pendMu_;
     std::condition_variable pendCv_;
     u64 pendingBatches_ = 0; ///< guarded by pendMu_
+
+    /** Periodic recovery-point supervisor (checkpointIntervalMs > 0). */
+    std::thread supervisor_;
+    std::mutex supMu_;
+    std::condition_variable supCv_;
+    bool supStop_ = false; ///< guarded by supMu_
 };
 
 } // namespace froram

@@ -47,6 +47,33 @@ class IntegrityViolation : public std::runtime_error {
         : std::runtime_error(what) {}
 };
 
+/** Alias emphasizing the error-hierarchy role next to StorageError. */
+using IntegrityError = IntegrityViolation;
+
+/**
+ * Exception thrown when the untrusted storage medium misbehaves at
+ * runtime: an I/O error, a torn write, a failed durability barrier. A
+ * *transient* error may succeed if the same operation is reissued
+ * (RetryingBackend absorbs these below the ORAM engine, where a raw
+ * read/write is trivially idempotent); a non-transient error — or a
+ * transient one that survived the retry budget — propagates up through
+ * TreeStorage and the ORAM engine, fail-stops the owning OramSystem,
+ * and surfaces as a typed per-request failure. Distinct from
+ * IntegrityViolation (the data came back, but it was tampered with)
+ * and from FatalError (the configuration was never viable).
+ */
+class StorageError : public std::runtime_error {
+  public:
+    explicit StorageError(const std::string& what, bool transient = false)
+        : std::runtime_error(what), transient_(transient) {}
+
+    /** True when reissuing the failed operation may succeed. */
+    bool transient() const { return transient_; }
+
+  private:
+    bool transient_ = false;
+};
+
 namespace detail {
 
 inline void

@@ -20,8 +20,10 @@
 
 #include "checkpoint/checkpoint.hpp"
 #include "core/oram_system.hpp"
+#include "mem/fault_injecting_backend.hpp"
 #include "mem/flat_memory_backend.hpp"
 #include "mem/mmap_file_backend.hpp"
+#include "mem/retrying_backend.hpp"
 #include "mem/storage_backend.hpp"
 #include "mem/timed_dram_backend.hpp"
 #include "oram/tree_storage.hpp"
@@ -158,6 +160,65 @@ TEST_P(BackendConformance, TouchedBytesGrowWithWrites)
     backend_->write(0, bytes.data(), bytes.size());
     backend_->sync();
     EXPECT_GT(backend_->bytesTouched(), 0u);
+}
+
+TEST_P(BackendConformance, DecoratorChainIsConformant)
+{
+    // The fault-injection and retry decorators must be drop-in
+    // StorageBackends over every medium: with an idle schedule armed,
+    // all data-plane and metadata observables match the bare backend's,
+    // and a one-shot transient fault is absorbed invisibly.
+    auto sched = std::make_shared<FaultSchedule>();
+    RetryPolicy retry;
+    retry.maxAttempts = 4;
+    retry.baseBackoffUs = 1;
+    retry.maxBackoffUs = 2;
+    const StorageBackendKind kind = backend_->kind();
+    const bool wasTimed = backend_->timed();
+    const bool wasPersistent = backend_->persistent();
+    auto chain = std::make_unique<RetryingBackend>(
+        std::make_unique<FaultInjectingBackend>(std::move(backend_),
+                                                sched),
+        retry);
+
+    EXPECT_EQ(chain->kind(), kind);
+    EXPECT_EQ(chain->timed(), wasTimed);
+    EXPECT_EQ(chain->persistent(), wasPersistent);
+
+    std::vector<u8> cold(512, 0xCD);
+    chain->read(4096, cold.data(), cold.size());
+    for (const u8 b : cold)
+        ASSERT_EQ(b, 0);
+
+    const u64 base = 64 * 1024 - 13;
+    std::vector<u8> out(96 * 1024 + 5);
+    Xoshiro256 rng(17);
+    for (auto& b : out)
+        b = static_cast<u8>(rng.next());
+    chain->write(base, out.data(), out.size());
+    std::vector<u8> in(out.size());
+    chain->read(base, in.data(), in.size());
+    EXPECT_EQ(in, out);
+
+    EXPECT_EQ(chain->allocRegion(128) % 64, 0u);
+    chain->sync();
+    EXPECT_EQ(sched->faultsFired(), 0u);
+    EXPECT_EQ(chain->transientFaultsRetried(), 0u);
+
+    // One scripted transient EIO on the very next read: the retry layer
+    // absorbs it, the caller sees only the correct bytes.
+    FaultSpec spec;
+    spec.op = FaultOp::Read;
+    spec.kind = FaultKind::Eio;
+    spec.afterOps = sched->opsSeen(FaultOp::Read);
+    spec.count = 1;
+    spec.transient = true;
+    sched->inject(spec);
+    std::fill(in.begin(), in.end(), 0);
+    chain->read(base, in.data(), in.size());
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(sched->faultsFired(), 1u);
+    EXPECT_EQ(chain->transientFaultsRetried(), 1u);
 }
 
 TEST_P(BackendConformance, BackedTreeStorageRoundTripsBuckets)

@@ -190,6 +190,19 @@ TEST(CheckpointFile, MissingFileIsTypedError)
                  CheckpointError);
 }
 
+TEST(CheckpointFile, UnwritableTargetIsTypedError)
+{
+    // A commit into a directory that does not exist must surface as a
+    // typed CheckpointError (the open/write/fsync return-code audit),
+    // never a silent no-op or an abort — and it must not leave a temp
+    // file behind anywhere it *could* write.
+    const std::string path =
+        tempPath("no_such_dir") + "/sub/snapshot.ckpt";
+    const std::vector<u8> blob(64, 0x77);
+    EXPECT_THROW(ckpt::writeFileAtomic(path, blob), CheckpointError);
+    EXPECT_THROW(ckpt::readFile(path), CheckpointError);
+}
+
 // ------------------------------------------------------- component state
 
 TEST(StashCheckpoint, ExactStateRoundTrip)

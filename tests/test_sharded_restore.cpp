@@ -13,6 +13,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "mem/fault_injecting_backend.hpp"
 #include "shard/sharded_service.hpp"
 #include "util/rng.hpp"
 
@@ -157,6 +158,36 @@ TEST(ShardedRestore, VolatileBackendFullScopeRoundTrip)
     }
     auto resumed = ShardedOramService::open(cfg);
     expectSome(*resumed, 3, bb);
+}
+
+TEST(ShardedRestore, CheckpointedUnderChaosReopensWithoutFaultPlumbing)
+{
+    // Operational config — fault schedule, retry policy, supervision —
+    // is excluded from every fingerprint: a generation committed while
+    // fault injection was hammering the medium must reopen (and
+    // verify) in a plain config with no fault plumbing at all.
+    const std::string dir = freshDir("chaos_ckpt");
+    const u64 bb = 64;
+    ShardedServiceConfig chaos = mmapConfig(dir);
+    chaos.base.faultSchedule = std::make_shared<FaultSchedule>();
+    chaos.base.faultSchedule->setRandomRate(0.05, 0x0dd5);
+    chaos.supervision.retry.maxAttempts = 8;
+    chaos.supervision.retry.baseBackoffUs = 1;
+    chaos.supervision.retry.maxBackoffUs = 20;
+    {
+        ShardedOramService svc(chaos);
+        writeSome(svc, /*version=*/7, bb);
+        svc.checkpoint();
+        // The run actually exercised the fault path (seeded, so this
+        // is deterministic, not flaky).
+        EXPECT_GT(chaos.base.faultSchedule->faultsFired(), 0u);
+        for (u32 s = 0; s < svc.numShards(); ++s)
+            EXPECT_NE(svc.shardHealth(s), ShardHealth::Quarantined)
+                << "shard " << s << " must never quarantine on "
+                << "absorbed transient faults";
+    }
+    auto resumed = ShardedOramService::open(mmapConfig(dir));
+    expectSome(*resumed, 7, bb);
 }
 
 TEST(ShardedRestore, SecondCheckpointSupersedesAndCleansUp)
