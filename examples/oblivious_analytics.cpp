@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Oblivious analytics demo: a tiny orders/customers warehouse hosted in
+ * untrusted memory, queried through the src/ds/ layer without leaking
+ * anything beyond public query shape.
+ *
+ * The schema is the classic two-table join:
+ *
+ *   customers : ObliviousMap   customer_id -> profile        (point DS)
+ *   orders    : ObliviousIndex order_day   -> (fk, amount)   (range DS)
+ *
+ * and the demo runs "revenue for days [d, d+w) joined with customer
+ * tier" as an ObliviousHashJoin. Every query of width w costs exactly
+ * accessesPerQuery(w) ORAM accesses — the demo prints the prediction
+ * next to the measured count for selective, empty, and full ranges, so
+ * you can watch match count, hit rate, and key values drop out of the
+ * adversary's view.
+ *
+ *   $ ./oblivious_analytics                  # flat RAM (default)
+ *   $ ./oblivious_analytics --backend=dram   # DRAM-timed medium
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/oram_system.hpp"
+#include "ds/oblivious_index.hpp"
+#include "ds/oblivious_join.hpp"
+#include "ds/oblivious_map.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+namespace {
+
+constexpr u32 kValueBytes = 16;
+constexpr u64 kCustomerBuckets = 1024;
+constexpr Addr kOrdersBase = kCustomerBuckets;
+constexpr u64 kOrderBlocks = 512;
+
+u64
+accessCount(const OramSystem& sys)
+{
+    return sys.frontend().stats().get("accesses");
+}
+
+/** Order value layout: fk (8 B LE) + amount (4 B LE) + padding. */
+void
+packOrder(u8* out, u64 fk, u32 amount)
+{
+    std::memset(out, 0, kValueBytes);
+    for (int b = 0; b < 8; ++b)
+        out[b] = static_cast<u8>(fk >> (8 * b));
+    for (int b = 0; b < 4; ++b)
+        out[8 + b] = static_cast<u8>(amount >> (8 * b));
+}
+
+u32
+orderAmount(const u8* val)
+{
+    u32 a = 0;
+    for (int b = 0; b < 4; ++b)
+        a |= static_cast<u32>(val[8 + b]) << (8 * b);
+    return a;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 20;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = StorageBackendKind::Flat;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--backend=dram")
+            cfg.backend = StorageBackendKind::TimedDram;
+    }
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+
+    ObliviousMapConfig mcfg;
+    mcfg.valueBytes = kValueBytes;
+    ObliviousMap customers(sys.frontend(), 0, kCustomerBuckets, mcfg);
+
+    ObliviousIndexConfig icfg;
+    icfg.valueBytes = kValueBytes;
+    icfg.deltaCapacity = 32;
+    ObliviousIndex orders(sys.frontend(), kOrdersBase, kOrderBlocks,
+                          icfg);
+    ObliviousHashJoin join(orders, customers);
+
+    // ------------------------------------------------------ load data
+    Xoshiro256 rng(2026);
+    std::cout << "Loading 200 customers + 600 orders...\n";
+    u8 val[kValueBytes];
+    for (u64 c = 0; c < 200; ++c) {
+        std::memset(val, 0, sizeof(val));
+        val[0] = static_cast<u8>(c % 3); // tier
+        customers.put(1000 + c, val);
+    }
+    std::vector<u64> days;
+    std::vector<u8> ovals;
+    u64 day = 0;
+    for (u64 o = 0; o < 600; ++o) {
+        day += 1 + rng.below(3); // strictly increasing order keys
+        days.push_back(day);
+        ovals.resize(ovals.size() + kValueBytes);
+        packOrder(ovals.data() + o * kValueBytes,
+                  1000 + rng.below(240), // some fks dangle: no match
+                  10 + static_cast<u32>(rng.below(90)));
+    }
+    orders.bulkLoad(days.data(), ovals.data(), days.size());
+
+    // --------------------------------------------------- point lookup
+    std::cout << "\nPoint lookups (every op costs exactly "
+              << ObliviousMap::kAccessesPerOp << " accesses):\n";
+    for (const u64 cid : {u64{1000}, u64{1099}, u64{4242}}) {
+        const u64 before = accessCount(sys);
+        const bool hit = customers.get(cid, val);
+        std::cout << "  get(" << cid << ") -> "
+                  << (hit ? "hit " : "miss") << "   ["
+                  << accessCount(sys) - before << " accesses]\n";
+    }
+
+    // --------------------------------------------------- range + join
+    const u32 width = 8;
+    std::cout << "\nJoin queries of width " << width
+              << " (predicted cost " << join.accessesPerQuery(width)
+              << " accesses each, independent of matches):\n";
+    JoinOutput out;
+    const u64 los[] = {days[5], days[300], day + 1000};
+    const char* labels[] = {"dense range ", "mid range   ",
+                            "empty range "};
+    for (int q = 0; q < 3; ++q) {
+        const u64 before = accessCount(sys);
+        const u64 matched = join.run(los[q], width, out);
+        u64 revenue = 0;
+        for (u32 r = 0; r < width; ++r)
+            if (out.matched[r])
+                revenue += orderAmount(out.indexValue.data() +
+                                       size_t{r} * kValueBytes);
+        std::cout << "  " << labels[q] << "lo=" << los[q] << ": "
+                  << out.rows << " rows, " << matched
+                  << " joined, revenue " << revenue << "   ["
+                  << accessCount(sys) - before << " accesses]\n";
+    }
+
+    std::cout << "\nThe bracketed counts never change with the data: "
+                 "only the public width does.\n";
+    return 0;
+}

@@ -42,6 +42,15 @@ METRICS = {
     # the fault/retry tallies describe the injected load, not quality.
     "recovery_ms_p50": -1,
     "recovery_ms_p99": -1,
+    # BENCH_ds.json (bench/oram_ds.cpp): oblivious data-structure
+    # queries. accesses_per_query is the structural probe cost of a
+    # query (the leakage contract made a number) — input-independent by
+    # construction, so ANY growth is a real schedule regression, not
+    # noise. workload/mode/width/backend are identity fields.
+    "accesses_per_query": -1,
+    "queries_per_sec": +1,
+    "us_per_query": -1,
+    "queries": 0,
     "faults": 0,
     "retries": 0,
     "failed": 0,

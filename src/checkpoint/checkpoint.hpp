@@ -95,6 +95,8 @@ constexpr u32 kTagOracle = 0x4F52434C;     // "ORCL"
 constexpr u32 kTagBuffer = 0x42554646;     // "BUFF"
 constexpr u32 kTagManifest = 0x4D4E4653;   // "MNFS" (sharded service)
 constexpr u32 kTagScheme = 0x53434845;     // "SCHE" (bucket-scheme state)
+constexpr u32 kTagDsMap = 0x44534D50;      // "DSMP" (ObliviousMap residue)
+constexpr u32 kTagDsIndex = 0x44534958;    // "DSIX" (ObliviousIndex residue)
 /** @} */
 
 } // namespace ckpt

@@ -479,28 +479,10 @@ UnifiedFrontend::serviceAccess(AccessResult& res, const AccessRequest& req)
     // the Step-4 transform, while the block is still stash-resident.
     const EntryTouch t = touchEntryForChild(0, a0, res);
     res.coldMiss = t.wasCold;
-    const bool carries = config_.storage == StorageMode::Encrypted;
-    PathOramBackend::BlockTransform xform = [&](Block& blk, bool found) {
-        verifyPayload(found, blk.data, a0, t.oldCounter, t.wasCold, res);
-        if (!carries)
-            return;
-        if (is_write) {
-            // assign + resize reuse the pooled block's reserved buffer;
-            // replacing the vector would reallocate on every write.
-            if (write_data != nullptr)
-                blk.data.assign(write_data->begin(), write_data->end());
-            else
-                blk.data.clear();
-            blk.data.resize(params_.storedBlockBytes(), 0);
-        }
-        if (config_.integrity)
-            writeTag(blk.data, t.newCounter, a0);
-        res.data.assign(blk.data.begin(),
-                        blk.data.begin() +
-                            static_cast<long>(config_.blockBytes));
-    };
+    xctx_ = {&res, &t, a0, is_write,
+             config_.storage == StorageMode::Encrypted, write_data};
     backend_->accessInto(bres_, is_write ? Op::Write : Op::Read, a0,
-                         t.oldLeaf, t.newLeaf, nullptr, xform);
+                         t.oldLeaf, t.newLeaf, nullptr, dataXform_);
     account(res, bres_, /*posmap_overhead=*/false);
 
     if (t.wasCold)
@@ -509,6 +491,30 @@ UnifiedFrontend::serviceAccess(AccessResult& res, const AccessRequest& req)
     stats_.inc("posmapBytes", res.posmapBytes);
     stats_.inc("backendAccesses", res.backendAccesses);
     stats_.inc("cycles", res.cycles);
+}
+
+void
+UnifiedFrontend::applyDataXform(Block& blk, bool found)
+{
+    const XformCtx& c = xctx_;
+    verifyPayload(found, blk.data, c.a0, c.touch->oldCounter,
+                  c.touch->wasCold, *c.res);
+    if (!c.carries)
+        return;
+    if (c.isWrite) {
+        // assign + resize reuse the pooled block's reserved buffer;
+        // replacing the vector would reallocate on every write.
+        if (c.writeData != nullptr)
+            blk.data.assign(c.writeData->begin(), c.writeData->end());
+        else
+            blk.data.clear();
+        blk.data.resize(params_.storedBlockBytes(), 0);
+    }
+    if (config_.integrity)
+        writeTag(blk.data, c.touch->newCounter, c.a0);
+    c.res->data.assign(blk.data.begin(),
+                       blk.data.begin() +
+                           static_cast<long>(config_.blockBytes));
 }
 
 } // namespace froram

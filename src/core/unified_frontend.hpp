@@ -150,6 +150,10 @@ class UnifiedFrontend : public Frontend {
     void insertIntoPlb(Addr uaddr, const EntryTouch& touch,
                        PosMapContent content, FrontendResult& res);
 
+    /** Step-3/4 data-block transform body (verify, apply write,
+     *  re-tag, copy out); reads its per-access inputs from xctx_. */
+    void applyDataXform(Block& blk, bool found);
+
     /** Serialize a PLB entry back into a stash block and append it. */
     void appendEvicted(PlbEntry entry, FrontendResult& res);
 
@@ -169,6 +173,21 @@ class UnifiedFrontend : public Frontend {
     /** Reusable backend-access result: keeps the per-access payload
      *  copy-out from reallocating on every step-2/step-3 access. */
     BackendResult bres_;
+    /** Per-access inputs of applyDataXform, staged by serviceAccess. */
+    struct XformCtx {
+        AccessResult* res = nullptr;
+        const EntryTouch* touch = nullptr;
+        Addr a0 = 0;
+        bool isWrite = false;
+        bool carries = false;
+        const std::vector<u8>* writeData = nullptr;
+    };
+    XformCtx xctx_;
+    /** Constructed once with a single `this` capture (fits the
+     *  std::function small-buffer), so the hot path never heap-
+     *  allocates a fresh closure per access. */
+    PathOramBackend::BlockTransform dataXform_ =
+        [this](Block& blk, bool found) { applyDataXform(blk, found); };
     StatSet stats_;
 
     static constexpr u64 kOnChipUninit = ~u64{0};

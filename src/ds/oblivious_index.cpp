@@ -1,0 +1,426 @@
+#include "ds/oblivious_index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+namespace froram {
+
+namespace {
+
+constexpr u32 kIndexStateVersion = 1;
+/** Sentinel "no key": empty blocks sort above every real key in the
+ *  binary search. Real keys of ~0 are rejected at insert. */
+constexpr u64 kNoKey = ~u64{0};
+
+} // namespace
+
+ObliviousIndex::ObliviousIndex(Frontend& fe, Addr base, u64 num_blocks,
+                               const ObliviousIndexConfig& config)
+    : fe_(fe), base_(base), numBlocks_(num_blocks), cfg_(config)
+{
+    FRORAM_ASSERT(numBlocks_ >= 1, "ObliviousIndex needs >= 1 block");
+    FRORAM_ASSERT(cfg_.valueBytes >= 1, "valueBytes must be nonzero");
+    FRORAM_ASSERT(cfg_.deltaCapacity >= 1, "deltaCapacity must be >= 1");
+    entryBytes_ = 1 + 8 + cfg_.valueBytes;
+    const u64 block_bytes = fe_.dataBlockBytes();
+    FRORAM_ASSERT(entryBytes_ <= block_bytes,
+                  "value too wide for one ORAM block");
+    entriesPerBlock_ = block_bytes / entryBytes_;
+
+    u64 p2 = 1;
+    binProbes_ = 0;
+    while (p2 < numBlocks_) {
+        p2 <<= 1;
+        ++binProbes_;
+    }
+    delta_.reserve(cfg_.deltaCapacity);
+}
+
+u64
+ObliviousIndex::entryKey(const std::vector<u8>& img, u64 slot) const
+{
+    const u8* p = img.data() + slot * entryBytes_ + 1;
+    u64 k = 0;
+    for (int i = 0; i < 8; ++i)
+        k |= static_cast<u64>(p[i]) << (8 * i);
+    return k;
+}
+
+bool
+ObliviousIndex::entryLive(const std::vector<u8>& img, u64 slot) const
+{
+    return img[slot * entryBytes_] != 0;
+}
+
+u64
+ObliviousIndex::firstKey(const std::vector<u8>& img) const
+{
+    return entryLive(img, 0) ? entryKey(img, 0) : kNoKey;
+}
+
+void
+ObliviousIndex::readBlock(u64 b)
+{
+    fe_.accessInto(bres_, base_ + b, false);
+}
+
+void
+ObliviousIndex::writeBlock(u64 b, const std::vector<u8>& img)
+{
+    const AccessRequest req{base_ + b, true, &img, false};
+    AccessResult res;
+    fe_.submit(&req, &res, 1);
+}
+
+void
+ObliviousIndex::upsertDelta(u64 key, const u8* value, bool tombstone)
+{
+    if (key == kNoKey)
+        fatal("ObliviousIndex: key ", key, " is reserved");
+    auto it = std::lower_bound(
+        delta_.begin(), delta_.end(), key,
+        [](const DeltaEntry& e, u64 k) { return e.key < k; });
+    if (it != delta_.end() && it->key == key) {
+        it->tombstone = tombstone;
+        if (!tombstone)
+            it->value.assign(value, value + cfg_.valueBytes);
+        else
+            it->value.clear();
+        return;
+    }
+    DeltaEntry e;
+    e.key = key;
+    e.tombstone = tombstone;
+    if (!tombstone)
+        e.value.assign(value, value + cfg_.valueBytes);
+    delta_.insert(it, std::move(e));
+}
+
+void
+ObliviousIndex::insert(u64 key, const u8* value)
+{
+    // Conservative fullness guard: every pending non-tombstone delta
+    // entry MIGHT be a new key (an upsert of an existing key is
+    // indistinguishable without probing, which would leak).
+    u64 live_delta = 0;
+    for (const auto& e : delta_)
+        live_delta += e.tombstone ? 0 : 1;
+    if (size_ + live_delta >= capacityEntries())
+        fatal("ObliviousIndex full (", size_, " entries + ", live_delta,
+              " pending of ", capacityEntries(), ")");
+    upsertDelta(key, value, false);
+    maybeRebuild();
+}
+
+void
+ObliviousIndex::erase(u64 key)
+{
+    upsertDelta(key, nullptr, true);
+    maybeRebuild();
+}
+
+void
+ObliviousIndex::maybeRebuild()
+{
+    // Counter-based trigger: fires every deltaCapacity-th UPDATE OP.
+    // The delta's fill level would be a data-dependent trigger (repeat
+    // keys coalesce); the op counter is public.
+    if (++updatesSinceRebuild_ >= cfg_.deltaCapacity)
+        rebuild();
+}
+
+void
+ObliviousIndex::rebuild()
+{
+    const u64 epb = entriesPerBlock_;
+    const u64 b = numBlocks_;
+    // Read-ahead bound: merged entries shift by at most deltaCapacity
+    // positions (inserts push right, tombstones pull left), so writing
+    // block w only ever consumes old entries already read by block
+    // w + ahead. Uses the PUBLIC capacity, not the current delta size,
+    // to keep the schedule input-independent.
+    const u64 ahead =
+        std::min(b, (cfg_.deltaCapacity + epb - 1) / epb + 1);
+
+    struct OldEntry {
+        u64 key;
+        std::vector<u8> value;
+    };
+    std::deque<OldEntry> old_q;
+    // The old stream ends at the first non-full block (entries are
+    // left-compacted, so everything after it is empty) or when all
+    // blocks are read; reads past that point are uniformity dummies.
+    bool old_done = false;
+    size_t di = 0; // next delta entry
+    u64 merged = 0;
+    std::vector<u8> out_img(fe_.dataBlockBytes(), 0);
+    u64 out_fill = 0;
+
+    auto put_entry = [&](u64 key, const u8* value) {
+        u8* p = out_img.data() + out_fill * entryBytes_;
+        p[0] = 1;
+        for (int i = 0; i < 8; ++i)
+            p[1 + i] = static_cast<u8>(key >> (8 * i));
+        std::memcpy(p + 9, value, cfg_.valueBytes);
+        ++out_fill;
+        ++merged;
+    };
+
+    // Emit the next merged entry into out_img, or return false when the
+    // merged stream is exhausted. Never stalls: the ahead bound
+    // guarantees old_q holds every entry the current write can need.
+    auto emit_one = [&]() -> bool {
+        for (;;) {
+            const bool old_avail = !old_q.empty();
+            FRORAM_ASSERT(old_avail || old_done,
+                          "ObliviousIndex rebuild read-ahead underrun");
+            const bool d_avail = di < delta_.size();
+            if (!old_avail && !d_avail)
+                return false;
+            if (d_avail &&
+                (!old_avail || delta_[di].key <= old_q.front().key)) {
+                const DeltaEntry& d = delta_[di];
+                if (old_avail && old_q.front().key == d.key)
+                    old_q.pop_front(); // delta supersedes the old entry
+                ++di;
+                if (d.tombstone)
+                    continue;
+                put_entry(d.key, d.value.data());
+                return true;
+            }
+            put_entry(old_q.front().key, old_q.front().value.data());
+            old_q.pop_front();
+            return true;
+        }
+    };
+
+    for (u64 i = 0; i < b + ahead; ++i) {
+        if (i < b) {
+            readBlock(i);
+            u64 live = 0;
+            if (!old_done) {
+                for (u64 s = 0; s < epb; ++s) {
+                    if (!entryLive(bres_.data, s))
+                        break; // entries are left-compacted
+                    OldEntry e;
+                    e.key = entryKey(bres_.data, s);
+                    e.value.assign(
+                        bres_.data.data() + s * entryBytes_ + 9,
+                        bres_.data.data() + s * entryBytes_ + 9 +
+                            cfg_.valueBytes);
+                    old_q.push_back(std::move(e));
+                    ++live;
+                }
+            }
+            if (live < epb || i + 1 == b)
+                old_done = true;
+        }
+        if (i >= ahead) {
+            std::fill(out_img.begin(), out_img.end(), 0);
+            out_fill = 0;
+            while (out_fill < epb && emit_one()) {
+            }
+            writeBlock(i - ahead, out_img);
+        }
+    }
+    FRORAM_ASSERT(old_q.empty() && di == delta_.size(),
+                  "ObliviousIndex rebuild left unmerged entries");
+    FRORAM_ASSERT(merged <= capacityEntries(),
+                  "ObliviousIndex rebuild overflow");
+    size_ = merged;
+    delta_.clear();
+    updatesSinceRebuild_ = 0;
+}
+
+u64
+ObliviousIndex::scanBlocksFor(u32 width) const
+{
+    // Enough consecutive blocks to cover `width` results even if every
+    // pending tombstone kills a scanned entry, plus one block of
+    // alignment slack. Both terms are public.
+    const u64 need = u64{width} + cfg_.deltaCapacity;
+    return std::min(numBlocks_,
+                    (need + entriesPerBlock_ - 1) / entriesPerBlock_ + 1);
+}
+
+u64
+ObliviousIndex::rangeAccesses(u32 width) const
+{
+    return binProbes_ + scanBlocksFor(width);
+}
+
+u64
+ObliviousIndex::range(u64 lo, u32 width, u64* keys_out, u8* values_out)
+{
+    if (width == 0)
+        return 0;
+
+    // Phase 1: binary lifting for the last block whose first key <= lo,
+    // in exactly binProbes_ probes. Out-of-range or converged steps
+    // re-read the current block (a dummy: one real access, discarded).
+    u64 lo_b = 0;
+    u64 step = binProbes_ == 0 ? 0 : (u64{1} << (binProbes_ - 1));
+    for (u32 i = 0; i < binProbes_; ++i, step >>= 1) {
+        const u64 cand = lo_b + step;
+        const u64 probe = cand < numBlocks_ ? cand : lo_b;
+        readBlock(probe);
+        const u64 fk = firstKey(bres_.data);
+        if (cand < numBlocks_ && fk != kNoKey && fk <= lo)
+            lo_b = cand;
+    }
+
+    // Phase 2: fixed-width scan wave of consecutive blocks (mod B).
+    // Wrapped blocks hold only keys < lo (they precede lo_b in the
+    // sorted layout) and filter out below.
+    const u64 scan = scanBlocksFor(width);
+    scanReqs_.resize(scan);
+    scanRes_.resize(scan);
+    for (u64 j = 0; j < scan; ++j)
+        scanReqs_[j] = {base_ + (lo_b + j) % numBlocks_, false, nullptr,
+                        false};
+    if (cfg_.batchedProbes) {
+        fe_.submit(scanReqs_.data(), scanRes_.data(), scan);
+    } else {
+        for (u64 j = 0; j < scan; ++j)
+            fe_.submit(&scanReqs_[j], &scanRes_[j], 1);
+    }
+
+    // Phase 3 (trusted memory): merge scanned candidates with the
+    // pending delta; delta wins on equal keys, tombstones drop.
+    auto dit = std::lower_bound(
+        delta_.begin(), delta_.end(), lo,
+        [](const DeltaEntry& e, u64 k) { return e.key < k; });
+    u64 out = 0;
+    u64 j = 0, s = 0;
+    auto next_candidate = [&](u64& key) -> const u8* {
+        while (j < scan) {
+            if (lo_b + j >= numBlocks_) {
+                // wrapped block: keys < lo by layout, skip wholesale
+                ++j;
+                s = 0;
+                continue;
+            }
+            const std::vector<u8>& img = scanRes_[j].data;
+            if (s >= entriesPerBlock_ || !entryLive(img, s)) {
+                ++j;
+                s = 0;
+                continue;
+            }
+            const u64 k = entryKey(img, s);
+            if (k < lo) {
+                ++s;
+                continue;
+            }
+            key = k;
+            return img.data() + s * entryBytes_ + 9;
+        }
+        return nullptr;
+    };
+    for (;;) {
+        if (out >= width)
+            break;
+        u64 ck = 0;
+        const u8* cv = next_candidate(ck);
+        const bool d_avail = dit != delta_.end();
+        u64 key;
+        const u8* val;
+        if (d_avail && (cv == nullptr || dit->key <= ck)) {
+            if (cv != nullptr && dit->key == ck)
+                ++s; // delta supersedes the scanned entry
+            const DeltaEntry& d = *dit;
+            ++dit;
+            if (d.tombstone)
+                continue;
+            key = d.key;
+            val = d.value.data();
+        } else if (cv != nullptr) {
+            key = ck;
+            val = cv;
+            ++s;
+        } else {
+            break;
+        }
+        keys_out[out] = key;
+        std::memcpy(values_out + out * cfg_.valueBytes, val,
+                    cfg_.valueBytes);
+        ++out;
+    }
+    return out;
+}
+
+void
+ObliviousIndex::bulkLoad(const u64* keys, const u8* values, u64 n)
+{
+    FRORAM_ASSERT(n <= capacityEntries(), "bulkLoad exceeds capacity");
+    std::vector<u8> img(fe_.dataBlockBytes(), 0);
+    u64 at = 0;
+    for (u64 b = 0; b < numBlocks_; ++b) {
+        std::fill(img.begin(), img.end(), 0);
+        for (u64 s = 0; s < entriesPerBlock_ && at < n; ++s, ++at) {
+            FRORAM_ASSERT(at == 0 || keys[at] > keys[at - 1],
+                          "bulkLoad keys must be strictly increasing");
+            FRORAM_ASSERT(keys[at] != kNoKey, "reserved key in bulkLoad");
+            u8* p = img.data() + s * entryBytes_;
+            p[0] = 1;
+            for (int i = 0; i < 8; ++i)
+                p[1 + i] = static_cast<u8>(keys[at] >> (8 * i));
+            std::memcpy(p + 9, values + at * cfg_.valueBytes,
+                        cfg_.valueBytes);
+        }
+        writeBlock(b, img);
+    }
+    size_ = n;
+    delta_.clear();
+    updatesSinceRebuild_ = 0;
+}
+
+void
+ObliviousIndex::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagDsIndex);
+    w.putU32(kIndexStateVersion);
+    w.putU64(numBlocks_);
+    w.putU32(cfg_.valueBytes);
+    w.putU32(cfg_.deltaCapacity);
+    w.putU64(size_);
+    w.putU64(updatesSinceRebuild_);
+    w.putU64(delta_.size());
+    for (const auto& e : delta_) {
+        w.putU64(e.key);
+        w.putU8(e.tombstone ? 1 : 0);
+        w.putBlob(e.value.data(), e.value.size());
+    }
+    w.end();
+}
+
+void
+ObliviousIndex::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagDsIndex);
+    if (r.getU32() != kIndexStateVersion)
+        throw CheckpointError("ObliviousIndex state version mismatch");
+    if (r.getU64() != numBlocks_)
+        throw CheckpointError("ObliviousIndex geometry mismatch");
+    if (r.getU32() != cfg_.valueBytes)
+        throw CheckpointError("ObliviousIndex valueBytes mismatch");
+    if (r.getU32() != cfg_.deltaCapacity)
+        throw CheckpointError("ObliviousIndex deltaCapacity mismatch");
+    size_ = r.getU64();
+    updatesSinceRebuild_ = r.getU64();
+    const u64 n = r.getU64();
+    delta_.clear();
+    for (u64 i = 0; i < n; ++i) {
+        DeltaEntry e;
+        e.key = r.getU64();
+        e.tombstone = r.getU8() != 0;
+        e.value = r.getBlob();
+        if (e.value.size() != (e.tombstone ? 0 : cfg_.valueBytes))
+            throw CheckpointError("ObliviousIndex delta entry width "
+                                  "mismatch");
+        delta_.push_back(std::move(e));
+    }
+    r.exit();
+}
+
+} // namespace froram

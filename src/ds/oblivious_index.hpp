@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ObliviousIndex: a sorted index with oblivious range queries of padded
+ * fixed width, layered purely on Frontend::submit().
+ *
+ * A range query over a sorted array normally leaks its selectivity: the
+ * probe count tracks how many entries matched. ObliviousIndex pads the
+ * traversal so the probe count is a function of PUBLIC inputs only —
+ * the index geometry and the requested width — never of the data:
+ *
+ *   range(lo, width) = log2ceil(numBlocks) binary-search probes
+ *                      (dummy reads keep the count fixed once the
+ *                      search converges or walks off the end)
+ *                    + a fixed-width scan wave of consecutive blocks
+ *                      sized by width + deltaCapacity, mod numBlocks
+ *                      (wrapped blocks hold only keys < lo and filter
+ *                      out in trusted memory).
+ *
+ * Two equal-width queries are therefore trace-equivalent regardless of
+ * how many entries actually match (asserted in
+ * tests/test_ds_obliviousness.cpp; rangeAccesses() is the closed form).
+ *
+ * Updates go through a trusted-memory delta buffer: insert() and
+ * erase() cost ZERO ORAM accesses, and every deltaCapacity-th update op
+ * triggers a rebuild — exactly numBlocks reads + numBlocks writes that
+ * stream-merge the delta into the sorted array with a bounded carry
+ * queue. The rebuild trigger is a public op COUNTER (not the delta's
+ * fill level, which depends on key distinctness), so the rebuild
+ * schedule is itself input-independent. erase() is deliberately blind
+ * (void): reporting presence would require knowing it, and the delta
+ * learns presence only at rebuild time.
+ */
+#ifndef FRORAM_DS_OBLIVIOUS_INDEX_HPP
+#define FRORAM_DS_OBLIVIOUS_INDEX_HPP
+
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "core/frontend.hpp"
+#include "oram/types.hpp"
+
+namespace froram {
+
+/** Tuning knobs for ObliviousIndex. */
+struct ObliviousIndexConfig {
+    u32 valueBytes = 16;      ///< fixed payload width per entry
+    u32 deltaCapacity = 64;   ///< update ops between rebuilds
+    bool batchedProbes = true; ///< submit() waves vs naive per-probe loop
+};
+
+/**
+ * Sorted index from unique u64 keys to fixed-width byte values over an
+ * ORAM address region [base, base + numBlocks).
+ *
+ * Leakage contract: the adversary learns the number of range queries
+ * with each public width, and the update op count (rebuilds fire on a
+ * public counter) — never keys, values, match counts or selectivity.
+ * Not thread-safe.
+ */
+class ObliviousIndex {
+  public:
+    ObliviousIndex(Frontend& fe, Addr base, u64 num_blocks,
+                   const ObliviousIndexConfig& config = {});
+
+    /** Insert or update `key` (valueBytes() bytes). Zero ORAM accesses
+     *  now; every deltaCapacity-th update op triggers a rebuild
+     *  (rebuildAccesses() accesses). Throws FatalError when the index
+     *  is full (conservative accounting: pending upserts count). */
+    void insert(u64 key, const u8* value);
+
+    /** Blind remove: zero ORAM accesses, same rebuild schedule as
+     *  insert(). No return — presence is unknown until rebuild. */
+    void erase(u64 key);
+
+    /**
+     * Oblivious range query: the first `width` live entries with
+     * key >= lo, in ascending key order, merged with the pending delta.
+     * keys_out holds width u64s, values_out width * valueBytes() bytes;
+     * returns the number of results filled (< width only when the index
+     * has fewer matching entries — a count the ADVERSARY never sees;
+     * the probe schedule is rangeAccesses(width) regardless).
+     */
+    u64 range(u64 lo, u32 width, u64* keys_out, u8* values_out);
+
+    /** Exact ORAM accesses any range(_, width) performs — a function of
+     *  public geometry + width only (asserted in tests). */
+    u64 rangeAccesses(u32 width) const;
+
+    /** Exact ORAM accesses of one rebuild: numBlocks reads + writes. */
+    u64 rebuildAccesses() const { return 2 * numBlocks_; }
+
+    /** Force a rebuild now (e.g. before measuring query-only load). */
+    void flush() { rebuild(); }
+
+    /**
+     * Setup helper: load `n` strictly-increasing keys with their values
+     * directly into the sorted array (numBlocks writes, clears the
+     * delta). Not an oblivious op — intended for initial population.
+     */
+    void bulkLoad(const u64* keys, const u8* values, u64 n);
+
+    /** Entries in the rebuilt array (pending delta not counted). */
+    u64 size() const { return size_; }
+    u64 capacityEntries() const { return numBlocks_ * entriesPerBlock_; }
+    u32 valueBytes() const { return cfg_.valueBytes; }
+
+    /** @name Checkpoint/restore — trusted residue (delta buffer, size,
+     *  rebuild counter); geometry/config mismatches raise
+     *  CheckpointError. @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
+
+  private:
+    struct DeltaEntry {
+        u64 key;
+        std::vector<u8> value;
+        bool tombstone;
+    };
+
+    void upsertDelta(u64 key, const u8* value, bool tombstone);
+    void maybeRebuild();
+    void rebuild();
+    /** Read block `b` into blockBuf_ (one ORAM access). */
+    void readBlock(u64 b);
+    void writeBlock(u64 b, const std::vector<u8>& img);
+    u64 entryKey(const std::vector<u8>& img, u64 slot) const;
+    bool entryLive(const std::vector<u8>& img, u64 slot) const;
+    /** First key of block image, or ~0 when the block is empty. */
+    u64 firstKey(const std::vector<u8>& img) const;
+    u64 scanBlocksFor(u32 width) const;
+
+    Frontend& fe_;
+    Addr base_;
+    u64 numBlocks_;
+    ObliviousIndexConfig cfg_;
+    u32 entryBytes_;
+    u64 entriesPerBlock_;
+    u32 binProbes_; ///< fixed binary-search probe count: log2ceil(numBlocks)
+    u64 size_ = 0;
+    u64 updatesSinceRebuild_ = 0;
+    std::vector<DeltaEntry> delta_; ///< sorted by key
+
+    // Reused wave buffers.
+    AccessResult bres_;
+    std::vector<AccessRequest> scanReqs_;
+    std::vector<AccessResult> scanRes_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_DS_OBLIVIOUS_INDEX_HPP

@@ -1,0 +1,71 @@
+#include "ds/oblivious_join.hpp"
+
+#include <cstring>
+
+namespace froram {
+
+namespace {
+
+/** Probe key for rows the range didn't fill. Any value works — the map
+ *  issues its fixed probe schedule regardless and the result is
+ *  discarded — but ~0 can never collide with a live key (ObliviousIndex
+ *  reserves it, and trusted memory drops the row anyway). */
+constexpr u64 kDummyProbeKey = ~u64{0};
+
+} // namespace
+
+ObliviousHashJoin::ObliviousHashJoin(ObliviousIndex& index,
+                                     ObliviousMap& map,
+                                     const ObliviousJoinConfig& config)
+    : index_(index), map_(map), cfg_(config)
+{
+    FRORAM_ASSERT(cfg_.fkOffset + 8 <= index_.valueBytes(),
+                  "foreign key does not fit inside the index value");
+}
+
+u64
+ObliviousHashJoin::run(u64 lo, u32 width, JoinOutput& out)
+{
+    const u32 ivb = index_.valueBytes();
+    const u32 mvb = map_.valueBytes();
+    out.indexKey.resize(width);
+    out.fk.resize(width);
+    out.indexValue.resize(size_t{width} * ivb);
+    out.mapValue.resize(size_t{width} * mvb);
+    out.matched.assign(width, 0);
+
+    // Leg 1: padded range scan (index.rangeAccesses(width) probes).
+    out.rows = index_.range(lo, width, out.indexKey.data(),
+                            out.indexValue.data());
+
+    // Leg 2: ALWAYS `width` map probes — unfilled rows probe a dummy
+    // key so the probe count never tracks the range's selectivity.
+    probeKeys_.resize(width);
+    foundFlags_.resize(width);
+    for (u32 i = 0; i < width; ++i) {
+        if (i < out.rows) {
+            u64 fk = 0;
+            const u8* p =
+                out.indexValue.data() + size_t{i} * ivb + cfg_.fkOffset;
+            for (int b = 0; b < 8; ++b)
+                fk |= static_cast<u64>(p[b]) << (8 * b);
+            out.fk[i] = fk;
+            probeKeys_[i] = fk;
+        } else {
+            out.fk[i] = 0;
+            probeKeys_[i] = kDummyProbeKey;
+        }
+    }
+    map_.getBatch(probeKeys_.data(), width, out.mapValue.data(),
+                  foundFlags_.data());
+
+    u64 matched = 0;
+    for (u32 i = 0; i < width; ++i) {
+        const bool live = i < out.rows && foundFlags_[i] != 0;
+        out.matched[i] = live ? 1 : 0;
+        matched += live ? 1 : 0;
+    }
+    return matched;
+}
+
+} // namespace froram

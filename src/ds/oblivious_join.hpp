@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ObliviousHashJoin: the composition demo — an oblivious range-probe
+ * join between an ObliviousIndex (outer, range side) and an
+ * ObliviousMap (inner, key side).
+ *
+ * run(lo, width) answers "for the first `width` index entries with
+ * key >= lo, fetch the map record their value points at". A naive plan
+ * leaks twice: the range scan's probe count tracks selectivity, and the
+ * per-row map lookups track how many rows matched. Here both legs are
+ * padded: the range leg costs index.rangeAccesses(width) and the probe
+ * leg ALWAYS issues exactly `width` map lookups (rows the range didn't
+ * fill probe a dummy key and are discarded in trusted memory), so the
+ * total access count is a function of the public (lo-independent) width
+ * only:
+ *
+ *   accessesPerQuery(width) = index.rangeAccesses(width)
+ *                           + ObliviousMap::kAccessesPerOp * width
+ *
+ * The probe leg rides ObliviousMap::getBatch — one pipelined read wave
+ * with prefetch hints, then one writeback wave — which is where the
+ * batch engine's amortization shows up in BENCH_ds.json's join rows.
+ */
+#ifndef FRORAM_DS_OBLIVIOUS_JOIN_HPP
+#define FRORAM_DS_OBLIVIOUS_JOIN_HPP
+
+#include <vector>
+
+#include "ds/oblivious_index.hpp"
+#include "ds/oblivious_map.hpp"
+
+namespace froram {
+
+/** Tuning knobs for ObliviousHashJoin. */
+struct ObliviousJoinConfig {
+    /** Byte offset of the 8-byte LE foreign key inside each index
+     *  value (must leave 8 bytes before the value ends). */
+    u32 fkOffset = 0;
+};
+
+/** One join answer; vectors are resized to `width` slots, of which the
+ *  first `rows` are live (the rest carried dummy probes). */
+struct JoinOutput {
+    u64 rows = 0;                ///< live rows (range results)
+    std::vector<u64> indexKey;   ///< outer key per row
+    std::vector<u64> fk;         ///< extracted foreign key per row
+    std::vector<u8> indexValue;  ///< width * index.valueBytes() bytes
+    std::vector<u8> mapValue;    ///< width * map.valueBytes() bytes
+    std::vector<u8> matched;     ///< 1 where the map held the fk
+};
+
+class ObliviousHashJoin {
+  public:
+    ObliviousHashJoin(ObliviousIndex& index, ObliviousMap& map,
+                      const ObliviousJoinConfig& config = {});
+
+    /** Execute one join of public width; returns the matched-row count
+     *  (invisible to the adversary — the schedule is fixed). `out`'s
+     *  buffers are reused across calls. */
+    u64 run(u64 lo, u32 width, JoinOutput& out);
+
+    /** Exact ORAM accesses any run(_, width) performs. */
+    u64
+    accessesPerQuery(u32 width) const
+    {
+        return index_.rangeAccesses(width) +
+               u64{ObliviousMap::kAccessesPerOp} * width;
+    }
+
+  private:
+    ObliviousIndex& index_;
+    ObliviousMap& map_;
+    ObliviousJoinConfig cfg_;
+    std::vector<u64> probeKeys_;
+    std::vector<u8> foundFlags_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_DS_OBLIVIOUS_JOIN_HPP

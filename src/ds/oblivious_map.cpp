@@ -1,0 +1,438 @@
+#include "ds/oblivious_map.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace froram {
+
+namespace {
+
+constexpr u32 kMapStateVersion = 1;
+
+} // namespace
+
+ObliviousMap::ObliviousMap(Frontend& fe, Addr base, u64 num_buckets,
+                           const ObliviousMapConfig& config)
+    : fe_(fe), base_(base), numBuckets_(num_buckets), cfg_(config)
+{
+    FRORAM_ASSERT(numBuckets_ >= 2, "ObliviousMap needs >= 2 buckets");
+    FRORAM_ASSERT(cfg_.valueBytes >= 1, "valueBytes must be nonzero");
+    slotBytes_ = 1 + 8 + cfg_.valueBytes;
+    const u64 block_bytes = fe_.dataBlockBytes();
+    FRORAM_ASSERT(slotBytes_ <= block_bytes,
+                  "value too wide for one ORAM block");
+    slotsPerBucket_ = static_cast<u32>(block_bytes / slotBytes_);
+
+    // Derive the bucket-placement PRF key from the config seed. The
+    // key never leaves trusted memory; bucket addresses are therefore
+    // unlinkable to key values without it.
+    Xoshiro256 kdf(cfg_.seed ^ 0xD5A7A5EC0B11F0ULL);
+    u8 key[16];
+    for (int w = 0; w < 2; ++w) {
+        const u64 bits = kdf.next();
+        for (int i = 0; i < 8; ++i)
+            key[w * 8 + i] = static_cast<u8>(bits >> (8 * i));
+    }
+    prf_.setKey(key);
+
+    overflow_.reserve(cfg_.overflowCapacity);
+    // Pre-size the single-op wave buffers; steady-state ops re-resize to
+    // the same lengths, which never reallocates.
+    readReqs_.resize(4);
+    readRes_.resize(4);
+    writeReqs_.resize(2);
+    writeRes_.resize(2);
+}
+
+Addr
+ObliviousMap::bucketOf(u64 key, u32 which) const
+{
+    return base_ + prf_.eval(key, which, 0xD5) % numBuckets_;
+}
+
+u32
+ObliviousMap::findSlot(const std::vector<u8>& img, u64 key) const
+{
+    for (u32 s = 0; s < slotsPerBucket_; ++s) {
+        const size_t at = slotAt(s);
+        if (img[at] != 0 && slotKey(img, s) == key)
+            return s;
+    }
+    return kNoSlot;
+}
+
+u32
+ObliviousMap::freeSlot(const std::vector<u8>& img) const
+{
+    for (u32 s = 0; s < slotsPerBucket_; ++s)
+        if (img[slotAt(s)] == 0)
+            return s;
+    return kNoSlot;
+}
+
+void
+ObliviousMap::writeSlot(std::vector<u8>& img, u32 slot, u64 key,
+                        const u8* value) const
+{
+    u8* p = img.data() + slotAt(slot);
+    p[0] = 1;
+    for (int i = 0; i < 8; ++i)
+        p[1 + i] = static_cast<u8>(key >> (8 * i));
+    std::memcpy(p + 9, value, cfg_.valueBytes);
+}
+
+u64
+ObliviousMap::slotKey(const std::vector<u8>& img, u32 slot) const
+{
+    const u8* p = img.data() + slotAt(slot) + 1;
+    u64 k = 0;
+    for (int i = 0; i < 8; ++i)
+        k |= static_cast<u64>(p[i]) << (8 * i);
+    return k;
+}
+
+void
+ObliviousMap::runWave(const AccessRequest* reqs, AccessResult* results,
+                      u64 n)
+{
+    if (cfg_.batchedProbes) {
+        fe_.submit(reqs, results, n);
+        return;
+    }
+    // Naive per-probe loop: every real request is its own single-entry
+    // submit (no pipeline lookahead), and hint entries are dropped. The
+    // adversary-visible access COUNT is identical to the batched path —
+    // only the storage overlap differs — so obliviousness does not
+    // depend on the mode.
+    for (u64 i = 0; i < n; ++i) {
+        if (reqs[i].prefetchOnly) {
+            results[i].reset();
+            continue;
+        }
+        fe_.submit(&reqs[i], &results[i], 1);
+    }
+}
+
+void
+ObliviousMap::readBuckets(u64 key)
+{
+    addr_[0] = bucketOf(key, 0);
+    addr_[1] = bucketOf(key, 1);
+    readReqs_.resize(4);
+    readRes_.resize(4);
+    // Two real reads, then prefetch hints for the SAME addresses: each
+    // read freshly remapped its block's leaf, so the hint warms the new
+    // path the uniform writeback tail is about to walk.
+    readReqs_[0] = {addr_[0], false, nullptr, false};
+    readReqs_[1] = {addr_[1], false, nullptr, false};
+    readReqs_[2] = {addr_[0], false, nullptr, true};
+    readReqs_[3] = {addr_[1], false, nullptr, true};
+    runWave(readReqs_.data(), readRes_.data(), 4);
+}
+
+void
+ObliviousMap::writeBuckets()
+{
+    // Canonical image per distinct address: when both candidate buckets
+    // of a key coincide, both writebacks carry bucket 0's image, so the
+    // duplicate write is a harmless identical overwrite and the access
+    // count stays fixed at kAccessesPerOp.
+    std::vector<u8>* img0 = &readRes_[0].data;
+    std::vector<u8>* img1 =
+        addr_[1] == addr_[0] ? img0 : &readRes_[1].data;
+    writeReqs_.resize(2);
+    writeRes_.resize(2);
+    writeReqs_[0] = {addr_[0], true, img0, false};
+    writeReqs_[1] = {addr_[1], true, img1, false};
+    runWave(writeReqs_.data(), writeRes_.data(), 2);
+    ++opCount_;
+}
+
+void
+ObliviousMap::drainOverflow(std::vector<u8>* imgs[2], const Addr addrs[2],
+                            u32 n_imgs)
+{
+    // Opportunistic stash drain: any stash entry whose candidate bucket
+    // is in hand moves into a free slot at zero extra accesses (every
+    // op writes its touched buckets back regardless).
+    for (size_t e = 0; e < overflow_.size();) {
+        bool placed = false;
+        for (u32 i = 0; i < n_imgs && !placed; ++i) {
+            const u64 k = overflow_[e].key;
+            if (bucketOf(k, 0) != addrs[i] && bucketOf(k, 1) != addrs[i])
+                continue;
+            const u32 s = freeSlot(*imgs[i]);
+            if (s == kNoSlot)
+                continue;
+            writeSlot(*imgs[i], s, k, overflow_[e].value.data());
+            overflow_.erase(overflow_.begin() +
+                            static_cast<std::ptrdiff_t>(e));
+            placed = true;
+        }
+        if (!placed)
+            ++e;
+    }
+}
+
+bool
+ObliviousMap::get(u64 key, u8* value_out)
+{
+    readBuckets(key);
+    std::vector<u8>* img0 = &readRes_[0].data;
+    std::vector<u8>* img1 =
+        addr_[1] == addr_[0] ? img0 : &readRes_[1].data;
+
+    bool found = false;
+    u32 s = findSlot(*img0, key);
+    if (s != kNoSlot) {
+        std::memcpy(value_out, img0->data() + slotAt(s) + 9,
+                    cfg_.valueBytes);
+        found = true;
+    } else if (img1 != img0 && (s = findSlot(*img1, key)) != kNoSlot) {
+        std::memcpy(value_out, img1->data() + slotAt(s) + 9,
+                    cfg_.valueBytes);
+        found = true;
+    } else {
+        for (const auto& e : overflow_) {
+            if (e.key == key) {
+                std::memcpy(value_out, e.value.data(), cfg_.valueBytes);
+                found = true;
+                break;
+            }
+        }
+    }
+
+    std::vector<u8>* imgs[2] = {img0, img1};
+    drainOverflow(imgs, addr_, img1 != img0 ? 2 : 1);
+    writeBuckets();
+    return found;
+}
+
+void
+ObliviousMap::put(u64 key, const u8* value)
+{
+    readBuckets(key);
+    std::vector<u8>* img0 = &readRes_[0].data;
+    std::vector<u8>* img1 =
+        addr_[1] == addr_[0] ? img0 : &readRes_[1].data;
+
+    bool stored = false;
+    u32 s = findSlot(*img0, key);
+    if (s != kNoSlot) {
+        writeSlot(*img0, s, key, value);
+        stored = true;
+    } else if (img1 != img0 && (s = findSlot(*img1, key)) != kNoSlot) {
+        writeSlot(*img1, s, key, value);
+        stored = true;
+    }
+    if (!stored) {
+        for (auto& e : overflow_) {
+            if (e.key == key) {
+                std::memcpy(e.value.data(), value, cfg_.valueBytes);
+                stored = true;
+                break;
+            }
+        }
+    }
+    if (!stored) {
+        ++size_;
+        s = freeSlot(*img0);
+        if (s != kNoSlot) {
+            writeSlot(*img0, s, key, value);
+        } else if (img1 != img0 && (s = freeSlot(*img1)) != kNoSlot) {
+            writeSlot(*img1, s, key, value);
+        } else {
+            // Both candidate buckets full: evict a deterministic victim
+            // to the trusted overflow stash and take its slot. The
+            // victim choice keys off the op counter, not the data, so
+            // replay after checkpoint restore is bit-identical.
+            std::vector<u8>* vimg =
+                (img1 != img0 && (opCount_ & 1)) ? img1 : img0;
+            const u32 vs =
+                static_cast<u32>((opCount_ >> 1) % slotsPerBucket_);
+            if (overflow_.size() >= cfg_.overflowCapacity)
+                fatal("ObliviousMap overflow stash full (",
+                      overflow_.size(), " entries); table overloaded");
+            OverflowEntry victim;
+            victim.key = slotKey(*vimg, vs);
+            victim.value.assign(vimg->data() + slotAt(vs) + 9,
+                                vimg->data() + slotAt(vs) + 9 +
+                                    cfg_.valueBytes);
+            overflow_.push_back(std::move(victim));
+            writeSlot(*vimg, vs, key, value);
+        }
+    }
+
+    std::vector<u8>* imgs[2] = {img0, img1};
+    drainOverflow(imgs, addr_, img1 != img0 ? 2 : 1);
+    writeBuckets();
+}
+
+bool
+ObliviousMap::erase(u64 key)
+{
+    readBuckets(key);
+    std::vector<u8>* img0 = &readRes_[0].data;
+    std::vector<u8>* img1 =
+        addr_[1] == addr_[0] ? img0 : &readRes_[1].data;
+
+    bool found = false;
+    u32 s = findSlot(*img0, key);
+    if (s != kNoSlot) {
+        std::memset(img0->data() + slotAt(s), 0, slotBytes_);
+        found = true;
+    } else if (img1 != img0 && (s = findSlot(*img1, key)) != kNoSlot) {
+        std::memset(img1->data() + slotAt(s), 0, slotBytes_);
+        found = true;
+    } else {
+        for (size_t e = 0; e < overflow_.size(); ++e) {
+            if (overflow_[e].key == key) {
+                overflow_.erase(overflow_.begin() +
+                                static_cast<std::ptrdiff_t>(e));
+                found = true;
+                break;
+            }
+        }
+    }
+    if (found)
+        --size_;
+
+    std::vector<u8>* imgs[2] = {img0, img1};
+    drainOverflow(imgs, addr_, img1 != img0 ? 2 : 1);
+    writeBuckets();
+    return found;
+}
+
+u64
+ObliviousMap::getBatch(const u64* keys, u64 n, u8* values_out,
+                       u8* found_out)
+{
+    if (n == 0)
+        return 0;
+    const u64 probes = 2 * n;
+    batchAddrs_.resize(probes);
+    batchCanon_.resize(probes);
+    for (u64 i = 0; i < n; ++i) {
+        batchAddrs_[2 * i] = bucketOf(keys[i], 0);
+        batchAddrs_[2 * i + 1] = bucketOf(keys[i], 1);
+    }
+    // Canonical index per distinct address: duplicate probes (repeated
+    // keys, or distinct keys hashing to a shared bucket) all read and
+    // write bucket state through the FIRST probe's image, so no update
+    // is lost and the access count stays at kAccessesPerOp * n
+    // regardless of collisions. Batches are wave-sized, so the
+    // quadratic scan is trivial.
+    for (u64 j = 0; j < probes; ++j) {
+        u64 c = j;
+        for (u64 i = 0; i < j; ++i) {
+            if (batchAddrs_[i] == batchAddrs_[j]) {
+                c = i;
+                break;
+            }
+        }
+        batchCanon_[j] = static_cast<u32>(c);
+    }
+
+    // Read wave: all 2n probes through one submit() span. The engine's
+    // built-in pipeline hints probe j+1's path under probe j (and the
+    // writeback wave below gets the same treatment), so no explicit
+    // prefetchOnly entries are needed here — at wave sizes the extra
+    // hints would only duplicate that work at a worse reuse distance.
+    // Grow-only: never shrink, so repeated batches reuse warm buffers.
+    if (batchReadReqs_.size() < probes) {
+        batchReadReqs_.resize(probes);
+        batchReadRes_.resize(probes);
+    }
+    for (u64 j = 0; j < probes; ++j)
+        batchReadReqs_[j] = {batchAddrs_[j], false, nullptr, false};
+    runWave(batchReadReqs_.data(), batchReadRes_.data(), probes);
+
+    u64 hits = 0;
+    for (u64 i = 0; i < n; ++i) {
+        std::vector<u8>* img0 = &batchReadRes_[batchCanon_[2 * i]].data;
+        std::vector<u8>* img1 =
+            &batchReadRes_[batchCanon_[2 * i + 1]].data;
+        bool found = false;
+        u32 s = findSlot(*img0, keys[i]);
+        if (s != kNoSlot) {
+            std::memcpy(values_out + i * cfg_.valueBytes,
+                        img0->data() + slotAt(s) + 9, cfg_.valueBytes);
+            found = true;
+        } else if (img1 != img0 &&
+                   (s = findSlot(*img1, keys[i])) != kNoSlot) {
+            std::memcpy(values_out + i * cfg_.valueBytes,
+                        img1->data() + slotAt(s) + 9, cfg_.valueBytes);
+            found = true;
+        } else {
+            for (const auto& e : overflow_) {
+                if (e.key == keys[i]) {
+                    std::memcpy(values_out + i * cfg_.valueBytes,
+                                e.value.data(), cfg_.valueBytes);
+                    found = true;
+                    break;
+                }
+            }
+        }
+        found_out[i] = found ? 1 : 0;
+        hits += found ? 1 : 0;
+    }
+
+    // Uniform writeback tail: every probe writes its canonical image
+    // back (duplicates overwrite with identical bytes).
+    if (batchWriteReqs_.size() < probes) {
+        batchWriteReqs_.resize(probes);
+        batchWriteRes_.resize(probes);
+    }
+    for (u64 j = 0; j < probes; ++j)
+        batchWriteReqs_[j] = {batchAddrs_[j], true,
+                              &batchReadRes_[batchCanon_[j]].data, false};
+    runWave(batchWriteReqs_.data(), batchWriteRes_.data(), probes);
+    opCount_ += n;
+    return hits;
+}
+
+void
+ObliviousMap::saveState(CheckpointWriter& w) const
+{
+    w.begin(ckpt::kTagDsMap);
+    w.putU32(kMapStateVersion);
+    w.putU64(numBuckets_);
+    w.putU32(cfg_.valueBytes);
+    w.putU64(size_);
+    w.putU64(opCount_);
+    w.putU64(overflow_.size());
+    for (const auto& e : overflow_) {
+        w.putU64(e.key);
+        w.putBlob(e.value.data(), e.value.size());
+    }
+    w.end();
+}
+
+void
+ObliviousMap::restoreState(CheckpointReader& r)
+{
+    r.enter(ckpt::kTagDsMap);
+    if (r.getU32() != kMapStateVersion)
+        throw CheckpointError("ObliviousMap state version mismatch");
+    if (r.getU64() != numBuckets_)
+        throw CheckpointError("ObliviousMap geometry mismatch");
+    if (r.getU32() != cfg_.valueBytes)
+        throw CheckpointError("ObliviousMap valueBytes mismatch");
+    size_ = r.getU64();
+    opCount_ = r.getU64();
+    const u64 n = r.getU64();
+    overflow_.clear();
+    for (u64 i = 0; i < n; ++i) {
+        OverflowEntry e;
+        e.key = r.getU64();
+        e.value = r.getBlob();
+        if (e.value.size() != cfg_.valueBytes)
+            throw CheckpointError("ObliviousMap stash entry width "
+                                  "mismatch");
+        overflow_.push_back(std::move(e));
+    }
+    r.exit();
+}
+
+} // namespace froram

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * ObliviousMap: a cuckoo-style oblivious hashmap layered purely on the
+ * unified Frontend::submit() access surface.
+ *
+ * The ORAM below hides WHICH block an access touches; what it cannot
+ * hide is HOW MANY accesses a data-structure operation issues. A naive
+ * hash table probes until it finds the key (or a hole), so its access
+ * COUNT leaks the load factor, hit/miss outcome and probe-chain shape.
+ * ObliviousMap therefore fixes the probe schedule: every operation —
+ * get, put and erase, hit or miss — issues exactly kAccessesPerOp
+ * submit() accesses (two bucket reads followed by two bucket
+ * writebacks, dummies included), so any two same-length op sequences
+ * are trace-equivalent regardless of keys, values or hit rates. Since
+ * the ORAM also makes reads and writes indistinguishable, the op TYPE
+ * is hidden too, not just its arguments.
+ *
+ * Layout: d = 2 candidate buckets per key, derived with a keyed PRF
+ * (AES-128) so bucket addresses are unlinkable to key values; each
+ * bucket is one ORAM block holding blockBytes / slotBytes fixed-width
+ * slots. Insertion into two full buckets evicts a deterministic victim
+ * into a small trusted-memory overflow stash (the classic cuckoo stash,
+ * bounded by config.overflowCapacity); because every op writes both
+ * touched buckets back anyway, stash entries drain opportunistically
+ * into any touched bucket with a free slot, at zero extra accesses.
+ *
+ * Batching: with config.batchedProbes (default) the read wave of an op
+ * goes through one submit() span — request i+1's storage fetch overlaps
+ * request i's compute — and each read wave appends prefetchOnly hints
+ * for the freshly remapped paths the write wave is about to walk.
+ * getBatch() amortizes further by staging ALL probes of a key batch in
+ * two waves (2n reads + hints, then 2n writebacks). With batchedProbes
+ * off, every probe is a standalone frontend access (the naive per-probe
+ * loop the BENCH_ds.json rows compare against).
+ */
+#ifndef FRORAM_DS_OBLIVIOUS_MAP_HPP
+#define FRORAM_DS_OBLIVIOUS_MAP_HPP
+
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "core/frontend.hpp"
+#include "crypto/prf.hpp"
+#include "oram/types.hpp"
+
+namespace froram {
+
+/** Tuning knobs for ObliviousMap. */
+struct ObliviousMapConfig {
+    u32 valueBytes = 16;      ///< fixed payload width per entry
+    u32 overflowCapacity = 64; ///< trusted cuckoo-stash bound
+    u64 seed = 0x0b11f0;      ///< PRF key derivation seed
+    bool batchedProbes = true; ///< submit() waves vs naive per-probe loop
+};
+
+/**
+ * Fixed-capacity oblivious hashmap from u64 keys to fixed-width byte
+ * values over an ORAM address region [base, base + numBuckets).
+ *
+ * Leakage contract: the adversary learns the NUMBER of operations (each
+ * op is exactly kAccessesPerOp backend accesses) and nothing else — not
+ * keys, values, hit/miss outcomes, load factor, or even whether an op
+ * was a get, put or erase. Not thread-safe; one map per Frontend user.
+ */
+class ObliviousMap {
+  public:
+    /** Backend accesses per operation: 2 bucket reads + 2 writebacks.
+     *  Constant by construction; asserted input-independent in
+     *  tests/test_ds_obliviousness.cpp. */
+    static constexpr u32 kAccessesPerOp = 4;
+
+    /**
+     * @param fe frontend whose submit() surface carries every probe
+     * @param base first ORAM block address of the map's region
+     * @param num_buckets region size in blocks (one bucket per block)
+     * @param config see ObliviousMapConfig
+     */
+    ObliviousMap(Frontend& fe, Addr base, u64 num_buckets,
+                 const ObliviousMapConfig& config = {});
+
+    /**
+     * Look up `key`; copies valueBytes() bytes into `value_out` (left
+     * untouched on miss) and returns whether the key was present.
+     * Issues exactly kAccessesPerOp accesses either way. Allocation-
+     * free once warmed (asserted in tests/test_hotpath_alloc.cpp).
+     */
+    bool get(u64 key, u8* value_out);
+
+    /** Insert or update `key` with valueBytes() bytes from `value`.
+     *  Exactly kAccessesPerOp accesses. Throws FatalError if the
+     *  overflow stash exceeds its bound (table overloaded). */
+    void put(u64 key, const u8* value);
+
+    /** Remove `key`; returns whether it was present. Exactly
+     *  kAccessesPerOp accesses either way. */
+    bool erase(u64 key);
+
+    /**
+     * Batched multi-get: n keys through two submit() waves (2n reads +
+     * prefetch hints, then 2n writebacks), amortizing the pipeline
+     * across the whole batch. values_out holds n * valueBytes() bytes;
+     * found_out n 0/1 flags. Returns the number of hits. Exactly
+     * kAccessesPerOp * n accesses regardless of content (duplicate
+     * keys/buckets included: colliding writebacks carry one canonical
+     * image, so the count never depends on key collisions).
+     */
+    u64 getBatch(const u64* keys, u64 n, u8* values_out, u8* found_out);
+
+    /** Live entries (tracked in trusted memory). */
+    u64 size() const { return size_; }
+    /** Entries currently parked in the trusted overflow stash. */
+    u64 overflowSize() const { return overflow_.size(); }
+    /** Maximum entries the region can hold. */
+    u64 capacity() const { return numBuckets_ * slotsPerBucket_; }
+    u32 valueBytes() const { return cfg_.valueBytes; }
+
+    /** @name Checkpoint/restore
+     *
+     * The map's trusted residue (overflow stash, size, op counter) —
+     * everything not already captured by the owning OramSystem's
+     * snapshot. Restoring into a map with a different geometry or
+     * config raises CheckpointError. After restoreState() on a system
+     * restored from the matching snapshot, replay continues
+     * bit-identically (values and adversary trace).
+     * @{ */
+    void saveState(CheckpointWriter& w) const;
+    void restoreState(CheckpointReader& r);
+    /** @} */
+
+  private:
+    struct OverflowEntry {
+        u64 key;
+        std::vector<u8> value;
+    };
+
+    Addr bucketOf(u64 key, u32 which) const;
+    /** Slot offset of `slot` within a bucket image. */
+    size_t slotAt(u32 slot) const { return size_t{slot} * slotBytes_; }
+    /** Find `key` in `img`; returns slot index or kNoSlot. */
+    u32 findSlot(const std::vector<u8>& img, u64 key) const;
+    /** First free slot in `img`, or kNoSlot. */
+    u32 freeSlot(const std::vector<u8>& img) const;
+    void writeSlot(std::vector<u8>& img, u32 slot, u64 key,
+                   const u8* value) const;
+    u64 slotKey(const std::vector<u8>& img, u32 slot) const;
+
+    /** Run `n` staged requests: one submit() span (batched) or a naive
+     *  per-probe accessInto loop that skips hint entries. */
+    void runWave(const AccessRequest* reqs, AccessResult* results, u64 n);
+
+    /** Read the two candidate buckets of `key` (single-op fast path,
+     *  reused wave buffers); sets img0_/img1_ canonical pointers. */
+    void readBuckets(u64 key);
+    /** Write both buckets back (the uniform tail of every op). */
+    void writeBuckets();
+    /** Move overflow-stash entries into free slots of the buckets
+     *  currently in hand (zero extra accesses). */
+    void drainOverflow(std::vector<u8>* imgs[2], const Addr addrs[2],
+                       u32 n_imgs);
+
+    static constexpr u32 kNoSlot = ~u32{0};
+
+    Frontend& fe_;
+    Addr base_;
+    u64 numBuckets_;
+    ObliviousMapConfig cfg_;
+    u32 slotBytes_;
+    u32 slotsPerBucket_;
+    Prf prf_;
+    u64 size_ = 0;
+    u64 opCount_ = 0;
+    std::vector<OverflowEntry> overflow_;
+
+    // Reused wave buffers: zero per-op allocation once warmed.
+    Addr addr_[2];
+    std::vector<AccessRequest> readReqs_;
+    std::vector<AccessResult> readRes_;
+    std::vector<AccessRequest> writeReqs_;
+    std::vector<AccessResult> writeRes_;
+    // getBatch scratch (canonical-image map + wave arrays). The wave
+    // vectors are separate from the per-op ones and grow-only: sharing
+    // them would let a per-op resize(4) destroy the batch-sized
+    // AccessResults (and their warmed payload buffers), putting an
+    // allocation back into every subsequent batch.
+    std::vector<Addr> batchAddrs_;
+    std::vector<u32> batchCanon_;
+    std::vector<AccessRequest> batchReadReqs_;
+    std::vector<AccessResult> batchReadRes_;
+    std::vector<AccessRequest> batchWriteReqs_;
+    std::vector<AccessResult> batchWriteRes_;
+};
+
+} // namespace froram
+
+#endif // FRORAM_DS_OBLIVIOUS_MAP_HPP

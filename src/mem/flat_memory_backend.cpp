@@ -49,6 +49,31 @@ FlatMemoryBackend::write(u64 addr, const u8* src, u64 len)
     }
 }
 
+void
+FlatMemoryBackend::prefetch(u64 addr, u64 len)
+{
+    // Advisory cache warming of a materialized range (never
+    // materialize — a prefetch must not change what bytesTouched()
+    // reports). The gather runs a path decomposes into are contiguous,
+    // so the hardware prefetcher streams them fine once started; what
+    // software prefetch buys is covering its startup gap — the chunk
+    // indirection and the first lines of the run. Touching every line
+    // of a multi-KB run costs more than it saves, so cap at the head.
+    constexpr u64 kHeadBytes = 256;
+    while (len > 0) {
+        const u64 chunk = addr / kChunkBytes;
+        const u64 off = addr % kChunkBytes;
+        const u64 n = std::min(len, kChunkBytes - off);
+        if (chunk < chunks_.size() && chunks_[chunk] != nullptr) {
+            const u8* p = chunks_[chunk].get() + off;
+            for (u64 i = 0; i < std::min(n, kHeadBytes); i += 64)
+                __builtin_prefetch(p + i, /*rw=*/0, /*locality=*/2);
+        }
+        addr += n;
+        len -= n;
+    }
+}
+
 u8*
 FlatMemoryBackend::view(u64 addr, u64 len)
 {

@@ -34,6 +34,13 @@ class FlatMemoryBackend : public StorageBackend {
     void read(u64 addr, u8* dst, u64 len) override;
     void write(u64 addr, const u8* src, u64 len) override;
 
+    /** Advisory cache-line prefetch of a materialized range: host RAM
+     *  is always resident, but the ORAM tree far exceeds the cache, so
+     *  warming the next path's gather runs behind the current access's
+     *  crypto work is a real win for the pipelined submit() engine. */
+    void prefetch(u64 addr, u64 len) override;
+    bool prefetchable() const override { return true; }
+
     /** In-place view when the range stays within one chunk (the chunk is
      *  materialized zero-filled if absent); nullptr across chunks. */
     u8* view(u64 addr, u64 len) override;

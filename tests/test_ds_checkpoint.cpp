@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Checkpoint round-trip for the data-structure layer: an ObliviousMap +
+ * ObliviousIndex running on an OramSystem are checkpointed mid-workload
+ * (system snapshot via checkpointTo(), DS trusted residue via
+ * saveState()), reopened with OramSystem::open() + restoreState(), and
+ * must then replay the rest of the workload bit-identically — values,
+ * adversary-visible traces, and final full-system snapshots — against a
+ * control twin that never checkpointed.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.hpp"
+#include "core/oram_system.hpp"
+#include "ds/oblivious_index.hpp"
+#include "ds/oblivious_map.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+constexpr u32 kValueBytes = 16;
+constexpr u64 kMapBuckets = 1024;
+constexpr Addr kIndexBase = 1024;
+constexpr u64 kIndexBlocks = 96;
+
+OramSystemConfig
+makeConfig(BucketSchemeKind bucket)
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 19;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = StorageBackendKind::Flat;
+    cfg.bucketScheme = bucket;
+    cfg.collectTrace = true;
+    return cfg;
+}
+
+ObliviousMapConfig
+mapConfig()
+{
+    ObliviousMapConfig cfg;
+    cfg.valueBytes = kValueBytes;
+    return cfg;
+}
+
+ObliviousIndexConfig
+indexConfig()
+{
+    ObliviousIndexConfig cfg;
+    cfg.valueBytes = kValueBytes;
+    cfg.deltaCapacity = 16;
+    return cfg;
+}
+
+/** One DS op's observable outputs, for replay comparison. */
+struct OpResult {
+    u64 a = 0;
+    u8 flag = 0;
+    std::vector<u8> bytes;
+    std::vector<u64> keys;
+
+    bool operator==(const OpResult& o) const
+    {
+        return a == o.a && flag == o.flag && bytes == o.bytes
+               && keys == o.keys;
+    }
+};
+
+/** Drive one mixed map/index op; the rng IS the op stream, so two
+ *  drivers seeded alike perform identical ops. */
+OpResult
+step(ObliviousMap& map, ObliviousIndex& index, Xoshiro256& rng)
+{
+    OpResult out;
+    std::vector<u8> val(kValueBytes);
+    for (auto& b : val)
+        b = static_cast<u8>(rng.next());
+    const u64 mkey = rng.below(400);
+    const u64 ikey = 1 + rng.below(300);
+    switch (rng.below(6)) {
+    case 0:
+        map.put(mkey, val.data());
+        break;
+    case 1: {
+        out.bytes.resize(kValueBytes);
+        out.flag = map.get(mkey, out.bytes.data()) ? 1 : 0;
+        if (!out.flag)
+            out.bytes.clear();
+        break;
+    }
+    case 2:
+        out.flag = map.erase(mkey) ? 1 : 0;
+        break;
+    case 3:
+        index.insert(ikey, val.data());
+        break;
+    case 4:
+        index.erase(ikey);
+        break;
+    default: {
+        const u32 width = 1 + static_cast<u32>(rng.below(8));
+        out.keys.resize(width);
+        out.bytes.resize(size_t{width} * kValueBytes);
+        out.a = index.range(rng.below(320), width, out.keys.data(),
+                            out.bytes.data());
+        break;
+    }
+    }
+    return out;
+}
+
+/** The DS trusted residue, serialized (map then index). */
+std::vector<u8>
+residueOf(const ObliviousMap& map, const ObliviousIndex& index)
+{
+    CheckpointWriter w;
+    map.saveState(w);
+    index.saveState(w);
+    return w.bytes();
+}
+
+bool
+traceEq(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].kind != b[i].kind || a[i].treeId != b[i].treeId
+            || a[i].leaf != b[i].leaf)
+            return false;
+    return true;
+}
+
+class DsCheckpoint : public ::testing::TestWithParam<BucketSchemeKind> {};
+
+TEST_P(DsCheckpoint, ReplayContinuesBitIdenticallyAfterOpen)
+{
+    const OramSystemConfig cfg = makeConfig(GetParam());
+    const std::string snap = ::testing::TempDir() + "ds_ckpt_"
+                             + std::string(toString(GetParam())) + ".snap";
+    std::remove(snap.c_str());
+
+    // Live system and a control twin, driven with identical op streams.
+    OramSystem live(SchemeId::PlbCompressed, cfg);
+    OramSystem ctrl(SchemeId::PlbCompressed, cfg);
+    ObliviousMap live_map(live.frontend(), 0, kMapBuckets, mapConfig());
+    ObliviousMap ctrl_map(ctrl.frontend(), 0, kMapBuckets, mapConfig());
+    ObliviousIndex live_ix(live.frontend(), kIndexBase, kIndexBlocks,
+                           indexConfig());
+    ObliviousIndex ctrl_ix(ctrl.frontend(), kIndexBase, kIndexBlocks,
+                           indexConfig());
+
+    Xoshiro256 rng_live(42), rng_ctrl(42);
+    for (int i = 0; i < 300; ++i) {
+        const OpResult a = step(live_map, live_ix, rng_live);
+        const OpResult b = step(ctrl_map, ctrl_ix, rng_ctrl);
+        ASSERT_TRUE(a == b) << "pre-checkpoint divergence at op " << i;
+    }
+
+    // Snapshot: system state to disk, DS residue to bytes (in a real
+    // deployment the residue would ride in the same envelope).
+    live.checkpointTo(snap);
+    const std::vector<u8> residue = residueOf(live_map, live_ix);
+
+    // Resume in a "fresh process": open the system, rebuild the DS
+    // objects over it, and restore their trusted residue.
+    auto restored = OramSystem::open(SchemeId::PlbCompressed, cfg, snap);
+    ObliviousMap rest_map(restored->frontend(), 0, kMapBuckets,
+                          mapConfig());
+    ObliviousIndex rest_ix(restored->frontend(), kIndexBase,
+                           kIndexBlocks, indexConfig());
+    {
+        CheckpointReader r(residue.data(), residue.size());
+        rest_map.restoreState(r);
+        rest_ix.restoreState(r);
+    }
+    EXPECT_EQ(rest_map.size(), live_map.size());
+    EXPECT_EQ(rest_ix.size(), live_ix.size());
+
+    // Replay continues: values AND adversary-visible traces must match
+    // the never-interrupted control, op for op.
+    ctrl.clearTrace();
+    for (int i = 0; i < 200; ++i) {
+        const OpResult a = step(rest_map, rest_ix, rng_live);
+        const OpResult b = step(ctrl_map, ctrl_ix, rng_ctrl);
+        ASSERT_TRUE(a == b) << "post-restore divergence at op " << i;
+    }
+    EXPECT_TRUE(traceEq(restored->trace(), ctrl.trace()));
+
+    // Strongest form: the full trusted state converged bit for bit.
+    EXPECT_EQ(restored->checkpoint(CheckpointScope::Full),
+              ctrl.checkpoint(CheckpointScope::Full));
+    EXPECT_EQ(residueOf(rest_map, rest_ix),
+              residueOf(ctrl_map, ctrl_ix));
+
+    std::remove(snap.c_str());
+}
+
+TEST(DsCheckpoint, ResidueGeometryMismatchThrows)
+{
+    const OramSystemConfig cfg = makeConfig(BucketSchemeKind::Path);
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+    ObliviousMap map(sys.frontend(), 0, kMapBuckets, mapConfig());
+    ObliviousIndex ix(sys.frontend(), kIndexBase, kIndexBlocks,
+                      indexConfig());
+    std::vector<u8> v(kValueBytes, 7);
+    map.put(1, v.data());
+    ix.insert(2, v.data());
+    const std::vector<u8> residue = residueOf(map, ix);
+
+    // A map with different geometry must refuse the residue.
+    ObliviousMap other(sys.frontend(), 0, kMapBuckets / 2, mapConfig());
+    CheckpointReader r1(residue.data(), residue.size());
+    EXPECT_THROW(other.restoreState(r1), CheckpointError);
+
+    // An index with a different delta capacity must refuse as well
+    // (the rebuild cadence is part of the leakage contract).
+    ObliviousIndexConfig icfg = indexConfig();
+    icfg.deltaCapacity = 8;
+    ObliviousIndex other_ix(sys.frontend(), kIndexBase, kIndexBlocks,
+                            icfg);
+    CheckpointReader r2(residue.data(), residue.size());
+    ObliviousMap same(sys.frontend(), 0, kMapBuckets, mapConfig());
+    same.restoreState(r2); // consume the map section
+    EXPECT_THROW(other_ix.restoreState(r2), CheckpointError);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathAndRing, DsCheckpoint,
+                         ::testing::Values(BucketSchemeKind::Path,
+                                           BucketSchemeKind::Ring),
+                         [](const ::testing::TestParamInfo<
+                             BucketSchemeKind>& info) {
+                             return std::string(toString(info.param));
+                         });
+
+} // namespace
+} // namespace froram

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Obliviousness trace tests for the data-structure layer.
+ *
+ * The ORAM below already hides WHICH block each access touches (leaves
+ * are uniform); what the DS layer must add — and what these tests pin —
+ * is that the access COUNT is input-independent:
+ *
+ *  - every ObliviousMap op costs exactly kAccessesPerOp accesses, per
+ *    op, for every op type, hit or miss (asserted op by op);
+ *  - two same-length op sequences with different keys, values, op
+ *    mixes and hit rates produce identical access counts and leaf
+ *    traces that pass the two-sample distribution checks;
+ *  - every range query of public width w costs exactly
+ *    rangeAccesses(w), whether it matches 0, some, or w entries;
+ *  - a join of width w always costs accessesPerQuery(w), matched rows
+ *    notwithstanding.
+ *
+ * Event-for-event trace-length equality is asserted for the Path
+ * scheme, where the per-access event count is fixed. Ring's reshuffle
+ * schedule is driven by the (secret-independent) random leaf sequence,
+ * so for Ring the tests assert equality of access/online-read counts
+ * and rely on the distribution checks for the rest.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/oram_system.hpp"
+#include "ds/oblivious_index.hpp"
+#include "ds/oblivious_join.hpp"
+#include "ds/oblivious_map.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+constexpr u32 kValueBytes = 16;
+
+OramSystemConfig
+makeConfig(BucketSchemeKind bucket)
+{
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 19;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = StorageBackendKind::Flat;
+    cfg.bucketScheme = bucket;
+    cfg.collectTrace = true;
+    return cfg;
+}
+
+u64
+accesses(const OramSystem& sys)
+{
+    return sys.frontend().stats().get("accesses");
+}
+
+u64
+pathReads(const OramSystem& sys)
+{
+    u64 n = 0;
+    for (const auto& e : sys.trace())
+        n += e.kind == TraceEvent::Kind::PathRead ? 1 : 0;
+    return n;
+}
+
+/** 32-bin leaf histogram of the PathRead events in `sys`'s trace. */
+Histogram
+leafHistogram(OramSystem& sys)
+{
+    Histogram h(32);
+    const u64 leaves = static_cast<UnifiedFrontend&>(sys.frontend())
+                           .backend()
+                           .params()
+                           .numLeaves();
+    for (const auto& e : sys.trace())
+        if (e.kind == TraceEvent::Kind::PathRead)
+            h.add(e.leaf * 32 / leaves);
+    return h;
+}
+
+class DsObliviousness
+    : public ::testing::TestWithParam<BucketSchemeKind> {};
+
+TEST_P(DsObliviousness, MapEveryOpCostsExactlyFourAccesses)
+{
+    OramSystem sys(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    ObliviousMapConfig mcfg;
+    mcfg.valueBytes = kValueBytes;
+    ObliviousMap map(sys.frontend(), 0, 1024, mcfg);
+
+    Xoshiro256 rng(7);
+    std::vector<u8> val(kValueBytes, 0xAB);
+    std::vector<u8> got(kValueBytes);
+    // Mixed script covering every (op, outcome) cell: put-new,
+    // put-update, get-hit, get-miss, erase-hit, erase-miss.
+    for (u64 i = 0; i < 400; ++i) {
+        const u64 before = accesses(sys);
+        switch (i % 6) {
+        case 0:
+            map.put(rng.below(64), val.data());
+            break;
+        case 1:
+            map.put(i % 64, val.data()); // likely update
+            break;
+        case 2:
+            map.get(rng.below(64), got.data()); // likely hit
+            break;
+        case 3:
+            map.get(1000 + rng.below(64), got.data()); // certain miss
+            break;
+        case 4:
+            map.erase(rng.below(64)); // mixed
+            break;
+        default:
+            map.erase(2000 + rng.below(64)); // certain miss
+            break;
+        }
+        ASSERT_EQ(accesses(sys) - before, ObliviousMap::kAccessesPerOp)
+            << "op " << i << " leaked through its access count";
+    }
+
+    // getBatch: exactly kAccessesPerOp * n, duplicates included.
+    u64 keys[16];
+    for (u64 i = 0; i < 16; ++i)
+        keys[i] = i % 3 == 0 ? 5 : rng.below(2000);
+    std::vector<u8> values(16 * kValueBytes);
+    u8 found[16];
+    const u64 before = accesses(sys);
+    map.getBatch(keys, 16, values.data(), found);
+    EXPECT_EQ(accesses(sys) - before,
+              u64{ObliviousMap::kAccessesPerOp} * 16);
+}
+
+TEST_P(DsObliviousness, MapSequencesAreTraceIndistinguishable)
+{
+    // Same op COUNT, radically different content: A is a hit-heavy
+    // put/get loop over 32 hot keys; B is all-miss gets and erases over
+    // disjoint keys with different values. Identical access counts,
+    // same online-read counts, and leaf histograms that pass the
+    // uniformity + two-sample checks.
+    OramSystem sys_a(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    OramSystem sys_b(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    ObliviousMapConfig mcfg;
+    mcfg.valueBytes = kValueBytes;
+    ObliviousMap map_a(sys_a.frontend(), 0, 1024, mcfg);
+    ObliviousMap map_b(sys_b.frontend(), 0, 1024, mcfg);
+
+    constexpr u64 kOps = 360;
+    Xoshiro256 rng(11);
+    std::vector<u8> val(kValueBytes);
+    std::vector<u8> got(kValueBytes);
+    for (u64 i = 0; i < kOps; ++i) {
+        for (auto& b : val)
+            b = static_cast<u8>(rng.next());
+        if (i % 2 == 0)
+            map_a.put(rng.below(32), val.data());
+        else
+            map_a.get(rng.below(32), got.data());
+    }
+    for (u64 i = 0; i < kOps; ++i) {
+        if (i % 2 == 0)
+            map_b.get(500000 + rng.below(100000), got.data());
+        else
+            map_b.erase(700000 + rng.below(100000));
+    }
+
+    EXPECT_EQ(accesses(sys_a), accesses(sys_b));
+    EXPECT_EQ(accesses(sys_a), kOps * ObliviousMap::kAccessesPerOp);
+    EXPECT_EQ(pathReads(sys_a), pathReads(sys_b));
+    if (GetParam() == BucketSchemeKind::Path) {
+        // Path's per-access event count is fixed, so the full traces
+        // must have equal length event for event.
+        EXPECT_EQ(sys_a.trace().size(), sys_b.trace().size());
+    }
+
+    const Histogram ha = leafHistogram(sys_a);
+    const Histogram hb = leafHistogram(sys_b);
+    const double crit = chiSquareCritical(31, 0.001);
+    EXPECT_LT(ha.chiSquareUniform(), crit);
+    EXPECT_LT(hb.chiSquareUniform(), crit);
+    EXPECT_LT(ha.chiSquareTwoSample(hb), crit);
+    EXPECT_LT(ha.ksDistance(hb), 0.1);
+}
+
+TEST_P(DsObliviousness, RangeCostDependsOnlyOnPublicWidth)
+{
+    // Two identically-loaded indexes; one is queried where every range
+    // fills all `width` rows, the other where lower_bound falls past
+    // the last key and nothing matches. Equal widths must cost exactly
+    // rangeAccesses(width) on both, query by query.
+    OramSystem sys_dense(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    OramSystem sys_empty(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    ObliviousIndexConfig icfg;
+    icfg.valueBytes = kValueBytes;
+    icfg.deltaCapacity = 16;
+    ObliviousIndex dense(sys_dense.frontend(), 0, 96, icfg);
+    ObliviousIndex empty(sys_empty.frontend(), 0, 96, icfg);
+
+    std::vector<u64> keys;
+    std::vector<u8> vals;
+    for (u64 k = 0; k < 160; ++k) {
+        keys.push_back(1 + k); // dense: 1..160
+        for (u32 b = 0; b < kValueBytes; ++b)
+            vals.push_back(static_cast<u8>(k + b));
+    }
+    dense.bulkLoad(keys.data(), vals.data(), keys.size());
+    empty.bulkLoad(keys.data(), vals.data(), keys.size());
+
+    Xoshiro256 rng(13);
+    std::vector<u64> rkeys(16);
+    std::vector<u8> rvals(16 * kValueBytes);
+    const u32 kWidths[] = {1, 4, 16};
+    for (u64 q = 0; q < 60; ++q) {
+        const u32 width = kWidths[q % 3];
+        const u64 lo = 1 + rng.below(140);       // width matches left
+        const u64 lo_empty = 500 + rng.below(140); // past every key
+
+        const u64 before_d = accesses(sys_dense);
+        const u64 n_dense =
+            dense.range(lo, width, rkeys.data(), rvals.data());
+        ASSERT_EQ(accesses(sys_dense) - before_d,
+                  dense.rangeAccesses(width))
+            << "query " << q;
+
+        const u64 before_e = accesses(sys_empty);
+        const u64 n_empty =
+            empty.range(lo_empty, width, rkeys.data(), rvals.data());
+        ASSERT_EQ(accesses(sys_empty) - before_e,
+                  empty.rangeAccesses(width))
+            << "query " << q;
+
+        // The RESULT depends on the data; the COST does not.
+        ASSERT_EQ(n_dense, u64{width}) << "query " << q;
+        ASSERT_EQ(n_empty, u64{0}) << "query " << q;
+    }
+
+    EXPECT_EQ(accesses(sys_dense), accesses(sys_empty));
+    EXPECT_EQ(pathReads(sys_dense), pathReads(sys_empty));
+    if (GetParam() == BucketSchemeKind::Path) {
+        EXPECT_EQ(sys_dense.trace().size(), sys_empty.trace().size());
+    }
+
+    const Histogram hd = leafHistogram(sys_dense);
+    const Histogram he = leafHistogram(sys_empty);
+    const double crit = chiSquareCritical(31, 0.001);
+    EXPECT_LT(hd.chiSquareUniform(), crit);
+    EXPECT_LT(he.chiSquareUniform(), crit);
+    EXPECT_LT(hd.chiSquareTwoSample(he), crit);
+}
+
+TEST_P(DsObliviousness, JoinCostDependsOnlyOnPublicWidth)
+{
+    // All-match vs zero-match joins of the same width must cost
+    // exactly accessesPerQuery(width) either way.
+    OramSystem sys(SchemeId::PlbCompressed, makeConfig(GetParam()));
+    ObliviousMapConfig mcfg;
+    mcfg.valueBytes = kValueBytes;
+    ObliviousMap map(sys.frontend(), 0, 1024, mcfg);
+    ObliviousIndexConfig icfg;
+    icfg.valueBytes = kValueBytes;
+    icfg.deltaCapacity = 16;
+    ObliviousIndex index(sys.frontend(), 1024, 96, icfg);
+    ObliviousHashJoin join(index, map);
+
+    std::vector<u8> val(kValueBytes, 0);
+    for (u64 c = 0; c < 40; ++c)
+        map.put(100 + c, val.data());
+    std::vector<u64> keys;
+    std::vector<u8> vals;
+    for (u64 o = 0; o < 80; ++o) {
+        keys.push_back(1 + o);
+        // First half fk's an existing customer, second half dangles.
+        const u64 fk = o < 40 ? 100 + o : 999999;
+        for (u32 b = 0; b < kValueBytes; ++b)
+            vals.push_back(b < 8 ? static_cast<u8>(fk >> (8 * b)) : 0);
+    }
+    index.bulkLoad(keys.data(), vals.data(), keys.size());
+
+    JoinOutput out;
+    constexpr u32 kWidth = 8;
+    const u64 per_query = join.accessesPerQuery(kWidth);
+
+    u64 before = accesses(sys);
+    const u64 m_all = join.run(1, kWidth, out); // rows 1..8: all match
+    ASSERT_EQ(accesses(sys) - before, per_query);
+    EXPECT_EQ(m_all, u64{kWidth});
+    EXPECT_EQ(out.rows, u64{kWidth});
+
+    before = accesses(sys);
+    const u64 m_none = join.run(41, kWidth, out); // rows 41..48: dangle
+    ASSERT_EQ(accesses(sys) - before, per_query);
+    EXPECT_EQ(m_none, u64{0});
+    EXPECT_EQ(out.rows, u64{kWidth});
+
+    before = accesses(sys);
+    const u64 m_short = join.run(200, kWidth, out); // no rows at all
+    ASSERT_EQ(accesses(sys) - before, per_query);
+    EXPECT_EQ(m_short, u64{0});
+    EXPECT_EQ(out.rows, u64{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(PathAndRing, DsObliviousness,
+                         ::testing::Values(BucketSchemeKind::Path,
+                                           BucketSchemeKind::Ring),
+                         [](const ::testing::TestParamInfo<
+                             BucketSchemeKind>& info) {
+                             return std::string(toString(info.param));
+                         });
+
+} // namespace
+} // namespace froram

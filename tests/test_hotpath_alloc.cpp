@@ -15,7 +15,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/oram_system.hpp"
 #include "crypto/stream_cipher.hpp"
+#include "ds/oblivious_map.hpp"
 #include "mem/flat_memory_backend.hpp"
 #include "oram/backend.hpp"
 #include "oram/tree_storage.hpp"
@@ -226,6 +228,60 @@ TEST(HotPathAllocations, BatchedSteadyStateIsAllocationFree)
         g_allocs.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u)
         << "batched steady-state accesses performed heap allocations";
+}
+
+TEST(HotPathAllocations, WarmedObliviousMapGetIsAllocationFree)
+{
+    // Full-stack version of the guarantee: an ObliviousMap::get runs
+    // four fixed probes through Frontend::submit -> UnifiedFrontend ->
+    // PathOramBackend, and once the map, the frontend's reused request/
+    // result vectors and the backend arenas are warm, a lookup touches
+    // the heap zero times. This pins the whole chain: the map's
+    // pre-sized wave vectors, the frontend's member transform closure
+    // (a per-access std::function rebuild would allocate), and the
+    // backend pools.
+    OramSystemConfig cfg;
+    cfg.capacityBytes = 1 << 19;
+    cfg.storage = StorageMode::Encrypted;
+    cfg.backend = StorageBackendKind::Flat;
+    OramSystem sys(SchemeId::PlbCompressed, cfg);
+
+    ObliviousMapConfig mcfg;
+    mcfg.valueBytes = 16;
+    ObliviousMap map(sys.frontend(), 0, 1024, mcfg);
+
+    Xoshiro256 rng(13);
+    std::vector<u8> val(mcfg.valueBytes, 0xC3);
+    std::vector<u8> got(mcfg.valueBytes);
+    constexpr u64 kKeys = 64;
+    for (u64 k = 0; k < kKeys; ++k)
+        map.put(k, val.data());
+    // Warm-up lookups (hits and misses) to materialize every payload
+    // buffer at its steady-state capacity.
+    for (int i = 0; i < 400; ++i)
+        map.get(rng.below(2 * kKeys), got.data());
+
+    u64 keys[16];
+    std::vector<u8> values(16 * mcfg.valueBytes);
+    u8 found[16];
+    for (u64 i = 0; i < 16; ++i)
+        keys[i] = rng.below(2 * kKeys);
+    map.getBatch(keys, 16, values.data(), found);
+
+    const unsigned long long before =
+        g_allocs.load(std::memory_order_relaxed);
+    u64 hits = 0;
+    for (int i = 0; i < 1000; ++i)
+        hits += map.get(rng.below(2 * kKeys), got.data()) ? 1 : 0;
+    for (u64 i = 0; i < 16; ++i)
+        keys[i] = rng.below(2 * kKeys);
+    map.getBatch(keys, 16, values.data(), found);
+    const unsigned long long after =
+        g_allocs.load(std::memory_order_relaxed);
+
+    EXPECT_GT(hits, 0u);
+    EXPECT_EQ(after - before, 0u)
+        << "warmed ObliviousMap::get performed heap allocations";
 }
 
 TEST(HotPathAllocations, AllocatorInstrumentationIsLive)

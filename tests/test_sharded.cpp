@@ -336,8 +336,9 @@ TEST(ShardedService, RingShardsMatchReferenceAndStayDeterministic)
             const FrontendResult r4 = svc4->access(addr, false);
             EXPECT_EQ(r1.data, r4.data) << "addr " << addr;
             const auto it = reference.find(addr);
-            if (it != reference.end())
+            if (it != reference.end()) {
                 EXPECT_EQ(r1.data, it->second) << "addr " << addr;
+            }
         }
     }
     svc1->drain();
