@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Request-journal benchmark: what RPO = 0 costs.
+ *
+ * Three measured modes on the supervised sharded service (PC_X32,
+ * Encrypted storage, AES-NI CTR):
+ *
+ *  - throughput: aggregate accesses/sec with the journal off
+ *    (fsync_batch = 0, the unjournaled hot path) and with group commit
+ *    at fsync batch sizes 1, 8 and 64. The off row is the control; the
+ *    batch-1 row is the strict fdatasync-per-record worst case; the
+ *    spread between them is the price of the append-then-ack contract
+ *    at each amortization level.
+ *  - replay: a journaled service is checkpointed, driven past the
+ *    watermark and torn down; the clock runs over open() — manifest
+ *    verify + snapshot restore + replay of the durable journal suffix
+ *    through submit() — giving records/sec of replay and the reopen
+ *    latency percentiles.
+ *  - rollback: time-to-recover of the journaled inline rollback — a
+ *    hard EIO fail-stops one shard and the faulted request itself is
+ *    measured from submit to its (successful) ack, which covers
+ *    quarantine, checkpoint restore, suffix replay and re-admission.
+ *
+ *   $ ./oram_journal [--scale=F] [--csv] [--out=BENCH_journal.json]
+ *
+ * JSON schema (`BENCH_journal.json`): throughput rows are
+ *   {"bench": "journal", "mode": "throughput", "scheme", "backend",
+ *    "cipher", "capacity_mb", "shards", "workers", "batch_depth",
+ *    "fsync_batch", "accesses", "acc_per_sec", "failed",
+ *    "hardware_threads", "commit"}
+ * replay rows are
+ *   {"bench": "journal", "mode": "replay", ..., "rounds", "records",
+ *    "replay_records_per_sec", "open_ms_p50", "open_ms_p99", "commit"}
+ * and rollback rows are
+ *   {"bench": "journal", "mode": "rollback", ..., "rounds",
+ *    "recovery_ms_p50", "recovery_ms_p99", "commit"}.
+ * scripts/bench_compare.py knows this schema: fsync_batch identifies a
+ * throughput row (0 = journal off); acc_per_sec,
+ * replay_records_per_sec, open_ms_* and recovery_ms_* are judged
+ * metrics; accesses/records/failed/rounds are informational.
+ */
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "mem/fault_injecting_backend.hpp"
+#include "shard/sharded_service.hpp"
+#include "util/rng.hpp"
+
+using namespace froram;
+
+namespace {
+
+constexpr u32 kShards = 4;
+constexpr u32 kBatchDepth = 32;
+
+struct Row {
+    std::string mode;
+    std::string backend;
+    u32 shards = 0;
+    u64 capacityMb = 0;
+    u64 fsyncBatch = 0; ///< 0 = journal off
+    u64 accesses = 0;
+    double accPerSec = 0;
+    u64 failed = 0;
+    u64 rounds = 0;
+    u64 records = 0;
+    double replayRecPerSec = 0;
+    double openMsP50 = 0;
+    double openMsP99 = 0;
+    double recoveryMsP50 = 0;
+    double recoveryMsP99 = 0;
+};
+
+std::string
+benchDir(const std::string& tag)
+{
+    static int counter = 0;
+    return (std::filesystem::temp_directory_path() /
+            ("froram_bench_journal_" + std::to_string(::getpid()) + "_" +
+             tag + "_" + std::to_string(counter++)))
+        .string();
+}
+
+void
+dropDir(const std::string& dir)
+{
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec); // best effort
+}
+
+ShardedServiceConfig
+serviceConfig(const std::string& dir, u32 shards,
+              StorageBackendKind backend)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{64} << 20; // as BENCH_faults.json
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = backend;
+    cfg.base.realAes = true;
+    cfg.numShards = shards;
+    cfg.numWorkers = shards;
+    cfg.directory = dir;
+    cfg.supervision.retry.maxAttempts = 8;
+    cfg.supervision.retry.baseBackoffUs = 1;
+    cfg.supervision.retry.maxBackoffUs = 50;
+    return cfg;
+}
+
+void
+warmWorkingSet(ShardedOramService& svc, u64 working,
+               const std::vector<u8>& payload)
+{
+    std::vector<ShardRequest> warm;
+    for (Addr a = 0; a < working; ++a) {
+        ShardRequest r;
+        r.addr = a;
+        r.isWrite = true;
+        r.writeData = payload;
+        warm.push_back(std::move(r));
+        if (warm.size() == 1024 || a + 1 == working) {
+            svc.submit(std::move(warm)).get();
+            warm.clear();
+        }
+    }
+}
+
+/** Steady-state throughput, journal off or at one fsync batch size. */
+Row
+runThroughput(u64 fsync_batch, u64 accesses)
+{
+    const std::string dir =
+        benchDir("tp" + std::to_string(fsync_batch));
+    ShardedServiceConfig cfg =
+        serviceConfig(dir, kShards, StorageBackendKind::Flat);
+    if (fsync_batch > 0) {
+        cfg.supervision.journal.enabled = true;
+        cfg.supervision.journal.fsyncEveryRecords = fsync_batch;
+    }
+    Row row;
+    {
+        ShardedOramService svc(cfg);
+
+        Xoshiro256 rng(3);
+        std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+        const u64 working = std::min<u64>(svc.numBlocks(), 16384);
+        warmWorkingSet(svc, working, payload);
+
+        const u64 batches = std::max<u64>(accesses / kBatchDepth, 1);
+        constexpr size_t kInflight = 4;
+        using Clock = std::chrono::steady_clock;
+        std::vector<std::future<ShardedOramService::BatchResult>> window;
+        u64 failed = 0;
+        const auto drainOne = [&](size_t i) {
+            for (const ShardAccessResult& r : window[i].get())
+                failed += r.status != RequestStatus::Ok ? 1 : 0;
+            window.erase(window.begin() + static_cast<std::ptrdiff_t>(i));
+        };
+
+        const auto start = Clock::now();
+        for (u64 bi = 0; bi < batches; ++bi) {
+            std::vector<ShardRequest> batch(kBatchDepth);
+            for (u32 i = 0; i < kBatchDepth; ++i) {
+                batch[i].addr = rng.below(working);
+                if ((bi * kBatchDepth + i) % 4 == 0) {
+                    batch[i].isWrite = true;
+                    batch[i].writeData = payload;
+                }
+            }
+            if (window.size() == kInflight)
+                drainOne(0);
+            window.push_back(svc.submit(std::move(batch)));
+        }
+        while (!window.empty())
+            drainOne(0);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - start).count();
+
+        row.mode = "throughput";
+        row.backend = "flat";
+        row.shards = kShards;
+        row.capacityMb = cfg.base.capacityBytes >> 20;
+        row.fsyncBatch = fsync_batch;
+        row.accesses = batches * kBatchDepth;
+        row.accPerSec = static_cast<double>(row.accesses) / secs;
+        row.failed = failed;
+    }
+    dropDir(dir);
+    return row;
+}
+
+/**
+ * Reopen-with-replay: each round checkpoints (journal GC truncates the
+ * covered prefix), drives `records` requests past the watermark, tears
+ * the service down and times open(). The replayed-record tally comes
+ * from shardReport().lastReplayDepth, so the rate denominator is the
+ * exact suffix length, not the submitted count.
+ */
+Row
+runReplay(u64 records, u64 rounds)
+{
+    const std::string dir = benchDir("replay");
+    // Two shards on the mmap backend: the persistent layout open()
+    // resumes (flat is rebuilt from snapshots alone).
+    ShardedServiceConfig cfg =
+        serviceConfig(dir, 2, StorageBackendKind::MmapFile);
+    cfg.base.capacityBytes = u64{16} << 20;
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 64;
+
+    auto svc = std::make_unique<ShardedOramService>(cfg);
+    std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+    const u64 working = std::min<u64>(svc->numBlocks(), 8192);
+    warmWorkingSet(*svc, working, payload);
+
+    Xoshiro256 rng(7);
+    using Clock = std::chrono::steady_clock;
+    std::vector<double> open_ms;
+    open_ms.reserve(rounds);
+    u64 replayed_total = 0;
+    double open_secs_total = 0;
+    for (u64 round = 0; round < rounds; ++round) {
+        svc->checkpoint();
+        std::vector<ShardRequest> batch;
+        for (u64 g = 0; g < records; ++g) {
+            ShardRequest r;
+            r.addr = rng.below(working);
+            r.isWrite = (g % 4 == 0);
+            if (r.isWrite)
+                r.writeData = payload;
+            batch.push_back(std::move(r));
+            if (batch.size() == kBatchDepth || g + 1 == records) {
+                svc->submit(std::move(batch)).get();
+                batch.clear();
+            }
+        }
+        svc->drain();
+        svc.reset(); // tear down; the journal suffix outlives us
+
+        const auto t0 = Clock::now();
+        svc = ShardedOramService::open(cfg);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        for (u32 s = 0; s < svc->numShards(); ++s)
+            replayed_total += svc->shardReport(s).lastReplayDepth;
+        open_secs_total += secs;
+        open_ms.push_back(secs * 1e3);
+    }
+    svc.reset();
+
+    Row row;
+    row.mode = "replay";
+    row.backend = "mmap";
+    row.shards = 2;
+    row.capacityMb = cfg.base.capacityBytes >> 20;
+    row.fsyncBatch = cfg.supervision.journal.fsyncEveryRecords;
+    row.rounds = rounds;
+    row.records = replayed_total;
+    row.replayRecPerSec =
+        open_secs_total > 0
+            ? static_cast<double>(replayed_total) / open_secs_total
+            : 0;
+    row.openMsP50 = bench::percentile(open_ms, 50);
+    row.openMsP99 = bench::percentile(open_ms, 99);
+    dropDir(dir);
+    return row;
+}
+
+/**
+ * Journaled inline rollback: a hard EIO fail-stops shard 0 and the
+ * faulted request is timed from submit to its ack — which, unlike the
+ * unjournaled runtime (BENCH_faults.json's recovery mode, where the
+ * gap request fails typed), succeeds with the correct value.
+ */
+Row
+runRollback(u64 rounds)
+{
+    const std::string dir = benchDir("rollback");
+    ShardedServiceConfig cfg =
+        serviceConfig(dir, kShards, StorageBackendKind::Flat);
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 8;
+    cfg.supervision.retry.maxAttempts = 1; // hard faults escape at once
+    cfg.supervision.maxRecoveries = 0xffffffffu;
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules.assign(kShards, nullptr);
+    cfg.shardFaultSchedules[0] = sched; // shard 0 is the victim
+
+    Row row;
+    row.mode = "rollback";
+    row.backend = "flat";
+    row.shards = kShards;
+    row.fsyncBatch = cfg.supervision.journal.fsyncEveryRecords;
+    {
+        ShardedOramService svc(cfg);
+        row.capacityMb = cfg.base.capacityBytes >> 20;
+
+        std::vector<u8> payload(cfg.base.blockBytes, 0xC5);
+        const u64 working = std::min<u64>(svc.numBlocks(), 4096);
+        warmWorkingSet(svc, working, payload);
+
+        Addr victim = 0;
+        while (svc.shardOf(victim) != 0)
+            ++victim;
+
+        using Clock = std::chrono::steady_clock;
+        std::vector<double> recovery_ms;
+        recovery_ms.reserve(rounds);
+        for (u64 round = 0; round < rounds; ++round) {
+            svc.refreshRecoveryPoints();
+            svc.drain();
+
+            FaultSpec spec;
+            spec.op = FaultOp::Read;
+            spec.kind = FaultKind::Eio;
+            spec.afterOps = sched->opsSeen(FaultOp::Read);
+            spec.count = 1;
+            spec.transient = false;
+            sched->inject(spec);
+
+            std::vector<ShardRequest> one;
+            one.push_back({victim, false, {}, 0});
+            const auto t0 = Clock::now();
+            auto res = svc.submit(std::move(one)).get();
+            recovery_ms.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count());
+            row.failed += res[0].status != RequestStatus::Ok ? 1 : 0;
+            svc.drain();
+        }
+        row.rounds = recovery_ms.size();
+        row.recoveryMsP50 = bench::percentile(recovery_ms, 50);
+        row.recoveryMsP99 = bench::percentile(recovery_ms, 99);
+    }
+    dropDir(dir);
+    return row;
+}
+
+void
+writeJson(const std::string& out_path, const std::vector<Row>& rows)
+{
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    out << "[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        char buf[768];
+        if (r.mode == "throughput") {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"bench\": \"journal\", \"mode\": \"throughput\", "
+                "\"scheme\": \"PC_X32\", \"backend\": \"%s\", "
+                "\"cipher\": \"aesctr\", \"capacity_mb\": %llu, "
+                "\"shards\": %u, \"workers\": %u, \"batch_depth\": %u, "
+                "\"fsync_batch\": %llu, \"accesses\": %llu, "
+                "\"acc_per_sec\": %.1f, \"failed\": %llu, "
+                "\"hardware_threads\": %u, \"commit\": \"%s\"}%s\n",
+                r.backend.c_str(),
+                static_cast<unsigned long long>(r.capacityMb), r.shards,
+                r.shards, kBatchDepth,
+                static_cast<unsigned long long>(r.fsyncBatch),
+                static_cast<unsigned long long>(r.accesses),
+                r.accPerSec, static_cast<unsigned long long>(r.failed),
+                hw, bench::gitRev(), i + 1 < rows.size() ? "," : "");
+        } else if (r.mode == "replay") {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"bench\": \"journal\", \"mode\": \"replay\", "
+                "\"scheme\": \"PC_X32\", \"backend\": \"%s\", "
+                "\"cipher\": \"aesctr\", \"capacity_mb\": %llu, "
+                "\"shards\": %u, \"workers\": %u, "
+                "\"fsync_batch\": %llu, \"rounds\": %llu, "
+                "\"records\": %llu, \"replay_records_per_sec\": %.1f, "
+                "\"open_ms_p50\": %.3f, \"open_ms_p99\": %.3f, "
+                "\"hardware_threads\": %u, \"commit\": \"%s\"}%s\n",
+                r.backend.c_str(),
+                static_cast<unsigned long long>(r.capacityMb), r.shards,
+                r.shards, static_cast<unsigned long long>(r.fsyncBatch),
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.records),
+                r.replayRecPerSec, r.openMsP50, r.openMsP99, hw,
+                bench::gitRev(), i + 1 < rows.size() ? "," : "");
+        } else {
+            std::snprintf(
+                buf, sizeof(buf),
+                "  {\"bench\": \"journal\", \"mode\": \"rollback\", "
+                "\"scheme\": \"PC_X32\", \"backend\": \"%s\", "
+                "\"cipher\": \"aesctr\", \"capacity_mb\": %llu, "
+                "\"shards\": %u, \"workers\": %u, "
+                "\"fsync_batch\": %llu, \"rounds\": %llu, "
+                "\"failed\": %llu, \"recovery_ms_p50\": %.3f, "
+                "\"recovery_ms_p99\": %.3f, "
+                "\"hardware_threads\": %u, \"commit\": \"%s\"}%s\n",
+                r.backend.c_str(),
+                static_cast<unsigned long long>(r.capacityMb), r.shards,
+                r.shards, static_cast<unsigned long long>(r.fsyncBatch),
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.failed),
+                r.recoveryMsP50, r.recoveryMsP99, hw, bench::gitRev(),
+                i + 1 < rows.size() ? "," : "");
+        }
+        out << buf;
+    }
+    out << "]\n";
+}
+
+void
+tableRow(TextTable& table, const Row& r)
+{
+    table.newRow();
+    table.cell(r.mode);
+    table.cell(r.fsyncBatch);
+    table.cell(r.accPerSec, 0);
+    table.cell(r.failed);
+    table.cell(r.replayRecPerSec, 0);
+    table.cell(r.openMsP50, 3);
+    table.cell(r.recoveryMsP50, 3);
+    table.cell(r.recoveryMsP99, 3);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+    std::string out_path = "BENCH_journal.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            out_path = arg.substr(6);
+    }
+    const u64 accesses = opts.scaled(40000);
+    const u64 replay_records = opts.scaled(8000);
+    const u64 replay_rounds = std::max<u64>(opts.scaled(4), 2);
+    const u64 rollback_rounds = opts.scaled(20);
+
+    std::vector<Row> rows;
+    TextTable table({"mode", "fsync_batch", "acc_per_sec", "failed",
+                     "replay_rec_per_sec", "open_ms_p50",
+                     "recovery_ms_p50", "recovery_ms_p99"});
+    for (const u64 batch : {u64{0}, u64{1}, u64{8}, u64{64}}) {
+        const Row row = runThroughput(batch, accesses);
+        rows.push_back(row);
+        tableRow(table, row);
+    }
+    {
+        const Row row = runReplay(replay_records, replay_rounds);
+        rows.push_back(row);
+        tableRow(table, row);
+    }
+    {
+        const Row row = runRollback(rollback_rounds);
+        rows.push_back(row);
+        tableRow(table, row);
+    }
+
+    bench::emit(opts, table,
+                "Request journal: group-commit overhead, reopen replay "
+                "and lossless rollback (PC_X32, Encrypted, AES-NI CTR, " +
+                    std::to_string(
+                        std::thread::hardware_concurrency()) +
+                    " hardware threads)");
+    writeJson(out_path, rows);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

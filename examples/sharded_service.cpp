@@ -28,6 +28,13 @@
  * retry layer absorbs the faults, the service keeps answering
  * correctly, and a later `verify` still checks out — chaos on top of
  * the kill -9 story.
+ *
+ * `--journal` arms the per-shard request journal on both sides
+ * (a journaled manifest refuses to open unjournaled): `run` then
+ * acks every request only once its journal record is durable, and
+ * `verify`'s open() replays the suffix past the last committed
+ * generation — acknowledged writes survive the kill even when it
+ * lands between checkpoints (RPO = 0 instead of checkpoint-bounded).
  */
 #include <cstdlib>
 #include <iostream>
@@ -42,7 +49,7 @@ using namespace froram;
 namespace {
 
 ShardedServiceConfig
-makeConfig(const std::string& dir, u32 shards)
+makeConfig(const std::string& dir, u32 shards, bool journal)
 {
     ShardedServiceConfig cfg;
     cfg.scheme = SchemeId::PlbIntegrityCompressed;
@@ -53,6 +60,7 @@ makeConfig(const std::string& dir, u32 shards)
     cfg.base.seed = 0x5ca1ab1e;
     cfg.numShards = shards;
     cfg.directory = dir;
+    cfg.supervision.journal.enabled = journal;
     return cfg;
 }
 
@@ -68,9 +76,9 @@ recordFor(Addr addr, u64 block_bytes)
 
 int
 runForever(const std::string& dir, u32 shards, u64 commit_every,
-           u64 max_batches, double fault_rate)
+           u64 max_batches, double fault_rate, bool journal)
 {
-    ShardedServiceConfig cfg = makeConfig(dir, shards);
+    ShardedServiceConfig cfg = makeConfig(dir, shards, journal);
     cfg.base.backendReset = true;
     if (fault_rate > 0.0) {
         cfg.base.faultSchedule = std::make_shared<FaultSchedule>();
@@ -89,8 +97,9 @@ runForever(const std::string& dir, u32 shards, u64 commit_every,
     svc.checkpoint(CheckpointScope::Full);
     std::cout << "running " << shards << " shards / "
               << svc.numWorkers() << " workers; committing to " << dir
-              << "/MANIFEST every " << commit_every
-              << " batches (kill -9 me anytime)\n"
+              << "/MANIFEST every " << commit_every << " batches"
+              << (journal ? "; request journal armed (RPO = 0)" : "")
+              << " (kill -9 me anytime)\n"
               << std::flush;
 
     u64 failed = 0;
@@ -129,11 +138,11 @@ runForever(const std::string& dir, u32 shards, u64 commit_every,
 }
 
 int
-verify(const std::string& dir, u32 shards)
+verify(const std::string& dir, u32 shards, bool journal)
 {
     std::unique_ptr<ShardedOramService> svc;
     try {
-        svc = ShardedOramService::open(makeConfig(dir, shards));
+        svc = ShardedOramService::open(makeConfig(dir, shards, journal));
     } catch (const CheckpointError& e) {
         std::cerr << "restore failed loudly (no silent corruption): "
                   << e.what() << "\n";
@@ -168,8 +177,14 @@ verify(const std::string& dir, u32 shards)
         }
         ++written;
     }
-    std::cout << "restored generation " << svc->generation()
-              << " and verified " << written << "/" << n
+    u64 replayed = 0;
+    for (u32 s = 0; s < svc->numShards(); ++s)
+        replayed += svc->shardReport(s).lastReplayDepth;
+    std::cout << "restored generation " << svc->generation();
+    if (journal)
+        std::cout << " and replayed " << replayed
+                  << " journaled requests";
+    std::cout << "; verified " << written << "/" << n
               << " records across " << svc->numShards()
               << " shards (every read PMMAC-checked)\n";
     return 0;
@@ -186,6 +201,7 @@ main(int argc, char** argv)
     u64 commit_every = 4;
     u64 max_batches = 0;
     double fault_rate = 0.0;
+    bool journal = false;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -202,6 +218,8 @@ main(int argc, char** argv)
                 max_batches = std::stoull(arg.substr(14));
             else if (arg.rfind("--fault-rate=", 0) == 0)
                 fault_rate = std::stod(arg.substr(13));
+            else if (arg == "--journal")
+                journal = true;
             else
                 fatal("unknown argument: ", arg);
         }
@@ -213,14 +231,14 @@ main(int argc, char** argv)
         std::cerr << e.what()
                   << "\nusage: sharded_service run|verify [--dir=PATH] "
                      "[--shards=N] [--commit-every=N] "
-                     "[--max-batches=N] [--fault-rate=F]\n";
+                     "[--max-batches=N] [--fault-rate=F] [--journal]\n";
         return 2;
     }
     try {
         return mode == "run"
                    ? runForever(dir, shards, commit_every, max_batches,
-                                fault_rate)
-                   : verify(dir, shards);
+                                fault_rate, journal)
+                   : verify(dir, shards, journal);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;

@@ -50,6 +50,15 @@ METRICS = {
     "accesses_per_query": -1,
     "queries_per_sec": +1,
     "us_per_query": -1,
+    # BENCH_journal.json (bench/oram_journal.cpp): the request journal.
+    # fsync_batch is an identity field (0 = journal off, so the
+    # unjournaled control row only compares against itself); replay
+    # throughput and the reopen/rollback latencies are judged;
+    # records/failed describe the driven load.
+    "replay_records_per_sec": +1,
+    "open_ms_p50": -1,
+    "open_ms_p99": -1,
+    "records": 0,
     "queries": 0,
     "faults": 0,
     "retries": 0,

@@ -133,6 +133,12 @@ writeFileAtomic(const std::string& path, const std::vector<u8>& blob)
     // Persist the rename itself; without this a crash can roll the
     // directory entry back to the previous snapshot (which is safe) or
     // to nothing on a fresh path (which restore reports loudly).
+    fsyncParentDir(path);
+}
+
+void
+fsyncParentDir(const std::string& path)
+{
     const int dfd = ::open(dirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
     if (dfd >= 0) {
         ::fsync(dfd);

@@ -330,6 +330,14 @@ void writeFileAtomic(const std::string& path, const std::vector<u8>& blob);
 /** Read a snapshot file wholesale; CheckpointError if unreadable. */
 std::vector<u8> readFile(const std::string& path);
 
+/**
+ * fsync the directory containing `path` (best effort: a medium that
+ * cannot open its directory is already past saving). Creating or
+ * renaming a file is only durable once its directory entry is — the
+ * checkpoint commit and the journal's segment roll both depend on it.
+ */
+void fsyncParentDir(const std::string& path);
+
 /** True if a regular file exists at `path` (restore pre-validation:
  *  callers use it to fail atomically before touching any state). */
 bool fileExists(const std::string& path);

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * On-disk format of the per-shard request journal (see
+ * request_journal.hpp for the machine that reads and writes it).
+ *
+ * A journal is a sequence of segment files under the service directory:
+ *
+ *   shard-NNNN.jSSSSSS.wal      (NNNN = shard, SSSSSS = segment index)
+ *
+ * Segment layout:
+ *
+ *   [0,8)   magic "FRORAMWJ"
+ *   [8,12)  format version (kJournalVersion; any layout change bumps
+ *           it, and open rejects every other version — same no-silent-
+ *           migration policy as the checkpoint envelope)
+ *   [12,16) shard index
+ *   [16,24) sequence id of the first record this segment holds
+ *   [24,28) CRC-32 of bytes [0,24)
+ *   [28,32) reserved (zero)
+ *   then records, back to back:
+ *
+ *   [0,4)   frameLen: length of the body in bytes
+ *   [4,8)   CRC-32 of the body
+ *   [8,8+frameLen) body:
+ *       [0,8)   sequence id (strictly +1 per record, across segments)
+ *       [8,16)  shard-local block address
+ *       [16,17) flags (bit 0: write)
+ *       [17,..) write payload (writes only; empty = zero-fill write)
+ *
+ * All integers little-endian. A record is valid iff its frame fits the
+ * file, frameLen is within bounds, the CRC matches and its sequence id
+ * continues the chain — the first violation is a torn tail: everything
+ * from it on is discarded at open, never misread. The CRC is a crash
+ * detector, not an adversary detector; see README "Fault model &
+ * recovery" for the journal trust model.
+ */
+#ifndef FRORAM_JOURNAL_JOURNAL_FORMAT_HPP
+#define FRORAM_JOURNAL_JOURNAL_FORMAT_HPP
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace froram {
+namespace journal {
+
+/** Segment magic: "FRORAMWJ" little-endian. */
+constexpr u64 kSegmentMagic = 0x4A574D41524F5246ULL;
+constexpr u32 kJournalVersion = 1;
+
+constexpr u64 kSegmentHeaderBytes = 32;
+/** Record frame prefix: frameLen + body CRC. */
+constexpr u64 kRecordFrameBytes = 8;
+/** Fixed body bytes before the payload: seq + addr + flags. */
+constexpr u64 kRecordBodyFixedBytes = 17;
+/** Bound on one record's body (a frameLen beyond this is damage, not a
+ *  record — it caps how far a torn length prefix can send the parser). */
+constexpr u64 kMaxRecordBodyBytes = u64{1} << 20;
+
+constexpr u8 kFlagWrite = 0x01;
+
+/** Segment file path of (shard, segment index) under `dir` — the one
+ *  place the segment filename format lives. */
+std::string segmentPath(const std::string& dir, u32 shard, u64 index);
+
+/** Parse a segment filename for `shard`; returns the segment index or
+ *  -1 when `name` is not a journal segment of that shard. */
+i64 parseSegmentName(const char* name, u32 shard);
+
+} // namespace journal
+} // namespace froram
+
+#endif // FRORAM_JOURNAL_JOURNAL_FORMAT_HPP

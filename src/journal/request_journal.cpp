@@ -1,0 +1,643 @@
+#include "journal/request_journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "checkpoint/checkpoint.hpp"
+#include "journal/journal_format.hpp"
+#include "mem/fault_injecting_backend.hpp"
+#include "util/bitops.hpp"
+#include "util/crc32.hpp"
+
+namespace froram {
+namespace journal {
+
+std::string
+segmentPath(const std::string& dir, u32 shard, u64 index)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "shard-%04u.j%06llu.wal", shard,
+                  static_cast<unsigned long long>(index));
+    return dir + "/" + name;
+}
+
+i64
+parseSegmentName(const char* name, u32 shard)
+{
+    unsigned idx = 0;
+    unsigned long long seg = 0;
+    if (std::sscanf(name, "shard-%4u.j%6llu.wal", &idx, &seg) != 2 ||
+        idx != shard)
+        return -1;
+    char expect[48];
+    std::snprintf(expect, sizeof(expect), "shard-%04u.j%06llu.wal", idx,
+                  seg);
+    return std::strcmp(name, expect) == 0 ? static_cast<i64>(seg) : -1;
+}
+
+} // namespace journal
+
+namespace {
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+void
+writeFully(int fd, const u8* data, u64 len)
+{
+    u64 off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw StorageError("journal write failed: " + errnoString(),
+                               false);
+        }
+        off += static_cast<u64>(n);
+    }
+}
+
+std::vector<u8>
+readWhole(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw StorageError("cannot open journal segment " + path + ": " +
+                           errnoString(),
+                           false);
+    std::vector<u8> bytes;
+    u8 buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string err = errnoString();
+            ::close(fd);
+            throw StorageError("cannot read journal segment " + path +
+                                   ": " + err,
+                               false);
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+void
+flipBit(u8* bytes, u64 len, u64 bit_index)
+{
+    if (len == 0)
+        return;
+    const u64 bit = bit_index % (len * 8);
+    bytes[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+/** Header validity check; returns the first sequence id via out-param. */
+bool
+parseSegmentHeader(const std::vector<u8>& bytes, u32 shard,
+                   u64* first_seq)
+{
+    using namespace journal;
+    if (bytes.size() < kSegmentHeaderBytes)
+        return false;
+    if (loadLe(bytes.data()) != kSegmentMagic)
+        return false;
+    if (loadLe(bytes.data() + 8, 4) != kJournalVersion)
+        return false;
+    if (loadLe(bytes.data() + 12, 4) != shard)
+        return false;
+    if (loadLe(bytes.data() + 24, 4) != crc32(bytes.data(), 24))
+        return false;
+    *first_seq = loadLe(bytes.data() + 16);
+    return true;
+}
+
+/**
+ * Walk the records of a parsed segment starting at `expect_seq`.
+ * Returns the byte offset of the first invalid record (bytes.size()
+ * when the whole segment is valid) and advances *expect_seq past every
+ * valid record. When `fn` is set it is invoked per valid record.
+ */
+u64
+walkRecords(const std::vector<u8>& bytes, u64* expect_seq,
+            const std::function<void(const JournalRecord&)>* fn)
+{
+    using namespace journal;
+    u64 off = kSegmentHeaderBytes;
+    for (;;) {
+        if (off + kRecordFrameBytes > bytes.size())
+            return off;
+        const u64 body_len = loadLe(bytes.data() + off, 4);
+        const u32 want_crc =
+            static_cast<u32>(loadLe(bytes.data() + off + 4, 4));
+        if (body_len < kRecordBodyFixedBytes ||
+            body_len > kMaxRecordBodyBytes)
+            return off;
+        if (off + kRecordFrameBytes + body_len > bytes.size())
+            return off;
+        const u8* body = bytes.data() + off + kRecordFrameBytes;
+        if (crc32(body, body_len) != want_crc)
+            return off;
+        const u64 seq = loadLe(body);
+        if (seq != *expect_seq)
+            return off;
+        if (fn != nullptr) {
+            JournalRecord rec;
+            rec.seq = seq;
+            rec.addr = loadLe(body + 8);
+            rec.isWrite = (body[16] & kFlagWrite) != 0;
+            rec.payload.assign(body + kRecordBodyFixedBytes,
+                               body + body_len);
+            (*fn)(rec);
+        }
+        ++*expect_seq;
+        off += kRecordFrameBytes + body_len;
+    }
+}
+
+} // namespace
+
+RequestJournal::RequestJournal(std::string dir, u32 shard,
+                               const JournalConfig& cfg,
+                               const RetryPolicy& retry,
+                               std::shared_ptr<FaultSchedule> schedule,
+                               bool reset)
+    : dir_(std::move(dir)), shard_(shard), cfg_(cfg), retry_(retry),
+      schedule_(std::move(schedule))
+{
+    if (dir_.empty())
+        fatal("a request journal needs a service directory");
+    if (retry_.maxAttempts == 0)
+        fatal("journal retry policy needs at least one attempt");
+    frame_.reserve(256);
+
+    // Enumerate this shard's segments (sorted by segment index).
+    std::vector<u64> indices;
+    if (DIR* d = ::opendir(dir_.c_str())) {
+        while (struct dirent* e = ::readdir(d)) {
+            const i64 idx = journal::parseSegmentName(e->d_name, shard_);
+            if (idx >= 0)
+                indices.push_back(static_cast<u64>(idx));
+        }
+        ::closedir(d);
+    } else {
+        throw StorageError("cannot open journal directory " + dir_ +
+                               ": " + errnoString(),
+                           false);
+    }
+    std::sort(indices.begin(), indices.end());
+
+    if (reset) {
+        for (const u64 idx : indices)
+            ::unlink(journal::segmentPath(dir_, shard_, idx).c_str());
+        ckpt::fsyncParentDir(journal::segmentPath(dir_, shard_, 1));
+        indices.clear();
+    }
+    for (const u64 idx : indices)
+        segments_.push_back(Segment{idx, 0, 0});
+
+    if (segments_.empty()) {
+        startSegment(1, 1);
+        return;
+    }
+    openExisting();
+}
+
+void
+RequestJournal::openExisting()
+{
+    // Validate the chain oldest-first. The first violation — torn
+    // header, invalid record, sequence discontinuity — marks the torn
+    // tail: that segment is truncated at its last valid record and
+    // every later segment is deleted. Records after damage are NEVER
+    // replayed, even if they would parse.
+    u64 expect_seq = 0;
+    u64 last_seq = 0;
+    size_t pos = 0;
+    bool damaged = false;
+    for (; pos < segments_.size(); ++pos) {
+        Segment& seg = segments_[pos];
+        const std::string path =
+            journal::segmentPath(dir_, shard_, seg.index);
+        const std::vector<u8> bytes = readWhole(path);
+        u64 first_seq = 0;
+        if (!parseSegmentHeader(bytes, shard_, &first_seq) ||
+            (pos != 0 && first_seq != last_seq + 1)) {
+            // Torn segment header (a crash mid-roll) or a chain break:
+            // the whole file holds nothing trustworthy.
+            damaged = true;
+            break;
+        }
+        expect_seq = first_seq;
+        const u64 valid_end = walkRecords(bytes, &expect_seq, nullptr);
+        seg.firstSeq = first_seq;
+        seg.lastSeq = expect_seq - 1;
+        last_seq = pos == 0 && expect_seq == first_seq
+                       ? first_seq - 1
+                       : expect_seq - 1;
+        if (valid_end != bytes.size()) {
+            // Torn tail inside this segment: truncate the damage away
+            // (durably) and drop everything after it.
+            const int fd = ::open(path.c_str(), O_WRONLY);
+            if (fd < 0 ||
+                ::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+                const std::string err = errnoString();
+                if (fd >= 0)
+                    ::close(fd);
+                throw StorageError("cannot repair torn journal tail in " +
+                                       path + ": " + err,
+                                   false);
+            }
+            ::fdatasync(fd);
+            ::close(fd);
+            ++pos;
+            damaged = true;
+            break;
+        }
+    }
+    if (damaged) {
+        // `pos` is the first segment position that must not survive.
+        for (size_t p = pos; p < segments_.size(); ++p)
+            ::unlink(journal::segmentPath(dir_, shard_,
+                                          segments_[p].index)
+                         .c_str());
+        segments_.resize(pos);
+        ckpt::fsyncParentDir(journal::segmentPath(dir_, shard_, 1));
+    }
+    if (segments_.empty()) {
+        // The only segment had a torn header, so no record of this
+        // journal was ever durable: start over. (GC keeps the active
+        // segment alive and a roll makes the previous segment durable
+        // first, so an unreadable *first* segment implies seq 1 was
+        // never covered — restarting at 1 is exact.)
+        startSegment(1, 1);
+        return;
+    }
+
+    appended_.store(last_seq, std::memory_order_release);
+    durable_.store(last_seq, std::memory_order_release);
+
+    // Reopen the surviving tail segment for appending.
+    const Segment& active = segments_.back();
+    const std::string path =
+        journal::segmentPath(dir_, shard_, active.index);
+    fd_ = ::open(path.c_str(), O_WRONLY);
+    if (fd_ < 0)
+        throw StorageError("cannot reopen journal segment " + path +
+                               ": " + errnoString(),
+                           false);
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0)
+        throw StorageError("cannot seek journal segment " + path + ": " +
+                           errnoString(),
+                           false);
+    activeBytes_ = static_cast<u64>(end);
+    durableBytes_ = activeBytes_;
+}
+
+RequestJournal::~RequestJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+RequestJournal::activePath() const
+{
+    return journal::segmentPath(dir_, shard_, segments_.back().index);
+}
+
+void
+RequestJournal::startSegment(u64 index, u64 first_seq)
+{
+    const std::string path = journal::segmentPath(dir_, shard_, index);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw StorageError("cannot create journal segment " + path +
+                               ": " + errnoString(),
+                           false);
+    u8 header[journal::kSegmentHeaderBytes] = {0};
+    storeLe(header, journal::kSegmentMagic);
+    storeLe(header + 8, journal::kJournalVersion, 4);
+    storeLe(header + 12, shard_, 4);
+    storeLe(header + 16, first_seq);
+    storeLe(header + 24, crc32(header, 24), 4);
+    try {
+        writeFully(fd, header, sizeof(header));
+    } catch (...) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw;
+    }
+    // The segment's *name* must be durable before any record in it can
+    // be: fdatasync covers file bytes, not the directory entry.
+    ckpt::fsyncParentDir(path);
+    fd_ = fd;
+    activeBytes_ = journal::kSegmentHeaderBytes;
+    durableBytes_ = activeBytes_;
+    segments_.push_back(Segment{index, first_seq, first_seq - 1});
+}
+
+void
+RequestJournal::backoffSleep(u32 attempt)
+{
+    // Mirrors RetryingBackend: exponential doubling, clamped, plus up
+    // to +50% deterministic jitter so parallel shards decohere.
+    const u32 shift = attempt - 1 < 32 ? attempt - 1 : 31;
+    u64 us = retry_.baseBackoffUs << shift;
+    us = std::min(std::max(us, retry_.baseBackoffUs),
+                  retry_.maxBackoffUs);
+    const u64 jitter =
+        splitmix64Mix(retry_.jitterSeed ^ (jitterCounter_++ + shard_));
+    us += (us / 2) * (jitter & 0xffff) / 0x10000;
+    if (us != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void
+RequestJournal::repairTail(u64 bytes)
+{
+    if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(bytes), SEEK_SET) < 0) {
+        // The tail cannot be restored to a record boundary: anything
+        // appended from here on could land after garbage and be
+        // unreachable at replay. Fail-stop the journal.
+        failed_ = true;
+        throw StorageError(
+            "journal tail of shard " + std::to_string(shard_) +
+                " is unrecoverable after a failed append: " +
+                errnoString(),
+            false);
+    }
+    activeBytes_ = bytes;
+}
+
+u64
+RequestJournal::append(Addr addr, bool is_write, const u8* payload,
+                       u64 len)
+{
+    using namespace journal;
+    if (failed_)
+        throw StorageError("journal of shard " + std::to_string(shard_) +
+                               " has fail-stopped",
+                           false);
+    const u64 body_len = kRecordBodyFixedBytes + len;
+    if (body_len > kMaxRecordBodyBytes)
+        fatal("journal record payload of ", len,
+              " bytes exceeds the record bound");
+    const u64 seq = lastAppended() + 1;
+
+    if (activeBytes_ + kRecordFrameBytes + body_len > cfg_.segmentBytes &&
+        segments_.back().lastSeq >= segments_.back().firstSeq)
+        roll(seq);
+
+    frame_.resize(kRecordFrameBytes + body_len);
+    u8* body = frame_.data() + kRecordFrameBytes;
+    storeLe(body, seq);
+    storeLe(body + 8, addr);
+    body[16] = is_write ? kFlagWrite : 0;
+    if (len != 0)
+        std::memcpy(body + kRecordBodyFixedBytes, payload, len);
+    storeLe(frame_.data(), body_len, 4);
+    storeLe(frame_.data() + 4, crc32(body, body_len), 4);
+
+    const u64 record_off = activeBytes_;
+    for (u32 attempt = 1;; ++attempt) {
+        try {
+            bool wrote = false;
+            if (schedule_ != nullptr) {
+                const auto d = schedule_->onOp(FaultOp::JournalAppend);
+                if (d.fire) {
+                    switch (d.spec.kind) {
+                      case FaultKind::Eio:
+                        throw StorageError(
+                            std::string("injected ") +
+                                (d.spec.transient ? "transient"
+                                                  : "persistent") +
+                                " I/O error on journal append",
+                            d.spec.transient);
+                      case FaultKind::TornWrite: {
+                        u64 torn =
+                            d.spec.tornBytes == FaultSpec::kHalfTorn
+                                ? frame_.size() / 2
+                                : d.spec.tornBytes;
+                        torn = std::min<u64>(torn, frame_.size());
+                        writeFully(fd_, frame_.data(), torn);
+                        throw StorageError(
+                            "injected torn journal append (" +
+                                std::to_string(torn) + "/" +
+                                std::to_string(frame_.size()) +
+                                " bytes landed)",
+                            d.spec.transient);
+                      }
+                      case FaultKind::BitRot: {
+                        // Silent frame corruption: lands fully,
+                        // reports success; the torn-tail scan stops at
+                        // it on the next open.
+                        std::vector<u8> rotten = frame_;
+                        flipBit(rotten.data(), rotten.size(),
+                                d.spec.bitIndex);
+                        writeFully(fd_, rotten.data(), rotten.size());
+                        wrote = true;
+                        break;
+                      }
+                      case FaultKind::Latency:
+                        if (d.spec.latencyUs != 0)
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(
+                                    d.spec.latencyUs));
+                        break;
+                    }
+                }
+            }
+            if (!wrote)
+                writeFully(fd_, frame_.data(), frame_.size());
+            break;
+        } catch (const StorageError& e) {
+            // Truncate whatever prefix landed back off the tail, THEN
+            // decide between reissue and surfacing: either way the
+            // journal ends at a record boundary.
+            repairTail(record_off);
+            if (!e.transient() || attempt >= retry_.maxAttempts)
+                throw;
+            faultsRetried_.fetch_add(1, std::memory_order_relaxed);
+            backoffSleep(attempt);
+        }
+    }
+
+    activeBytes_ += frame_.size();
+    segments_.back().lastSeq = seq;
+    if (unsyncedRecords() == 0)
+        oldestUnsyncedAt_ = std::chrono::steady_clock::now();
+    appended_.store(seq, std::memory_order_release);
+    return seq;
+}
+
+void
+RequestJournal::barrier(FaultOp op)
+{
+    for (u32 attempt = 1;; ++attempt) {
+        try {
+            if (schedule_ != nullptr) {
+                const auto d = schedule_->onOp(op);
+                if (d.fire) {
+                    if (d.spec.kind == FaultKind::Latency) {
+                        if (d.spec.latencyUs != 0)
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(
+                                    d.spec.latencyUs));
+                    } else {
+                        // A failed barrier, however phrased.
+                        throw StorageError(
+                            std::string("injected journal ") +
+                                toString(op) + " failure",
+                            d.spec.transient);
+                    }
+                }
+            }
+            if (::fdatasync(fd_) != 0)
+                throw StorageError("journal fdatasync failed: " +
+                                       errnoString(),
+                                   false);
+            return;
+        } catch (const StorageError& e) {
+            if (!e.transient() || attempt >= retry_.maxAttempts)
+                throw;
+            faultsRetried_.fetch_add(1, std::memory_order_relaxed);
+            backoffSleep(attempt);
+        }
+    }
+}
+
+void
+RequestJournal::sync()
+{
+    if (failed_)
+        throw StorageError("journal of shard " + std::to_string(shard_) +
+                               " has fail-stopped",
+                           false);
+    if (unsyncedRecords() == 0)
+        return;
+    barrier(FaultOp::JournalSync);
+    durable_.store(lastAppended(), std::memory_order_release);
+    durableBytes_ = activeBytes_;
+}
+
+bool
+RequestJournal::syncDue() const
+{
+    if (cfg_.fsyncMaxDelayUs == 0 || unsyncedRecords() == 0)
+        return false;
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - oldestUnsyncedAt_)
+            .count();
+    return waited >= static_cast<i64>(cfg_.fsyncMaxDelayUs);
+}
+
+void
+RequestJournal::roll(u64 next_seq)
+{
+    // fdatasync on segment roll: a sealed segment is durable before
+    // the journal moves past it (its records may be acked as a side
+    // effect — group commit only ever syncs *earlier*, never later).
+    barrier(FaultOp::JournalRoll);
+    durable_.store(lastAppended(), std::memory_order_release);
+    durableBytes_ = activeBytes_;
+    ::close(fd_);
+    fd_ = -1;
+    startSegment(segments_.back().index + 1, next_seq);
+}
+
+void
+RequestJournal::rollbackTail()
+{
+    const u64 durable = lastDurable();
+    if (lastAppended() == durable)
+        return;
+    repairTail(durableBytes_);
+    // Unsynced records are confined to the active segment, so cutting
+    // it back to the last barrier restores lastSeq = durable exactly
+    // (firstSeq - 1 when the whole segment was unsynced).
+    segments_.back().lastSeq = durable;
+    appended_.store(durable, std::memory_order_release);
+}
+
+u64
+RequestJournal::firstAvailable() const
+{
+    return segments_.front().firstSeq;
+}
+
+void
+RequestJournal::replay(
+    u64 from_seq, u64 to_seq,
+    const std::function<void(const JournalRecord&)>& fn) const
+{
+    for (const Segment& seg : segments_) {
+        if (seg.lastSeq < seg.firstSeq || seg.lastSeq <= from_seq)
+            continue;
+        if (seg.firstSeq > to_seq)
+            break;
+        const std::vector<u8> bytes =
+            readWhole(journal::segmentPath(dir_, shard_, seg.index));
+        u64 first_seq = 0;
+        if (!parseSegmentHeader(bytes, shard_, &first_seq) ||
+            first_seq != seg.firstSeq)
+            throw StorageError("journal segment of shard " +
+                                   std::to_string(shard_) +
+                                   " rotted underneath a running "
+                                   "journal",
+                               false);
+        u64 expect = first_seq;
+        const std::function<void(const JournalRecord&)> filtered =
+            [&](const JournalRecord& rec) {
+                if (rec.seq > from_seq && rec.seq <= to_seq)
+                    fn(rec);
+            };
+        walkRecords(bytes, &expect, &filtered);
+        if (expect <= seg.lastSeq &&
+            // Appended-but-unsynced bytes live in the page cache and
+            // are visible to reads, so a shortfall is real corruption.
+            expect <= to_seq)
+            throw StorageError(
+                "journal record " + std::to_string(expect) +
+                    " of shard " + std::to_string(shard_) +
+                    " failed validation during replay",
+                false);
+    }
+}
+
+void
+RequestJournal::truncateThrough(u64 seq)
+{
+    bool removed = false;
+    while (segments_.size() > 1 && segments_.front().lastSeq <= seq &&
+           segments_.front().lastSeq >= segments_.front().firstSeq) {
+        ::unlink(journal::segmentPath(dir_, shard_,
+                                      segments_.front().index)
+                     .c_str());
+        segments_.erase(segments_.begin());
+        removed = true;
+    }
+    if (removed)
+        ckpt::fsyncParentDir(journal::segmentPath(dir_, shard_, 1));
+}
+
+} // namespace froram

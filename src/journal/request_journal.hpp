@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Per-shard write-ahead request journal: the durability layer that
+ * turns the supervised shard runtime's bounded-RPO rollback into
+ * lossless (RPO = 0) recovery.
+ *
+ * Why journaling *requests* works here: the whole stack is
+ * bit-deterministic — an OramSystem restored from a sealed Full-scope
+ * checkpoint and driven with the same request sequence reproduces the
+ * same values, adversary traces and checkpoint blobs, bit for bit. So
+ * one record per request (shard-local address, op, write payload,
+ * sequence id) is a complete recovery recipe: restore the checkpoint,
+ * replay the journal suffix through the same submit() path. Reads are
+ * journaled too — an ORAM read remaps the PosMap and advances the
+ * remapping RNG, so replay without them would diverge.
+ *
+ * Durability contract (append-then-ack): the shard worker appends a
+ * record *before* executing the request and completes the request's
+ * future only after the record is durable (group commit: fdatasync
+ * after `fsyncEveryRecords` records, after `fsyncMaxDelayUs`, at the
+ * end of every queue drain, and on segment roll). An acknowledged
+ * request therefore always survives a crash; an unacknowledged one may
+ * or may not, and replay decides by what the torn-tail scan finds.
+ *
+ * Fault surface: every commit I/O consults the shard's FaultSchedule
+ * (FaultOp::JournalAppend / JournalSync / JournalRoll), so chaos
+ * scripts can target the journal exactly like the data plane. A failed
+ * record write is truncated back off the tail before any reissue, which
+ * makes the bounded RetryPolicy reissue idempotent.
+ *
+ * On-disk format: journal_format.hpp. Thread model: owned and driven by
+ * one shard worker; lastAppended()/lastDurable()/faultsRetried() are
+ * atomics so shardReport() can observe journal lag from any thread.
+ */
+#ifndef FRORAM_JOURNAL_REQUEST_JOURNAL_HPP
+#define FRORAM_JOURNAL_REQUEST_JOURNAL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/storage_backend.hpp"
+#include "oram/types.hpp"
+#include "util/common.hpp"
+
+namespace froram {
+
+class FaultSchedule;
+enum class FaultOp : u32; // mem/fault_injecting_backend.hpp
+
+/** Journal arming + group-commit knobs (operational — never part of
+ *  any fingerprint). Lives in SupervisionConfig::journal. */
+struct JournalConfig {
+    /** Arm per-shard request journaling (off = the unjournaled hot
+     *  path, with zero added cost and checkpoint-bounded RPO). */
+    bool enabled = false;
+    /** Group commit: fdatasync once this many records are unsynced
+     *  (1 = every record — strict, slow; larger batches amortize the
+     *  barrier across requests at no durability cost, because futures
+     *  are only completed after the barrier). */
+    u64 fsyncEveryRecords = 8;
+    /** Group commit: fdatasync when the oldest unsynced record has
+     *  waited this long, even if the batch is not full (bounds ack
+     *  latency under trickle load; 0 = batch-size/drain-end only). */
+    u64 fsyncMaxDelayUs = 2000;
+    /** Segment roll threshold (journal GC reclaims whole segments). */
+    u64 segmentBytes = u64{4} << 20;
+};
+
+/** One replayed journal record (shard-local address space). */
+struct JournalRecord {
+    u64 seq = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+    std::vector<u8> payload; ///< write image (empty = zero-fill write)
+};
+
+/** Per-shard write-ahead journal (see file comment). */
+class RequestJournal {
+  public:
+    /**
+     * Open (or create) shard `shard`'s journal under `dir`. With
+     * `reset`, any existing segments of this shard are deleted (a new
+     * service epoch must never replay its predecessor's log). Without
+     * it, the on-disk chain is validated and its torn tail repaired:
+     * the first invalid record — short frame, out-of-bounds length,
+     * CRC mismatch, sequence gap, torn segment header — is truncated
+     * away together with everything after it, so a partial final
+     * record is discarded, never misread.
+     */
+    RequestJournal(std::string dir, u32 shard, const JournalConfig& cfg,
+                   const RetryPolicy& retry,
+                   std::shared_ptr<FaultSchedule> schedule, bool reset);
+    ~RequestJournal();
+
+    RequestJournal(const RequestJournal&) = delete;
+    RequestJournal& operator=(const RequestJournal&) = delete;
+
+    /**
+     * Append one request record (rolling segments as configured) and
+     * return its sequence id. The record is NOT durable until sync()
+     * (or a roll) covers it — callers must not complete the request's
+     * future before then. Transient failures are reissued under the
+     * RetryPolicy after truncating the partial frame back off the
+     * tail; a persistent failure throws StorageError with the tail
+     * repaired (the journal stays usable for later appends).
+     */
+    u64 append(Addr addr, bool is_write, const u8* payload, u64 len);
+
+    /** Group-commit barrier: fdatasync the active segment, making
+     *  every appended record durable. Throws StorageError when the
+     *  barrier ultimately fails (records stay appended-not-durable). */
+    void sync();
+
+    /** True when the max-latency half of group commit demands a
+     *  sync() now (oldest unsynced record older than fsyncMaxDelayUs). */
+    bool syncDue() const;
+
+    /** @name Watermarks (safe from any thread) @{ */
+    u64 lastAppended() const
+    {
+        return appended_.load(std::memory_order_acquire);
+    }
+    u64 lastDurable() const
+    {
+        return durable_.load(std::memory_order_acquire);
+    }
+    u64 unsyncedRecords() const
+    {
+        return lastAppended() - lastDurable();
+    }
+    /** Transient journal-commit faults absorbed by the retry layer. */
+    u64 faultsRetried() const
+    {
+        return faultsRetried_.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
+    /** Smallest sequence id still on disk (GC watermark + 1). */
+    u64 firstAvailable() const;
+
+    /** Segment files currently on disk (introspection/tests). */
+    u64 segmentCount() const { return segments_.size(); }
+
+    /**
+     * Invoke `fn` for every record with from_seq < seq <= to_seq, in
+     * sequence order, re-validating frames from disk. Corruption here
+     * (impossible after the constructor's repair unless the medium
+     * rotted underneath a running journal) throws StorageError.
+     */
+    void replay(u64 from_seq, u64 to_seq,
+                const std::function<void(const JournalRecord&)>& fn) const;
+
+    /**
+     * Journal GC: delete whole segments whose every record is covered
+     * by a sealed checkpoint (lastSeq <= `seq`). The active segment is
+     * always kept, so the chain never becomes empty.
+     */
+    void truncateThrough(u64 seq);
+
+    /**
+     * Discard every appended-but-not-durable record, so that
+     * lastAppended() == lastDurable(). Unsynced records always live in
+     * the active segment (a roll syncs first), so this is one
+     * ftruncate. The shard runtime calls it when it FAILS the parked
+     * requests those records belong to — a record of a request that
+     * was reported failed must never survive to be replayed. Throws
+     * (and fail-stops the journal) if the truncate itself fails.
+     */
+    void rollbackTail();
+
+  private:
+    struct Segment {
+        u64 index = 0;
+        u64 firstSeq = 0;
+        u64 lastSeq = 0; ///< firstSeq - 1 when the segment is empty
+    };
+
+    void openExisting();
+    /** Create segment `index` whose first record will be `first_seq`. */
+    void startSegment(u64 index, u64 first_seq);
+    /** Roll to a fresh segment: fdatasync (records become durable),
+     *  close, create. `next_seq` is the incoming record's sequence. */
+    void roll(u64 next_seq);
+    /** ftruncate the active segment back to `bytes` after a failed or
+     *  torn append; poisons the journal if the repair itself fails. */
+    void repairTail(u64 bytes);
+    /** fdatasync the active fd behind the given fault-op hook. */
+    void barrier(FaultOp op);
+    void backoffSleep(u32 attempt);
+    std::string activePath() const;
+
+    std::string dir_;
+    u32 shard_ = 0;
+    JournalConfig cfg_;
+    RetryPolicy retry_;
+    std::shared_ptr<FaultSchedule> schedule_;
+
+    std::vector<Segment> segments_; ///< oldest first; back() is active
+    int fd_ = -1;                   ///< active segment, positioned at end
+    u64 activeBytes_ = 0;
+    u64 durableBytes_ = 0; ///< activeBytes_ as of the last barrier
+    bool failed_ = false; ///< tail unrecoverable; all commit I/O throws
+
+    std::atomic<u64> appended_{0};
+    std::atomic<u64> durable_{0};
+    std::atomic<u64> faultsRetried_{0};
+    std::chrono::steady_clock::time_point oldestUnsyncedAt_{};
+    u64 jitterCounter_ = 0;
+    std::vector<u8> frame_; ///< append scratch (capacity reused)
+};
+
+} // namespace froram
+
+#endif // FRORAM_JOURNAL_REQUEST_JOURNAL_HPP

@@ -22,6 +22,12 @@ toString(FaultOp op)
         return "sync";
       case FaultOp::Prefetch:
         return "prefetch";
+      case FaultOp::JournalAppend:
+        return "journalAppend";
+      case FaultOp::JournalSync:
+        return "journalSync";
+      case FaultOp::JournalRoll:
+        return "journalRoll";
     }
     return "?";
 }
@@ -60,11 +66,22 @@ FaultSchedule::setRandomRate(double rate, u64 seed)
 }
 
 void
+FaultSchedule::setRandomJournalRate(double rate, u64 seed)
+{
+    FRORAM_ASSERT(rate >= 0.0 && rate <= 1.0,
+                  "fault rate must be a probability");
+    std::lock_guard<std::mutex> g(mu_);
+    randomJournalRate_ = rate;
+    journalRng_ = Xoshiro256(seed);
+}
+
+void
 FaultSchedule::clear()
 {
     std::lock_guard<std::mutex> g(mu_);
     specs_.clear();
     randomRate_ = 0.0;
+    randomJournalRate_ = 0.0;
 }
 
 u64
@@ -99,6 +116,19 @@ FaultSchedule::onOp(FaultOp op)
         const double roll =
             static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
         if (roll < randomRate_) {
+            ++fired_;
+            FaultSpec s;
+            s.op = op;
+            s.kind = FaultKind::Eio;
+            s.transient = true;
+            return {true, s};
+        }
+    }
+    if (randomJournalRate_ > 0.0 &&
+        (op == FaultOp::JournalAppend || op == FaultOp::JournalSync)) {
+        const double roll =
+            static_cast<double>(journalRng_.next() >> 11) * 0x1.0p-53;
+        if (roll < randomJournalRate_) {
             ++fired_;
             FaultSpec s;
             s.op = op;

@@ -37,16 +37,23 @@
 
 namespace froram {
 
-/** Data-plane operation class a fault spec targets. */
+/** Data-plane operation class a fault spec targets. The Journal* ops
+ *  are consumed by RequestJournal (src/journal/), not by the backend
+ *  decorator: the journal's commit I/O — record append, group-commit
+ *  fdatasync, segment roll — shares the per-shard schedule with the
+ *  data plane so chaos scripts can target either side of a shard. */
 enum class FaultOp : u32 {
-    Read,        ///< read() (and gatherView, which degrades to reads)
-    Write,       ///< write()
-    GatherView,  ///< gatherView() itself (before any span resolves)
-    StreamBatch, ///< streamBatch() (timing plane)
-    Sync,        ///< sync() — the msync-failure class
-    Prefetch     ///< prefetch() — latency only; EIO is swallowed
+    Read,          ///< read() (and gatherView, which degrades to reads)
+    Write,         ///< write()
+    GatherView,    ///< gatherView() itself (before any span resolves)
+    StreamBatch,   ///< streamBatch() (timing plane)
+    Sync,          ///< sync() — the msync-failure class
+    Prefetch,      ///< prefetch() — latency only; EIO is swallowed
+    JournalAppend, ///< journal record write() to the segment fd
+    JournalSync,   ///< journal group-commit fdatasync()
+    JournalRoll    ///< segment roll (fdatasync + new segment file)
 };
-constexpr u32 kNumFaultOps = 6;
+constexpr u32 kNumFaultOps = 9;
 
 const char* toString(FaultOp op);
 
@@ -104,6 +111,12 @@ class FaultSchedule {
     /** Arm random transient Eio on reads at the given rate in [0, 1]. */
     void setRandomRate(double rate, u64 seed);
 
+    /** Arm random transient Eio on journal commit I/O (JournalAppend /
+     *  JournalSync) at the given rate in [0, 1] — the journal-fault
+     *  soak workhorse. Independent of setRandomRate (own RNG), so
+     *  arming one never perturbs the other's fault sequence. */
+    void setRandomJournalRate(double rate, u64 seed);
+
     /** Disarm everything (counters keep running). */
     void clear();
 
@@ -130,6 +143,8 @@ class FaultSchedule {
     u64 fired_ = 0;
     double randomRate_ = 0.0;
     Xoshiro256 rng_{0};
+    double randomJournalRate_ = 0.0;
+    Xoshiro256 journalRng_{0};
 };
 
 /** StorageBackend decorator applying a FaultSchedule (see file doc). */

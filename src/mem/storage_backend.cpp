@@ -199,7 +199,13 @@ prepareShardDirectory(const std::string& dir, u32 num_shards, bool reset)
             const bool is_ckpt =
                 name.size() > 5 &&
                 name.compare(name.size() - 5, 5, ".ckpt") == 0;
-            if (name == "MANIFEST" || is_ckpt)
+            // Journal segments belong to the old epoch exactly like the
+            // snapshots do: a reinitialized service must never replay a
+            // predecessor's request log over its fresh trees.
+            const bool is_wal =
+                name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".wal") == 0;
+            if (name == "MANIFEST" || is_ckpt || is_wal)
                 stale.push_back(dir + "/" + name);
         }
         ::closedir(d);

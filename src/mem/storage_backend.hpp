@@ -69,6 +69,11 @@ class FaultSchedule; // mem/fault_injecting_backend.hpp
  * before the path access, Ring's incremental valid-mask updates) is NOT
  * restartable mid-access. Backoff is exponential with deterministic
  * (seeded, attempt-indexed) jitter so chaos runs stay reproducible.
+ *
+ * The same policy governs the request journal's commit I/O (append /
+ * fdatasync / segment roll in src/journal/): a failed record write is
+ * truncated back off the tail before the reissue, so retrying there is
+ * idempotent for the same reason a raw backend write is.
  */
 struct RetryPolicy {
     u32 maxAttempts = 3;   ///< total tries per operation (1 = no retry)
@@ -305,8 +310,9 @@ u32 countShardBackendFiles(const std::string& dir);
  *  - absent: the directory is created (parent must exist).
  *  - present with no shard files: accepted as-is.
  *  - present with exactly `num_shards` shard files: accepted; with
- *    `reset`, stale service metadata (MANIFEST, *.ckpt) is removed so
- *    a reinitialized service cannot be resumed from the old epoch.
+ *    `reset`, stale service metadata (MANIFEST, *.ckpt, journal *.wal
+ *    segments) is removed so a reinitialized service cannot be resumed
+ *    from — or replayed against — the old epoch.
  *  - present with any other shard count, a gap in the shard numbering,
  *    or a non-directory path: typed FatalError, nothing touched.
  */

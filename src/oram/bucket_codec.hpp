@@ -200,6 +200,16 @@ class BucketCodec {
         globalSeed_ = seed;
     }
 
+    /**
+     * Load the register from a restored snapshot, rewinding if needed.
+     * Only sound when the data plane is simultaneously pinned to the
+     * same point (whole-image rewrite or divergence anchor): every pad
+     * at or past `seed` then re-encrypts the deterministic replay of
+     * the timeline that first drew it — the same plaintext under the
+     * same pad, never a second plaintext.
+     */
+    void restoreGlobalSeed(u64 seed) { globalSeed_ = seed; }
+
     const OramParams& params() const { return params_; }
     SeedScheme scheme() const { return scheme_; }
     u64 domain() const { return domain_; }

@@ -158,9 +158,16 @@ BackedTreeStorage::restoreTrustedState(CheckpointReader& r)
             "backend region diverged from the checkpoint (" +
             std::to_string(touched_) + " buckets written vs " +
             std::to_string(saved_touched) + " at checkpoint time)");
-    if (codec_.scheme() == SeedScheme::GlobalCounter &&
-        saved_seed > codec_.globalSeed())
-        codec_.setGlobalSeed(saved_seed);
+    // Adopt the checkpoint's register EXACTLY — including rewinding
+    // one that resumed from a further-ahead region header. Every path
+    // that reaches here pins region register == checkpoint register
+    // (the divergence anchor above for trusted-only restores, the
+    // whole-image rewrite for full ones), so the next pad drawn
+    // continues the restored timeline. Keeping a larger resumed value
+    // instead would fork the re-encryption stream and break
+    // bit-identical journal replay after a crash.
+    if (codec_.scheme() == SeedScheme::GlobalCounter)
+        codec_.restoreGlobalSeed(saved_seed);
 }
 
 u64

@@ -16,7 +16,9 @@ constexpr u64 kManifestKdfLabel = 0x5a4d414e46455354ULL; // manifest MAC
 /** Per-shard seed derivation domain (mixed with the shard index). */
 constexpr u64 kShardSeedDomain = 0x5348415244534442ULL;
 
-constexpr u32 kManifestVersion = 1;
+/** v2 added the journaled flag and per-shard journal watermarks; open
+ *  rejects every other version (no silent migration). */
+constexpr u32 kManifestVersion = 2;
 constexpr u32 kMaxShards = 4096;
 constexpr u32 kMaxWorkers = 64; // submit() routes wakeups via a u64 mask
 
@@ -123,6 +125,31 @@ ShardedOramService::ShardedOramService(const ShardedServiceConfig& config,
         shards_.push_back(std::move(st));
     }
 
+    if (cfg_.supervision.journal.enabled && !opening) {
+        // Arm fresh journals (a new service epoch never replays its
+        // predecessor's log — open() is the resume path). open() arms
+        // its own journals after the restores, using the manifest
+        // watermarks.
+        if (cfg_.directory.empty())
+            fatal("request journaling needs ShardedServiceConfig::"
+                  "directory (one journal per shard lives there)");
+        if (!mmap)
+            prepareShardDirectory(cfg_.directory, numShards_,
+                                  cfg_.base.backendReset);
+        for (u32 s = 0; s < numShards_; ++s) {
+            ShardState& st = *shards_[s];
+            st.journal = std::make_unique<RequestJournal>(
+                cfg_.directory, s, cfg_.supervision.journal,
+                cfg_.supervision.retry, scheduleFor(s), /*reset=*/true);
+            // Genesis recovery point: a journaled shard can always
+            // roll back (to seq 0 = the freshly initialized state), so
+            // the no-recovery-point permanent quarantine is
+            // unreachable for it.
+            st.recoveryBlob = st.sys->checkpoint(CheckpointScope::Full);
+            st.memWatermark = 0;
+        }
+    }
+
     u32 nworkers = cfg_.numWorkers;
     if (nworkers == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -177,6 +204,15 @@ ShardedOramService::shardConfig(u32 shard, bool opening) const
         cfg_.shardFaultSchedules[shard] != nullptr)
         sc.faultSchedule = cfg_.shardFaultSchedules[shard];
     return sc;
+}
+
+std::shared_ptr<FaultSchedule>
+ShardedOramService::scheduleFor(u32 shard) const
+{
+    if (shard < cfg_.shardFaultSchedules.size() &&
+        cfg_.shardFaultSchedules[shard] != nullptr)
+        return cfg_.shardFaultSchedules[shard];
+    return cfg_.base.faultSchedule;
 }
 
 ShardedOramService::~ShardedOramService()
@@ -386,6 +422,10 @@ ShardedOramService::workerLoop(Worker& w)
                                                    : nullptr);
                     w.localPos = i + 1;
                 }
+                // Drain-end group commit: every entry this pass parked
+                // gets acked before the worker moves on, so ack
+                // latency is bounded by the drain, not by a timer.
+                flushJournal(s);
             }
             // Rollback pass: a shard quarantined during the drain above
             // recovers once its queue is empty — every request queued
@@ -410,6 +450,7 @@ ShardedOramService::workerLoop(Worker& w)
                                                    : nullptr);
                     w.localPos = i + 1;
                 }
+                flushJournal(s);
             }
             return;
         }
@@ -506,6 +547,194 @@ ShardedOramService::recoverShard(u32 shard_index)
 }
 
 void
+ShardedOramService::flushJournal(u32 shard_index)
+{
+    ShardState& st = *shards_[shard_index];
+    if (st.journal == nullptr || st.pendingAck.empty())
+        return;
+    try {
+        st.journal->sync();
+    } catch (const StorageError& e) {
+        recoverJournaled(shard_index, RequestStatus::StorageFault,
+                         std::string("journal group commit failed: ") +
+                             e.what());
+        return;
+    }
+    // Barrier done: every parked record is durable — release the acks.
+    // Detach the parked list BEFORE completing any future: the last
+    // finishOne can wake a drain()er/checkpoint()er, which must then
+    // observe an empty pendingAck, not one the worker is mid-clearing.
+    std::vector<std::pair<u64, QueueEntry>> acks;
+    acks.swap(st.pendingAck);
+    for (auto& p : acks)
+        finishOne(*p.second.batch);
+}
+
+void
+ShardedOramService::maybeFlushJournal(u32 shard_index)
+{
+    ShardState& st = *shards_[shard_index];
+    if (st.journal == nullptr || st.pendingAck.empty())
+        return;
+    const u64 unsynced = st.journal->unsyncedRecords();
+    // unsynced == 0 with entries parked means a segment roll already
+    // committed them mid-drain — release without another barrier.
+    if (unsynced == 0 ||
+        unsynced >= cfg_.supervision.journal.fsyncEveryRecords ||
+        st.journal->syncDue())
+        flushJournal(shard_index);
+}
+
+bool
+ShardedOramService::recoverJournaled(u32 shard_index,
+                                     RequestStatus status,
+                                     const std::string& why)
+{
+    ShardState& st = *shards_[shard_index];
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string typed = std::string(toString(status)) + ": " + why;
+    const auto failParked = [&](const std::string& msg) {
+        std::vector<std::pair<u64, QueueEntry>> parked;
+        parked.swap(st.pendingAck);
+        for (auto& p : parked)
+            failEntry(p.second, status, msg);
+    };
+    const auto permanently = [&](const std::string& msg) {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        st.permanent = true;
+        st.lastError = msg + " (previously: " + typed + ")";
+    };
+    bool over_budget;
+    {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        st.health = ShardHealth::Quarantined;
+        st.lastError = typed;
+        over_budget = st.recoveries >= cfg_.supervision.maxRecoveries;
+        if (!over_budget)
+            ++st.recoveries;
+    }
+    if (over_budget) {
+        permanently("recovery budget exhausted; shard quarantined "
+                    "permanently");
+        failParked("recovery budget exhausted (" + typed + ")");
+        return false;
+    }
+    FRORAM_ASSERT(!st.recoveryBlob.empty(),
+                  "journaled shard without a recovery point");
+
+    // Salvage: records already appended may still commit, and every
+    // one that does will be replayed — its request acked instead of
+    // failed. A failed barrier here only shrinks the salvageable
+    // suffix (those requests were never acked). Whatever does NOT
+    // commit is then physically cut off the tail: a record of a
+    // request we are about to fail must not survive to be replayed by
+    // a later open().
+    try {
+        st.journal->sync();
+    } catch (...) {
+    }
+    const u64 durable = st.journal->lastDurable();
+    if (st.journal->lastAppended() != durable) {
+        try {
+            st.journal->rollbackTail();
+        } catch (const std::exception& e) {
+            permanently(std::string("journal tail rollback failed: ") +
+                        e.what());
+            failParked(std::string("journal tail rollback failed: ") +
+                       e.what());
+            return false;
+        }
+    }
+
+    // Destroy the fail-stopped system FIRST: with the mmap backend the
+    // old instance still maps the shard file, and its destructor flush
+    // must not land on top of the rebuilt tree.
+    std::unique_ptr<OramSystem> old;
+    {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        old = std::move(st.sys);
+    }
+    old.reset();
+
+    u64 replayed = 0;
+    std::unique_ptr<OramSystem> fresh;
+    try {
+        OramSystemConfig sc = shardConfig(shard_index,
+                                          /*opening=*/false);
+        // The Full-scope blob restores the whole data plane, so
+        // rebuild from a clean slate even when the file persists.
+        sc.backendReset = true;
+        fresh = std::make_unique<OramSystem>(cfg_.scheme, sc);
+        fresh->restore(st.recoveryBlob);
+        // Exact replay: the durable suffix goes through the same
+        // submit() path that produced it, so the recovered shard is
+        // bit-identical — values, traces, checkpoint blobs — to one
+        // that never faulted. Parked requests get their result slots
+        // refilled by their own replayed execution.
+        AccessResult scratch;
+        st.journal->replay(
+            st.memWatermark, durable, [&](const JournalRecord& rec) {
+                AccessResult* out = &scratch;
+                for (auto& p : st.pendingAck)
+                    if (p.first == rec.seq) {
+                        out = &p.second.batch->results[p.second.index]
+                                   .result;
+                        break;
+                    }
+                AccessRequest ar;
+                ar.addr = rec.addr;
+                ar.isWrite = rec.isWrite;
+                ar.writeData = rec.isWrite && !rec.payload.empty()
+                                   ? &rec.payload
+                                   : nullptr;
+                fresh->submit(&ar, out, 1);
+                ++replayed;
+            });
+    } catch (const std::exception& e) {
+        permanently(std::string("journal replay failed: ") + e.what());
+        failParked(std::string("journal replay failed: ") + e.what());
+        return false;
+    }
+    st.lastRetries = fresh->storageRetries();
+    st.cleanStreak = 0;
+    const u64 ms = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    {
+        std::lock_guard<std::mutex> g(st.healthMu);
+        st.sys = std::move(fresh);
+        st.health = ShardHealth::Degraded; // re-admitted, watched
+        st.lastReplayDepth = replayed;
+        st.lastRecoveryMs = ms;
+    }
+    // Ack or fail the parked requests. A durable record means its
+    // request was replayed — its effects and result live in the
+    // recovered state — so it completes Ok (this is what makes gap
+    // requests succeed instead of failing typed). Past the durable
+    // tail the record is gone and the request never executed in the
+    // surviving timeline; it was never acked, so it fails typed.
+    // Nothing is silently dropped and nothing is doubly applied.
+    // (Detached before any future completes — see flushJournal.)
+    std::vector<std::pair<u64, QueueEntry>> parked;
+    parked.swap(st.pendingAck);
+    for (auto& p : parked) {
+        if (p.first <= durable) {
+            ShardAccessResult& ps =
+                p.second.batch->results[p.second.index];
+            ps.status = RequestStatus::Ok;
+            ps.error.clear();
+            finishOne(*p.second.batch);
+        } else {
+            failEntry(p.second, status,
+                      "request record was not durable when the shard "
+                      "rolled back (" + typed + ")");
+        }
+    }
+    return true;
+}
+
+void
 ShardedOramService::onWorkerDeath(Worker& w, const std::string& why)
 {
     const std::string msg = "worker thread died: " + why;
@@ -523,6 +752,25 @@ ShardedOramService::onWorkerDeath(Worker& w, const std::string& why)
             st.health = ShardHealth::Quarantined;
             st.permanent = true;
             st.lastError = msg;
+        }
+        if (st.journal != nullptr && !st.pendingAck.empty()) {
+            // Parked entries whose records are already durable
+            // executed fine before the death and are acked; unsynced
+            // records are cut off the tail and their requests fail
+            // typed — never acked, never replayable.
+            try {
+                st.journal->rollbackTail();
+            } catch (...) {
+            }
+            const u64 durable = st.journal->lastDurable();
+            std::vector<std::pair<u64, QueueEntry>> parked;
+            parked.swap(st.pendingAck);
+            for (auto& p : parked) {
+                if (p.first <= durable)
+                    finishOne(*p.second.batch);
+                else
+                    failEntry(p.second, RequestStatus::WorkerLost, msg);
+            }
         }
         if (st.needsRecovery) {
             // A rollback was pending; release its drain() hold.
@@ -551,11 +799,27 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
         // service keeps serving its other shards meanwhile — no global
         // quiesce — and a quarantined shard keeps its previous point.
         try {
+            // Journaled: commit + ack everything parked first, so the
+            // snapshot corresponds exactly to the durable watermark
+            // (flushJournal may recover the shard inline — re-check
+            // health after).
+            flushJournal(shard_index);
             if (st.health != ShardHealth::Quarantined) {
                 std::vector<u8> blob =
                     st.sys->checkpoint(CheckpointScope::Full);
-                std::lock_guard<std::mutex> g(st.healthMu);
-                st.recoveryBlob = std::move(blob);
+                {
+                    std::lock_guard<std::mutex> g(st.healthMu);
+                    st.recoveryBlob = std::move(blob);
+                }
+                if (st.journal != nullptr) {
+                    // Journal GC: the fresh point covers everything
+                    // durable, but reopen-from-manifest still needs
+                    // records past the sealed generation — segments
+                    // below BOTH watermarks are reclaimable.
+                    st.memWatermark = st.journal->lastDurable();
+                    st.journal->truncateThrough(std::min(
+                        st.memWatermark, st.durableWatermark));
+                }
             }
             entry.snap->done.set_value();
         } catch (...) {
@@ -574,19 +838,12 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
     slot.addr = req.addr;
     slot.status = RequestStatus::Ok;
 
-    // Quarantine fast-fail: requests in the gap between the fault and
-    // re-admission fail typed — they are never replayed against the
-    // rolled-back state. (health is written only by this worker, so
-    // reading our own slot without the lock is race-free.)
-    if (st.health == ShardHealth::Quarantined) {
-        std::string why;
-        {
-            std::lock_guard<std::mutex> g(st.healthMu);
-            why = st.lastError;
-        }
-        failEntry(entry, RequestStatus::Quarantined, why);
-        return;
-    }
+    // Deadline first, BEFORE the quarantine fast-fail: a request whose
+    // deadline expired while it was parked behind a rollback or a
+    // journal replay fails Deadline — its true cause — not
+    // Quarantined. Expiry is still only evaluated here, at actual
+    // service time, so a deadline never interrupts an access (and a
+    // recovery that finishes in time costs the request nothing).
     if (req.deadlineUs != 0) {
         const auto waited =
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -600,16 +857,65 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
             return;
         }
     }
+    // Quarantine fast-fail: requests in the gap between the fault and
+    // re-admission fail typed — they are never replayed against the
+    // rolled-back state. Journaled shards recover inline before
+    // process() returns, so they only ever reach this permanently
+    // quarantined. (health is written only by this worker, so reading
+    // our own slot without the lock is race-free.)
+    if (st.health == ShardHealth::Quarantined) {
+        std::string why;
+        {
+            std::lock_guard<std::mutex> g(st.healthMu);
+            why = st.lastError;
+        }
+        failEntry(entry, RequestStatus::Quarantined, why);
+        return;
+    }
 
+    bool parked = false; // journaled: entry pushed to pendingAck
     try {
+        const std::vector<u8>* payload =
+            req.isWrite && !req.writeData.empty() ? &req.writeData
+                                                  : nullptr;
+        if (st.journal != nullptr) {
+            // Append-then-ack, phase 1: the record goes to the journal
+            // BEFORE execution, and the entry parks in pendingAck until
+            // a group-commit barrier covers it — only then does its
+            // future complete. Reads are journaled too: an ORAM read
+            // remaps the PosMap and advances the remapping RNG, so a
+            // replay without them would diverge from the original run.
+            u64 seq = 0;
+            try {
+                seq = st.journal->append(
+                    shardLocalAddr(req.addr), req.isWrite,
+                    payload != nullptr ? payload->data() : nullptr,
+                    payload != nullptr ? payload->size() : 0);
+            } catch (const StorageError& e) {
+                // Append failed past the retry budget, tail repaired:
+                // the shard state is untouched, so only THIS request
+                // fails — no quarantine, no rollback.
+                const std::string why =
+                    std::string("journal append failed: ") + e.what();
+                st.cleanStreak = 0;
+                {
+                    std::lock_guard<std::mutex> g(st.healthMu);
+                    if (st.health == ShardHealth::Healthy)
+                        st.health = ShardHealth::Degraded;
+                    st.lastError = why;
+                }
+                failEntry(entry, RequestStatus::StorageFault, why);
+                return;
+            }
+            st.pendingAck.emplace_back(seq, entry);
+            parked = true;
+        }
         // Pipeline stage overlap via the unified submit surface: a
         // prefetchOnly entry for the NEXT popped request's path runs
         // before this one's compute. The hint never mutates ORAM
         // state, so per-shard results and traces stay bit-identical
-        // to the unpipelined worker.
-        const std::vector<u8>* payload =
-            req.isWrite && !req.writeData.empty() ? &req.writeData
-                                                  : nullptr;
+        // to the unpipelined worker (and journal replay, which skips
+        // hints, reproduces the same bits).
         if (next != nullptr && next->snap == nullptr) {
             AccessRequest hint;
             hint.addr = shardLocalAddr(
@@ -644,9 +950,20 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
             if (st.health == ShardHealth::Degraded)
                 st.health = ShardHealth::Healthy;
         }
-        finishOne(b);
+        if (st.journal != nullptr)
+            // Append-then-ack, phase 2: the entry stays parked until a
+            // barrier covers its record (batch-size/latency threshold
+            // here, or the worker's drain-end flush).
+            maybeFlushJournal(shard_index);
+        else
+            finishOne(b);
         return;
     } catch (const IntegrityViolation& e) {
+        if (st.journal != nullptr) {
+            recoverJournaled(shard_index, RequestStatus::IntegrityFault,
+                             e.what());
+            return;
+        }
         // Quarantine BEFORE finishing the entry: failEntry can complete
         // the batch and drop pendingBatches_ to zero, and a drain()er
         // waking in that window must already see the quarantine and its
@@ -655,6 +972,11 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
                         e.what());
         failEntry(entry, RequestStatus::IntegrityFault, e.what());
     } catch (const StorageError& e) {
+        if (st.journal != nullptr) {
+            recoverJournaled(shard_index, RequestStatus::StorageFault,
+                             e.what());
+            return;
+        }
         quarantineShard(shard_index, RequestStatus::StorageFault,
                         e.what());
         failEntry(entry, RequestStatus::StorageFault, e.what());
@@ -670,6 +992,31 @@ ShardedOramService::process(u32 shard_index, QueueEntry& entry,
         } catch (const std::exception& ex) {
             why = ex.what();
         } catch (...) {
+        }
+        if (parked) {
+            // The faulting entry is the last parked one; its batch is
+            // rejected below. Its record — like every unsynced record —
+            // is cut off the journal tail, so no future replay can
+            // apply a request whose batch was rejected. Earlier parked
+            // entries whose records are already durable executed fine
+            // and are acked; the rest follow their records into
+            // oblivion, typed (they were never acked).
+            st.pendingAck.pop_back();
+            try {
+                st.journal->rollbackTail();
+            } catch (...) {
+            }
+            const u64 durable = st.journal->lastDurable();
+            std::vector<std::pair<u64, QueueEntry>> parked;
+            parked.swap(st.pendingAck);
+            for (auto& p : parked) {
+                if (p.first <= durable)
+                    finishOne(*p.second.batch);
+                else
+                    failEntry(p.second, RequestStatus::StorageFault,
+                              "request record discarded: the shard "
+                              "failed non-fault (" + why + ")");
+            }
         }
         {
             std::lock_guard<std::mutex> g(st.healthMu);
@@ -722,6 +1069,15 @@ ShardedOramService::shardReport(u32 index) const
     // st.sys is null only inside the worker's rollback window, which
     // holds healthMu around both the detach and the reattach.
     r.transientFaults = st.sys != nullptr ? st.sys->storageRetries() : 0;
+    r.journaled = st.journal != nullptr;
+    if (st.journal != nullptr) {
+        // Watermarks are atomics; journal lag observed from any thread
+        // is a point-in-time reading, like the health state itself.
+        r.journalLagRecords = st.journal->unsyncedRecords();
+        r.transientFaults += st.journal->faultsRetried();
+    }
+    r.lastReplayDepth = st.lastReplayDepth;
+    r.lastRecoveryMs = st.lastRecoveryMs;
     return r;
 }
 
@@ -868,16 +1224,43 @@ ShardedOramService::checkpoint(CheckpointScope scope)
         prepareShardDirectory(cfg_.directory, numShards_,
                               /*reset=*/false);
 
+    const bool journaled = cfg_.supervision.journal.enabled;
+    if (journaled) {
+        // A journaled generation anchors REPLAY: open() restores the
+        // blob and drives the journal suffix forward, which only a
+        // Full-scope restore can back. (TrustedOnly blobs anchor a
+        // divergence *check* against the live data plane instead — a
+        // replay-advanced state would always be rejected by it.)
+        if (scope == CheckpointScope::TrustedOnly)
+            fatal("a journaled service checkpoints CheckpointScope::"
+                  "Full only: a TrustedOnly anchor cannot back journal "
+                  "replay");
+        scope = CheckpointScope::Full;
+    }
+
     const u64 gen = generation_ + 1;
+    std::vector<std::vector<u8>> blobs(numShards_);
     std::vector<std::vector<u8>> tags;
     std::vector<u64> sizes;
+    std::vector<u64> marks(numShards_, 0);
     tags.reserve(numShards_);
     sizes.reserve(numShards_);
     for (u32 s = 0; s < numShards_; ++s) {
-        const std::vector<u8> blob = shards_[s]->sys->checkpoint(scope);
-        ckpt::writeFileAtomic(snapshotPath(s, gen), blob);
-        tags.push_back(ckpt::sealedTag(blob));
-        sizes.push_back(blob.size());
+        ShardState& st = *shards_[s];
+        if (journaled) {
+            // Quiesced: every batch completed, so every parked record
+            // was group-committed — the journal is exactly caught up
+            // with the state being sealed.
+            FRORAM_ASSERT(st.pendingAck.empty(),
+                          "quiesced service holds parked acks");
+            marks[s] = st.journal->lastDurable();
+            FRORAM_ASSERT(marks[s] == st.journal->lastAppended(),
+                          "quiesced journal holds unsynced records");
+        }
+        blobs[s] = st.sys->checkpoint(scope);
+        ckpt::writeFileAtomic(snapshotPath(s, gen), blobs[s]);
+        tags.push_back(ckpt::sealedTag(blobs[s]));
+        sizes.push_back(blobs[s].size());
     }
 
     CheckpointWriter w;
@@ -889,10 +1272,12 @@ ShardedOramService::checkpoint(CheckpointScope scope)
     w.putU64(numBlocks_);
     w.putU64(dataBlockBytes_);
     w.putU64(gen);
+    w.putU32(journaled ? 1 : 0);
     for (u32 s = 0; s < numShards_; ++s) {
         w.putU64(shards_[s]->sys->configFingerprint());
         w.putBytes(tags[s].data(), tags[s].size());
         w.putU64(sizes[s]);
+        w.putU64(marks[s]); // journal watermark (0 when unjournaled)
     }
     w.end();
     // Commit point: only this rename makes generation `gen` current; a
@@ -905,6 +1290,20 @@ ShardedOramService::checkpoint(CheckpointScope scope)
         for (u32 s = 0; s < numShards_; ++s)
             std::remove(snapshotPath(s, generation_).c_str());
     generation_ = gen;
+
+    if (journaled) {
+        // The sealed generation IS a recovery point: adopt it as the
+        // in-memory one and GC every journal segment it covers — both
+        // rollback (from memWatermark) and reopen (from
+        // durableWatermark) now need nothing older.
+        for (u32 s = 0; s < numShards_; ++s) {
+            ShardState& st = *shards_[s];
+            st.durableWatermark = marks[s];
+            st.memWatermark = marks[s];
+            st.recoveryBlob = std::move(blobs[s]);
+            st.journal->truncateThrough(marks[s]);
+        }
+    }
 }
 
 std::unique_ptr<ShardedOramService>
@@ -932,6 +1331,7 @@ ShardedOramService::open(ShardedServiceConfig config)
     const u64 m_blocks = r.getU64();
     const u64 m_block_bytes = r.getU64();
     const u64 m_gen = r.getU64();
+    const u32 m_journaled = r.getU32();
     if (m_shards != config.numShards)
         throw CheckpointError(
             "manifest records " + std::to_string(m_shards) +
@@ -955,6 +1355,7 @@ ShardedOramService::open(ShardedServiceConfig config)
         u64 fingerprint;
         std::vector<u8> tag;
         u64 bytes;
+        u64 watermark;
     };
     std::vector<ShardPin> pins(m_shards);
     for (u32 s = 0; s < m_shards; ++s) {
@@ -962,9 +1363,15 @@ ShardedOramService::open(ShardedServiceConfig config)
         pins[s].tag.resize(ckpt::kTagBytes);
         r.getBytes(pins[s].tag.data(), pins[s].tag.size());
         pins[s].bytes = r.getU64();
+        pins[s].watermark = r.getU64();
     }
     r.exit();
     r.expectEnd();
+    if (m_journaled != 0 && !config.supervision.journal.enabled)
+        throw CheckpointError(
+            "manifest records a journaled service; open it with "
+            "supervision.journal.enabled so the journal suffix past "
+            "the checkpoint is replayed, not silently dropped");
 
     // Stage 2 — pre-validate the directory so a partially written (or
     // partially deleted) service fails *before* any file is created or
@@ -1008,6 +1415,82 @@ ShardedOramService::open(ShardedServiceConfig config)
                 " configuration fingerprint mismatch");
         svc->shards_[s]->sys->restore(blob);
     }
+
+    // Stage 4 (journaled) — arm each shard's journal and replay its
+    // suffix past the manifest watermark through the same submit()
+    // path; determinism makes the result bit-identical to the
+    // pre-crash shard, so every acknowledged request survives even a
+    // kill -9 with no final checkpoint (RPO = 0). No requests can be
+    // in flight here (the service has not been returned yet), so the
+    // workers' ownership of journal state has not begun.
+    if (config.supervision.journal.enabled) {
+        for (u32 s = 0; s < m_shards; ++s) {
+            ShardState& st = *svc->shards_[s];
+            auto j = std::make_unique<RequestJournal>(
+                config.directory, s, config.supervision.journal,
+                config.supervision.retry, svc->scheduleFor(s),
+                /*reset=*/m_journaled == 0);
+            const u64 from = m_journaled != 0 ? pins[s].watermark : 0;
+            u64 replayed = 0;
+            if (m_journaled != 0) {
+                if (j->lastAppended() < from)
+                    throw CheckpointError(
+                        "journal of shard " + std::to_string(s) +
+                        " ends at record " +
+                        std::to_string(j->lastAppended()) +
+                        " but the manifest pins watermark " +
+                        std::to_string(from) +
+                        " (journal rolled back, truncated or deleted)");
+                if (j->lastAppended() > from &&
+                    j->firstAvailable() > from + 1)
+                    throw CheckpointError(
+                        "journal of shard " + std::to_string(s) +
+                        " is missing segments: replay must start after "
+                        "record " + std::to_string(from) +
+                        " but the oldest record on disk is " +
+                        std::to_string(j->firstAvailable()));
+                try {
+                    AccessResult scratch;
+                    j->replay(from, j->lastAppended(),
+                              [&](const JournalRecord& rec) {
+                                  AccessRequest ar;
+                                  ar.addr = rec.addr;
+                                  ar.isWrite = rec.isWrite;
+                                  ar.writeData = rec.isWrite &&
+                                                         !rec.payload
+                                                              .empty()
+                                                     ? &rec.payload
+                                                     : nullptr;
+                                  st.sys->submit(&ar, &scratch, 1);
+                                  ++replayed;
+                              });
+                } catch (const std::exception& e) {
+                    throw CheckpointError(
+                        "journal replay of shard " + std::to_string(s) +
+                        " failed: " + e.what());
+                }
+            }
+            st.journal = std::move(j);
+            st.durableWatermark = m_journaled != 0 ? from : ~u64{0};
+            st.memWatermark = st.journal->lastDurable();
+            // The replayed state is the new recovery point (rollback
+            // must never land before what open() already replayed).
+            st.recoveryBlob = st.sys->checkpoint(CheckpointScope::Full);
+            {
+                std::lock_guard<std::mutex> g(st.healthMu);
+                st.lastReplayDepth = replayed;
+            }
+            if (m_journaled != 0)
+                st.journal->truncateThrough(
+                    std::min(st.memWatermark, st.durableWatermark));
+        }
+        if (m_journaled == 0)
+            // First journaled open of a pre-journal service: commit a
+            // journaled (v2, watermarked) generation NOW, so the
+            // RPO = 0 contract holds from the moment open() returns.
+            svc->checkpoint(CheckpointScope::Full);
+    }
+
     // The opening constructor defers the recovery-point supervisor so
     // no capture can race the restores above; start it now.
     if (config.supervision.checkpointIntervalMs != 0)

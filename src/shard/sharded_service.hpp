@@ -56,6 +56,21 @@
  * thread is quarantined permanently. Faults surface as
  * ShardAccessResult::status (the future always resolves); only
  * non-fault exceptions — library bugs, misuse — reject the future.
+ *
+ * Journaled mode (SupervisionConfig::journal.enabled; see
+ * src/journal/request_journal.hpp). Every request is appended to a
+ * per-shard write-ahead journal BEFORE execution, and its future
+ * completes only after a group-commit barrier covers its record
+ * (append-then-ack). That upgrades rollback from bounded-RPO to
+ * lossless: recovery restores the last recovery point and REPLAYS the
+ * durable journal suffix through the same submit() path — determinism
+ * makes the recovered shard bit-identical (values, traces, checkpoint
+ * blobs) to one that never faulted, and gap requests succeed instead of
+ * failing typed. checkpoint()/open() carry a per-shard journal
+ * watermark in the (v2) manifest, so a kill -9'd process reopens with
+ * zero acknowledged requests lost: replay covers everything past the
+ * sealed generation. Journal-off services take this path nowhere — the
+ * hot path is unchanged.
  */
 #ifndef FRORAM_SHARD_SHARDED_SERVICE_HPP
 #define FRORAM_SHARD_SHARDED_SERVICE_HPP
@@ -70,6 +85,7 @@
 #include <vector>
 
 #include "core/oram_system.hpp"
+#include "journal/request_journal.hpp"
 #include "shard/request_queue.hpp"
 
 namespace froram {
@@ -107,8 +123,13 @@ struct SupervisionConfig {
     u32 healthyStreak = 128;
     /** Periodic in-memory recovery-point cadence in milliseconds
      *  (0 = none; capture via refreshRecoveryPoints() instead). This
-     *  bounds the RPO: rollback loses at most one interval of writes. */
+     *  bounds the RPO: rollback loses at most one interval of writes
+     *  (journaled shards lose nothing — replay covers the interval). */
     u64 checkpointIntervalMs = 0;
+    /** Per-shard request journaling (RPO = 0 when enabled; see the
+     *  file comment and src/journal/request_journal.hpp). Off by
+     *  default: the unjournaled hot path keeps zero added cost. */
+    JournalConfig journal{};
 };
 
 /** Configuration of a ShardedOramService. */
@@ -223,6 +244,14 @@ class ShardedOramService {
         u64 recoveries = 0;      ///< rollbacks performed
         bool hasRecoveryPoint = false;
         std::string lastError;   ///< most recent fault diagnostic
+        bool journaled = false;  ///< request journaling armed
+        /** Journal lag: records appended but not yet group-committed
+         *  (their futures are still parked; 0 when idle). */
+        u64 journalLagRecords = 0;
+        /** Records replayed by the most recent rollback or open(). */
+        u64 lastReplayDepth = 0;
+        /** Wall-clock of the most recent journaled rollback, ms. */
+        u64 lastRecoveryMs = 0;
     };
     ShardHealthReport shardReport(u32 index) const;
 
@@ -270,6 +299,17 @@ class ShardedOramService {
      * and every pinned snapshot before any shard state is applied; all
      * failure modes raise CheckpointError (or FatalError for a torn
      * shard directory) and never yield a half-open service.
+     *
+     * Journaled services checkpoint Full scope only (scope Auto is
+     * forced to Full; explicit TrustedOnly is fatal — a TrustedOnly
+     * anchor cannot back journal replay), record a per-shard journal
+     * watermark in the manifest, and GC journal segments the sealed
+     * generation covers. open() then replays each shard's journal
+     * suffix past its watermark, so acknowledged requests survive even
+     * a kill -9 with no final checkpoint. A journaled manifest refuses
+     * to open with journaling disabled (the suffix would be silently
+     * dropped); an unjournaled manifest opened WITH journaling starts
+     * fresh journals and immediately commits a journaled generation.
      * @{ */
     void checkpoint(CheckpointScope scope = CheckpointScope::Auto);
     static std::unique_ptr<ShardedOramService>
@@ -319,6 +359,22 @@ class ShardedOramService {
         bool needsRecovery = false;  ///< owning worker only
         u64 lastRetries = 0;         ///< storageRetries() watermark
         u64 cleanStreak = 0;         ///< consecutive clean accesses
+
+        /** Request journal (null = unjournaled hot path). Owned by the
+         *  worker once requests flow; ctor/checkpoint()/open() touch it
+         *  only with the pool quiesced. */
+        std::unique_ptr<RequestJournal> journal;
+        /** Appended-but-unacked entries as (seq, entry), in sequence
+         *  order (owning worker only). Futures complete only once a
+         *  barrier covers their record — append-then-ack. */
+        std::vector<std::pair<u64, QueueEntry>> pendingAck;
+        /** Journal seq recoveryBlob corresponds to (owning worker). */
+        u64 memWatermark = 0;
+        /** Journal seq the last sealed on-disk generation corresponds
+         *  to (~0 = none committed yet); touched only quiesced. */
+        u64 durableWatermark = ~u64{0};
+        u64 lastReplayDepth = 0; ///< under healthMu
+        u64 lastRecoveryMs = 0;  ///< under healthMu
     };
 
     struct Worker {
@@ -361,6 +417,22 @@ class ShardedOramService {
     /** Attempt rollback of a quarantined shard to its recovery point
      *  (owning worker, queue drained). */
     void recoverShard(u32 shard_index);
+    /** Effective fault schedule of one shard (the journal shares it
+     *  with the shard's data plane, so chaos scripts target either). */
+    std::shared_ptr<FaultSchedule> scheduleFor(u32 shard) const;
+    /** Group commit + ack release: barrier the shard's journal, then
+     *  finish every parked entry. A failed barrier falls through to
+     *  recoverJournaled. Never throws (owning worker). */
+    void flushJournal(u32 shard_index);
+    /** flushJournal when the group-commit thresholds say so. */
+    void maybeFlushJournal(u32 shard_index);
+    /** Journaled rollback (inline, owning worker): restore the
+     *  recovery point, replay the durable journal suffix through
+     *  submit(), then ack every parked request the replay covered and
+     *  fail (typed) the ones past the durable tail. Returns false when
+     *  the shard quarantined permanently instead. */
+    bool recoverJournaled(u32 shard_index, RequestStatus status,
+                          const std::string& why);
     void finishOne(Batch& b);
     void waitIdle(); ///< pendingBatches_ == 0 (caller holds no locks)
     void supervisorLoop();

@@ -1,0 +1,33 @@
+#include "util/crc32.hpp"
+
+namespace froram {
+namespace {
+
+struct Crc32Table {
+    u32 t[256];
+
+    Crc32Table()
+    {
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+const Crc32Table kTable;
+
+} // namespace
+
+u32
+crc32(const u8* data, u64 len, u32 seed)
+{
+    u32 c = seed ^ 0xFFFFFFFFu;
+    for (u64 i = 0; i < len; ++i)
+        c = kTable.t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace froram

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+ *
+ * Used by the request journal to frame records: a CRC is a *crash*
+ * detector, not an *adversary* detector — it catches torn writes, bit
+ * rot and truncation with overwhelming probability, but anyone who can
+ * rewrite journal bytes can recompute it. Authenticated state lives in
+ * the sealed checkpoints (keyed MAC); the journal trust model is
+ * documented in README "Fault model & recovery".
+ */
+#ifndef FRORAM_UTIL_CRC32_HPP
+#define FRORAM_UTIL_CRC32_HPP
+
+#include "util/common.hpp"
+
+namespace froram {
+
+/**
+ * CRC-32 of `data[0, len)`. Chain incrementally by passing the previous
+ * return value as `seed` (the init/xorout folding is handled inside, so
+ * crc32(b, n) == crc32(b + k, n - k, crc32(b, k)) for any split).
+ */
+u32 crc32(const u8* data, u64 len, u32 seed = 0);
+
+} // namespace froram
+
+#endif // FRORAM_UTIL_CRC32_HPP

@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Journaled shard recovery, end to end. The "ShardedJournal" suite
+ * (the name keeps it inside the TSan CI leg's `-R 'Sharded'` net)
+ * pins the lossless-rollback contract: a forced fault on a journaled
+ * shard acks every request — gap requests succeed instead of failing
+ * typed — and leaves the shard bit-identical to an uncrashed control;
+ * plus the seeded journal-fault soak and the append/sync failure
+ * semantics. The "JournalCrash" suite is the kill -9 half: a forked
+ * child is SIGKILLed under load and the reopened service must recover
+ * every acknowledged request exactly (RPO = 0) and match a control
+ * service driven with the surviving request prefix, blob for blob.
+ */
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "checkpoint/checkpoint.hpp"
+#include "journal/request_journal.hpp"
+#include "mem/fault_injecting_backend.hpp"
+#include "shard/sharded_service.hpp"
+#include "util/rng.hpp"
+
+namespace froram {
+namespace {
+
+std::string
+freshDir(const std::string& tag)
+{
+    static int counter = 0;
+    return ::testing::TempDir() + "froram_jrec_" +
+           std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++);
+}
+
+ShardedServiceConfig
+journaledConfig(const std::string& dir, u32 shards, u32 workers)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{1} << 18; // 4096 blocks
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::Flat;
+    cfg.base.seed = 0x5eed3;
+    cfg.numShards = shards;
+    cfg.numWorkers = workers;
+    cfg.directory = dir;
+    cfg.supervision.retry.baseBackoffUs = 1;
+    cfg.supervision.retry.maxBackoffUs = 20;
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 4;
+    return cfg;
+}
+
+std::vector<u8>
+payloadFor(Addr addr, u64 version, u64 block_bytes)
+{
+    std::vector<u8> data(block_bytes);
+    for (u64 j = 0; j < block_bytes; ++j)
+        data[j] = static_cast<u8>(addr * 31 + version * 131 + j);
+    return data;
+}
+
+/** The `index`-th global address served by shard `shard`. */
+Addr
+addrOnShard(const ShardedOramService& svc, u32 shard, u32 index = 0)
+{
+    u32 seen = 0;
+    for (Addr a = 0; a < svc.numBlocks(); ++a)
+        if (svc.shardOf(a) == shard && seen++ == index)
+            return a;
+    ADD_FAILURE() << "shard " << shard << " has no address " << index;
+    return 0;
+}
+
+/**
+ * The acceptance test of the journaled mode: a hard storage fault on
+ * a journaled shard, mid-batch. Where the unjournaled runtime fails
+ * the gap requests typed and discards post-recovery-point writes
+ * (test_shard_supervision pins that RPO), the journaled runtime must
+ * ack EVERY request with the correct value and leave both shards
+ * bit-identical — sealed Full-scope blobs — to a control service that
+ * never saw a fault.
+ */
+TEST(ShardedJournal, ForcedRollbackAcksEverythingBitIdentically)
+{
+    ShardedServiceConfig cfg =
+        journaledConfig(freshDir("lossless"), 2, 2);
+    cfg.supervision.retry.maxAttempts = 1;
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules = {sched, nullptr};
+    ShardedOramService svc(cfg);
+
+    ShardedServiceConfig ctl_cfg =
+        journaledConfig(freshDir("lossless_ctl"), 2, 2);
+    ShardedOramService control(ctl_cfg);
+
+    const u64 bb = cfg.base.blockBytes;
+    for (Addr a = 0; a < 32; ++a) {
+        const std::vector<u8> data = payloadFor(a, 1, bb);
+        svc.access(a, true, &data);
+        control.access(a, true, &data);
+    }
+    // A recovery point mid-stream: replay must cover exactly the
+    // suffix past it (and the snapshot job itself must not perturb
+    // state — the control never takes one).
+    svc.refreshRecoveryPoints();
+    svc.drain();
+
+    const Addr v0 = addrOnShard(svc, 0, 0);
+    const Addr v1 = addrOnShard(svc, 0, 1);
+    const Addr sib = addrOnShard(svc, 1, 0);
+    // The write the unjournaled runtime would lose (it is past the
+    // recovery point): journaled rollback must preserve it.
+    const std::vector<u8> kept = payloadFor(v1, 9, bb);
+    svc.access(v1, true, &kept);
+    control.access(v1, true, &kept);
+
+    // One-shot hard fault on shard 0's next storage read.
+    FaultSpec spec;
+    spec.op = FaultOp::Read;
+    spec.kind = FaultKind::Eio;
+    spec.afterOps = sched->opsSeen(FaultOp::Read);
+    spec.count = 1;
+    spec.transient = false;
+    sched->inject(spec);
+
+    std::vector<ShardRequest> batch;
+    batch.push_back({v0, false, {}, 0});
+    batch.push_back({v1, false, {}, 0});
+    batch.push_back({sib, false, {}, 0});
+    auto res = svc.submit(batch).get();
+    auto ctl_res = control.submit(std::move(batch)).get();
+    ASSERT_EQ(res.size(), 3u);
+    for (size_t i = 0; i < res.size(); ++i) {
+        EXPECT_EQ(res[i].status, RequestStatus::Ok)
+            << "request " << i << ": " << res[i].error;
+        EXPECT_EQ(res[i].result.data, ctl_res[i].result.data)
+            << "request " << i;
+    }
+    EXPECT_EQ(res[1].result.data, kept)
+        << "the post-recovery-point write must survive the rollback";
+
+    svc.drain();
+    control.drain();
+    const ShardedOramService::ShardHealthReport rep = svc.shardReport(0);
+    EXPECT_EQ(rep.health, ShardHealth::Degraded);
+    EXPECT_EQ(rep.recoveries, 1u);
+    EXPECT_TRUE(rep.journaled);
+    EXPECT_GT(rep.lastReplayDepth, 0u);
+    EXPECT_EQ(rep.journalLagRecords, 0u);
+
+    // Bit-identical recovery: both shards' sealed Full-scope blobs
+    // equal the control's — the recovered timeline is indistinguishable
+    // from one that never faulted.
+    for (u32 s = 0; s < 2; ++s)
+        EXPECT_EQ(svc.shard(s).checkpoint(CheckpointScope::Full),
+                  control.shard(s).checkpoint(CheckpointScope::Full))
+            << "shard " << s;
+}
+
+TEST(ShardedJournal, SeededJournalFaultSoakStaysLossless)
+{
+    // The chaos-CI workhorse: random transient Eio across the journal
+    // commit I/O (appends and barriers) while requests flow. Every
+    // access must come back Ok and correct; the retry layer absorbs
+    // everything.
+    ShardedServiceConfig cfg = journaledConfig(freshDir("soak"), 2, 2);
+    cfg.base.faultSchedule = std::make_shared<FaultSchedule>();
+    cfg.base.faultSchedule->setRandomJournalRate(0.05, 0x5eed);
+    cfg.supervision.retry.maxAttempts = 10;
+    cfg.supervision.journal.fsyncEveryRecords = 2;
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    std::map<Addr, std::vector<u8>> reference;
+    Xoshiro256 rng(0xab5);
+    for (u32 round = 0; round < 40; ++round) {
+        std::vector<ShardRequest> batch;
+        std::vector<std::vector<u8>> expect;
+        for (u32 i = 0; i < 8; ++i) {
+            const Addr addr = rng.below(128);
+            if (rng.below(2) == 0) {
+                std::vector<u8> data = payloadFor(addr, round, bb);
+                reference[addr] = data;
+                expect.push_back(data);
+                batch.push_back({addr, true, std::move(data), 0});
+            } else {
+                // Expected read value honors earlier writes of the
+                // same batch: per-shard FIFO preserves batch order.
+                const auto it = reference.find(addr);
+                expect.push_back(it != reference.end()
+                                     ? it->second
+                                     : std::vector<u8>());
+                batch.push_back({addr, false, {}, 0});
+            }
+        }
+        auto res = svc.submit(std::move(batch)).get();
+        for (size_t i = 0; i < res.size(); ++i) {
+            ASSERT_EQ(res[i].status, RequestStatus::Ok)
+                << "round " << round << " request " << i << ": "
+                << res[i].error;
+            if (!expect[i].empty()) {
+                EXPECT_EQ(res[i].result.data, expect[i])
+                    << "round " << round << " request " << i;
+            }
+        }
+    }
+    svc.drain();
+    EXPECT_GT(cfg.base.faultSchedule->faultsFired(), 0u)
+        << "the soak never exercised the journal fault path";
+    u64 retried = 0;
+    for (u32 s = 0; s < svc.numShards(); ++s) {
+        EXPECT_NE(svc.shardHealth(s), ShardHealth::Quarantined);
+        retried += svc.shardReport(s).transientFaults;
+    }
+    EXPECT_GT(retried, 0u)
+        << "absorbed journal faults must surface in shardReport";
+}
+
+TEST(ShardedJournal, AppendExhaustionFailsOnlyThatRequest)
+{
+    ShardedServiceConfig cfg =
+        journaledConfig(freshDir("appendfail"), 1, 1);
+    cfg.supervision.retry.maxAttempts = 1;
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules = {sched};
+    ShardedOramService svc(cfg);
+    const Addr a = addrOnShard(svc, 0);
+    const std::vector<u8> data = payloadFor(a, 1, 64);
+    svc.access(a, true, &data);
+    svc.drain();
+
+    // A persistent append failure is NOT a shard fault: the ORAM state
+    // was never touched, so only the un-journaled request fails and
+    // nothing rolls back.
+    FaultSpec spec;
+    spec.op = FaultOp::JournalAppend;
+    spec.kind = FaultKind::Eio;
+    spec.afterOps = sched->opsSeen(FaultOp::JournalAppend);
+    spec.count = 1;
+    spec.transient = false;
+    sched->inject(spec);
+
+    std::vector<ShardRequest> one;
+    one.push_back({a, false, {}, 0});
+    auto res = svc.submit(std::move(one)).get();
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].status, RequestStatus::StorageFault);
+    EXPECT_NE(res[0].error.find("journal append failed"),
+              std::string::npos)
+        << res[0].error;
+    svc.drain();
+    EXPECT_EQ(svc.shardHealth(0), ShardHealth::Degraded);
+    EXPECT_EQ(svc.shardReport(0).recoveries, 0u);
+
+    // The journal tail was repaired in place: the next request appends
+    // and serves normally.
+    EXPECT_EQ(svc.access(a, false).data, data);
+}
+
+TEST(ShardedJournal, GroupCommitBarrierFailureRecoversLosslessly)
+{
+    // The barrier itself fails past the retry budget: flushJournal
+    // falls through to the journaled rollback, whose salvage sync then
+    // lands (the medium recovered) — so every parked request is STILL
+    // acked with its exact result. Nothing is lost on a sync failure.
+    ShardedServiceConfig cfg =
+        journaledConfig(freshDir("syncfail"), 1, 1);
+    cfg.supervision.retry.maxAttempts = 1;
+    cfg.supervision.journal.fsyncEveryRecords = 100; // drain-end flush
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules = {sched};
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+
+    FaultSpec spec;
+    spec.op = FaultOp::JournalSync;
+    spec.kind = FaultKind::Eio;
+    spec.count = 1;
+    spec.transient = false;
+    sched->inject(spec);
+
+    std::vector<ShardRequest> batch;
+    std::vector<std::vector<u8>> expect;
+    for (Addr a = 0; a < 4; ++a) {
+        std::vector<u8> data = payloadFor(a, 3, bb);
+        expect.push_back(data);
+        batch.push_back({a, true, std::move(data), 0});
+    }
+    auto res = svc.submit(std::move(batch)).get();
+    ASSERT_EQ(res.size(), 4u);
+    for (size_t i = 0; i < res.size(); ++i)
+        EXPECT_EQ(res[i].status, RequestStatus::Ok)
+            << "request " << i << ": " << res[i].error;
+    svc.drain();
+    EXPECT_EQ(svc.shardReport(0).recoveries, 1u);
+    EXPECT_GE(svc.shardReport(0).lastReplayDepth, 4u);
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_EQ(svc.access(a, false).data, expect[a]);
+}
+
+TEST(ShardedJournal, DeadlineExpiredBehindRecoveryFailsDeadlineTyped)
+{
+    // Regression (deadline-before-quarantine ordering): a request
+    // whose deadline expired while it sat behind a rollback must fail
+    // Deadline — its true cause — not Quarantined.
+    ShardedServiceConfig cfg =
+        journaledConfig(freshDir("deadline"), 1, 1);
+    cfg.supervision.retry.maxAttempts = 1;
+    cfg.supervision.maxRecoveries = 0; // first fault is permanent
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules = {sched};
+    ShardedOramService svc(cfg);
+    const Addr a = addrOnShard(svc, 0);
+    const std::vector<u8> data = payloadFor(a, 1, 64);
+    svc.access(a, true, &data);
+    svc.drain();
+
+    FaultSpec spec;
+    spec.op = FaultOp::Read;
+    spec.kind = FaultKind::Eio;
+    spec.afterOps = sched->opsSeen(FaultOp::Read);
+    spec.count = 1;
+    spec.transient = false;
+    sched->inject(spec);
+
+    // One faulting request, a pile of fillers (so real time passes
+    // before the tail request is picked up), then the 1 us deadline.
+    std::vector<ShardRequest> batch;
+    batch.push_back({a, false, {}, 0});
+    for (int i = 0; i < 30; ++i)
+        batch.push_back({a, false, {}, 0});
+    batch.push_back({a, false, {}, /*deadlineUs=*/1});
+    auto res = svc.submit(std::move(batch)).get();
+    ASSERT_EQ(res.size(), 32u);
+    EXPECT_NE(res[0].status, RequestStatus::Ok);
+    EXPECT_EQ(res.back().status, RequestStatus::Deadline)
+        << "error: " << res.back().error;
+    EXPECT_EQ(svc.shardHealth(0), ShardHealth::Quarantined);
+}
+
+/**
+ * Regression pin for the seed-register restore bug: reopening a
+ * journaled mmap service resumes the backend region at its latest
+ * (post-checkpoint) encryption-seed register, then restores a blob
+ * from an earlier point. restoreTrustedState must rewind the register
+ * to the checkpoint's exact value — keeping the larger resumed value
+ * forks the re-encryption stream during replay, and the recovered
+ * shard stops being bit-identical to an uninterrupted control (values
+ * still read back fine, which is why only a blob comparison sees it).
+ */
+TEST(ShardedJournal, CleanReopenReplayMatchesUninterruptedControl)
+{
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{1} << 16;
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::MmapFile;
+    cfg.base.seed = 0x51c1;
+    cfg.numShards = 2;
+    cfg.numWorkers = 2;
+    cfg.directory = freshDir("bisect");
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 4;
+    const u64 n = cfg.base.capacityBytes / cfg.base.blockBytes;
+    const u64 bb = cfg.base.blockBytes;
+    auto drive = [&](ShardedOramService& s, u64 from, u64 to) {
+        for (u64 g = from; g < to; ++g) {
+            const std::vector<u8> d = payloadFor(g % n, g / n + 1, bb);
+            s.access(g % n, true, &d);
+        }
+    };
+    {
+        ShardedOramService live(cfg);
+        drive(live, 0, 40);
+        live.checkpoint();
+        drive(live, 40, 64); // suffix: replayed at open()
+        live.drain();
+    }
+    auto reopened = ShardedOramService::open(cfg);
+    ShardedServiceConfig ctl_cfg = cfg;
+    ctl_cfg.directory = freshDir("bisect_ctl");
+    ShardedOramService control(ctl_cfg);
+    drive(control, 0, 64);
+    control.drain();
+    reopened->drain();
+    for (u32 s = 0; s < 2; ++s)
+        EXPECT_EQ(reopened->shard(s).checkpoint(CheckpointScope::Full),
+                  control.shard(s).checkpoint(CheckpointScope::Full))
+            << "A: replay-suffix reopen diverges, shard " << s;
+
+    // Variant B: checkpoint at the very end — reopen replays nothing.
+    ShardedServiceConfig cfg_b = cfg;
+    cfg_b.directory = freshDir("bisect_b");
+    {
+        ShardedOramService live(cfg_b);
+        drive(live, 0, 64);
+        live.checkpoint();
+    }
+    auto reopened_b = ShardedOramService::open(cfg_b);
+    reopened_b->drain();
+    for (u32 s = 0; s < 2; ++s)
+        EXPECT_EQ(
+            reopened_b->shard(s).checkpoint(CheckpointScope::Full),
+            control.shard(s).checkpoint(CheckpointScope::Full))
+            << "B: restore-only reopen diverges, shard " << s;
+
+    // Variant C: no reopen at all — live service vs control.
+    ShardedServiceConfig cfg_c = cfg;
+    cfg_c.directory = freshDir("bisect_c");
+    ShardedOramService live_c(cfg_c);
+    drive(live_c, 0, 40);
+    live_c.checkpoint();
+    drive(live_c, 40, 64);
+    live_c.drain();
+    for (u32 s = 0; s < 2; ++s)
+        EXPECT_EQ(live_c.shard(s).checkpoint(CheckpointScope::Full),
+                  control.shard(s).checkpoint(CheckpointScope::Full))
+            << "C: live checkpointing service diverges, shard " << s;
+}
+
+/**
+ * The kill -9 half of the acceptance criteria. A forked child drives
+ * deterministic write batches through a journaled mmap-backed service,
+ * recording each fully-acknowledged batch, checkpointing every 8
+ * batches — and is SIGKILLed mid-flight. The parent then proves:
+ *
+ *  1. every acknowledged request survived (ack count <= journal tip,
+ *     append-then-ack made them durable);
+ *  2. the reopened service is bit-identical — per-shard sealed Full
+ *     blobs — to a control service driven with exactly the surviving
+ *     per-shard request prefixes;
+ *  3. every written address reads back Ok (zero typed-failed gap
+ *     requests) with the exact expected value.
+ */
+TEST(JournalCrash, SigkillUnderLoadReopensLossless)
+{
+    const std::string dir = freshDir("sigkill");
+    const std::string ack_path = dir + ".acks";
+    std::remove(ack_path.c_str());
+    ShardedServiceConfig cfg;
+    cfg.scheme = SchemeId::PlbCompressed;
+    cfg.base.capacityBytes = u64{1} << 16; // 1024 blocks
+    cfg.base.blockBytes = 64;
+    cfg.base.storage = StorageMode::Encrypted;
+    cfg.base.backend = StorageBackendKind::MmapFile;
+    cfg.base.seed = 0x51c1;
+    cfg.numShards = 2;
+    cfg.numWorkers = 2;
+    cfg.directory = dir;
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 4;
+    const u64 n = cfg.base.capacityBytes / cfg.base.blockBytes;
+    const u64 bb = cfg.base.blockBytes;
+    constexpr u64 kBatch = 8;
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: deterministic write batches forever; record batch b
+        // in the ack file only after its future resolved all-Ok;
+        // checkpoint every 8 batches (exercising watermarks + GC).
+        try {
+            ShardedOramService svc(cfg);
+            const int ack =
+                ::open(ack_path.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (ack < 0)
+                _exit(8);
+            for (u64 b = 0;; ++b) {
+                std::vector<ShardRequest> batch;
+                for (u64 j = 0; j < kBatch; ++j) {
+                    const u64 g = b * kBatch + j;
+                    const Addr addr = g % n;
+                    batch.push_back({addr, true,
+                                     payloadFor(addr, g / n + 1, bb),
+                                     0});
+                }
+                auto res = svc.submit(std::move(batch)).get();
+                for (const ShardAccessResult& r : res)
+                    if (r.status != RequestStatus::Ok)
+                        _exit(7);
+                u8 rec[8];
+                for (int k = 0; k < 8; ++k)
+                    rec[k] = static_cast<u8>(b >> (k * 8));
+                if (::write(ack, rec, 8) != 8)
+                    _exit(6);
+                if (b % 8 == 7)
+                    svc.checkpoint();
+            }
+        } catch (const std::exception& e) {
+            const int f = ::open((dir + ".err").c_str(),
+                                 O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (f >= 0)
+                (void)!::write(f, e.what(), ::strlen(e.what()));
+            _exit(9);
+        } catch (...) {
+            _exit(9);
+        }
+    }
+
+    // Parent: let the child commit some batches + checkpoints, then
+    // kill -9 at an arbitrary instruction.
+    ::usleep(600 * 1000);
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "child exited on its own (status " << status
+        << "); the kill landed after an error";
+
+    if (!ckpt::fileExists(dir + "/MANIFEST"))
+        GTEST_SKIP() << "child was killed before the first checkpoint";
+
+    // Acked batches: 0..B inclusive (a torn final ack record is
+    // dropped — that batch was not provably acknowledged).
+    std::vector<u8> acks;
+    {
+        const int fd = ::open(ack_path.c_str(), O_RDONLY);
+        ASSERT_GE(fd, 0);
+        u8 buf[4096];
+        ssize_t m = 0;
+        while ((m = ::read(fd, buf, sizeof(buf))) > 0)
+            acks.insert(acks.end(), buf, buf + m);
+        ::close(fd);
+    }
+    if (acks.size() < 8)
+        GTEST_SKIP() << "child was killed before the first ack";
+    u64 last_acked = 0;
+    for (int k = 0; k < 8; ++k)
+        last_acked |= static_cast<u64>(acks[(acks.size() / 8 - 1) * 8 +
+                                            static_cast<size_t>(k)])
+                      << (k * 8);
+
+    // Per-shard journal tips = exactly the request prefix the reopened
+    // service will hold (checkpointed watermark + replayed suffix).
+    // Probing them repairs any torn tail, just as open() would.
+    u64 tip[2] = {0, 0};
+    for (u32 s = 0; s < 2; ++s) {
+        RequestJournal j(dir, s, cfg.supervision.journal,
+                         cfg.supervision.retry, nullptr,
+                         /*reset=*/false);
+        tip[s] = j.lastAppended();
+    }
+
+    auto svc = ShardedOramService::open(cfg);
+    for (u32 s = 0; s < 2; ++s) {
+        EXPECT_NE(svc->shardHealth(s), ShardHealth::Quarantined);
+        EXPECT_TRUE(svc->shardReport(s).journaled);
+    }
+
+    // RPO = 0: every acknowledged request's record is durable.
+    u64 acked_per_shard[2] = {0, 0};
+    for (u64 g = 0; g < (last_acked + 1) * kBatch; ++g)
+        ++acked_per_shard[svc->shardOf(g % n)];
+    for (u32 s = 0; s < 2; ++s)
+        ASSERT_GE(tip[s], acked_per_shard[s])
+            << "shard " << s << ": an acknowledged request's journal "
+            << "record did not survive the kill";
+
+    // Control: a fresh service driven with exactly the surviving
+    // per-shard request prefixes (the first tip[s] requests of shard
+    // s's deterministic stream).
+    ShardedServiceConfig ctl_cfg = cfg;
+    ctl_cfg.directory = freshDir("sigkill_ctl");
+    ShardedOramService control(ctl_cfg);
+    u64 applied[2] = {0, 0};
+    std::map<Addr, u64> expect_version;
+    for (u64 g = 0; applied[0] < tip[0] || applied[1] < tip[1]; ++g) {
+        ASSERT_LT(g, u64{1} << 26) << "runaway journal tip";
+        const Addr addr = g % n;
+        const u32 s = control.shardOf(addr);
+        if (applied[s] >= tip[s])
+            continue; // this request died with the journal tail
+        ++applied[s];
+        const std::vector<u8> data = payloadFor(addr, g / n + 1, bb);
+        control.access(addr, true, &data);
+        expect_version[addr] = g / n + 1;
+    }
+    control.drain();
+    svc->drain();
+    for (u32 s = 0; s < 2; ++s)
+        EXPECT_EQ(svc->shard(s).checkpoint(CheckpointScope::Full),
+                  control.shard(s).checkpoint(CheckpointScope::Full))
+            << "shard " << s
+            << " is not bit-identical to the uncrashed control";
+
+    // Zero typed-failed gap requests: every written address reads back
+    // Ok with the exact surviving version.
+    std::vector<ShardRequest> reads;
+    std::vector<Addr> read_addrs;
+    for (const auto& [addr, version] : expect_version) {
+        reads.push_back({addr, false, {}, 0});
+        read_addrs.push_back(addr);
+        (void)version;
+    }
+    auto res = svc->submit(std::move(reads)).get();
+    ASSERT_EQ(res.size(), read_addrs.size());
+    for (size_t i = 0; i < res.size(); ++i) {
+        ASSERT_EQ(res[i].status, RequestStatus::Ok)
+            << "addr " << read_addrs[i] << ": " << res[i].error;
+        EXPECT_EQ(res[i].result.data,
+                  payloadFor(read_addrs[i],
+                             expect_version[read_addrs[i]], bb))
+            << "addr " << read_addrs[i];
+    }
+}
+
+} // namespace
+} // namespace froram

@@ -518,5 +518,62 @@ TEST(ShardedSupervision, ConcurrentSubmittersOverFaultingMedium)
         EXPECT_NE(svc.shardHealth(s), ShardHealth::Quarantined);
 }
 
+TEST(ShardedSupervision, JournalMetricsSurfaceInShardReport)
+{
+    // Unjournaled service: the journal fields are present but inert.
+    {
+        ShardedServiceConfig cfg = smallConfig(1, 1);
+        ShardedOramService svc(cfg);
+        const auto rep = svc.shardReport(0);
+        EXPECT_FALSE(rep.journaled);
+        EXPECT_EQ(rep.journalLagRecords, 0u);
+        EXPECT_EQ(rep.lastReplayDepth, 0u);
+        EXPECT_EQ(rep.lastRecoveryMs, 0u);
+    }
+
+    // Journaled service: the flag is set, the lag drains to zero at
+    // the worker's drain-end group commit, and a forced rollback
+    // records its replay depth and recovery latency.
+    ShardedServiceConfig cfg = smallConfig(1, 1);
+    cfg.directory = freshDir("jmetrics");
+    cfg.supervision.retry.maxAttempts = 1;
+    cfg.supervision.journal.enabled = true;
+    cfg.supervision.journal.fsyncEveryRecords = 64;
+    auto sched = std::make_shared<FaultSchedule>();
+    cfg.shardFaultSchedules = {sched};
+    ShardedOramService svc(cfg);
+    const u64 bb = cfg.base.blockBytes;
+    const Addr a = addrOnShard(svc, 0);
+    const std::vector<u8> data = payloadFor(a, 1, bb);
+    svc.access(a, true, &data);
+    svc.drain();
+    {
+        const auto rep = svc.shardReport(0);
+        EXPECT_TRUE(rep.journaled);
+        EXPECT_EQ(rep.journalLagRecords, 0u)
+            << "drain-end flush must have acked every parked record";
+        EXPECT_EQ(rep.lastReplayDepth, 0u);
+    }
+
+    FaultSpec spec;
+    spec.op = FaultOp::Read;
+    spec.kind = FaultKind::Eio;
+    spec.afterOps = sched->opsSeen(FaultOp::Read);
+    spec.count = 1;
+    spec.transient = false;
+    sched->inject(spec);
+    const FrontendResult r = svc.access(a, false); // lossless rollback
+    EXPECT_EQ(r.data, data);
+    svc.drain();
+    {
+        const auto rep = svc.shardReport(0);
+        EXPECT_EQ(rep.recoveries, 1u);
+        EXPECT_TRUE(rep.journaled);
+        EXPECT_GT(rep.lastReplayDepth, 0u)
+            << "the rollback replayed the journal suffix";
+        EXPECT_EQ(rep.journalLagRecords, 0u);
+    }
+}
+
 } // namespace
 } // namespace froram
